@@ -1,0 +1,73 @@
+//! Criterion benches: Feynman-path simulator throughput.
+//!
+//! The paper's simulator claim (Sec. 6.2): noisy QRAM circuits simulate
+//! in memory *constant in circuit depth* because the gate family is
+//! classical-reversible — the interesting cost is time per (gate × path).
+//! These benches measure full-query simulation and one Monte-Carlo shot
+//! across QRAM widths.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qram_bench::experiment_memory;
+use qram_core::{QueryArchitecture, VirtualQram};
+use qram_noise::{FaultSampler, NoiseModel, PauliChannel};
+use qram_sim::{run, run_with_faults};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_noiseless_query(c: &mut Criterion) {
+    let mut group = c.benchmark_group("noiseless_query");
+    for m in [2usize, 4, 6] {
+        let memory = experiment_memory(m, 1);
+        let query = VirtualQram::new(0, m).build(&memory);
+        let input = query.input_state(None);
+        group.bench_with_input(BenchmarkId::new("virtual_k0", m), &m, |b, _| {
+            b.iter(|| {
+                let mut state = input.clone();
+                run(query.circuit().gates(), &mut state).unwrap();
+                state.num_paths()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_noisy_shot(c: &mut Criterion) {
+    let mut group = c.benchmark_group("noisy_shot");
+    for m in [2usize, 4, 6] {
+        let memory = experiment_memory(m, 2);
+        let query = VirtualQram::new(0, m).build(&memory);
+        let input = query.input_state(None);
+        let model = NoiseModel::per_gate(PauliChannel::depolarizing(1e-3));
+        group.bench_with_input(BenchmarkId::new("virtual_k0", m), &m, |b, _| {
+            let mut sampler =
+                FaultSampler::new(query.circuit(), model, StdRng::seed_from_u64(3));
+            b.iter(|| {
+                let plan = sampler.sample();
+                let mut state = input.clone();
+                run_with_faults(query.circuit().gates(), &mut state, &plan).unwrap();
+                state.num_paths()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_fault_sampling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fault_sampling");
+    let memory = experiment_memory(6, 3);
+    let query = VirtualQram::new(0, 6).build(&memory);
+    for (name, model) in [
+        ("per_gate", NoiseModel::per_gate(PauliChannel::depolarizing(1e-3))),
+        ("qubit_per_step", NoiseModel::qubit_per_step(PauliChannel::depolarizing(1e-3))),
+    ] {
+        group.bench_function(name, |b| {
+            let mut sampler =
+                FaultSampler::new(query.circuit(), model, StdRng::seed_from_u64(4));
+            b.iter(|| sampler.sample().len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_noiseless_query, bench_noisy_shot, bench_fault_sampling);
+criterion_main!(benches);

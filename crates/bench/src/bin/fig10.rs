@@ -1,0 +1,52 @@
+//! Fig. 10 — virtual-QRAM fidelity vs error-reduction factor εr, under
+//! the phase-flip (left panel) and bit-flip (right panel) channels.
+//!
+//! Expected shape: at equal εr, phase-flip fidelity is far above
+//! bit-flip fidelity (the Z-bias resilience of Sec. 5.1), the gap widens
+//! with `m`, and both approach 1 as εr → 1000.
+
+use qram_bench::{
+    architecture_fidelity, default_er_sweep, experiment_memory, print_row, FidelityKind,
+    RunOptions,
+};
+use qram_core::VirtualQram;
+use qram_noise::{NoiseModel, PauliChannel, BASE_ERROR_RATE};
+
+fn main() {
+    let opts = RunOptions::from_args();
+    let max_m = if opts.full { 6 } else { 4 };
+    let shots = opts.shots_or(if opts.full { 1024 } else { 200 });
+    let sweep = default_er_sweep(opts.full);
+
+    println!("# Fig. 10: virtual QRAM fidelity vs error reduction factor (k = 0)");
+    println!("# base error rate = {BASE_ERROR_RATE}; shots = {shots}");
+    print_row(&["channel", "m", "er", "fidelity", "stderr"].map(String::from));
+
+    for (label, channel) in [
+        ("phase_flip", PauliChannel::phase_flip(BASE_ERROR_RATE)),
+        ("bit_flip", PauliChannel::bit_flip(BASE_ERROR_RATE)),
+    ] {
+        for m in 1..=max_m {
+            let memory = experiment_memory(m, opts.seed ^ (m as u64) << 4);
+            let arch = VirtualQram::new(0, m);
+            for &er in &sweep {
+                let model = NoiseModel::per_gate(channel).reduced_by(er);
+                let est = architecture_fidelity(
+                    &arch,
+                    &memory,
+                    model,
+                    FidelityKind::Full,
+                    shots,
+                    opts.seed,
+                );
+                print_row(&[
+                    label.to_string(),
+                    m.to_string(),
+                    format!("{:.3}", er.0),
+                    format!("{:.4}", est.mean),
+                    format!("{:.4}", est.std_error),
+                ]);
+            }
+        }
+    }
+}

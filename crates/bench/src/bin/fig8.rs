@@ -1,0 +1,36 @@
+//! Fig. 8 — extra operation depth after mapping QRAM to a 2D
+//! nearest-neighbor grid, swap-based vs teleportation-based routing.
+//!
+//! Expected shape: swap-based overhead grows exponentially in the QRAM
+//! width `m` (the root edges of the H-tree span `Θ(√M)` cells), while
+//! teleportation-based overhead stays linear — the crossover is at
+//! `m ≈ 2`.
+
+use qram_bench::{print_row, RunOptions};
+use qram_layout::{routing_overhead_sweep, HTreeEmbedding};
+
+fn main() {
+    let opts = RunOptions::from_args();
+    let max_m = if opts.full { 10 } else { 9 };
+
+    println!("# Fig. 8: extra operation depth under 2D mapping (H-tree embedding)");
+    print_row(
+        &["m", "swap_extra_depth", "teleport_extra_depth", "grid", "unused_frac"]
+            .map(String::from),
+    );
+    for row in routing_overhead_sweep(max_m) {
+        let e = HTreeEmbedding::new(row.m);
+        print_row(&[
+            row.m.to_string(),
+            row.swap_depth.to_string(),
+            row.teleport_depth.to_string(),
+            format!("{}x{}", e.rows(), e.cols()),
+            format!("{:.3}", e.unused_fraction()),
+        ]);
+    }
+
+    // The capacity-16 example of Fig. 6c, drawn.
+    println!();
+    println!("# Fig. 6c: capacity-16 H-tree embedding (R router, D data, · routing)");
+    print!("{}", HTreeEmbedding::new(4));
+}

@@ -1,0 +1,60 @@
+//! Fig. 9 — query fidelity vs architecture under Pauli X and Z noise at
+//! `ε = 10⁻³` (qubit-per-step error model — the model in which the
+//! Sec. 5.1 bounds are stated; Sec. 6.3 notes the gate-based model agrees
+//! up to constants).
+//!
+//! Select-Swap uses its canonical balanced internal split
+//! (`k = ⌊m/2⌋`). Fidelity is reduced over address + bus (the tree is an
+//! ancilla), the notion under which bucket brigade resists generic noise.
+//!
+//! Expected shape: under Z noise, our QRAM and bucket brigade decay
+//! polynomially in `m` while select-swap falls away; under X noise only
+//! bucket brigade's infidelity stays `O(εm²)` — ours and select-swap's
+//! grow with the tree size. The X-channel crossover between BB and the
+//! rest emerges at `m ≥ 7` (run with `--full`); below that, circuit-size
+//! constants dominate.
+
+use qram_bench::{architecture_fidelity, experiment_memory, print_row, FidelityKind, RunOptions};
+use qram_core::{BucketBrigadeQram, QueryArchitecture, SelectSwapQram, VirtualQram};
+use qram_noise::{NoiseModel, PauliChannel, BASE_ERROR_RATE};
+
+fn main() {
+    let opts = RunOptions::from_args();
+    let max_m = if opts.full { 8 } else { 6 };
+    let shots = opts.shots_or(if opts.full { 1024 } else { 200 });
+
+    println!("# Fig. 9: fidelity vs architecture, qubit-per-step Pauli noise, eps = 1e-3");
+    println!("# shots = {shots}; fidelity reduced over address+bus (tree traced out)");
+    print_row(&["m", "architecture", "channel", "fidelity", "stderr"].map(String::from));
+
+    for m in 1..=max_m {
+        let memory = experiment_memory(m, opts.seed ^ m as u64);
+        let archs: [Box<dyn QueryArchitecture>; 3] = [
+            Box::new(VirtualQram::new(0, m)),
+            Box::new(BucketBrigadeQram::new(0, m)),
+            Box::new(SelectSwapQram::new(m / 2, m - m / 2)),
+        ];
+        for arch in &archs {
+            for (label, channel) in [
+                ("Z", PauliChannel::phase_flip(BASE_ERROR_RATE)),
+                ("X", PauliChannel::bit_flip(BASE_ERROR_RATE)),
+            ] {
+                let est = architecture_fidelity(
+                    arch.as_ref(),
+                    &memory,
+                    NoiseModel::qubit_per_step(channel),
+                    FidelityKind::Reduced,
+                    shots,
+                    opts.seed,
+                );
+                print_row(&[
+                    m.to_string(),
+                    arch.name(),
+                    label.to_string(),
+                    format!("{:.4}", est.mean),
+                    format!("{:.4}", est.std_error),
+                ]);
+            }
+        }
+    }
+}

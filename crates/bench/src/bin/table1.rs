@@ -1,0 +1,57 @@
+//! Table 1 — resource improvements from the three key optimizations.
+//!
+//! For each `(k, m)` shape, prints qubit count, scheduled circuit depth
+//! and classically-controlled gate count of the generated virtual-QRAM
+//! circuit under RAW / OPT1 / OPT2 / OPT3 / ALL, over a random memory
+//! (classically-controlled counts are data-dependent; random data is the
+//! paper's average case).
+//!
+//! Expected shape (paper Table 1): OPT1 drops the qubit coefficient from
+//! 6·2^m to 4·2^m, OPT3 removes the m² loading-depth term, OPT2 halves
+//! the classically-controlled count.
+
+use qram_bench::{experiment_memory, print_row, RunOptions};
+use qram_core::{Optimizations, QueryArchitecture, VirtualQram, VirtualQramModel};
+
+fn main() {
+    let opts = RunOptions::from_args();
+    let shapes: &[(usize, usize)] = if opts.full {
+        &[(0, 4), (1, 4), (2, 4), (1, 6), (2, 6), (3, 5)]
+    } else {
+        &[(0, 3), (1, 3), (2, 3), (1, 4)]
+    };
+    let variants = [
+        ("RAW", Optimizations::RAW),
+        ("OPT1", Optimizations::OPT1),
+        ("OPT2", Optimizations::OPT2),
+        ("OPT3", Optimizations::OPT3),
+        ("ALL", Optimizations::ALL),
+    ];
+
+    println!("# Table 1: optimization breakdown (measured on generated circuits)");
+    println!("# paper: qubits 6·2^m+k → 4·2^m+k (OPT1); depth m²+(m+1)·2^k → m+(m+1)·2^k (OPT3);");
+    println!("#        classically-controlled gates halved (OPT2)");
+    print_row(
+        &["k", "m", "variant", "qubits", "qubits(model)", "depth", "cl_ctrl", "cl_ctrl(model)"]
+            .map(String::from),
+    );
+    for &(k, m) in shapes {
+        let memory = experiment_memory(k + m, opts.seed ^ ((k * 31 + m) as u64));
+        for (name, variant) in variants {
+            let arch = VirtualQram::new(k, m).with_optimizations(variant);
+            let query = arch.build(&memory);
+            let resources = query.resources();
+            let model = VirtualQramModel::new(k, m, variant);
+            print_row(&[
+                k.to_string(),
+                m.to_string(),
+                name.to_string(),
+                resources.num_qubits.to_string(),
+                model.qubits().to_string(),
+                resources.depth.to_string(),
+                resources.classically_controlled.to_string(),
+                model.classically_controlled(&memory).to_string(),
+            ]);
+        }
+    }
+}

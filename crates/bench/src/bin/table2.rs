@@ -1,0 +1,57 @@
+//! Table 2 — resource comparison of SQC+BB, SQC+SS and the virtual QRAM.
+//!
+//! Prints measured qubit count, circuit depth, T count, T depth and
+//! Clifford depth for the three hybrid architectures across `(k, m)`
+//! shapes (all-ones memory = the worst case that pins the formulas), and
+//! the paper's asymptotic table for comparison.
+//!
+//! Expected shape: our QRAM matches SQC+BB's `O(m·2^k)` depth while
+//! cutting its `O((2^m + k)·2^k)` T count to `O(2^m + k·2^k)` (load-once
+//! vs load-multiple-times), and beats SQC+SS's `O(m²·2^k)` depth.
+
+use qram_bench::{print_row, RunOptions};
+use qram_core::{
+    table2_asymptotics, BucketBrigadeQram, Memory, QueryArchitecture, SelectSwapQram, VirtualQram,
+};
+
+fn main() {
+    let opts = RunOptions::from_args();
+    let shapes: &[(usize, usize)] = if opts.full {
+        &[(1, 2), (1, 4), (2, 3), (2, 4), (3, 3), (3, 4), (2, 6)]
+    } else {
+        &[(1, 2), (1, 3), (2, 2), (2, 3)]
+    };
+
+    println!("# Table 2: architecture comparison (measured, all-ones memory)");
+    print_row(
+        &["k", "m", "architecture", "qubits", "depth", "T_count", "T_depth", "Clifford_depth"]
+            .map(String::from),
+    );
+    for &(k, m) in shapes {
+        let memory = Memory::ones(k + m);
+        let archs: [Box<dyn QueryArchitecture>; 3] = [
+            Box::new(BucketBrigadeQram::new(k, m)),
+            Box::new(SelectSwapQram::new(k, m)),
+            Box::new(VirtualQram::new(k, m)),
+        ];
+        for arch in archs {
+            let r = arch.build(&memory).resources();
+            print_row(&[
+                k.to_string(),
+                m.to_string(),
+                arch.name(),
+                r.num_qubits.to_string(),
+                r.depth.to_string(),
+                r.t_count.to_string(),
+                r.t_depth.to_string(),
+                r.clifford_depth.to_string(),
+            ]);
+        }
+    }
+
+    println!();
+    println!("# Paper's asymptotic rows (Table 2):");
+    for row in table2_asymptotics() {
+        print_row(&row.map(String::from));
+    }
+}

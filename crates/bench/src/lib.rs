@@ -1,0 +1,189 @@
+//! Shared harness code for the table/figure regeneration binaries.
+//!
+//! Each binary under `src/bin/` regenerates one table or figure of the
+//! paper's evaluation (see DESIGN.md §3 for the experiment index):
+//!
+//! | binary | artifact |
+//! |---|---|
+//! | `table1` | Table 1 — optimization breakdown |
+//! | `table2` | Table 2 — architecture resource comparison |
+//! | `fig8`   | Fig. 8 — 2D mapping overhead, swap vs teleportation |
+//! | `fig9`   | Fig. 9 — fidelity vs architecture under X/Z noise |
+//! | `fig10`  | Fig. 10 — fidelity vs error-reduction factor |
+//! | `fig11`  | Fig. 11 — fidelity over the (m, k) grid |
+//! | `fig12`  | Fig. 12 / App. A — synthetic IBMQ device models |
+//! | `qec_table` | Eq. 7 — asymmetric surface-code prescription |
+//!
+//! Binaries print tab-separated rows to stdout so results can be piped
+//! into a plotting tool; `--full` switches from the quick default sweep
+//! to the paper-scale one; `--shots N` overrides the shot count.
+
+use qram_core::{Memory, QueryArchitecture};
+use qram_noise::{ErrorReductionFactor, FaultSampler, NoiseModel};
+use qram_sim::{monte_carlo_fidelity, monte_carlo_reduced_fidelity, FidelityEstimate};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Command-line options shared by every experiment binary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunOptions {
+    /// Paper-scale sweep instead of the quick default.
+    pub full: bool,
+    /// Monte-Carlo shots per data point (`None` = binary's default).
+    pub shots: Option<usize>,
+    /// RNG seed (default 2023, the paper's venue year).
+    pub seed: u64,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        RunOptions { full: false, shots: None, seed: 2023 }
+    }
+}
+
+impl RunOptions {
+    /// Parses `--full`, `--shots N` and `--seed N` from `std::env::args`.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a usage message on unknown flags or malformed values.
+    pub fn from_args() -> Self {
+        let mut opts = RunOptions::default();
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--full" => opts.full = true,
+                "--shots" => {
+                    let v = args.next().expect("--shots requires a value");
+                    opts.shots = Some(v.parse().expect("--shots expects an integer"));
+                }
+                "--seed" => {
+                    let v = args.next().expect("--seed requires a value");
+                    opts.seed = v.parse().expect("--seed expects an integer");
+                }
+                other => panic!("unknown flag `{other}` (expected --full, --shots N, --seed N)"),
+            }
+        }
+        opts
+    }
+
+    /// The shot count to use given a binary default.
+    pub fn shots_or(&self, default: usize) -> usize {
+        self.shots.unwrap_or(default)
+    }
+}
+
+/// Which fidelity notion an experiment uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FidelityKind {
+    /// Full-state overlap `|⟨ψ_ideal|ψ_shot⟩|²` (paper Sec. 5 definition).
+    Full,
+    /// Reduced to the address + bus registers (traces out the tree) —
+    /// the notion under which bucket brigade resists generic noise.
+    Reduced,
+}
+
+/// Runs the Monte-Carlo fidelity experiment for one architecture on one
+/// memory under one noise model.
+///
+/// # Panics
+///
+/// Panics if the simulation rejects the circuit (cannot happen for the
+/// generators in this workspace).
+pub fn architecture_fidelity(
+    arch: &dyn QueryArchitecture,
+    memory: &Memory,
+    model: NoiseModel,
+    kind: FidelityKind,
+    shots: usize,
+    seed: u64,
+) -> FidelityEstimate {
+    let query = arch.build(memory);
+    let input = query.input_state(None);
+    let mut sampler = FaultSampler::new(query.circuit(), model, StdRng::seed_from_u64(seed));
+    match kind {
+        FidelityKind::Full => {
+            monte_carlo_fidelity(query.circuit().gates(), &input, shots, |_| sampler.sample())
+                .expect("generated circuits are always simulable")
+        }
+        FidelityKind::Reduced => monte_carlo_reduced_fidelity(
+            query.circuit().gates(),
+            &input,
+            &query.output_qubits(),
+            shots,
+            |_| sampler.sample(),
+        )
+        .expect("generated circuits are always simulable"),
+    }
+}
+
+/// A deterministic pseudo-random memory for experiment reproducibility.
+pub fn experiment_memory(address_width: usize, seed: u64) -> Memory {
+    Memory::random(address_width, &mut StdRng::seed_from_u64(seed))
+}
+
+/// The εr sweep of Figs. 10 and 12 (log-spaced over 0.1 … 1000).
+pub fn default_er_sweep(full: bool) -> Vec<ErrorReductionFactor> {
+    if full {
+        ErrorReductionFactor::sweep(-1, 3, 2)
+    } else {
+        ErrorReductionFactor::sweep(-1, 3, 1)
+    }
+}
+
+/// Prints a tab-separated row.
+pub fn print_row(cells: &[String]) {
+    println!("{}", cells.join("\t"));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qram_core::VirtualQram;
+    use qram_noise::PauliChannel;
+
+    #[test]
+    fn noiseless_fidelity_is_one() {
+        let memory = experiment_memory(2, 1);
+        let est = architecture_fidelity(
+            &VirtualQram::new(0, 2),
+            &memory,
+            NoiseModel::noiseless(),
+            FidelityKind::Full,
+            8,
+            7,
+        );
+        assert!((est.mean - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noisy_fidelity_is_below_one_and_reduced_is_at_least_full() {
+        let memory = experiment_memory(3, 2);
+        let model = NoiseModel::per_gate(PauliChannel::depolarizing(0.01));
+        let full = architecture_fidelity(
+            &VirtualQram::new(0, 3),
+            &memory,
+            model,
+            FidelityKind::Full,
+            64,
+            3,
+        );
+        let reduced = architecture_fidelity(
+            &VirtualQram::new(0, 3),
+            &memory,
+            model,
+            FidelityKind::Reduced,
+            64,
+            3,
+        );
+        assert!(full.mean < 1.0);
+        // Tracing out ancillas can only help (same seed → same plans).
+        assert!(reduced.mean >= full.mean - 1e-9);
+    }
+
+    #[test]
+    fn sweep_sizes() {
+        assert_eq!(default_er_sweep(false).len(), 5);
+        assert_eq!(default_er_sweep(true).len(), 9);
+    }
+}

@@ -1,0 +1,201 @@
+//! Qubit identifiers and structured register allocation.
+
+/// A logical qubit identified by a dense index.
+///
+/// `Qubit` is a plain newtype over `u32`; circuits address qubits by index
+/// and the allocator hands out contiguous blocks. The public field keeps
+/// literal construction ergonomic in tests and examples (`Qubit(3)`).
+///
+/// ```
+/// use qram_circuit::Qubit;
+/// let q = Qubit(7);
+/// assert_eq!(q.index(), 7);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Qubit(pub u32);
+
+impl Qubit {
+    /// The dense index of this qubit.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for Qubit {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "q{}", self.0)
+    }
+}
+
+impl From<u32> for Qubit {
+    fn from(index: u32) -> Self {
+        Qubit(index)
+    }
+}
+
+/// A contiguous block of qubits with a role label.
+///
+/// QRAM circuits are built from many structurally distinct registers
+/// (address qubits, routers, wires, data nodes, bus, ...). A `Register`
+/// records the block and its human-readable role so that simulators,
+/// mappers and debug output can recover structure from a flat index space.
+///
+/// ```
+/// use qram_circuit::{QubitAllocator, Qubit};
+/// let mut alloc = QubitAllocator::new();
+/// let addr = alloc.register("address", 3);
+/// assert_eq!(addr.len(), 3);
+/// assert_eq!(addr.get(1), Qubit(1));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Register {
+    name: String,
+    start: u32,
+    len: u32,
+}
+
+impl Register {
+    /// Creates a register spanning `len` qubits starting at `start`.
+    pub fn new(name: impl Into<String>, start: u32, len: u32) -> Self {
+        Register { name: name.into(), start, len }
+    }
+
+    /// The role label given at allocation time.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of qubits in the register.
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Whether the register is empty (zero qubits).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The `i`-th qubit of the register.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    pub fn get(&self, i: usize) -> Qubit {
+        assert!(i < self.len as usize, "register index {i} out of range (len {})", self.len);
+        Qubit(self.start + i as u32)
+    }
+
+    /// Iterator over the qubits of the register in index order.
+    pub fn iter(&self) -> impl Iterator<Item = Qubit> + '_ {
+        (self.start..self.start + self.len).map(Qubit)
+    }
+
+    /// Whether `q` belongs to this register.
+    pub fn contains(&self, q: Qubit) -> bool {
+        q.0 >= self.start && q.0 < self.start + self.len
+    }
+}
+
+/// Hands out contiguous qubit index blocks and remembers their roles.
+///
+/// The allocator is append-only: registers are never freed. QRAM circuit
+/// generators allocate all structural registers up front, then build gates
+/// against them.
+#[derive(Debug, Clone, Default)]
+pub struct QubitAllocator {
+    next: u32,
+    registers: Vec<Register>,
+}
+
+impl QubitAllocator {
+    /// Creates an empty allocator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Allocates a named register of `len` qubits and returns it.
+    pub fn register(&mut self, name: impl Into<String>, len: usize) -> Register {
+        let reg = Register::new(name, self.next, len as u32);
+        self.next += len as u32;
+        self.registers.push(reg.clone());
+        reg
+    }
+
+    /// Allocates a single anonymous ancilla qubit.
+    pub fn ancilla(&mut self) -> Qubit {
+        self.register("ancilla", 1).get(0)
+    }
+
+    /// Total number of qubits allocated so far.
+    pub fn num_qubits(&self) -> usize {
+        self.next as usize
+    }
+
+    /// All registers allocated so far, in allocation order.
+    pub fn registers(&self) -> &[Register] {
+        &self.registers
+    }
+
+    /// Looks up the register containing `q`, if any.
+    pub fn register_of(&self, q: Qubit) -> Option<&Register> {
+        self.registers.iter().find(|r| r.contains(q))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registers_are_contiguous_and_disjoint() {
+        let mut alloc = QubitAllocator::new();
+        let a = alloc.register("a", 3);
+        let b = alloc.register("b", 2);
+        assert_eq!(a.iter().map(Qubit::index).collect::<Vec<_>>(), vec![0, 1, 2]);
+        assert_eq!(b.iter().map(Qubit::index).collect::<Vec<_>>(), vec![3, 4]);
+        assert_eq!(alloc.num_qubits(), 5);
+        assert!(a.contains(Qubit(2)));
+        assert!(!a.contains(Qubit(3)));
+    }
+
+    #[test]
+    fn register_of_finds_owner() {
+        let mut alloc = QubitAllocator::new();
+        alloc.register("addr", 4);
+        let data = alloc.register("data", 4);
+        assert_eq!(alloc.register_of(Qubit(5)).unwrap().name(), "data");
+        assert_eq!(alloc.register_of(Qubit(0)).unwrap().name(), "addr");
+        assert!(alloc.register_of(Qubit(99)).is_none());
+        assert_eq!(data.get(1), Qubit(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn register_get_bounds_checked() {
+        let r = Register::new("r", 0, 2);
+        let _ = r.get(2);
+    }
+
+    #[test]
+    fn empty_register() {
+        let r = Register::new("r", 5, 0);
+        assert!(r.is_empty());
+        assert_eq!(r.iter().count(), 0);
+    }
+
+    #[test]
+    fn ancilla_allocates_one() {
+        let mut alloc = QubitAllocator::new();
+        let q = alloc.ancilla();
+        assert_eq!(q, Qubit(0));
+        assert_eq!(alloc.num_qubits(), 1);
+    }
+
+    #[test]
+    fn qubit_display_and_from() {
+        assert_eq!(Qubit::from(4u32).to_string(), "q4");
+    }
+}

@@ -1,0 +1,193 @@
+//! Greedy as-soon-as-possible (ASAP) scheduling of circuits into layers.
+//!
+//! Depth accounting is central to the paper's claims: pipelined address
+//! loading is `O(m)` deep while the naive schedule is `O(m²)` (Sec. 3.2.3),
+//! and the select-swap baseline pays a quadratic depth penalty because its
+//! swap network cannot pipeline (Sec. 7.1). The ASAP scheduler extracts
+//! exactly this parallelism: two gates share a layer iff their qubit
+//! supports are disjoint and no earlier gate forces an ordering.
+//!
+//! [`Gate::Barrier`] forces all subsequent gates into strictly later layers,
+//! which is how generators model deliberately *unpipelined* circuits.
+
+use crate::{Circuit, Gate};
+
+/// The result of ASAP-scheduling a circuit: an assignment of every physical
+/// gate to a layer (a.k.a. moment), where all gates in a layer act on
+/// disjoint qubits.
+///
+/// ```
+/// use qram_circuit::{Circuit, Gate, Qubit};
+/// let mut c = Circuit::new(4);
+/// c.push(Gate::cx(Qubit(0), Qubit(1)));
+/// c.push(Gate::cx(Qubit(2), Qubit(3))); // disjoint — same layer
+/// c.push(Gate::cx(Qubit(1), Qubit(2))); // overlaps both — next layer
+/// let s = c.schedule();
+/// assert_eq!(s.depth(), 2);
+/// assert_eq!(s.layers()[0].len(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schedule {
+    layers: Vec<Vec<Gate>>,
+    num_qubits: usize,
+}
+
+impl Schedule {
+    /// Schedules `circuit` greedily: each gate lands in the earliest layer
+    /// after every other gate that shares one of its qubits (and after any
+    /// barrier seen so far).
+    pub fn asap(circuit: &Circuit) -> Schedule {
+        let num_qubits = circuit.num_qubits();
+        // busy[q] = first layer index at which qubit q is free.
+        let mut busy: Vec<usize> = vec![0; num_qubits];
+        let mut floor = 0usize; // barrier floor
+        let mut layers: Vec<Vec<Gate>> = Vec::new();
+
+        for gate in circuit.gates() {
+            if gate.is_barrier() {
+                floor = layers.len();
+                continue;
+            }
+            let qs = gate.qubits();
+            let layer = qs
+                .iter()
+                .map(|q| busy[q.index()])
+                .max()
+                .unwrap_or(floor)
+                .max(floor);
+            if layer >= layers.len() {
+                layers.resize_with(layer + 1, Vec::new);
+            }
+            layers[layer].push(gate.clone());
+            for q in qs {
+                busy[q.index()] = layer + 1;
+            }
+        }
+        Schedule { layers, num_qubits }
+    }
+
+    /// Number of layers — the circuit depth.
+    pub fn depth(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// The layers, in execution order; each layer's gates act on disjoint
+    /// qubits.
+    pub fn layers(&self) -> &[Vec<Gate>] {
+        &self.layers
+    }
+
+    /// Number of qubits of the underlying circuit.
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// Total number of scheduled gates.
+    pub fn num_gates(&self) -> usize {
+        self.layers.iter().map(Vec::len).sum()
+    }
+
+    /// The widest layer (maximum gate-level parallelism).
+    pub fn max_parallelism(&self) -> usize {
+        self.layers.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Verifies the disjoint-support invariant of every layer.
+    /// Used by tests and debug assertions.
+    pub fn is_valid(&self) -> bool {
+        for layer in &self.layers {
+            let mut seen = vec![false; self.num_qubits];
+            for gate in layer {
+                for q in gate.qubits() {
+                    if seen[q.index()] {
+                        return false;
+                    }
+                    seen[q.index()] = true;
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Qubit;
+
+    #[test]
+    fn disjoint_gates_share_a_layer() {
+        let mut c = Circuit::new(4);
+        c.push(Gate::x(Qubit(0)));
+        c.push(Gate::x(Qubit(1)));
+        c.push(Gate::x(Qubit(2)));
+        c.push(Gate::x(Qubit(3)));
+        let s = c.schedule();
+        assert_eq!(s.depth(), 1);
+        assert_eq!(s.max_parallelism(), 4);
+        assert!(s.is_valid());
+    }
+
+    #[test]
+    fn chained_gates_serialize() {
+        let mut c = Circuit::new(3);
+        c.push(Gate::cx(Qubit(0), Qubit(1)));
+        c.push(Gate::cx(Qubit(1), Qubit(2)));
+        c.push(Gate::cx(Qubit(2), Qubit(0)));
+        let s = c.schedule();
+        assert_eq!(s.depth(), 3);
+        assert!(s.is_valid());
+    }
+
+    #[test]
+    fn barrier_forces_new_layer() {
+        let mut c = Circuit::new(2);
+        c.push(Gate::x(Qubit(0)));
+        c.barrier();
+        c.push(Gate::x(Qubit(1))); // disjoint, but barrier splits layers
+        let s = c.schedule();
+        assert_eq!(s.depth(), 2);
+
+        let mut c2 = Circuit::new(2);
+        c2.push(Gate::x(Qubit(0)));
+        c2.push(Gate::x(Qubit(1)));
+        assert_eq!(c2.schedule().depth(), 1);
+    }
+
+    #[test]
+    fn pipelining_pattern_depth_is_linear() {
+        // Model of pipelined address loading: m "balls" each descending m
+        // levels of a ladder of qubits, launched one step apart. With ASAP
+        // scheduling the total depth is O(m), not O(m²).
+        let m = 8usize;
+        // ladder qubits 0..=m; ball i occupies rung j via swap(j, j+1).
+        let mut c = Circuit::new(m + 1);
+        for _ball in 0..m {
+            for rung in 0..m {
+                c.push(Gate::swap(Qubit(rung as u32), Qubit(rung as u32 + 1)));
+            }
+        }
+        let s = c.schedule();
+        // Swaps on rung pairs (j, j+1) conflict with neighbors, so the
+        // pipeline advances every 2 layers: depth ≈ 2m + (m-1) ≪ m².
+        assert!(s.depth() < m * m, "depth {} not sub-quadratic", s.depth());
+        assert!(s.depth() >= 2 * m - 1);
+        assert!(s.is_valid());
+    }
+
+    #[test]
+    fn empty_circuit_depth_zero() {
+        let c = Circuit::new(3);
+        assert_eq!(c.schedule().depth(), 0);
+        assert_eq!(c.schedule().num_gates(), 0);
+    }
+
+    #[test]
+    fn num_gates_matches_circuit() {
+        let mut c = Circuit::new(3);
+        c.push(Gate::ccx(Qubit(0), Qubit(1), Qubit(2)));
+        c.barrier();
+        c.push(Gate::x(Qubit(0)));
+        assert_eq!(c.schedule().num_gates(), 2);
+    }
+}

@@ -1,0 +1,353 @@
+//! The [`QueryArchitecture`] abstraction: anything that can compile a
+//! classical memory into a quantum-query circuit.
+
+use qram_circuit::resources::ResourceCount;
+use qram_circuit::{Circuit, Qubit, QubitAllocator, Register};
+use qram_sim::{run, Amplitude, BitString, PathState, SimError};
+
+use crate::Memory;
+
+/// A compiled quantum query: the circuit plus the registers that give its
+/// flat qubit space meaning.
+///
+/// Contract (Eq. 2 of the paper): running [`QueryCircuit::circuit`] on
+/// `Σᵢ αᵢ|i⟩_address ⊗ |0⟩_everything-else` must produce
+/// `Σᵢ αᵢ|i⟩_address |xᵢ⟩_bus` with every other qubit returned to `|0⟩`.
+/// [`QueryCircuit::verify`] checks exactly this.
+#[derive(Debug, Clone)]
+pub struct QueryCircuit {
+    circuit: Circuit,
+    address: Register,
+    bus: Register,
+    allocator: QubitAllocator,
+}
+
+impl QueryCircuit {
+    /// Assembles a query circuit from its parts. Generators call this;
+    /// users receive it from [`QueryArchitecture::build`].
+    pub fn new(
+        circuit: Circuit,
+        address: Register,
+        bus: Register,
+        allocator: QubitAllocator,
+    ) -> Self {
+        assert_eq!(
+            circuit.num_qubits(),
+            allocator.num_qubits(),
+            "circuit width disagrees with allocator"
+        );
+        assert_eq!(bus.len(), 1, "bus register must hold exactly one qubit");
+        QueryCircuit { circuit, address, bus, allocator }
+    }
+
+    /// The gate sequence.
+    pub fn circuit(&self) -> &Circuit {
+        &self.circuit
+    }
+
+    /// The `n`-qubit address register, most significant bit first.
+    pub fn address(&self) -> &Register {
+        &self.address
+    }
+
+    /// The bus qubit that receives `xᵢ`.
+    pub fn bus(&self) -> Qubit {
+        self.bus.get(0)
+    }
+
+    /// Total qubit count.
+    pub fn num_qubits(&self) -> usize {
+        self.circuit.num_qubits()
+    }
+
+    /// All structural registers (address, bus, routers, wires, …).
+    pub fn registers(&self) -> &[Register] {
+        self.allocator.registers()
+    }
+
+    /// Address qubits followed by the bus qubit — the registers that carry
+    /// the query's logical output (what reduced fidelity keeps).
+    pub fn output_qubits(&self) -> Vec<Qubit> {
+        let mut qs: Vec<Qubit> = self.address.iter().collect();
+        qs.push(self.bus());
+        qs
+    }
+
+    /// Fault-tolerant resource count of the circuit.
+    pub fn resources(&self) -> ResourceCount {
+        ResourceCount::of(&self.circuit)
+    }
+
+    /// The canonical query input for this circuit: `Σᵢ αᵢ|i⟩` over the
+    /// address register, everything else `|0⟩`. `None` = uniform
+    /// superposition over all `2^n` addresses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more amplitudes are supplied than addresses exist.
+    pub fn input_state(&self, amplitudes: Option<&[Amplitude]>) -> PathState {
+        let addr: Vec<Qubit> = self.address.iter().collect();
+        match amplitudes {
+            None => PathState::uniform_over(self.num_qubits(), &addr),
+            Some(amps) => PathState::superposition_over(self.num_qubits(), &addr, amps),
+        }
+    }
+
+    /// The ideal query output for `memory` given input amplitudes:
+    /// `Σᵢ αᵢ|i⟩|xᵢ⟩`, ancillas `|0⟩`.
+    pub fn ideal_output(&self, memory: &Memory, amplitudes: Option<&[Amplitude]>) -> PathState {
+        let n = self.address.len();
+        let addr_idx: Vec<usize> = self.address.iter().map(|q| q.index()).collect();
+        let bus_idx = self.bus().index();
+        let uniform = Amplitude::real(1.0 / ((1u64 << n) as f64).sqrt());
+        let entries = (0..(1u64 << n)).filter_map(|i| {
+            let amp = match amplitudes {
+                None => uniform,
+                Some(amps) => amps.get(i as usize).copied().unwrap_or(Amplitude::ZERO),
+            };
+            if amp.is_negligible(1e-14) {
+                return None;
+            }
+            let mut bits = BitString::zeros(self.num_qubits());
+            bits.write_msb_first(&addr_idx, i);
+            bits.set(bus_idx, memory.get(i as usize));
+            Some((bits, amp))
+        });
+        PathState::from_parts(self.num_qubits(), entries)
+    }
+
+    /// Runs the query on a single classical `address` and returns the bus
+    /// readout.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator errors; additionally fails with
+    /// [`QueryError::GarbageLeft`] if ancillas did not return to `|0⟩` or
+    /// the bus ended in superposition.
+    pub fn query_classical(&self, address: u64) -> Result<bool, QueryError> {
+        let n = self.address.len();
+        assert!(address < (1u64 << n), "address {address} out of range");
+        let mut amps = vec![Amplitude::ZERO; address as usize + 1];
+        amps[address as usize] = Amplitude::ONE;
+        let mut state = self.input_state(Some(&amps));
+        run(self.circuit.gates(), &mut state)?;
+        let bus = state
+            .classical_value(&[self.bus()])
+            .ok_or(QueryError::GarbageLeft)?;
+        // Every non-address, non-bus qubit must be |0⟩.
+        let work: Vec<Qubit> = (0..self.num_qubits() as u32)
+            .map(Qubit)
+            .filter(|q| !self.address.contains(*q) && *q != self.bus())
+            .collect();
+        if state.is_zero_on(&work) {
+            Ok(bus == 1)
+        } else {
+            Err(QueryError::GarbageLeft)
+        }
+    }
+
+    /// Verifies the Eq. 2 contract on the uniform superposition: the
+    /// circuit output must match [`QueryCircuit::ideal_output`] to within
+    /// `1 − 10⁻⁹` fidelity.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QueryError::WrongOutput`] with the measured fidelity on
+    /// mismatch.
+    pub fn verify(&self, memory: &Memory) -> Result<(), QueryError> {
+        let mut state = self.input_state(None);
+        run(self.circuit.gates(), &mut state)?;
+        let ideal = self.ideal_output(memory, None);
+        let fidelity = ideal.fidelity(&state);
+        if (fidelity - 1.0).abs() < 1e-9 {
+            Ok(())
+        } else {
+            Err(QueryError::WrongOutput { fidelity })
+        }
+    }
+}
+
+/// Errors produced when executing or verifying a query.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryError {
+    /// The simulator rejected the circuit.
+    Sim(SimError),
+    /// Ancilla qubits did not return to `|0⟩` (or the bus ended
+    /// entangled) after a classical-address query.
+    GarbageLeft,
+    /// The superposition output mismatched the ideal output.
+    WrongOutput {
+        /// Measured fidelity against the ideal output.
+        fidelity: f64,
+    },
+}
+
+impl From<SimError> for QueryError {
+    fn from(e: SimError) -> Self {
+        QueryError::Sim(e)
+    }
+}
+
+impl std::fmt::Display for QueryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QueryError::Sim(e) => write!(f, "simulation failed: {e}"),
+            QueryError::GarbageLeft => {
+                write!(f, "query left garbage in ancilla or bus registers")
+            }
+            QueryError::WrongOutput { fidelity } => {
+                write!(f, "query output mismatched ideal state (fidelity {fidelity:.6})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for QueryError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            QueryError::Sim(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+/// A quantum-query architecture: a recipe turning classical memory into a
+/// [`QueryCircuit`].
+///
+/// Implementations in this crate: [`crate::Sqc`] (gate-based QROM),
+/// [`crate::FanoutQram`], [`crate::BucketBrigadeQram`] (router-based
+/// baselines), [`crate::SelectSwapQram`], and the paper's contribution,
+/// [`crate::VirtualQram`].
+pub trait QueryArchitecture {
+    /// Human-readable architecture name (e.g. `"virtual(k=2,m=4)"`).
+    fn name(&self) -> String;
+
+    /// Total address width `n` the architecture serves.
+    fn address_width(&self) -> usize;
+
+    /// Compiles a query circuit for `memory`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `memory.address_width() != self.address_width()`.
+    fn build(&self, memory: &Memory) -> QueryCircuit;
+}
+
+/// Shared generator helper: allocate the (address, bus) interface
+/// registers every architecture starts from.
+pub(crate) fn interface_registers(
+    alloc: &mut QubitAllocator,
+    n: usize,
+) -> (Register, Register) {
+    let address = alloc.register("address", n);
+    let bus = alloc.register("bus", 1);
+    (address, bus)
+}
+
+/// Reads a full `w`-bit word from a [`crate::WideMemory`] by querying one
+/// bit-plane at a time through `arch` — the paper's Sec. 8 generalized
+/// data width, realized exactly as it describes: "repeatedly querying
+/// memory cells one bit at a time".
+///
+/// # Errors
+///
+/// Propagates the first per-plane [`QueryError`].
+///
+/// # Panics
+///
+/// Panics if `arch`'s address width disagrees with the memory's or
+/// `address` is out of range.
+///
+/// ```
+/// use qram_core::{query_word, VirtualQram, WideMemory};
+/// let memory = WideMemory::from_words(3, &[5, 2, 7, 0]);
+/// let word = query_word(&VirtualQram::new(1, 1), &memory, 2)?;
+/// assert_eq!(word, 7);
+/// # Ok::<(), qram_core::QueryError>(())
+/// ```
+pub fn query_word(
+    arch: &dyn QueryArchitecture,
+    memory: &crate::WideMemory,
+    address: u64,
+) -> Result<u64, QueryError> {
+    assert_eq!(
+        arch.address_width(),
+        memory.address_width(),
+        "architecture/memory address width mismatch"
+    );
+    let mut word = 0u64;
+    for bit in 0..memory.data_width() {
+        let query = arch.build(memory.plane(bit));
+        if query.query_classical(address)? {
+            word |= 1 << bit;
+        }
+    }
+    Ok(word)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qram_circuit::Gate;
+
+    /// A toy 1-bit architecture: bus ^= address (memory [0, 1] identity).
+    struct IdentityArch;
+
+    impl QueryArchitecture for IdentityArch {
+        fn name(&self) -> String {
+            "identity".into()
+        }
+        fn address_width(&self) -> usize {
+            1
+        }
+        fn build(&self, memory: &Memory) -> QueryCircuit {
+            assert_eq!(memory.address_width(), 1);
+            let mut alloc = QubitAllocator::new();
+            let (address, bus) = interface_registers(&mut alloc, 1);
+            let mut circuit = Circuit::new(alloc.num_qubits());
+            // memory [x0, x1]: bus = x0·(1−a) + x1·a.
+            if memory.get(0) {
+                circuit.push(Gate::cx0(address.get(0), bus.get(0)));
+            }
+            if memory.get(1) {
+                circuit.push(Gate::cx(address.get(0), bus.get(0)));
+            }
+            QueryCircuit::new(circuit, address, bus, alloc)
+        }
+    }
+
+    #[test]
+    fn identity_arch_passes_verification() {
+        for bits in [[false, false], [false, true], [true, false], [true, true]] {
+            let memory = Memory::from_bits(bits);
+            let qc = IdentityArch.build(&memory);
+            qc.verify(&memory).unwrap();
+        }
+    }
+
+    #[test]
+    fn classical_queries_read_single_cells() {
+        let memory = Memory::from_bits([true, false]);
+        let qc = IdentityArch.build(&memory);
+        assert!(qc.query_classical(0).unwrap());
+        assert!(!qc.query_classical(1).unwrap());
+    }
+
+    #[test]
+    fn verify_detects_wrong_circuits() {
+        let memory = Memory::from_bits([false, true]);
+        let wrong = Memory::from_bits([true, false]);
+        let qc = IdentityArch.build(&wrong);
+        let err = qc.verify(&memory).unwrap_err();
+        assert!(matches!(err, QueryError::WrongOutput { .. }));
+    }
+
+    #[test]
+    fn output_qubits_are_address_then_bus() {
+        let memory = Memory::from_bits([false, true]);
+        let qc = IdentityArch.build(&memory);
+        let out = qc.output_qubits();
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[1], qc.bus());
+    }
+}

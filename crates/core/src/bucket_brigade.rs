@@ -1,0 +1,215 @@
+//! Bucket-brigade QRAM with dual-rail bus routing — baseline **BB**, and
+//! with an SQC prefix the paper's load-multiple-times **Baseline B**
+//! (Secs. 2.3.2 and 6.1).
+//!
+//! Address loading routes the address qubits into the tree with CSWAPs
+//! (W-state-like router occupation, the property that gives bucket
+//! brigade its noise resilience). Data retrieval physically routes a
+//! **dual-rail bus** down to the leaves and back: the bus travels as a
+//! two-qubit codeword (`|10⟩ = 0`, `|01⟩ = 1`, `|00⟩` = no bus), so the
+//! classically-controlled `ClSwap` write at the leaves acts only where
+//! the bus is actually present — vacuum is invariant (Fig. 5d). Errors on
+//! any tree component therefore stay confined to the subtree below it
+//! for X as well as Z faults, which is why Fig. 9 shows BB as the only
+//! architecture with polynomial fidelity decay under *both* channels.
+//!
+//! The cost: with SQC width `k`, the `m` address qubits are loaded and
+//! unloaded once per page — `2^k` times per query — which is exactly the
+//! exponential T-count/T-depth overhead the virtual QRAM's load-once
+//! property removes (Table 2).
+
+use qram_circuit::{Circuit, Gate, QubitAllocator, Register};
+
+use crate::architecture::interface_registers;
+use crate::tree::{page_select_copy, RouterTree};
+use crate::{Memory, QueryArchitecture, QueryCircuit};
+
+/// Bucket-brigade QRAM over `m` tree bits with an SQC prefix of `k` bits
+/// (`k = 0` = the plain BB baseline).
+///
+/// ```
+/// use qram_core::{BucketBrigadeQram, Memory, QueryArchitecture};
+/// let memory = Memory::from_bits([true, false, true, true]);
+/// let query = BucketBrigadeQram::new(0, 2).build(&memory);
+/// query.verify(&memory).unwrap();
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BucketBrigadeQram {
+    k: usize,
+    m: usize,
+}
+
+impl BucketBrigadeQram {
+    /// A bucket-brigade QRAM with SQC width `k` and tree width `m`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m == 0`.
+    pub fn new(k: usize, m: usize) -> Self {
+        assert!(m >= 1, "tree width m must be at least 1");
+        BucketBrigadeQram { k, m }
+    }
+
+    /// SQC width `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Tree width `m`.
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Routes the dual-rail bus one full descent (root → leaves).
+    fn descend(&self, circuit: &mut Circuit, rail0: &RouterTree, rail1: &RouterTree) {
+        for v in 0..self.m {
+            rail0.route_hop(circuit, v);
+            rail1.route_hop(circuit, v);
+        }
+    }
+
+    /// Exact inverse of [`BucketBrigadeQram::descend`].
+    fn ascend(&self, circuit: &mut Circuit, rail0: &RouterTree, rail1: &RouterTree) {
+        for v in (0..self.m).rev() {
+            rail1.route_hop_inverse(circuit, v);
+            rail0.route_hop_inverse(circuit, v);
+        }
+    }
+
+    /// The classically-controlled dual-rail write layer for one page.
+    fn write_layer(
+        &self,
+        circuit: &mut Circuit,
+        rail0: &RouterTree,
+        rail1: &RouterTree,
+        page: &[bool],
+    ) {
+        for (l, &bit) in page.iter().enumerate() {
+            if bit {
+                circuit.push(Gate::ClSwap(rail0.flag(l), rail1.flag(l)));
+            }
+        }
+    }
+}
+
+impl QueryArchitecture for BucketBrigadeQram {
+    fn name(&self) -> String {
+        if self.k == 0 {
+            format!("bucket-brigade(m={})", self.m)
+        } else {
+            format!("sqc+bb(k={},m={})", self.k, self.m)
+        }
+    }
+
+    fn address_width(&self) -> usize {
+        self.k + self.m
+    }
+
+    fn build(&self, memory: &Memory) -> QueryCircuit {
+        assert_eq!(
+            memory.address_width(),
+            self.address_width(),
+            "memory address width mismatch"
+        );
+        let (k, m) = (self.k, self.m);
+        let mut alloc = QubitAllocator::new();
+        let (address, bus) = interface_registers(&mut alloc, k + m);
+        let addr_k = Register::new("addr_k", 0, k as u32);
+        let addr_m = Register::new("addr_m", k as u32, m as u32);
+
+        // rail0 owns the canonical tree (routers + wire0 + leaf0); rail1
+        // adds the second rail of the dual-rail encoding.
+        let rail0 = RouterTree::allocate(&mut alloc, m);
+        let wire1 = alloc.register("wires_rail1", (1 << m) - 1);
+        let leaf1 = alloc.register("leaves_rail1", 1 << m);
+        let rail1 = {
+            let view = rail0.with_wires(wire1);
+            view.with_flags(leaf1)
+        };
+
+        let mut circuit = Circuit::new(alloc.num_qubits());
+        let pages = memory.num_pages(m);
+
+        // Load-multiple-times: the full loading/retrieval/unloading cycle
+        // repeats per page (Baseline B's deficiency, Sec. 7.1).
+        for p in 0..pages {
+            rail0.load_address(&mut circuit, &addr_m, true);
+            // Inject the dual-rail bus |10⟩ ("value 0") at the root.
+            circuit.push(Gate::x(rail0.root_in()));
+            self.descend(&mut circuit, &rail0, &rail1);
+            self.write_layer(&mut circuit, &rail0, &rail1, memory.page(m, p));
+            self.ascend(&mut circuit, &rail0, &rail1);
+            // The bus codeword is back at the root; its 1-rail holds xᵢ.
+            page_select_copy(&mut circuit, &addr_k, p as u64, rail1.root_in(), bus.get(0));
+            // Return the bus to the leaves, unwrite, bring it home, eject.
+            self.descend(&mut circuit, &rail0, &rail1);
+            self.write_layer(&mut circuit, &rail0, &rail1, memory.page(m, p));
+            self.ascend(&mut circuit, &rail0, &rail1);
+            circuit.push(Gate::x(rail0.root_in()));
+            rail0.unload_address(&mut circuit, &addr_m, true);
+        }
+
+        QueryCircuit::new(circuit, address, bus, alloc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn random_memory(n: usize, seed: u64) -> Memory {
+        Memory::random(n, &mut StdRng::seed_from_u64(seed))
+    }
+
+    #[test]
+    fn plain_bb_verifies() {
+        for m in 1..=4 {
+            let memory = random_memory(m, m as u64 + 60);
+            BucketBrigadeQram::new(0, m)
+                .build(&memory)
+                .verify(&memory)
+                .unwrap_or_else(|e| panic!("m={m}: {e}"));
+        }
+    }
+
+    #[test]
+    fn sqc_bb_hybrid_verifies() {
+        for (k, m) in [(1, 1), (1, 2), (2, 1), (2, 2)] {
+            let memory = random_memory(k + m, (k * 7 + m) as u64);
+            BucketBrigadeQram::new(k, m)
+                .build(&memory)
+                .verify(&memory)
+                .unwrap_or_else(|e| panic!("k={k} m={m}: {e}"));
+        }
+    }
+
+    #[test]
+    fn classical_queries_match_memory() {
+        let memory = random_memory(3, 8);
+        let query = BucketBrigadeQram::new(1, 2).build(&memory);
+        for address in 0..8 {
+            assert_eq!(
+                query.query_classical(address).unwrap(),
+                memory.get(address as usize)
+            );
+        }
+    }
+
+    #[test]
+    fn loading_repeats_per_page() {
+        // Load-multiple-times: CSWAP count scales with 2^k.
+        let m = 2;
+        let q1 = BucketBrigadeQram::new(1, m).build(&Memory::ones(m + 1));
+        let q3 = BucketBrigadeQram::new(3, m).build(&Memory::ones(m + 3));
+        let c1 = q1.circuit().gate_census()["cswap"];
+        let c3 = q3.circuit().gate_census()["cswap"];
+        assert_eq!(c3, 4 * c1, "2^3 pages vs 2^1 pages");
+    }
+
+    #[test]
+    fn name_distinguishes_plain_and_hybrid() {
+        assert_eq!(BucketBrigadeQram::new(0, 3).name(), "bucket-brigade(m=3)");
+        assert_eq!(BucketBrigadeQram::new(2, 3).name(), "sqc+bb(k=2,m=3)");
+    }
+}

@@ -1,0 +1,174 @@
+//! Fanout QRAM — the first `O(log N)`-latency router architecture
+//! (Sec. 2.3.2), kept as a baseline because its GHZ-like address loading
+//! is the negative example motivating bucket brigade.
+
+use qram_circuit::{Circuit, Gate, QubitAllocator, Register};
+
+use crate::architecture::interface_registers;
+use crate::tree::{page_select_copy, RouterTree};
+use crate::{Memory, QueryArchitecture, QueryCircuit};
+
+/// Fanout QRAM over `m` address bits: address loading broadcasts the
+/// `u`-th address bit to **all** `2^u` routers of level `u` with CX gates,
+/// preparing a GHZ-like state across each level; retrieval then proceeds
+/// exactly as in the other router architectures (flag ball + CX
+/// compression).
+///
+/// The broadcast is the architecture's flaw: every router of a level
+/// carries the same address bit, so a single Z error *anywhere* in a
+/// level dephases the whole superposition — there is no noise locality to
+/// exploit (Sec. 2.3.2's "decoherence problems due to the high
+/// entanglement of GHZ states").
+///
+/// ```
+/// use qram_core::{FanoutQram, Memory, QueryArchitecture};
+/// let memory = Memory::from_bits([true, false, true, true]);
+/// let query = FanoutQram::new(2).build(&memory);
+/// query.verify(&memory).unwrap();
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FanoutQram {
+    m: usize,
+}
+
+impl FanoutQram {
+    /// A fanout QRAM over `m` address bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m == 0`.
+    pub fn new(m: usize) -> Self {
+        assert!(m >= 1, "address width must be at least 1");
+        FanoutQram { m }
+    }
+
+    fn broadcast(&self, circuit: &mut Circuit, tree: &RouterTree, addr: &Register) {
+        for u in 0..self.m {
+            for w in (1 << u)..(1 << (u + 1)) {
+                circuit.push(Gate::cx(addr.get(u), tree.router(w)));
+            }
+        }
+    }
+
+    fn unbroadcast(&self, circuit: &mut Circuit, tree: &RouterTree, addr: &Register) {
+        for u in (0..self.m).rev() {
+            for w in ((1 << u)..(1 << (u + 1))).rev() {
+                circuit.push(Gate::cx(addr.get(u), tree.router(w)));
+            }
+        }
+    }
+}
+
+impl QueryArchitecture for FanoutQram {
+    fn name(&self) -> String {
+        format!("fanout(m={})", self.m)
+    }
+
+    fn address_width(&self) -> usize {
+        self.m
+    }
+
+    fn build(&self, memory: &Memory) -> QueryCircuit {
+        assert_eq!(memory.address_width(), self.m, "memory address width mismatch");
+        let m = self.m;
+        let mut alloc = QubitAllocator::new();
+        let (address, bus) = interface_registers(&mut alloc, m);
+        let tree = RouterTree::allocate(&mut alloc, m);
+        let leaf_rails = alloc.register("leaf_rails", 1 << m);
+        let mut circuit = Circuit::new(alloc.num_qubits());
+
+        // GHZ-style address loading.
+        self.broadcast(&mut circuit, &tree, &address);
+        // Retrieval: identical machinery to bucket brigade — flag ball,
+        // classically-controlled writes, CX compression to the root.
+        tree.prepare_flags(&mut circuit);
+        for l in 0..memory.len() {
+            if memory.get(l) {
+                circuit.push(Gate::clcx(tree.flag(l), leaf_rails.get(l)));
+            }
+        }
+        for l in 0..memory.len() {
+            circuit.push(Gate::cx(leaf_rails.get(l), tree.wire(tree.leaf_parent(l))));
+        }
+        for v in (0..m.saturating_sub(1)).rev() {
+            for w in (1 << v)..(1 << (v + 1)) {
+                circuit.push(Gate::cx(tree.wire(2 * w), tree.wire(w)));
+                circuit.push(Gate::cx(tree.wire(2 * w + 1), tree.wire(w)));
+            }
+        }
+        let empty = Register::new("none", 0, 0);
+        page_select_copy(&mut circuit, &empty, 0, tree.wire(1), bus.get(0));
+        // Uncompute everything.
+        for v in 0..m.saturating_sub(1) {
+            for w in ((1 << v)..(1 << (v + 1))).rev() {
+                circuit.push(Gate::cx(tree.wire(2 * w + 1), tree.wire(w)));
+                circuit.push(Gate::cx(tree.wire(2 * w), tree.wire(w)));
+            }
+        }
+        for l in (0..memory.len()).rev() {
+            circuit.push(Gate::cx(leaf_rails.get(l), tree.wire(tree.leaf_parent(l))));
+        }
+        for l in (0..memory.len()).rev() {
+            if memory.get(l) {
+                circuit.push(Gate::clcx(tree.flag(l), leaf_rails.get(l)));
+            }
+        }
+        tree.unprepare_flags(&mut circuit);
+        self.unbroadcast(&mut circuit, &tree, &address);
+
+        QueryCircuit::new(circuit, address, bus, alloc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn verifies_on_random_memories() {
+        for m in 1..=4 {
+            let memory = Memory::random(m, &mut StdRng::seed_from_u64(m as u64 + 40));
+            FanoutQram::new(m)
+                .build(&memory)
+                .verify(&memory)
+                .unwrap_or_else(|e| panic!("m={m}: {e}"));
+        }
+    }
+
+    #[test]
+    fn loading_depth_is_constant_per_level_with_fanout_gates() {
+        // CX broadcast serializes on each address qubit: level u costs
+        // 2^u layers. (The physical fanout gate would make this O(1); the
+        // CX decomposition keeps the GHZ structure, which is what matters
+        // for the noise comparison.)
+        let memory = Memory::ones(3);
+        let query = FanoutQram::new(3).build(&memory);
+        query.verify(&memory).unwrap();
+    }
+
+    #[test]
+    fn routers_hold_ghz_copies_of_address_bits() {
+        use qram_sim::{run, PathState};
+        let memory = Memory::zeroed(2);
+        let qram = FanoutQram::new(2);
+        let query = qram.build(&memory);
+
+        // Build only the broadcast part to inspect the state.
+        let mut alloc = QubitAllocator::new();
+        let (address, _bus) = interface_registers(&mut alloc, 2);
+        let tree = RouterTree::allocate(&mut alloc, 2);
+        let mut circuit = Circuit::new(alloc.num_qubits());
+        qram.broadcast(&mut circuit, &tree, &address);
+
+        let mut state = PathState::computational_basis(alloc.num_qubits());
+        state.apply_x(address.get(0)); // a0 = 1
+        run(circuit.gates(), &mut state).unwrap();
+        // Both level-1 routers hold a copy of... level 0 router = a0 = 1.
+        assert!(state.probability_of_one(tree.router(1)) > 0.999);
+        // Level-1 routers copy a1 = 0.
+        assert!(state.probability_of_one(tree.router(2)) < 1e-9);
+        assert!(state.probability_of_one(tree.router(3)) < 1e-9);
+        let _ = query;
+    }
+}

@@ -1,0 +1,60 @@
+//! QRAM query architectures: the MICRO '23 virtual QRAM and every
+//! baseline it is evaluated against.
+//!
+//! This crate is the paper's contribution layer. It compiles classical
+//! memory contents into quantum-query circuits
+//! (`Σᵢ αᵢ|i⟩|0⟩ → Σᵢ αᵢ|i⟩|xᵢ⟩`, Eq. 2) under five architectures:
+//!
+//! | Architecture | Kind | Paper role |
+//! |---|---|---|
+//! | [`Sqc`] | gate-based (QROM) | Sec. 2.3.1 baseline; the `k`-bit stage of every hybrid |
+//! | [`FanoutQram`] | router-based | Sec. 2.3.2 negative example (GHZ-fragile) |
+//! | [`BucketBrigadeQram`] | router-based | baseline **BB** / load-multiple-times **Baseline B** |
+//! | [`SelectSwapQram`] | hybrid | baseline **SS** / **Baseline S** |
+//! | [`VirtualQram`] | hybrid router | **the contribution** (Sec. 3, Algorithm 1) |
+//!
+//! All five implement [`QueryArchitecture`] and produce a
+//! [`QueryCircuit`] whose correctness is machine-checkable
+//! ([`QueryCircuit::verify`]) against the [`Memory`] it was compiled
+//! from. [`VirtualQram`] exposes the paper's three key optimizations as
+//! independent switches ([`Optimizations`]) and both data encodings
+//! ([`DataEncoding`]), so the Table 1 ablation is a first-class API.
+//! [`VirtualQramModel`] provides the matching closed-form resource
+//! formulas, pinned to the generated circuits by tests.
+//!
+//! # Example
+//!
+//! ```
+//! use qram_core::{Memory, QueryArchitecture, VirtualQram};
+//!
+//! // A 16-cell memory served by a 4-leaf physical QRAM (4 pages).
+//! let memory = Memory::from_bits((0..16).map(|i| i % 5 == 0));
+//! let query = VirtualQram::new(2, 2).build(&memory);
+//! query.verify(&memory)?;
+//! assert!(query.query_classical(10)?.eq(&memory.get(10)));
+//! # Ok::<(), qram_core::QueryError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod architecture;
+mod bucket_brigade;
+mod fanout;
+mod memory;
+mod resource_model;
+mod select_swap;
+mod sqc;
+mod tree;
+mod virtual_qram;
+mod wide;
+
+pub use architecture::{query_word, QueryArchitecture, QueryCircuit, QueryError};
+pub use bucket_brigade::BucketBrigadeQram;
+pub use fanout::FanoutQram;
+pub use memory::{Memory, WideMemory};
+pub use resource_model::{table2_asymptotics, VirtualQramModel};
+pub use select_swap::SelectSwapQram;
+pub use sqc::Sqc;
+pub use virtual_qram::{DataEncoding, Optimizations, VirtualQram};
+pub use wide::{WideQueryCircuit, WideVirtualQram};

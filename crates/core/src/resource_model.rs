@@ -1,0 +1,217 @@
+//! Closed-form resource formulas for the virtual QRAM (Tables 1 and 2).
+//!
+//! Every formula here describes *this repository's concrete circuits* and
+//! is pinned by tests against the measured [`ResourceCount`] of generated
+//! circuits — the formulas are exact, not asymptotic. Where the paper
+//! reports slightly different constants (its Table 1 counts a dual-rail
+//! variant of the un-recycled layout), the *savings* are the same:
+//! OPT1 removes `Θ(2^m)` qubits, OPT2 halves the expected
+//! classically-controlled gate count, OPT3 turns `O(m²)` loading depth
+//! into `O(m)`.
+//!
+//! [`ResourceCount`]: qram_circuit::resources::ResourceCount
+
+use crate::{Memory, Optimizations};
+
+/// Closed-form resource model of a [`crate::VirtualQram`] instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VirtualQramModel {
+    /// SQC width.
+    pub k: usize,
+    /// QRAM width.
+    pub m: usize,
+    /// Optimization set.
+    pub opts: Optimizations,
+}
+
+impl VirtualQramModel {
+    /// Model for the given shape and optimization set.
+    pub fn new(k: usize, m: usize, opts: Optimizations) -> Self {
+        VirtualQramModel { k, m, opts }
+    }
+
+    /// Exact qubit count of the generated circuit:
+    /// interface `n + 1` plus routers, wires and flags
+    /// (`3·2^m − 2`), leaf rails (`2^m`), and — without OPT1 — a
+    /// dedicated prep-ball network and internal rails (`2·(2^m − 1)`).
+    ///
+    /// `≈ 4·2^m` with recycling, `≈ 6·2^m` without: Table 1's qubit row.
+    pub fn qubits(&self) -> usize {
+        let m2 = 1usize << self.m;
+        let base = (self.k + self.m + 1) + (2 * m2 - 2) + m2 + m2;
+        if self.opts.recycle_qubits {
+            base
+        } else {
+            base + 2 * (m2 - 1)
+        }
+    }
+
+    /// Exact CSWAP count: address loading + unloading
+    /// (`2·(2^(m+1) − 2m − 2)`) plus flag preparation + removal
+    /// (`2·(2^(m+1) − 2)`). Loading happens **once** regardless of `k` —
+    /// the load-once property.
+    pub fn cswap_count(&self) -> usize {
+        let m = self.m as u32;
+        let loading = 2 * ((1usize << (m + 1)) - 2 * self.m - 2);
+        let flagging = 2 * ((1usize << (m + 1)) - 2);
+        loading + flagging
+    }
+
+    /// Exact SWAP count of loading + unloading: `2·(m + 2^m − 1)`.
+    pub fn swap_count(&self) -> usize {
+        2 * (self.m + (1 << self.m) - 1)
+    }
+
+    /// Exact compression-CX count: `2·2^k` arrays of `2^(m+1) − 2` gates.
+    pub fn compression_cx_count(&self) -> usize {
+        2 * (1 << self.k) * ((1 << (self.m + 1)) - 2)
+    }
+
+    /// Exact page-select gate count: one MCX (or CX when `k = 0`) per
+    /// page.
+    pub fn page_select_count(&self) -> usize {
+        1 << self.k
+    }
+
+    /// Exact classically-controlled gate count for `memory`: eager
+    /// loading writes and unwrites every page
+    /// (`2·popcount(memory)`); lazy swapping (OPT2) writes the first
+    /// page, XOR deltas between consecutive pages, and one final unwrite
+    /// of the last page — half the count in expectation over uniform
+    /// random data (Table 1's last row).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the memory shape disagrees with `(k, m)`.
+    pub fn classically_controlled(&self, memory: &Memory) -> usize {
+        assert_eq!(memory.address_width(), self.k + self.m, "memory shape mismatch");
+        let pages = memory.num_pages(self.m);
+        if self.opts.lazy_swapping {
+            let first: usize =
+                memory.page(self.m, 0).iter().filter(|&&b| b).count();
+            let deltas: usize = (0..pages - 1)
+                .map(|p| memory.page_delta(self.m, p).iter().filter(|&&b| b).count())
+                .sum();
+            let last: usize =
+                memory.page(self.m, pages - 1).iter().filter(|&&b| b).count();
+            first + deltas + last
+        } else {
+            2 * memory.count_ones()
+        }
+    }
+
+    /// Total gate count for `memory` (sum of the per-family formulas).
+    pub fn total_gates(&self, memory: &Memory) -> usize {
+        // 2 X gates inject/remove the flag ball.
+        self.cswap_count()
+            + self.swap_count()
+            + self.compression_cx_count()
+            + self.page_select_count()
+            + self.classically_controlled(memory)
+            + 2
+    }
+}
+
+/// The asymptotic rows of Table 2, as printable strings, for the
+/// architecture-comparison harness.
+pub fn table2_asymptotics() -> [[&'static str; 4]; 6] {
+    [
+        ["metric", "SQC+BB", "SQC+SS", "our QRAM"],
+        ["qubits", "O(2^m + k)", "O(2^m + k)", "O(2^m + k)"],
+        ["circuit depth", "O(m·2^k)", "O(m²·2^k)", "O(m·2^k)"],
+        ["T count", "O((2^m + k)·2^k)", "O(2^(m+k)·k)", "O(2^m + k·2^k)"],
+        ["T depth", "O((m + k)·2^k)", "O(k·2^k)", "O(m + k·2^k)"],
+        ["Clifford depth", "O((m + k)·2^k)", "O((m² + k)·2^k)", "O((m + k)·2^k)"],
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{QueryArchitecture, VirtualQram};
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn check_formulas(k: usize, m: usize, opts: Optimizations, seed: u64) {
+        let memory = Memory::random(k + m, &mut StdRng::seed_from_u64(seed));
+        let query = VirtualQram::new(k, m).with_optimizations(opts).build(&memory);
+        let model = VirtualQramModel::new(k, m, opts);
+        let census = query.circuit().gate_census();
+        let get = |name: &str| census.get(name).copied().unwrap_or(0);
+
+        assert_eq!(query.num_qubits(), model.qubits(), "qubits k={k} m={m} {opts}");
+        assert_eq!(get("cswap"), model.cswap_count(), "cswap k={k} m={m} {opts}");
+        assert_eq!(get("swap"), model.swap_count(), "swap k={k} m={m} {opts}");
+        assert_eq!(
+            get("cx"),
+            model.compression_cx_count() + if k == 0 { model.page_select_count() } else { 0 },
+            "cx k={k} m={m} {opts}"
+        );
+        if k > 0 {
+            assert_eq!(get("mcx"), model.page_select_count(), "mcx k={k} m={m} {opts}");
+        }
+        assert_eq!(
+            query.resources().classically_controlled,
+            model.classically_controlled(&memory),
+            "clctrl k={k} m={m} {opts}"
+        );
+        assert_eq!(
+            query.circuit().len(),
+            model.total_gates(&memory),
+            "total k={k} m={m} {opts}"
+        );
+    }
+
+    #[test]
+    fn formulas_match_generated_circuits() {
+        let variants =
+            [Optimizations::RAW, Optimizations::OPT1, Optimizations::OPT2, Optimizations::ALL];
+        let mut seed = 0;
+        for (k, m) in [(0, 1), (0, 3), (1, 2), (2, 2), (2, 3), (3, 1)] {
+            for opts in variants {
+                seed += 1;
+                check_formulas(k, m, opts, seed);
+            }
+        }
+    }
+
+    #[test]
+    fn opt1_saves_two_registers_of_qubits() {
+        for m in 1..=8 {
+            let raw = VirtualQramModel::new(2, m, Optimizations::RAW).qubits();
+            let opt = VirtualQramModel::new(2, m, Optimizations::OPT1).qubits();
+            assert_eq!(raw - opt, 2 * ((1 << m) - 1));
+        }
+    }
+
+    #[test]
+    fn lazy_swapping_halves_expected_writes() {
+        // Expectation over random data: eager ≈ 2^(m+k), lazy ≈ 2^(m+k−1).
+        let (k, m) = (4, 4);
+        let mut rng = StdRng::seed_from_u64(99);
+        let mut eager_total = 0usize;
+        let mut lazy_total = 0usize;
+        for _ in 0..20 {
+            let memory = Memory::random(k + m, &mut rng);
+            eager_total +=
+                VirtualQramModel::new(k, m, Optimizations::RAW).classically_controlled(&memory);
+            lazy_total +=
+                VirtualQramModel::new(k, m, Optimizations::OPT2).classically_controlled(&memory);
+        }
+        let ratio = lazy_total as f64 / eager_total as f64;
+        assert!((ratio - 0.5).abs() < 0.08, "ratio {ratio}");
+    }
+
+    #[test]
+    fn cswap_count_is_independent_of_k() {
+        let a = VirtualQramModel::new(0, 5, Optimizations::ALL).cswap_count();
+        let b = VirtualQramModel::new(4, 5, Optimizations::ALL).cswap_count();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn table2_rows_are_well_formed() {
+        let rows = table2_asymptotics();
+        assert_eq!(rows[0][3], "our QRAM");
+        assert!(rows.iter().all(|r| r.iter().all(|c| !c.is_empty())));
+    }
+}

@@ -1,0 +1,240 @@
+//! Select-Swap QRAM — baseline **SS** / the paper's **Baseline S**
+//! (Secs. 2.3.3 and 6.1).
+//!
+//! Select-Swap splits the address like virtual QRAM — `k` *select* bits
+//! and `m` *swap* bits — but replaces the router tree with a flat block
+//! of `2^m` data qubits and a CSWAP *swap network*:
+//!
+//! * **Select** (per page): MCX gates conditioned on the `k` high bits
+//!   write page `p`'s 1-cells into the block (a plain
+//!   classically-controlled layer when `k = 0`).
+//! * **Swap network**: `m` rounds of CSWAPs fold the block in half, each
+//!   round steered by one low address bit; after round `m` the block's
+//!   first qubit holds `xᵢ`. Each round's single steering qubit must be
+//!   fanned out with a CX-copy tree before its CSWAPs can fire in
+//!   parallel (and unfanned after), which is precisely why the stage
+//!   cannot pipeline: the network costs `Θ(m)` depth per round,
+//!   `Θ(m²)` per page — the quadratic gap of Table 2.
+//!
+//! The CX fanout re-introduces GHZ-style sensitivity: an error on any
+//! fanout copy or block qubit corrupts the whole query, so SS shows no
+//! noise resilience in Fig. 9.
+
+use qram_circuit::{Circuit, Gate, Qubit, QubitAllocator, Register};
+
+use crate::architecture::interface_registers;
+use crate::{Memory, QueryArchitecture, QueryCircuit};
+
+/// Select-Swap QRAM with select width `k` and swap width `m`.
+///
+/// ```
+/// use qram_core::{Memory, QueryArchitecture, SelectSwapQram};
+/// let memory = Memory::from_bits([true, true, false, true, false, false, false, true]);
+/// let query = SelectSwapQram::new(1, 2).build(&memory);
+/// query.verify(&memory).unwrap();
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SelectSwapQram {
+    k: usize,
+    m: usize,
+}
+
+impl SelectSwapQram {
+    /// A Select-Swap QRAM with select width `k` and swap width `m`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m == 0`.
+    pub fn new(k: usize, m: usize) -> Self {
+        assert!(m >= 1, "swap width m must be at least 1");
+        SelectSwapQram { k, m }
+    }
+
+    /// Select width `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Swap width `m`.
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    fn select_layer(
+        &self,
+        circuit: &mut Circuit,
+        addr_k: &Register,
+        page_index: u64,
+        page: &[bool],
+        block: &Register,
+    ) {
+        let controls: Vec<Qubit> = addr_k.iter().collect();
+        for (l, &bit) in page.iter().enumerate() {
+            if !bit {
+                continue;
+            }
+            if controls.is_empty() {
+                circuit.push(Gate::ClX(block.get(l)));
+            } else {
+                circuit.push(Gate::mcx_pattern(&controls, page_index, block.get(l)));
+            }
+        }
+    }
+
+    /// One fold of the swap network: round `u` brings cell
+    /// `i + 2^(m−u−1)` onto cell `i` when address bit `u` is set.
+    fn swap_round(
+        &self,
+        circuit: &mut Circuit,
+        steer: Qubit,
+        fan: &Register,
+        block: &Register,
+        u: usize,
+        inverse: bool,
+    ) {
+        let half = 1usize << (self.m - u - 1);
+        // Fanout copies: c[0] is the steering qubit itself, c[1..half] are
+        // ancillas filled by a CX doubling tree.
+        let copy = |j: usize| if j == 0 { steer } else { fan.get(j - 1) };
+        let fan_gates = |circuit: &mut Circuit, invert: bool| {
+            let mut gates = Vec::new();
+            let mut level = 1usize;
+            while level < half {
+                for i in level..(2 * level).min(half) {
+                    gates.push(Gate::cx(copy(i - level), copy(i)));
+                }
+                level *= 2;
+            }
+            if invert {
+                gates.reverse();
+            }
+            for g in gates {
+                circuit.push(g);
+            }
+        };
+        let cswaps = |circuit: &mut Circuit, invert: bool| {
+            let range: Vec<usize> =
+                if invert { (0..half).rev().collect() } else { (0..half).collect() };
+            for j in range {
+                circuit.push(Gate::cswap(copy(j), block.get(j), block.get(j + half)));
+            }
+        };
+        if inverse {
+            fan_gates(circuit, false);
+            cswaps(circuit, true);
+            fan_gates(circuit, true);
+        } else {
+            fan_gates(circuit, false);
+            cswaps(circuit, false);
+            fan_gates(circuit, true);
+        }
+    }
+}
+
+impl QueryArchitecture for SelectSwapQram {
+    fn name(&self) -> String {
+        format!("select-swap(k={},m={})", self.k, self.m)
+    }
+
+    fn address_width(&self) -> usize {
+        self.k + self.m
+    }
+
+    fn build(&self, memory: &Memory) -> QueryCircuit {
+        assert_eq!(
+            memory.address_width(),
+            self.address_width(),
+            "memory address width mismatch"
+        );
+        let (k, m) = (self.k, self.m);
+        let mut alloc = QubitAllocator::new();
+        let (address, bus) = interface_registers(&mut alloc, k + m);
+        let addr_k = Register::new("addr_k", 0, k as u32);
+        let addr_m = Register::new("addr_m", k as u32, m as u32);
+        let block = alloc.register("block", 1 << m);
+        let fan = alloc.register("fanout", (1usize << (m - 1)).saturating_sub(1));
+
+        let mut circuit = Circuit::new(alloc.num_qubits());
+        let pages = memory.num_pages(m);
+
+        for p in 0..pages {
+            self.select_layer(&mut circuit, &addr_k, p as u64, memory.page(m, p), &block);
+            for u in 0..m {
+                self.swap_round(&mut circuit, addr_m.get(u), &fan, &block, u, false);
+            }
+            circuit.push(Gate::cx(block.get(0), bus.get(0)));
+            for u in (0..m).rev() {
+                self.swap_round(&mut circuit, addr_m.get(u), &fan, &block, u, true);
+            }
+            self.select_layer(&mut circuit, &addr_k, p as u64, memory.page(m, p), &block);
+        }
+
+        QueryCircuit::new(circuit, address, bus, alloc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn random_memory(n: usize, seed: u64) -> Memory {
+        Memory::random(n, &mut StdRng::seed_from_u64(seed))
+    }
+
+    #[test]
+    fn verifies_on_all_small_shapes() {
+        for (k, m) in [(0, 1), (0, 2), (0, 3), (1, 1), (1, 2), (2, 2), (1, 3)] {
+            let memory = random_memory(k + m, (k * 13 + m) as u64);
+            SelectSwapQram::new(k, m)
+                .build(&memory)
+                .verify(&memory)
+                .unwrap_or_else(|e| panic!("k={k} m={m}: {e}"));
+        }
+    }
+
+    #[test]
+    fn classical_queries_match_memory() {
+        let memory = random_memory(4, 21);
+        let query = SelectSwapQram::new(2, 2).build(&memory);
+        for address in 0..16 {
+            assert_eq!(
+                query.query_classical(address).unwrap(),
+                memory.get(address as usize)
+            );
+        }
+    }
+
+    #[test]
+    fn swap_stage_depth_is_quadratic_in_m() {
+        // With one steering qubit per round, depth per round is
+        // Θ(round's fanout tree) — total Θ(m²), vs Θ(m) for the router
+        // architectures.
+        let d: Vec<usize> = (2..=6)
+            .map(|m| {
+                let memory = Memory::zeroed(m); // isolate the swap network
+                SelectSwapQram::new(0, m).build(&memory).circuit().schedule().depth()
+            })
+            .collect();
+        // Quadratic growth: depth(m=6)/depth(m=3) ≈ 4, definitely > 2.
+        assert!(d[4] as f64 / d[1] as f64 > 2.0, "depths {d:?}");
+    }
+
+    #[test]
+    fn fanout_register_is_used_for_wide_rounds() {
+        let memory = Memory::ones(3);
+        let query = SelectSwapQram::new(0, 3).build(&memory);
+        // Round 0 of m=3 needs 4 CSWAPs in parallel → 3 fan ancillas.
+        let census = query.circuit().gate_census();
+        assert!(census["cx"] > 2, "fanout CX gates expected");
+        query.verify(&memory).unwrap();
+    }
+
+    #[test]
+    fn m_equals_one_needs_no_fanout() {
+        let memory = random_memory(1, 1);
+        let query = SelectSwapQram::new(0, 1).build(&memory);
+        query.verify(&memory).unwrap();
+        assert_eq!(query.num_qubits(), 1 + 1 + 2); // addr, bus, block; no fan
+    }
+}

@@ -1,0 +1,106 @@
+//! The sequential query circuit (SQC / QROM) — the gate-based baseline of
+//! Sec. 2.3.1.
+
+use qram_circuit::{Circuit, Gate, QubitAllocator};
+
+use crate::architecture::interface_registers;
+use crate::{Memory, QueryArchitecture, QueryCircuit};
+
+/// A sequential query circuit over `n` address bits: one `MCX` per 1-cell
+/// of the memory, each controlled on the full address register with the
+/// polarity pattern of its address (Fig. 2d).
+///
+/// `O(log N)` qubits, `O(N)` latency — the extreme space-efficient,
+/// time-hungry corner of the design space, and the component that handles
+/// the `k` high bits in every hybrid architecture.
+///
+/// ```
+/// use qram_core::{Memory, QueryArchitecture, Sqc};
+/// let memory = Memory::from_bits([false, true, true, false]);
+/// let query = Sqc::new(2).build(&memory);
+/// query.verify(&memory).unwrap();
+/// assert_eq!(query.num_qubits(), 3); // 2 address + 1 bus
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Sqc {
+    n: usize,
+}
+
+impl Sqc {
+    /// An SQC over `n` address bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 1, "address width must be at least 1");
+        Sqc { n }
+    }
+}
+
+impl QueryArchitecture for Sqc {
+    fn name(&self) -> String {
+        format!("sqc(n={})", self.n)
+    }
+
+    fn address_width(&self) -> usize {
+        self.n
+    }
+
+    fn build(&self, memory: &Memory) -> QueryCircuit {
+        assert_eq!(memory.address_width(), self.n, "memory address width mismatch");
+        let mut alloc = QubitAllocator::new();
+        let (address, bus) = interface_registers(&mut alloc, self.n);
+        let mut circuit = Circuit::new(alloc.num_qubits());
+        let controls: Vec<_> = address.iter().collect();
+        for i in 0..memory.len() {
+            if memory.get(i) {
+                circuit.push(Gate::mcx_pattern(&controls, i as u64, bus.get(0)));
+            }
+        }
+        QueryCircuit::new(circuit, address, bus, alloc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn verifies_on_random_memories() {
+        for n in 1..=5 {
+            let memory = Memory::random(n, &mut StdRng::seed_from_u64(n as u64));
+            Sqc::new(n).build(&memory).verify(&memory).unwrap();
+        }
+    }
+
+    #[test]
+    fn gate_count_equals_ones_count() {
+        let memory = Memory::from_bits([true, true, false, true, false, false, true, true]);
+        let query = Sqc::new(3).build(&memory);
+        assert_eq!(query.circuit().len(), memory.count_ones());
+    }
+
+    #[test]
+    fn qubit_count_is_logarithmic() {
+        let memory = Memory::ones(6);
+        assert_eq!(Sqc::new(6).build(&memory).num_qubits(), 7);
+    }
+
+    #[test]
+    fn depth_is_linear_in_memory_size() {
+        // All MCX gates share the bus → they serialize.
+        let memory = Memory::ones(5);
+        let query = Sqc::new(5).build(&memory);
+        assert_eq!(query.circuit().schedule().depth(), 32);
+    }
+
+    #[test]
+    fn empty_memory_needs_no_gates() {
+        let memory = Memory::zeroed(3);
+        let query = Sqc::new(3).build(&memory);
+        assert!(query.circuit().is_empty());
+        query.verify(&memory).unwrap();
+    }
+}

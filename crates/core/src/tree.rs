@@ -1,0 +1,334 @@
+//! Shared router-tree machinery for the router-based architectures.
+//!
+//! The QRAM tree for address width `m` has `2^m − 1` router nodes in heap
+//! order (node `v` has children `2v`, `2v+1`; root is `1`) and `2^m`
+//! leaves. Router-based generators share three structural registers:
+//!
+//! * `routers` — the direction-holding qubits (`q^(c)` in Algorithm 1);
+//! * `wires` — one input port per internal node (`q^(d)` during address
+//!   loading); `wire(1)` is the paper's `q^(d)₋₁`, the root input;
+//! * `flags` — the leaf-level ports. After query-state preparation the
+//!   flag register holds the one-hot address indicator (the "specific
+//!   data qubit" of Fig. 4a).
+//!
+//! plus the two reusable circuit fragments every router architecture is
+//! made of: bucket-brigade *address loading* (pipelined or not,
+//! Sec. 3.2.3) and *ball routing* through the CSWAP network.
+
+use qram_circuit::{Circuit, Gate, Qubit, QubitAllocator, Register};
+
+/// Heap-ordered tree registers shared by router-based architectures.
+#[derive(Debug, Clone)]
+pub(crate) struct RouterTree {
+    m: usize,
+    routers: Register,
+    wires: Register,
+    flags: Register,
+}
+
+impl RouterTree {
+    /// Allocates the tree registers for address width `m ≥ 1`.
+    pub fn allocate(alloc: &mut QubitAllocator, m: usize) -> Self {
+        assert!(m >= 1, "router tree needs at least one level");
+        let routers = alloc.register("routers", (1 << m) - 1);
+        let wires = alloc.register("wires", (1 << m) - 1);
+        let flags = alloc.register("flags", 1 << m);
+        RouterTree { m, routers, wires, flags }
+    }
+
+    /// Address width `m`.
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// A view of the same tree whose routing network runs over a
+    /// different wire register (used when address-qubit recycling is
+    /// disabled and query-state preparation gets a dedicated ball
+    /// network).
+    pub fn with_wires(&self, wires: Register) -> RouterTree {
+        assert_eq!(wires.len(), self.wires.len(), "wire register width mismatch");
+        RouterTree { m: self.m, routers: self.routers.clone(), wires, flags: self.flags.clone() }
+    }
+
+    /// A view of the same tree with a different leaf register (the second
+    /// rail of a dual-rail bus).
+    pub fn with_flags(&self, flags: Register) -> RouterTree {
+        assert_eq!(flags.len(), self.flags.len(), "flag register width mismatch");
+        RouterTree { m: self.m, routers: self.routers.clone(), wires: self.wires.clone(), flags }
+    }
+
+    /// Router qubit of heap node `v ∈ 1..2^m`.
+    pub fn router(&self, v: usize) -> Qubit {
+        self.routers.get(v - 1)
+    }
+
+    /// Wire (input port) qubit of heap node `v ∈ 1..2^m`.
+    pub fn wire(&self, v: usize) -> Qubit {
+        self.wires.get(v - 1)
+    }
+
+    /// Leaf flag qubit for leaf `l ∈ 0..2^m`.
+    pub fn flag(&self, l: usize) -> Qubit {
+        self.flags.get(l)
+    }
+
+    /// The root input port (`q^(d)₋₁` of Algorithm 1).
+    pub fn root_in(&self) -> Qubit {
+        self.wire(1)
+    }
+
+    /// Heap index of the parent router of leaf `l`.
+    pub fn leaf_parent(&self, l: usize) -> usize {
+        (1 << (self.m - 1)) + l / 2
+    }
+
+    /// One routing hop at tree level `v ∈ 0..m`: every level-`v` node
+    /// routes its wire content one level down — to its children's wires,
+    /// or to the leaf flags when `v = m − 1`. Content moves left on
+    /// router `|0⟩`, right on `|1⟩` (the quantum-router semantics of
+    /// Fig. 2).
+    pub fn route_hop(&self, circuit: &mut Circuit, v: usize) {
+        assert!(v < self.m, "hop level {v} out of range");
+        for w in (1 << v)..(1 << (v + 1)) {
+            let (left, right) = if v + 1 == self.m {
+                // Children are leaves: targets are flags.
+                let base = (w - (1 << v)) * 2;
+                (self.flag(base), self.flag(base + 1))
+            } else {
+                (self.wire(2 * w), self.wire(2 * w + 1))
+            };
+            circuit.push(Gate::cswap0(self.router(w), self.wire(w), left));
+            circuit.push(Gate::cswap(self.router(w), self.wire(w), right));
+        }
+    }
+
+    /// The inverse of [`RouterTree::route_hop`] (same gates, reverse
+    /// order — CSWAPs are self-inverse).
+    pub fn route_hop_inverse(&self, circuit: &mut Circuit, v: usize) {
+        assert!(v < self.m, "hop level {v} out of range");
+        for w in ((1 << v)..(1 << (v + 1))).rev() {
+            let (left, right) = if v + 1 == self.m {
+                let base = (w - (1 << v)) * 2;
+                (self.flag(base), self.flag(base + 1))
+            } else {
+                (self.wire(2 * w), self.wire(2 * w + 1))
+            };
+            circuit.push(Gate::cswap(self.router(w), self.wire(w), right));
+            circuit.push(Gate::cswap0(self.router(w), self.wire(w), left));
+        }
+    }
+
+    /// Bucket-brigade address loading (Algorithm 1's loading phase): the
+    /// `m` address qubits are routed into the tree one after another, the
+    /// `u`-th coming to rest in the level-`u` routers of its branch.
+    /// With `pipelined = false` a barrier separates consecutive address
+    /// qubits, reproducing the unpipelined `O(m²)` schedule the
+    /// pipelining optimization (Sec. 3.2.3) removes.
+    pub fn load_address(&self, circuit: &mut Circuit, addr: &Register, pipelined: bool) {
+        assert_eq!(addr.len(), self.m, "address register width mismatch");
+        for u in 0..self.m {
+            if !pipelined && u > 0 {
+                circuit.barrier();
+            }
+            circuit.push(Gate::swap(addr.get(u), self.root_in()));
+            for v in 0..u {
+                self.route_hop(circuit, v);
+            }
+            // Deposit into the level-u routers.
+            for w in (1 << u)..(1 << (u + 1)) {
+                circuit.push(Gate::swap(self.wire(w), self.router(w)));
+            }
+        }
+    }
+
+    /// Exact inverse of [`RouterTree::load_address`].
+    pub fn unload_address(&self, circuit: &mut Circuit, addr: &Register, pipelined: bool) {
+        for u in (0..self.m).rev() {
+            for w in ((1 << u)..(1 << (u + 1))).rev() {
+                circuit.push(Gate::swap(self.wire(w), self.router(w)));
+            }
+            for v in (0..u).rev() {
+                self.route_hop_inverse(circuit, v);
+            }
+            circuit.push(Gate::swap(addr.get(u), self.root_in()));
+            if !pipelined && u > 0 {
+                circuit.barrier();
+            }
+        }
+    }
+
+    /// Query-state preparation (Fig. 4a): inject a `|1⟩` ball at the root
+    /// and route it down to the flags, leaving the one-hot address
+    /// indicator in the flag register.
+    pub fn prepare_flags(&self, circuit: &mut Circuit) {
+        circuit.push(Gate::x(self.root_in()));
+        for v in 0..self.m {
+            self.route_hop(circuit, v);
+        }
+    }
+
+    /// Exact inverse of [`RouterTree::prepare_flags`].
+    pub fn unprepare_flags(&self, circuit: &mut Circuit) {
+        for v in (0..self.m).rev() {
+            self.route_hop_inverse(circuit, v);
+        }
+        circuit.push(Gate::x(self.root_in()));
+    }
+}
+
+/// Appends the page-select MCX that copies a root value onto the bus,
+/// conditioned on the `k` SQC address bits spelling page `p` (Fig. 4c's
+/// dark-gray controls). With `k = 0` this degrades to a plain CX.
+pub(crate) fn page_select_copy(
+    circuit: &mut Circuit,
+    addr_k: &Register,
+    page: u64,
+    root: Qubit,
+    bus: Qubit,
+) {
+    if addr_k.is_empty() {
+        circuit.push(Gate::cx(root, bus));
+    } else {
+        let mut gate = Gate::mcx_pattern(
+            &addr_k.iter().collect::<Vec<_>>(),
+            page,
+            bus,
+        );
+        if let Gate::Mcx { controls, .. } = &mut gate {
+            controls.push(qram_circuit::Control::on(root));
+        }
+        circuit.push(gate);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qram_sim::{run, PathState};
+
+    /// Loads a classical address and checks the routers on its path.
+    #[test]
+    fn loading_routes_address_bits_to_path_routers() {
+        let m = 3;
+        let mut alloc = QubitAllocator::new();
+        let addr = alloc.register("addr", m);
+        let tree = RouterTree::allocate(&mut alloc, m);
+        let mut circuit = Circuit::new(alloc.num_qubits());
+        tree.load_address(&mut circuit, &addr, true);
+
+        for address in 0..(1u64 << m) {
+            let addr_qs: Vec<Qubit> = addr.iter().collect();
+            let mut state = PathState::computational_basis(alloc.num_qubits());
+            // Write the address (MSB first) into the address register.
+            for (i, q) in addr_qs.iter().enumerate() {
+                if (address >> (m - 1 - i)) & 1 == 1 {
+                    state.apply_x(*q);
+                }
+            }
+            run(circuit.gates(), &mut state).unwrap();
+
+            // Walk the tree: router at each level must hold the address
+            // bit for that level.
+            let mut v = 1usize;
+            for u in 0..m {
+                let bit = (address >> (m - 1 - u)) & 1 == 1;
+                assert!(
+                    (state.probability_of_one(tree.router(v)) - (bit as u8 as f64)).abs()
+                        < 1e-9,
+                    "address {address:#b}, level {u}"
+                );
+                v = 2 * v + bit as usize;
+            }
+            // All wires must be back to |0⟩.
+            for w in 1..(1 << m) {
+                assert!(state.probability_of_one(tree.wire(w)) < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn flag_preparation_is_one_hot() {
+        let m = 3;
+        let mut alloc = QubitAllocator::new();
+        let addr = alloc.register("addr", m);
+        let tree = RouterTree::allocate(&mut alloc, m);
+        let mut circuit = Circuit::new(alloc.num_qubits());
+        tree.load_address(&mut circuit, &addr, true);
+        tree.prepare_flags(&mut circuit);
+
+        for address in 0..(1usize << m) {
+            let mut state = PathState::computational_basis(alloc.num_qubits());
+            for (i, q) in addr.iter().enumerate() {
+                if (address >> (m - 1 - i)) & 1 == 1 {
+                    state.apply_x(q);
+                }
+            }
+            run(circuit.gates(), &mut state).unwrap();
+            for l in 0..(1usize << m) {
+                let expected = (l == address) as u8 as f64;
+                assert!(
+                    (state.probability_of_one(tree.flag(l)) - expected).abs() < 1e-9,
+                    "address {address}, flag {l}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn load_then_unload_is_identity() {
+        let m = 3;
+        let mut alloc = QubitAllocator::new();
+        let addr = alloc.register("addr", m);
+        let tree = RouterTree::allocate(&mut alloc, m);
+        let mut circuit = Circuit::new(alloc.num_qubits());
+        tree.load_address(&mut circuit, &addr, true);
+        tree.prepare_flags(&mut circuit);
+        tree.unprepare_flags(&mut circuit);
+        tree.unload_address(&mut circuit, &addr, true);
+
+        let addr_qs: Vec<Qubit> = addr.iter().collect();
+        let input = PathState::uniform_over(alloc.num_qubits(), &addr_qs);
+        let mut state = input.clone();
+        run(circuit.gates(), &mut state).unwrap();
+        assert!((state.fidelity(&input) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pipelined_loading_is_asymptotically_shallower() {
+        // The pipelining optimization: O(m) vs O(m²) loading depth.
+        let depths: Vec<(usize, usize)> = (2..=6)
+            .map(|m| {
+                let mut alloc = QubitAllocator::new();
+                let addr = alloc.register("addr", m);
+                let tree = RouterTree::allocate(&mut alloc, m);
+                let mut piped = Circuit::new(alloc.num_qubits());
+                tree.load_address(&mut piped, &addr, true);
+                let mut raw = Circuit::new(alloc.num_qubits());
+                tree.load_address(&mut raw, &addr, false);
+                (piped.schedule().depth(), raw.schedule().depth())
+            })
+            .collect();
+        for (piped, raw) in &depths {
+            assert!(piped <= raw);
+        }
+        // Pipelined depth grows linearly (≈ 4m), unpipelined quadratically.
+        let (p6, r6) = depths[4];
+        assert!(p6 <= 5 * 6, "pipelined depth {p6}");
+        assert!(r6 >= 6 * 6 / 2, "raw depth {r6}");
+        // Linear growth: constant increments between consecutive m.
+        let increments: Vec<isize> =
+            depths.windows(2).map(|w| w[1].0 as isize - w[0].0 as isize).collect();
+        assert!(increments.windows(2).all(|w| (w[0] - w[1]).abs() <= 2), "{increments:?}");
+    }
+
+    #[test]
+    fn page_select_copy_degrades_to_cx_without_sqc_bits() {
+        let mut alloc = QubitAllocator::new();
+        let addr_k = alloc.register("addr_k", 0);
+        let root = alloc.register("root", 1).get(0);
+        let bus = alloc.register("bus", 1).get(0);
+        let mut circuit = Circuit::new(alloc.num_qubits());
+        page_select_copy(&mut circuit, &addr_k, 0, root, bus);
+        assert_eq!(circuit.gates()[0], Gate::cx(root, bus));
+    }
+}

@@ -1,0 +1,526 @@
+//! The paper's contribution: virtual QRAM (Sec. 3, Algorithm 1).
+//!
+//! A virtual QRAM serves a `2^n`-cell address space with a physical
+//! router tree of only `2^m` leaves (`m = n − k`): the memory is split
+//! into `2^k` pages, the `m` low address bits are loaded into the tree
+//! **once** (the "load-once" property), and the data-retrieval stage is
+//! repeated per page with the `k` high address bits steering an MCX that
+//! copies each page's root value onto the bus. One query:
+//!
+//! 1. **Address loading** — bucket-brigade-route the `m` low address
+//!    qubits into the routers (pipelined under OPT3).
+//! 2. **Query-state preparation** — route a `|1⟩` ball to the leaves,
+//!    leaving a one-hot address flag (Fig. 4a).
+//! 3. **Per page** — classically-controlled writes put `flag·xᵢ` on the
+//!    data rails (`Classical-CX`/dual-rail `ClSwap`, Fig. 5d), a CX
+//!    array compresses the addressed bit to the root (Fig. 4c), an MCX
+//!    conditioned on the SQC bits copies it to the bus, and the
+//!    compression is uncomputed (Fig. 4d). Under OPT2 consecutive pages
+//!    are loaded as XOR deltas instead of unload + reload.
+//! 4. **Uncompute** — remove the flag ball and unload the address.
+//!
+//! The CX compression array points child → parent, so Z errors on the
+//! rails never propagate (Fig. 7) — the origin of the architecture's
+//! Z-biased noise resilience (Sec. 5.1).
+
+use qram_circuit::{Circuit, Gate, Qubit, QubitAllocator, Register};
+
+use crate::architecture::interface_registers;
+use crate::tree::{page_select_copy, RouterTree};
+use crate::{Memory, QueryArchitecture, QueryCircuit};
+
+/// Toggle switches for the three key optimizations of Sec. 3.2.
+///
+/// ```
+/// use qram_core::Optimizations;
+/// let all = Optimizations::ALL;
+/// assert!(all.recycle_qubits && all.lazy_swapping && all.pipeline_address);
+/// assert_eq!(Optimizations::default(), Optimizations::ALL);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Optimizations {
+    /// OPT1 — address-qubit recycling (Sec. 3.2.1): reuse the idle wire
+    /// network as the query-prep ball network and the compression rails,
+    /// saving `Θ(2^m)` qubits.
+    pub recycle_qubits: bool,
+    /// OPT2 — lazy data swapping (Sec. 3.2.2): load page `p+1` as the XOR
+    /// delta against page `p`, halving the expected number of
+    /// classically-controlled gates.
+    pub lazy_swapping: bool,
+    /// OPT3 — address pipelining (Sec. 3.2.3): stream the address qubits
+    /// into the tree without waiting, reducing loading depth from
+    /// `O(m²)` to `O(m)`.
+    pub pipeline_address: bool,
+}
+
+impl Optimizations {
+    /// Every optimization enabled (the paper's "OPT: ALL" column).
+    pub const ALL: Optimizations =
+        Optimizations { recycle_qubits: true, lazy_swapping: true, pipeline_address: true };
+
+    /// No optimizations (the paper's "RAW" column).
+    pub const RAW: Optimizations =
+        Optimizations { recycle_qubits: false, lazy_swapping: false, pipeline_address: false };
+
+    /// Only OPT1 (address-qubit recycling).
+    pub const OPT1: Optimizations =
+        Optimizations { recycle_qubits: true, ..Optimizations::RAW };
+
+    /// Only OPT2 (lazy data swapping).
+    pub const OPT2: Optimizations =
+        Optimizations { lazy_swapping: true, ..Optimizations::RAW };
+
+    /// Only OPT3 (address pipelining).
+    pub const OPT3: Optimizations =
+        Optimizations { pipeline_address: true, ..Optimizations::RAW };
+}
+
+impl Default for Optimizations {
+    fn default() -> Self {
+        Optimizations::ALL
+    }
+}
+
+impl std::fmt::Display for Optimizations {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match (self.recycle_qubits, self.lazy_swapping, self.pipeline_address) {
+            (true, true, true) => write!(f, "ALL"),
+            (false, false, false) => write!(f, "RAW"),
+            (r, l, p) => {
+                let mut first = true;
+                for (on, name) in [(r, "OPT1"), (l, "OPT2"), (p, "OPT3")] {
+                    if on {
+                        if !first {
+                            write!(f, "+")?;
+                        }
+                        write!(f, "{name}")?;
+                        first = false;
+                    }
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// How classical data is written onto the data rails (Sec. 3.1.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DataEncoding {
+    /// One qubit per data node; writes are classically-controlled CX from
+    /// the leaf flag.
+    #[default]
+    Bit,
+    /// Dual-rail data nodes (Fig. 5d): the flag qubit and a partner rail;
+    /// writes are classically-controlled SWAPs, under which vacuum is
+    /// invariant.
+    DualRail,
+    /// Fused data rails (this repository's extension): the write CX lands
+    /// directly on the *parent's* compression rail, eliminating the leaf
+    /// rail register — `2^m` fewer qubits at identical semantics (XOR
+    /// accumulation commutes with the compression array). This is what
+    /// lets the `m = 1` instance fit IBM's 7-qubit `ibm_perth` in the
+    /// Appendix A experiments.
+    FusedBit,
+}
+
+/// The virtual QRAM architecture with SQC width `k` and QRAM width `m`
+/// (total address width `n = k + m`).
+///
+/// ```
+/// use qram_core::{Memory, Optimizations, QueryArchitecture, VirtualQram};
+///
+/// let memory = Memory::from_bits([true, false, false, true, true, true, false, false]);
+/// let qram = VirtualQram::new(1, 2); // 2 pages of 4 cells
+/// let query = qram.build(&memory);
+/// query.verify(&memory).expect("Σ αᵢ|i⟩|xᵢ⟩");
+/// assert!(query.query_classical(3).unwrap());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VirtualQram {
+    k: usize,
+    m: usize,
+    opts: Optimizations,
+    encoding: DataEncoding,
+}
+
+impl VirtualQram {
+    /// A virtual QRAM with all optimizations and bit encoding.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m == 0` (the router tree needs at least one level).
+    pub fn new(k: usize, m: usize) -> Self {
+        assert!(m >= 1, "QRAM width m must be at least 1");
+        VirtualQram { k, m, opts: Optimizations::ALL, encoding: DataEncoding::Bit }
+    }
+
+    /// Overrides the optimization set.
+    pub fn with_optimizations(mut self, opts: Optimizations) -> Self {
+        self.opts = opts;
+        self
+    }
+
+    /// Overrides the data encoding.
+    pub fn with_encoding(mut self, encoding: DataEncoding) -> Self {
+        self.encoding = encoding;
+        self
+    }
+
+    /// SQC width `k` (number of pages = `2^k`).
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// QRAM width `m` (page size = `2^m`).
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// The active optimization set.
+    pub fn optimizations(&self) -> Optimizations {
+        self.opts
+    }
+
+    /// The data encoding.
+    pub fn encoding(&self) -> DataEncoding {
+        self.encoding
+    }
+
+    /// Emits the classically-controlled write layer for `bits` (one gate
+    /// per 1-bit).
+    fn write_layer(&self, circuit: &mut Circuit, parts: &Parts, bits: &[bool]) {
+        for (l, &bit) in bits.iter().enumerate() {
+            if !bit {
+                continue;
+            }
+            let gate = match self.encoding {
+                DataEncoding::Bit => Gate::clcx(parts.tree.flag(l), parts.leaf_rail(l)),
+                DataEncoding::DualRail => {
+                    Gate::ClSwap(parts.tree.flag(l), parts.leaf_rail(l))
+                }
+                DataEncoding::FusedBit => {
+                    Gate::clcx(parts.tree.flag(l), parts.rail(parts.tree.leaf_parent(l)))
+                }
+            };
+            circuit.push(gate);
+        }
+    }
+
+    /// Emits the CX compression array (Fig. 4c): leaf rails into their
+    /// parents' rails (skipped under fused writes, which already target
+    /// the parents), then child rails into parent rails level by level up
+    /// to the root.
+    fn compress(&self, circuit: &mut Circuit, parts: &Parts) {
+        let m = self.m;
+        if self.encoding != DataEncoding::FusedBit {
+            for l in 0..(1 << m) {
+                circuit
+                    .push(Gate::cx(parts.leaf_rail(l), parts.rail(parts.tree.leaf_parent(l))));
+            }
+        }
+        for v in (0..m.saturating_sub(1)).rev() {
+            for w in (1 << v)..(1 << (v + 1)) {
+                circuit.push(Gate::cx(parts.rail(2 * w), parts.rail(w)));
+                circuit.push(Gate::cx(parts.rail(2 * w + 1), parts.rail(w)));
+            }
+        }
+    }
+
+    /// Exact inverse of [`VirtualQram::compress`].
+    fn uncompress(&self, circuit: &mut Circuit, parts: &Parts) {
+        let m = self.m;
+        for v in 0..m.saturating_sub(1) {
+            for w in ((1 << v)..(1 << (v + 1))).rev() {
+                circuit.push(Gate::cx(parts.rail(2 * w + 1), parts.rail(w)));
+                circuit.push(Gate::cx(parts.rail(2 * w), parts.rail(w)));
+            }
+        }
+        if self.encoding != DataEncoding::FusedBit {
+            for l in (0..(1 << m)).rev() {
+                circuit
+                    .push(Gate::cx(parts.leaf_rail(l), parts.rail(parts.tree.leaf_parent(l))));
+            }
+        }
+    }
+}
+
+/// Allocated structure of one virtual-QRAM instance.
+struct Parts {
+    tree: RouterTree,
+    /// Ball network for query-state preparation (the tree's own wires
+    /// under OPT1, a dedicated register otherwise).
+    prep_tree: RouterTree,
+    /// Leaf data rails (bit encoding) or dual-rail partners.
+    leaf_rails: Register,
+    /// Internal compression rails, heap-indexed; `None` = recycle wires.
+    internal_rails: Option<Register>,
+}
+
+impl Parts {
+    fn rail(&self, v: usize) -> Qubit {
+        match &self.internal_rails {
+            Some(reg) => reg.get(v - 1),
+            None => self.tree.wire(v),
+        }
+    }
+
+    fn leaf_rail(&self, l: usize) -> Qubit {
+        self.leaf_rails.get(l)
+    }
+}
+
+impl QueryArchitecture for VirtualQram {
+    fn name(&self) -> String {
+        let enc = match self.encoding {
+            DataEncoding::Bit => "",
+            DataEncoding::DualRail => ",dual-rail",
+            DataEncoding::FusedBit => ",fused",
+        };
+        format!("virtual(k={},m={},{}{})", self.k, self.m, self.opts, enc)
+    }
+
+    fn address_width(&self) -> usize {
+        self.k + self.m
+    }
+
+    fn build(&self, memory: &Memory) -> QueryCircuit {
+        assert_eq!(
+            memory.address_width(),
+            self.address_width(),
+            "memory address width mismatch"
+        );
+        let (k, m) = (self.k, self.m);
+        let mut alloc = QubitAllocator::new();
+        let (address, bus) = interface_registers(&mut alloc, k + m);
+        let addr_k = Register::new("addr_k", 0, k as u32);
+        let addr_m = Register::new("addr_m", k as u32, m as u32);
+
+        let tree = RouterTree::allocate(&mut alloc, m);
+        let prep_tree = if self.opts.recycle_qubits {
+            tree.clone()
+        } else {
+            tree.with_wires(alloc.register("prep_ball", (1 << m) - 1))
+        };
+        let leaf_rails = match self.encoding {
+            DataEncoding::Bit => alloc.register("leaf_rails", 1 << m),
+            DataEncoding::DualRail => alloc.register("dual_rail_partners", 1 << m),
+            // Fused writes target the parent rails directly.
+            DataEncoding::FusedBit => alloc.register("leaf_rails", 0),
+        };
+        let internal_rails = if self.opts.recycle_qubits {
+            None
+        } else {
+            Some(alloc.register("internal_rails", (1 << m) - 1))
+        };
+        let parts = Parts { tree, prep_tree, leaf_rails, internal_rails };
+        debug_assert_eq!(parts.tree.m(), m);
+
+        let mut circuit = Circuit::new(alloc.num_qubits());
+        let pages = memory.num_pages(m);
+
+        // Stage 1: load-once address loading (Sec. 3.1.1).
+        parts.tree.load_address(&mut circuit, &addr_m, self.opts.pipeline_address);
+        // Query-state preparation: one-hot flag at the addressed leaf.
+        parts.prep_tree.prepare_flags(&mut circuit);
+
+        // Stage 2: data retrieval, once per page (Sec. 3.1.2-3.1.3).
+        if self.opts.lazy_swapping {
+            self.write_layer(&mut circuit, &parts, memory.page(m, 0));
+            for p in 0..pages {
+                self.compress(&mut circuit, &parts);
+                page_select_copy(&mut circuit, &addr_k, p as u64, parts.rail(1), bus.get(0));
+                self.uncompress(&mut circuit, &parts);
+                if p + 1 < pages {
+                    self.write_layer(&mut circuit, &parts, &memory.page_delta(m, p));
+                }
+            }
+            self.write_layer(&mut circuit, &parts, memory.page(m, pages - 1));
+        } else {
+            for p in 0..pages {
+                self.write_layer(&mut circuit, &parts, memory.page(m, p));
+                self.compress(&mut circuit, &parts);
+                page_select_copy(&mut circuit, &addr_k, p as u64, parts.rail(1), bus.get(0));
+                self.uncompress(&mut circuit, &parts);
+                self.write_layer(&mut circuit, &parts, memory.page(m, p));
+            }
+        }
+
+        // Final uncompute (Fig. 4f / Algorithm 1's closing loop).
+        parts.prep_tree.unprepare_flags(&mut circuit);
+        parts.tree.unload_address(&mut circuit, &addr_m, self.opts.pipeline_address);
+
+        QueryCircuit::new(circuit, address, bus, alloc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn random_memory(n: usize, seed: u64) -> Memory {
+        Memory::random(n, &mut StdRng::seed_from_u64(seed))
+    }
+
+    #[test]
+    fn verifies_on_all_small_shapes() {
+        for (k, m) in [(0, 1), (0, 2), (1, 1), (1, 2), (2, 1), (2, 2), (1, 3)] {
+            let memory = random_memory(k + m, (k * 10 + m) as u64);
+            let qram = VirtualQram::new(k, m);
+            qram.build(&memory)
+                .verify(&memory)
+                .unwrap_or_else(|e| panic!("k={k} m={m}: {e}"));
+        }
+    }
+
+    #[test]
+    fn optimizations_never_change_semantics() {
+        let memory = random_memory(4, 77);
+        let variants = [
+            Optimizations::RAW,
+            Optimizations::OPT1,
+            Optimizations::OPT2,
+            Optimizations::OPT3,
+            Optimizations { recycle_qubits: true, lazy_swapping: true, pipeline_address: false },
+            Optimizations::ALL,
+        ];
+        for opts in variants {
+            let qram = VirtualQram::new(2, 2).with_optimizations(opts);
+            qram.build(&memory)
+                .verify(&memory)
+                .unwrap_or_else(|e| panic!("{opts}: {e}"));
+        }
+    }
+
+    #[test]
+    fn dual_rail_encoding_is_equivalent() {
+        let memory = random_memory(3, 5);
+        for opts in [Optimizations::RAW, Optimizations::ALL] {
+            let qram = VirtualQram::new(1, 2)
+                .with_encoding(DataEncoding::DualRail)
+                .with_optimizations(opts);
+            qram.build(&memory)
+                .verify(&memory)
+                .unwrap_or_else(|e| panic!("dual-rail {opts}: {e}"));
+        }
+    }
+
+    #[test]
+    fn fused_encoding_is_equivalent_and_smaller() {
+        let memory = random_memory(4, 6);
+        for opts in [Optimizations::RAW, Optimizations::OPT2, Optimizations::ALL] {
+            let plain = VirtualQram::new(2, 2).with_optimizations(opts);
+            let fused = plain.with_encoding(DataEncoding::FusedBit);
+            fused
+                .build(&memory)
+                .verify(&memory)
+                .unwrap_or_else(|e| panic!("fused {opts}: {e}"));
+            // Exactly the leaf-rail register is saved.
+            assert_eq!(
+                plain.build(&memory).num_qubits() - fused.build(&memory).num_qubits(),
+                1 << 2,
+                "{opts}"
+            );
+        }
+    }
+
+    #[test]
+    fn fused_m1_fits_seven_qubits() {
+        // The Appendix A constraint: ibm_perth has 7 qubits.
+        let memory = random_memory(1, 1);
+        let query =
+            VirtualQram::new(0, 1).with_encoding(DataEncoding::FusedBit).build(&memory);
+        assert!(query.num_qubits() <= 7, "{} qubits", query.num_qubits());
+        query.verify(&memory).unwrap();
+    }
+
+    #[test]
+    fn classical_queries_read_every_cell() {
+        let memory = random_memory(4, 11);
+        let qram = VirtualQram::new(2, 2);
+        let query = qram.build(&memory);
+        for address in 0..16 {
+            assert_eq!(
+                query.query_classical(address).unwrap(),
+                memory.get(address as usize),
+                "address {address}"
+            );
+        }
+    }
+
+    #[test]
+    fn recycling_saves_theta_2m_qubits() {
+        let memory = Memory::ones(5); // k=1, m=4
+        let raw = VirtualQram::new(1, 4).with_optimizations(Optimizations::RAW);
+        let opt1 = VirtualQram::new(1, 4).with_optimizations(Optimizations::OPT1);
+        let raw_q = raw.build(&memory).num_qubits();
+        let opt1_q = opt1.build(&memory).num_qubits();
+        // Two dropped registers of 2^m − 1 qubits each.
+        assert_eq!(raw_q - opt1_q, 2 * ((1 << 4) - 1));
+    }
+
+    #[test]
+    fn lazy_swapping_halves_classically_controlled_gates() {
+        let memory = random_memory(6, 3); // k=3, m=3: 8 pages
+        let eager = VirtualQram::new(3, 3).with_optimizations(Optimizations::RAW);
+        let lazy = VirtualQram::new(3, 3).with_optimizations(Optimizations::OPT2);
+        let eager_count = eager.build(&memory).resources().classically_controlled;
+        let lazy_count = lazy.build(&memory).resources().classically_controlled;
+        assert!(
+            (lazy_count as f64) < 0.75 * eager_count as f64,
+            "lazy {lazy_count} vs eager {eager_count}"
+        );
+    }
+
+    #[test]
+    fn pipelining_reduces_depth_quadratically() {
+        // The loading-stage gap between unpipelined and pipelined
+        // schedules grows quadratically in m (measured: 2·(m−2)²), while
+        // the pipelined total stays linear.
+        let gap = |m: usize| {
+            let memory = Memory::ones(m);
+            let raw = VirtualQram::new(0, m).with_optimizations(Optimizations {
+                pipeline_address: false,
+                ..Optimizations::ALL
+            });
+            let piped = VirtualQram::new(0, m);
+            let rd = raw.build(&memory).circuit().schedule().depth();
+            let pd = piped.build(&memory).circuit().schedule().depth();
+            (rd - pd, pd)
+        };
+        let (gap4, piped4) = gap(4);
+        let (gap8, piped8) = gap(8);
+        assert!(gap8 >= 4 * gap4, "gap m=4 {gap4} vs m=8 {gap8} not quadratic");
+        // Pipelined total depth stays linear in m.
+        assert!(piped8 <= 2 * piped4 + 8, "piped4 {piped4}, piped8 {piped8}");
+    }
+
+    #[test]
+    fn load_once_property_loads_address_a_constant_number_of_times() {
+        // The CSWAP count of address loading must be independent of k:
+        // compare k=0 and k=3 at the same m — the difference must contain
+        // no additional cswap gates beyond retrieval MCXs.
+        let m = 3;
+        let mem_small = Memory::ones(m);
+        let mem_large = Memory::ones(m + 3);
+        let q0 = VirtualQram::new(0, m).build(&mem_small);
+        let q3 = VirtualQram::new(3, m).build(&mem_large);
+        let cswaps_k0 = q0.circuit().gate_census().get("cswap").copied().unwrap_or(0);
+        let cswaps_k3 = q3.circuit().gate_census().get("cswap").copied().unwrap_or(0);
+        assert_eq!(cswaps_k0, cswaps_k3, "loading must not repeat per page");
+    }
+
+    #[test]
+    fn name_reports_shape_and_opts() {
+        let qram = VirtualQram::new(2, 4).with_optimizations(Optimizations::OPT2);
+        assert_eq!(qram.name(), "virtual(k=2,m=4,OPT2)");
+        assert_eq!(VirtualQram::new(1, 1).name(), "virtual(k=1,m=1,ALL)");
+    }
+
+    #[test]
+    #[should_panic(expected = "address width mismatch")]
+    fn wrong_memory_size_is_rejected() {
+        let memory = Memory::zeroed(3);
+        let _ = VirtualQram::new(1, 1).build(&memory);
+    }
+}

@@ -1,0 +1,309 @@
+//! Wide-word virtual QRAM (the Sec. 8 generalization, taken seriously).
+//!
+//! [`query_word`](crate::query_word) realizes the paper's literal Sec. 8
+//! suggestion — run the 1-bit query once per bit-plane — which re-loads
+//! the address `w` times. But the virtual QRAM's **load-once** property
+//! composes across planes just as it does across pages: load the `m`
+//! address bits once, prepare the flag once, then run the
+//! (write → compress → copy → uncompress) retrieval block once per
+//! *(page, bit-plane)* pair, steering each plane's copy onto its own bus
+//! qubit. One address loading amortizes over `w · 2^k` retrievals —
+//! exactly the parallel-retrieval composition the paper credits to
+//! Chen et al. [10] and declares compatible with virtual QRAM.
+
+use qram_circuit::{Circuit, Gate, Qubit, QubitAllocator, Register};
+use qram_sim::{run, PathState};
+
+use crate::tree::{page_select_copy, RouterTree};
+use crate::{QueryError, WideMemory};
+
+/// A virtual QRAM querying `w`-bit words: `Σᵢ αᵢ|i⟩|0⟩^w → Σᵢ αᵢ|i⟩|xᵢ⟩`,
+/// with `xᵢ` delivered on `w` bus qubits.
+///
+/// ```
+/// use qram_core::{WideMemory, WideVirtualQram};
+/// let memory = WideMemory::from_words(3, &[5, 2, 7, 0, 1, 6, 3, 4]);
+/// let qram = WideVirtualQram::new(1, 2, 3);
+/// let query = qram.build(&memory);
+/// assert_eq!(query.query_classical_word(2).unwrap(), 7);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WideVirtualQram {
+    k: usize,
+    m: usize,
+    data_width: usize,
+}
+
+impl WideVirtualQram {
+    /// A wide virtual QRAM with SQC width `k`, QRAM width `m` and word
+    /// width `data_width`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m == 0` or `data_width == 0`.
+    pub fn new(k: usize, m: usize, data_width: usize) -> Self {
+        assert!(m >= 1, "QRAM width m must be at least 1");
+        assert!(data_width >= 1, "data width must be at least 1");
+        WideVirtualQram { k, m, data_width }
+    }
+
+    /// Word width `w`.
+    pub fn data_width(&self) -> usize {
+        self.data_width
+    }
+
+    /// Total address width `n = k + m`.
+    pub fn address_width(&self) -> usize {
+        self.k + self.m
+    }
+
+    /// Compiles the wide query circuit for `memory`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the memory shape disagrees with `(k, m, data_width)`.
+    pub fn build(&self, memory: &WideMemory) -> WideQueryCircuit {
+        assert_eq!(memory.address_width(), self.k + self.m, "address width mismatch");
+        assert_eq!(memory.data_width(), self.data_width, "data width mismatch");
+        let (k, m, w) = (self.k, self.m, self.data_width);
+
+        let mut alloc = QubitAllocator::new();
+        let address = alloc.register("address", k + m);
+        let buses = alloc.register("buses", w);
+        let addr_k = Register::new("addr_k", 0, k as u32);
+        let addr_m = Register::new("addr_m", k as u32, m as u32);
+        let tree = RouterTree::allocate(&mut alloc, m);
+
+        let mut circuit = Circuit::new(alloc.num_qubits());
+        let pages = 1usize << k;
+
+        // Load once — for all pages AND all bit-planes.
+        tree.load_address(&mut circuit, &addr_m, true);
+        tree.prepare_flags(&mut circuit);
+
+        // Per (page, plane): fused write → compress → copy → uncompute.
+        for p in 0..pages {
+            for bit in 0..w {
+                let page = memory.plane(bit).page(m, p);
+                self.write(&mut circuit, &tree, page, false);
+                self.compress(&mut circuit, &tree, false);
+                page_select_copy(&mut circuit, &addr_k, p as u64, tree.wire(1), buses.get(bit));
+                self.compress(&mut circuit, &tree, true);
+                self.write(&mut circuit, &tree, page, true);
+            }
+        }
+
+        tree.unprepare_flags(&mut circuit);
+        tree.unload_address(&mut circuit, &addr_m, true);
+
+        WideQueryCircuit { circuit, address, buses, allocator: alloc }
+    }
+
+    /// Fused write layer (flags straight onto parent rails).
+    fn write(&self, circuit: &mut Circuit, tree: &RouterTree, page: &[bool], invert: bool) {
+        let emit = |circuit: &mut Circuit, l: usize| {
+            circuit.push(Gate::clcx(tree.flag(l), tree.wire(tree.leaf_parent(l))));
+        };
+        if invert {
+            for l in (0..page.len()).rev() {
+                if page[l] {
+                    emit(circuit, l);
+                }
+            }
+        } else {
+            for (l, &bit) in page.iter().enumerate() {
+                if bit {
+                    emit(circuit, l);
+                }
+            }
+        }
+    }
+
+    /// Internal CX compression over the recycled wires.
+    fn compress(&self, circuit: &mut Circuit, tree: &RouterTree, invert: bool) {
+        let m = self.m;
+        let levels: Vec<usize> = if invert {
+            (0..m.saturating_sub(1)).collect()
+        } else {
+            (0..m.saturating_sub(1)).rev().collect()
+        };
+        for v in levels {
+            let nodes: Vec<usize> = if invert {
+                ((1 << v)..(1 << (v + 1))).rev().collect()
+            } else {
+                ((1 << v)..(1 << (v + 1))).collect()
+            };
+            for wnode in nodes {
+                if invert {
+                    circuit.push(Gate::cx(tree.wire(2 * wnode + 1), tree.wire(wnode)));
+                    circuit.push(Gate::cx(tree.wire(2 * wnode), tree.wire(wnode)));
+                } else {
+                    circuit.push(Gate::cx(tree.wire(2 * wnode), tree.wire(wnode)));
+                    circuit.push(Gate::cx(tree.wire(2 * wnode + 1), tree.wire(wnode)));
+                }
+            }
+        }
+    }
+}
+
+/// A compiled wide query: the circuit plus its registers.
+#[derive(Debug, Clone)]
+pub struct WideQueryCircuit {
+    circuit: Circuit,
+    address: Register,
+    buses: Register,
+    allocator: QubitAllocator,
+}
+
+impl WideQueryCircuit {
+    /// The gate sequence.
+    pub fn circuit(&self) -> &Circuit {
+        &self.circuit
+    }
+
+    /// The address register (MSB first).
+    pub fn address(&self) -> &Register {
+        &self.address
+    }
+
+    /// The `w` bus qubits, least-significant bit first.
+    pub fn buses(&self) -> &Register {
+        &self.buses
+    }
+
+    /// Total qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.circuit.num_qubits()
+    }
+
+    /// All structural registers.
+    pub fn registers(&self) -> &[Register] {
+        self.allocator.registers()
+    }
+
+    /// Runs the query on a classical address and reassembles the word.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QueryError::GarbageLeft`] if ancillas fail to return to
+    /// `|0⟩`, or propagates simulator errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `address` is out of range.
+    pub fn query_classical_word(&self, address: u64) -> Result<u64, QueryError> {
+        let n = self.address.len();
+        assert!(address < (1u64 << n), "address {address} out of range");
+        let mut state = PathState::computational_basis(self.num_qubits());
+        let addr_idx: Vec<Qubit> = self.address.iter().collect();
+        for (i, q) in addr_idx.iter().enumerate() {
+            if (address >> (n - 1 - i)) & 1 == 1 {
+                state.apply_x(*q);
+            }
+        }
+        run(self.circuit.gates(), &mut state)?;
+
+        let mut word = 0u64;
+        for bit in 0..self.buses.len() {
+            match state.classical_value(&[self.buses.get(bit)]) {
+                Some(v) => word |= v << bit,
+                None => return Err(QueryError::GarbageLeft),
+            }
+        }
+        let work: Vec<Qubit> = (0..self.num_qubits() as u32)
+            .map(Qubit)
+            .filter(|q| !self.address.contains(*q) && !self.buses.contains(*q))
+            .collect();
+        if state.is_zero_on(&work) {
+            Ok(word)
+        } else {
+            Err(QueryError::GarbageLeft)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{query_word, QueryArchitecture, VirtualQram};
+    use rand::{rngs::StdRng, RngExt, SeedableRng};
+
+    fn random_wide(n: usize, w: usize, seed: u64) -> WideMemory {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let words: Vec<u64> =
+            (0..1usize << n).map(|_| rng.random_range(0..(1u64 << w))).collect();
+        WideMemory::from_words(w, &words)
+    }
+
+    #[test]
+    fn wide_queries_read_whole_words() {
+        let memory = random_wide(4, 3, 2);
+        let qram = WideVirtualQram::new(2, 2, 3);
+        let query = qram.build(&memory);
+        for address in 0..16u64 {
+            assert_eq!(
+                query.query_classical_word(address).unwrap(),
+                memory.word(address as usize),
+                "address {address}"
+            );
+        }
+    }
+
+    #[test]
+    fn wide_superposition_entangles_words() {
+        // Run on the uniform superposition and check every branch by
+        // projecting on classical address values via per-branch runs, plus
+        // global norm/path invariants.
+        let memory = random_wide(2, 2, 5);
+        let query = WideVirtualQram::new(1, 1, 2).build(&memory);
+        let addr: Vec<Qubit> = query.address().iter().collect();
+        let mut state = PathState::uniform_over(query.num_qubits(), &addr);
+        run(query.circuit().gates(), &mut state).unwrap();
+        assert_eq!(state.num_paths(), 4);
+        assert!((state.norm_sqr() - 1.0).abs() < 1e-12);
+        // Each path must carry its word on the buses.
+        let addr_idx: Vec<usize> = addr.iter().map(|q| q.index()).collect();
+        for (bits, _) in state.iter() {
+            let a = bits.read_msb_first(&addr_idx) as usize;
+            let mut word = 0u64;
+            for b in 0..2 {
+                word |= (bits.get(query.buses().get(b).index()) as u64) << b;
+            }
+            assert_eq!(word, memory.word(a), "address {a}");
+        }
+    }
+
+    #[test]
+    fn load_once_amortizes_across_planes() {
+        // The wide circuit must not pay per-plane loading: its CSWAP count
+        // equals the 1-bit circuit's, while query_word pays w× that.
+        let (k, m, w) = (1usize, 3usize, 4usize);
+        let memory = random_wide(k + m, w, 7);
+        let wide = WideVirtualQram::new(k, m, w).build(&memory);
+        let narrow = VirtualQram::new(k, m).build(memory.plane(0));
+        let wide_cswaps = wide.circuit().gate_census()["cswap"];
+        let narrow_cswaps = narrow.circuit().gate_census()["cswap"];
+        assert_eq!(wide_cswaps, narrow_cswaps, "loading must be shared across planes");
+    }
+
+    #[test]
+    fn wide_matches_plane_by_plane_reference() {
+        let memory = random_wide(3, 3, 9);
+        let qram = WideVirtualQram::new(1, 2, 3);
+        let query = qram.build(&memory);
+        let reference_arch = VirtualQram::new(1, 2);
+        for address in 0..8u64 {
+            assert_eq!(
+                query.query_classical_word(address).unwrap(),
+                query_word(&reference_arch, &memory, address).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "data width mismatch")]
+    fn wrong_data_width_rejected() {
+        let memory = random_wide(2, 2, 1);
+        let _ = WideVirtualQram::new(1, 1, 3).build(&memory);
+    }
+}

@@ -1,0 +1,669 @@
+//! Constructive H-tree embedding of the QRAM router tree into a 2D grid
+//! (paper Sec. 4.2, Fig. 6).
+//!
+//! The QRAM tree for address width `m` is a complete binary tree with
+//! `2^m − 1` router nodes and `2^m` data leaves. This module embeds it
+//! into a nearest-neighbor grid as a **topological minor**: every tree
+//! node occupies a distinct cell, every tree edge maps to a path of
+//! dedicated *routing* cells, and no two edge paths share a cell. The
+//! topological-minor property is what enables teleportation-based routing
+//! (Sec. 4.3): the routing cells on an edge path carry no logical
+//! information, so they can hold EPR pairs.
+//!
+//! The construction is the classical H-tree recursion of VLSI layout
+//! (Browning 1980): the base case embeds the capacity-4 tree in a 3×3
+//! grid (Fig. 6a) and the recursive case composes four quadrant trees with
+//! a fresh root cross-bar, doubling the side (Fig. 6b). Even address
+//! widths fill a square of side `2^(m/2+1) − 1`; odd widths use the
+//! half-grid rectangle the paper describes.
+
+use crate::Grid;
+
+/// What a grid cell holds in an H-tree embedding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CellRole {
+    /// A QRAM router node (internal tree node).
+    Router,
+    /// A data leaf (one per classical memory cell).
+    Data,
+    /// A routing ancilla on a tree-edge path (teleportation medium).
+    Routing,
+    /// Not used by the embedding (25 % of cells asymptotically, Sec. 7.2).
+    Unused,
+}
+
+/// Census of cell roles in an embedding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RoleCensus {
+    /// Router cells (`2^m − 1`).
+    pub routers: usize,
+    /// Data cells (`2^m`).
+    pub data: usize,
+    /// Routing (teleportation ancilla) cells.
+    pub routing: usize,
+    /// Unused cells.
+    pub unused: usize,
+}
+
+/// Violations of the topological-minor invariants, returned by
+/// [`HTreeEmbedding::validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EmbeddingError {
+    /// Two tree entities (nodes or edge paths) occupy the same cell.
+    CellReused {
+        /// The contested cell.
+        cell: (usize, usize),
+    },
+    /// An edge path is not a chain of adjacent cells linking its
+    /// endpoints.
+    BrokenPath {
+        /// Human-readable description of the offending edge.
+        edge: String,
+    },
+    /// A path cell does not have the `Routing` role.
+    WrongRole {
+        /// The offending cell.
+        cell: (usize, usize),
+    },
+}
+
+impl std::fmt::Display for EmbeddingError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EmbeddingError::CellReused { cell } => write!(f, "cell {cell:?} used twice"),
+            EmbeddingError::BrokenPath { edge } => write!(f, "edge path broken: {edge}"),
+            EmbeddingError::WrongRole { cell } => {
+                write!(f, "path cell {cell:?} does not have the routing role")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EmbeddingError {}
+
+/// An embedding of the address-width-`m` QRAM tree into a 2D grid.
+///
+/// Routers are addressed by *heap index* (1 = root, node `i` has children
+/// `2i` and `2i+1`; `2^m − 1` routers total). Leaves are addressed by
+/// memory address `0 ..= 2^m − 1`, left to right.
+///
+/// ```
+/// use qram_layout::{CellRole, HTreeEmbedding};
+///
+/// let e = HTreeEmbedding::new(4);
+/// assert_eq!(e.rows(), 7);
+/// assert_eq!(e.cols(), 7);
+/// assert_eq!(e.role_census().routers, 15);
+/// assert_eq!(e.role_census().data, 16);
+/// e.validate().expect("topological minor invariants hold");
+/// ```
+#[derive(Debug, Clone)]
+pub struct HTreeEmbedding {
+    m: usize,
+    rows: usize,
+    cols: usize,
+    roles: Vec<CellRole>,
+    /// `router_pos[i - 1]` = cell of heap node `i`.
+    router_pos: Vec<(usize, usize)>,
+    /// `leaf_pos[a]` = cell of the leaf for address `a`.
+    leaf_pos: Vec<(usize, usize)>,
+    /// `router_edge_paths[i - 2]` = intermediate routing cells on the path
+    /// from `parent(i)` to router `i`, parent-first. Empty = adjacent.
+    router_edge_paths: Vec<Vec<(usize, usize)>>,
+    /// `leaf_edge_paths[a]` = intermediate cells from the leaf's parent
+    /// router to the leaf.
+    leaf_edge_paths: Vec<Vec<(usize, usize)>>,
+    /// Routing cells from the root to the grid border (root-first); the
+    /// access port used when this embedding becomes a quadrant of a larger
+    /// one, and by the bus/address qubits entering the tree.
+    port_path: Vec<(usize, usize)>,
+}
+
+impl HTreeEmbedding {
+    /// Builds the embedding for address width `m` (memory capacity `2^m`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m == 0`.
+    pub fn new(m: usize) -> Self {
+        assert!(m >= 1, "address width must be at least 1");
+        let mut e = match m {
+            1 => Self::base_m1(),
+            2 => Self::base_m2(),
+            _ if m.is_multiple_of(2) => Self::compose_even(Self::new(m - 2)),
+            _ => Self::compose_odd(Self::new(m - 1)),
+        };
+        e.mark_roles();
+        e
+    }
+
+    /// The 3×1 embedding of the single-router tree.
+    fn base_m1() -> Self {
+        HTreeEmbedding {
+            m: 1,
+            rows: 3,
+            cols: 1,
+            roles: Vec::new(),
+            router_pos: vec![(1, 0)],
+            leaf_pos: vec![(0, 0), (2, 0)],
+            router_edge_paths: Vec::new(),
+            leaf_edge_paths: vec![Vec::new(), Vec::new()],
+            port_path: Vec::new(), // root already on the border
+        }
+    }
+
+    /// Fig. 6a: the capacity-4 tree in a 3×3 grid. Canonical orientation:
+    /// the root's access port points north (row 0).
+    fn base_m2() -> Self {
+        HTreeEmbedding {
+            m: 2,
+            rows: 3,
+            cols: 3,
+            roles: Vec::new(),
+            router_pos: vec![(1, 1), (1, 0), (1, 2)],
+            leaf_pos: vec![(0, 0), (2, 0), (0, 2), (2, 2)],
+            router_edge_paths: vec![Vec::new(), Vec::new()],
+            leaf_edge_paths: vec![Vec::new(); 4],
+            port_path: vec![(0, 1)],
+        }
+    }
+
+    /// Fig. 6b: four `T_{m−2}` quadrants + a fresh root cross-bar →
+    /// `T_m` in a square of side `2n + 1`.
+    fn compose_even(sub: HTreeEmbedding) -> Self {
+        let m = sub.m + 2;
+        let n = sub.rows;
+        debug_assert_eq!(sub.rows, sub.cols, "even quadrants are square");
+        let s = 2 * n + 1;
+        let qc = sub.router_pos[0].1; // root column of the canonical quadrant
+
+        let mut e = HTreeEmbedding {
+            m,
+            rows: s,
+            cols: s,
+            roles: Vec::new(),
+            router_pos: vec![(usize::MAX, usize::MAX); (1 << m) - 1],
+            leaf_pos: vec![(usize::MAX, usize::MAX); 1 << m],
+            router_edge_paths: vec![Vec::new(); (1 << m) - 2],
+            leaf_edge_paths: vec![Vec::new(); 1 << m],
+            port_path: Vec::new(),
+        };
+
+        // New root (heap 1) and its two children (heaps 2, 3) on the
+        // middle row.
+        e.router_pos[0] = (n, n);
+        e.router_pos[1] = (n, qc);
+        e.router_pos[2] = (n, n + 1 + qc);
+        // Root → children paths along the middle row, parent-first.
+        e.router_edge_paths[0] = ((qc + 1)..n).rev().map(|c| (n, c)).collect();
+        e.router_edge_paths[1] = ((n + 1)..(n + 1 + qc)).map(|c| (n, c)).collect();
+
+        // Quadrants: heap 4 = NW, 5 = SW, 6 = NE, 7 = SE. The north
+        // quadrants are flipped vertically so their access ports face the
+        // middle row.
+        let placements = [
+            (4usize, Placement { dr: 0, dc: 0, flip_v: true }),
+            (5, Placement { dr: n + 1, dc: 0, flip_v: false }),
+            (6, Placement { dr: 0, dc: n + 1, flip_v: true }),
+            (7, Placement { dr: n + 1, dc: n + 1, flip_v: false }),
+        ];
+        for (q, placement) in placements {
+            e.absorb_quadrant(&sub, q, placement);
+        }
+
+        // Root access port: north along the middle column.
+        e.port_path = (0..n).rev().map(|r| (r, n)).collect();
+        e
+    }
+
+    /// The paper's half-grid construction for odd widths: two `T_{m−1}`
+    /// quadrants stacked vertically, fresh root on the middle row, access
+    /// port pointing east.
+    fn compose_odd(sub: HTreeEmbedding) -> Self {
+        let m = sub.m + 1;
+        let n = sub.rows;
+        let qc = sub.router_pos[0].1;
+
+        let mut e = HTreeEmbedding {
+            m,
+            rows: 2 * n + 1,
+            cols: n,
+            roles: Vec::new(),
+            router_pos: vec![(usize::MAX, usize::MAX); (1 << m) - 1],
+            leaf_pos: vec![(usize::MAX, usize::MAX); 1 << m],
+            router_edge_paths: vec![Vec::new(); (1 << m) - 2],
+            leaf_edge_paths: vec![Vec::new(); 1 << m],
+            port_path: Vec::new(),
+        };
+
+        e.router_pos[0] = (n, qc);
+        e.absorb_quadrant(&sub, 2, Placement { dr: 0, dc: 0, flip_v: true });
+        e.absorb_quadrant(&sub, 3, Placement { dr: n + 1, dc: 0, flip_v: false });
+        e.port_path = ((qc + 1)..n).map(|c| (n, c)).collect();
+        e
+    }
+
+    /// Copies `sub` into `self` as the subtree rooted at heap node `q`
+    /// (`q`'s parent is `q / 2`). The sub-root's access port becomes the
+    /// parent → sub-root edge path.
+    fn absorb_quadrant(&mut self, sub: &HTreeEmbedding, q: usize, placement: Placement) {
+        let map = |(r, c): (usize, usize)| placement.apply((r, c), sub.rows);
+        let sub_leaves = 1usize << sub.m;
+
+        // Routers: sub heap j → global heap relabel(q, j).
+        for j in 1..(1 << sub.m) {
+            let g = relabel(q, j);
+            self.router_pos[g - 1] = map(sub.router_pos[j - 1]);
+            if j >= 2 {
+                self.router_edge_paths[g - 2] =
+                    sub.router_edge_paths[j - 2].iter().map(|&p| map(p)).collect();
+            }
+        }
+        // The sub-root's incoming edge: the quadrant's port path, walked
+        // from the parent (border side) toward the sub-root.
+        let mut port: Vec<(usize, usize)> = sub.port_path.iter().map(|&p| map(p)).collect();
+        port.reverse();
+        self.router_edge_paths[q - 2] = port;
+
+        // Leaves: quadrant q covers the address block of its subtree.
+        let depth = q.ilog2() as usize; // 2 for even quadrants, 1 for odd halves
+        let block = (q - (1 << depth)) * sub_leaves;
+        for a in 0..sub_leaves {
+            self.leaf_pos[block + a] = map(sub.leaf_pos[a]);
+            self.leaf_edge_paths[block + a] =
+                sub.leaf_edge_paths[a].iter().map(|&p| map(p)).collect();
+        }
+    }
+
+    /// Derives the role grid from node positions and edge paths.
+    fn mark_roles(&mut self) {
+        self.roles = vec![CellRole::Unused; self.rows * self.cols];
+        let cols = self.cols;
+        let idx = |(r, c): (usize, usize)| r * cols + c;
+        for &p in &self.router_pos {
+            self.roles[idx(p)] = CellRole::Router;
+        }
+        for &p in &self.leaf_pos {
+            self.roles[idx(p)] = CellRole::Data;
+        }
+        for path in self.router_edge_paths.iter().chain(self.leaf_edge_paths.iter()) {
+            for &p in path {
+                self.roles[idx(p)] = CellRole::Routing;
+            }
+        }
+        for &p in &self.port_path {
+            self.roles[idx(p)] = CellRole::Routing;
+        }
+    }
+
+    /// The address width `m`.
+    pub fn address_width(&self) -> usize {
+        self.m
+    }
+
+    /// Memory capacity `2^m`.
+    pub fn capacity(&self) -> usize {
+        1 << self.m
+    }
+
+    /// Grid rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Grid columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// The underlying grid topology.
+    pub fn grid(&self) -> Grid {
+        Grid::new(self.rows, self.cols)
+    }
+
+    /// Role of cell `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell is outside the grid.
+    pub fn role(&self, r: usize, c: usize) -> CellRole {
+        assert!(r < self.rows && c < self.cols, "cell ({r},{c}) outside grid");
+        self.roles[r * self.cols + c]
+    }
+
+    /// Cell of router `heap` (1-based heap index).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `heap` is not in `1 ..= 2^m − 1`.
+    pub fn router_position(&self, heap: usize) -> (usize, usize) {
+        assert!(heap >= 1 && heap < (1 << self.m), "heap index {heap} out of range");
+        self.router_pos[heap - 1]
+    }
+
+    /// Cell of the data leaf for `address`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `address >= 2^m`.
+    pub fn leaf_position(&self, address: usize) -> (usize, usize) {
+        assert!(address < (1 << self.m), "address {address} out of range");
+        self.leaf_pos[address]
+    }
+
+    /// Intermediate routing cells from `parent(heap)` to router `heap`
+    /// (empty = adjacent).
+    pub fn edge_path_to_router(&self, heap: usize) -> &[(usize, usize)] {
+        assert!(heap >= 2 && heap < (1 << self.m), "heap index {heap} has no parent edge");
+        &self.router_edge_paths[heap - 2]
+    }
+
+    /// Intermediate routing cells from the parent router to the leaf of
+    /// `address`.
+    pub fn edge_path_to_leaf(&self, address: usize) -> &[(usize, usize)] {
+        assert!(address < (1 << self.m), "address {address} out of range");
+        &self.leaf_edge_paths[address]
+    }
+
+    /// Routing cells from the root to the grid border (root-first); the
+    /// entry port for bus and address qubits.
+    pub fn port_path(&self) -> &[(usize, usize)] {
+        &self.port_path
+    }
+
+    /// Grid distance (path length in hops) of the edge into router `heap`.
+    pub fn router_edge_distance(&self, heap: usize) -> usize {
+        self.edge_path_to_router(heap).len() + 1
+    }
+
+    /// Grid distance of the edge into the leaf of `address`.
+    pub fn leaf_edge_distance(&self, address: usize) -> usize {
+        self.edge_path_to_leaf(address).len() + 1
+    }
+
+    /// The longest edge (in hops) at tree level `level`: `1 ..= m − 1`
+    /// index router levels (edges into routers at that depth), `m` indexes
+    /// the leaf edges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level` is 0 or exceeds `m`.
+    pub fn level_distance(&self, level: usize) -> usize {
+        assert!(level >= 1 && level <= self.m, "level {level} out of range");
+        if level == self.m {
+            (0..self.capacity()).map(|a| self.leaf_edge_distance(a)).max().unwrap()
+        } else {
+            ((1 << level)..(1 << (level + 1)))
+                .map(|h| self.router_edge_distance(h))
+                .max()
+                .unwrap()
+        }
+    }
+
+    /// Counts cells by role.
+    pub fn role_census(&self) -> RoleCensus {
+        let mut census = RoleCensus::default();
+        for role in &self.roles {
+            match role {
+                CellRole::Router => census.routers += 1,
+                CellRole::Data => census.data += 1,
+                CellRole::Routing => census.routing += 1,
+                CellRole::Unused => census.unused += 1,
+            }
+        }
+        census
+    }
+
+    /// Fraction of grid cells left unused (→ 25 % asymptotically for even
+    /// `m`, Sec. 7.2).
+    pub fn unused_fraction(&self) -> f64 {
+        self.role_census().unused as f64 / (self.rows * self.cols) as f64
+    }
+
+    /// Checks the topological-minor invariants: every tree node in a
+    /// distinct cell; every edge path a chain of adjacent, role-`Routing`,
+    /// never-reused cells connecting its endpoints.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated invariant.
+    pub fn validate(&self) -> Result<(), EmbeddingError> {
+        let grid = self.grid();
+        let mut used = vec![false; self.rows * self.cols];
+        let mut claim = |cell: (usize, usize)| -> Result<(), EmbeddingError> {
+            let i = cell.0 * self.cols + cell.1;
+            if used[i] {
+                return Err(EmbeddingError::CellReused { cell });
+            }
+            used[i] = true;
+            Ok(())
+        };
+
+        for &p in self.router_pos.iter().chain(self.leaf_pos.iter()) {
+            claim(p)?;
+        }
+
+        let adjacent = |a: (usize, usize), b: (usize, usize)| grid.manhattan(a, b) == 1;
+        let mut check_path = |from: (usize, usize),
+                              path: &[(usize, usize)],
+                              to: (usize, usize),
+                              name: &str|
+         -> Result<(), EmbeddingError> {
+            let mut prev = from;
+            for &cell in path {
+                if self.roles[cell.0 * self.cols + cell.1] != CellRole::Routing {
+                    return Err(EmbeddingError::WrongRole { cell });
+                }
+                claim(cell)?;
+                if !adjacent(prev, cell) {
+                    return Err(EmbeddingError::BrokenPath { edge: name.to_string() });
+                }
+                prev = cell;
+            }
+            if !adjacent(prev, to) {
+                return Err(EmbeddingError::BrokenPath { edge: name.to_string() });
+            }
+            Ok(())
+        };
+
+        for heap in 2..(1 << self.m) {
+            check_path(
+                self.router_pos[heap / 2 - 1],
+                &self.router_edge_paths[heap - 2],
+                self.router_pos[heap - 1],
+                &format!("router {heap}"),
+            )?;
+        }
+        for a in 0..self.capacity() {
+            let parent = (1 << (self.m - 1)) + a / 2; // leaf's parent heap index
+            check_path(
+                self.router_pos[parent - 1],
+                &self.leaf_edge_paths[a],
+                self.leaf_pos[a],
+                &format!("leaf {a}"),
+            )?;
+        }
+        if !self.port_path.is_empty() {
+            let mut prev = self.router_pos[0];
+            for &cell in &self.port_path {
+                if self.roles[cell.0 * self.cols + cell.1] != CellRole::Routing {
+                    return Err(EmbeddingError::WrongRole { cell });
+                }
+                claim(cell)?;
+                if !adjacent(prev, cell) {
+                    return Err(EmbeddingError::BrokenPath { edge: "port".to_string() });
+                }
+                prev = cell;
+            }
+            // The port must reach the border.
+            let (r, c) = *self.port_path.last().unwrap();
+            if r != 0 && c != 0 && r != self.rows - 1 && c != self.cols - 1 {
+                return Err(EmbeddingError::BrokenPath { edge: "port (not on border)".into() });
+            }
+        }
+        Ok(())
+    }
+}
+
+impl std::fmt::Display for HTreeEmbedding {
+    /// ASCII rendering: `R` router, `D` data, `·` routing, space unused.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "H-tree m={} on {}×{}", self.m, self.rows, self.cols)?;
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                let ch = match self.role(r, c) {
+                    CellRole::Router => 'R',
+                    CellRole::Data => 'D',
+                    CellRole::Routing => '·',
+                    CellRole::Unused => ' ',
+                };
+                write!(f, "{ch}")?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+/// Placement transform for a quadrant: offset plus optional vertical flip.
+#[derive(Debug, Clone, Copy)]
+struct Placement {
+    dr: usize,
+    dc: usize,
+    flip_v: bool,
+}
+
+impl Placement {
+    fn apply(&self, (r, c): (usize, usize), sub_rows: usize) -> (usize, usize) {
+        let r = if self.flip_v { sub_rows - 1 - r } else { r };
+        (self.dr + r, self.dc + c)
+    }
+}
+
+/// Maps heap index `j` of a subtree onto the global heap index when the
+/// subtree's root is global node `q`: the path bits of `j` are appended
+/// to `q`.
+fn relabel(q: usize, j: usize) -> usize {
+    if j == 1 {
+        q
+    } else {
+        2 * relabel(q, j / 2) + (j % 2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relabel_appends_path_bits() {
+        assert_eq!(relabel(4, 1), 4);
+        assert_eq!(relabel(4, 2), 8);
+        assert_eq!(relabel(4, 3), 9);
+        assert_eq!(relabel(5, 3), 11);
+        assert_eq!(relabel(7, 5), 29); // 7 = 111, 5 = 1·01 → 11101
+    }
+
+    #[test]
+    fn base_case_matches_figure_6a() {
+        let e = HTreeEmbedding::new(2);
+        assert_eq!((e.rows(), e.cols()), (3, 3));
+        let census = e.role_census();
+        assert_eq!(census.routers, 3);
+        assert_eq!(census.data, 4);
+        assert_eq!(census.routing, 1);
+        assert_eq!(census.unused, 1);
+        e.validate().unwrap();
+    }
+
+    #[test]
+    fn even_sides_follow_recursion() {
+        for (m, side) in [(2usize, 3usize), (4, 7), (6, 15), (8, 31)] {
+            let e = HTreeEmbedding::new(m);
+            assert_eq!(e.rows(), side, "m={m}");
+            assert_eq!(e.cols(), side, "m={m}");
+        }
+    }
+
+    #[test]
+    fn odd_widths_use_half_grids() {
+        let e3 = HTreeEmbedding::new(3);
+        assert_eq!((e3.rows(), e3.cols()), (7, 3));
+        let e5 = HTreeEmbedding::new(5);
+        assert_eq!((e5.rows(), e5.cols()), (15, 7));
+        let e1 = HTreeEmbedding::new(1);
+        assert_eq!((e1.rows(), e1.cols()), (3, 1));
+    }
+
+    #[test]
+    fn node_counts_match_tree() {
+        for m in 1..=7 {
+            let e = HTreeEmbedding::new(m);
+            let census = e.role_census();
+            assert_eq!(census.routers, (1 << m) - 1, "m={m}");
+            assert_eq!(census.data, 1 << m, "m={m}");
+        }
+    }
+
+    #[test]
+    fn all_embeddings_are_topological_minors() {
+        for m in 1..=8 {
+            HTreeEmbedding::new(m).validate().unwrap_or_else(|e| panic!("m={m}: {e}"));
+        }
+    }
+
+    #[test]
+    fn unused_fraction_approaches_quarter() {
+        // Sec. 7.2: 25 % asymptotically for even m, from below.
+        let f4 = HTreeEmbedding::new(4).unused_fraction();
+        let f6 = HTreeEmbedding::new(6).unused_fraction();
+        let f8 = HTreeEmbedding::new(8).unused_fraction();
+        assert!(f4 < f6 && f6 < f8, "{f4} {f6} {f8}");
+        assert!(f8 < 0.25);
+        assert!(f8 > 0.20);
+    }
+
+    #[test]
+    fn root_edge_distance_grows_leaf_stays_constant() {
+        let e = HTreeEmbedding::new(6);
+        // Leaf edges are nearest-neighbor in every H-tree.
+        assert_eq!(e.level_distance(6), 1);
+        // Root edges span ~ a quarter of the grid and keep doubling.
+        assert_eq!(e.level_distance(1), 4);
+        assert_eq!(HTreeEmbedding::new(8).level_distance(1), 8);
+    }
+
+    #[test]
+    fn level_distances_decrease_down_the_tree() {
+        let e = HTreeEmbedding::new(8);
+        let dists: Vec<usize> = (1..=8).map(|l| e.level_distance(l)).collect();
+        for w in dists.windows(2) {
+            assert!(w[0] >= w[1], "distances {dists:?} not monotone");
+        }
+    }
+
+    #[test]
+    fn port_reaches_border() {
+        for m in 2..=6 {
+            let e = HTreeEmbedding::new(m);
+            let last = *e.port_path().last().unwrap();
+            assert!(
+                last.0 == 0 || last.1 == 0 || last.0 == e.rows() - 1 || last.1 == e.cols() - 1,
+                "m={m}: port ends at {last:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn display_draws_every_cell() {
+        let text = HTreeEmbedding::new(2).to_string();
+        assert!(text.contains('R'));
+        assert!(text.contains('D'));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_width_rejected() {
+        let _ = HTreeEmbedding::new(0);
+    }
+}

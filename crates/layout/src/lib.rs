@@ -1,0 +1,54 @@
+//! Mapping QRAM onto two-dimensional hardware (paper Sec. 4).
+//!
+//! Router-based QRAM entangles `O(M)` qubits arranged as a binary tree —
+//! a structure that does not embed isometrically in 2D Euclidean space
+//! (only hyperbolic geometry keeps all parent–child distances equal). The
+//! paper shows QRAM can nevertheless be mapped to a 2D nearest-neighbor
+//! grid *without asymptotic routing overhead* by combining:
+//!
+//! * [`HTreeEmbedding`] — a constructive topological-minor embedding of
+//!   the QRAM tree via the classical H-tree recursion (Sec. 4.2), with
+//!   every cell classified as router / data / routing / unused;
+//! * teleportation-based routing (Sec. 4.3) — entanglement swapping
+//!   across the idle routing cells moves qubits any distance in constant
+//!   depth, keeping the query at its native `O(log M)` depth, versus the
+//!   exponentially-growing cost of SWAP chains ([`swap_extra_depth`] vs
+//!   [`teleport_extra_depth`], Fig. 8);
+//! * [`sabre_lite`](route) — a greedy SWAP-insertion router for sparse
+//!   device coupling maps, standing in for Qiskit's SABRE in the
+//!   Appendix A experiments.
+//!
+//! # Example
+//!
+//! ```
+//! use qram_layout::{routing_overhead_sweep, HTreeEmbedding};
+//!
+//! let e = HTreeEmbedding::new(6); // capacity-64 QRAM on a 15×15 grid
+//! e.validate().expect("topological minor");
+//! let sweep = routing_overhead_sweep(6);
+//! let last = sweep.last().unwrap();
+//! assert!(last.swap_depth > last.teleport_depth);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod htree;
+mod placement;
+mod routing;
+mod sabre;
+mod teleport;
+mod topology;
+
+pub use htree::{CellRole, EmbeddingError, HTreeEmbedding, RoleCensus};
+pub use routing::{
+    routing_overhead_sweep, swap_extra_depth, teleport_extra_depth, RoutingOverhead,
+    SWAP_DEPTH, TELEPORT_DEPTH,
+};
+pub use placement::{Placement, RoutingDiscipline};
+pub use sabre::{
+    choose_initial_layout, route, route_with_chosen_layout, route_with_layout, RoutedCircuit,
+    RoutingError,
+};
+pub use teleport::{swap_chain, teleport_chain};
+pub use topology::{CouplingGraph, Grid, Topology};

@@ -1,0 +1,320 @@
+//! Placing concrete circuits onto grid embeddings: per-gate routed-depth
+//! accounting.
+//!
+//! [`routing_overhead_sweep`](crate::routing_overhead_sweep) prices the
+//! *architecture* (one worst-case edge per tree level); this module prices
+//! a *circuit*: every gate of a scheduled circuit is charged the grid
+//! distance between its qubits' assigned cells under swap-based routing,
+//! or a constant under teleportation routing, and the charges accumulate
+//! along the qubit-conflict critical path — the mapped analogue of
+//! [`qram_circuit::schedule::Schedule`] depth.
+//!
+//! This is how the repository cross-checks Fig. 8 bottom-up: the sweep's
+//! closed-form per-level costs and the per-gate accounting of an actual
+//! generated QRAM circuit agree on growth law.
+
+use std::collections::HashMap;
+
+use qram_circuit::{Circuit, Qubit};
+
+use crate::{Grid, HTreeEmbedding, SWAP_DEPTH, TELEPORT_DEPTH};
+
+/// How long-range gates are executed on the grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RoutingDiscipline {
+    /// Shuttle operands together and back with nearest-neighbor SWAPs:
+    /// a distance-`d` gate costs `2·(d−1)·SWAP_DEPTH` extra layers.
+    SwapChains,
+    /// Teleport across the idle routing cells: any non-adjacent gate
+    /// costs a constant `TELEPORT_DEPTH` extra layers.
+    Teleportation,
+}
+
+/// An assignment of a circuit's qubits to cells of a grid.
+///
+/// Build one with [`Placement::new`] and assign registers cell by cell,
+/// or use [`Placement::for_htree`] to place a QRAM circuit's tree
+/// registers onto an [`HTreeEmbedding`] (routers onto router cells,
+/// leaf-indexed registers onto data cells, interface qubits onto the
+/// port).
+#[derive(Debug, Clone)]
+pub struct Placement {
+    grid: Grid,
+    site_of: HashMap<Qubit, (usize, usize)>,
+}
+
+impl Placement {
+    /// An empty placement over `grid`.
+    pub fn new(grid: Grid) -> Self {
+        Placement { grid, site_of: HashMap::new() }
+    }
+
+    /// Assigns `qubit` to `cell`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell is outside the grid or already occupied by a
+    /// different qubit.
+    pub fn assign(&mut self, qubit: Qubit, cell: (usize, usize)) {
+        assert!(
+            cell.0 < self.grid.rows() && cell.1 < self.grid.cols(),
+            "cell {cell:?} outside grid"
+        );
+        assert!(
+            !self.site_of.values().any(|&c| c == cell),
+            "cell {cell:?} already occupied"
+        );
+        self.site_of.insert(qubit, cell);
+    }
+
+    /// The cell assigned to `qubit`, if any.
+    pub fn cell_of(&self, qubit: Qubit) -> Option<(usize, usize)> {
+        self.site_of.get(&qubit).copied()
+    }
+
+    /// Number of placed qubits.
+    pub fn len(&self) -> usize {
+        self.site_of.len()
+    }
+
+    /// Whether no qubits are placed.
+    pub fn is_empty(&self) -> bool {
+        self.site_of.is_empty()
+    }
+
+    /// Places a QRAM circuit's structural registers onto an H-tree
+    /// embedding. `routers` must hold the heap-ordered router register;
+    /// `leaf_registers` are placed (in order) onto the data cells; any
+    /// remaining registers (address, bus, wires, rails) are parked on
+    /// the port path and the unused cells, nearest the root first —
+    /// they interact only through the root in the generated circuits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if register widths disagree with the embedding or the
+    /// spare cells run out.
+    pub fn for_htree(
+        embedding: &HTreeEmbedding,
+        routers: impl IntoIterator<Item = Qubit>,
+        leaf_registers: Vec<Vec<Qubit>>,
+        spare: impl IntoIterator<Item = Qubit>,
+    ) -> Self {
+        let grid = embedding.grid();
+        let mut placement = Placement::new(grid);
+
+        let routers: Vec<Qubit> = routers.into_iter().collect();
+        assert_eq!(
+            routers.len(),
+            (1 << embedding.address_width()) - 1,
+            "router register width mismatch"
+        );
+        for (i, &q) in routers.iter().enumerate() {
+            placement.assign(q, embedding.router_position(i + 1));
+        }
+
+        for leaves in &leaf_registers {
+            assert_eq!(
+                leaves.len(),
+                embedding.capacity(),
+                "leaf register width mismatch"
+            );
+        }
+        // The first leaf register takes the data cells; additional leaf
+        // registers (dual rails, flags + rails) stack onto spare cells
+        // adjacent in enumeration order.
+        let mut leaf_iter = leaf_registers.into_iter();
+        if let Some(first) = leaf_iter.next() {
+            for (l, q) in first.into_iter().enumerate() {
+                placement.assign(q, embedding.leaf_position(l));
+            }
+        }
+
+        // Spare cells: port path first (closest to the root), then unused
+        // cells in row-major order, then routing cells not on the port.
+        let mut spare_cells: Vec<(usize, usize)> = embedding.port_path().to_vec();
+        for r in 0..embedding.rows() {
+            for c in 0..embedding.cols() {
+                if embedding.role(r, c) == crate::CellRole::Unused {
+                    spare_cells.push((r, c));
+                }
+            }
+        }
+        for r in 0..embedding.rows() {
+            for c in 0..embedding.cols() {
+                if embedding.role(r, c) == crate::CellRole::Routing
+                    && !embedding.port_path().contains(&(r, c))
+                {
+                    spare_cells.push((r, c));
+                }
+            }
+        }
+        let mut spare_cells = spare_cells.into_iter();
+        for leaves in leaf_iter {
+            for q in leaves {
+                let cell = spare_cells.next().expect("ran out of spare cells");
+                placement.assign(q, cell);
+            }
+        }
+        for q in spare {
+            let cell = spare_cells.next().expect("ran out of spare cells");
+            placement.assign(q, cell);
+        }
+        placement
+    }
+
+    /// Mapped depth of `circuit` under `discipline`: each gate occupies
+    /// its qubits for `1 + extra(gate)` layers, where `extra` is the
+    /// routing charge for the largest pairwise distance in the gate's
+    /// support; depths accumulate along the qubit-conflict critical path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the circuit touches an unplaced qubit.
+    pub fn mapped_depth(&self, circuit: &Circuit, discipline: RoutingDiscipline) -> usize {
+        let mut busy: HashMap<Qubit, usize> = HashMap::new();
+        let mut floor = 0usize;
+        let mut depth = 0usize;
+        for gate in circuit.gates() {
+            if gate.is_barrier() {
+                floor = depth;
+                continue;
+            }
+            let qs = gate.qubits();
+            let span = self.max_span(&qs);
+            let extra = match discipline {
+                RoutingDiscipline::SwapChains => {
+                    2 * span.saturating_sub(1) * SWAP_DEPTH
+                }
+                RoutingDiscipline::Teleportation => {
+                    if span > 1 {
+                        TELEPORT_DEPTH
+                    } else {
+                        0
+                    }
+                }
+            };
+            let start = qs
+                .iter()
+                .map(|q| busy.get(q).copied().unwrap_or(0))
+                .max()
+                .unwrap_or(floor)
+                .max(floor);
+            let end = start + 1 + extra;
+            for q in qs {
+                busy.insert(q, end);
+            }
+            depth = depth.max(end);
+        }
+        depth
+    }
+
+    /// Extra mapped depth relative to the unmapped ASAP schedule.
+    pub fn extra_depth(&self, circuit: &Circuit, discipline: RoutingDiscipline) -> usize {
+        self.mapped_depth(circuit, discipline) - circuit.schedule().depth()
+    }
+
+    fn max_span(&self, qubits: &[Qubit]) -> usize {
+        let mut max = 0;
+        for (i, &a) in qubits.iter().enumerate() {
+            for &b in &qubits[i + 1..] {
+                let ca = self.site_of[&a];
+                let cb = self.site_of[&b];
+                max = max.max(self.grid.manhattan(ca, cb));
+            }
+        }
+        max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qram_circuit::{Circuit, Gate};
+
+    fn line_placement(n: usize) -> Placement {
+        let mut p = Placement::new(Grid::new(1, n));
+        for i in 0..n {
+            p.assign(Qubit(i as u32), (0, i));
+        }
+        p
+    }
+
+    #[test]
+    fn adjacent_gates_cost_base_depth() {
+        let p = line_placement(3);
+        let mut c = Circuit::new(3);
+        c.push(Gate::cx(Qubit(0), Qubit(1)));
+        assert_eq!(p.mapped_depth(&c, RoutingDiscipline::SwapChains), 1);
+        assert_eq!(p.mapped_depth(&c, RoutingDiscipline::Teleportation), 1);
+    }
+
+    #[test]
+    fn distant_gates_cost_by_discipline() {
+        let p = line_placement(5);
+        let mut c = Circuit::new(5);
+        c.push(Gate::cx(Qubit(0), Qubit(4))); // distance 4
+        assert_eq!(
+            p.mapped_depth(&c, RoutingDiscipline::SwapChains),
+            1 + 2 * 3 * SWAP_DEPTH
+        );
+        assert_eq!(
+            p.mapped_depth(&c, RoutingDiscipline::Teleportation),
+            1 + TELEPORT_DEPTH
+        );
+    }
+
+    #[test]
+    fn three_qubit_gates_use_largest_span() {
+        let p = line_placement(4);
+        let mut c = Circuit::new(4);
+        c.push(Gate::cswap(Qubit(0), Qubit(1), Qubit(3))); // max span 3
+        assert_eq!(
+            p.mapped_depth(&c, RoutingDiscipline::SwapChains),
+            1 + 2 * 2 * SWAP_DEPTH
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "already occupied")]
+    fn double_assignment_rejected() {
+        let mut p = Placement::new(Grid::new(2, 2));
+        p.assign(Qubit(0), (0, 0));
+        p.assign(Qubit(1), (0, 0));
+    }
+
+    #[test]
+    fn htree_placement_places_all_tree_registers() {
+        let e = HTreeEmbedding::new(3);
+        let m = 3usize;
+        let routers: Vec<Qubit> = (0..(1 << m) - 1).map(|i| Qubit(i as u32)).collect();
+        let base = routers.len() as u32;
+        let leaves: Vec<Qubit> = (0..1 << m).map(|i| Qubit(base + i as u32)).collect();
+        let spare: Vec<Qubit> = (0..4).map(|i| Qubit(base + 8 + i)).collect();
+        let p = Placement::for_htree(&e, routers.clone(), vec![leaves.clone()], spare.clone());
+        assert_eq!(p.len(), routers.len() + leaves.len() + spare.len());
+        // Routers landed on router cells, leaves on data cells.
+        let (r, c) = p.cell_of(routers[0]).unwrap();
+        assert_eq!(e.role(r, c), crate::CellRole::Router);
+        let (r, c) = p.cell_of(leaves[0]).unwrap();
+        assert_eq!(e.role(r, c), crate::CellRole::Data);
+    }
+
+    #[test]
+    fn mapped_depths_respect_fig8_ordering() {
+        // A synthetic tree-walk circuit over H-tree placements must show
+        // swap ≥ teleport extra depth, growing with m.
+        for m in 2..=5 {
+            let e = HTreeEmbedding::new(m);
+            let routers: Vec<Qubit> = (0..(1 << m) - 1).map(|i| Qubit(i as u32)).collect();
+            let p = Placement::for_htree(&e, routers.clone(), Vec::new(), Vec::new());
+            let mut c = Circuit::new(routers.len());
+            // Parent-child CX down every edge of the tree.
+            for v in 2..(1 << m) - 1 {
+                c.push(Gate::cx(routers[v / 2 - 1], routers[v - 1]));
+            }
+            let swap = p.extra_depth(&c, RoutingDiscipline::SwapChains);
+            let tele = p.extra_depth(&c, RoutingDiscipline::Teleportation);
+            assert!(swap >= tele, "m={m}: swap {swap} < teleport {tele}");
+        }
+    }
+}

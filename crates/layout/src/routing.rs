@@ -1,0 +1,169 @@
+//! Routing-overhead accounting for mapped QRAM circuits (paper Sec. 4.3,
+//! Fig. 8).
+//!
+//! After H-tree embedding, a tree-edge gate (`CSWAP`/`CX` between a parent
+//! and child router) acts on cells separated by the edge's grid distance.
+//! Two routing disciplines resolve the distance:
+//!
+//! * **Swap-based** (Fig. 6d): shuttle one operand along the edge path
+//!   with nearest-neighbor SWAPs and bring it back afterwards — extra
+//!   depth proportional to the distance. Near the root the H-tree edge
+//!   distance is `Θ(√M)`, so the overhead grows *exponentially in `m`*.
+//! * **Teleportation-based** (Fig. 6e): the idle routing cells on the
+//!   (vertex-disjoint!) edge path hold a pre-shared entangled chain; EPR
+//!   preparation and Bell-state measurements all happen in parallel, so a
+//!   qubit crosses any distance in **constant depth** (Sec. 4.3).
+//!
+//! The functions here reproduce Fig. 8's y-axis: the *extra operation
+//! depth* added to one full query by each discipline. A query is modeled
+//! exactly as the paper's circuits execute: the address-loading stage
+//! traverses tree levels `1..=m` downward, the data-retrieval stage
+//! compresses from the leaves back to the root, and both stages pay each
+//! level's worst-case edge distance once in the critical path (pipelining
+//! overlaps gates *within* a level, not the wire latency of one gate).
+
+use crate::HTreeEmbedding;
+
+/// Depth of a nearest-neighbor SWAP in native 2-qubit gates (3 CX).
+pub const SWAP_DEPTH: usize = 3;
+
+/// Constant depth of one teleportation hop: parallel EPR preparation,
+/// parallel Bell-state measurement, Pauli correction.
+pub const TELEPORT_DEPTH: usize = 3;
+
+/// Extra operation depth of one query under swap-based routing.
+///
+/// Each tree level `ℓ` contributes its worst-case edge distance `d_ℓ`:
+/// shuttling an operand adjacent costs `d_ℓ − 1` SWAPs, and returning it
+/// costs the same, so a level with non-adjacent edges adds
+/// `2 · (d_ℓ − 1) · SWAP_DEPTH` to the critical path. The address-loading
+/// and data-retrieval stages each traverse all levels once (the retrieval
+/// CX array climbs the same edges), hence the factor 2.
+///
+/// ```
+/// use qram_layout::{swap_extra_depth, HTreeEmbedding};
+/// let small = swap_extra_depth(&HTreeEmbedding::new(2));
+/// let large = swap_extra_depth(&HTreeEmbedding::new(6));
+/// assert!(large > 8 * small); // exponential growth in m
+/// ```
+pub fn swap_extra_depth(embedding: &HTreeEmbedding) -> usize {
+    let m = embedding.address_width();
+    2 * (1..=m)
+        .map(|level| {
+            let d = embedding.level_distance(level);
+            2 * (d - 1) * SWAP_DEPTH
+        })
+        .sum::<usize>()
+}
+
+/// Extra operation depth of one query under teleportation-based routing:
+/// a constant [`TELEPORT_DEPTH`] per non-adjacent level per stage,
+/// independent of the edge distance.
+///
+/// ```
+/// use qram_layout::{teleport_extra_depth, HTreeEmbedding};
+/// let d6 = teleport_extra_depth(&HTreeEmbedding::new(6));
+/// let d8 = teleport_extra_depth(&HTreeEmbedding::new(8));
+/// assert!(d8 - d6 <= 2 * 2 * 3); // linear in m: ≤ one hop per new level/stage
+/// ```
+pub fn teleport_extra_depth(embedding: &HTreeEmbedding) -> usize {
+    let m = embedding.address_width();
+    2 * (1..=m)
+        .map(|level| {
+            if embedding.level_distance(level) > 1 {
+                TELEPORT_DEPTH
+            } else {
+                0
+            }
+        })
+        .sum::<usize>()
+}
+
+/// One row of the Fig. 8 comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RoutingOverhead {
+    /// QRAM address width.
+    pub m: usize,
+    /// Extra depth under swap-based routing.
+    pub swap_depth: usize,
+    /// Extra depth under teleportation-based routing.
+    pub teleport_depth: usize,
+    /// Grid cells used by the embedding.
+    pub grid_cells: usize,
+}
+
+/// Computes the Fig. 8 series for `m ∈ 1..=max_m`.
+pub fn routing_overhead_sweep(max_m: usize) -> Vec<RoutingOverhead> {
+    (1..=max_m)
+        .map(|m| {
+            let e = HTreeEmbedding::new(m);
+            RoutingOverhead {
+                m,
+                swap_depth: swap_extra_depth(&e),
+                teleport_depth: teleport_extra_depth(&e),
+                grid_cells: e.rows() * e.cols(),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn swap_overhead_grows_exponentially() {
+        let sweep = routing_overhead_sweep(9);
+        // Doubling m roughly doubles the dominant edge distance (√M), so
+        // consecutive even m should grow by ~2×.
+        let d4 = sweep[3].swap_depth as f64;
+        let d6 = sweep[5].swap_depth as f64;
+        let d8 = sweep[7].swap_depth as f64;
+        assert!(d6 / d4 > 1.6, "d6/d4 = {}", d6 / d4);
+        assert!(d8 / d6 > 1.6, "d8/d6 = {}", d8 / d6);
+    }
+
+    #[test]
+    fn teleport_overhead_is_at_most_linear() {
+        let sweep = routing_overhead_sweep(9);
+        for row in &sweep {
+            assert!(
+                row.teleport_depth <= 2 * TELEPORT_DEPTH * row.m,
+                "m={}: {}",
+                row.m,
+                row.teleport_depth
+            );
+        }
+    }
+
+    #[test]
+    fn teleportation_beats_swapping_beyond_tiny_trees() {
+        let sweep = routing_overhead_sweep(9);
+        for row in sweep.iter().filter(|r| r.m >= 3) {
+            assert!(
+                row.swap_depth > row.teleport_depth,
+                "m={}: swap {} vs teleport {}",
+                row.m,
+                row.swap_depth,
+                row.teleport_depth
+            );
+        }
+    }
+
+    #[test]
+    fn adjacent_edges_cost_nothing() {
+        // m=1: the 3×1 embedding has only nearest-neighbor edges.
+        let e = HTreeEmbedding::new(1);
+        assert_eq!(swap_extra_depth(&e), 0);
+        assert_eq!(teleport_extra_depth(&e), 0);
+    }
+
+    #[test]
+    fn sweep_is_dense_and_ordered() {
+        let sweep = routing_overhead_sweep(5);
+        assert_eq!(sweep.len(), 5);
+        for (i, row) in sweep.iter().enumerate() {
+            assert_eq!(row.m, i + 1);
+        }
+    }
+}

@@ -1,0 +1,403 @@
+//! `sabre_lite`: greedy SWAP-insertion routing for sparse device
+//! topologies (Appendix A substrate).
+//!
+//! The paper transpiles its small-scale QRAM circuits onto IBMQ backends
+//! with Qiskit's SABRE pass and reports the inserted SWAP counts
+//! (Fig. 12). SABRE itself is a lookahead heuristic; this module
+//! implements the lookahead-free greedy core — walk the circuit in order
+//! and, whenever a 2-qubit gate spans non-adjacent physical qubits, shuttle
+//! one operand along a shortest path, updating the layout — which produces
+//! SWAP counts of the same order (see DESIGN.md's substitution table).
+//!
+//! Multi-qubit gates are routed at Clifford+T granularity: callers lower
+//! the circuit with [`qram_circuit::decompose::lower`] first, so only CX
+//! gates need adjacency.
+
+use qram_circuit::decompose::{CliffordTGate, LoweredCircuit};
+use qram_circuit::Qubit;
+
+use crate::Topology;
+
+/// The result of routing a circuit onto a topology.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RoutedCircuit {
+    /// Gates in execution order, over *physical* qubit indices, with
+    /// inserted SWAPs realized as 3 CX each.
+    gates: Vec<CliffordTGate>,
+    /// Number of SWAPs inserted.
+    swap_count: usize,
+    /// Final layout: `layout[logical] = physical`.
+    layout: Vec<usize>,
+}
+
+impl RoutedCircuit {
+    /// The routed physical-qubit gate sequence (SWAPs lowered to CX).
+    pub fn gates(&self) -> &[CliffordTGate] {
+        &self.gates
+    }
+
+    /// Number of SWAP gates inserted by the router (the Fig. 12 legend
+    /// numbers).
+    pub fn swap_count(&self) -> usize {
+        self.swap_count
+    }
+
+    /// The final logical → physical layout.
+    pub fn layout(&self) -> &[usize] {
+        &self.layout
+    }
+
+    /// Total gate count including the 3 CX per inserted SWAP.
+    pub fn gate_count(&self) -> usize {
+        self.gates.len()
+    }
+}
+
+/// Errors produced by the router.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RoutingError {
+    /// The circuit needs more qubits than the topology has sites.
+    TooFewSites {
+        /// Logical qubits required.
+        required: usize,
+        /// Physical sites available.
+        available: usize,
+    },
+}
+
+impl std::fmt::Display for RoutingError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RoutingError::TooFewSites { required, available } => {
+                write!(f, "circuit needs {required} qubits but device has {available} sites")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RoutingError {}
+
+/// Routes a lowered circuit onto `topology` with the identity initial
+/// layout (logical qubit `i` starts at site `i`).
+///
+/// # Errors
+///
+/// Returns [`RoutingError::TooFewSites`] if the circuit is wider than the
+/// device.
+pub fn route<T: Topology>(
+    circuit: &LoweredCircuit,
+    topology: &T,
+) -> Result<RoutedCircuit, RoutingError> {
+    let layout: Vec<usize> = (0..circuit.num_qubits()).collect();
+    route_with_layout(circuit, topology, layout)
+}
+
+/// Chooses an initial layout by interaction-graph BFS: the most-coupled
+/// logical qubit is pinned to the highest-degree site, then neighbors in
+/// the circuit's interaction graph are greedily placed on free sites
+/// closest to their already-placed partners — a lightweight stand-in for
+/// SABRE's bidirectional layout search that typically removes the
+/// worst-case shuttles of the identity layout.
+///
+/// # Errors
+///
+/// Returns [`RoutingError::TooFewSites`] if the circuit is wider than the
+/// device.
+pub fn choose_initial_layout<T: Topology>(
+    circuit: &LoweredCircuit,
+    topology: &T,
+) -> Result<Vec<usize>, RoutingError> {
+    let n = circuit.num_qubits();
+    let sites = topology.num_sites();
+    if n > sites {
+        return Err(RoutingError::TooFewSites { required: n, available: sites });
+    }
+    // Interaction weights between logical qubits.
+    let mut weight = vec![vec![0usize; n]; n];
+    for g in circuit.gates() {
+        if let CliffordTGate::Cx(a, b) = g {
+            weight[a.index()][b.index()] += 1;
+            weight[b.index()][a.index()] += 1;
+        }
+    }
+    let degree = |q: usize| weight[q].iter().sum::<usize>();
+
+    let mut layout = vec![usize::MAX; n];
+    let mut site_used = vec![false; sites];
+
+    // Seed: busiest logical qubit on the highest-degree site.
+    let seed_logical = (0..n).max_by_key(|&q| degree(q)).unwrap_or(0);
+    let seed_site =
+        (0..sites).max_by_key(|&s| topology.neighbors(s).len()).unwrap_or(0);
+    layout[seed_logical] = seed_site;
+    site_used[seed_site] = true;
+
+    // Greedy: repeatedly place the unplaced qubit with the strongest ties
+    // to placed ones, on the free site minimizing weighted distance.
+    for _ in 1..n {
+        let next = (0..n)
+            .filter(|&q| layout[q] == usize::MAX)
+            .max_by_key(|&q| {
+                (0..n).filter(|&p| layout[p] != usize::MAX).map(|p| weight[q][p]).sum::<usize>()
+            })
+            .expect("unplaced qubit remains");
+        let best_site = (0..sites)
+            .filter(|&s| !site_used[s])
+            .min_by_key(|&s| {
+                (0..n)
+                    .filter(|&p| layout[p] != usize::MAX && weight[next][p] > 0)
+                    .map(|p| weight[next][p] * topology.distance(s, layout[p]))
+                    .sum::<usize>()
+            })
+            .expect("free site remains");
+        layout[next] = best_site;
+        site_used[best_site] = true;
+    }
+    Ok(layout)
+}
+
+/// Routes with [`choose_initial_layout`] — usually fewer SWAPs than
+/// [`route`]'s identity layout on sparse devices.
+///
+/// # Errors
+///
+/// Returns [`RoutingError::TooFewSites`] if the circuit is wider than the
+/// device.
+pub fn route_with_chosen_layout<T: Topology>(
+    circuit: &LoweredCircuit,
+    topology: &T,
+) -> Result<RoutedCircuit, RoutingError> {
+    let layout = choose_initial_layout(circuit, topology)?;
+    route_with_layout(circuit, topology, layout)
+}
+
+/// Routes a lowered circuit with an explicit initial layout
+/// (`layout[logical] = physical`).
+///
+/// # Errors
+///
+/// Returns [`RoutingError::TooFewSites`] if any layout entry is out of
+/// range.
+///
+/// # Panics
+///
+/// Panics if `layout` maps two logical qubits to one site.
+pub fn route_with_layout<T: Topology>(
+    circuit: &LoweredCircuit,
+    topology: &T,
+    mut layout: Vec<usize>,
+) -> Result<RoutedCircuit, RoutingError> {
+    let sites = topology.num_sites();
+    if circuit.num_qubits() > sites {
+        return Err(RoutingError::TooFewSites { required: circuit.num_qubits(), available: sites });
+    }
+    for &p in &layout {
+        if p >= sites {
+            return Err(RoutingError::TooFewSites { required: p + 1, available: sites });
+        }
+    }
+    {
+        let mut seen = vec![false; sites];
+        for &p in &layout {
+            assert!(!seen[p], "layout maps two logical qubits to site {p}");
+            seen[p] = true;
+        }
+    }
+    // site_of_logical = layout; logical_at_site = inverse (usize::MAX = empty).
+    let mut at_site = vec![usize::MAX; sites];
+    for (l, &p) in layout.iter().enumerate() {
+        at_site[p] = l;
+    }
+
+    let mut out = Vec::with_capacity(circuit.gates().len());
+    let mut swap_count = 0usize;
+
+    let emit_swap = |a: usize,
+                         b: usize,
+                         out: &mut Vec<CliffordTGate>,
+                         layout: &mut Vec<usize>,
+                         at_site: &mut Vec<usize>| {
+        // SWAP lowered to 3 CX on physical sites.
+        let (qa, qb) = (Qubit(a as u32), Qubit(b as u32));
+        out.push(CliffordTGate::Cx(qa, qb));
+        out.push(CliffordTGate::Cx(qb, qa));
+        out.push(CliffordTGate::Cx(qa, qb));
+        // Update layout: whatever logical qubits live at a/b swap homes.
+        let (la, lb) = (at_site[a], at_site[b]);
+        if la != usize::MAX {
+            layout[la] = b;
+        }
+        if lb != usize::MAX {
+            layout[lb] = a;
+        }
+        at_site.swap(a, b);
+    };
+
+    for gate in circuit.gates() {
+        match gate {
+            CliffordTGate::Cx(c, t) => {
+                let mut pc = layout[c.index()];
+                let pt = layout[t.index()];
+                if topology.distance(pc, pt) > 1 {
+                    // Shuttle the control along a shortest path until
+                    // adjacent to the target.
+                    let path = topology.shortest_path(pc, pt);
+                    for hop in &path[1..path.len() - 1] {
+                        emit_swap(pc, *hop, &mut out, &mut layout, &mut at_site);
+                        swap_count += 1;
+                        pc = *hop;
+                    }
+                }
+                out.push(CliffordTGate::Cx(Qubit(pc as u32), Qubit(layout[t.index()] as u32)));
+            }
+            // Single-qubit gates relocate to the current site.
+            g => {
+                let q = g.qubits()[0];
+                let p = Qubit(layout[q.index()] as u32);
+                out.push(match g {
+                    CliffordTGate::H(_) => CliffordTGate::H(p),
+                    CliffordTGate::S(_) => CliffordTGate::S(p),
+                    CliffordTGate::Sdg(_) => CliffordTGate::Sdg(p),
+                    CliffordTGate::T(_) => CliffordTGate::T(p),
+                    CliffordTGate::Tdg(_) => CliffordTGate::Tdg(p),
+                    CliffordTGate::X(_) => CliffordTGate::X(p),
+                    CliffordTGate::Z(_) => CliffordTGate::Z(p),
+                    CliffordTGate::Cx(..) => unreachable!("handled above"),
+                });
+            }
+        }
+    }
+    Ok(RoutedCircuit { gates: out, swap_count, layout })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CouplingGraph;
+    use qram_circuit::decompose::lower;
+    use qram_circuit::{Circuit, Gate};
+
+    /// Path topology 0-1-2-3.
+    fn line(n: usize) -> CouplingGraph {
+        CouplingGraph::new(n, (0..n - 1).map(|i| (i, i + 1)).collect())
+    }
+
+    #[test]
+    fn adjacent_gates_need_no_swaps() {
+        let mut c = Circuit::new(2);
+        c.push(Gate::cx(Qubit(0), Qubit(1)));
+        let routed = route(&lower(&c), &line(2)).unwrap();
+        assert_eq!(routed.swap_count(), 0);
+        assert_eq!(routed.gate_count(), 1);
+    }
+
+    #[test]
+    fn distant_gate_inserts_swaps() {
+        let mut c = Circuit::new(4);
+        c.push(Gate::cx(Qubit(0), Qubit(3)));
+        let routed = route(&lower(&c), &line(4)).unwrap();
+        // Distance 3 → 2 swaps to become adjacent.
+        assert_eq!(routed.swap_count(), 2);
+        // Layout reflects the shuttle: logical 0 now lives at site 2.
+        assert_eq!(routed.layout()[0], 2);
+    }
+
+    #[test]
+    fn routed_gates_are_all_adjacent() {
+        let mut c = Circuit::new(4);
+        c.push(Gate::cx(Qubit(0), Qubit(3)));
+        c.push(Gate::cx(Qubit(1), Qubit(2)));
+        c.push(Gate::ccx(Qubit(0), Qubit(2), Qubit(3)));
+        let topo = line(4);
+        let routed = route(&lower(&c), &topo).unwrap();
+        for g in routed.gates() {
+            if let CliffordTGate::Cx(a, b) = g {
+                assert_eq!(topo.distance(a.index(), b.index()), 1, "gate {g:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn single_qubit_gates_follow_their_logical_qubit() {
+        let mut c = Circuit::new(3);
+        c.push(Gate::cx(Qubit(0), Qubit(2))); // forces a shuttle of q0
+        c.push(Gate::x(Qubit(0)));
+        let routed = route(&lower(&c), &line(3)).unwrap();
+        // The final X must act on logical 0's new home (site 1).
+        assert_eq!(*routed.gates().last().unwrap(), CliffordTGate::X(Qubit(1)));
+    }
+
+    #[test]
+    fn too_small_device_is_rejected() {
+        let mut c = Circuit::new(5);
+        c.push(Gate::x(Qubit(4)));
+        let err = route(&lower(&c), &line(3)).unwrap_err();
+        assert!(matches!(err, RoutingError::TooFewSites { required: 5, available: 3 }));
+    }
+
+    #[test]
+    fn custom_initial_layout_is_respected() {
+        let mut c = Circuit::new(2);
+        c.push(Gate::cx(Qubit(0), Qubit(1)));
+        // Map logical 0 → site 2, logical 1 → site 0 on a 3-line: distance
+        // 2 → 1 swap.
+        let routed = route_with_layout(&lower(&c), &line(3), vec![2, 0]).unwrap();
+        assert_eq!(routed.swap_count(), 1);
+    }
+
+    #[test]
+    fn chosen_layout_beats_or_matches_identity() {
+        // A circuit whose identity layout is pessimal on a line: qubit 0
+        // talks to qubit 3 constantly.
+        let mut c = Circuit::new(4);
+        for _ in 0..4 {
+            c.push(Gate::cx(Qubit(0), Qubit(3)));
+            c.push(Gate::cx(Qubit(3), Qubit(0)));
+        }
+        let low = lower(&c);
+        let topo = line(4);
+        let identity = route(&low, &topo).unwrap();
+        let chosen = route_with_chosen_layout(&low, &topo).unwrap();
+        assert!(
+            chosen.swap_count() <= identity.swap_count(),
+            "chosen {} vs identity {}",
+            chosen.swap_count(),
+            identity.swap_count()
+        );
+        // The interacting pair should start adjacent → zero swaps.
+        assert_eq!(chosen.swap_count(), 0);
+    }
+
+    #[test]
+    fn chosen_layout_is_a_permutation() {
+        let mut c = Circuit::new(5);
+        c.push(Gate::ccx(Qubit(0), Qubit(2), Qubit(4)));
+        c.push(Gate::cx(Qubit(1), Qubit(3)));
+        let low = lower(&c);
+        let topo = line(6);
+        let layout = choose_initial_layout(&low, &topo).unwrap();
+        let mut seen = [false; 6];
+        for &s in &layout {
+            assert!(!seen[s], "site {s} reused");
+            seen[s] = true;
+        }
+    }
+
+    #[test]
+    fn denser_topology_needs_fewer_swaps() {
+        let mut c = Circuit::new(4);
+        c.push(Gate::cx(Qubit(0), Qubit(3)));
+        c.push(Gate::cx(Qubit(1), Qubit(3)));
+        c.push(Gate::cx(Qubit(0), Qubit(2)));
+        let low = lower(&c);
+        let sparse = route(&low, &line(4)).unwrap();
+        // Fully connected: K4.
+        let dense = CouplingGraph::new(
+            4,
+            vec![(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)],
+        );
+        let routed_dense = route(&low, &dense).unwrap();
+        assert_eq!(routed_dense.swap_count(), 0);
+        assert!(sparse.swap_count() > 0);
+    }
+}

@@ -1,0 +1,279 @@
+//! Hardware connectivity graphs.
+
+use std::collections::VecDeque;
+
+/// A hardware connectivity graph: sites (physical qubits) and the pairs
+/// that can interact directly.
+///
+/// QRAM mapping (paper Sec. 4) targets 2D nearest-neighbor grids; the
+/// Appendix A experiments target the sparser IBMQ coupling graphs. Both
+/// implement this trait.
+pub trait Topology {
+    /// Number of sites.
+    fn num_sites(&self) -> usize;
+
+    /// The sites directly coupled to `site`.
+    fn neighbors(&self, site: usize) -> Vec<usize>;
+
+    /// Shortest-path distance between `a` and `b` in hops
+    /// (`0` iff `a == b`). Default implementation: BFS.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` or `b` is out of range or the sites are disconnected.
+    fn distance(&self, a: usize, b: usize) -> usize {
+        assert!(a < self.num_sites() && b < self.num_sites(), "site out of range");
+        if a == b {
+            return 0;
+        }
+        let mut dist = vec![usize::MAX; self.num_sites()];
+        dist[a] = 0;
+        let mut queue = VecDeque::from([a]);
+        while let Some(s) = queue.pop_front() {
+            for n in self.neighbors(s) {
+                if dist[n] == usize::MAX {
+                    dist[n] = dist[s] + 1;
+                    if n == b {
+                        return dist[n];
+                    }
+                    queue.push_back(n);
+                }
+            }
+        }
+        panic!("sites {a} and {b} are disconnected");
+    }
+
+    /// One shortest path from `a` to `b` (inclusive of both endpoints).
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`Topology::distance`].
+    fn shortest_path(&self, a: usize, b: usize) -> Vec<usize> {
+        assert!(a < self.num_sites() && b < self.num_sites(), "site out of range");
+        if a == b {
+            return vec![a];
+        }
+        let mut prev = vec![usize::MAX; self.num_sites()];
+        let mut seen = vec![false; self.num_sites()];
+        seen[a] = true;
+        let mut queue = VecDeque::from([a]);
+        while let Some(s) = queue.pop_front() {
+            for n in self.neighbors(s) {
+                if !seen[n] {
+                    seen[n] = true;
+                    prev[n] = s;
+                    if n == b {
+                        let mut path = vec![b];
+                        let mut cur = b;
+                        while prev[cur] != usize::MAX {
+                            cur = prev[cur];
+                            path.push(cur);
+                        }
+                        path.reverse();
+                        return path;
+                    }
+                    queue.push_back(n);
+                }
+            }
+        }
+        panic!("sites {a} and {b} are disconnected");
+    }
+}
+
+/// A `rows × cols` nearest-neighbor square grid. Site `(r, c)` has index
+/// `r·cols + c`; neighbors are the 4-connected cells.
+///
+/// ```
+/// use qram_layout::{Grid, Topology};
+/// let g = Grid::new(3, 3);
+/// assert_eq!(g.num_sites(), 9);
+/// assert_eq!(g.distance(0, 8), 4); // Manhattan
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Grid {
+    rows: usize,
+    cols: usize,
+}
+
+impl Grid {
+    /// Creates a grid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "grid dimensions must be positive");
+        Grid { rows, cols }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// The site index of cell `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell is outside the grid.
+    pub fn site(&self, r: usize, c: usize) -> usize {
+        assert!(r < self.rows && c < self.cols, "cell ({r},{c}) outside grid");
+        r * self.cols + c
+    }
+
+    /// The cell `(r, c)` of a site index.
+    pub fn cell(&self, site: usize) -> (usize, usize) {
+        assert!(site < self.num_sites(), "site {site} out of range");
+        (site / self.cols, site % self.cols)
+    }
+
+    /// Manhattan distance between two cells.
+    pub fn manhattan(&self, a: (usize, usize), b: (usize, usize)) -> usize {
+        a.0.abs_diff(b.0) + a.1.abs_diff(b.1)
+    }
+}
+
+impl Topology for Grid {
+    fn num_sites(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    fn neighbors(&self, site: usize) -> Vec<usize> {
+        let (r, c) = self.cell(site);
+        let mut out = Vec::with_capacity(4);
+        if r > 0 {
+            out.push(self.site(r - 1, c));
+        }
+        if r + 1 < self.rows {
+            out.push(self.site(r + 1, c));
+        }
+        if c > 0 {
+            out.push(self.site(r, c - 1));
+        }
+        if c + 1 < self.cols {
+            out.push(self.site(r, c + 1));
+        }
+        out
+    }
+
+    fn distance(&self, a: usize, b: usize) -> usize {
+        self.manhattan(self.cell(a), self.cell(b))
+    }
+}
+
+/// An explicit coupling graph (edge list), used for device topologies
+/// such as `ibm_perth` and `ibmq_guadalupe`.
+///
+/// ```
+/// use qram_layout::{CouplingGraph, Topology};
+/// let g = CouplingGraph::new(3, vec![(0, 1), (1, 2)]);
+/// assert_eq!(g.distance(0, 2), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CouplingGraph {
+    num_sites: usize,
+    adjacency: Vec<Vec<usize>>,
+}
+
+impl CouplingGraph {
+    /// Builds a graph from an undirected edge list.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range endpoints or self-loops.
+    pub fn new(num_sites: usize, edges: Vec<(usize, usize)>) -> Self {
+        let mut adjacency = vec![Vec::new(); num_sites];
+        for (a, b) in edges {
+            assert!(a < num_sites && b < num_sites, "edge ({a},{b}) out of range");
+            assert!(a != b, "self-loop on {a}");
+            adjacency[a].push(b);
+            adjacency[b].push(a);
+        }
+        CouplingGraph { num_sites, adjacency }
+    }
+
+    /// Number of undirected edges.
+    pub fn num_edges(&self) -> usize {
+        self.adjacency.iter().map(Vec::len).sum::<usize>() / 2
+    }
+}
+
+impl Topology for CouplingGraph {
+    fn num_sites(&self) -> usize {
+        self.num_sites
+    }
+
+    fn neighbors(&self, site: usize) -> Vec<usize> {
+        self.adjacency[site].clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_indexing_round_trips() {
+        let g = Grid::new(4, 5);
+        for r in 0..4 {
+            for c in 0..5 {
+                assert_eq!(g.cell(g.site(r, c)), (r, c));
+            }
+        }
+    }
+
+    #[test]
+    fn grid_neighbors_corner_edge_interior() {
+        let g = Grid::new(3, 3);
+        assert_eq!(g.neighbors(g.site(0, 0)).len(), 2);
+        assert_eq!(g.neighbors(g.site(0, 1)).len(), 3);
+        assert_eq!(g.neighbors(g.site(1, 1)).len(), 4);
+    }
+
+    #[test]
+    fn grid_distance_is_manhattan() {
+        let g = Grid::new(5, 5);
+        assert_eq!(g.distance(g.site(0, 0), g.site(4, 4)), 8);
+        assert_eq!(g.distance(g.site(2, 2), g.site(2, 2)), 0);
+    }
+
+    #[test]
+    fn grid_shortest_path_has_right_length() {
+        let g = Grid::new(4, 4);
+        let path = g.shortest_path(g.site(0, 0), g.site(3, 2));
+        assert_eq!(path.len(), 6); // distance 5 → 6 sites
+        assert_eq!(path[0], g.site(0, 0));
+        assert_eq!(*path.last().unwrap(), g.site(3, 2));
+        for w in path.windows(2) {
+            assert_eq!(g.distance(w[0], w[1]), 1);
+        }
+    }
+
+    #[test]
+    fn coupling_graph_bfs_distance() {
+        // A path graph 0-1-2-3.
+        let g = CouplingGraph::new(4, vec![(0, 1), (1, 2), (2, 3)]);
+        assert_eq!(g.distance(0, 3), 3);
+        assert_eq!(g.num_edges(), 3);
+        let path = g.shortest_path(3, 0);
+        assert_eq!(path, vec![3, 2, 1, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "disconnected")]
+    fn disconnected_sites_panic() {
+        let g = CouplingGraph::new(3, vec![(0, 1)]);
+        let _ = g.distance(0, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_grid_rejected() {
+        let _ = Grid::new(0, 3);
+    }
+}

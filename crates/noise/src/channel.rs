@@ -1,0 +1,161 @@
+//! Single-qubit Pauli error channels.
+
+use qram_sim::Pauli;
+use rand::{Rng, RngExt};
+
+/// A single-qubit Pauli channel
+/// `ρ → (1 − pₓ − p_y − p_z)ρ + pₓXρX + p_yYρY + p_zZρZ`.
+///
+/// The paper uses three specializations: the phase-flip channel of the
+/// Sec. 5.1 analysis (`ρ → (1−ε)ρ + εZρZ`), the bit-flip channel of the
+/// Fig. 10 comparison, and the depolarizing channel for device models.
+///
+/// ```
+/// use qram_noise::PauliChannel;
+/// let ch = PauliChannel::phase_flip(1e-3);
+/// assert_eq!(ch.pz, 1e-3);
+/// assert_eq!(ch.total(), 1e-3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct PauliChannel {
+    /// Probability of an X (bit flip) error.
+    pub px: f64,
+    /// Probability of a Y error.
+    pub py: f64,
+    /// Probability of a Z (phase flip) error.
+    pub pz: f64,
+}
+
+impl PauliChannel {
+    /// The error-free channel.
+    pub const NOISELESS: PauliChannel = PauliChannel { px: 0.0, py: 0.0, pz: 0.0 };
+
+    /// A general Pauli channel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any probability is negative or the total exceeds 1.
+    pub fn new(px: f64, py: f64, pz: f64) -> Self {
+        assert!(px >= 0.0 && py >= 0.0 && pz >= 0.0, "negative error probability");
+        assert!(px + py + pz <= 1.0 + 1e-12, "total error probability exceeds 1");
+        PauliChannel { px, py, pz }
+    }
+
+    /// Phase-flip channel `ρ → (1−ε)ρ + εZρZ` (paper Sec. 5.1).
+    pub fn phase_flip(eps: f64) -> Self {
+        Self::new(0.0, 0.0, eps)
+    }
+
+    /// Bit-flip channel `ρ → (1−ε)ρ + εXρX`.
+    pub fn bit_flip(eps: f64) -> Self {
+        Self::new(eps, 0.0, 0.0)
+    }
+
+    /// Depolarizing channel: X, Y and Z each with probability `ε/3`.
+    pub fn depolarizing(eps: f64) -> Self {
+        Self::new(eps / 3.0, eps / 3.0, eps / 3.0)
+    }
+
+    /// Total error probability `pₓ + p_y + p_z`.
+    pub fn total(&self) -> f64 {
+        self.px + self.py + self.pz
+    }
+
+    /// Whether the channel never produces errors.
+    pub fn is_noiseless(&self) -> bool {
+        self.total() == 0.0
+    }
+
+    /// Returns a channel with every probability scaled by `factor`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if scaling pushes the total above 1.
+    pub fn scaled(&self, factor: f64) -> Self {
+        Self::new(self.px * factor, self.py * factor, self.pz * factor)
+    }
+
+    /// Samples one application of the channel: `None` = no error,
+    /// `Some(pauli)` = that Pauli strikes.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<Pauli> {
+        if self.is_noiseless() {
+            return None;
+        }
+        let u: f64 = rng.random();
+        if u < self.px {
+            Some(Pauli::X)
+        } else if u < self.px + self.py {
+            Some(Pauli::Y)
+        } else if u < self.px + self.py + self.pz {
+            Some(Pauli::Z)
+        } else {
+            None
+        }
+    }
+}
+
+impl std::fmt::Display for PauliChannel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Pauli(px={:.2e}, py={:.2e}, pz={:.2e})", self.px, self.py, self.pz)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn constructors_set_expected_components() {
+        assert_eq!(PauliChannel::phase_flip(0.1), PauliChannel::new(0.0, 0.0, 0.1));
+        assert_eq!(PauliChannel::bit_flip(0.1), PauliChannel::new(0.1, 0.0, 0.0));
+        let d = PauliChannel::depolarizing(0.3);
+        assert!((d.px - 0.1).abs() < 1e-12);
+        assert!((d.total() - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "negative")]
+    fn rejects_negative_probability() {
+        let _ = PauliChannel::new(-0.1, 0.0, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds 1")]
+    fn rejects_total_above_one() {
+        let _ = PauliChannel::new(0.5, 0.4, 0.2);
+    }
+
+    #[test]
+    fn noiseless_never_samples() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            assert_eq!(PauliChannel::NOISELESS.sample(&mut rng), None);
+        }
+    }
+
+    #[test]
+    fn sample_frequency_tracks_probability() {
+        let ch = PauliChannel::phase_flip(0.25);
+        let mut rng = StdRng::seed_from_u64(42);
+        let trials = 40_000;
+        let hits = (0..trials).filter(|_| ch.sample(&mut rng).is_some()).count();
+        let freq = hits as f64 / trials as f64;
+        assert!((freq - 0.25).abs() < 0.01, "frequency {freq}");
+    }
+
+    #[test]
+    fn sample_respects_pauli_mix() {
+        let ch = PauliChannel::new(0.5, 0.0, 0.5);
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..200 {
+            if let Some(Pauli::Y) = ch.sample(&mut rng) { panic!("Y sampled with py = 0") }
+        }
+    }
+
+    #[test]
+    fn scaled_divides_rates() {
+        let ch = PauliChannel::depolarizing(0.3).scaled(0.1);
+        assert!((ch.total() - 0.03).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,142 @@
+//! Noise-model composition: channel + placement + strength scaling.
+
+use crate::PauliChannel;
+
+/// The paper's assumed current-hardware error rate, `ε₀ = 10⁻³`
+/// (Appendix A).
+pub const BASE_ERROR_RATE: f64 = 1e-3;
+
+/// Where in the circuit a noise model strikes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NoisePlacement {
+    /// Every qubit suffers the channel at every schedule layer — the
+    /// qubit-based model of the Sec. 5.1 analysis. Idle qubits decay too.
+    QubitPerStep,
+    /// The channel strikes every qubit in the support of each executed
+    /// gate — the gate-based Monte-Carlo model of Sec. 6.3.
+    PerGate,
+    /// The channel strikes every qubit exactly once, before the circuit —
+    /// the single-shot qubit model used for the closed-form bound of
+    /// Eq. (3) (each qubit is subjected to the channel once).
+    PerQubitOnce,
+}
+
+/// A complete noise model: a Pauli channel and a placement rule.
+///
+/// ```
+/// use qram_noise::{NoiseModel, PauliChannel};
+/// let model = NoiseModel::per_gate(PauliChannel::depolarizing(1e-3));
+/// assert_eq!(model.channel.total(), 1e-3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NoiseModel {
+    /// The single-qubit error channel.
+    pub channel: PauliChannel,
+    /// Where the channel strikes.
+    pub placement: NoisePlacement,
+}
+
+impl NoiseModel {
+    /// A noise-free model (useful as a control).
+    pub fn noiseless() -> Self {
+        NoiseModel { channel: PauliChannel::NOISELESS, placement: NoisePlacement::PerGate }
+    }
+
+    /// Qubit-per-step placement with the given channel.
+    pub fn qubit_per_step(channel: PauliChannel) -> Self {
+        NoiseModel { channel, placement: NoisePlacement::QubitPerStep }
+    }
+
+    /// Per-gate placement with the given channel.
+    pub fn per_gate(channel: PauliChannel) -> Self {
+        NoiseModel { channel, placement: NoisePlacement::PerGate }
+    }
+
+    /// Single application per qubit with the given channel.
+    pub fn per_qubit_once(channel: PauliChannel) -> Self {
+        NoiseModel { channel, placement: NoisePlacement::PerQubitOnce }
+    }
+
+    /// The same model with its channel scaled by `1/εr`.
+    pub fn reduced_by(&self, er: ErrorReductionFactor) -> Self {
+        NoiseModel { channel: self.channel.scaled(1.0 / er.0), placement: self.placement }
+    }
+}
+
+/// Appendix A's error reduction factor
+/// `εr = current error rate / future error rate`.
+///
+/// `εr = 1` is today's hardware (`ε = 10⁻³`); `εr = 100` is hardware two
+/// orders of magnitude better (`ε = 10⁻⁵`). Values below 1 model *worse*
+/// hardware, which the paper's Fig. 10/12 sweeps include (εr = 0.1).
+///
+/// ```
+/// use qram_noise::ErrorReductionFactor;
+/// let er = ErrorReductionFactor(100.0);
+/// assert!((er.error_rate() - 1e-5).abs() < 1e-18);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub struct ErrorReductionFactor(pub f64);
+
+impl ErrorReductionFactor {
+    /// The effective error rate `ε₀/εr`.
+    pub fn error_rate(&self) -> f64 {
+        BASE_ERROR_RATE / self.0
+    }
+
+    /// A log-spaced sweep from `10^lo` to `10^hi` with `per_decade` points
+    /// per decade — the x-axis of Figs. 10 and 12.
+    pub fn sweep(lo: i32, hi: i32, per_decade: usize) -> Vec<ErrorReductionFactor> {
+        assert!(hi >= lo && per_decade >= 1);
+        let steps = ((hi - lo) as usize) * per_decade;
+        (0..=steps)
+            .map(|i| {
+                let exp = lo as f64 + i as f64 / per_decade as f64;
+                ErrorReductionFactor(10f64.powf(exp))
+            })
+            .collect()
+    }
+}
+
+impl std::fmt::Display for ErrorReductionFactor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "εr={}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reduction_factor_scales_base_rate() {
+        assert!((ErrorReductionFactor(1.0).error_rate() - 1e-3).abs() < 1e-15);
+        assert!((ErrorReductionFactor(1000.0).error_rate() - 1e-6).abs() < 1e-18);
+        assert!((ErrorReductionFactor(0.1).error_rate() - 1e-2).abs() < 1e-15);
+    }
+
+    #[test]
+    fn reduced_model_scales_channel() {
+        let model = NoiseModel::per_gate(PauliChannel::phase_flip(1e-3));
+        let reduced = model.reduced_by(ErrorReductionFactor(10.0));
+        assert!((reduced.channel.pz - 1e-4).abs() < 1e-15);
+        assert_eq!(reduced.placement, NoisePlacement::PerGate);
+    }
+
+    #[test]
+    fn sweep_is_log_spaced_and_inclusive() {
+        let sweep = ErrorReductionFactor::sweep(-1, 3, 1);
+        assert_eq!(sweep.len(), 5);
+        assert!((sweep[0].0 - 0.1).abs() < 1e-12);
+        assert!((sweep[4].0 - 1000.0).abs() < 1e-9);
+
+        let fine = ErrorReductionFactor::sweep(0, 1, 4);
+        assert_eq!(fine.len(), 5);
+        assert!((fine[1].0 - 10f64.powf(0.25)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn noiseless_model_has_zero_rate() {
+        assert!(NoiseModel::noiseless().channel.is_noiseless());
+    }
+}

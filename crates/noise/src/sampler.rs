@@ -1,0 +1,332 @@
+//! Monte-Carlo fault sampling: noise model × circuit → per-shot fault
+//! plans.
+
+use qram_circuit::{Circuit, Qubit};
+use qram_sim::{Fault, FaultPlan};
+use rand::{Rng, RngExt};
+
+use crate::{DeviceModel, ErrorReductionFactor, NoiseModel, NoisePlacement, PauliChannel};
+
+/// Samples the fault pattern of one Monte-Carlo shot for a fixed circuit
+/// under a noise model.
+///
+/// The sampler precomputes every *error opportunity* ("trial") of the
+/// model — one per (qubit, layer) for [`NoisePlacement::QubitPerStep`],
+/// one per (gate, support qubit) for [`NoisePlacement::PerGate`], one per
+/// qubit for [`NoisePlacement::PerQubitOnce`] — and draws a geometric skip
+/// sequence over the trials, so sampling cost per shot is proportional to
+/// the *number of faults*, not the number of opportunities. At the paper's
+/// `ε = 10⁻³` this is a ~1000× speedup over trial-by-trial sampling.
+///
+/// ```
+/// use qram_circuit::{Circuit, Gate, Qubit};
+/// use qram_noise::{FaultSampler, NoiseModel, PauliChannel};
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut c = Circuit::new(2);
+/// c.push(Gate::cx(Qubit(0), Qubit(1)));
+/// let model = NoiseModel::per_gate(PauliChannel::depolarizing(0.5));
+/// let mut s = FaultSampler::new(&c, model, StdRng::seed_from_u64(3));
+/// let plan = s.sample();
+/// assert!(plan.len() <= 2); // at most one fault per support qubit
+/// ```
+#[derive(Debug)]
+pub struct FaultSampler<R> {
+    trials: Trials,
+    rng: R,
+}
+
+#[derive(Debug)]
+enum Trials {
+    /// All trials share one channel; geometric skipping applies.
+    Uniform { channel: PauliChannel, locations: Vec<(usize, Qubit)> },
+    /// Heterogeneous channels (device models); sampled trial by trial.
+    PerTrial { entries: Vec<(usize, Qubit, PauliChannel)> },
+}
+
+impl<R: Rng> FaultSampler<R> {
+    /// Builds a sampler for `circuit` under a uniform noise `model`.
+    pub fn new(circuit: &Circuit, model: NoiseModel, rng: R) -> Self {
+        let locations = match model.placement {
+            NoisePlacement::PerGate => per_gate_locations(circuit),
+            NoisePlacement::QubitPerStep => qubit_per_step_locations(circuit),
+            NoisePlacement::PerQubitOnce => {
+                (0..circuit.num_qubits()).map(|q| (0usize, Qubit(q as u32))).collect()
+            }
+        };
+        FaultSampler { trials: Trials::Uniform { channel: model.channel, locations }, rng }
+    }
+
+    /// Builds a per-gate sampler whose channel strength depends on gate
+    /// arity, as specified by `device`, with rates scaled down by `er`.
+    pub fn for_device(
+        circuit: &Circuit,
+        device: &DeviceModel,
+        er: ErrorReductionFactor,
+        rng: R,
+    ) -> Self {
+        let scale = 1.0 / er.0;
+        let mut entries = Vec::new();
+        for (i, gate) in circuit.gates().iter().enumerate() {
+            if gate.is_barrier() {
+                continue;
+            }
+            let channel = device.channel_for_arity(gate.arity()).scaled(scale);
+            for q in gate.qubits() {
+                entries.push((i + 1, q, channel));
+            }
+        }
+        FaultSampler { trials: Trials::PerTrial { entries }, rng }
+    }
+
+    /// Number of error opportunities per shot.
+    pub fn num_trials(&self) -> usize {
+        match &self.trials {
+            Trials::Uniform { locations, .. } => locations.len(),
+            Trials::PerTrial { entries } => entries.len(),
+        }
+    }
+
+    /// Draws the fault pattern of one shot.
+    pub fn sample(&mut self) -> FaultPlan {
+        let mut plan = FaultPlan::new();
+        match &self.trials {
+            Trials::Uniform { channel, locations } => {
+                let p = channel.total();
+                if p <= 0.0 {
+                    return plan;
+                }
+                if p >= 1.0 {
+                    for &(idx, q) in locations {
+                        if let Some(pauli) = channel.sample(&mut self.rng) {
+                            plan.push(Fault::new(idx, q, pauli));
+                        }
+                    }
+                    return plan;
+                }
+                // Geometric skipping: the gap to the next erroring trial is
+                // ⌊ln(1−U)/ln(1−p)⌋.
+                let log1mp = (1.0 - p).ln();
+                let mut t = 0usize;
+                loop {
+                    let u: f64 = self.rng.random();
+                    let gap = ((1.0 - u).ln() / log1mp).floor();
+                    if !gap.is_finite() || gap >= (locations.len() - t) as f64 {
+                        break;
+                    }
+                    t += gap as usize;
+                    let (idx, q) = locations[t];
+                    plan.push(Fault::new(idx, q, conditional_pauli(channel, &mut self.rng)));
+                    t += 1;
+                    if t >= locations.len() {
+                        break;
+                    }
+                }
+            }
+            Trials::PerTrial { entries } => {
+                for &(idx, q, channel) in entries {
+                    if let Some(pauli) = channel.sample(&mut self.rng) {
+                        plan.push(Fault::new(idx, q, pauli));
+                    }
+                }
+            }
+        }
+        plan
+    }
+}
+
+/// Samples which Pauli struck, conditioned on *some* error striking.
+fn conditional_pauli<R: Rng + ?Sized>(channel: &PauliChannel, rng: &mut R) -> qram_sim::Pauli {
+    use qram_sim::Pauli;
+    let total = channel.total();
+    let u: f64 = rng.random::<f64>() * total;
+    if u < channel.px {
+        Pauli::X
+    } else if u < channel.px + channel.py {
+        Pauli::Y
+    } else {
+        Pauli::Z
+    }
+}
+
+/// One trial per (gate, support qubit); faults strike after the gate.
+fn per_gate_locations(circuit: &Circuit) -> Vec<(usize, Qubit)> {
+    let mut locations = Vec::new();
+    for (i, gate) in circuit.gates().iter().enumerate() {
+        if gate.is_barrier() {
+            continue;
+        }
+        for q in gate.qubits() {
+            locations.push((i + 1, q));
+        }
+    }
+    locations
+}
+
+/// One trial per (qubit, schedule layer). An error on qubit `q` at layer
+/// `l` is placed after the last gate on `q` scheduled at a layer ≤ `l`
+/// (before the first gate if none) — Pauli errors commute freely across
+/// idle wire segments, so this placement is trajectory-exact.
+fn qubit_per_step_locations(circuit: &Circuit) -> Vec<(usize, Qubit)> {
+    let num_qubits = circuit.num_qubits();
+    // Re-run the ASAP recurrence to learn each gate's layer.
+    let mut busy = vec![0usize; num_qubits];
+    let mut floor = 0usize;
+    let mut depth = 0usize;
+    // events[q] = [(layer, flat index after the gate)], ascending in layer.
+    let mut events: Vec<Vec<(usize, usize)>> = vec![Vec::new(); num_qubits];
+    for (i, gate) in circuit.gates().iter().enumerate() {
+        if gate.is_barrier() {
+            floor = depth;
+            continue;
+        }
+        let qs = gate.qubits();
+        let layer = qs.iter().map(|q| busy[q.index()]).max().unwrap_or(floor).max(floor);
+        for q in &qs {
+            busy[q.index()] = layer + 1;
+            events[q.index()].push((layer, i + 1));
+        }
+        depth = depth.max(layer + 1);
+    }
+
+    let mut locations = Vec::with_capacity(num_qubits * depth);
+    for (q, evs) in events.iter().enumerate() {
+        let mut cursor = 0usize; // next event to pass
+        let mut placement = 0usize; // before the first gate
+        for layer in 0..depth {
+            while cursor < evs.len() && evs[cursor].0 <= layer {
+                placement = evs[cursor].1;
+                cursor += 1;
+            }
+            locations.push((placement, Qubit(q as u32)));
+        }
+    }
+    locations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qram_circuit::Gate;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn chain_circuit() -> Circuit {
+        let mut c = Circuit::new(3);
+        c.push(Gate::cx(Qubit(0), Qubit(1)));
+        c.push(Gate::cx(Qubit(1), Qubit(2)));
+        c
+    }
+
+    #[test]
+    fn per_gate_trial_count_is_total_support() {
+        let c = chain_circuit();
+        let s = FaultSampler::new(
+            &c,
+            NoiseModel::per_gate(PauliChannel::phase_flip(0.1)),
+            StdRng::seed_from_u64(0),
+        );
+        assert_eq!(s.num_trials(), 4); // two 2-qubit gates
+    }
+
+    #[test]
+    fn qubit_per_step_trial_count_is_qubits_times_depth() {
+        let c = chain_circuit(); // depth 2, 3 qubits
+        let s = FaultSampler::new(
+            &c,
+            NoiseModel::qubit_per_step(PauliChannel::phase_flip(0.1)),
+            StdRng::seed_from_u64(0),
+        );
+        assert_eq!(s.num_trials(), 6);
+    }
+
+    #[test]
+    fn per_qubit_once_places_faults_at_start() {
+        let c = chain_circuit();
+        let mut s = FaultSampler::new(
+            &c,
+            NoiseModel::per_qubit_once(PauliChannel::bit_flip(1.0)),
+            StdRng::seed_from_u64(0),
+        );
+        let plan = s.sample();
+        assert_eq!(plan.len(), 3);
+        assert!(plan.faults().iter().all(|f| f.gate_index == 0));
+    }
+
+    #[test]
+    fn noiseless_model_samples_empty_plans() {
+        let c = chain_circuit();
+        let mut s = FaultSampler::new(&c, NoiseModel::noiseless(), StdRng::seed_from_u64(0));
+        for _ in 0..10 {
+            assert!(s.sample().is_empty());
+        }
+    }
+
+    #[test]
+    fn geometric_skipping_matches_expected_rate() {
+        let mut c = Circuit::new(8);
+        for _ in 0..50 {
+            for q in 0..8 {
+                c.push(Gate::x(Qubit(q)));
+            }
+        }
+        let p = 0.01;
+        let mut s = FaultSampler::new(
+            &c,
+            NoiseModel::per_gate(PauliChannel::depolarizing(p)),
+            StdRng::seed_from_u64(11),
+        );
+        let trials = s.num_trials() as f64;
+        let shots = 500;
+        let total: usize = (0..shots).map(|_| s.sample().len()).sum();
+        let mean = total as f64 / shots as f64;
+        let expected = trials * p;
+        assert!(
+            (mean - expected).abs() < 0.15 * expected,
+            "mean {mean} vs expected {expected}"
+        );
+    }
+
+    #[test]
+    fn certain_error_rate_hits_every_trial() {
+        let c = chain_circuit();
+        let mut s = FaultSampler::new(
+            &c,
+            NoiseModel::per_gate(PauliChannel::bit_flip(1.0)),
+            StdRng::seed_from_u64(5),
+        );
+        assert_eq!(s.sample().len(), 4);
+    }
+
+    #[test]
+    fn qubit_per_step_placement_respects_gate_order() {
+        // Qubit 1 is touched by gate 0 (layer 0) and gate 1 (layer 1).
+        // An error at layer 0 must land at gate_index 1 (between the CXs).
+        let c = chain_circuit();
+        let locations = qubit_per_step_locations(&c);
+        // locations are grouped by qubit, then layer.
+        let q1: Vec<_> = locations.iter().filter(|(_, q)| q.index() == 1).collect();
+        assert_eq!(q1.len(), 2);
+        assert_eq!(q1[0].0, 1); // after gate 0
+        assert_eq!(q1[1].0, 2); // after gate 1
+        // Qubit 0 is only touched at layer 0.
+        let q0: Vec<_> = locations.iter().filter(|(_, q)| q.index() == 0).collect();
+        assert_eq!(q0[0].0, 1);
+        assert_eq!(q0[1].0, 1); // idles at layer 1; error stays after gate 0
+    }
+
+    #[test]
+    fn device_sampler_uses_arity_dependent_channels() {
+        let mut c = Circuit::new(2);
+        c.push(Gate::x(Qubit(0)));
+        c.push(Gate::cx(Qubit(0), Qubit(1)));
+        let device = crate::ibm_perth();
+        let mut s = FaultSampler::for_device(
+            &c,
+            &device,
+            ErrorReductionFactor(1.0),
+            StdRng::seed_from_u64(1),
+        );
+        assert_eq!(s.num_trials(), 3);
+        let _ = s.sample(); // must not panic
+    }
+}

@@ -1,0 +1,159 @@
+//! Closed-form query-fidelity lower bounds (paper Sec. 5.1).
+//!
+//! The paper proves that the bucket-brigade part of the virtual QRAM is
+//! *intrinsically resilient to Z-biased noise*: a Z error on a router only
+//! corrupts the branches through that router's subtree (Fig. 7), so the
+//! expected query fidelity is bounded by a polynomial in the address width
+//! `m` — not in the tree size `2^m`. X errors enjoy no such locality (any
+//! single X propagates to the root), and any Pauli error in the SQC stage
+//! is fatal, which is what makes the `(m, k)` split a real design
+//! trade-off (Fig. 11).
+//!
+//! All bounds are reported clamped to `[0, 1]`; they are *lower* bounds,
+//! so simulated fidelities must lie at or above them (integration tests
+//! enforce this against the Feynman-path simulator).
+
+/// Eq. (3): fidelity lower bound of a bare (bit-encoded) QRAM of width `m`
+/// under a per-qubit Z channel of strength `eps`:
+/// `F ≥ 1 − 4·ε·m²`.
+///
+/// ```
+/// use qram_qec::z_fidelity_bound;
+/// assert!((z_fidelity_bound(1e-3, 4) - (1.0 - 4.0 * 1e-3 * 16.0)).abs() < 1e-12);
+/// ```
+pub fn z_fidelity_bound(eps: f64, m: usize) -> f64 {
+    clamp01(1.0 - 4.0 * eps * (m * m) as f64)
+}
+
+/// Sec. 5.1's dual-rail variant of Eq. (3): duplicated router/data qubits
+/// double the error surface, `F ≥ 1 − 8·ε·m²`.
+pub fn z_fidelity_bound_dual_rail(eps: f64, m: usize) -> f64 {
+    clamp01(1.0 - 8.0 * eps * (m * m) as f64)
+}
+
+/// Sec. 5.1's X-channel behavior for the bare QRAM: *no* resilience — a
+/// single X error anywhere in the `O(m·2^m)` gate volume destroys the
+/// query, so `F ≥ 1 − 8·ε·m·2^m` (exponentially demanding in `m`).
+pub fn x_fidelity_bound(eps: f64, m: usize) -> f64 {
+    clamp01(1.0 - 8.0 * eps * (m as f64) * (1u64 << m) as f64)
+}
+
+/// Sec. 5.1's SQC fidelity bound: every Pauli error in the sequential
+/// query circuit over `k` bits is fatal, `F ≥ 1 − ε·k·2^k`.
+pub fn sqc_fidelity_bound(eps: f64, k: usize) -> f64 {
+    if k == 0 {
+        return 1.0;
+    }
+    clamp01(1.0 - eps * (k as f64) * (1u64 << k) as f64)
+}
+
+/// Eq. (5): virtual-QRAM query fidelity under Z errors,
+/// `F ≥ 1 − 8·ε·(m+1)·2^k·(k+m)`.
+///
+/// Polynomial in `m`, exponential in `k` — the asymmetry Fig. 11
+/// visualizes.
+pub fn virtual_z_fidelity_bound(eps: f64, m: usize, k: usize) -> f64 {
+    let pages = (1u64 << k) as f64;
+    clamp01(1.0 - 8.0 * eps * (m as f64 + 1.0) * pages * (k + m) as f64)
+}
+
+/// Eq. (6): virtual-QRAM query fidelity under X errors,
+/// `F ≥ 1 − 8·ε·(m+1)·2^k·(k+2^m)` — exponential in *both* widths, since
+/// X errors propagate across the whole `2^m`-leaf tree.
+///
+/// The paper's display typesets the last factor as `(k + 2m)`; the
+/// surrounding prose ("exponential in the total number of qubits",
+/// "1 − 8εm·2^m") and Fig. 10's simulated X-fidelity collapse at small
+/// `m` require the `2^m` reading, which we adopt.
+pub fn virtual_x_fidelity_bound(eps: f64, m: usize, k: usize) -> f64 {
+    let pages = (1u64 << k) as f64;
+    let tree = (1u64 << m) as f64;
+    clamp01(1.0 - 8.0 * eps * (m as f64 + 1.0) * pages * (k as f64 + tree))
+}
+
+/// The expected-fidelity model behind Eq. (3)'s derivation:
+/// `E[F] ≥ (2·(1−ε)^(m²) − 1)²` — each of the `2^m` branches survives iff
+/// its `m` routers stay clean through `m` time steps. Useful as a tighter
+/// oracle for simulator cross-checks at large `ε`, where the linearized
+/// Eq. (3) goes slack.
+pub fn z_expected_fidelity_model(eps: f64, m: usize) -> f64 {
+    let good = (1.0 - eps).powi((m * m) as i32);
+    clamp01((2.0 * good - 1.0).powi(2))
+}
+
+fn clamp01(x: f64) -> f64 {
+    x.clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounds_clamp_to_unit_interval() {
+        assert_eq!(z_fidelity_bound(1.0, 10), 0.0);
+        assert_eq!(z_fidelity_bound(0.0, 10), 1.0);
+        assert_eq!(virtual_x_fidelity_bound(0.5, 8, 4), 0.0);
+    }
+
+    #[test]
+    fn z_bound_is_polynomial_x_bound_exponential() {
+        let eps = 1e-6;
+        // Doubling m quadruples the Z infidelity…
+        let z4 = 1.0 - z_fidelity_bound(eps, 4);
+        let z8 = 1.0 - z_fidelity_bound(eps, 8);
+        assert!((z8 / z4 - 4.0).abs() < 1e-9);
+        // …but multiplies the X infidelity by ~2^4·2 = 32.
+        let x4 = 1.0 - x_fidelity_bound(eps, 4);
+        let x8 = 1.0 - x_fidelity_bound(eps, 8);
+        assert!((x8 / x4 - 32.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dual_rail_doubles_the_infidelity() {
+        let eps = 1e-5;
+        let single = 1.0 - z_fidelity_bound(eps, 5);
+        let dual = 1.0 - z_fidelity_bound_dual_rail(eps, 5);
+        assert!((dual / single - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sqc_bound_matches_paper_form() {
+        let eps = 1e-4;
+        assert_eq!(sqc_fidelity_bound(eps, 0), 1.0);
+        let k3 = 1.0 - sqc_fidelity_bound(eps, 3);
+        assert!((k3 - eps * 3.0 * 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn virtual_bounds_decay_faster_in_k_than_m() {
+        // Fig. 11's claim: along k the fidelity collapses exponentially,
+        // along m only polynomially (for Z noise).
+        let eps = 1e-5;
+        let base = 1.0 - virtual_z_fidelity_bound(eps, 2, 0);
+        let plus_m = 1.0 - virtual_z_fidelity_bound(eps, 4, 0);
+        let plus_k = 1.0 - virtual_z_fidelity_bound(eps, 2, 2);
+        assert!(plus_k > plus_m, "k-growth {plus_k} vs m-growth {plus_m}");
+        let _ = base;
+    }
+
+    #[test]
+    fn virtual_bound_reduces_to_bare_bound_shape_at_k0() {
+        // k = 0: Eq. (5) reads 1 − 8ε(m+1)m — same polynomial family as
+        // Eq. (3).
+        let eps = 1e-6;
+        let m = 6;
+        let infidelity = 1.0 - virtual_z_fidelity_bound(eps, m, 0);
+        assert!((infidelity - 8.0 * eps * 7.0 * 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn expectation_model_is_tighter_than_linearized_bound() {
+        let (eps, m) = (1e-3, 6);
+        assert!(z_expected_fidelity_model(eps, m) >= z_fidelity_bound(eps, m));
+        // And they agree in the small-ε limit.
+        let (eps, m) = (1e-8, 4);
+        let gap = z_expected_fidelity_model(eps, m) - z_fidelity_bound(eps, m);
+        assert!(gap.abs() < 1e-9);
+    }
+}

@@ -1,0 +1,41 @@
+//! Asymmetric error correction for noise-biased QRAM (paper Sec. 5).
+//!
+//! Two halves:
+//!
+//! * fidelity bounds — the closed-form query-fidelity lower bounds of
+//!   Sec. 5.1 (Eqs. 3, 5, 6 plus the SQC and dual-rail variants). These
+//!   are the analytical oracles the simulation campaign validates
+//!   against, and the inputs to the code-design rule below.
+//! * [`SurfaceCode`] / [`balanced_code`] — the Sec. 5.2 prescription:
+//!   encode QRAM routers in *rectangular* surface codes whose distance
+//!   gap `dx − dz` (Eq. 7) equalizes the X and Z fidelity bounds, and
+//!   encode the unbiased SQC address qubits in square codes.
+//!
+//! # Example
+//!
+//! ```
+//! use qram_qec::{balanced_code, virtual_z_fidelity_bound, TYPICAL_THRESHOLD};
+//!
+//! // A (m=6, k=2) virtual QRAM at physical error rate 10⁻³:
+//! let code = balanced_code(2, 6, 1e-3, TYPICAL_THRESHOLD, 9);
+//! assert!(code.dx() >= code.dz()); // X needs more protection
+//!
+//! // The Z-channel fidelity floor at the logical error rate:
+//! let f = virtual_z_fidelity_bound(code.logical_z_rate(1e-3, TYPICAL_THRESHOLD), 6, 2);
+//! assert!(f > 0.99);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bounds;
+mod surface;
+
+pub use bounds::{
+    sqc_fidelity_bound, virtual_x_fidelity_bound, virtual_z_fidelity_bound, x_fidelity_bound,
+    z_expected_fidelity_model, z_fidelity_bound, z_fidelity_bound_dual_rail,
+};
+pub use surface::{
+    balanced_code, balanced_code_tree, distance_gap, distance_gap_tree, SurfaceCode,
+    TYPICAL_THRESHOLD,
+};

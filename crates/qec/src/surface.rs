@@ -1,0 +1,266 @@
+//! Rectangular surface-code logical error model (paper Sec. 5.2).
+//!
+//! A rectangular surface code with X distance `dx` and Z distance `dz`
+//! suppresses logical X errors as `(p/p_th)^((dx+1)/2)` and logical Z
+//! errors as `(p/p_th)^((dz+1)/2)`, so the logical error-rate *ratio* is
+//! `p_xl/p_zl ≈ (p/p_th)^((dx−dz)/2)` — an exponential bias knob. The
+//! paper (citing the XZZX surface code literature) uses the simplified
+//! exponent `(p/p_th)^(dx−dz)`; this module exposes both the per-channel
+//! rates (with the standard `(d+1)/2` exponent) and the paper's ratio
+//! form, which agree up to the same constant rescaling of distances.
+
+/// The standard circuit-level surface-code threshold (~1 %) used for
+/// numeric examples.
+pub const TYPICAL_THRESHOLD: f64 = 1e-2;
+
+/// A rectangular surface-code patch with independent X and Z distances.
+///
+/// ```
+/// use qram_qec::SurfaceCode;
+/// let square = SurfaceCode::square(5);
+/// assert_eq!(square.dx(), 5);
+/// let biased = SurfaceCode::new(7, 3);
+/// assert!(biased.is_rectangular());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SurfaceCode {
+    dx: usize,
+    dz: usize,
+}
+
+impl SurfaceCode {
+    /// A rectangular code with X distance `dx` and Z distance `dz`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either distance is zero or even (surface-code distances
+    /// are odd so majority voting is unambiguous).
+    pub fn new(dx: usize, dz: usize) -> Self {
+        assert!(dx >= 1 && dz >= 1, "distances must be positive");
+        assert!(dx % 2 == 1 && dz % 2 == 1, "distances must be odd");
+        SurfaceCode { dx, dz }
+    }
+
+    /// A square code (`dx = dz = d`), used for the SQC address qubits that
+    /// enjoy no noise bias (Sec. 5.2).
+    pub fn square(d: usize) -> Self {
+        Self::new(d, d)
+    }
+
+    /// X distance.
+    pub fn dx(&self) -> usize {
+        self.dx
+    }
+
+    /// Z distance.
+    pub fn dz(&self) -> usize {
+        self.dz
+    }
+
+    /// Whether the code is biased (`dx ≠ dz`).
+    pub fn is_rectangular(&self) -> bool {
+        self.dx != self.dz
+    }
+
+    /// Physical qubits per logical patch: `dx·dz` data qubits plus
+    /// `dx·dz − 1` syndrome qubits.
+    pub fn physical_qubits(&self) -> usize {
+        2 * self.dx * self.dz - 1
+    }
+
+    /// Logical X error rate per code cycle:
+    /// `A·(p/p_th)^((dx+1)/2)` with `A = 0.1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` or `p_th` is not positive.
+    pub fn logical_x_rate(&self, p: f64, p_th: f64) -> f64 {
+        logical_rate(self.dx, p, p_th)
+    }
+
+    /// Logical Z error rate per code cycle:
+    /// `A·(p/p_th)^((dz+1)/2)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` or `p_th` is not positive.
+    pub fn logical_z_rate(&self, p: f64, p_th: f64) -> f64 {
+        logical_rate(self.dz, p, p_th)
+    }
+
+    /// The paper's bias ratio `p_xl/p_zl ≈ (p/p_th)^(dx−dz)` (Sec. 5.2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` or `p_th` is not positive.
+    pub fn bias_ratio(&self, p: f64, p_th: f64) -> f64 {
+        assert!(p > 0.0 && p_th > 0.0, "rates must be positive");
+        (p / p_th).powi(self.dx as i32 - self.dz as i32)
+    }
+}
+
+impl std::fmt::Display for SurfaceCode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "surface[dx={}, dz={}]", self.dx, self.dz)
+    }
+}
+
+fn logical_rate(d: usize, p: f64, p_th: f64) -> f64 {
+    assert!(p > 0.0 && p_th > 0.0, "rates must be positive");
+    0.1 * (p / p_th).powf((d as f64 + 1.0) / 2.0)
+}
+
+/// Eq. (7): the code-distance gap `dx − dz` that balances the X and Z
+/// query-fidelity bounds of the virtual QRAM —
+/// `dx − dz ≈ log((k+m)/(k+2m)) / log(p/p_th)`.
+///
+/// Returned as a (possibly fractional) real; [`balanced_code`] rounds it
+/// into odd distances.
+///
+/// # Panics
+///
+/// Panics unless `m ≥ 1` and `0 < p < p_th` (below threshold).
+pub fn distance_gap(k: usize, m: usize, p: f64, p_th: f64) -> f64 {
+    assert!(m >= 1, "QRAM width must be at least 1");
+    assert!(p > 0.0 && p < p_th, "physical rate must be below threshold");
+    let ratio = (k + m) as f64 / (k + 2 * m) as f64;
+    ratio.ln() / (p / p_th).ln()
+}
+
+/// The distance gap implied by the Eq. (5)/(6) fidelity bounds *as
+/// implemented* (with the X bound exponential in the tree size `2^m`;
+/// see `bounds::virtual_x_fidelity_bound` for the reading): balancing
+/// `F_X = F_Z` requires `εx/εz = (k+m)/(k+2^m)`, hence
+/// `dx − dz ≈ log((k+m)/(k+2^m)) / log(p/p_th)` — substantially more X
+/// protection than the paper's printed `(k+2m)` form once `m` grows.
+///
+/// # Panics
+///
+/// Same conditions as [`distance_gap`].
+pub fn distance_gap_tree(k: usize, m: usize, p: f64, p_th: f64) -> f64 {
+    assert!(m >= 1, "QRAM width must be at least 1");
+    assert!(p > 0.0 && p < p_th, "physical rate must be below threshold");
+    let ratio = (k + m) as f64 / (k as f64 + (1u64 << m) as f64);
+    ratio.ln() / (p / p_th).ln()
+}
+
+/// Chooses a rectangular code for the QRAM routers: the smallest odd
+/// `dz ≥ dz_min` plus the Eq. (7) gap (rounded to keep `dx` odd).
+///
+/// The gap is positive below threshold (the X bound of Eq. (6) is looser
+/// than the Z bound of Eq. (5), so X needs *more* protection: `dx > dz`).
+///
+/// # Panics
+///
+/// Same conditions as [`distance_gap`]; additionally `dz_min` must be odd.
+pub fn balanced_code(k: usize, m: usize, p: f64, p_th: f64, dz_min: usize) -> SurfaceCode {
+    assert!(dz_min % 2 == 1, "dz_min must be odd");
+    let gap = distance_gap(k, m, p, p_th).max(0.0);
+    // Round the gap to the nearest even integer so dx stays odd.
+    let gap_int = (gap / 2.0).round() as usize * 2;
+    SurfaceCode::new(dz_min + gap_int, dz_min)
+}
+
+/// Like [`balanced_code`] but using [`distance_gap_tree`] — the gap that
+/// balances the bounds as implemented in this crate.
+///
+/// # Panics
+///
+/// Same conditions as [`balanced_code`].
+pub fn balanced_code_tree(k: usize, m: usize, p: f64, p_th: f64, dz_min: usize) -> SurfaceCode {
+    assert!(dz_min % 2 == 1, "dz_min must be odd");
+    let gap = distance_gap_tree(k, m, p, p_th).max(0.0);
+    let gap_int = (gap / 2.0).round() as usize * 2;
+    SurfaceCode::new(dz_min + gap_int, dz_min)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn patch_overhead_counts_data_and_syndrome() {
+        assert_eq!(SurfaceCode::square(3).physical_qubits(), 17);
+        assert_eq!(SurfaceCode::square(5).physical_qubits(), 49);
+        assert_eq!(SurfaceCode::new(5, 3).physical_qubits(), 29);
+    }
+
+    #[test]
+    fn logical_rates_fall_with_distance() {
+        let p = 1e-3;
+        let r3 = SurfaceCode::square(3).logical_x_rate(p, TYPICAL_THRESHOLD);
+        let r5 = SurfaceCode::square(5).logical_x_rate(p, TYPICAL_THRESHOLD);
+        let r7 = SurfaceCode::square(7).logical_x_rate(p, TYPICAL_THRESHOLD);
+        assert!(r3 > r5 && r5 > r7);
+        // One distance step = one factor of p/p_th.
+        assert!((r3 / r5 - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rectangular_code_biases_the_rates() {
+        let code = SurfaceCode::new(7, 3);
+        let p = 1e-3;
+        let x = code.logical_x_rate(p, TYPICAL_THRESHOLD);
+        let z = code.logical_z_rate(p, TYPICAL_THRESHOLD);
+        assert!(x < z, "more X distance → fewer logical X errors");
+        // Paper ratio form: (p/p_th)^(dx−dz) = 10⁻⁴.
+        assert!((code.bias_ratio(p, TYPICAL_THRESHOLD) - 1e-4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distance_gap_is_positive_below_threshold() {
+        // (k+m)/(k+2m) < 1 and p/p_th < 1: both logs negative → gap > 0.
+        let gap = distance_gap(2, 4, 1e-3, TYPICAL_THRESHOLD);
+        assert!(gap > 0.0);
+        // Stronger bias needed when m dominates k.
+        let gap_heavy_m = distance_gap(0, 8, 1e-3, TYPICAL_THRESHOLD);
+        assert!(gap_heavy_m > gap);
+    }
+
+    #[test]
+    fn balanced_code_keeps_distances_odd() {
+        for (k, m) in [(0usize, 2usize), (1, 3), (2, 6), (4, 8)] {
+            let code = balanced_code(k, m, 1e-3, TYPICAL_THRESHOLD, 5);
+            assert_eq!(code.dz(), 5);
+            assert_eq!(code.dx() % 2, 1, "k={k} m={m}: {code}");
+            assert!(code.dx() >= code.dz());
+        }
+    }
+
+    #[test]
+    fn balanced_code_equalizes_error_budget() {
+        // With the chosen gap, the biased bias_ratio should approximate
+        // (k+m)/(k+2m) — the ratio the Eq. (7) derivation targets.
+        let (k, m, p) = (1usize, 5usize, 1e-3);
+        let code = balanced_code(k, m, p, TYPICAL_THRESHOLD, 3);
+        let achieved = code.bias_ratio(p, TYPICAL_THRESHOLD);
+        let target = (k + m) as f64 / (k + 2 * m) as f64;
+        // Rounding to integer (odd) distances leaves at most one factor of
+        // (p/p_th)^±1 of slack.
+        let slack = achieved / target;
+        assert!((0.1..=10.0).contains(&slack), "slack {slack}");
+    }
+
+    #[test]
+    fn tree_gap_exceeds_printed_gap_and_balances_bounds() {
+        let (k, m, p) = (2usize, 6usize, 3e-3);
+        let printed = distance_gap(k, m, p, TYPICAL_THRESHOLD);
+        let tree = distance_gap_tree(k, m, p, TYPICAL_THRESHOLD);
+        assert!(tree > printed, "tree {tree} vs printed {printed}");
+        // The tree-balanced code gives X strictly more protection.
+        let code = balanced_code_tree(k, m, p, TYPICAL_THRESHOLD, 5);
+        assert!(code.dx() > code.dz(), "{code}");
+    }
+
+    #[test]
+    #[should_panic(expected = "odd")]
+    fn even_distances_rejected() {
+        let _ = SurfaceCode::new(4, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "below threshold")]
+    fn above_threshold_rejected() {
+        let _ = distance_gap(1, 2, 2e-2, TYPICAL_THRESHOLD);
+    }
+}

@@ -1,0 +1,171 @@
+//! Minimal complex amplitude arithmetic.
+//!
+//! The workspace keeps its dependency surface to the allowed crate set, so
+//! complex numbers are implemented here rather than pulled from
+//! `num-complex`. Only the operations the path simulator needs exist:
+//! addition, multiplication, conjugation, modulus, and the four phases
+//! `±1, ±i` that Pauli errors introduce.
+
+use std::ops::{Add, AddAssign, Mul, MulAssign, Neg, Sub};
+
+/// A complex amplitude `re + i·im`.
+///
+/// ```
+/// use qram_sim::Amplitude;
+/// let a = Amplitude::new(0.6, 0.0);
+/// let b = Amplitude::new(0.0, 0.8);
+/// assert!(((a * b).norm_sqr() - 0.2304).abs() < 1e-12);
+/// assert_eq!(a + b, Amplitude::new(0.6, 0.8));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Amplitude {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Amplitude {
+    /// The additive identity.
+    pub const ZERO: Amplitude = Amplitude { re: 0.0, im: 0.0 };
+    /// The multiplicative identity.
+    pub const ONE: Amplitude = Amplitude { re: 1.0, im: 0.0 };
+    /// The imaginary unit `i`.
+    pub const I: Amplitude = Amplitude { re: 0.0, im: 1.0 };
+
+    /// Creates an amplitude from rectangular parts.
+    pub const fn new(re: f64, im: f64) -> Self {
+        Amplitude { re, im }
+    }
+
+    /// A real amplitude.
+    pub const fn real(re: f64) -> Self {
+        Amplitude { re, im: 0.0 }
+    }
+
+    /// Complex conjugate.
+    pub fn conj(self) -> Self {
+        Amplitude { re: self.re, im: -self.im }
+    }
+
+    /// Squared modulus `|a|²`.
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Modulus `|a|`.
+    pub fn norm(self) -> f64 {
+        self.norm_sqr().sqrt()
+    }
+
+    /// Scales by a real factor.
+    pub fn scale(self, s: f64) -> Self {
+        Amplitude { re: self.re * s, im: self.im * s }
+    }
+
+    /// Multiplies by `i` (the phase a `Y` error applies to |0⟩ → |1⟩).
+    pub fn mul_i(self) -> Self {
+        Amplitude { re: -self.im, im: self.re }
+    }
+
+    /// Multiplies by `−i`.
+    pub fn mul_neg_i(self) -> Self {
+        Amplitude { re: self.im, im: -self.re }
+    }
+
+    /// Whether the amplitude is negligible at tolerance `eps`.
+    pub fn is_negligible(self, eps: f64) -> bool {
+        self.norm_sqr() < eps * eps
+    }
+}
+
+impl Add for Amplitude {
+    type Output = Amplitude;
+    fn add(self, rhs: Amplitude) -> Amplitude {
+        Amplitude { re: self.re + rhs.re, im: self.im + rhs.im }
+    }
+}
+
+impl AddAssign for Amplitude {
+    fn add_assign(&mut self, rhs: Amplitude) {
+        self.re += rhs.re;
+        self.im += rhs.im;
+    }
+}
+
+impl Sub for Amplitude {
+    type Output = Amplitude;
+    fn sub(self, rhs: Amplitude) -> Amplitude {
+        Amplitude { re: self.re - rhs.re, im: self.im - rhs.im }
+    }
+}
+
+impl Mul for Amplitude {
+    type Output = Amplitude;
+    fn mul(self, rhs: Amplitude) -> Amplitude {
+        Amplitude {
+            re: self.re * rhs.re - self.im * rhs.im,
+            im: self.re * rhs.im + self.im * rhs.re,
+        }
+    }
+}
+
+impl MulAssign for Amplitude {
+    fn mul_assign(&mut self, rhs: Amplitude) {
+        *self = *self * rhs;
+    }
+}
+
+impl Neg for Amplitude {
+    type Output = Amplitude;
+    fn neg(self) -> Amplitude {
+        Amplitude { re: -self.re, im: -self.im }
+    }
+}
+
+impl std::fmt::Display for Amplitude {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.im >= 0.0 {
+            write!(f, "{:.6}+{:.6}i", self.re, self.im)
+        } else {
+            write!(f, "{:.6}-{:.6}i", self.re, -self.im)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn i_squared_is_minus_one() {
+        assert_eq!(Amplitude::I * Amplitude::I, -Amplitude::ONE);
+    }
+
+    #[test]
+    fn mul_i_matches_multiplication() {
+        let a = Amplitude::new(0.3, -0.7);
+        assert_eq!(a.mul_i(), a * Amplitude::I);
+        assert_eq!(a.mul_neg_i(), a * -Amplitude::I);
+    }
+
+    #[test]
+    fn conj_and_norm() {
+        let a = Amplitude::new(3.0, 4.0);
+        assert_eq!(a.conj(), Amplitude::new(3.0, -4.0));
+        assert!((a.norm() - 5.0).abs() < 1e-12);
+        assert!(((a * a.conj()).re - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn negligible_threshold() {
+        assert!(Amplitude::new(1e-12, 0.0).is_negligible(1e-9));
+        assert!(!Amplitude::new(1e-6, 0.0).is_negligible(1e-9));
+    }
+
+    #[test]
+    fn display_both_signs() {
+        assert_eq!(Amplitude::new(1.0, -1.0).to_string(), "1.000000-1.000000i");
+        assert_eq!(Amplitude::new(0.5, 0.25).to_string(), "0.500000+0.250000i");
+    }
+}

@@ -1,0 +1,555 @@
+//! Sparse superpositions over computational basis states.
+
+use std::collections::HashMap;
+
+use qram_circuit::Qubit;
+
+use crate::{Amplitude, BitString};
+
+/// Amplitudes below this squared-modulus threshold are pruned.
+const PRUNE_EPS: f64 = 1e-14;
+
+/// A sparse quantum state: a map from basis states ("Feynman paths") to
+/// complex amplitudes.
+///
+/// Classical reversible gates permute the keys of the map; Pauli `Z` errors
+/// flip amplitude signs; `X` errors flip bits. No operation in the QRAM gate
+/// family increases the number of paths, which is the storage property the
+/// paper's simulator exploits (Sec. 6.2): memory is `O(paths · qubits)`,
+/// independent of circuit depth.
+///
+/// ```
+/// use qram_sim::PathState;
+/// use qram_circuit::Qubit;
+///
+/// // Uniform superposition over a 2-bit address register (qubits 0-1),
+/// // with 2 more work qubits.
+/// let state = PathState::uniform_over(4, &[Qubit(0), Qubit(1)]);
+/// assert_eq!(state.num_paths(), 4);
+/// assert!((state.norm_sqr() - 1.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PathState {
+    /// Unique basis states with their amplitudes. Uniqueness is an
+    /// invariant: constructors deduplicate, and every mutation in the
+    /// classical-reversible + Pauli family is injective on basis states.
+    paths: Vec<(BitString, Amplitude)>,
+    num_qubits: usize,
+}
+
+impl PathState {
+    /// The all-zeros computational basis state |0…0⟩ on `num_qubits` qubits.
+    pub fn computational_basis(num_qubits: usize) -> Self {
+        PathState { paths: vec![(BitString::zeros(num_qubits), Amplitude::ONE)], num_qubits }
+    }
+
+    /// A single basis state given by `bits`.
+    pub fn basis_state(bits: BitString) -> Self {
+        let num_qubits = bits.len();
+        PathState { paths: vec![(bits, Amplitude::ONE)], num_qubits }
+    }
+
+    /// An empty (zero-vector) state; useful as an accumulator.
+    pub fn zero_vector(num_qubits: usize) -> Self {
+        PathState { paths: Vec::new(), num_qubits }
+    }
+
+    /// Builds a state from explicit `(basis state, amplitude)` pairs.
+    /// Duplicate basis states accumulate; negligible amplitudes are
+    /// dropped. The amplitudes are used as given (not normalized).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any basis state's length differs from `num_qubits`.
+    pub fn from_parts(
+        num_qubits: usize,
+        entries: impl IntoIterator<Item = (BitString, Amplitude)>,
+    ) -> Self {
+        let mut map: HashMap<BitString, Amplitude> = HashMap::new();
+        for (bits, amp) in entries {
+            assert_eq!(bits.len(), num_qubits, "basis state width mismatch");
+            *map.entry(bits).or_insert(Amplitude::ZERO) += amp;
+        }
+        let paths =
+            map.into_iter().filter(|(_, a)| !a.is_negligible(PRUNE_EPS)).collect();
+        PathState { paths, num_qubits }
+    }
+
+    /// A uniform superposition over all values of `register` (MSB-first),
+    /// with all other qubits in |0⟩. This is the canonical QRAM query input
+    /// `Σᵢ |i⟩/√N`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the register is longer than 32 qubits (2³² paths would not
+    /// fit in memory) or any qubit is out of range.
+    pub fn uniform_over(num_qubits: usize, register: &[Qubit]) -> Self {
+        assert!(register.len() <= 32, "refusing to enumerate 2^{} paths", register.len());
+        let indices: Vec<usize> = register.iter().map(|q| q.index()).collect();
+        for &i in &indices {
+            assert!(i < num_qubits, "qubit {i} out of range");
+        }
+        let n = 1u64 << register.len();
+        let amp = Amplitude::real(1.0 / (n as f64).sqrt());
+        let mut paths = Vec::with_capacity(n as usize);
+        for v in 0..n {
+            let mut bits = BitString::zeros(num_qubits);
+            bits.write_msb_first(&indices, v);
+            paths.push((bits, amp));
+        }
+        PathState { paths, num_qubits }
+    }
+
+    /// A weighted superposition over values of `register` (MSB-first):
+    /// `Σᵥ amplitudes[v] |v⟩`, other qubits |0⟩. Amplitudes are used as
+    /// given (not normalized); entries with negligible amplitude are
+    /// dropped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `amplitudes.len() > 2^register.len()`.
+    pub fn superposition_over(
+        num_qubits: usize,
+        register: &[Qubit],
+        amplitudes: &[Amplitude],
+    ) -> Self {
+        assert!(
+            (amplitudes.len() as u128) <= 1u128 << register.len(),
+            "{} amplitudes do not fit in a {}-qubit register",
+            amplitudes.len(),
+            register.len()
+        );
+        let indices: Vec<usize> = register.iter().map(|q| q.index()).collect();
+        let mut paths = Vec::with_capacity(amplitudes.len());
+        for (v, &amp) in amplitudes.iter().enumerate() {
+            if amp.is_negligible(PRUNE_EPS) {
+                continue;
+            }
+            let mut bits = BitString::zeros(num_qubits);
+            bits.write_msb_first(&indices, v as u64);
+            paths.push((bits, amp));
+        }
+        PathState { paths, num_qubits }
+    }
+
+    /// Number of qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// Number of live paths (basis states with non-negligible amplitude).
+    pub fn num_paths(&self) -> usize {
+        self.paths.len()
+    }
+
+    /// Iterator over `(basis state, amplitude)` pairs in arbitrary order.
+    pub fn iter(&self) -> impl Iterator<Item = (&BitString, &Amplitude)> {
+        self.paths.iter().map(|(b, a)| (b, a))
+    }
+
+    /// The amplitude of `bits` (zero if absent). O(paths) — intended for
+    /// tests and small inspections; bulk overlaps use
+    /// [`PathState::inner_product`].
+    pub fn amplitude(&self, bits: &BitString) -> Amplitude {
+        self.paths
+            .iter()
+            .find(|(b, _)| b == bits)
+            .map(|(_, a)| *a)
+            .unwrap_or(Amplitude::ZERO)
+    }
+
+    /// Squared norm `Σ|α|²` (1.0 for any state produced by unitary
+    /// evolution of a normalized input).
+    pub fn norm_sqr(&self) -> f64 {
+        self.paths.iter().map(|(_, a)| a.norm_sqr()).sum()
+    }
+
+    /// Inner product `⟨self|other⟩`.
+    pub fn inner_product(&self, other: &PathState) -> Amplitude {
+        // Index the larger state once, then stream the smaller one.
+        let (small, large, conj_small) = if self.paths.len() <= other.paths.len() {
+            (self, other, true)
+        } else {
+            (other, self, false)
+        };
+        let index: HashMap<&BitString, Amplitude> =
+            large.paths.iter().map(|(b, a)| (b, *a)).collect();
+        let mut acc = Amplitude::ZERO;
+        for (bits, amp) in small.iter() {
+            let other_amp = index.get(bits).copied().unwrap_or(Amplitude::ZERO);
+            if conj_small {
+                // ⟨self|other⟩ = Σ conj(self) · other
+                acc += amp.conj() * other_amp;
+            } else {
+                acc += other_amp.conj() * *amp;
+            }
+        }
+        acc
+    }
+
+    /// Query fidelity `|⟨self|other⟩|²` (paper Sec. 5 definition).
+    pub fn fidelity(&self, other: &PathState) -> f64 {
+        self.inner_product(other).norm_sqr()
+    }
+
+    /// Query fidelity of `other` against `self` after tracing out every
+    /// qubit not in `keep`: `F = ⟨self_keep| Tr_rest(|other⟩⟨other|) |self_keep⟩`.
+    ///
+    /// QRAM query fidelity is a property of the address and bus registers;
+    /// the router tree is an ancilla. A noisy shot can leave the tree in a
+    /// corrupted-but-*unentangled* configuration that costs no query
+    /// fidelity (the mechanism behind bucket-brigade's resilience), which
+    /// full-state overlap misses. `self` plays the role of the ideal
+    /// output, whose non-kept qubits must be a basis state on every path
+    /// (true for any uncomputed query circuit); group-by-ancilla overlap
+    /// then computes the reduced fidelity exactly:
+    /// `F = Σ_z |⟨self_keep| ⊗ ⟨z| other⟩|²`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two states have different qubit counts, a kept qubit
+    /// index is out of range, or `self`'s non-kept qubits are not in a
+    /// constant basis state across its paths (i.e. `self` has dirty or
+    /// entangled ancillas — the reduction is only defined against a
+    /// clean reference).
+    pub fn reduced_fidelity(&self, other: &PathState, keep: &[Qubit]) -> f64 {
+        assert_eq!(self.num_qubits, other.num_qubits, "qubit counts differ");
+        let keep_idx: Vec<usize> = keep.iter().map(|q| q.index()).collect();
+        for &i in &keep_idx {
+            assert!(i < self.num_qubits, "kept qubit {i} out of range");
+        }
+        let mut kept_mask = vec![false; self.num_qubits];
+        for &i in &keep_idx {
+            kept_mask[i] = true;
+        }
+        let rest_idx: Vec<usize> =
+            (0..self.num_qubits).filter(|&i| !kept_mask[i]).collect();
+
+        // Ideal amplitudes keyed by the kept-qubit substring; the rest
+        // substring must be constant or the reduction is ill-defined.
+        let extract = |bits: &BitString, idx: &[usize]| -> BitString {
+            BitString::from_bits(idx.iter().map(|&i| bits.get(i)))
+        };
+        let mut ideal: HashMap<BitString, Amplitude> = HashMap::with_capacity(self.num_paths());
+        let mut ideal_rest: Option<BitString> = None;
+        for (bits, amp) in self.iter() {
+            let rest = extract(bits, &rest_idx);
+            match &ideal_rest {
+                None => ideal_rest = Some(rest),
+                Some(expected) => assert_eq!(
+                    expected, &rest,
+                    "reference state has entangled non-kept qubits"
+                ),
+            }
+            *ideal.entry(extract(bits, &keep_idx)).or_insert(Amplitude::ZERO) += *amp;
+        }
+
+        // Group the noisy paths by their traced-out substring and overlap
+        // each group with the ideal kept-state.
+        let mut groups: HashMap<BitString, Amplitude> = HashMap::new();
+        for (bits, amp) in other.iter() {
+            let kept = extract(bits, &keep_idx);
+            if let Some(ideal_amp) = ideal.get(&kept) {
+                let z = extract(bits, &rest_idx);
+                *groups.entry(z).or_insert(Amplitude::ZERO) += ideal_amp.conj() * *amp;
+            }
+        }
+        groups.values().map(|a| a.norm_sqr()).sum()
+    }
+
+    /// Probability that measuring `qubit` yields 1.
+    pub fn probability_of_one(&self, qubit: Qubit) -> f64 {
+        let i = qubit.index();
+        self.paths
+            .iter()
+            .filter(|(bits, _)| bits.get(i))
+            .map(|(_, amp)| amp.norm_sqr())
+            .sum()
+    }
+
+    /// Applies `X` on `qubit`: flips the bit in every path.
+    pub fn apply_x(&mut self, qubit: Qubit) {
+        let i = qubit.index();
+        for (bits, _) in &mut self.paths {
+            bits.flip(i);
+        }
+    }
+
+    /// Applies `Z` on `qubit`: negates the amplitude of every path with the
+    /// bit set.
+    pub fn apply_z(&mut self, qubit: Qubit) {
+        let i = qubit.index();
+        for (bits, amp) in &mut self.paths {
+            if bits.get(i) {
+                *amp = -*amp;
+            }
+        }
+    }
+
+    /// Applies `Y = iXZ` on `qubit`: flips the bit and multiplies by
+    /// `+i` (|0⟩→|1⟩) or `−i` (|1⟩→|0⟩).
+    pub fn apply_y(&mut self, qubit: Qubit) {
+        let i = qubit.index();
+        for (bits, amp) in &mut self.paths {
+            let was_one = bits.get(i);
+            bits.flip(i);
+            *amp = if was_one { amp.mul_neg_i() } else { amp.mul_i() };
+        }
+    }
+
+    /// Applies a bit-level permutation `f` to every path **in place** —
+    /// the hot loop of the simulator: no hashing, no allocation.
+    ///
+    /// `f` must be injective on the live paths (true for every reversible
+    /// gate; checked in debug builds). For non-injective maps use
+    /// [`PathState::from_parts`] to rebuild with accumulation.
+    pub fn permute_paths(&mut self, mut f: impl FnMut(&mut BitString)) {
+        for (bits, _) in &mut self.paths {
+            f(bits);
+        }
+        #[cfg(debug_assertions)]
+        {
+            let mut seen = std::collections::HashSet::with_capacity(self.paths.len());
+            for (bits, _) in &self.paths {
+                debug_assert!(seen.insert(bits), "permute_paths closure merged paths");
+            }
+        }
+    }
+
+    /// Scales every amplitude by `1/norm` so the state is normalized.
+    /// No-op on the zero vector.
+    pub fn normalize(&mut self) {
+        let n = self.norm_sqr().sqrt();
+        if n > 0.0 {
+            let s = 1.0 / n;
+            for (_, amp) in &mut self.paths {
+                *amp = amp.scale(s);
+            }
+        }
+    }
+
+    /// Whether every path holds |0⟩ on all of `qubits` (e.g. ancillas
+    /// cleanly returned after uncomputation). Unlike
+    /// [`PathState::classical_value`] this has no 64-qubit limit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any qubit index is out of range.
+    pub fn is_zero_on(&self, qubits: &[Qubit]) -> bool {
+        self.paths
+            .iter()
+            .all(|(bits, _)| qubits.iter().all(|q| !bits.get(q.index())))
+    }
+
+    /// Reads the value of `register` (MSB-first) on every path; returns
+    /// `Some(value)` only if all paths agree (i.e. the register is
+    /// classical/unentangled in the computational basis).
+    pub fn classical_value(&self, register: &[Qubit]) -> Option<u64> {
+        let indices: Vec<usize> = register.iter().map(|q| q.index()).collect();
+        let mut value = None;
+        for (bits, _) in self.iter() {
+            let v = bits.read_msb_first(&indices);
+            match value {
+                None => value = Some(v),
+                Some(prev) if prev != v => return None,
+                _ => {}
+            }
+        }
+        value
+    }
+}
+
+impl PartialEq for PathState {
+    /// Exact structural equality (same path set, bit-identical
+    /// amplitudes, order-insensitive). For tolerance-based comparison use
+    /// [`PathState::fidelity`].
+    fn eq(&self, other: &Self) -> bool {
+        if self.num_qubits != other.num_qubits || self.paths.len() != other.paths.len() {
+            return false;
+        }
+        let index: HashMap<&BitString, Amplitude> =
+            other.paths.iter().map(|(b, a)| (b, *a)).collect();
+        self.paths.iter().all(|(b, a)| index.get(b) == Some(a))
+    }
+}
+
+impl std::fmt::Display for PathState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut entries: Vec<_> = self.paths.iter().collect();
+        entries.sort_by_key(|a| a.0.to_string());
+        write!(f, "{} paths over {} qubits", entries.len(), self.num_qubits)?;
+        for (bits, amp) in entries.iter().take(8) {
+            write!(f, "\n  {amp} {bits}")?;
+        }
+        if entries.len() > 8 {
+            write!(f, "\n  … {} more", entries.len() - 8)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_superposition_is_normalized() {
+        let s = PathState::uniform_over(5, &[Qubit(0), Qubit(1), Qubit(2)]);
+        assert_eq!(s.num_paths(), 8);
+        assert!((s.norm_sqr() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn x_then_x_is_identity() {
+        let mut s = PathState::uniform_over(3, &[Qubit(0), Qubit(1)]);
+        let orig = s.clone();
+        s.apply_x(Qubit(2));
+        s.apply_x(Qubit(2));
+        assert!((s.fidelity(&orig) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn z_flips_sign_on_set_paths() {
+        let mut s = PathState::uniform_over(1, &[Qubit(0)]);
+        s.apply_z(Qubit(0));
+        let plus = PathState::uniform_over(1, &[Qubit(0)]);
+        // ⟨+|−⟩ = 0.
+        assert!(s.fidelity(&plus) < 1e-12);
+    }
+
+    #[test]
+    fn y_is_ixz() {
+        // Y|0⟩ = i|1⟩; Y|1⟩ = −i|0⟩.
+        let mut s0 = PathState::computational_basis(1);
+        s0.apply_y(Qubit(0));
+        assert_eq!(s0.amplitude(&BitString::from_u64(1, 1)), Amplitude::I);
+
+        let mut s1 = PathState::basis_state(BitString::from_u64(1, 1));
+        s1.apply_y(Qubit(0));
+        assert_eq!(s1.amplitude(&BitString::from_u64(0, 1)), Amplitude::new(0.0, -1.0));
+    }
+
+    #[test]
+    fn y_twice_is_identity() {
+        let mut s = PathState::uniform_over(2, &[Qubit(0)]);
+        let orig = s.clone();
+        s.apply_y(Qubit(1));
+        s.apply_y(Qubit(1));
+        assert!((s.fidelity(&orig) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inner_product_is_conjugate_symmetric() {
+        let a = PathState::uniform_over(2, &[Qubit(0), Qubit(1)]);
+        let mut b = a.clone();
+        b.apply_z(Qubit(0));
+        b.apply_y(Qubit(1));
+        let ab = a.inner_product(&b);
+        let ba = b.inner_product(&a);
+        assert!((ab.re - ba.re).abs() < 1e-12);
+        assert!((ab.im + ba.im).abs() < 1e-12);
+    }
+
+    #[test]
+    fn classical_value_detects_agreement() {
+        let s = PathState::computational_basis(4);
+        assert_eq!(s.classical_value(&[Qubit(0), Qubit(1)]), Some(0));
+        let sup = PathState::uniform_over(4, &[Qubit(0)]);
+        assert_eq!(sup.classical_value(&[Qubit(0)]), None);
+        assert_eq!(sup.classical_value(&[Qubit(2), Qubit(3)]), Some(0));
+    }
+
+    #[test]
+    fn probability_of_one() {
+        let mut s = PathState::uniform_over(2, &[Qubit(0)]);
+        assert!((s.probability_of_one(Qubit(0)) - 0.5).abs() < 1e-12);
+        s.apply_x(Qubit(1));
+        assert!((s.probability_of_one(Qubit(1)) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_parts_prunes_cancellations() {
+        // Two entries with opposite amplitudes on the same string cancel
+        // and are pruned at construction.
+        let s = PathState::from_parts(
+            1,
+            [
+                (BitString::from_u64(0, 1), Amplitude::real(0.5)),
+                (BitString::from_u64(0, 1), Amplitude::real(-0.5)),
+            ],
+        );
+        assert_eq!(s.num_paths(), 0);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "merged paths")]
+    fn permute_paths_rejects_non_injective_maps() {
+        let mut s = PathState::uniform_over(1, &[Qubit(0)]);
+        s.permute_paths(|bits| bits.set(0, false));
+    }
+
+    #[test]
+    fn superposition_over_skips_zero_amplitudes() {
+        let amps =
+            [Amplitude::real(1.0), Amplitude::ZERO, Amplitude::ZERO, Amplitude::ZERO];
+        let s = PathState::superposition_over(2, &[Qubit(0), Qubit(1)], &amps);
+        assert_eq!(s.num_paths(), 1);
+    }
+
+    #[test]
+    fn normalize_restores_unit_norm() {
+        let amps = [Amplitude::real(3.0), Amplitude::real(4.0)];
+        let mut s = PathState::superposition_over(1, &[Qubit(0)], &amps);
+        s.normalize();
+        assert!((s.norm_sqr() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reduced_fidelity_matches_full_when_ancillas_clean() {
+        // Kept = all qubits → reduced fidelity equals full fidelity.
+        let ideal = PathState::uniform_over(3, &[Qubit(0), Qubit(1)]);
+        let mut noisy = ideal.clone();
+        noisy.apply_z(Qubit(0));
+        let all = [Qubit(0), Qubit(1), Qubit(2)];
+        let full = ideal.fidelity(&noisy);
+        let reduced = ideal.reduced_fidelity(&noisy, &all);
+        assert!((full - reduced).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unentangled_ancilla_flip_costs_nothing_reduced() {
+        // An X on a traced-out ancilla leaves the kept state intact.
+        let ideal = PathState::uniform_over(3, &[Qubit(0), Qubit(1)]);
+        let mut noisy = ideal.clone();
+        noisy.apply_x(Qubit(2));
+        assert!(ideal.fidelity(&noisy) < 1e-12); // full overlap destroyed
+        let reduced = ideal.reduced_fidelity(&noisy, &[Qubit(0), Qubit(1)]);
+        assert!((reduced - 1.0).abs() < 1e-12); // reduced state untouched
+    }
+
+    #[test]
+    fn entangled_ancilla_decoheres_reduced_state() {
+        // Flip the ancilla on half the branches: the kept register
+        // decoheres into an even mixture → fidelity 1/2... specifically
+        // |⟨+|0⟩|² + |⟨+|1⟩|² branch overlap = 0.25 + 0.25.
+        let ideal = PathState::uniform_over(2, &[Qubit(0)]);
+        let mut noisy = ideal.clone();
+        // CX-like corruption: ancilla 1 on the |1⟩ branch only.
+        noisy.permute_paths(|bits| {
+            if bits.get(0) {
+                bits.flip(1);
+            }
+        });
+        let reduced = ideal.reduced_fidelity(&noisy, &[Qubit(0)]);
+        assert!((reduced - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_truncates() {
+        let s = PathState::uniform_over(4, &[Qubit(0), Qubit(1), Qubit(2), Qubit(3)]);
+        let text = s.to_string();
+        assert!(text.contains("16 paths"));
+        assert!(text.contains("more"));
+    }
+}

@@ -1,0 +1,62 @@
+//! The simulator headline (paper Sec. 6.2): Feynman-path simulation keeps
+//! memory **constant in circuit depth** and linear in the number of
+//! superposed addresses — hundreds of qubits in kilobytes.
+//!
+//! The paper reports simulating its largest QRAMs in 1.5 MB of RAM where
+//! a dense state vector would need 2^190 amplitudes. This example
+//! measures the same effect in this repository's engine: path count,
+//! approximate working-set bytes, and wall-clock per query across QRAM
+//! widths.
+//!
+//! ```sh
+//! cargo run --release --example feynman_paths
+//! ```
+
+use std::time::Instant;
+
+use qram::core::{Memory, QueryArchitecture, VirtualQram};
+use qram::sim::run;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    println!(
+        "{:>3} {:>7} {:>7} {:>7} {:>12} {:>12}",
+        "m", "qubits", "gates", "paths", "~state bytes", "query time"
+    );
+    for m in 1..=9 {
+        let memory = Memory::random(m, &mut StdRng::seed_from_u64(m as u64));
+        let query = VirtualQram::new(0, m).build(&memory);
+        let input = query.input_state(None);
+
+        let start = Instant::now();
+        let mut state = input.clone();
+        run(query.circuit().gates(), &mut state).expect("simulable");
+        let elapsed = start.elapsed();
+
+        // One path = one packed bit string + one complex amplitude.
+        let words_per_path = query.num_qubits().div_ceil(64);
+        let bytes = state.num_paths() * (words_per_path * 8 + 16);
+        println!(
+            "{:>3} {:>7} {:>7} {:>7} {:>12} {:>12?}",
+            m,
+            query.num_qubits(),
+            query.circuit().len(),
+            state.num_paths(),
+            bytes,
+            elapsed
+        );
+
+        // The Sec. 6.2 invariant: the path count never grew.
+        assert_eq!(state.num_paths(), input.num_paths());
+    }
+
+    println!(
+        "\nA dense state vector for the m = 9 row ({} qubits) would need\n\
+         2^{} amplitudes — the path representation uses a few kilobytes,\n\
+         because classical-reversible gates map basis states to basis\n\
+         states: superposition size is set by the *input*, not the width.",
+        VirtualQram::new(0, 9).build(&Memory::zeroed(9)).num_qubits(),
+        VirtualQram::new(0, 9).build(&Memory::zeroed(9)).num_qubits(),
+    );
+}

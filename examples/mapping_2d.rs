@@ -1,0 +1,81 @@
+//! Putting a QRAM on a chip: H-tree embedding, teleportation routing,
+//! and SWAP-routing onto real device topologies (paper Sec. 4 + App. A).
+//!
+//! ```sh
+//! cargo run --release --example mapping_2d
+//! ```
+
+use qram::circuit::decompose::lower;
+use qram::core::{DataEncoding, Memory, QueryArchitecture, VirtualQram};
+use qram::layout::{
+    route, route_with_chosen_layout, routing_overhead_sweep, CouplingGraph, HTreeEmbedding,
+};
+use qram::noise::{ibm_perth, ibmq_guadalupe};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    // 1. The constructive H-tree embedding (Fig. 6): a capacity-16 QRAM
+    //    tree as a topological minor of a 7×7 grid.
+    let embedding = HTreeEmbedding::new(4);
+    embedding.validate().expect("topological minor invariants");
+    println!("{embedding}");
+    let census = embedding.role_census();
+    println!(
+        "roles: {} routers, {} data, {} routing, {} unused ({:.1}% unused)\n",
+        census.routers,
+        census.data,
+        census.routing,
+        census.unused,
+        100.0 * embedding.unused_fraction()
+    );
+
+    // 2. Fig. 8: why teleportation routing matters — swap chains grow
+    //    exponentially with the tree, entanglement swapping stays flat.
+    println!("{:>3} {:>6} {:>10} {:>10}", "m", "grid", "swap", "teleport");
+    for row in routing_overhead_sweep(9) {
+        println!(
+            "{:>3} {:>6} {:>10} {:>10}",
+            row.m,
+            format!("{}c", row.grid_cells),
+            row.swap_depth,
+            row.teleport_depth
+        );
+    }
+
+    // 3. Appendix A: route small virtual QRAMs onto the IBMQ coupling
+    //    maps with the greedy sabre_lite router and report SWAP counts
+    //    (the numbers under Fig. 12's legend).
+    println!(
+        "\n{:<16} {:>3} {:>3} {:>8} {:>10} {:>10}",
+        "device", "m", "k", "qubits", "swaps(id)", "swaps(bfs)"
+    );
+    for (device, m, k) in [
+        (ibm_perth(), 1usize, 0usize),
+        (ibm_perth(), 1, 1),
+        (ibmq_guadalupe(), 2, 0),
+        (ibmq_guadalupe(), 2, 1),
+    ] {
+        let memory = Memory::random(k + m, &mut StdRng::seed_from_u64(2023));
+        // Fused data rails: the smallest layout, fits the 7-qubit chip.
+        let query =
+            VirtualQram::new(k, m).with_encoding(DataEncoding::FusedBit).build(&memory);
+        let lowered = lower(query.circuit());
+        let topo = CouplingGraph::new(device.num_qubits(), device.coupling().to_vec());
+        match (route(&lowered, &topo), route_with_chosen_layout(&lowered, &topo)) {
+            (Ok(identity), Ok(chosen)) => println!(
+                "{:<16} {:>3} {:>3} {:>8} {:>10} {:>10}",
+                device.name(),
+                m,
+                k,
+                lowered.num_qubits(),
+                identity.swap_count(),
+                chosen.swap_count()
+            ),
+            (Err(e), _) | (_, Err(e)) => {
+                println!("{:<16} {:>3} {:>3} does not fit: {e}", device.name(), m, k)
+            }
+        }
+    }
+    println!("\n(paper's SABRE counts for the same shapes: 5, 20, 65, 99 — same order)");
+}

@@ -1,0 +1,42 @@
+//! End-to-end systems architecture for quantum random access memory (QRAM).
+//!
+//! This crate is the facade of the workspace reproducing the MICRO '23
+//! paper *Systems Architecture for Quantum Random Access Memory*
+//! (Xu, Hann, Foxman, Girvin, Ding). It re-exports the sub-crates:
+//!
+//! * [`circuit`] — quantum circuit IR, scheduling and Clifford+T resources.
+//! * [`sim`] — Feynman-path simulator for classical-reversible circuits
+//!   under Pauli noise.
+//! * [`noise`] — noise channels, gate-based Monte-Carlo error models and
+//!   synthetic device models.
+//! * [`layout`] — 2D grid mapping via H-tree embedding, swap- vs
+//!   teleportation-based routing.
+//! * [`qec`] — surface-code logical error model and the paper's asymmetric
+//!   code-distance prescription.
+//! * [`core`] — the QRAM architectures: the paper's *virtual QRAM*
+//!   contribution and all evaluated baselines (SQC, fanout, bucket-brigade,
+//!   select-swap).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use qram::core::{Memory, QueryArchitecture, VirtualQram};
+//!
+//! // An 8-cell classical memory, queried through a virtual QRAM with a
+//! // physical tree of 4 leaves (m = 2) and 2 pages (k = 1).
+//! let memory = Memory::from_bits([true, false, true, true, false, false, true, false]);
+//! let query = VirtualQram::new(1, 2).build(&memory);
+//!
+//! // The compiled circuit implements Σᵢ αᵢ|i⟩|0⟩ → Σᵢ αᵢ|i⟩|xᵢ⟩ …
+//! query.verify(&memory)?;
+//! // … and a classical query at address 5 (binary 101) reads memory[5].
+//! assert_eq!(query.query_classical(5)?, memory.get(5));
+//! # Ok::<(), qram::core::QueryError>(())
+//! ```
+
+pub use qram_circuit as circuit;
+pub use qram_core as core;
+pub use qram_layout as layout;
+pub use qram_noise as noise;
+pub use qram_qec as qec;
+pub use qram_sim as sim;

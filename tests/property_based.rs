@@ -1,0 +1,195 @@
+//! Property-based tests (proptest) over the whole stack: simulator
+//! invariants, query correctness across random shapes and data, lazy
+//! swapping's XOR-delta algebra, and resource-formula agreement.
+
+use proptest::prelude::*;
+use qram::circuit::{Circuit, Gate, Qubit};
+use qram::core::{
+    DataEncoding, Memory, Optimizations, QueryArchitecture, VirtualQram, VirtualQramModel,
+};
+use qram::sim::{run, PathState};
+
+/// A random classical-reversible gate over `n ≥ 3` qubits.
+fn arb_gate(n: usize) -> impl Strategy<Value = Gate> {
+    let q = move || 0..n as u32;
+    prop_oneof![
+        q().prop_map(|a| Gate::x(Qubit(a))),
+        q().prop_map(|a| Gate::y(Qubit(a))),
+        q().prop_map(|a| Gate::z(Qubit(a))),
+        (q(), q())
+            .prop_filter("distinct", |(a, b)| a != b)
+            .prop_map(|(a, b)| Gate::cx(Qubit(a), Qubit(b))),
+        (q(), q())
+            .prop_filter("distinct", |(a, b)| a != b)
+            .prop_map(|(a, b)| Gate::swap(Qubit(a), Qubit(b))),
+        (q(), q(), q())
+            .prop_filter("distinct", |(a, b, c)| a != b && b != c && a != c)
+            .prop_map(|(a, b, c)| Gate::ccx(Qubit(a), Qubit(b), Qubit(c))),
+        (q(), q(), q())
+            .prop_filter("distinct", |(a, b, c)| a != b && b != c && a != c)
+            .prop_map(|(a, b, c)| Gate::cswap(Qubit(a), Qubit(b), Qubit(c))),
+    ]
+}
+
+fn arb_circuit(n: usize, max_gates: usize) -> impl Strategy<Value = Circuit> {
+    prop::collection::vec(arb_gate(n), 0..max_gates).prop_map(move |gates| {
+        let mut c = Circuit::new(n);
+        for g in gates {
+            c.push(g);
+        }
+        c
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Norm and path count are invariant under any reversible circuit.
+    #[test]
+    fn reversible_circuits_preserve_norm_and_paths(
+        circuit in arb_circuit(6, 40),
+        addr_bits in 1usize..4,
+    ) {
+        let register: Vec<Qubit> = (0..addr_bits as u32).map(Qubit).collect();
+        let mut state = PathState::uniform_over(6, &register);
+        let paths_before = state.num_paths();
+        run(circuit.gates(), &mut state).unwrap();
+        prop_assert_eq!(state.num_paths(), paths_before);
+        prop_assert!((state.norm_sqr() - 1.0).abs() < 1e-9);
+    }
+
+    /// Running a circuit then its inverse is the identity.
+    #[test]
+    fn inverse_circuits_uncompute(circuit in arb_circuit(6, 40)) {
+        let register: Vec<Qubit> = (0..3).map(Qubit).collect();
+        let input = PathState::uniform_over(6, &register);
+        let mut state = input.clone();
+        run(circuit.gates(), &mut state).unwrap();
+        run(circuit.inverted().gates(), &mut state).unwrap();
+        prop_assert!((state.fidelity(&input) - 1.0).abs() < 1e-9);
+    }
+
+    /// ASAP schedules are valid and never longer than the gate count.
+    #[test]
+    fn schedules_are_valid_and_bounded(circuit in arb_circuit(6, 40)) {
+        let schedule = circuit.schedule();
+        prop_assert!(schedule.is_valid());
+        prop_assert!(schedule.depth() <= circuit.len());
+        prop_assert_eq!(schedule.num_gates(), circuit.len());
+    }
+
+    /// The virtual QRAM answers correctly for every (k, m, data, address)
+    /// — the full Eq. 2 contract on random instances.
+    #[test]
+    fn virtual_qram_queries_correctly(
+        k in 0usize..3,
+        m in 1usize..4,
+        seed in 0u64..1000,
+        recycle in any::<bool>(),
+        lazy in any::<bool>(),
+        pipeline in any::<bool>(),
+        dual_rail in any::<bool>(),
+    ) {
+        use rand::{rngs::StdRng, SeedableRng};
+        let memory = Memory::random(k + m, &mut StdRng::seed_from_u64(seed));
+        let opts = Optimizations {
+            recycle_qubits: recycle,
+            lazy_swapping: lazy,
+            pipeline_address: pipeline,
+        };
+        let encoding = if dual_rail { DataEncoding::DualRail } else { DataEncoding::Bit };
+        let arch = VirtualQram::new(k, m).with_optimizations(opts).with_encoding(encoding);
+        let query = arch.build(&memory);
+        prop_assert!(query.verify(&memory).is_ok(), "{}", arch.name());
+    }
+
+    /// The closed-form resource model matches the generated circuit for
+    /// arbitrary shapes, data and optimization sets.
+    #[test]
+    fn resource_formulas_hold(
+        k in 0usize..4,
+        m in 1usize..5,
+        seed in 0u64..1000,
+        lazy in any::<bool>(),
+        recycle in any::<bool>(),
+    ) {
+        use rand::{rngs::StdRng, SeedableRng};
+        let memory = Memory::random(k + m, &mut StdRng::seed_from_u64(seed));
+        let opts = Optimizations {
+            recycle_qubits: recycle,
+            lazy_swapping: lazy,
+            pipeline_address: true,
+        };
+        let query = VirtualQram::new(k, m).with_optimizations(opts).build(&memory);
+        let model = VirtualQramModel::new(k, m, opts);
+        prop_assert_eq!(query.num_qubits(), model.qubits());
+        prop_assert_eq!(
+            query.resources().classically_controlled,
+            model.classically_controlled(&memory)
+        );
+        let census = query.circuit().gate_census();
+        prop_assert_eq!(census.get("cswap").copied().unwrap_or(0), model.cswap_count());
+    }
+
+    /// Lazy swapping's algebra: first page, then XOR deltas, reconstructs
+    /// every page prefix (the invariant that makes OPT2 sound).
+    #[test]
+    fn xor_delta_chain_reconstructs_pages(
+        m in 1usize..5,
+        k in 1usize..4,
+        seed in 0u64..1000,
+    ) {
+        use rand::{rngs::StdRng, SeedableRng};
+        let memory = Memory::random(k + m, &mut StdRng::seed_from_u64(seed));
+        let mut acc: Vec<bool> = memory.page(m, 0).to_vec();
+        for p in 0..memory.num_pages(m) - 1 {
+            let delta = memory.page_delta(m, p);
+            for (a, d) in acc.iter_mut().zip(delta) {
+                *a = *a != d;
+            }
+            prop_assert_eq!(acc.as_slice(), memory.page(m, p + 1));
+        }
+    }
+
+    /// Reduced fidelity is within [0, 1], ≥ full fidelity when the
+    /// reference has clean ancillas, and = 1 for the noiseless run. The
+    /// clean reference is built by computing and uncomputing the random
+    /// circuit (ancillas provably return to |0⟩), then injecting noise
+    /// only into the noisy copy.
+    #[test]
+    fn reduced_fidelity_is_well_behaved(
+        circuit in arb_circuit(5, 25),
+        noise_qubit in 0u32..5,
+    ) {
+        let register: Vec<Qubit> = (0..2).map(Qubit).collect();
+        let ideal = PathState::uniform_over(5, &register);
+
+        // Noisy copy: compute, suffer one Z mid-flight, uncompute.
+        let mut noisy = ideal.clone();
+        run(circuit.gates(), &mut noisy).unwrap();
+        noisy.apply_z(Qubit(noise_qubit));
+        run(circuit.inverted().gates(), &mut noisy).unwrap();
+
+        let keep = [Qubit(0), Qubit(1)];
+        let full = ideal.fidelity(&noisy);
+        let reduced = ideal.reduced_fidelity(&noisy, &keep);
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&reduced), "reduced = {reduced}");
+        prop_assert!(reduced >= full - 1e-9);
+        prop_assert!((ideal.reduced_fidelity(&ideal, &keep) - 1.0).abs() < 1e-9);
+    }
+}
+
+/// H-tree embeddings validate as topological minors for every width, and
+/// the routing overhead ordering holds throughout.
+#[test]
+fn htree_and_routing_invariants() {
+    use qram::layout::{swap_extra_depth, teleport_extra_depth, HTreeEmbedding};
+    for m in 1..=9 {
+        let e = HTreeEmbedding::new(m);
+        e.validate().unwrap_or_else(|err| panic!("m={m}: {err}"));
+        let census = e.role_census();
+        assert_eq!(census.routers, (1 << m) - 1);
+        assert_eq!(census.data, 1 << m);
+        assert!(swap_extra_depth(&e) >= teleport_extra_depth(&e), "m={m}");
+    }
+}

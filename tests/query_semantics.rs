@@ -1,0 +1,160 @@
+//! Integration: every architecture implements the same query semantics
+//! (Eq. 2) — `Σᵢ αᵢ|i⟩|0⟩ → Σᵢ αᵢ|i⟩|xᵢ⟩` with clean ancillas.
+
+use qram::core::{
+    BucketBrigadeQram, FanoutQram, Memory, QueryArchitecture, SelectSwapQram, Sqc, VirtualQram,
+};
+use qram::sim::{run, Amplitude, PathState};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn architectures(n: usize) -> Vec<Box<dyn QueryArchitecture>> {
+    let mut archs: Vec<Box<dyn QueryArchitecture>> = vec![
+        Box::new(Sqc::new(n)),
+        Box::new(FanoutQram::new(n)),
+        Box::new(BucketBrigadeQram::new(0, n)),
+        Box::new(SelectSwapQram::new(0, n)),
+        Box::new(VirtualQram::new(0, n)),
+    ];
+    if n >= 2 {
+        archs.push(Box::new(BucketBrigadeQram::new(1, n - 1)));
+        archs.push(Box::new(SelectSwapQram::new(1, n - 1)));
+        archs.push(Box::new(VirtualQram::new(1, n - 1)));
+    }
+    if n >= 3 {
+        archs.push(Box::new(VirtualQram::new(2, n - 2)));
+        archs.push(Box::new(SelectSwapQram::new(n - 2, 2)));
+    }
+    archs
+}
+
+#[test]
+fn every_architecture_verifies_on_random_memories() {
+    for n in 1..=4 {
+        let memory = Memory::random(n, &mut StdRng::seed_from_u64(100 + n as u64));
+        for arch in architectures(n) {
+            arch.build(&memory)
+                .verify(&memory)
+                .unwrap_or_else(|e| panic!("{} on n={n}: {e}", arch.name()));
+        }
+    }
+}
+
+#[test]
+fn every_architecture_verifies_on_extreme_memories() {
+    let n = 3;
+    for memory in [Memory::zeroed(n), Memory::ones(n)] {
+        for arch in architectures(n) {
+            arch.build(&memory)
+                .verify(&memory)
+                .unwrap_or_else(|e| panic!("{}: {e}", arch.name()));
+        }
+    }
+}
+
+#[test]
+fn architectures_agree_cell_by_cell() {
+    let n = 4;
+    let memory = Memory::random(n, &mut StdRng::seed_from_u64(17));
+    for arch in architectures(n) {
+        let query = arch.build(&memory);
+        for address in 0..(1u64 << n) {
+            assert_eq!(
+                query.query_classical(address).expect("clean query"),
+                memory.get(address as usize),
+                "{} at address {address}",
+                arch.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn nonuniform_superpositions_are_preserved() {
+    // A biased input: amplitudes ∝ (1, 2, 3, …), properly normalized.
+    let n = 3;
+    let memory = Memory::random(n, &mut StdRng::seed_from_u64(23));
+    let raw: Vec<f64> = (1..=(1 << n)).map(|i| i as f64).collect();
+    let norm: f64 = raw.iter().map(|a| a * a).sum::<f64>().sqrt();
+    let amps: Vec<Amplitude> = raw.iter().map(|a| Amplitude::real(a / norm)).collect();
+
+    for arch in architectures(n) {
+        let query = arch.build(&memory);
+        let mut state = query.input_state(Some(&amps));
+        run(query.circuit().gates(), &mut state).expect("simulable");
+        let ideal = query.ideal_output(&memory, Some(&amps));
+        let fidelity = ideal.fidelity(&state);
+        assert!(
+            (fidelity - 1.0).abs() < 1e-9,
+            "{}: fidelity {fidelity}",
+            arch.name()
+        );
+    }
+}
+
+#[test]
+fn complex_amplitudes_survive_the_query() {
+    // Phases must ride along untouched (classical-reversible circuits
+    // never mix amplitudes).
+    let n = 2;
+    let memory = Memory::from_bits([true, false, false, true]);
+    let amps = [
+        Amplitude::new(0.5, 0.0),
+        Amplitude::new(0.0, 0.5),
+        Amplitude::new(-0.5, 0.0),
+        Amplitude::new(0.0, -0.5),
+    ];
+    for arch in architectures(n) {
+        let query = arch.build(&memory);
+        let mut state = query.input_state(Some(&amps));
+        run(query.circuit().gates(), &mut state).expect("simulable");
+        let ideal = query.ideal_output(&memory, Some(&amps));
+        assert!((ideal.fidelity(&state) - 1.0).abs() < 1e-9, "{}", arch.name());
+    }
+}
+
+#[test]
+fn double_query_is_identity_on_the_bus() {
+    // Querying twice XORs xᵢ twice: the bus returns to |0⟩ on every
+    // branch (the standard uncompute-by-requery trick).
+    let memory = Memory::random(3, &mut StdRng::seed_from_u64(31));
+    let arch = VirtualQram::new(1, 2);
+    let query = arch.build(&memory);
+    let input = query.input_state(None);
+    let mut state = input.clone();
+    run(query.circuit().gates(), &mut state).expect("simulable");
+    run(query.circuit().gates(), &mut state).expect("simulable");
+    assert!((state.fidelity(&input) - 1.0).abs() < 1e-9);
+}
+
+#[test]
+fn wide_memory_queries_one_plane_at_a_time() {
+    // Sec. 8 extension: a w-bit-word memory is w bit-planes, each queried
+    // by an ordinary 1-bit QRAM.
+    use qram::core::WideMemory;
+    let words = [5u64, 2, 7, 0, 3, 6, 1, 4];
+    let wide = WideMemory::from_words(3, &words);
+    let arch = VirtualQram::new(1, 2);
+    for (address, &expected) in words.iter().enumerate() {
+        let mut word = 0u64;
+        for bit in 0..wide.data_width() {
+            let query = arch.build(wide.plane(bit));
+            if query.query_classical(address as u64).expect("clean query") {
+                word |= 1 << bit;
+            }
+        }
+        assert_eq!(word, expected, "address {address}");
+    }
+}
+
+#[test]
+fn bus_initialized_to_one_receives_xor() {
+    // Eq. 2 generalizes to |b⟩ → |b ⊕ xᵢ⟩; check the b = 1 case.
+    let memory = Memory::from_bits([true, false, true, false]);
+    let query = VirtualQram::new(0, 2).build(&memory);
+    let mut state = PathState::computational_basis(query.num_qubits());
+    state.apply_x(query.bus());
+    // address 0: x = 1 → bus = 1 ⊕ 1 = 0.
+    run(query.circuit().gates(), &mut state).expect("simulable");
+    assert!(state.probability_of_one(query.bus()) < 1e-9);
+}
