@@ -6,9 +6,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use qram_bench::experiment_memory;
-use qram_core::{
-    BucketBrigadeQram, QueryArchitecture, SelectSwapQram, Sqc, VirtualQram,
-};
+use qram_core::{BucketBrigadeQram, QueryArchitecture, SelectSwapQram, Sqc, VirtualQram};
 use qram_layout::HTreeEmbedding;
 
 fn bench_circuit_generation(c: &mut Criterion) {

@@ -39,8 +39,7 @@ fn bench_noisy_shot(c: &mut Criterion) {
         let input = query.input_state(None);
         let model = NoiseModel::per_gate(PauliChannel::depolarizing(1e-3));
         group.bench_with_input(BenchmarkId::new("virtual_k0", m), &m, |b, _| {
-            let mut sampler =
-                FaultSampler::new(query.circuit(), model, StdRng::seed_from_u64(3));
+            let mut sampler = FaultSampler::new(query.circuit(), model, StdRng::seed_from_u64(3));
             b.iter(|| {
                 let plan = sampler.sample();
                 let mut state = input.clone();
@@ -57,17 +56,27 @@ fn bench_fault_sampling(c: &mut Criterion) {
     let memory = experiment_memory(6, 3);
     let query = VirtualQram::new(0, 6).build(&memory);
     for (name, model) in [
-        ("per_gate", NoiseModel::per_gate(PauliChannel::depolarizing(1e-3))),
-        ("qubit_per_step", NoiseModel::qubit_per_step(PauliChannel::depolarizing(1e-3))),
+        (
+            "per_gate",
+            NoiseModel::per_gate(PauliChannel::depolarizing(1e-3)),
+        ),
+        (
+            "qubit_per_step",
+            NoiseModel::qubit_per_step(PauliChannel::depolarizing(1e-3)),
+        ),
     ] {
         group.bench_function(name, |b| {
-            let mut sampler =
-                FaultSampler::new(query.circuit(), model, StdRng::seed_from_u64(4));
+            let mut sampler = FaultSampler::new(query.circuit(), model, StdRng::seed_from_u64(4));
             b.iter(|| sampler.sample().len())
         });
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_noiseless_query, bench_noisy_shot, bench_fault_sampling);
+criterion_group!(
+    benches,
+    bench_noiseless_query,
+    bench_noisy_shot,
+    bench_fault_sampling
+);
 criterion_main!(benches);

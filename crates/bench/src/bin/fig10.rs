@@ -6,8 +6,7 @@
 //! with `m`, and both approach 1 as εr → 1000.
 
 use qram_bench::{
-    architecture_fidelity, default_er_sweep, experiment_memory, print_row, FidelityKind,
-    RunOptions,
+    architecture_fidelity, default_er_sweep, experiment_memory, print_row, FidelityKind, RunOptions,
 };
 use qram_core::VirtualQram;
 use qram_noise::{NoiseModel, PauliChannel, BASE_ERROR_RATE};

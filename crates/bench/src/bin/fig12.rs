@@ -31,11 +31,17 @@ fn routing_penalty(device: &DeviceModel, arch: &VirtualQram, seed: u64) -> (usiz
     // Trial both initial layouts and keep the cheaper routing, as
     // transpilers do.
     let identity = route(&lowered, &topo).expect("device has enough qubits");
-    let chosen =
-        route_with_chosen_layout(&lowered, &topo).expect("device has enough qubits");
-    let routed = if chosen.swap_count() <= identity.swap_count() { chosen } else { identity };
-    let base_cx =
-        lowered.gates().iter().filter(|g| matches!(g, CliffordTGate::Cx(..))).count();
+    let chosen = route_with_chosen_layout(&lowered, &topo).expect("device has enough qubits");
+    let routed = if chosen.swap_count() <= identity.swap_count() {
+        chosen
+    } else {
+        identity
+    };
+    let base_cx = lowered
+        .gates()
+        .iter()
+        .filter(|g| matches!(g, CliffordTGate::Cx(..)))
+        .count();
     let factor = (base_cx + 3 * routed.swap_count()) as f64 / base_cx.max(1) as f64;
     (routed.swap_count(), factor)
 }

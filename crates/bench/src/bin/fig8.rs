@@ -15,8 +15,14 @@ fn main() {
 
     println!("# Fig. 8: extra operation depth under 2D mapping (H-tree embedding)");
     print_row(
-        &["m", "swap_extra_depth", "teleport_extra_depth", "grid", "unused_frac"]
-            .map(String::from),
+        &[
+            "m",
+            "swap_extra_depth",
+            "teleport_extra_depth",
+            "grid",
+            "unused_frac",
+        ]
+        .map(String::from),
     );
     for row in routing_overhead_sweep(max_m) {
         let e = HTreeEmbedding::new(row.m);

@@ -9,8 +9,8 @@
 
 use qram_bench::{print_row, RunOptions};
 use qram_qec::{
-    balanced_code, balanced_code_tree, distance_gap, distance_gap_tree,
-    virtual_x_fidelity_bound, virtual_z_fidelity_bound, TYPICAL_THRESHOLD,
+    balanced_code, balanced_code_tree, distance_gap, distance_gap_tree, virtual_x_fidelity_bound,
+    virtual_z_fidelity_bound, TYPICAL_THRESHOLD,
 };
 
 fn main() {
@@ -24,8 +24,20 @@ fn main() {
     println!("# Eq. 7: rectangular surface-code prescription for virtual QRAM routers");
     println!("# threshold = {TYPICAL_THRESHOLD}");
     print_row(
-        &["k", "m", "p", "gap_eq7", "gap_tree", "code", "p_xl", "p_zl", "F_Z", "F_X", "patch_qubits"]
-            .map(String::from),
+        &[
+            "k",
+            "m",
+            "p",
+            "gap_eq7",
+            "gap_tree",
+            "code",
+            "p_xl",
+            "p_zl",
+            "F_Z",
+            "F_X",
+            "patch_qubits",
+        ]
+        .map(String::from),
     );
     for &(k, m) in shapes {
         for p in [1e-3, 3e-3] {
@@ -35,8 +47,10 @@ fn main() {
             // (see qram-qec docs: Eq. 7's printed form under-protects X
             // once the 2^m tree term dominates).
             let code = balanced_code_tree(k, m, p, TYPICAL_THRESHOLD, 5);
-            let (pxl, pzl) =
-                (code.logical_x_rate(p, TYPICAL_THRESHOLD), code.logical_z_rate(p, TYPICAL_THRESHOLD));
+            let (pxl, pzl) = (
+                code.logical_x_rate(p, TYPICAL_THRESHOLD),
+                code.logical_z_rate(p, TYPICAL_THRESHOLD),
+            );
             print_row(&[
                 k.to_string(),
                 m.to_string(),

@@ -32,8 +32,17 @@ fn main() {
     println!("# paper: qubits 6·2^m+k → 4·2^m+k (OPT1); depth m²+(m+1)·2^k → m+(m+1)·2^k (OPT3);");
     println!("#        classically-controlled gates halved (OPT2)");
     print_row(
-        &["k", "m", "variant", "qubits", "qubits(model)", "depth", "cl_ctrl", "cl_ctrl(model)"]
-            .map(String::from),
+        &[
+            "k",
+            "m",
+            "variant",
+            "qubits",
+            "qubits(model)",
+            "depth",
+            "cl_ctrl",
+            "cl_ctrl(model)",
+        ]
+        .map(String::from),
     );
     for &(k, m) in shapes {
         let memory = experiment_memory(k + m, opts.seed ^ ((k * 31 + m) as u64));

@@ -24,8 +24,17 @@ fn main() {
 
     println!("# Table 2: architecture comparison (measured, all-ones memory)");
     print_row(
-        &["k", "m", "architecture", "qubits", "depth", "T_count", "T_depth", "Clifford_depth"]
-            .map(String::from),
+        &[
+            "k",
+            "m",
+            "architecture",
+            "qubits",
+            "depth",
+            "T_count",
+            "T_depth",
+            "Clifford_depth",
+        ]
+        .map(String::from),
     );
     for &(k, m) in shapes {
         let memory = Memory::ones(k + m);

@@ -37,7 +37,11 @@ pub struct RunOptions {
 
 impl Default for RunOptions {
     fn default() -> Self {
-        RunOptions { full: false, shots: None, seed: 2023 }
+        RunOptions {
+            full: false,
+            shots: None,
+            seed: 2023,
+        }
     }
 }
 

@@ -30,12 +30,18 @@ pub struct Circuit {
 impl Circuit {
     /// Creates an empty circuit over `num_qubits` qubits.
     pub fn new(num_qubits: usize) -> Self {
-        Circuit { num_qubits, gates: Vec::new() }
+        Circuit {
+            num_qubits,
+            gates: Vec::new(),
+        }
     }
 
     /// Creates an empty circuit with gate-list capacity reserved.
     pub fn with_capacity(num_qubits: usize, capacity: usize) -> Self {
-        Circuit { num_qubits, gates: Vec::with_capacity(capacity) }
+        Circuit {
+            num_qubits,
+            gates: Vec::with_capacity(capacity),
+        }
     }
 
     /// Number of qubits the circuit acts on.
@@ -114,7 +120,10 @@ impl Circuit {
     /// Valid because every gate in the QRAM family is self-inverse.
     pub fn inverted(&self) -> Circuit {
         let gates = self.gates.iter().rev().cloned().collect();
-        Circuit { num_qubits: self.num_qubits, gates }
+        Circuit {
+            num_qubits: self.num_qubits,
+            gates,
+        }
     }
 
     /// Greedy ASAP schedule of the circuit (see [`Schedule`]).
@@ -161,7 +170,10 @@ impl Circuit {
         let qs = gate.qubits();
         for &q in &qs {
             if q.index() >= self.num_qubits {
-                return Err(CircuitError::QubitOutOfRange { qubit: q, num_qubits: self.num_qubits });
+                return Err(CircuitError::QubitOutOfRange {
+                    qubit: q,
+                    num_qubits: self.num_qubits,
+                });
             }
         }
         let mut sorted: Vec<Qubit> = qs.clone();
@@ -177,7 +189,12 @@ impl Circuit {
 
 impl std::fmt::Display for Circuit {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        writeln!(f, "circuit[{} qubits, {} gates]", self.num_qubits, self.len())?;
+        writeln!(
+            f,
+            "circuit[{} qubits, {} gates]",
+            self.num_qubits,
+            self.len()
+        )?;
         for g in &self.gates {
             writeln!(f, "  {g}")?;
         }

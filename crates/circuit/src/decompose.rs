@@ -92,7 +92,10 @@ impl LoweredCircuit {
 
     /// T-depth: number of ASAP layers containing at least one T/T† gate.
     pub fn t_depth(&self) -> usize {
-        self.layered().iter().filter(|layer| layer.iter().any(|g| g.is_t())).count()
+        self.layered()
+            .iter()
+            .filter(|layer| layer.iter().any(|g| g.is_t()))
+            .count()
     }
 
     fn layered(&self) -> Vec<Vec<CliffordTGate>> {
@@ -131,7 +134,10 @@ pub fn lower(circuit: &Circuit) -> LoweredCircuit {
     for gate in circuit.iter() {
         lower_gate(gate, &anc, &mut out);
     }
-    LoweredCircuit { gates: out, num_qubits }
+    LoweredCircuit {
+        gates: out,
+        num_qubits,
+    }
 }
 
 fn lower_gate(gate: &Gate, anc: &[Qubit], out: &mut Vec<CliffordTGate>) {
@@ -256,12 +262,18 @@ mod tests {
     #[test]
     fn mcx_vchain_t_count_and_ancillae() {
         let mut c = Circuit::new(5);
-        c.push(Gate::mcx([Qubit(0), Qubit(1), Qubit(2), Qubit(3)], Qubit(4)));
+        c.push(Gate::mcx(
+            [Qubit(0), Qubit(1), Qubit(2), Qubit(3)],
+            Qubit(4),
+        ));
         let low = lower(&c);
         // 4 controls → 2·4−3 = 5 Toffolis → 35 T.
         assert_eq!(low.t_count(), 35);
         assert_eq!(low.num_qubits(), 5 + 2);
-        assert_eq!(low.t_count(), crate::resources::cost_of(&c.gates()[0]).t_count);
+        assert_eq!(
+            low.t_count(),
+            crate::resources::cost_of(&c.gates()[0]).t_count
+        );
     }
 
     #[test]

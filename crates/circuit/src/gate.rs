@@ -17,7 +17,6 @@ use crate::Qubit;
 /// assert!(!n.value);
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Control {
     /// The controlling qubit.
     pub qubit: Qubit,
@@ -33,7 +32,10 @@ impl Control {
 
     /// A negated (|0⟩-firing) control on `qubit`.
     pub fn off(qubit: Qubit) -> Self {
-        Control { qubit, value: false }
+        Control {
+            qubit,
+            value: false,
+        }
     }
 }
 
@@ -48,7 +50,6 @@ impl Control {
 /// Every gate in the family is self-inverse, so a circuit is uncomputed by
 /// replaying its gates in reverse order (see [`crate::Circuit::inverted`]).
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Gate {
     /// Pauli X (bit flip).
     X(Qubit),
@@ -135,22 +136,34 @@ impl Gate {
 
     /// Convenience constructor: CX with an ordinary control.
     pub fn cx(control: Qubit, target: Qubit) -> Self {
-        Gate::Cx { control: Control::on(control), target }
+        Gate::Cx {
+            control: Control::on(control),
+            target,
+        }
     }
 
     /// Convenience constructor: CX firing when the control is |0⟩ ("0-CX").
     pub fn cx0(control: Qubit, target: Qubit) -> Self {
-        Gate::Cx { control: Control::off(control), target }
+        Gate::Cx {
+            control: Control::off(control),
+            target,
+        }
     }
 
     /// Convenience constructor: Toffoli with ordinary controls.
     pub fn ccx(c1: Qubit, c2: Qubit, target: Qubit) -> Self {
-        Gate::Ccx { controls: [Control::on(c1), Control::on(c2)], target }
+        Gate::Ccx {
+            controls: [Control::on(c1), Control::on(c2)],
+            target,
+        }
     }
 
     /// Convenience constructor: MCX with ordinary controls.
     pub fn mcx(controls: impl IntoIterator<Item = Qubit>, target: Qubit) -> Self {
-        Gate::Mcx { controls: controls.into_iter().map(Control::on).collect(), target }
+        Gate::Mcx {
+            controls: controls.into_iter().map(Control::on).collect(),
+            target,
+        }
     }
 
     /// Convenience constructor: MCX whose control pattern is the binary
@@ -162,7 +175,10 @@ impl Gate {
         let controls = controls
             .iter()
             .enumerate()
-            .map(|(i, &q)| Control { qubit: q, value: (pattern >> (n - 1 - i)) & 1 == 1 })
+            .map(|(i, &q)| Control {
+                qubit: q,
+                value: (pattern >> (n - 1 - i)) & 1 == 1,
+            })
             .collect();
         Gate::Mcx { controls, target }
     }
@@ -174,18 +190,29 @@ impl Gate {
 
     /// Convenience constructor: CSWAP with an ordinary control.
     pub fn cswap(control: Qubit, a: Qubit, b: Qubit) -> Self {
-        Gate::Cswap { control: Control::on(control), a, b }
+        Gate::Cswap {
+            control: Control::on(control),
+            a,
+            b,
+        }
     }
 
     /// Convenience constructor: CSWAP firing when the control is |0⟩.
     pub fn cswap0(control: Qubit, a: Qubit, b: Qubit) -> Self {
-        Gate::Cswap { control: Control::off(control), a, b }
+        Gate::Cswap {
+            control: Control::off(control),
+            a,
+            b,
+        }
     }
 
     /// Convenience constructor: classically-controlled CX (the data-write
     /// gate of Algorithm 1, emitted only when the classical bit is 1).
     pub fn clcx(control: Qubit, target: Qubit) -> Self {
-        Gate::ClCx { control: Control::on(control), target }
+        Gate::ClCx {
+            control: Control::on(control),
+            target,
+        }
     }
 
     /// Every qubit the gate touches (controls first, then targets).
@@ -355,6 +382,9 @@ mod tests {
     #[test]
     fn display_formats() {
         assert_eq!(Gate::cx0(Qubit(1), Qubit(2)).to_string(), "cx !q1, q2");
-        assert_eq!(Gate::cswap(Qubit(0), Qubit(1), Qubit(2)).to_string(), "cswap q0, q1, q2");
+        assert_eq!(
+            Gate::cswap(Qubit(0), Qubit(1), Qubit(2)).to_string(),
+            "cswap q0, q1, q2"
+        );
     }
 }

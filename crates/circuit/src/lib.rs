@@ -78,7 +78,11 @@ impl std::fmt::Display for CircuitError {
                 num_qubits
             ),
             CircuitError::DuplicateQubit { qubit } => {
-                write!(f, "qubit {} used more than once in a single gate", qubit.index())
+                write!(
+                    f,
+                    "qubit {} used more than once in a single gate",
+                    qubit.index()
+                )
             }
         }
     }

@@ -12,7 +12,6 @@
 /// assert_eq!(q.index(), 7);
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Qubit(pub u32);
 
 impl Qubit {
@@ -50,7 +49,6 @@ impl From<u32> for Qubit {
 /// assert_eq!(addr.get(1), Qubit(1));
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Register {
     name: String,
     start: u32,
@@ -60,7 +58,11 @@ pub struct Register {
 impl Register {
     /// Creates a register spanning `len` qubits starting at `start`.
     pub fn new(name: impl Into<String>, start: u32, len: u32) -> Self {
-        Register { name: name.into(), start, len }
+        Register {
+            name: name.into(),
+            start,
+            len,
+        }
     }
 
     /// The role label given at allocation time.
@@ -84,7 +86,11 @@ impl Register {
     ///
     /// Panics if `i >= self.len()`.
     pub fn get(&self, i: usize) -> Qubit {
-        assert!(i < self.len as usize, "register index {i} out of range (len {})", self.len);
+        assert!(
+            i < self.len as usize,
+            "register index {i} out of range (len {})",
+            self.len
+        );
         Qubit(self.start + i as u32)
     }
 
@@ -154,7 +160,10 @@ mod tests {
         let mut alloc = QubitAllocator::new();
         let a = alloc.register("a", 3);
         let b = alloc.register("b", 2);
-        assert_eq!(a.iter().map(Qubit::index).collect::<Vec<_>>(), vec![0, 1, 2]);
+        assert_eq!(
+            a.iter().map(Qubit::index).collect::<Vec<_>>(),
+            vec![0, 1, 2]
+        );
         assert_eq!(b.iter().map(Qubit::index).collect::<Vec<_>>(), vec![3, 4]);
         assert_eq!(alloc.num_qubits(), 5);
         assert!(a.contains(Qubit(2)));

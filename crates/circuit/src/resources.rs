@@ -41,7 +41,13 @@ pub struct GateCost {
 /// Prices `gate` under the decompositions listed in the module docs.
 pub fn cost_of(gate: &Gate) -> GateCost {
     fn clifford(depth: usize) -> GateCost {
-        GateCost { t_count: 0, t_depth: 0, full_depth: depth, clifford_depth: depth, ancillas: 0 }
+        GateCost {
+            t_count: 0,
+            t_depth: 0,
+            full_depth: depth,
+            clifford_depth: depth,
+            ancillas: 0,
+        }
     }
     match gate {
         Gate::Barrier => GateCost::default(),
@@ -49,17 +55,31 @@ pub fn cost_of(gate: &Gate) -> GateCost {
         Gate::Cx { .. } | Gate::ClCx { .. } => clifford(1),
         // SWAP = 3 CX.
         Gate::Swap(..) | Gate::ClSwap(..) => clifford(3),
-        Gate::Ccx { .. } => {
-            GateCost { t_count: 7, t_depth: 3, full_depth: 10, clifford_depth: 7, ancillas: 0 }
-        }
+        Gate::Ccx { .. } => GateCost {
+            t_count: 7,
+            t_depth: 3,
+            full_depth: 10,
+            clifford_depth: 7,
+            ancillas: 0,
+        },
         // CSWAP = CX · CCX · CX (depth 12, T-depth 3; paper Sec. 2.2.1).
-        Gate::Cswap { .. } => {
-            GateCost { t_count: 7, t_depth: 3, full_depth: 12, clifford_depth: 9, ancillas: 0 }
-        }
+        Gate::Cswap { .. } => GateCost {
+            t_count: 7,
+            t_depth: 3,
+            full_depth: 12,
+            clifford_depth: 9,
+            ancillas: 0,
+        },
         Gate::Mcx { controls, .. } => match controls.len() {
             0 => clifford(1),
             1 => clifford(1),
-            2 => GateCost { t_count: 7, t_depth: 3, full_depth: 10, clifford_depth: 7, ancillas: 0 },
+            2 => GateCost {
+                t_count: 7,
+                t_depth: 3,
+                full_depth: 10,
+                clifford_depth: 7,
+                ancillas: 0,
+            },
             c => {
                 // V-chain: 2c−3 Toffolis over c−2 clean ancillae; compute
                 // and uncompute halves serialize, so depths scale with the
@@ -136,7 +156,12 @@ impl ResourceCount {
         let mut num_gates = 0usize;
 
         let path = |busy: &mut [usize], floor: usize, qs: &[crate::Qubit], w: usize| -> usize {
-            let start = qs.iter().map(|q| busy[q.index()]).max().unwrap_or(floor).max(floor);
+            let start = qs
+                .iter()
+                .map(|q| busy[q.index()])
+                .max()
+                .unwrap_or(floor)
+                .max(floor);
             let end = start + w;
             for q in qs {
                 busy[q.index()] = end;
@@ -146,11 +171,25 @@ impl ResourceCount {
 
         for gate in circuit.gates() {
             if gate.is_barrier() {
-                floor_unit = busy_unit.iter().copied().max().unwrap_or(floor_unit).max(floor_unit);
+                floor_unit = busy_unit
+                    .iter()
+                    .copied()
+                    .max()
+                    .unwrap_or(floor_unit)
+                    .max(floor_unit);
                 floor_t = busy_t.iter().copied().max().unwrap_or(floor_t).max(floor_t);
-                floor_cliff =
-                    busy_cliff.iter().copied().max().unwrap_or(floor_cliff).max(floor_cliff);
-                floor_full = busy_full.iter().copied().max().unwrap_or(floor_full).max(floor_full);
+                floor_cliff = busy_cliff
+                    .iter()
+                    .copied()
+                    .max()
+                    .unwrap_or(floor_cliff)
+                    .max(floor_cliff);
+                floor_full = busy_full
+                    .iter()
+                    .copied()
+                    .max()
+                    .unwrap_or(floor_full)
+                    .max(floor_full);
                 continue;
             }
             let cost = cost_of(gate);
@@ -172,11 +211,23 @@ impl ResourceCount {
         ResourceCount {
             num_qubits: n,
             num_gates,
-            depth: busy_unit.into_iter().max().unwrap_or(floor_unit).max(floor_unit),
+            depth: busy_unit
+                .into_iter()
+                .max()
+                .unwrap_or(floor_unit)
+                .max(floor_unit),
             t_count,
             t_depth: busy_t.into_iter().max().unwrap_or(floor_t).max(floor_t),
-            clifford_depth: busy_cliff.into_iter().max().unwrap_or(floor_cliff).max(floor_cliff),
-            lowered_depth: busy_full.into_iter().max().unwrap_or(floor_full).max(floor_full),
+            clifford_depth: busy_cliff
+                .into_iter()
+                .max()
+                .unwrap_or(floor_cliff)
+                .max(floor_cliff),
+            lowered_depth: busy_full
+                .into_iter()
+                .max()
+                .unwrap_or(floor_full)
+                .max(floor_full),
             classically_controlled,
             mcx_ancillas,
             census,

@@ -37,7 +37,12 @@ impl QueryCircuit {
             "circuit width disagrees with allocator"
         );
         assert_eq!(bus.len(), 1, "bus register must hold exactly one qubit");
-        QueryCircuit { circuit, address, bus, allocator }
+        QueryCircuit {
+            circuit,
+            address,
+            bus,
+            allocator,
+        }
     }
 
     /// The gate sequence.
@@ -196,7 +201,10 @@ impl std::fmt::Display for QueryError {
                 write!(f, "query left garbage in ancilla or bus registers")
             }
             QueryError::WrongOutput { fidelity } => {
-                write!(f, "query output mismatched ideal state (fidelity {fidelity:.6})")
+                write!(
+                    f,
+                    "query output mismatched ideal state (fidelity {fidelity:.6})"
+                )
             }
         }
     }
@@ -235,10 +243,7 @@ pub trait QueryArchitecture {
 
 /// Shared generator helper: allocate the (address, bus) interface
 /// registers every architecture starts from.
-pub(crate) fn interface_registers(
-    alloc: &mut QubitAllocator,
-    n: usize,
-) -> (Register, Register) {
+pub(crate) fn interface_registers(alloc: &mut QubitAllocator, n: usize) -> (Register, Register) {
     let address = alloc.register("address", n);
     let bus = alloc.register("bus", 1);
     (address, bus)

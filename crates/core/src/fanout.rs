@@ -69,7 +69,11 @@ impl QueryArchitecture for FanoutQram {
     }
 
     fn build(&self, memory: &Memory) -> QueryCircuit {
-        assert_eq!(memory.address_width(), self.m, "memory address width mismatch");
+        assert_eq!(
+            memory.address_width(),
+            self.m,
+            "memory address width mismatch"
+        );
         let m = self.m;
         let mut alloc = QubitAllocator::new();
         let (address, bus) = interface_registers(&mut alloc, m);

@@ -1,6 +1,6 @@
 //! Classical memory contents and the page/segment view of virtual QRAM.
 
-use rand::{Rng, RngExt};
+use rand::Rng;
 
 /// A classical memory of `N = 2^n` one-bit cells — the data a quantum
 /// query entangles with the address register (Eq. 2 of the paper).
@@ -30,8 +30,14 @@ impl Memory {
     /// Panics if `address_width` exceeds 24 (16 Mi cells — far past any
     /// simulable size).
     pub fn zeroed(address_width: usize) -> Self {
-        assert!(address_width <= 24, "address width {address_width} unreasonably large");
-        Memory { bits: vec![false; 1 << address_width], address_width }
+        assert!(
+            address_width <= 24,
+            "address width {address_width} unreasonably large"
+        );
+        Memory {
+            bits: vec![false; 1 << address_width],
+            address_width,
+        }
     }
 
     /// A memory with every cell set to 1 — the worst case for data-write
@@ -55,7 +61,10 @@ impl Memory {
             bits.len()
         );
         let address_width = bits.len().trailing_zeros() as usize;
-        Memory { bits, address_width }
+        Memory {
+            bits,
+            address_width,
+        }
     }
 
     /// A memory with independent uniform random cells.
@@ -117,7 +126,10 @@ impl Memory {
     ///
     /// Panics if `m > n` or `p ≥ 2^(n−m)`.
     pub fn page(&self, m: usize, p: usize) -> &[bool] {
-        assert!(m <= self.address_width, "page width {m} exceeds address width");
+        assert!(
+            m <= self.address_width,
+            "page width {m} exceeds address width"
+        );
         let pages = 1 << (self.address_width - m);
         assert!(p < pages, "page {p} out of range ({pages} pages)");
         let size = 1 << m;
@@ -126,7 +138,10 @@ impl Memory {
 
     /// Number of pages under a `2^m`-cell page size.
     pub fn num_pages(&self, m: usize) -> usize {
-        assert!(m <= self.address_width, "page width {m} exceeds address width");
+        assert!(
+            m <= self.address_width,
+            "page width {m} exceeds address width"
+        );
         1 << (self.address_width - m)
     }
 
@@ -185,7 +200,10 @@ impl WideMemory {
     /// or any word overflows `data_width` bits.
     pub fn from_words(data_width: usize, words: &[u64]) -> Self {
         assert!((1..=64).contains(&data_width), "data width must be 1..=64");
-        assert!(words.len().is_power_of_two(), "word count must be a power of two");
+        assert!(
+            words.len().is_power_of_two(),
+            "word count must be a power of two"
+        );
         for &w in words {
             assert!(
                 data_width == 64 || w >> data_width == 0,

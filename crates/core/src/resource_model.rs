@@ -84,16 +84,22 @@ impl VirtualQramModel {
     ///
     /// Panics if the memory shape disagrees with `(k, m)`.
     pub fn classically_controlled(&self, memory: &Memory) -> usize {
-        assert_eq!(memory.address_width(), self.k + self.m, "memory shape mismatch");
+        assert_eq!(
+            memory.address_width(),
+            self.k + self.m,
+            "memory shape mismatch"
+        );
         let pages = memory.num_pages(self.m);
         if self.opts.lazy_swapping {
-            let first: usize =
-                memory.page(self.m, 0).iter().filter(|&&b| b).count();
+            let first: usize = memory.page(self.m, 0).iter().filter(|&&b| b).count();
             let deltas: usize = (0..pages - 1)
                 .map(|p| memory.page_delta(self.m, p).iter().filter(|&&b| b).count())
                 .sum();
-            let last: usize =
-                memory.page(self.m, pages - 1).iter().filter(|&&b| b).count();
+            let last: usize = memory
+                .page(self.m, pages - 1)
+                .iter()
+                .filter(|&&b| b)
+                .count();
             first + deltas + last
         } else {
             2 * memory.count_ones()
@@ -119,9 +125,19 @@ pub fn table2_asymptotics() -> [[&'static str; 4]; 6] {
         ["metric", "SQC+BB", "SQC+SS", "our QRAM"],
         ["qubits", "O(2^m + k)", "O(2^m + k)", "O(2^m + k)"],
         ["circuit depth", "O(m·2^k)", "O(m²·2^k)", "O(m·2^k)"],
-        ["T count", "O((2^m + k)·2^k)", "O(2^(m+k)·k)", "O(2^m + k·2^k)"],
+        [
+            "T count",
+            "O((2^m + k)·2^k)",
+            "O(2^(m+k)·k)",
+            "O(2^m + k·2^k)",
+        ],
         ["T depth", "O((m + k)·2^k)", "O(k·2^k)", "O(m + k·2^k)"],
-        ["Clifford depth", "O((m + k)·2^k)", "O((m² + k)·2^k)", "O((m + k)·2^k)"],
+        [
+            "Clifford depth",
+            "O((m + k)·2^k)",
+            "O((m² + k)·2^k)",
+            "O((m + k)·2^k)",
+        ],
     ]
 }
 
@@ -133,13 +149,23 @@ mod tests {
 
     fn check_formulas(k: usize, m: usize, opts: Optimizations, seed: u64) {
         let memory = Memory::random(k + m, &mut StdRng::seed_from_u64(seed));
-        let query = VirtualQram::new(k, m).with_optimizations(opts).build(&memory);
+        let query = VirtualQram::new(k, m)
+            .with_optimizations(opts)
+            .build(&memory);
         let model = VirtualQramModel::new(k, m, opts);
         let census = query.circuit().gate_census();
         let get = |name: &str| census.get(name).copied().unwrap_or(0);
 
-        assert_eq!(query.num_qubits(), model.qubits(), "qubits k={k} m={m} {opts}");
-        assert_eq!(get("cswap"), model.cswap_count(), "cswap k={k} m={m} {opts}");
+        assert_eq!(
+            query.num_qubits(),
+            model.qubits(),
+            "qubits k={k} m={m} {opts}"
+        );
+        assert_eq!(
+            get("cswap"),
+            model.cswap_count(),
+            "cswap k={k} m={m} {opts}"
+        );
         assert_eq!(get("swap"), model.swap_count(), "swap k={k} m={m} {opts}");
         assert_eq!(
             get("cx"),
@@ -147,7 +173,11 @@ mod tests {
             "cx k={k} m={m} {opts}"
         );
         if k > 0 {
-            assert_eq!(get("mcx"), model.page_select_count(), "mcx k={k} m={m} {opts}");
+            assert_eq!(
+                get("mcx"),
+                model.page_select_count(),
+                "mcx k={k} m={m} {opts}"
+            );
         }
         assert_eq!(
             query.resources().classically_controlled,
@@ -163,8 +193,12 @@ mod tests {
 
     #[test]
     fn formulas_match_generated_circuits() {
-        let variants =
-            [Optimizations::RAW, Optimizations::OPT1, Optimizations::OPT2, Optimizations::ALL];
+        let variants = [
+            Optimizations::RAW,
+            Optimizations::OPT1,
+            Optimizations::OPT2,
+            Optimizations::ALL,
+        ];
         let mut seed = 0;
         for (k, m) in [(0, 1), (0, 3), (1, 2), (2, 2), (2, 3), (3, 1)] {
             for opts in variants {

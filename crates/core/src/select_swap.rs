@@ -113,8 +113,11 @@ impl SelectSwapQram {
             }
         };
         let cswaps = |circuit: &mut Circuit, invert: bool| {
-            let range: Vec<usize> =
-                if invert { (0..half).rev().collect() } else { (0..half).collect() };
+            let range: Vec<usize> = if invert {
+                (0..half).rev().collect()
+            } else {
+                (0..half).collect()
+            };
             for j in range {
                 circuit.push(Gate::cswap(copy(j), block.get(j), block.get(j + half)));
             }
@@ -213,7 +216,11 @@ mod tests {
         let d: Vec<usize> = (2..=6)
             .map(|m| {
                 let memory = Memory::zeroed(m); // isolate the swap network
-                SelectSwapQram::new(0, m).build(&memory).circuit().schedule().depth()
+                SelectSwapQram::new(0, m)
+                    .build(&memory)
+                    .circuit()
+                    .schedule()
+                    .depth()
             })
             .collect();
         // Quadratic growth: depth(m=6)/depth(m=3) ≈ 4, definitely > 2.

@@ -48,7 +48,11 @@ impl QueryArchitecture for Sqc {
     }
 
     fn build(&self, memory: &Memory) -> QueryCircuit {
-        assert_eq!(memory.address_width(), self.n, "memory address width mismatch");
+        assert_eq!(
+            memory.address_width(),
+            self.n,
+            "memory address width mismatch"
+        );
         let mut alloc = QubitAllocator::new();
         let (address, bus) = interface_registers(&mut alloc, self.n);
         let mut circuit = Circuit::new(alloc.num_qubits());

@@ -33,7 +33,12 @@ impl RouterTree {
         let routers = alloc.register("routers", (1 << m) - 1);
         let wires = alloc.register("wires", (1 << m) - 1);
         let flags = alloc.register("flags", 1 << m);
-        RouterTree { m, routers, wires, flags }
+        RouterTree {
+            m,
+            routers,
+            wires,
+            flags,
+        }
     }
 
     /// Address width `m`.
@@ -46,15 +51,33 @@ impl RouterTree {
     /// disabled and query-state preparation gets a dedicated ball
     /// network).
     pub fn with_wires(&self, wires: Register) -> RouterTree {
-        assert_eq!(wires.len(), self.wires.len(), "wire register width mismatch");
-        RouterTree { m: self.m, routers: self.routers.clone(), wires, flags: self.flags.clone() }
+        assert_eq!(
+            wires.len(),
+            self.wires.len(),
+            "wire register width mismatch"
+        );
+        RouterTree {
+            m: self.m,
+            routers: self.routers.clone(),
+            wires,
+            flags: self.flags.clone(),
+        }
     }
 
     /// A view of the same tree with a different leaf register (the second
     /// rail of a dual-rail bus).
     pub fn with_flags(&self, flags: Register) -> RouterTree {
-        assert_eq!(flags.len(), self.flags.len(), "flag register width mismatch");
-        RouterTree { m: self.m, routers: self.routers.clone(), wires: self.wires.clone(), flags }
+        assert_eq!(
+            flags.len(),
+            self.flags.len(),
+            "flag register width mismatch"
+        );
+        RouterTree {
+            m: self.m,
+            routers: self.routers.clone(),
+            wires: self.wires.clone(),
+            flags,
+        }
     }
 
     /// Router qubit of heap node `v ∈ 1..2^m`.
@@ -189,11 +212,7 @@ pub(crate) fn page_select_copy(
     if addr_k.is_empty() {
         circuit.push(Gate::cx(root, bus));
     } else {
-        let mut gate = Gate::mcx_pattern(
-            &addr_k.iter().collect::<Vec<_>>(),
-            page,
-            bus,
-        );
+        let mut gate = Gate::mcx_pattern(&addr_k.iter().collect::<Vec<_>>(), page, bus);
         if let Gate::Mcx { controls, .. } = &mut gate {
             controls.push(qram_circuit::Control::on(root));
         }
@@ -233,8 +252,7 @@ mod tests {
             for u in 0..m {
                 let bit = (address >> (m - 1 - u)) & 1 == 1;
                 assert!(
-                    (state.probability_of_one(tree.router(v)) - (bit as u8 as f64)).abs()
-                        < 1e-9,
+                    (state.probability_of_one(tree.router(v)) - (bit as u8 as f64)).abs() < 1e-9,
                     "address {address:#b}, level {u}"
                 );
                 v = 2 * v + bit as usize;
@@ -316,9 +334,14 @@ mod tests {
         assert!(p6 <= 5 * 6, "pipelined depth {p6}");
         assert!(r6 >= 6 * 6 / 2, "raw depth {r6}");
         // Linear growth: constant increments between consecutive m.
-        let increments: Vec<isize> =
-            depths.windows(2).map(|w| w[1].0 as isize - w[0].0 as isize).collect();
-        assert!(increments.windows(2).all(|w| (w[0] - w[1]).abs() <= 2), "{increments:?}");
+        let increments: Vec<isize> = depths
+            .windows(2)
+            .map(|w| w[1].0 as isize - w[0].0 as isize)
+            .collect();
+        assert!(
+            increments.windows(2).all(|w| (w[0] - w[1]).abs() <= 2),
+            "{increments:?}"
+        );
     }
 
     #[test]

@@ -55,24 +55,36 @@ pub struct Optimizations {
 
 impl Optimizations {
     /// Every optimization enabled (the paper's "OPT: ALL" column).
-    pub const ALL: Optimizations =
-        Optimizations { recycle_qubits: true, lazy_swapping: true, pipeline_address: true };
+    pub const ALL: Optimizations = Optimizations {
+        recycle_qubits: true,
+        lazy_swapping: true,
+        pipeline_address: true,
+    };
 
     /// No optimizations (the paper's "RAW" column).
-    pub const RAW: Optimizations =
-        Optimizations { recycle_qubits: false, lazy_swapping: false, pipeline_address: false };
+    pub const RAW: Optimizations = Optimizations {
+        recycle_qubits: false,
+        lazy_swapping: false,
+        pipeline_address: false,
+    };
 
     /// Only OPT1 (address-qubit recycling).
-    pub const OPT1: Optimizations =
-        Optimizations { recycle_qubits: true, ..Optimizations::RAW };
+    pub const OPT1: Optimizations = Optimizations {
+        recycle_qubits: true,
+        ..Optimizations::RAW
+    };
 
     /// Only OPT2 (lazy data swapping).
-    pub const OPT2: Optimizations =
-        Optimizations { lazy_swapping: true, ..Optimizations::RAW };
+    pub const OPT2: Optimizations = Optimizations {
+        lazy_swapping: true,
+        ..Optimizations::RAW
+    };
 
     /// Only OPT3 (address pipelining).
-    pub const OPT3: Optimizations =
-        Optimizations { pipeline_address: true, ..Optimizations::RAW };
+    pub const OPT3: Optimizations = Optimizations {
+        pipeline_address: true,
+        ..Optimizations::RAW
+    };
 }
 
 impl Default for Optimizations {
@@ -83,7 +95,11 @@ impl Default for Optimizations {
 
 impl std::fmt::Display for Optimizations {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match (self.recycle_qubits, self.lazy_swapping, self.pipeline_address) {
+        match (
+            self.recycle_qubits,
+            self.lazy_swapping,
+            self.pipeline_address,
+        ) {
             (true, true, true) => write!(f, "ALL"),
             (false, false, false) => write!(f, "RAW"),
             (r, l, p) => {
@@ -151,7 +167,12 @@ impl VirtualQram {
     /// Panics if `m == 0` (the router tree needs at least one level).
     pub fn new(k: usize, m: usize) -> Self {
         assert!(m >= 1, "QRAM width m must be at least 1");
-        VirtualQram { k, m, opts: Optimizations::ALL, encoding: DataEncoding::Bit }
+        VirtualQram {
+            k,
+            m,
+            opts: Optimizations::ALL,
+            encoding: DataEncoding::Bit,
+        }
     }
 
     /// Overrides the optimization set.
@@ -195,9 +216,7 @@ impl VirtualQram {
             }
             let gate = match self.encoding {
                 DataEncoding::Bit => Gate::clcx(parts.tree.flag(l), parts.leaf_rail(l)),
-                DataEncoding::DualRail => {
-                    Gate::ClSwap(parts.tree.flag(l), parts.leaf_rail(l))
-                }
+                DataEncoding::DualRail => Gate::ClSwap(parts.tree.flag(l), parts.leaf_rail(l)),
                 DataEncoding::FusedBit => {
                     Gate::clcx(parts.tree.flag(l), parts.rail(parts.tree.leaf_parent(l)))
                 }
@@ -214,8 +233,10 @@ impl VirtualQram {
         let m = self.m;
         if self.encoding != DataEncoding::FusedBit {
             for l in 0..(1 << m) {
-                circuit
-                    .push(Gate::cx(parts.leaf_rail(l), parts.rail(parts.tree.leaf_parent(l))));
+                circuit.push(Gate::cx(
+                    parts.leaf_rail(l),
+                    parts.rail(parts.tree.leaf_parent(l)),
+                ));
             }
         }
         for v in (0..m.saturating_sub(1)).rev() {
@@ -237,8 +258,10 @@ impl VirtualQram {
         }
         if self.encoding != DataEncoding::FusedBit {
             for l in (0..(1 << m)).rev() {
-                circuit
-                    .push(Gate::cx(parts.leaf_rail(l), parts.rail(parts.tree.leaf_parent(l))));
+                circuit.push(Gate::cx(
+                    parts.leaf_rail(l),
+                    parts.rail(parts.tree.leaf_parent(l)),
+                ));
             }
         }
     }
@@ -312,14 +335,21 @@ impl QueryArchitecture for VirtualQram {
         } else {
             Some(alloc.register("internal_rails", (1 << m) - 1))
         };
-        let parts = Parts { tree, prep_tree, leaf_rails, internal_rails };
+        let parts = Parts {
+            tree,
+            prep_tree,
+            leaf_rails,
+            internal_rails,
+        };
         debug_assert_eq!(parts.tree.m(), m);
 
         let mut circuit = Circuit::new(alloc.num_qubits());
         let pages = memory.num_pages(m);
 
         // Stage 1: load-once address loading (Sec. 3.1.1).
-        parts.tree.load_address(&mut circuit, &addr_m, self.opts.pipeline_address);
+        parts
+            .tree
+            .load_address(&mut circuit, &addr_m, self.opts.pipeline_address);
         // Query-state preparation: one-hot flag at the addressed leaf.
         parts.prep_tree.prepare_flags(&mut circuit);
 
@@ -347,7 +377,9 @@ impl QueryArchitecture for VirtualQram {
 
         // Final uncompute (Fig. 4f / Algorithm 1's closing loop).
         parts.prep_tree.unprepare_flags(&mut circuit);
-        parts.tree.unload_address(&mut circuit, &addr_m, self.opts.pipeline_address);
+        parts
+            .tree
+            .unload_address(&mut circuit, &addr_m, self.opts.pipeline_address);
 
         QueryCircuit::new(circuit, address, bus, alloc)
     }
@@ -381,7 +413,11 @@ mod tests {
             Optimizations::OPT1,
             Optimizations::OPT2,
             Optimizations::OPT3,
-            Optimizations { recycle_qubits: true, lazy_swapping: true, pipeline_address: false },
+            Optimizations {
+                recycle_qubits: true,
+                lazy_swapping: true,
+                pipeline_address: false,
+            },
             Optimizations::ALL,
         ];
         for opts in variants {
@@ -428,8 +464,9 @@ mod tests {
     fn fused_m1_fits_seven_qubits() {
         // The Appendix A constraint: ibm_perth has 7 qubits.
         let memory = random_memory(1, 1);
-        let query =
-            VirtualQram::new(0, 1).with_encoding(DataEncoding::FusedBit).build(&memory);
+        let query = VirtualQram::new(0, 1)
+            .with_encoding(DataEncoding::FusedBit)
+            .build(&memory);
         assert!(query.num_qubits() <= 7, "{} qubits", query.num_qubits());
         query.verify(&memory).unwrap();
     }
@@ -490,7 +527,10 @@ mod tests {
         };
         let (gap4, piped4) = gap(4);
         let (gap8, piped8) = gap(8);
-        assert!(gap8 >= 4 * gap4, "gap m=4 {gap4} vs m=8 {gap8} not quadratic");
+        assert!(
+            gap8 >= 4 * gap4,
+            "gap m=4 {gap4} vs m=8 {gap8} not quadratic"
+        );
         // Pipelined total depth stays linear in m.
         assert!(piped8 <= 2 * piped4 + 8, "piped4 {piped4}, piped8 {piped8}");
     }
@@ -505,8 +545,18 @@ mod tests {
         let mem_large = Memory::ones(m + 3);
         let q0 = VirtualQram::new(0, m).build(&mem_small);
         let q3 = VirtualQram::new(3, m).build(&mem_large);
-        let cswaps_k0 = q0.circuit().gate_census().get("cswap").copied().unwrap_or(0);
-        let cswaps_k3 = q3.circuit().gate_census().get("cswap").copied().unwrap_or(0);
+        let cswaps_k0 = q0
+            .circuit()
+            .gate_census()
+            .get("cswap")
+            .copied()
+            .unwrap_or(0);
+        let cswaps_k3 = q3
+            .circuit()
+            .gate_census()
+            .get("cswap")
+            .copied()
+            .unwrap_or(0);
         assert_eq!(cswaps_k0, cswaps_k3, "loading must not repeat per page");
     }
 

@@ -63,7 +63,11 @@ impl WideVirtualQram {
     ///
     /// Panics if the memory shape disagrees with `(k, m, data_width)`.
     pub fn build(&self, memory: &WideMemory) -> WideQueryCircuit {
-        assert_eq!(memory.address_width(), self.k + self.m, "address width mismatch");
+        assert_eq!(
+            memory.address_width(),
+            self.k + self.m,
+            "address width mismatch"
+        );
         assert_eq!(memory.data_width(), self.data_width, "data width mismatch");
         let (k, m, w) = (self.k, self.m, self.data_width);
 
@@ -87,7 +91,13 @@ impl WideVirtualQram {
                 let page = memory.plane(bit).page(m, p);
                 self.write(&mut circuit, &tree, page, false);
                 self.compress(&mut circuit, &tree, false);
-                page_select_copy(&mut circuit, &addr_k, p as u64, tree.wire(1), buses.get(bit));
+                page_select_copy(
+                    &mut circuit,
+                    &addr_k,
+                    p as u64,
+                    tree.wire(1),
+                    buses.get(bit),
+                );
                 self.compress(&mut circuit, &tree, true);
                 self.write(&mut circuit, &tree, page, true);
             }
@@ -96,7 +106,12 @@ impl WideVirtualQram {
         tree.unprepare_flags(&mut circuit);
         tree.unload_address(&mut circuit, &addr_m, true);
 
-        WideQueryCircuit { circuit, address, buses, allocator: alloc }
+        WideQueryCircuit {
+            circuit,
+            address,
+            buses,
+            allocator: alloc,
+        }
     }
 
     /// Fused write layer (flags straight onto parent rails).
@@ -226,12 +241,13 @@ impl WideQueryCircuit {
 mod tests {
     use super::*;
     use crate::{query_word, QueryArchitecture, VirtualQram};
-    use rand::{rngs::StdRng, RngExt, SeedableRng};
+    use rand::{rngs::StdRng, Rng, SeedableRng};
 
     fn random_wide(n: usize, w: usize, seed: u64) -> WideMemory {
         let mut rng = StdRng::seed_from_u64(seed);
-        let words: Vec<u64> =
-            (0..1usize << n).map(|_| rng.random_range(0..(1u64 << w))).collect();
+        let words: Vec<u64> = (0..1usize << n)
+            .map(|_| rng.random_range(0..(1u64 << w)))
+            .collect();
         WideMemory::from_words(w, &words)
     }
 
@@ -283,7 +299,10 @@ mod tests {
         let narrow = VirtualQram::new(k, m).build(memory.plane(0));
         let wide_cswaps = wide.circuit().gate_census()["cswap"];
         let narrow_cswaps = narrow.circuit().gate_census()["cswap"];
-        assert_eq!(wide_cswaps, narrow_cswaps, "loading must be shared across planes");
+        assert_eq!(
+            wide_cswaps, narrow_cswaps,
+            "loading must be shared across planes"
+        );
     }
 
     #[test]

@@ -202,10 +202,38 @@ impl HTreeEmbedding {
         // quadrants are flipped vertically so their access ports face the
         // middle row.
         let placements = [
-            (4usize, Placement { dr: 0, dc: 0, flip_v: true }),
-            (5, Placement { dr: n + 1, dc: 0, flip_v: false }),
-            (6, Placement { dr: 0, dc: n + 1, flip_v: true }),
-            (7, Placement { dr: n + 1, dc: n + 1, flip_v: false }),
+            (
+                4usize,
+                Placement {
+                    dr: 0,
+                    dc: 0,
+                    flip_v: true,
+                },
+            ),
+            (
+                5,
+                Placement {
+                    dr: n + 1,
+                    dc: 0,
+                    flip_v: false,
+                },
+            ),
+            (
+                6,
+                Placement {
+                    dr: 0,
+                    dc: n + 1,
+                    flip_v: true,
+                },
+            ),
+            (
+                7,
+                Placement {
+                    dr: n + 1,
+                    dc: n + 1,
+                    flip_v: false,
+                },
+            ),
         ];
         for (q, placement) in placements {
             e.absorb_quadrant(&sub, q, placement);
@@ -237,8 +265,24 @@ impl HTreeEmbedding {
         };
 
         e.router_pos[0] = (n, qc);
-        e.absorb_quadrant(&sub, 2, Placement { dr: 0, dc: 0, flip_v: true });
-        e.absorb_quadrant(&sub, 3, Placement { dr: n + 1, dc: 0, flip_v: false });
+        e.absorb_quadrant(
+            &sub,
+            2,
+            Placement {
+                dr: 0,
+                dc: 0,
+                flip_v: true,
+            },
+        );
+        e.absorb_quadrant(
+            &sub,
+            3,
+            Placement {
+                dr: n + 1,
+                dc: 0,
+                flip_v: false,
+            },
+        );
         e.port_path = ((qc + 1)..n).map(|c| (n, c)).collect();
         e
     }
@@ -255,8 +299,10 @@ impl HTreeEmbedding {
             let g = relabel(q, j);
             self.router_pos[g - 1] = map(sub.router_pos[j - 1]);
             if j >= 2 {
-                self.router_edge_paths[g - 2] =
-                    sub.router_edge_paths[j - 2].iter().map(|&p| map(p)).collect();
+                self.router_edge_paths[g - 2] = sub.router_edge_paths[j - 2]
+                    .iter()
+                    .map(|&p| map(p))
+                    .collect();
             }
         }
         // The sub-root's incoming edge: the quadrant's port path, walked
@@ -286,7 +332,11 @@ impl HTreeEmbedding {
         for &p in &self.leaf_pos {
             self.roles[idx(p)] = CellRole::Data;
         }
-        for path in self.router_edge_paths.iter().chain(self.leaf_edge_paths.iter()) {
+        for path in self
+            .router_edge_paths
+            .iter()
+            .chain(self.leaf_edge_paths.iter())
+        {
             for &p in path {
                 self.roles[idx(p)] = CellRole::Routing;
             }
@@ -327,7 +377,10 @@ impl HTreeEmbedding {
     ///
     /// Panics if the cell is outside the grid.
     pub fn role(&self, r: usize, c: usize) -> CellRole {
-        assert!(r < self.rows && c < self.cols, "cell ({r},{c}) outside grid");
+        assert!(
+            r < self.rows && c < self.cols,
+            "cell ({r},{c}) outside grid"
+        );
         self.roles[r * self.cols + c]
     }
 
@@ -337,7 +390,10 @@ impl HTreeEmbedding {
     ///
     /// Panics if `heap` is not in `1 ..= 2^m − 1`.
     pub fn router_position(&self, heap: usize) -> (usize, usize) {
-        assert!(heap >= 1 && heap < (1 << self.m), "heap index {heap} out of range");
+        assert!(
+            heap >= 1 && heap < (1 << self.m),
+            "heap index {heap} out of range"
+        );
         self.router_pos[heap - 1]
     }
 
@@ -354,7 +410,10 @@ impl HTreeEmbedding {
     /// Intermediate routing cells from `parent(heap)` to router `heap`
     /// (empty = adjacent).
     pub fn edge_path_to_router(&self, heap: usize) -> &[(usize, usize)] {
-        assert!(heap >= 2 && heap < (1 << self.m), "heap index {heap} has no parent edge");
+        assert!(
+            heap >= 2 && heap < (1 << self.m),
+            "heap index {heap} has no parent edge"
+        );
         &self.router_edge_paths[heap - 2]
     }
 
@@ -391,7 +450,10 @@ impl HTreeEmbedding {
     pub fn level_distance(&self, level: usize) -> usize {
         assert!(level >= 1 && level <= self.m, "level {level} out of range");
         if level == self.m {
-            (0..self.capacity()).map(|a| self.leaf_edge_distance(a)).max().unwrap()
+            (0..self.capacity())
+                .map(|a| self.leaf_edge_distance(a))
+                .max()
+                .unwrap()
         } else {
             ((1 << level)..(1 << (level + 1)))
                 .map(|h| self.router_edge_distance(h))
@@ -456,12 +518,16 @@ impl HTreeEmbedding {
                 }
                 claim(cell)?;
                 if !adjacent(prev, cell) {
-                    return Err(EmbeddingError::BrokenPath { edge: name.to_string() });
+                    return Err(EmbeddingError::BrokenPath {
+                        edge: name.to_string(),
+                    });
                 }
                 prev = cell;
             }
             if !adjacent(prev, to) {
-                return Err(EmbeddingError::BrokenPath { edge: name.to_string() });
+                return Err(EmbeddingError::BrokenPath {
+                    edge: name.to_string(),
+                });
             }
             Ok(())
         };
@@ -491,14 +557,18 @@ impl HTreeEmbedding {
                 }
                 claim(cell)?;
                 if !adjacent(prev, cell) {
-                    return Err(EmbeddingError::BrokenPath { edge: "port".to_string() });
+                    return Err(EmbeddingError::BrokenPath {
+                        edge: "port".to_string(),
+                    });
                 }
                 prev = cell;
             }
             // The port must reach the border.
             let (r, c) = *self.port_path.last().unwrap();
             if r != 0 && c != 0 && r != self.rows - 1 && c != self.cols - 1 {
-                return Err(EmbeddingError::BrokenPath { edge: "port (not on border)".into() });
+                return Err(EmbeddingError::BrokenPath {
+                    edge: "port (not on border)".into(),
+                });
             }
         }
         Ok(())
@@ -608,7 +678,9 @@ mod tests {
     #[test]
     fn all_embeddings_are_topological_minors() {
         for m in 1..=8 {
-            HTreeEmbedding::new(m).validate().unwrap_or_else(|e| panic!("m={m}: {e}"));
+            HTreeEmbedding::new(m)
+                .validate()
+                .unwrap_or_else(|e| panic!("m={m}: {e}"));
         }
     }
 

@@ -41,11 +41,11 @@ mod teleport;
 mod topology;
 
 pub use htree::{CellRole, EmbeddingError, HTreeEmbedding, RoleCensus};
-pub use routing::{
-    routing_overhead_sweep, swap_extra_depth, teleport_extra_depth, RoutingOverhead,
-    SWAP_DEPTH, TELEPORT_DEPTH,
-};
 pub use placement::{Placement, RoutingDiscipline};
+pub use routing::{
+    routing_overhead_sweep, swap_extra_depth, teleport_extra_depth, RoutingOverhead, SWAP_DEPTH,
+    TELEPORT_DEPTH,
+};
 pub use sabre::{
     choose_initial_layout, route, route_with_chosen_layout, route_with_layout, RoutedCircuit,
     RoutingError,

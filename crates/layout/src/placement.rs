@@ -46,7 +46,10 @@ pub struct Placement {
 impl Placement {
     /// An empty placement over `grid`.
     pub fn new(grid: Grid) -> Self {
-        Placement { grid, site_of: HashMap::new() }
+        Placement {
+            grid,
+            site_of: HashMap::new(),
+        }
     }
 
     /// Assigns `qubit` to `cell`.
@@ -182,9 +185,7 @@ impl Placement {
             let qs = gate.qubits();
             let span = self.max_span(&qs);
             let extra = match discipline {
-                RoutingDiscipline::SwapChains => {
-                    2 * span.saturating_sub(1) * SWAP_DEPTH
-                }
+                RoutingDiscipline::SwapChains => 2 * span.saturating_sub(1) * SWAP_DEPTH,
                 RoutingDiscipline::Teleportation => {
                     if span > 1 {
                         TELEPORT_DEPTH

@@ -68,8 +68,14 @@ pub enum RoutingError {
 impl std::fmt::Display for RoutingError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            RoutingError::TooFewSites { required, available } => {
-                write!(f, "circuit needs {required} qubits but device has {available} sites")
+            RoutingError::TooFewSites {
+                required,
+                available,
+            } => {
+                write!(
+                    f,
+                    "circuit needs {required} qubits but device has {available} sites"
+                )
             }
         }
     }
@@ -110,7 +116,10 @@ pub fn choose_initial_layout<T: Topology>(
     let n = circuit.num_qubits();
     let sites = topology.num_sites();
     if n > sites {
-        return Err(RoutingError::TooFewSites { required: n, available: sites });
+        return Err(RoutingError::TooFewSites {
+            required: n,
+            available: sites,
+        });
     }
     // Interaction weights between logical qubits.
     let mut weight = vec![vec![0usize; n]; n];
@@ -127,8 +136,9 @@ pub fn choose_initial_layout<T: Topology>(
 
     // Seed: busiest logical qubit on the highest-degree site.
     let seed_logical = (0..n).max_by_key(|&q| degree(q)).unwrap_or(0);
-    let seed_site =
-        (0..sites).max_by_key(|&s| topology.neighbors(s).len()).unwrap_or(0);
+    let seed_site = (0..sites)
+        .max_by_key(|&s| topology.neighbors(s).len())
+        .unwrap_or(0);
     layout[seed_logical] = seed_site;
     site_used[seed_site] = true;
 
@@ -138,7 +148,10 @@ pub fn choose_initial_layout<T: Topology>(
         let next = (0..n)
             .filter(|&q| layout[q] == usize::MAX)
             .max_by_key(|&q| {
-                (0..n).filter(|&p| layout[p] != usize::MAX).map(|p| weight[q][p]).sum::<usize>()
+                (0..n)
+                    .filter(|&p| layout[p] != usize::MAX)
+                    .map(|p| weight[q][p])
+                    .sum::<usize>()
             })
             .expect("unplaced qubit remains");
         let best_site = (0..sites)
@@ -189,11 +202,17 @@ pub fn route_with_layout<T: Topology>(
 ) -> Result<RoutedCircuit, RoutingError> {
     let sites = topology.num_sites();
     if circuit.num_qubits() > sites {
-        return Err(RoutingError::TooFewSites { required: circuit.num_qubits(), available: sites });
+        return Err(RoutingError::TooFewSites {
+            required: circuit.num_qubits(),
+            available: sites,
+        });
     }
     for &p in &layout {
         if p >= sites {
-            return Err(RoutingError::TooFewSites { required: p + 1, available: sites });
+            return Err(RoutingError::TooFewSites {
+                required: p + 1,
+                available: sites,
+            });
         }
     }
     {
@@ -213,10 +232,10 @@ pub fn route_with_layout<T: Topology>(
     let mut swap_count = 0usize;
 
     let emit_swap = |a: usize,
-                         b: usize,
-                         out: &mut Vec<CliffordTGate>,
-                         layout: &mut Vec<usize>,
-                         at_site: &mut Vec<usize>| {
+                     b: usize,
+                     out: &mut Vec<CliffordTGate>,
+                     layout: &mut Vec<usize>,
+                     at_site: &mut Vec<usize>| {
         // SWAP lowered to 3 CX on physical sites.
         let (qa, qb) = (Qubit(a as u32), Qubit(b as u32));
         out.push(CliffordTGate::Cx(qa, qb));
@@ -248,7 +267,10 @@ pub fn route_with_layout<T: Topology>(
                         pc = *hop;
                     }
                 }
-                out.push(CliffordTGate::Cx(Qubit(pc as u32), Qubit(layout[t.index()] as u32)));
+                out.push(CliffordTGate::Cx(
+                    Qubit(pc as u32),
+                    Qubit(layout[t.index()] as u32),
+                ));
             }
             // Single-qubit gates relocate to the current site.
             g => {
@@ -267,7 +289,11 @@ pub fn route_with_layout<T: Topology>(
             }
         }
     }
-    Ok(RoutedCircuit { gates: out, swap_count, layout })
+    Ok(RoutedCircuit {
+        gates: out,
+        swap_count,
+        layout,
+    })
 }
 
 #[cfg(test)]
@@ -332,7 +358,13 @@ mod tests {
         let mut c = Circuit::new(5);
         c.push(Gate::x(Qubit(4)));
         let err = route(&lower(&c), &line(3)).unwrap_err();
-        assert!(matches!(err, RoutingError::TooFewSites { required: 5, available: 3 }));
+        assert!(matches!(
+            err,
+            RoutingError::TooFewSites {
+                required: 5,
+                available: 3
+            }
+        ));
     }
 
     #[test]
@@ -392,10 +424,7 @@ mod tests {
         let low = lower(&c);
         let sparse = route(&low, &line(4)).unwrap();
         // Fully connected: K4.
-        let dense = CouplingGraph::new(
-            4,
-            vec![(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)],
-        );
+        let dense = CouplingGraph::new(4, vec![(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]);
         let routed_dense = route(&low, &dense).unwrap();
         assert_eq!(routed_dense.swap_count(), 0);
         assert!(sparse.swap_count() > 0);

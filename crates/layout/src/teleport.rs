@@ -105,8 +105,9 @@ mod tests {
 
     #[test]
     fn teleport_chain_depth_is_constant() {
-        let depths: Vec<usize> =
-            (1..=12).map(|h| teleport_chain(h).schedule().depth()).collect();
+        let depths: Vec<usize> = (1..=12)
+            .map(|h| teleport_chain(h).schedule().depth())
+            .collect();
         assert!(depths.windows(2).all(|w| w[0] == w[1]), "{depths:?}");
         assert_eq!(depths[0], 4);
     }
@@ -118,7 +119,10 @@ mod tests {
         // constant. Check the lowered-depth crossover is at small d.
         let swap_lowered = ResourceCount::of(&swap_chain(4)).lowered_depth;
         let tele_lowered = ResourceCount::of(&teleport_chain(4)).lowered_depth;
-        assert!(swap_lowered > tele_lowered, "swap {swap_lowered} vs teleport {tele_lowered}");
+        assert!(
+            swap_lowered > tele_lowered,
+            "swap {swap_lowered} vs teleport {tele_lowered}"
+        );
         // And at distance 1 swapping is cheaper (no entanglement setup).
         let swap1 = ResourceCount::of(&swap_chain(1)).lowered_depth;
         let tele1 = ResourceCount::of(&teleport_chain(1)).lowered_depth;

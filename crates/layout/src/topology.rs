@@ -22,7 +22,10 @@ pub trait Topology {
     ///
     /// Panics if `a` or `b` is out of range or the sites are disconnected.
     fn distance(&self, a: usize, b: usize) -> usize {
-        assert!(a < self.num_sites() && b < self.num_sites(), "site out of range");
+        assert!(
+            a < self.num_sites() && b < self.num_sites(),
+            "site out of range"
+        );
         if a == b {
             return 0;
         }
@@ -49,7 +52,10 @@ pub trait Topology {
     ///
     /// Same conditions as [`Topology::distance`].
     fn shortest_path(&self, a: usize, b: usize) -> Vec<usize> {
-        assert!(a < self.num_sites() && b < self.num_sites(), "site out of range");
+        assert!(
+            a < self.num_sites() && b < self.num_sites(),
+            "site out of range"
+        );
         if a == b {
             return vec![a];
         }
@@ -122,7 +128,10 @@ impl Grid {
     ///
     /// Panics if the cell is outside the grid.
     pub fn site(&self, r: usize, c: usize) -> usize {
-        assert!(r < self.rows && c < self.cols, "cell ({r},{c}) outside grid");
+        assert!(
+            r < self.rows && c < self.cols,
+            "cell ({r},{c}) outside grid"
+        );
         r * self.cols + c
     }
 
@@ -189,12 +198,18 @@ impl CouplingGraph {
     pub fn new(num_sites: usize, edges: Vec<(usize, usize)>) -> Self {
         let mut adjacency = vec![Vec::new(); num_sites];
         for (a, b) in edges {
-            assert!(a < num_sites && b < num_sites, "edge ({a},{b}) out of range");
+            assert!(
+                a < num_sites && b < num_sites,
+                "edge ({a},{b}) out of range"
+            );
             assert!(a != b, "self-loop on {a}");
             adjacency[a].push(b);
             adjacency[b].push(a);
         }
-        CouplingGraph { num_sites, adjacency }
+        CouplingGraph {
+            num_sites,
+            adjacency,
+        }
     }
 
     /// Number of undirected edges.

@@ -1,7 +1,7 @@
 //! Single-qubit Pauli error channels.
 
 use qram_sim::Pauli;
-use rand::{Rng, RngExt};
+use rand::Rng;
 
 /// A single-qubit Pauli channel
 /// `ρ → (1 − pₓ − p_y − p_z)ρ + pₓXρX + p_yYρY + p_zZρZ`.
@@ -28,7 +28,11 @@ pub struct PauliChannel {
 
 impl PauliChannel {
     /// The error-free channel.
-    pub const NOISELESS: PauliChannel = PauliChannel { px: 0.0, py: 0.0, pz: 0.0 };
+    pub const NOISELESS: PauliChannel = PauliChannel {
+        px: 0.0,
+        py: 0.0,
+        pz: 0.0,
+    };
 
     /// A general Pauli channel.
     ///
@@ -36,8 +40,14 @@ impl PauliChannel {
     ///
     /// Panics if any probability is negative or the total exceeds 1.
     pub fn new(px: f64, py: f64, pz: f64) -> Self {
-        assert!(px >= 0.0 && py >= 0.0 && pz >= 0.0, "negative error probability");
-        assert!(px + py + pz <= 1.0 + 1e-12, "total error probability exceeds 1");
+        assert!(
+            px >= 0.0 && py >= 0.0 && pz >= 0.0,
+            "negative error probability"
+        );
+        assert!(
+            px + py + pz <= 1.0 + 1e-12,
+            "total error probability exceeds 1"
+        );
         PauliChannel { px, py, pz }
     }
 
@@ -96,7 +106,11 @@ impl PauliChannel {
 
 impl std::fmt::Display for PauliChannel {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "Pauli(px={:.2e}, py={:.2e}, pz={:.2e})", self.px, self.py, self.pz)
+        write!(
+            f,
+            "Pauli(px={:.2e}, py={:.2e}, pz={:.2e})",
+            self.px, self.py, self.pz
+        )
     }
 }
 
@@ -107,8 +121,14 @@ mod tests {
 
     #[test]
     fn constructors_set_expected_components() {
-        assert_eq!(PauliChannel::phase_flip(0.1), PauliChannel::new(0.0, 0.0, 0.1));
-        assert_eq!(PauliChannel::bit_flip(0.1), PauliChannel::new(0.1, 0.0, 0.0));
+        assert_eq!(
+            PauliChannel::phase_flip(0.1),
+            PauliChannel::new(0.0, 0.0, 0.1)
+        );
+        assert_eq!(
+            PauliChannel::bit_flip(0.1),
+            PauliChannel::new(0.1, 0.0, 0.0)
+        );
         let d = PauliChannel::depolarizing(0.3);
         assert!((d.px - 0.1).abs() < 1e-12);
         assert!((d.total() - 0.3).abs() < 1e-12);
@@ -139,7 +159,9 @@ mod tests {
         let ch = PauliChannel::phase_flip(0.25);
         let mut rng = StdRng::seed_from_u64(42);
         let trials = 40_000;
-        let hits = (0..trials).filter(|_| ch.sample(&mut rng).is_some()).count();
+        let hits = (0..trials)
+            .filter(|_| ch.sample(&mut rng).is_some())
+            .count();
         let freq = hits as f64 / trials as f64;
         assert!((freq - 0.25).abs() < 0.01, "frequency {freq}");
     }
@@ -149,7 +171,9 @@ mod tests {
         let ch = PauliChannel::new(0.5, 0.0, 0.5);
         let mut rng = StdRng::seed_from_u64(7);
         for _ in 0..200 {
-            if let Some(Pauli::Y) = ch.sample(&mut rng) { panic!("Y sampled with py = 0") }
+            if let Some(Pauli::Y) = ch.sample(&mut rng) {
+                panic!("Y sampled with py = 0")
+            }
         }
     }
 

@@ -46,10 +46,19 @@ impl DeviceModel {
         two_qubit_channel: PauliChannel,
     ) -> Self {
         for &(a, b) in &coupling {
-            assert!(a < num_qubits && b < num_qubits, "coupling ({a},{b}) out of range");
+            assert!(
+                a < num_qubits && b < num_qubits,
+                "coupling ({a},{b}) out of range"
+            );
             assert!(a != b, "self-coupling ({a},{b})");
         }
-        DeviceModel { name: name.into(), num_qubits, coupling, one_qubit_channel, two_qubit_channel }
+        DeviceModel {
+            name: name.into(),
+            num_qubits,
+            coupling,
+            one_qubit_channel,
+            two_qubit_channel,
+        }
     }
 
     /// The device name.
@@ -69,7 +78,9 @@ impl DeviceModel {
 
     /// Whether qubits `a` and `b` are directly coupled (order-insensitive).
     pub fn are_coupled(&self, a: usize, b: usize) -> bool {
-        self.coupling.iter().any(|&(x, y)| (x, y) == (a, b) || (x, y) == (b, a))
+        self.coupling
+            .iter()
+            .any(|&(x, y)| (x, y) == (a, b) || (x, y) == (b, a))
     }
 
     /// The error channel applied to each qubit of a gate with the given
@@ -87,7 +98,13 @@ impl DeviceModel {
 
 impl std::fmt::Display for DeviceModel {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "{} ({} qubits, {} couplings)", self.name, self.num_qubits, self.coupling.len())
+        write!(
+            f,
+            "{} ({} qubits, {} couplings)",
+            self.name,
+            self.num_qubits,
+            self.coupling.len()
+        )
     }
 }
 
@@ -160,7 +177,11 @@ mod tests {
         assert_eq!(dev.coupling().len(), 16);
         // Heavy-hex: max degree 3.
         for q in 0..16 {
-            let deg = dev.coupling().iter().filter(|&&(a, b)| a == q || b == q).count();
+            let deg = dev
+                .coupling()
+                .iter()
+                .filter(|&&(a, b)| a == q || b == q)
+                .count();
             assert!(deg <= 3, "qubit {q} has degree {deg}");
         }
     }

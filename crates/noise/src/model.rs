@@ -39,27 +39,42 @@ pub struct NoiseModel {
 impl NoiseModel {
     /// A noise-free model (useful as a control).
     pub fn noiseless() -> Self {
-        NoiseModel { channel: PauliChannel::NOISELESS, placement: NoisePlacement::PerGate }
+        NoiseModel {
+            channel: PauliChannel::NOISELESS,
+            placement: NoisePlacement::PerGate,
+        }
     }
 
     /// Qubit-per-step placement with the given channel.
     pub fn qubit_per_step(channel: PauliChannel) -> Self {
-        NoiseModel { channel, placement: NoisePlacement::QubitPerStep }
+        NoiseModel {
+            channel,
+            placement: NoisePlacement::QubitPerStep,
+        }
     }
 
     /// Per-gate placement with the given channel.
     pub fn per_gate(channel: PauliChannel) -> Self {
-        NoiseModel { channel, placement: NoisePlacement::PerGate }
+        NoiseModel {
+            channel,
+            placement: NoisePlacement::PerGate,
+        }
     }
 
     /// Single application per qubit with the given channel.
     pub fn per_qubit_once(channel: PauliChannel) -> Self {
-        NoiseModel { channel, placement: NoisePlacement::PerQubitOnce }
+        NoiseModel {
+            channel,
+            placement: NoisePlacement::PerQubitOnce,
+        }
     }
 
     /// The same model with its channel scaled by `1/εr`.
     pub fn reduced_by(&self, er: ErrorReductionFactor) -> Self {
-        NoiseModel { channel: self.channel.scaled(1.0 / er.0), placement: self.placement }
+        NoiseModel {
+            channel: self.channel.scaled(1.0 / er.0),
+            placement: self.placement,
+        }
     }
 }
 

@@ -3,7 +3,7 @@
 
 use qram_circuit::{Circuit, Qubit};
 use qram_sim::{Fault, FaultPlan};
-use rand::{Rng, RngExt};
+use rand::Rng;
 
 use crate::{DeviceModel, ErrorReductionFactor, NoiseModel, NoisePlacement, PauliChannel};
 
@@ -39,9 +39,14 @@ pub struct FaultSampler<R> {
 #[derive(Debug)]
 enum Trials {
     /// All trials share one channel; geometric skipping applies.
-    Uniform { channel: PauliChannel, locations: Vec<(usize, Qubit)> },
+    Uniform {
+        channel: PauliChannel,
+        locations: Vec<(usize, Qubit)>,
+    },
     /// Heterogeneous channels (device models); sampled trial by trial.
-    PerTrial { entries: Vec<(usize, Qubit, PauliChannel)> },
+    PerTrial {
+        entries: Vec<(usize, Qubit, PauliChannel)>,
+    },
 }
 
 impl<R: Rng> FaultSampler<R> {
@@ -50,11 +55,17 @@ impl<R: Rng> FaultSampler<R> {
         let locations = match model.placement {
             NoisePlacement::PerGate => per_gate_locations(circuit),
             NoisePlacement::QubitPerStep => qubit_per_step_locations(circuit),
-            NoisePlacement::PerQubitOnce => {
-                (0..circuit.num_qubits()).map(|q| (0usize, Qubit(q as u32))).collect()
-            }
+            NoisePlacement::PerQubitOnce => (0..circuit.num_qubits())
+                .map(|q| (0usize, Qubit(q as u32)))
+                .collect(),
         };
-        FaultSampler { trials: Trials::Uniform { channel: model.channel, locations }, rng }
+        FaultSampler {
+            trials: Trials::Uniform {
+                channel: model.channel,
+                locations,
+            },
+            rng,
+        }
     }
 
     /// Builds a per-gate sampler whose channel strength depends on gate
@@ -76,7 +87,10 @@ impl<R: Rng> FaultSampler<R> {
                 entries.push((i + 1, q, channel));
             }
         }
-        FaultSampler { trials: Trials::PerTrial { entries }, rng }
+        FaultSampler {
+            trials: Trials::PerTrial { entries },
+            rng,
+        }
     }
 
     /// Number of error opportunities per shot.
@@ -116,7 +130,11 @@ impl<R: Rng> FaultSampler<R> {
                     }
                     t += gap as usize;
                     let (idx, q) = locations[t];
-                    plan.push(Fault::new(idx, q, conditional_pauli(channel, &mut self.rng)));
+                    plan.push(Fault::new(
+                        idx,
+                        q,
+                        conditional_pauli(channel, &mut self.rng),
+                    ));
                     t += 1;
                     if t >= locations.len() {
                         break;
@@ -181,7 +199,12 @@ fn qubit_per_step_locations(circuit: &Circuit) -> Vec<(usize, Qubit)> {
             continue;
         }
         let qs = gate.qubits();
-        let layer = qs.iter().map(|q| busy[q.index()]).max().unwrap_or(floor).max(floor);
+        let layer = qs
+            .iter()
+            .map(|q| busy[q.index()])
+            .max()
+            .unwrap_or(floor)
+            .max(floor);
         for q in &qs {
             busy[q.index()] = layer + 1;
             events[q.index()].push((layer, i + 1));
@@ -308,6 +331,7 @@ mod tests {
         assert_eq!(q1.len(), 2);
         assert_eq!(q1[0].0, 1); // after gate 0
         assert_eq!(q1[1].0, 2); // after gate 1
+
         // Qubit 0 is only touched at layer 0.
         let q0: Vec<_> = locations.iter().filter(|(_, q)| q.index() == 0).collect();
         assert_eq!(q0[0].0, 1);

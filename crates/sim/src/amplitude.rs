@@ -45,7 +45,10 @@ impl Amplitude {
 
     /// Complex conjugate.
     pub fn conj(self) -> Self {
-        Amplitude { re: self.re, im: -self.im }
+        Amplitude {
+            re: self.re,
+            im: -self.im,
+        }
     }
 
     /// Squared modulus `|a|²`.
@@ -60,17 +63,26 @@ impl Amplitude {
 
     /// Scales by a real factor.
     pub fn scale(self, s: f64) -> Self {
-        Amplitude { re: self.re * s, im: self.im * s }
+        Amplitude {
+            re: self.re * s,
+            im: self.im * s,
+        }
     }
 
     /// Multiplies by `i` (the phase a `Y` error applies to |0⟩ → |1⟩).
     pub fn mul_i(self) -> Self {
-        Amplitude { re: -self.im, im: self.re }
+        Amplitude {
+            re: -self.im,
+            im: self.re,
+        }
     }
 
     /// Multiplies by `−i`.
     pub fn mul_neg_i(self) -> Self {
-        Amplitude { re: self.im, im: -self.re }
+        Amplitude {
+            re: self.im,
+            im: -self.re,
+        }
     }
 
     /// Whether the amplitude is negligible at tolerance `eps`.
@@ -82,7 +94,10 @@ impl Amplitude {
 impl Add for Amplitude {
     type Output = Amplitude;
     fn add(self, rhs: Amplitude) -> Amplitude {
-        Amplitude { re: self.re + rhs.re, im: self.im + rhs.im }
+        Amplitude {
+            re: self.re + rhs.re,
+            im: self.im + rhs.im,
+        }
     }
 }
 
@@ -96,7 +111,10 @@ impl AddAssign for Amplitude {
 impl Sub for Amplitude {
     type Output = Amplitude;
     fn sub(self, rhs: Amplitude) -> Amplitude {
-        Amplitude { re: self.re - rhs.re, im: self.im - rhs.im }
+        Amplitude {
+            re: self.re - rhs.re,
+            im: self.im - rhs.im,
+        }
     }
 }
 
@@ -119,7 +137,10 @@ impl MulAssign for Amplitude {
 impl Neg for Amplitude {
     type Output = Amplitude;
     fn neg(self) -> Amplitude {
-        Amplitude { re: -self.re, im: -self.im }
+        Amplitude {
+            re: -self.re,
+            im: -self.im,
+        }
     }
 }
 

@@ -23,7 +23,10 @@ pub struct BitString {
 impl BitString {
     /// The all-zero basis state on `len` qubits.
     pub fn zeros(len: usize) -> Self {
-        BitString { words: vec![0; len.div_ceil(64)], len }
+        BitString {
+            words: vec![0; len.div_ceil(64)],
+            len,
+        }
     }
 
     /// Builds a basis state from the low `len` bits of `value`
@@ -34,7 +37,10 @@ impl BitString {
     /// Panics if `len < 64` and `value` has bits above `len`.
     pub fn from_u64(value: u64, len: usize) -> Self {
         if len < 64 {
-            assert!(value >> len == 0, "value {value} does not fit in {len} bits");
+            assert!(
+                value >> len == 0,
+                "value {value} does not fit in {len} bits"
+            );
         }
         let mut b = BitString::zeros(len.max(1));
         b.words[0] = value;
@@ -124,7 +130,10 @@ impl BitString {
     /// Panics if more than 64 qubits are requested or any index is out of
     /// range.
     pub fn read_msb_first(&self, qubits: &[usize]) -> u64 {
-        assert!(qubits.len() <= 64, "cannot read more than 64 bits into a u64");
+        assert!(
+            qubits.len() <= 64,
+            "cannot read more than 64 bits into a u64"
+        );
         let mut v = 0u64;
         for &q in qubits {
             v = (v << 1) | self.get(q) as u64;

@@ -61,7 +61,11 @@ pub struct Fault {
 impl Fault {
     /// Convenience constructor.
     pub fn new(gate_index: usize, qubit: Qubit, pauli: Pauli) -> Self {
-        Fault { gate_index, qubit, pauli }
+        Fault {
+            gate_index,
+            qubit,
+            pauli,
+        }
     }
 }
 
@@ -117,7 +121,9 @@ impl FaultPlan {
 
 impl FromIterator<Fault> for FaultPlan {
     fn from_iter<I: IntoIterator<Item = Fault>>(iter: I) -> Self {
-        FaultPlan { faults: iter.into_iter().collect() }
+        FaultPlan {
+            faults: iter.into_iter().collect(),
+        }
     }
 }
 
@@ -155,20 +161,21 @@ pub fn run_with_faults(
     let faults = plan.sorted();
     let mut next_fault = 0usize;
 
-    let fire = |idx: usize, state: &mut PathState, next_fault: &mut usize| -> Result<(), SimError> {
-        while *next_fault < faults.len() && faults[*next_fault].gate_index <= idx {
-            let f = faults[*next_fault];
-            if f.qubit.index() >= state.num_qubits() {
-                return Err(SimError::QubitOutOfRange {
-                    index: f.qubit.index(),
-                    num_qubits: state.num_qubits(),
-                });
+    let fire =
+        |idx: usize, state: &mut PathState, next_fault: &mut usize| -> Result<(), SimError> {
+            while *next_fault < faults.len() && faults[*next_fault].gate_index <= idx {
+                let f = faults[*next_fault];
+                if f.qubit.index() >= state.num_qubits() {
+                    return Err(SimError::QubitOutOfRange {
+                        index: f.qubit.index(),
+                        num_qubits: state.num_qubits(),
+                    });
+                }
+                f.pauli.apply(state, f.qubit);
+                *next_fault += 1;
             }
-            f.pauli.apply(state, f.qubit);
-            *next_fault += 1;
-        }
-        Ok(())
-    };
+            Ok(())
+        };
 
     for (i, gate) in gates.iter().enumerate() {
         fire(i, state, &mut next_fault)?;
@@ -189,7 +196,10 @@ pub fn apply_gate(gate: &Gate, state: &mut PathState) -> Result<(), SimError> {
     let n = state.num_qubits();
     for q in gate.qubits() {
         if q.index() >= n {
-            return Err(SimError::QubitOutOfRange { index: q.index(), num_qubits: n });
+            return Err(SimError::QubitOutOfRange {
+                index: q.index(),
+                num_qubits: n,
+            });
         }
     }
     #[inline]
@@ -259,7 +269,10 @@ mod tests {
             let mut s = basis(input, 2);
             run(&[Gate::cx(Qubit(0), Qubit(1))], &mut s).unwrap();
             let want = basis(expected, 2);
-            assert!((s.fidelity(&want) - 1.0).abs() < 1e-12, "input {input:#04b}");
+            assert!(
+                (s.fidelity(&want) - 1.0).abs() < 1e-12,
+                "input {input:#04b}"
+            );
         }
     }
 
@@ -275,8 +288,15 @@ mod tests {
         for input in 0u64..8 {
             let mut s = basis(input, 3);
             run(&[Gate::ccx(Qubit(0), Qubit(1), Qubit(2))], &mut s).unwrap();
-            let expected = if input & 0b11 == 0b11 { input ^ 0b100 } else { input };
-            assert!((s.fidelity(&basis(expected, 3)) - 1.0).abs() < 1e-12, "input {input:#05b}");
+            let expected = if input & 0b11 == 0b11 {
+                input ^ 0b100
+            } else {
+                input
+            };
+            assert!(
+                (s.fidelity(&basis(expected, 3)) - 1.0).abs() < 1e-12,
+                "input {input:#05b}"
+            );
         }
     }
 
@@ -293,7 +313,10 @@ mod tests {
             } else {
                 input
             };
-            assert!((s.fidelity(&basis(expected, 3)) - 1.0).abs() < 1e-12, "input {input:#05b}");
+            assert!(
+                (s.fidelity(&basis(expected, 3)) - 1.0).abs() < 1e-12,
+                "input {input:#05b}"
+            );
         }
     }
 

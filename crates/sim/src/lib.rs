@@ -78,7 +78,10 @@ impl std::fmt::Display for SimError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             SimError::NonReversibleGate { gate } => {
-                write!(f, "gate `{gate}` is outside the classical-reversible family")
+                write!(
+                    f,
+                    "gate `{gate}` is outside the classical-reversible family"
+                )
             }
             SimError::QubitOutOfRange { index, num_qubits } => {
                 write!(f, "qubit {index} out of range for {num_qubits}-qubit state")

@@ -26,7 +26,11 @@ impl FidelityEstimate {
     pub fn from_samples(samples: &[f64]) -> FidelityEstimate {
         let shots = samples.len();
         if shots == 0 {
-            return FidelityEstimate { mean: 0.0, std_error: 0.0, shots: 0 };
+            return FidelityEstimate {
+                mean: 0.0,
+                std_error: 0.0,
+                shots: 0,
+            };
         }
         let mean = samples.iter().sum::<f64>() / shots as f64;
         let var = if shots > 1 {
@@ -34,13 +38,21 @@ impl FidelityEstimate {
         } else {
             0.0
         };
-        FidelityEstimate { mean, std_error: (var / shots as f64).sqrt(), shots }
+        FidelityEstimate {
+            mean,
+            std_error: (var / shots as f64).sqrt(),
+            shots,
+        }
     }
 }
 
 impl std::fmt::Display for FidelityEstimate {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "{:.4} ± {:.4} ({} shots)", self.mean, self.std_error, self.shots)
+        write!(
+            f,
+            "{:.4} ± {:.4} ({} shots)",
+            self.mean, self.std_error, self.shots
+        )
     }
 }
 

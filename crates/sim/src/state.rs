@@ -40,18 +40,27 @@ pub struct PathState {
 impl PathState {
     /// The all-zeros computational basis state |0…0⟩ on `num_qubits` qubits.
     pub fn computational_basis(num_qubits: usize) -> Self {
-        PathState { paths: vec![(BitString::zeros(num_qubits), Amplitude::ONE)], num_qubits }
+        PathState {
+            paths: vec![(BitString::zeros(num_qubits), Amplitude::ONE)],
+            num_qubits,
+        }
     }
 
     /// A single basis state given by `bits`.
     pub fn basis_state(bits: BitString) -> Self {
         let num_qubits = bits.len();
-        PathState { paths: vec![(bits, Amplitude::ONE)], num_qubits }
+        PathState {
+            paths: vec![(bits, Amplitude::ONE)],
+            num_qubits,
+        }
     }
 
     /// An empty (zero-vector) state; useful as an accumulator.
     pub fn zero_vector(num_qubits: usize) -> Self {
-        PathState { paths: Vec::new(), num_qubits }
+        PathState {
+            paths: Vec::new(),
+            num_qubits,
+        }
     }
 
     /// Builds a state from explicit `(basis state, amplitude)` pairs.
@@ -70,8 +79,10 @@ impl PathState {
             assert_eq!(bits.len(), num_qubits, "basis state width mismatch");
             *map.entry(bits).or_insert(Amplitude::ZERO) += amp;
         }
-        let paths =
-            map.into_iter().filter(|(_, a)| !a.is_negligible(PRUNE_EPS)).collect();
+        let paths = map
+            .into_iter()
+            .filter(|(_, a)| !a.is_negligible(PRUNE_EPS))
+            .collect();
         PathState { paths, num_qubits }
     }
 
@@ -84,7 +95,11 @@ impl PathState {
     /// Panics if the register is longer than 32 qubits (2³² paths would not
     /// fit in memory) or any qubit is out of range.
     pub fn uniform_over(num_qubits: usize, register: &[Qubit]) -> Self {
-        assert!(register.len() <= 32, "refusing to enumerate 2^{} paths", register.len());
+        assert!(
+            register.len() <= 32,
+            "refusing to enumerate 2^{} paths",
+            register.len()
+        );
         let indices: Vec<usize> = register.iter().map(|q| q.index()).collect();
         for &i in &indices {
             assert!(i < num_qubits, "qubit {i} out of range");
@@ -222,8 +237,7 @@ impl PathState {
         for &i in &keep_idx {
             kept_mask[i] = true;
         }
-        let rest_idx: Vec<usize> =
-            (0..self.num_qubits).filter(|&i| !kept_mask[i]).collect();
+        let rest_idx: Vec<usize> = (0..self.num_qubits).filter(|&i| !kept_mask[i]).collect();
 
         // Ideal amplitudes keyed by the kept-qubit substring; the rest
         // substring must be constant or the reduction is ill-defined.
@@ -241,7 +255,9 @@ impl PathState {
                     "reference state has entangled non-kept qubits"
                 ),
             }
-            *ideal.entry(extract(bits, &keep_idx)).or_insert(Amplitude::ZERO) += *amp;
+            *ideal
+                .entry(extract(bits, &keep_idx))
+                .or_insert(Amplitude::ZERO) += *amp;
         }
 
         // Group the noisy paths by their traced-out substring and overlap
@@ -293,7 +309,11 @@ impl PathState {
         for (bits, amp) in &mut self.paths {
             let was_one = bits.get(i);
             bits.flip(i);
-            *amp = if was_one { amp.mul_neg_i() } else { amp.mul_i() };
+            *amp = if was_one {
+                amp.mul_neg_i()
+            } else {
+                amp.mul_i()
+            };
         }
     }
 
@@ -426,7 +446,10 @@ mod tests {
 
         let mut s1 = PathState::basis_state(BitString::from_u64(1, 1));
         s1.apply_y(Qubit(0));
-        assert_eq!(s1.amplitude(&BitString::from_u64(0, 1)), Amplitude::new(0.0, -1.0));
+        assert_eq!(
+            s1.amplitude(&BitString::from_u64(0, 1)),
+            Amplitude::new(0.0, -1.0)
+        );
     }
 
     #[test]
@@ -491,8 +514,12 @@ mod tests {
 
     #[test]
     fn superposition_over_skips_zero_amplitudes() {
-        let amps =
-            [Amplitude::real(1.0), Amplitude::ZERO, Amplitude::ZERO, Amplitude::ZERO];
+        let amps = [
+            Amplitude::real(1.0),
+            Amplitude::ZERO,
+            Amplitude::ZERO,
+            Amplitude::ZERO,
+        ];
         let s = PathState::superposition_over(2, &[Qubit(0), Qubit(1)], &amps);
         assert_eq!(s.num_paths(), 1);
     }

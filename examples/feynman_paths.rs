@@ -51,12 +51,13 @@ fn main() {
         assert_eq!(state.num_paths(), input.num_paths());
     }
 
+    let m9_qubits = VirtualQram::new(0, 9)
+        .build(&Memory::zeroed(9))
+        .num_qubits();
     println!(
-        "\nA dense state vector for the m = 9 row ({} qubits) would need\n\
-         2^{} amplitudes — the path representation uses a few kilobytes,\n\
+        "\nA dense state vector for the m = 9 row ({m9_qubits} qubits) would need\n\
+         2^{m9_qubits} amplitudes — the path representation uses a few kilobytes,\n\
          because classical-reversible gates map basis states to basis\n\
-         states: superposition size is set by the *input*, not the width.",
-        VirtualQram::new(0, 9).build(&Memory::zeroed(9)).num_qubits(),
-        VirtualQram::new(0, 9).build(&Memory::zeroed(9)).num_qubits(),
+         states: superposition size is set by the *input*, not the width."
     );
 }

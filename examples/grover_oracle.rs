@@ -13,9 +13,7 @@
 //! cargo run --release --example grover_oracle
 //! ```
 
-use qram::core::{
-    BucketBrigadeQram, Memory, QueryArchitecture, SelectSwapQram, VirtualQram,
-};
+use qram::core::{BucketBrigadeQram, Memory, QueryArchitecture, SelectSwapQram, VirtualQram};
 use qram::noise::{FaultSampler, NoiseModel, PauliChannel, BASE_ERROR_RATE};
 use qram::sim::{monte_carlo_reduced_fidelity, run};
 use rand::rngs::StdRng;
@@ -27,7 +25,11 @@ fn main() {
     let marked = [9usize, 33, 57];
     let memory = Memory::from_bits((0..1 << n).map(|i| marked.contains(&i)));
 
-    println!("database      : {} items, {} marked", memory.len(), marked.len());
+    println!(
+        "database      : {} items, {} marked",
+        memory.len(),
+        marked.len()
+    );
     println!("Grover needs  : ~⌈(π/4)·√(N/M)⌉ = 4 oracle queries\n");
 
     let archs: Vec<Box<dyn QueryArchitecture>> = vec![
@@ -57,8 +59,7 @@ fn main() {
 
         // How reliable is the oracle on 10⁻³-error hardware?
         let model = NoiseModel::per_gate(PauliChannel::depolarizing(BASE_ERROR_RATE));
-        let mut sampler =
-            FaultSampler::new(query.circuit(), model, StdRng::seed_from_u64(42));
+        let mut sampler = FaultSampler::new(query.circuit(), model, StdRng::seed_from_u64(42));
         let est = monte_carlo_reduced_fidelity(
             query.circuit().gates(),
             &input,

@@ -58,11 +58,15 @@ fn main() {
     ] {
         let memory = Memory::random(k + m, &mut StdRng::seed_from_u64(2023));
         // Fused data rails: the smallest layout, fits the 7-qubit chip.
-        let query =
-            VirtualQram::new(k, m).with_encoding(DataEncoding::FusedBit).build(&memory);
+        let query = VirtualQram::new(k, m)
+            .with_encoding(DataEncoding::FusedBit)
+            .build(&memory);
         let lowered = lower(query.circuit());
         let topo = CouplingGraph::new(device.num_qubits(), device.coupling().to_vec());
-        match (route(&lowered, &topo), route_with_chosen_layout(&lowered, &topo)) {
+        match (
+            route(&lowered, &topo),
+            route_with_chosen_layout(&lowered, &topo),
+        ) {
             (Ok(identity), Ok(chosen)) => println!(
                 "{:<16} {:>3} {:>3} {:>8} {:>10} {:>10}",
                 device.name(),

@@ -8,9 +8,7 @@
 //! ```
 
 use qram::core::{Memory, QueryArchitecture, VirtualQram};
-use qram::noise::{
-    ErrorReductionFactor, FaultSampler, NoiseModel, PauliChannel, BASE_ERROR_RATE,
-};
+use qram::noise::{ErrorReductionFactor, FaultSampler, NoiseModel, PauliChannel, BASE_ERROR_RATE};
 use qram::qec::{balanced_code, virtual_z_fidelity_bound, TYPICAL_THRESHOLD};
 use qram::sim::monte_carlo_fidelity;
 use rand::rngs::StdRng;
@@ -22,18 +20,23 @@ fn main() {
     let arch = VirtualQram::new(k, m);
     let query = arch.build(&memory);
     let input = query.input_state(None);
-    println!("architecture : {} ({} qubits)", arch.name(), query.num_qubits());
+    println!(
+        "architecture : {} ({} qubits)",
+        arch.name(),
+        query.num_qubits()
+    );
     println!("noise        : per-gate phase-flip, ε = {BASE_ERROR_RATE}/εr\n");
 
-    println!("{:>8} {:>10} {:>10} {:>10}", "εr", "ε", "F(sim)", "F(bound)");
+    println!(
+        "{:>8} {:>10} {:>10} {:>10}",
+        "εr", "ε", "F(sim)", "F(bound)"
+    );
     let mut budget_for_098 = None;
     for er in ErrorReductionFactor::sweep(0, 3, 1) {
         let model = NoiseModel::per_gate(PauliChannel::phase_flip(BASE_ERROR_RATE)).reduced_by(er);
-        let mut sampler =
-            FaultSampler::new(query.circuit(), model, StdRng::seed_from_u64(5));
-        let est =
-            monte_carlo_fidelity(query.circuit().gates(), &input, 400, |_| sampler.sample())
-                .expect("simulable");
+        let mut sampler = FaultSampler::new(query.circuit(), model, StdRng::seed_from_u64(5));
+        let est = monte_carlo_fidelity(query.circuit().gates(), &input, 400, |_| sampler.sample())
+            .expect("simulable");
         let bound = virtual_z_fidelity_bound(er.error_rate(), m, k);
         println!(
             "{:>8} {:>10.1e} {:>10.4} {:>10.4}",

@@ -31,7 +31,11 @@ fn main() -> Result<(), QueryError> {
     // Classical queries: read single addresses.
     for address in [2u64, 4, 23, 27] {
         let bit = query.query_classical(address)?;
-        println!("memory[{address:2}]   : {} ({})", bit as u8, if bit { "prime" } else { "composite" });
+        println!(
+            "memory[{address:2}]   : {} ({})",
+            bit as u8,
+            if bit { "prime" } else { "composite" }
+        );
     }
 
     // A superposed query over all 32 addresses at once: one circuit
@@ -47,7 +51,10 @@ fn main() -> Result<(), QueryError> {
 
     // The optimization ablation of Table 1, on this memory.
     println!("\nTable-1 ablation on this memory:");
-    println!("{:<8} {:>7} {:>7} {:>9}", "variant", "qubits", "depth", "cl-gates");
+    println!(
+        "{:<8} {:>7} {:>7} {:>9}",
+        "variant", "qubits", "depth", "cl-gates"
+    );
     for (name, opts) in [
         ("RAW", Optimizations::RAW),
         ("OPT1", Optimizations::OPT1),
@@ -55,7 +62,10 @@ fn main() -> Result<(), QueryError> {
         ("OPT3", Optimizations::OPT3),
         ("ALL", Optimizations::ALL),
     ] {
-        let r = VirtualQram::new(2, 3).with_optimizations(opts).build(&memory).resources();
+        let r = VirtualQram::new(2, 3)
+            .with_optimizations(opts)
+            .build(&memory)
+            .resources();
         println!(
             "{:<8} {:>7} {:>7} {:>9}",
             name, r.num_qubits, r.depth, r.classically_controlled

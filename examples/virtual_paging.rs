@@ -19,11 +19,18 @@ use rand::SeedableRng;
 fn main() {
     let n = 10; // 1024 cells
     let memory = Memory::random(n, &mut StdRng::seed_from_u64(7));
-    println!("address space : {} cells ({} ones)\n", memory.len(), memory.count_ones());
+    println!(
+        "address space : {} cells ({} ones)\n",
+        memory.len(),
+        memory.count_ones()
+    );
 
     // Walk the design line k + m = 10: from pure gate-based (huge k) to
     // pure router-based (k = 0, needs 4·1024 qubits).
-    println!("{:>3} {:>3} {:>8} {:>9} {:>11}", "k", "m", "qubits", "depth*", "cl-gates");
+    println!(
+        "{:>3} {:>3} {:>8} {:>9} {:>11}",
+        "k", "m", "qubits", "depth*", "cl-gates"
+    );
     println!("{:->40}", "");
     for m in (2..=n).step_by(2) {
         let k = n - m;
@@ -58,8 +65,10 @@ fn main() {
 
     // Lazy swapping earns ~2× on the dominant gate family: page-to-page
     // deltas flip only half the cells in expectation.
-    let eager = VirtualQram::new(k, m)
-        .with_optimizations(Optimizations { lazy_swapping: false, ..Optimizations::ALL });
+    let eager = VirtualQram::new(k, m).with_optimizations(Optimizations {
+        lazy_swapping: false,
+        ..Optimizations::ALL
+    });
     let eager_gates = eager.build(&memory).resources().classically_controlled;
     let lazy_gates = query.resources().classically_controlled;
     println!(
@@ -69,7 +78,10 @@ fn main() {
 
     // And the pathological best case: pages identical ⇒ deltas vanish.
     let periodic = Memory::from_bits((0..1 << n).map(|i| (i % (1 << m)) % 3 == 0));
-    let lazy_periodic = VirtualQram::new(k, m).build(&periodic).resources().classically_controlled;
+    let lazy_periodic = VirtualQram::new(k, m)
+        .build(&periodic)
+        .resources()
+        .classically_controlled;
     let eager_periodic = eager.build(&periodic).resources().classically_controlled;
     println!(
         "periodic data : {eager_periodic} → {lazy_periodic} ({}× — identical pages cost one write)",

@@ -5,9 +5,7 @@
 use qram::core::{Memory, QueryArchitecture, VirtualQram};
 use qram::noise::{FaultSampler, NoiseModel, PauliChannel};
 use qram::qec::{virtual_z_fidelity_bound, z_fidelity_bound};
-use qram::sim::{
-    monte_carlo_fidelity, run, run_with_faults, Fault, FaultPlan, Pauli,
-};
+use qram::sim::{monte_carlo_fidelity, run, run_with_faults, Fault, FaultPlan, Pauli};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -24,11 +22,9 @@ fn z_fidelity_respects_eq3_bound() {
         let query = VirtualQram::new(0, m).build(&mem);
         let input = query.input_state(None);
         let model = NoiseModel::per_qubit_once(PauliChannel::phase_flip(eps));
-        let mut sampler =
-            FaultSampler::new(query.circuit(), model, StdRng::seed_from_u64(77));
-        let est =
-            monte_carlo_fidelity(query.circuit().gates(), &input, 600, |_| sampler.sample())
-                .unwrap();
+        let mut sampler = FaultSampler::new(query.circuit(), model, StdRng::seed_from_u64(77));
+        let est = monte_carlo_fidelity(query.circuit().gates(), &input, 600, |_| sampler.sample())
+            .unwrap();
         let bound = z_fidelity_bound(eps, m);
         assert!(
             est.mean >= bound - 3.0 * est.std_error,
@@ -47,11 +43,9 @@ fn virtual_z_bound_holds_across_shapes() {
         let query = VirtualQram::new(k, m).build(&mem);
         let input = query.input_state(None);
         let model = NoiseModel::per_qubit_once(PauliChannel::phase_flip(eps));
-        let mut sampler =
-            FaultSampler::new(query.circuit(), model, StdRng::seed_from_u64(78));
-        let est =
-            monte_carlo_fidelity(query.circuit().gates(), &input, 600, |_| sampler.sample())
-                .unwrap();
+        let mut sampler = FaultSampler::new(query.circuit(), model, StdRng::seed_from_u64(78));
+        let est = monte_carlo_fidelity(query.circuit().gates(), &input, 600, |_| sampler.sample())
+            .unwrap();
         let bound = virtual_z_fidelity_bound(eps, m, k);
         assert!(
             est.mean >= bound - 3.0 * est.std_error,
@@ -82,9 +76,12 @@ fn z_fault_on_router_corrupts_only_its_subtree() {
         .expect("router register")
         .clone();
     let victim = routers.get(1); // heap node 2
+
     // Inject mid-circuit: right after address loading (first third).
     let location = query.circuit().len() / 3;
-    let plan: FaultPlan = [Fault::new(location, victim, Pauli::Z)].into_iter().collect();
+    let plan: FaultPlan = [Fault::new(location, victim, Pauli::Z)]
+        .into_iter()
+        .collect();
     let mut noisy = input.clone();
     run_with_faults(query.circuit().gates(), &mut noisy, &plan).unwrap();
 
@@ -139,8 +136,13 @@ fn x_fault_on_rail_is_fatal_for_full_state_fidelity() {
         .expect("flag register")
         .clone();
     // Strike the middle of the circuit (inside retrieval).
-    let plan: FaultPlan =
-        [Fault::new(query.circuit().len() / 2, flags.get(0), Pauli::X)].into_iter().collect();
+    let plan: FaultPlan = [Fault::new(
+        query.circuit().len() / 2,
+        flags.get(0),
+        Pauli::X,
+    )]
+    .into_iter()
+    .collect();
     let mut noisy = input.clone();
     run_with_faults(query.circuit().gates(), &mut noisy, &plan).unwrap();
     assert!(
@@ -159,12 +161,12 @@ fn phase_noise_beats_bit_noise_at_equal_strength() {
     let input = query.input_state(None);
     let eps = 2e-3;
     let mut fid = [0.0f64; 2];
-    for (i, channel) in
-        [PauliChannel::phase_flip(eps), PauliChannel::bit_flip(eps)].into_iter().enumerate()
+    for (i, channel) in [PauliChannel::phase_flip(eps), PauliChannel::bit_flip(eps)]
+        .into_iter()
+        .enumerate()
     {
         let model = NoiseModel::per_gate(channel);
-        let mut sampler =
-            FaultSampler::new(query.circuit(), model, StdRng::seed_from_u64(123));
+        let mut sampler = FaultSampler::new(query.circuit(), model, StdRng::seed_from_u64(123));
         fid[i] = monte_carlo_fidelity(query.circuit().gates(), &input, 400, |_| sampler.sample())
             .unwrap()
             .mean;
@@ -188,11 +190,9 @@ fn fidelity_is_monotone_in_error_reduction() {
     let mut last = 0.0;
     for er in [1.0, 10.0, 100.0] {
         let model = base.reduced_by(ErrorReductionFactor(er));
-        let mut sampler =
-            FaultSampler::new(query.circuit(), model, StdRng::seed_from_u64(321));
-        let est =
-            monte_carlo_fidelity(query.circuit().gates(), &input, 500, |_| sampler.sample())
-                .unwrap();
+        let mut sampler = FaultSampler::new(query.circuit(), model, StdRng::seed_from_u64(321));
+        let est = monte_carlo_fidelity(query.circuit().gates(), &input, 500, |_| sampler.sample())
+            .unwrap();
         assert!(
             est.mean >= last - 0.02,
             "fidelity not monotone: {} after {last} at εr={er}",
@@ -200,7 +200,10 @@ fn fidelity_is_monotone_in_error_reduction() {
         );
         last = est.mean;
     }
-    assert!(last > 0.99, "εr = 100 should be nearly noise-free, got {last}");
+    assert!(
+        last > 0.99,
+        "εr = 100 should be nearly noise-free, got {last}"
+    );
 }
 
 /// The GHZ-fragility contrast of Sec. 2.3.2, made deterministic: a Z on
@@ -241,10 +244,9 @@ fn fanout_router_faults_dephase_globally_bb_faults_locally() {
             .position(|g| matches!(g, Gate::X(_)))
             .expect("ball injection X");
         for heap in 4..8 {
-            let plan: FaultPlan =
-                [Fault::new(after_loading, routers.get(heap - 1), Pauli::Z)]
-                    .into_iter()
-                    .collect();
+            let plan: FaultPlan = [Fault::new(after_loading, routers.get(heap - 1), Pauli::Z)]
+                .into_iter()
+                .collect();
             let mut noisy = input.clone();
             run_with_faults(query.circuit().gates(), &mut noisy, &plan).unwrap();
             let fidelity = ideal.fidelity(&noisy);

@@ -1,6 +1,13 @@
 //! Property-based tests (proptest) over the whole stack: simulator
 //! invariants, query correctness across random shapes and data, lazy
 //! swapping's XOR-delta algebra, and resource-formula agreement.
+//!
+//! Determinism: cases are capped at 64 per property via
+//! `ProptestConfig::with_cases` (CI further caps with `PROPTEST_CASES`),
+//! the case RNG is seeded from `PROPTEST_RNG_SEED` (default 0), and
+//! every `StdRng` inside a property derives from an explicit
+//! `seed_from_u64` on a strategy-drawn seed — so tier-1 runs are
+//! reproducible end to end.
 
 use proptest::prelude::*;
 use qram::circuit::{Circuit, Gate, Qubit};

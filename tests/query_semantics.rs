@@ -109,7 +109,11 @@ fn complex_amplitudes_survive_the_query() {
         let mut state = query.input_state(Some(&amps));
         run(query.circuit().gates(), &mut state).expect("simulable");
         let ideal = query.ideal_output(&memory, Some(&amps));
-        assert!((ideal.fidelity(&state) - 1.0).abs() < 1e-9, "{}", arch.name());
+        assert!(
+            (ideal.fidelity(&state) - 1.0).abs() < 1e-9,
+            "{}",
+            arch.name()
+        );
     }
 }
 

@@ -1,0 +1,94 @@
+//! Workspace smoke test: every architecture, end to end, tiny sizes.
+//!
+//! This suite exists so a manifest regression (a dropped dependency edge,
+//! a broken re-export, a renamed package) can never silently ship: it
+//! exercises the facade's public path through **all five** architectures
+//! at `n = 3` — `build → verify → query_classical` — which transitively
+//! touches `qram-circuit`, `qram-sim` and `qram-core`, plus quick probes
+//! of the `noise`, `layout` and `qec` re-exports.
+
+use qram::core::{
+    BucketBrigadeQram, FanoutQram, Memory, QueryArchitecture, SelectSwapQram, Sqc, VirtualQram,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const N: usize = 3;
+
+/// Runs one architecture through the full query contract on `memory`.
+fn exercise(arch: &dyn QueryArchitecture, memory: &Memory) {
+    let query = arch.build(memory);
+    query
+        .verify(memory)
+        .unwrap_or_else(|e| panic!("{}: verify failed: {e}", arch.name()));
+    for address in 0..memory.len() as u64 {
+        let got = query
+            .query_classical(address)
+            .unwrap_or_else(|e| panic!("{}: query({address}) failed: {e}", arch.name()));
+        assert_eq!(
+            got,
+            memory.get(address as usize),
+            "{}: wrong bit at address {address}",
+            arch.name()
+        );
+    }
+}
+
+fn smoke_memory() -> Memory {
+    Memory::random(N, &mut StdRng::seed_from_u64(2023))
+}
+
+#[test]
+fn sqc_end_to_end() {
+    exercise(&Sqc::new(N), &smoke_memory());
+}
+
+#[test]
+fn fanout_end_to_end() {
+    exercise(&FanoutQram::new(N), &smoke_memory());
+}
+
+#[test]
+fn bucket_brigade_end_to_end() {
+    // k = 1 exercises the hybrid SQC stage alongside the m = 2 tree.
+    exercise(&BucketBrigadeQram::new(1, N - 1), &smoke_memory());
+}
+
+#[test]
+fn select_swap_end_to_end() {
+    exercise(&SelectSwapQram::new(1, N - 1), &smoke_memory());
+}
+
+#[test]
+fn virtual_qram_end_to_end() {
+    exercise(&VirtualQram::new(1, N - 1), &smoke_memory());
+}
+
+#[test]
+fn facade_reexports_are_wired() {
+    // One cheap call into each remaining sub-crate so a severed
+    // dependency edge in any manifest fails this suite, not just a build
+    // somewhere downstream.
+    use qram::circuit::{Circuit, Gate, Qubit};
+    use qram::layout::HTreeEmbedding;
+    use qram::noise::{NoiseModel, PauliChannel};
+    use qram::qec::{balanced_code, TYPICAL_THRESHOLD};
+    use qram::sim::PathState;
+
+    let mut c = Circuit::new(2);
+    c.push(Gate::cx(Qubit(0), Qubit(1)));
+    assert_eq!(c.len(), 1);
+
+    let state = PathState::computational_basis(2);
+    assert_eq!(state.num_paths(), 1);
+
+    let _model = NoiseModel::per_gate(PauliChannel::depolarizing(1e-3));
+
+    let embedding = HTreeEmbedding::new(N);
+    embedding
+        .validate()
+        .expect("H-tree embedding is a topological minor");
+
+    let code = balanced_code(1, N - 1, 1e-3, TYPICAL_THRESHOLD, 9);
+    assert!(code.dx() >= code.dz());
+}

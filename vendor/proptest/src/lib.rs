@@ -1,0 +1,106 @@
+//! Offline, API-compatible subset of the published `proptest` crate.
+//!
+//! The build environment has no network access to crates.io, so this
+//! vendored stub implements the slice of proptest the workspace's
+//! property tests use: [`Strategy`] with `prop_map` / `prop_filter`,
+//! range and tuple strategies, [`collection::vec`], [`prop_oneof!`],
+//! the [`proptest!`] test macro, and
+//! [`ProptestConfig`](test_runner::ProptestConfig) with an environment
+//! override (`PROPTEST_CASES`) so CI can cap case counts.
+//!
+//! Differences from upstream, by design:
+//!
+//! * **No shrinking** — a failing case panics with the generated inputs
+//!   (via the values' `Debug` output in the assertion message) but is
+//!   not minimized.
+//! * **Deterministic by default** — the case RNG is seeded from
+//!   `PROPTEST_RNG_SEED` (default `0`) so CI runs are reproducible.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod collection;
+pub mod prelude;
+pub mod strategy;
+pub mod test_runner;
+
+pub use strategy::{any, Strategy};
+pub use test_runner::ProptestConfig;
+
+/// Picks uniformly among several strategies producing the same value type.
+///
+/// ```
+/// use proptest::prelude::*;
+/// use proptest::test_runner::TestRng;
+///
+/// let s = prop_oneof![0u32..10, 100u32..110];
+/// let mut rng = TestRng::from_seed(1);
+/// let v = s.generate(&mut rng);
+/// assert!((0..10).contains(&v) || (100..110).contains(&v));
+/// ```
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+/// Asserts a condition inside a [`proptest!`] test body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a [`proptest!`] test body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a [`proptest!`] test body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Declares property-based tests.
+///
+/// Each `fn name(arg in strategy, ...) { body }` item expands to a
+/// `#[test]` (the attribute is written at the call site and re-emitted)
+/// that draws `cases` inputs from the strategies and runs the body on
+/// each. An optional `#![proptest_config(expr)]` header sets the
+/// [`ProptestConfig`](test_runner::ProptestConfig).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_cases! { $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_cases! {
+            $crate::test_runner::ProptestConfig::default(); $($rest)*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_cases {
+    ($cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $($arg:ident in $strat:expr),* $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut rng = $crate::test_runner::TestRng::from_env();
+            for __case in 0..config.effective_cases() {
+                $(let $arg =
+                    $crate::strategy::Strategy::generate(&($strat), &mut rng);)*
+                $body
+            }
+        }
+    )*};
+}

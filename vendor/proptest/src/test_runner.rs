@@ -1,0 +1,101 @@
+//! Test configuration and the deterministic case RNG.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Environment variable capping the number of cases per property.
+pub const CASES_ENV: &str = "PROPTEST_CASES";
+
+/// Environment variable seeding the case RNG (default `0`).
+pub const SEED_ENV: &str = "PROPTEST_RNG_SEED";
+
+/// Configuration for a [`proptest!`](crate::proptest) block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProptestConfig {
+    /// Number of cases to run per property (before the env cap).
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+
+    /// The case count after applying the `PROPTEST_CASES` env override.
+    ///
+    /// Intentional deviation from upstream proptest (which reads env
+    /// vars in `Config::default()`, so an explicit `with_cases` wins
+    /// there): here the env var *always* replaces the configured count,
+    /// so CI can cap suites that pin `with_cases` per test block.
+    pub fn effective_cases(&self) -> u32 {
+        match std::env::var(CASES_ENV) {
+            Ok(v) => v
+                .parse()
+                .unwrap_or_else(|_| panic!("{CASES_ENV} must be an integer, got `{v}`")),
+            Err(_) => self.cases,
+        }
+    }
+}
+
+/// The RNG handed to strategies while generating cases.
+///
+/// Deterministic: seeded from `PROPTEST_RNG_SEED` (default `0`), so a
+/// given binary reruns the identical case sequence.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    rng: StdRng,
+}
+
+impl TestRng {
+    /// An RNG seeded from the environment (`PROPTEST_RNG_SEED`, default 0).
+    pub fn from_env() -> Self {
+        let seed = std::env::var(SEED_ENV)
+            .ok()
+            .map(|v| {
+                v.parse()
+                    .unwrap_or_else(|_| panic!("{SEED_ENV} must be an integer, got `{v}`"))
+            })
+            .unwrap_or(0);
+        TestRng::from_seed(seed)
+    }
+
+    /// An RNG with an explicit seed.
+    pub fn from_seed(seed: u64) -> Self {
+        TestRng {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The underlying generator (used by strategy implementations).
+    pub fn rng_mut(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn config_default_and_with_cases() {
+        assert_eq!(ProptestConfig::default().cases, 256);
+        assert_eq!(ProptestConfig::with_cases(64).cases, 64);
+    }
+
+    #[test]
+    fn test_rng_is_deterministic() {
+        let mut a = TestRng::from_seed(5);
+        let mut b = TestRng::from_seed(5);
+        for _ in 0..32 {
+            assert_eq!(a.rng_mut().random::<u64>(), b.rng_mut().random::<u64>());
+        }
+    }
+}

@@ -1,0 +1,264 @@
+//! Offline, API-compatible subset of the published `rand` 0.9 crate.
+//!
+//! The build environment has no network access to crates.io, so this
+//! vendored stub provides exactly the surface the workspace uses:
+//!
+//! * [`RngCore`] / [`Rng`] with [`Rng::random`], [`Rng::random_range`]
+//!   and [`Rng::random_bool`];
+//! * [`SeedableRng::seed_from_u64`];
+//! * [`rngs::StdRng`] — a deterministic xoshiro256++ generator (the
+//!   published crate uses ChaCha12; any high-quality deterministic
+//!   stream satisfies the workspace's seeded-reproducibility contract).
+//!
+//! The generator passes the statistical smoke tests in this crate and is
+//! *not* cryptographically secure — exactly like the guarantees the
+//! workspace relies on (Monte-Carlo sampling and test-data generation).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use core::ops::Range;
+
+/// The core of a random number generator: an endless `u64` stream.
+pub trait RngCore {
+    /// Returns the next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 uniformly random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// A generator that can be deterministically seeded.
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Types that can be sampled uniformly from an RNG's bit stream
+/// (the stub's stand-in for `StandardUniform: Distribution<T>`).
+pub trait Standard: Sized {
+    /// Draws one value from `rng`.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for u64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl Standard for usize {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as usize
+    }
+}
+
+impl Standard for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    /// Uniform in `[0, 1)` with 24 bits of precision.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// Ranges that [`Rng::random_range`] can sample from.
+pub trait SampleRange<T> {
+    /// Draws one value uniformly from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_sample_range_uint {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end - self.start) as u64;
+                // Rejection sampling to avoid modulo bias.
+                let zone = u64::MAX - u64::MAX.wrapping_rem(span);
+                loop {
+                    let v = rng.next_u64();
+                    if v < zone || zone == 0 {
+                        return self.start + (v % span) as $t;
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+impl_sample_range_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_sample_range_int {
+    ($($t:ty => $u:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as $u).wrapping_sub(self.start as $u);
+                let draw = (0u64..span as u64).sample_single(rng);
+                self.start.wrapping_add(draw as $t)
+            }
+        }
+    )*};
+}
+
+impl_sample_range_int!(i32 => u32, i64 => u64);
+
+/// User-facing generator methods, available on every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples a value of type `T` from the standard uniform distribution
+    /// (`bool`: fair coin; floats: `[0, 1)`; integers: full width).
+    fn random<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// Samples uniformly from `range` (half-open).
+    fn random_range<T, Rg: SampleRange<T>>(&mut self, range: Rg) -> T {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn random_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "p must be in [0, 1]");
+        self.random::<f64>() < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Concrete generator implementations.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard deterministic generator: xoshiro256++.
+    ///
+    /// Seeded through SplitMix64 as recommended by the xoshiro authors so
+    /// that small (e.g. sequential) seeds produce well-mixed states.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(state: u64) -> Self {
+            let mut sm = state;
+            StdRng {
+                s: [
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                ],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_equal_seeds() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.random::<u64>(), b.random::<u64>());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = StdRng::seed_from_u64(0);
+        let mut b = StdRng::seed_from_u64(1);
+        let same = (0..64)
+            .filter(|_| a.random::<u64>() == b.random::<u64>())
+            .count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn f64_is_unit_interval_and_roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 10_000;
+        let mean: f64 = (0..n).map(|_| rng.random::<f64>()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean = {mean}");
+    }
+
+    #[test]
+    fn bool_is_roughly_fair() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 10_000;
+        let ones = (0..n).filter(|_| rng.random::<bool>()).count();
+        assert!((ones as f64 / n as f64 - 0.5).abs() < 0.03);
+    }
+
+    #[test]
+    fn range_sampling_stays_in_bounds_and_hits_all_values() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut seen = [false; 5];
+        for _ in 0..500 {
+            let v = rng.random_range(10u64..15);
+            assert!((10..15).contains(&v));
+            seen[(v - 10) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn random_bool_matches_probability() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let n = 20_000;
+        let hits = (0..n).filter(|_| rng.random_bool(0.25)).count();
+        assert!((hits as f64 / n as f64 - 0.25).abs() < 0.02);
+    }
+}
