@@ -10,9 +10,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use qram_bench::experiment_memory;
 use qram_core::{QueryArchitecture, VirtualQram};
 use qram_noise::{FaultSampler, NoiseModel, PauliChannel};
-use qram_sim::{run, run_with_faults};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use qram_sim::{monte_carlo_fidelity_with, run, run_with_faults, ShotConfig};
 
 fn bench_noiseless_query(c: &mut Criterion) {
     let mut group = c.benchmark_group("noiseless_query");
@@ -39,9 +37,11 @@ fn bench_noisy_shot(c: &mut Criterion) {
         let input = query.input_state(None);
         let model = NoiseModel::per_gate(PauliChannel::depolarizing(1e-3));
         group.bench_with_input(BenchmarkId::new("virtual_k0", m), &m, |b, _| {
-            let mut sampler = FaultSampler::new(query.circuit(), model, StdRng::seed_from_u64(3));
+            let sampler = FaultSampler::new(query.circuit(), model, 3);
+            let mut shot = 0u64;
             b.iter(|| {
-                let plan = sampler.sample();
+                let plan = sampler.sample_shot(shot);
+                shot += 1;
                 let mut state = input.clone();
                 run_with_faults(query.circuit().gates(), &mut state, &plan).unwrap();
                 state.num_paths()
@@ -66,8 +66,41 @@ fn bench_fault_sampling(c: &mut Criterion) {
         ),
     ] {
         group.bench_function(name, |b| {
-            let mut sampler = FaultSampler::new(query.circuit(), model, StdRng::seed_from_u64(4));
-            b.iter(|| sampler.sample().len())
+            let sampler = FaultSampler::new(query.circuit(), model, 4);
+            let mut shot = 0u64;
+            b.iter(|| {
+                shot += 1;
+                sampler.sample_shot(shot).len()
+            })
+        });
+    }
+    group.finish();
+}
+
+/// The headline serial-vs-sharded comparison the CI regression gate and
+/// `BENCH_2.json` track: one full Monte-Carlo fidelity estimate per
+/// iteration, identical workload and seed, only the thread count varies.
+/// Determinism across thread counts means the two paths compute the very
+/// same estimate — the ratio is pure engine throughput.
+fn bench_shot_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("shot_engine");
+    let m = 5;
+    let shots = 96;
+    let memory = experiment_memory(m, 8);
+    let query = VirtualQram::new(0, m).build(&memory);
+    let input = query.input_state(None);
+    let model = NoiseModel::per_gate(PauliChannel::depolarizing(2e-3));
+    let sampler = FaultSampler::new(query.circuit(), model, 9);
+    for (label, threads) in [("serial", 1usize), ("sharded", 0)] {
+        let config = ShotConfig::new(shots).with_seed(9).with_threads(threads);
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                monte_carlo_fidelity_with(query.circuit().gates(), &input, &config, |shot| {
+                    sampler.sample_shot(shot)
+                })
+                .unwrap()
+                .mean
+            })
         });
     }
     group.finish();
@@ -77,6 +110,7 @@ criterion_group!(
     benches,
     bench_noiseless_query,
     bench_noisy_shot,
-    bench_fault_sampling
+    bench_fault_sampling,
+    bench_shot_engine
 );
 criterion_main!(benches);

@@ -1,0 +1,137 @@
+//! Condenses `cargo bench` JSON results into the repo-level
+//! `BENCH_2.json` summary and applies the CI bench-regression gate.
+//!
+//! Run after `cargo bench -p qram-bench` (the vendored criterion stub
+//! writes one JSON file per benchmark to `<target>/bench/`):
+//!
+//! ```text
+//! cargo run -p qram-bench --bin bench_report            # summary only
+//! cargo run -p qram-bench --bin bench_report -- --check # + regression gate
+//! ```
+//!
+//! Flags:
+//!
+//! * `--out FILE` — summary path (default `<repo root>/BENCH_2.json`);
+//! * `--baseline-file FILE` — checked-in baseline (default
+//!   `<repo root>/.github/bench-baseline.json`);
+//! * `--check` — exit non-zero if the shot-engine serial/sharded speedup
+//!   regressed more than the baseline's tolerance. Skips gracefully when
+//!   there is no baseline, no shot-engine result, or only one core.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use qram_bench::report::{
+    apply_gate, bench_results_dir, find_repo_root, load_records, parse_baseline,
+    shot_engine_summary, summary_json, GateOutcome,
+};
+
+struct Args {
+    out: Option<PathBuf>,
+    baseline_file: Option<PathBuf>,
+    check: bool,
+}
+
+fn parse_args() -> Args {
+    let mut out = None;
+    let mut baseline_file = None;
+    let mut check = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => out = Some(PathBuf::from(args.next().expect("--out requires a path"))),
+            "--baseline-file" => {
+                baseline_file = Some(PathBuf::from(
+                    args.next().expect("--baseline-file requires a path"),
+                ))
+            }
+            "--check" => check = true,
+            other => panic!(
+                "unknown flag `{other}` (expected --out FILE, --baseline-file FILE, --check)"
+            ),
+        }
+    }
+    Args {
+        out,
+        baseline_file,
+        check,
+    }
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    let repo_root = std::env::current_dir()
+        .ok()
+        .and_then(|d| find_repo_root(&d));
+
+    let Some(results_dir) = bench_results_dir() else {
+        eprintln!("bench_report: could not locate the bench results directory");
+        return ExitCode::from(2);
+    };
+    let records = load_records(&results_dir);
+    if records.is_empty() {
+        eprintln!(
+            "bench_report: no results in {} — run `cargo bench -p qram-bench` first",
+            results_dir.display()
+        );
+        return ExitCode::from(2);
+    }
+
+    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let shot_engine = shot_engine_summary(&records);
+    let summary = summary_json(&records, shot_engine.as_ref(), threads);
+
+    let out_path = args.out.unwrap_or_else(|| {
+        repo_root
+            .clone()
+            .unwrap_or_else(|| PathBuf::from("."))
+            .join("BENCH_2.json")
+    });
+    if let Err(e) = std::fs::write(&out_path, &summary) {
+        eprintln!("bench_report: cannot write {}: {e}", out_path.display());
+        return ExitCode::from(2);
+    }
+    println!(
+        "bench_report: {} benches summarised into {}",
+        records.len(),
+        out_path.display()
+    );
+    if let Some(s) = &shot_engine {
+        println!(
+            "bench_report: shot_engine serial {:.0} ns / sharded {:.0} ns → {:.2}x speedup ({threads} threads)",
+            s.serial_ns, s.sharded_ns, s.speedup
+        );
+    }
+
+    if !args.check {
+        return ExitCode::SUCCESS;
+    }
+
+    let baseline_path = args.baseline_file.unwrap_or_else(|| {
+        repo_root
+            .unwrap_or_else(|| PathBuf::from("."))
+            .join(".github")
+            .join("bench-baseline.json")
+    });
+    let baseline = std::fs::read_to_string(&baseline_path)
+        .ok()
+        .and_then(|json| parse_baseline(&json));
+    match apply_gate(shot_engine.as_ref(), baseline.as_ref(), threads) {
+        GateOutcome::Pass { speedup, floor } => {
+            println!("bench_report: gate PASS — speedup {speedup:.2}x ≥ floor {floor:.2}x");
+            ExitCode::SUCCESS
+        }
+        GateOutcome::Fail { speedup, floor } => {
+            eprintln!(
+                "bench_report: gate FAIL — shot-engine speedup {speedup:.2}x regressed below \
+                 the baseline floor {floor:.2}x ({})",
+                baseline_path.display()
+            );
+            ExitCode::FAILURE
+        }
+        GateOutcome::Skip(reason) => {
+            println!("bench_report: gate SKIPPED — {reason}");
+            ExitCode::SUCCESS
+        }
+    }
+}

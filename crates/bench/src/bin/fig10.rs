@@ -14,11 +14,14 @@ use qram_noise::{NoiseModel, PauliChannel, BASE_ERROR_RATE};
 fn main() {
     let opts = RunOptions::from_args();
     let max_m = if opts.full { 6 } else { 4 };
-    let shots = opts.shots_or(if opts.full { 1024 } else { 200 });
+    let config = opts.shot_config(if opts.full { 1024 } else { 200 });
     let sweep = default_er_sweep(opts.full);
 
     println!("# Fig. 10: virtual QRAM fidelity vs error reduction factor (k = 0)");
-    println!("# base error rate = {BASE_ERROR_RATE}; shots = {shots}");
+    println!(
+        "# base error rate = {BASE_ERROR_RATE}; shots = {}",
+        config.shots
+    );
     print_row(&["channel", "m", "er", "fidelity", "stderr"].map(String::from));
 
     for (label, channel) in [
@@ -30,14 +33,7 @@ fn main() {
             let arch = VirtualQram::new(0, m);
             for &er in &sweep {
                 let model = NoiseModel::per_gate(channel).reduced_by(er);
-                let est = architecture_fidelity(
-                    &arch,
-                    &memory,
-                    model,
-                    FidelityKind::Full,
-                    shots,
-                    opts.seed,
-                );
+                let est = architecture_fidelity(&arch, &memory, model, FidelityKind::Full, config);
                 print_row(&[
                     label.to_string(),
                     m.to_string(),

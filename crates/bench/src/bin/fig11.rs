@@ -12,10 +12,10 @@ use qram_noise::{ErrorReductionFactor, NoiseModel, PauliChannel, BASE_ERROR_RATE
 fn main() {
     let opts = RunOptions::from_args();
     let (max_m, max_k) = if opts.full { (6, 3) } else { (4, 2) };
-    let shots = opts.shots_or(if opts.full { 512 } else { 128 });
+    let config = opts.shot_config(if opts.full { 512 } else { 128 });
 
     println!("# Fig. 11: virtual QRAM fidelity over the (m, k) grid");
-    println!("# shots = {shots}");
+    println!("# shots = {}", config.shots);
     print_row(&["channel", "er", "m", "k", "fidelity", "stderr"].map(String::from));
 
     for (label, channel) in [
@@ -29,14 +29,8 @@ fn main() {
                     let memory = experiment_memory(k + m, opts.seed ^ ((k * 97 + m) as u64));
                     let arch = VirtualQram::new(k, m);
                     let model = NoiseModel::per_gate(channel).reduced_by(er);
-                    let est = architecture_fidelity(
-                        &arch,
-                        &memory,
-                        model,
-                        FidelityKind::Full,
-                        shots,
-                        opts.seed,
-                    );
+                    let est =
+                        architecture_fidelity(&arch, &memory, model, FidelityKind::Full, config);
                     print_row(&[
                         label.to_string(),
                         format!("{}", er.0),

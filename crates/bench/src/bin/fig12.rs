@@ -17,9 +17,7 @@ use qram_circuit::decompose::{lower, CliffordTGate};
 use qram_core::{DataEncoding, QueryArchitecture, VirtualQram};
 use qram_layout::{route, route_with_chosen_layout, CouplingGraph};
 use qram_noise::{ibm_perth, ibmq_guadalupe, DeviceModel, ErrorReductionFactor, FaultSampler};
-use qram_sim::monte_carlo_fidelity;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use qram_sim::monte_carlo_fidelity_with;
 
 /// Scales a device model's 2-qubit channel by the routed/unrouted CX
 /// ratio, charging the SWAP overhead to every 2-qubit gate.
@@ -48,11 +46,14 @@ fn routing_penalty(device: &DeviceModel, arch: &VirtualQram, seed: u64) -> (usiz
 
 fn main() {
     let opts = RunOptions::from_args();
-    let shots = opts.shots_or(200); // the paper's Appendix A shot count
+    let config = opts.shot_config(200); // the paper's Appendix A shot count
     let sweep = default_er_sweep(opts.full);
 
     println!("# Fig. 12: virtual QRAM on synthetic IBMQ device models");
-    println!("# shots = {shots}; SWAP counts from sabre_lite routing");
+    println!(
+        "# shots = {}; SWAP counts from sabre_lite routing",
+        config.shots
+    );
     print_row(&["device", "m", "k", "swaps", "er", "fidelity", "stderr"].map(String::from));
 
     let configs: Vec<(DeviceModel, usize, usize)> = vec![
@@ -72,15 +73,12 @@ fn main() {
         for &er in &sweep {
             // Device sampler with the routing penalty folded into εr.
             let effective = ErrorReductionFactor(er.0 / penalty);
-            let mut sampler = FaultSampler::for_device(
-                query.circuit(),
-                &device,
-                effective,
-                StdRng::seed_from_u64(opts.seed),
-            );
-            let est =
-                monte_carlo_fidelity(query.circuit().gates(), &input, shots, |_| sampler.sample())
-                    .expect("simulable");
+            let sampler =
+                FaultSampler::for_device(query.circuit(), &device, effective, config.seed);
+            let est = monte_carlo_fidelity_with(query.circuit().gates(), &input, &config, |shot| {
+                sampler.sample_shot(shot)
+            })
+            .expect("simulable");
             print_row(&[
                 device.name().to_string(),
                 m.to_string(),

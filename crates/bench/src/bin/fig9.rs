@@ -21,10 +21,13 @@ use qram_noise::{NoiseModel, PauliChannel, BASE_ERROR_RATE};
 fn main() {
     let opts = RunOptions::from_args();
     let max_m = if opts.full { 8 } else { 6 };
-    let shots = opts.shots_or(if opts.full { 1024 } else { 200 });
+    let config = opts.shot_config(if opts.full { 1024 } else { 200 });
 
     println!("# Fig. 9: fidelity vs architecture, qubit-per-step Pauli noise, eps = 1e-3");
-    println!("# shots = {shots}; fidelity reduced over address+bus (tree traced out)");
+    println!(
+        "# shots = {}; fidelity reduced over address+bus (tree traced out)",
+        config.shots
+    );
     print_row(&["m", "architecture", "channel", "fidelity", "stderr"].map(String::from));
 
     for m in 1..=max_m {
@@ -44,8 +47,7 @@ fn main() {
                     &memory,
                     NoiseModel::qubit_per_step(channel),
                     FidelityKind::Reduced,
-                    shots,
-                    opts.seed,
+                    config,
                 );
                 print_row(&[
                     m.to_string(),

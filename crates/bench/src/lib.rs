@@ -15,67 +15,28 @@
 //! | `qec_table` | Eq. 7 — asymmetric surface-code prescription |
 //!
 //! Binaries print tab-separated rows to stdout so results can be piped
-//! into a plotting tool; `--full` switches from the quick default sweep
-//! to the paper-scale one; `--shots N` overrides the shot count.
+//! into a plotting tool. The flag set is shared (see [`RunOptions`]):
+//! `--full` switches from the quick default sweep to the paper-scale one,
+//! `--shots N` overrides the shot count, `--seed N` the master RNG seed,
+//! and `--threads N` the shot-engine worker count (results are
+//! bit-identical for any thread count).
+//!
+//! A ninth binary, `bench_report`, is not an experiment: it condenses
+//! `cargo bench` JSON results into `BENCH_2.json` and applies the CI
+//! regression gate (see [`report`]).
+
+pub mod cli;
+pub mod report;
+
+pub use cli::RunOptions;
 
 use qram_core::{Memory, QueryArchitecture};
 use qram_noise::{ErrorReductionFactor, FaultSampler, NoiseModel};
-use qram_sim::{monte_carlo_fidelity, monte_carlo_reduced_fidelity, FidelityEstimate};
+use qram_sim::{
+    monte_carlo_fidelity_with, monte_carlo_reduced_fidelity_with, FidelityEstimate, ShotConfig,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-
-/// Command-line options shared by every experiment binary.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct RunOptions {
-    /// Paper-scale sweep instead of the quick default.
-    pub full: bool,
-    /// Monte-Carlo shots per data point (`None` = binary's default).
-    pub shots: Option<usize>,
-    /// RNG seed (default 2023, the paper's venue year).
-    pub seed: u64,
-}
-
-impl Default for RunOptions {
-    fn default() -> Self {
-        RunOptions {
-            full: false,
-            shots: None,
-            seed: 2023,
-        }
-    }
-}
-
-impl RunOptions {
-    /// Parses `--full`, `--shots N` and `--seed N` from `std::env::args`.
-    ///
-    /// # Panics
-    ///
-    /// Panics with a usage message on unknown flags or malformed values.
-    pub fn from_args() -> Self {
-        let mut opts = RunOptions::default();
-        let mut args = std::env::args().skip(1);
-        while let Some(arg) = args.next() {
-            match arg.as_str() {
-                "--full" => opts.full = true,
-                "--shots" => {
-                    let v = args.next().expect("--shots requires a value");
-                    opts.shots = Some(v.parse().expect("--shots expects an integer"));
-                }
-                "--seed" => {
-                    let v = args.next().expect("--seed requires a value");
-                    opts.seed = v.parse().expect("--seed expects an integer");
-                }
-                other => panic!("unknown flag `{other}` (expected --full, --shots N, --seed N)"),
-            }
-        }
-        opts
-    }
-
-    /// The shot count to use given a binary default.
-    pub fn shots_or(&self, default: usize) -> usize {
-        self.shots.unwrap_or(default)
-    }
-}
 
 /// Which fidelity notion an experiment uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -90,6 +51,11 @@ pub enum FidelityKind {
 /// Runs the Monte-Carlo fidelity experiment for one architecture on one
 /// memory under one noise model.
 ///
+/// `config` carries the shot count, the master seed (consumed by the
+/// fault sampler: every shot's fault pattern is a pure function of
+/// `(seed, shot)`) and the worker-thread count (a pure throughput knob —
+/// the estimate is bit-identical for any value).
+///
 /// # Panics
 ///
 /// Panics if the simulation rejects the circuit (cannot happen for the
@@ -99,23 +65,23 @@ pub fn architecture_fidelity(
     memory: &Memory,
     model: NoiseModel,
     kind: FidelityKind,
-    shots: usize,
-    seed: u64,
+    config: ShotConfig,
 ) -> FidelityEstimate {
     let query = arch.build(memory);
     let input = query.input_state(None);
-    let mut sampler = FaultSampler::new(query.circuit(), model, StdRng::seed_from_u64(seed));
+    let sampler = FaultSampler::new(query.circuit(), model, config.seed);
+    let sample = |shot| sampler.sample_shot(shot);
     match kind {
         FidelityKind::Full => {
-            monte_carlo_fidelity(query.circuit().gates(), &input, shots, |_| sampler.sample())
+            monte_carlo_fidelity_with(query.circuit().gates(), &input, &config, sample)
                 .expect("generated circuits are always simulable")
         }
-        FidelityKind::Reduced => monte_carlo_reduced_fidelity(
+        FidelityKind::Reduced => monte_carlo_reduced_fidelity_with(
             query.circuit().gates(),
             &input,
             &query.output_qubits(),
-            shots,
-            |_| sampler.sample(),
+            &config,
+            sample,
         )
         .expect("generated circuits are always simulable"),
     }
@@ -154,8 +120,7 @@ mod tests {
             &memory,
             NoiseModel::noiseless(),
             FidelityKind::Full,
-            8,
-            7,
+            ShotConfig::new(8).with_seed(7),
         );
         assert!((est.mean - 1.0).abs() < 1e-12);
     }
@@ -164,25 +129,44 @@ mod tests {
     fn noisy_fidelity_is_below_one_and_reduced_is_at_least_full() {
         let memory = experiment_memory(3, 2);
         let model = NoiseModel::per_gate(PauliChannel::depolarizing(0.01));
+        let config = ShotConfig::new(64).with_seed(3);
         let full = architecture_fidelity(
             &VirtualQram::new(0, 3),
             &memory,
             model,
             FidelityKind::Full,
-            64,
-            3,
+            config,
         );
         let reduced = architecture_fidelity(
             &VirtualQram::new(0, 3),
             &memory,
             model,
             FidelityKind::Reduced,
-            64,
-            3,
+            config,
         );
         assert!(full.mean < 1.0);
         // Tracing out ancillas can only help (same seed → same plans).
         assert!(reduced.mean >= full.mean - 1e-9);
+    }
+
+    #[test]
+    fn estimates_are_identical_across_thread_counts() {
+        // The ISSUE-level determinism pin: threads is a pure throughput
+        // knob; the estimate is bit-identical for any value.
+        let memory = experiment_memory(3, 5);
+        let model = NoiseModel::per_gate(PauliChannel::depolarizing(5e-3));
+        let run = |threads| {
+            architecture_fidelity(
+                &VirtualQram::new(1, 2),
+                &memory,
+                model,
+                FidelityKind::Full,
+                ShotConfig::new(96).with_seed(11).with_threads(threads),
+            )
+        };
+        let serial = run(1);
+        assert_eq!(serial, run(4));
+        assert_eq!(serial, run(3));
     }
 
     #[test]

@@ -1,0 +1,355 @@
+//! Machine-readable bench results: loading, summarising and regression
+//! gating.
+//!
+//! The vendored `criterion` stub writes one JSON file per benchmark to
+//! `<target>/bench/` (fields `name`, `mean_ns`, `iters`). This module
+//! loads those files, condenses them into the repo-level `BENCH_2.json`
+//! summary, and implements the CI regression gate for the shot engine:
+//! the measured serial/sharded speedup must not regress more than a
+//! tolerance against the checked-in baseline
+//! (`.github/bench-baseline.json`). The gate is *ratio*-based on purpose —
+//! absolute ns vary wildly across runners, the parallel speedup does not.
+//!
+//! See the `bench_report` binary for the CLI wrapping this module.
+
+use std::path::{Path, PathBuf};
+
+/// One benchmark's result as written by the criterion stub.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchRecord {
+    /// Full benchmark label, e.g. `shot_engine/serial`.
+    pub name: String,
+    /// Mean wall-clock time per iteration in nanoseconds.
+    pub mean_ns: f64,
+    /// Iterations measured.
+    pub iters: u64,
+}
+
+/// Extracts a string field from a single-level JSON object. Handles the
+/// `\"` and `\\` escapes the criterion stub emits; not a general parser.
+fn json_str_field(json: &str, key: &str) -> Option<String> {
+    let marker = format!("\"{key}\"");
+    let rest = &json[json.find(&marker)? + marker.len()..];
+    let rest = rest.trim_start().strip_prefix(':')?.trim_start();
+    let rest = rest.strip_prefix('"')?;
+    let mut out = String::new();
+    let mut chars = rest.chars();
+    while let Some(c) = chars.next() {
+        match c {
+            '\\' => out.push(chars.next()?),
+            '"' => return Some(out),
+            c => out.push(c),
+        }
+    }
+    None
+}
+
+/// Extracts a numeric field from a single-level JSON object.
+fn json_num_field(json: &str, key: &str) -> Option<f64> {
+    let marker = format!("\"{key}\"");
+    let rest = &json[json.find(&marker)? + marker.len()..];
+    let rest = rest.trim_start().strip_prefix(':')?.trim_start();
+    let end = rest
+        .find(|c: char| {
+            c != '-' && c != '+' && c != '.' && c != 'e' && c != 'E' && !c.is_ascii_digit()
+        })
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Parses one criterion-stub result file.
+pub fn parse_record(json: &str) -> Option<BenchRecord> {
+    Some(BenchRecord {
+        name: json_str_field(json, "name")?,
+        mean_ns: json_num_field(json, "mean_ns")?,
+        iters: json_num_field(json, "iters")? as u64,
+    })
+}
+
+/// Walks up from `start` to the first directory containing `Cargo.lock`
+/// (the workspace root).
+pub fn find_repo_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = start.to_path_buf();
+    loop {
+        if dir.join("Cargo.lock").exists() {
+            return Some(dir);
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+/// The directory the criterion stub writes results to:
+/// `$CARGO_TARGET_DIR/bench` or `<repo root>/target/bench`.
+pub fn bench_results_dir() -> Option<PathBuf> {
+    let target = match std::env::var("CARGO_TARGET_DIR") {
+        Ok(dir) => PathBuf::from(dir),
+        Err(_) => find_repo_root(&std::env::current_dir().ok()?)?.join("target"),
+    };
+    Some(target.join("bench"))
+}
+
+/// Loads every result file in `dir`, sorted by benchmark name.
+pub fn load_records(dir: &Path) -> Vec<BenchRecord> {
+    let mut records: Vec<BenchRecord> = std::fs::read_dir(dir)
+        .into_iter()
+        .flatten()
+        .flatten()
+        .filter(|e| e.path().extension().is_some_and(|x| x == "json"))
+        .filter_map(|e| std::fs::read_to_string(e.path()).ok())
+        .filter_map(|json| parse_record(&json))
+        .collect();
+    records.sort_by(|a, b| a.name.cmp(&b.name));
+    records
+}
+
+/// The shot-engine headline numbers extracted from a result set.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShotEngineSummary {
+    /// Mean ns/iter of `shot_engine/serial` (threads = 1).
+    pub serial_ns: f64,
+    /// Mean ns/iter of `shot_engine/sharded` (threads = all cores).
+    pub sharded_ns: f64,
+    /// Throughput ratio `serial_ns / sharded_ns`.
+    pub speedup: f64,
+}
+
+/// Extracts the shot-engine serial/sharded pair from `records`.
+pub fn shot_engine_summary(records: &[BenchRecord]) -> Option<ShotEngineSummary> {
+    let mean = |name: &str| {
+        records
+            .iter()
+            .find(|r| r.name == name)
+            .map(|r| r.mean_ns)
+            .filter(|&ns| ns > 0.0)
+    };
+    let serial_ns = mean("shot_engine/serial")?;
+    let sharded_ns = mean("shot_engine/sharded")?;
+    Some(ShotEngineSummary {
+        serial_ns,
+        sharded_ns,
+        speedup: serial_ns / sharded_ns,
+    })
+}
+
+/// Renders the `BENCH_2.json` summary document.
+pub fn summary_json(
+    records: &[BenchRecord],
+    shot_engine: Option<&ShotEngineSummary>,
+    threads_available: usize,
+) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"schema\": \"qram-bench/bench-summary/v2\",\n");
+    out.push_str(&format!("  \"threads_available\": {threads_available},\n"));
+    match shot_engine {
+        Some(s) => out.push_str(&format!(
+            "  \"shot_engine\": {{\"serial_ns\": {:.1}, \"sharded_ns\": {:.1}, \"speedup\": {:.3}}},\n",
+            s.serial_ns, s.sharded_ns, s.speedup
+        )),
+        None => out.push_str("  \"shot_engine\": null,\n"),
+    }
+    out.push_str("  \"benches\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        let comma = if i + 1 < records.len() { "," } else { "" };
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"mean_ns\": {:.1}, \"iters\": {}}}{comma}\n",
+            r.name.replace('\\', "\\\\").replace('"', "\\\""),
+            r.mean_ns,
+            r.iters
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// The checked-in regression baseline for the shot engine.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Baseline {
+    /// Reference serial/sharded speedup on a multi-core runner.
+    pub shot_engine_speedup: f64,
+    /// Allowed relative regression (0.25 = fail below 75% of reference).
+    pub tolerance: f64,
+}
+
+/// Parses `.github/bench-baseline.json`.
+pub fn parse_baseline(json: &str) -> Option<Baseline> {
+    Some(Baseline {
+        shot_engine_speedup: json_num_field(json, "shot_engine_speedup")?,
+        tolerance: json_num_field(json, "tolerance").unwrap_or(0.25),
+    })
+}
+
+/// The regression-gate verdict for a run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GateOutcome {
+    /// Speedup is within tolerance of the baseline.
+    Pass {
+        /// Measured serial/sharded speedup.
+        speedup: f64,
+        /// Minimum accepted speedup (`baseline · (1 − tolerance)`).
+        floor: f64,
+    },
+    /// Speedup regressed below the tolerance floor.
+    Fail {
+        /// Measured serial/sharded speedup.
+        speedup: f64,
+        /// Minimum accepted speedup (`baseline · (1 − tolerance)`).
+        floor: f64,
+    },
+    /// The gate could not run and is skipped gracefully (no baseline, no
+    /// shot-engine results, or a single-core machine where the parallel
+    /// speedup is physically unobservable).
+    Skip(String),
+}
+
+/// Applies the ratio-based regression gate.
+pub fn apply_gate(
+    shot_engine: Option<&ShotEngineSummary>,
+    baseline: Option<&Baseline>,
+    threads_available: usize,
+) -> GateOutcome {
+    let Some(baseline) = baseline else {
+        return GateOutcome::Skip("no checked-in baseline".into());
+    };
+    let Some(summary) = shot_engine else {
+        return GateOutcome::Skip("no shot_engine serial/sharded results".into());
+    };
+    if threads_available < 2 {
+        return GateOutcome::Skip(format!(
+            "single-core machine ({threads_available} thread available): parallel speedup not observable"
+        ));
+    }
+    let floor = baseline.shot_engine_speedup * (1.0 - baseline.tolerance);
+    if summary.speedup >= floor {
+        GateOutcome::Pass {
+            speedup: summary.speedup,
+            floor,
+        }
+    } else {
+        GateOutcome::Fail {
+            speedup: summary.speedup,
+            floor,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_stub_record() {
+        let json = "{\"name\":\"shot_engine/serial\",\"mean_ns\":1234.500,\"iters\":42}\n";
+        let r = parse_record(json).unwrap();
+        assert_eq!(r.name, "shot_engine/serial");
+        assert_eq!(r.mean_ns, 1234.5);
+        assert_eq!(r.iters, 42);
+    }
+
+    #[test]
+    fn parses_escaped_names_and_whitespace() {
+        let json = "{ \"name\" : \"a\\\"b\", \"mean_ns\" : 1e3, \"iters\" : 7 }";
+        let r = parse_record(json).unwrap();
+        assert_eq!(r.name, "a\"b");
+        assert_eq!(r.mean_ns, 1000.0);
+    }
+
+    #[test]
+    fn rejects_incomplete_records() {
+        assert!(parse_record("{\"name\":\"x\"}").is_none());
+        assert!(parse_record("{}").is_none());
+    }
+
+    fn records() -> Vec<BenchRecord> {
+        vec![
+            BenchRecord {
+                name: "shot_engine/serial".into(),
+                mean_ns: 4000.0,
+                iters: 10,
+            },
+            BenchRecord {
+                name: "shot_engine/sharded".into(),
+                mean_ns: 1000.0,
+                iters: 10,
+            },
+        ]
+    }
+
+    #[test]
+    fn shot_engine_speedup_is_serial_over_sharded() {
+        let s = shot_engine_summary(&records()).unwrap();
+        assert_eq!(s.speedup, 4.0);
+        assert!(shot_engine_summary(&records()[..1]).is_none());
+    }
+
+    #[test]
+    fn summary_json_is_parseable_by_own_helpers() {
+        let recs = records();
+        let s = shot_engine_summary(&recs);
+        let json = summary_json(&recs, s.as_ref(), 8);
+        assert_eq!(json_num_field(&json, "threads_available"), Some(8.0));
+        assert_eq!(json_num_field(&json, "speedup"), Some(4.0));
+        assert!(json.contains("\"name\": \"shot_engine/serial\""));
+    }
+
+    #[test]
+    fn baseline_parses_with_default_tolerance() {
+        let b = parse_baseline("{\"shot_engine_speedup\": 2.0}").unwrap();
+        assert_eq!(b.shot_engine_speedup, 2.0);
+        assert_eq!(b.tolerance, 0.25);
+        let b = parse_baseline("{\"shot_engine_speedup\": 3.0, \"tolerance\": 0.1}").unwrap();
+        assert_eq!(b.tolerance, 0.1);
+        assert!(parse_baseline("{}").is_none());
+    }
+
+    #[test]
+    fn gate_passes_within_tolerance_and_fails_below() {
+        let recs = records();
+        let summary = shot_engine_summary(&recs);
+        let baseline = Baseline {
+            shot_engine_speedup: 2.0,
+            tolerance: 0.25,
+        };
+        match apply_gate(summary.as_ref(), Some(&baseline), 8) {
+            GateOutcome::Pass { speedup, floor } => {
+                assert_eq!(speedup, 4.0);
+                assert_eq!(floor, 1.5);
+            }
+            other => panic!("expected pass, got {other:?}"),
+        }
+        let tight = Baseline {
+            shot_engine_speedup: 8.0,
+            tolerance: 0.25,
+        };
+        assert!(matches!(
+            apply_gate(summary.as_ref(), Some(&tight), 8),
+            GateOutcome::Fail { .. }
+        ));
+    }
+
+    #[test]
+    fn gate_skips_gracefully() {
+        let recs = records();
+        let summary = shot_engine_summary(&recs);
+        let baseline = Baseline {
+            shot_engine_speedup: 2.0,
+            tolerance: 0.25,
+        };
+        // No baseline checked in.
+        assert!(matches!(
+            apply_gate(summary.as_ref(), None, 8),
+            GateOutcome::Skip(_)
+        ));
+        // No shot-engine results.
+        assert!(matches!(
+            apply_gate(None, Some(&baseline), 8),
+            GateOutcome::Skip(_)
+        ));
+        // Single-core machine: speedup physically unobservable.
+        assert!(matches!(
+            apply_gate(summary.as_ref(), Some(&baseline), 1),
+            GateOutcome::Skip(_)
+        ));
+    }
+}

@@ -292,6 +292,78 @@ impl Parts {
     }
 }
 
+/// The cached per-page retrieval stage: the gate sequences that are
+/// *identical for every page*, generated once per [`VirtualQram::build`]
+/// and stamped `2^k` times, instead of being regenerated from the tree
+/// structure page after page.
+struct PageTemplate {
+    /// The CX compression array (Fig. 4c), as a circuit fragment.
+    compress: Circuit,
+    /// Its exact inverse (Fig. 4d).
+    uncompress: Circuit,
+    /// One classically-controlled write gate per leaf, in leaf order;
+    /// stamping a page pushes exactly the subset whose data bit is 1
+    /// (or whose XOR delta bit is 1, under OPT2 lazy swapping).
+    writes: Vec<Gate>,
+}
+
+impl PageTemplate {
+    fn new(qram: &VirtualQram, parts: &Parts, num_qubits: usize) -> Self {
+        let mut compress = Circuit::new(num_qubits);
+        qram.compress(&mut compress, parts);
+        let mut uncompress = Circuit::new(num_qubits);
+        qram.uncompress(&mut uncompress, parts);
+        // An all-ones page makes `write_layer` emit every leaf's write
+        // gate, in leaf order — the per-leaf stamp table.
+        let mut writes = Circuit::new(num_qubits);
+        qram.write_layer(&mut writes, parts, &vec![true; 1 << qram.m]);
+        PageTemplate {
+            compress,
+            uncompress,
+            writes: writes.gates().to_vec(),
+        }
+    }
+}
+
+/// Emits the per-page retrieval stage either from a cached
+/// [`PageTemplate`] (the production path) or by regenerating every gate
+/// from the tree structure (the pre-template reference path, kept as the
+/// specification the equivalence test pins the cache against).
+struct PageEmitter<'a> {
+    qram: &'a VirtualQram,
+    parts: &'a Parts,
+    template: Option<PageTemplate>,
+}
+
+impl PageEmitter<'_> {
+    fn compress(&self, circuit: &mut Circuit) {
+        match &self.template {
+            Some(t) => circuit.extend(&t.compress),
+            None => self.qram.compress(circuit, self.parts),
+        }
+    }
+
+    fn uncompress(&self, circuit: &mut Circuit) {
+        match &self.template {
+            Some(t) => circuit.extend(&t.uncompress),
+            None => self.qram.uncompress(circuit, self.parts),
+        }
+    }
+
+    fn writes(&self, circuit: &mut Circuit, bits: &[bool]) {
+        match &self.template {
+            Some(t) => {
+                for (gate, &bit) in t.writes.iter().zip(bits) {
+                    if bit {
+                        circuit.push(gate.clone());
+                    }
+                }
+            }
+            None => self.qram.write_layer(circuit, self.parts, bits),
+        }
+    }
+}
+
 impl QueryArchitecture for VirtualQram {
     fn name(&self) -> String {
         let enc = match self.encoding {
@@ -307,6 +379,16 @@ impl QueryArchitecture for VirtualQram {
     }
 
     fn build(&self, memory: &Memory) -> QueryCircuit {
+        self.build_impl(memory, true)
+    }
+}
+
+impl VirtualQram {
+    /// Shared build path. `cache_page_template == true` generates the
+    /// per-page retrieval stage once and stamps it per page (the
+    /// production path); `false` regenerates it page by page — kept as
+    /// the reference against which the template is tested gate-for-gate.
+    fn build_impl(&self, memory: &Memory, cache_page_template: bool) -> QueryCircuit {
         assert_eq!(
             memory.address_width(),
             self.address_width(),
@@ -353,25 +435,35 @@ impl QueryArchitecture for VirtualQram {
         // Query-state preparation: one-hot flag at the addressed leaf.
         parts.prep_tree.prepare_flags(&mut circuit);
 
-        // Stage 2: data retrieval, once per page (Sec. 3.1.2-3.1.3).
+        // Stage 2: data retrieval, once per page (Sec. 3.1.2-3.1.3). The
+        // compression array, its inverse and the per-leaf write gates are
+        // page-independent, so the emitter generates them once and stamps
+        // them per page; only the SQC-steered MCX and the set of firing
+        // write gates vary with `p`.
+        let emitter = PageEmitter {
+            qram: self,
+            parts: &parts,
+            template: cache_page_template
+                .then(|| PageTemplate::new(self, &parts, alloc.num_qubits())),
+        };
         if self.opts.lazy_swapping {
-            self.write_layer(&mut circuit, &parts, memory.page(m, 0));
+            emitter.writes(&mut circuit, memory.page(m, 0));
             for p in 0..pages {
-                self.compress(&mut circuit, &parts);
+                emitter.compress(&mut circuit);
                 page_select_copy(&mut circuit, &addr_k, p as u64, parts.rail(1), bus.get(0));
-                self.uncompress(&mut circuit, &parts);
+                emitter.uncompress(&mut circuit);
                 if p + 1 < pages {
-                    self.write_layer(&mut circuit, &parts, &memory.page_delta(m, p));
+                    emitter.writes(&mut circuit, &memory.page_delta(m, p));
                 }
             }
-            self.write_layer(&mut circuit, &parts, memory.page(m, pages - 1));
+            emitter.writes(&mut circuit, memory.page(m, pages - 1));
         } else {
             for p in 0..pages {
-                self.write_layer(&mut circuit, &parts, memory.page(m, p));
-                self.compress(&mut circuit, &parts);
+                emitter.writes(&mut circuit, memory.page(m, p));
+                emitter.compress(&mut circuit);
                 page_select_copy(&mut circuit, &addr_k, p as u64, parts.rail(1), bus.get(0));
-                self.uncompress(&mut circuit, &parts);
-                self.write_layer(&mut circuit, &parts, memory.page(m, p));
+                emitter.uncompress(&mut circuit);
+                emitter.writes(&mut circuit, memory.page(m, p));
             }
         }
 
@@ -558,6 +650,48 @@ mod tests {
             .copied()
             .unwrap_or(0);
         assert_eq!(cswaps_k0, cswaps_k3, "loading must not repeat per page");
+    }
+
+    #[test]
+    fn cached_template_matches_reference_gate_for_gate() {
+        // The template-stamped build must emit the exact gate sequence of
+        // the per-page reference path — for every optimization preset,
+        // every encoding, and shapes with one and several pages.
+        let presets = [
+            Optimizations::RAW,
+            Optimizations::OPT1,
+            Optimizations::OPT2,
+            Optimizations::OPT3,
+            Optimizations {
+                recycle_qubits: true,
+                lazy_swapping: true,
+                pipeline_address: false,
+            },
+            Optimizations::ALL,
+        ];
+        let encodings = [
+            DataEncoding::Bit,
+            DataEncoding::DualRail,
+            DataEncoding::FusedBit,
+        ];
+        for (k, m) in [(0, 2), (1, 2), (2, 3)] {
+            let memory = random_memory(k + m, (41 * k + m) as u64);
+            for opts in presets {
+                for encoding in encodings {
+                    let qram = VirtualQram::new(k, m)
+                        .with_optimizations(opts)
+                        .with_encoding(encoding);
+                    let cached = qram.build_impl(&memory, true);
+                    let reference = qram.build_impl(&memory, false);
+                    assert_eq!(
+                        cached.circuit().gates(),
+                        reference.circuit().gates(),
+                        "k={k} m={m} {opts} {encoding:?}"
+                    );
+                    assert_eq!(cached.num_qubits(), reference.num_qubits());
+                }
+            }
+        }
     }
 
     #[test]

@@ -13,8 +13,11 @@
 //! * **How strong errors are** — [`ErrorReductionFactor`]: Appendix A's
 //!   `εr = current/future` knob, scaling a base error rate of `10⁻³`.
 //!
-//! [`FaultSampler`] turns a circuit + model + RNG into the `FaultPlan`
-//! of one Monte-Carlo shot, ready for `qram_sim::run_with_faults`.
+//! [`FaultSampler`] turns a circuit + model + master seed into the
+//! `FaultPlan` of one Monte-Carlo shot, ready for
+//! `qram_sim::run_with_faults`. Each shot's plan is a pure function of
+//! `(seed, shot index)` — the contract the sharded parallel shot engine
+//! in `qram_sim` needs for thread-count-independent estimates.
 //! [`DeviceModel`] adds coupling-map-aware device descriptions standing in
 //! for the IBMQ backends of Appendix A (see the DESIGN.md substitution
 //! table: we encode the published topologies with uniform error rates
@@ -27,16 +30,15 @@
 //! use qram_circuit::{Circuit, Gate, Qubit};
 //! use qram_noise::{FaultSampler, NoiseModel, PauliChannel};
 //! use qram_sim::{monte_carlo_fidelity, PathState};
-//! use rand::{rngs::StdRng, SeedableRng};
 //!
 //! # fn main() -> Result<(), qram_sim::SimError> {
 //! let mut c = Circuit::new(2);
 //! c.push(Gate::cx(Qubit(0), Qubit(1)));
 //!
 //! let model = NoiseModel::per_gate(PauliChannel::phase_flip(1e-3));
-//! let mut sampler = FaultSampler::new(&c, model, StdRng::seed_from_u64(7));
+//! let sampler = FaultSampler::new(&c, model, 7);
 //! let input = PathState::uniform_over(2, &[Qubit(0)]);
-//! let est = monte_carlo_fidelity(c.gates(), &input, 256, |_| sampler.sample())?;
+//! let est = monte_carlo_fidelity(c.gates(), &input, 256, |shot| sampler.sample_shot(shot))?;
 //! assert!(est.mean > 0.95);
 //! # Ok(())
 //! # }

@@ -3,7 +3,8 @@
 
 use qram_circuit::{Circuit, Qubit};
 use qram_sim::{Fault, FaultPlan};
-use rand::Rng;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 use crate::{DeviceModel, ErrorReductionFactor, NoiseModel, NoisePlacement, PauliChannel};
 
@@ -18,25 +19,32 @@ use crate::{DeviceModel, ErrorReductionFactor, NoiseModel, NoisePlacement, Pauli
 /// the *number of faults*, not the number of opportunities. At the paper's
 /// `ε = 10⁻³` this is a ~1000× speedup over trial-by-trial sampling.
 ///
+/// Sampling is **per shot**: [`FaultSampler::sample_shot`] takes `&self`
+/// and the shot index, and derives an independent, decorrelated RNG stream
+/// for that shot from the master seed. A shot's fault pattern is therefore
+/// a pure function of `(seed, shot)` — the contract the sharded parallel
+/// shot engine in `qram-sim` relies on for bit-identical estimates across
+/// thread counts.
+///
 /// ```
 /// use qram_circuit::{Circuit, Gate, Qubit};
 /// use qram_noise::{FaultSampler, NoiseModel, PauliChannel};
-/// use rand::{rngs::StdRng, SeedableRng};
 ///
 /// let mut c = Circuit::new(2);
 /// c.push(Gate::cx(Qubit(0), Qubit(1)));
 /// let model = NoiseModel::per_gate(PauliChannel::depolarizing(0.5));
-/// let mut s = FaultSampler::new(&c, model, StdRng::seed_from_u64(3));
-/// let plan = s.sample();
+/// let s = FaultSampler::new(&c, model, 3);
+/// let plan = s.sample_shot(0);
 /// assert!(plan.len() <= 2); // at most one fault per support qubit
+/// assert_eq!(plan, s.sample_shot(0)); // pure in (seed, shot)
 /// ```
-#[derive(Debug)]
-pub struct FaultSampler<R> {
+#[derive(Debug, Clone)]
+pub struct FaultSampler {
     trials: Trials,
-    rng: R,
+    seed: u64,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 enum Trials {
     /// All trials share one channel; geometric skipping applies.
     Uniform {
@@ -49,9 +57,21 @@ enum Trials {
     },
 }
 
-impl<R: Rng> FaultSampler<R> {
-    /// Builds a sampler for `circuit` under a uniform noise `model`.
-    pub fn new(circuit: &Circuit, model: NoiseModel, rng: R) -> Self {
+/// Derives the RNG seed of one shot's stream from the master seed: a
+/// SplitMix64-style avalanche over the pair, so neighbouring shot indices
+/// get decorrelated streams and the assignment is independent of how the
+/// engine shards shots over threads.
+fn shot_stream_seed(master: u64, shot: u64) -> u64 {
+    let mut z = master ^ shot.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl FaultSampler {
+    /// Builds a sampler for `circuit` under a uniform noise `model`, with
+    /// all shot streams derived from the master `seed`.
+    pub fn new(circuit: &Circuit, model: NoiseModel, seed: u64) -> Self {
         let locations = match model.placement {
             NoisePlacement::PerGate => per_gate_locations(circuit),
             NoisePlacement::QubitPerStep => qubit_per_step_locations(circuit),
@@ -64,7 +84,7 @@ impl<R: Rng> FaultSampler<R> {
                 channel: model.channel,
                 locations,
             },
-            rng,
+            seed,
         }
     }
 
@@ -74,7 +94,7 @@ impl<R: Rng> FaultSampler<R> {
         circuit: &Circuit,
         device: &DeviceModel,
         er: ErrorReductionFactor,
-        rng: R,
+        seed: u64,
     ) -> Self {
         let scale = 1.0 / er.0;
         let mut entries = Vec::new();
@@ -89,7 +109,7 @@ impl<R: Rng> FaultSampler<R> {
         }
         FaultSampler {
             trials: Trials::PerTrial { entries },
-            rng,
+            seed,
         }
     }
 
@@ -101,8 +121,15 @@ impl<R: Rng> FaultSampler<R> {
         }
     }
 
-    /// Draws the fault pattern of one shot.
-    pub fn sample(&mut self) -> FaultPlan {
+    /// The master seed all shot streams derive from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Draws the fault pattern of shot `shot` — deterministic in
+    /// `(seed, shot)` and callable concurrently from any thread.
+    pub fn sample_shot(&self, shot: u64) -> FaultPlan {
+        let mut rng = StdRng::seed_from_u64(shot_stream_seed(self.seed, shot));
         let mut plan = FaultPlan::new();
         match &self.trials {
             Trials::Uniform { channel, locations } => {
@@ -112,7 +139,7 @@ impl<R: Rng> FaultSampler<R> {
                 }
                 if p >= 1.0 {
                     for &(idx, q) in locations {
-                        if let Some(pauli) = channel.sample(&mut self.rng) {
+                        if let Some(pauli) = channel.sample(&mut rng) {
                             plan.push(Fault::new(idx, q, pauli));
                         }
                     }
@@ -123,18 +150,14 @@ impl<R: Rng> FaultSampler<R> {
                 let log1mp = (1.0 - p).ln();
                 let mut t = 0usize;
                 loop {
-                    let u: f64 = self.rng.random();
+                    let u: f64 = rng.random();
                     let gap = ((1.0 - u).ln() / log1mp).floor();
                     if !gap.is_finite() || gap >= (locations.len() - t) as f64 {
                         break;
                     }
                     t += gap as usize;
                     let (idx, q) = locations[t];
-                    plan.push(Fault::new(
-                        idx,
-                        q,
-                        conditional_pauli(channel, &mut self.rng),
-                    ));
+                    plan.push(Fault::new(idx, q, conditional_pauli(channel, &mut rng)));
                     t += 1;
                     if t >= locations.len() {
                         break;
@@ -143,7 +166,7 @@ impl<R: Rng> FaultSampler<R> {
             }
             Trials::PerTrial { entries } => {
                 for &(idx, q, channel) in entries {
-                    if let Some(pauli) = channel.sample(&mut self.rng) {
+                    if let Some(pauli) = channel.sample(&mut rng) {
                         plan.push(Fault::new(idx, q, pauli));
                     }
                 }
@@ -231,7 +254,6 @@ fn qubit_per_step_locations(circuit: &Circuit) -> Vec<(usize, Qubit)> {
 mod tests {
     use super::*;
     use qram_circuit::Gate;
-    use rand::{rngs::StdRng, SeedableRng};
 
     fn chain_circuit() -> Circuit {
         let mut c = Circuit::new(3);
@@ -243,11 +265,7 @@ mod tests {
     #[test]
     fn per_gate_trial_count_is_total_support() {
         let c = chain_circuit();
-        let s = FaultSampler::new(
-            &c,
-            NoiseModel::per_gate(PauliChannel::phase_flip(0.1)),
-            StdRng::seed_from_u64(0),
-        );
+        let s = FaultSampler::new(&c, NoiseModel::per_gate(PauliChannel::phase_flip(0.1)), 0);
         assert_eq!(s.num_trials(), 4); // two 2-qubit gates
     }
 
@@ -257,7 +275,7 @@ mod tests {
         let s = FaultSampler::new(
             &c,
             NoiseModel::qubit_per_step(PauliChannel::phase_flip(0.1)),
-            StdRng::seed_from_u64(0),
+            0,
         );
         assert_eq!(s.num_trials(), 6);
     }
@@ -265,12 +283,12 @@ mod tests {
     #[test]
     fn per_qubit_once_places_faults_at_start() {
         let c = chain_circuit();
-        let mut s = FaultSampler::new(
+        let s = FaultSampler::new(
             &c,
             NoiseModel::per_qubit_once(PauliChannel::bit_flip(1.0)),
-            StdRng::seed_from_u64(0),
+            0,
         );
-        let plan = s.sample();
+        let plan = s.sample_shot(0);
         assert_eq!(plan.len(), 3);
         assert!(plan.faults().iter().all(|f| f.gate_index == 0));
     }
@@ -278,9 +296,9 @@ mod tests {
     #[test]
     fn noiseless_model_samples_empty_plans() {
         let c = chain_circuit();
-        let mut s = FaultSampler::new(&c, NoiseModel::noiseless(), StdRng::seed_from_u64(0));
-        for _ in 0..10 {
-            assert!(s.sample().is_empty());
+        let s = FaultSampler::new(&c, NoiseModel::noiseless(), 0);
+        for shot in 0..10 {
+            assert!(s.sample_shot(shot).is_empty());
         }
     }
 
@@ -293,14 +311,10 @@ mod tests {
             }
         }
         let p = 0.01;
-        let mut s = FaultSampler::new(
-            &c,
-            NoiseModel::per_gate(PauliChannel::depolarizing(p)),
-            StdRng::seed_from_u64(11),
-        );
+        let s = FaultSampler::new(&c, NoiseModel::per_gate(PauliChannel::depolarizing(p)), 11);
         let trials = s.num_trials() as f64;
-        let shots = 500;
-        let total: usize = (0..shots).map(|_| s.sample().len()).sum();
+        let shots = 500u64;
+        let total: usize = (0..shots).map(|shot| s.sample_shot(shot).len()).sum();
         let mean = total as f64 / shots as f64;
         let expected = trials * p;
         assert!(
@@ -312,12 +326,24 @@ mod tests {
     #[test]
     fn certain_error_rate_hits_every_trial() {
         let c = chain_circuit();
-        let mut s = FaultSampler::new(
-            &c,
-            NoiseModel::per_gate(PauliChannel::bit_flip(1.0)),
-            StdRng::seed_from_u64(5),
-        );
-        assert_eq!(s.sample().len(), 4);
+        let s = FaultSampler::new(&c, NoiseModel::per_gate(PauliChannel::bit_flip(1.0)), 5);
+        assert_eq!(s.sample_shot(0).len(), 4);
+    }
+
+    #[test]
+    fn shots_are_pure_and_decorrelated() {
+        let c = chain_circuit();
+        let s = FaultSampler::new(&c, NoiseModel::per_gate(PauliChannel::depolarizing(0.4)), 7);
+        // Pure: re-sampling the same shot gives the same plan.
+        for shot in 0..20 {
+            assert_eq!(s.sample_shot(shot), s.sample_shot(shot));
+        }
+        // Decorrelated: across many shots the plans are not all equal.
+        let first = s.sample_shot(0);
+        assert!((1..100).any(|shot| s.sample_shot(shot) != first));
+        // Different master seeds give different shot streams.
+        let other = FaultSampler::new(&c, NoiseModel::per_gate(PauliChannel::depolarizing(0.4)), 8);
+        assert!((0..100).any(|shot| s.sample_shot(shot) != other.sample_shot(shot)));
     }
 
     #[test]
@@ -344,13 +370,8 @@ mod tests {
         c.push(Gate::x(Qubit(0)));
         c.push(Gate::cx(Qubit(0), Qubit(1)));
         let device = crate::ibm_perth();
-        let mut s = FaultSampler::for_device(
-            &c,
-            &device,
-            ErrorReductionFactor(1.0),
-            StdRng::seed_from_u64(1),
-        );
+        let s = FaultSampler::for_device(&c, &device, ErrorReductionFactor(1.0), 1);
         assert_eq!(s.num_trials(), 3);
-        let _ = s.sample(); // must not panic
+        let _ = s.sample_shot(0); // must not panic
     }
 }

@@ -1,0 +1,329 @@
+//! Sharded, deterministic parallel Monte-Carlo shot engine.
+//!
+//! The engine splits a run of `shots` trajectories into per-thread
+//! *shards* executed under [`std::thread::scope`] — no work stealing, no
+//! external dependencies. Determinism across thread counts is structural,
+//! not accidental:
+//!
+//! * the sampler contract is `Fn(shot) -> FaultPlan`: every shot's fault
+//!   pattern is a pure function of the shot index (samplers derive an
+//!   independent RNG stream per shot), so the pattern a shot receives
+//!   cannot depend on which shard runs it;
+//! * every shot writes its fidelity into `samples[shot]`, and the final
+//!   [`FidelityEstimate`] folds that vector in index order — the same
+//!   floating-point reduction regardless of sharding.
+//!
+//! Together these make the estimate **bit-identical** for any `threads`
+//! value, which is what lets `--threads` be a pure throughput knob in the
+//! reproduction binaries.
+//!
+//! Each shard additionally reuses one scratch [`PathState`], resetting it
+//! from the input via the allocation-reusing [`Clone::clone_from`] instead
+//! of cloning a fresh state per shot — the per-shot allocation the serial
+//! harness used to pay.
+
+use std::num::NonZeroUsize;
+use std::thread;
+
+use qram_circuit::{Gate, Qubit};
+
+use crate::{run_with_faults, FaultPlan, FidelityEstimate, PathState, SimError};
+
+/// Configuration of one Monte-Carlo fidelity run.
+///
+/// `seed` is not consumed by the engine itself — shot randomness lives in
+/// the sampler closure — but rides along so one value can be threaded
+/// from a CLI flag through sampler construction and into the engine
+/// (see `qram-bench`).
+///
+/// ```
+/// use qram_sim::ShotConfig;
+/// let config = ShotConfig::new(1024).with_seed(7).with_threads(4);
+/// assert_eq!(config.shots, 1024);
+/// assert_eq!(config.resolved_threads(), 4);
+/// // threads = 0 resolves to the machine's available parallelism.
+/// assert!(ShotConfig::new(8).resolved_threads() >= 1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShotConfig {
+    /// Number of Monte-Carlo shots.
+    pub shots: usize,
+    /// Master RNG seed for the fault sampler (not used by the engine).
+    pub seed: u64,
+    /// Worker threads; `0` means all available cores.
+    pub threads: usize,
+}
+
+impl ShotConfig {
+    /// The default master seed (the paper's venue year).
+    pub const DEFAULT_SEED: u64 = 2023;
+
+    /// A config with the default seed and automatic thread count.
+    pub fn new(shots: usize) -> Self {
+        ShotConfig {
+            shots,
+            seed: Self::DEFAULT_SEED,
+            threads: 0,
+        }
+    }
+
+    /// A single-threaded config (the serial reference path).
+    pub fn serial(shots: usize) -> Self {
+        ShotConfig::new(shots).with_threads(1)
+    }
+
+    /// Overrides the master seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Overrides the thread count (`0` = all available cores).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// The effective worker count: `threads`, or the machine's available
+    /// parallelism when `threads == 0`.
+    pub fn resolved_threads(&self) -> usize {
+        if self.threads > 0 {
+            self.threads
+        } else {
+            thread::available_parallelism()
+                .map(NonZeroUsize::get)
+                .unwrap_or(1)
+        }
+    }
+}
+
+impl Default for ShotConfig {
+    fn default() -> Self {
+        ShotConfig::new(0)
+    }
+}
+
+/// Runs `config.shots` noisy trajectories of `gates` on `input` and
+/// estimates the fidelity against the noise-free run — over the full
+/// state, or reduced to `keep` when given (see
+/// [`PathState::reduced_fidelity`]).
+///
+/// `sample_plan` is called exactly once per shot with the shot index and
+/// must return that shot's fault pattern; it must be a pure function of
+/// the index (up to its own captured seed) for the determinism guarantee
+/// to hold. Shots whose plan is empty short-circuit to fidelity 1 without
+/// replaying the circuit.
+///
+/// # Errors
+///
+/// Propagates the first simulation error from the ideal run or any shot
+/// (by lowest shard; all shards run to completion or error independently).
+pub fn run_shots(
+    gates: &[Gate],
+    input: &PathState,
+    keep: Option<&[Qubit]>,
+    config: &ShotConfig,
+    sample_plan: &(impl Fn(u64) -> FaultPlan + Sync),
+) -> Result<FidelityEstimate, SimError> {
+    let mut ideal = input.clone();
+    run_with_faults(gates, &mut ideal, &FaultPlan::new())?;
+
+    let shots = config.shots;
+    if shots == 0 {
+        return Ok(FidelityEstimate::from_samples(&[]));
+    }
+    let threads = config.resolved_threads().min(shots).max(1);
+    let mut samples = vec![0.0f64; shots];
+
+    if threads == 1 {
+        run_shard(gates, input, &ideal, keep, 0, &mut samples, sample_plan)?;
+    } else {
+        // Contiguous sharding: shard `i` owns shots [i·chunk, (i+1)·chunk).
+        // Shot indices are global, so the shard boundaries never influence
+        // which plan a shot receives.
+        let chunk = shots.div_ceil(threads);
+        let ideal_ref = &ideal;
+        let results: Vec<Result<(), SimError>> = thread::scope(|scope| {
+            let handles: Vec<_> = samples
+                .chunks_mut(chunk)
+                .enumerate()
+                .map(|(i, out)| {
+                    scope.spawn(move || {
+                        run_shard(
+                            gates,
+                            input,
+                            ideal_ref,
+                            keep,
+                            (i * chunk) as u64,
+                            out,
+                            sample_plan,
+                        )
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shot shard panicked"))
+                .collect()
+        });
+        for result in results {
+            result?;
+        }
+    }
+    Ok(FidelityEstimate::from_samples(&samples))
+}
+
+/// Runs one shard's contiguous shot range, writing fidelities into `out`.
+fn run_shard(
+    gates: &[Gate],
+    input: &PathState,
+    ideal: &PathState,
+    keep: Option<&[Qubit]>,
+    first_shot: u64,
+    out: &mut [f64],
+    sample_plan: &(impl Fn(u64) -> FaultPlan + Sync),
+) -> Result<(), SimError> {
+    // One scratch state per shard, reset (not reallocated) per shot.
+    let mut scratch = PathState::zero_vector(input.num_qubits());
+    for (i, slot) in out.iter_mut().enumerate() {
+        let plan = sample_plan(first_shot + i as u64);
+        if plan.is_empty() {
+            // Fault-free shot: fidelity is exactly 1; skip the replay.
+            *slot = 1.0;
+            continue;
+        }
+        scratch.clone_from(input);
+        run_with_faults(gates, &mut scratch, &plan)?;
+        *slot = match keep {
+            None => ideal.fidelity(&scratch),
+            Some(keep) => ideal.reduced_fidelity(&scratch, keep),
+        };
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Fault, Pauli};
+    use qram_circuit::{Circuit, Qubit};
+
+    /// A cheap deterministic per-shot sampler: X-faults qubit 0 on shots
+    /// whose mixed index hashes odd, Z-faults every third shot.
+    fn pseudo_random_plan(shot: u64) -> FaultPlan {
+        let mut plan = FaultPlan::new();
+        let h = shot.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32;
+        if h % 2 == 1 {
+            plan.push(Fault::new(0, Qubit(0), Pauli::X));
+        }
+        if shot.is_multiple_of(3) {
+            plan.push(Fault::new(1, Qubit(1), Pauli::Z));
+        }
+        plan
+    }
+
+    fn test_circuit() -> (Circuit, PathState) {
+        let mut c = Circuit::new(3);
+        c.push(qram_circuit::Gate::cx(Qubit(0), Qubit(1)));
+        c.push(qram_circuit::Gate::cx(Qubit(1), Qubit(2)));
+        let input = PathState::uniform_over(3, &[Qubit(0)]);
+        (c, input)
+    }
+
+    #[test]
+    fn identical_estimates_across_thread_counts() {
+        let (c, input) = test_circuit();
+        let mut estimates = Vec::new();
+        for threads in [1usize, 2, 3, 4, 7] {
+            let config = ShotConfig::new(64).with_threads(threads);
+            let est = run_shots(c.gates(), &input, None, &config, &pseudo_random_plan).unwrap();
+            estimates.push(est);
+        }
+        for est in &estimates[1..] {
+            // Bit-identical, not approximately equal.
+            assert_eq!(est, &estimates[0]);
+        }
+    }
+
+    #[test]
+    fn reduced_estimates_identical_across_thread_counts() {
+        // Compute–uncompute via the ancilla (qubit 2) so the ideal output
+        // leaves it clean — reduced fidelity needs a clean reference.
+        let mut c = Circuit::new(3);
+        c.push(qram_circuit::Gate::cx(Qubit(0), Qubit(2)));
+        c.push(qram_circuit::Gate::cx(Qubit(2), Qubit(1)));
+        c.push(qram_circuit::Gate::cx(Qubit(0), Qubit(2)));
+        let input = PathState::uniform_over(3, &[Qubit(0)]);
+        let keep = [Qubit(0), Qubit(1)];
+        let one = run_shots(
+            c.gates(),
+            &input,
+            Some(&keep),
+            &ShotConfig::serial(48),
+            &pseudo_random_plan,
+        )
+        .unwrap();
+        let four = run_shots(
+            c.gates(),
+            &input,
+            Some(&keep),
+            &ShotConfig::new(48).with_threads(4),
+            &pseudo_random_plan,
+        )
+        .unwrap();
+        assert_eq!(one, four);
+    }
+
+    #[test]
+    fn zero_shots_yields_empty_estimate() {
+        let (c, input) = test_circuit();
+        let est = run_shots(
+            c.gates(),
+            &input,
+            None,
+            &ShotConfig::new(0),
+            &pseudo_random_plan,
+        )
+        .unwrap();
+        assert_eq!(est.shots, 0);
+    }
+
+    #[test]
+    fn more_threads_than_shots_is_fine() {
+        let (c, input) = test_circuit();
+        let est = run_shots(
+            c.gates(),
+            &input,
+            None,
+            &ShotConfig::new(3).with_threads(16),
+            &pseudo_random_plan,
+        )
+        .unwrap();
+        assert_eq!(est.shots, 3);
+    }
+
+    #[test]
+    fn errors_propagate_from_worker_shards() {
+        let (c, input) = test_circuit();
+        // Fault on a qubit beyond the state: every noisy shot errors.
+        let bad_plan =
+            |_: u64| -> FaultPlan { [Fault::new(0, Qubit(40), Pauli::X)].into_iter().collect() };
+        let err = run_shots(
+            c.gates(),
+            &input,
+            None,
+            &ShotConfig::new(16).with_threads(4),
+            &bad_plan,
+        )
+        .unwrap_err();
+        assert!(matches!(err, SimError::QubitOutOfRange { .. }));
+    }
+
+    #[test]
+    fn serial_config_constructor() {
+        let config = ShotConfig::serial(10);
+        assert_eq!(config.threads, 1);
+        assert_eq!(config.resolved_threads(), 1);
+        assert_eq!(config.seed, ShotConfig::DEFAULT_SEED);
+    }
+}

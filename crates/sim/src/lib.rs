@@ -21,8 +21,10 @@
 //! * [`PathState`] — a sparse superposition `{BitString → Amplitude}`.
 //! * [`run`] / [`run_with_faults`] — circuit execution with optional
 //!   Pauli fault injection at arbitrary circuit locations.
-//! * [`monte_carlo_fidelity`] — the paper's shot harness: average
-//!   `|⟨ψ_ideal|ψ_shot⟩|²` over sampled fault patterns.
+//! * [`monte_carlo_fidelity`] / [`run_shots`] — the paper's shot harness:
+//!   average `|⟨ψ_ideal|ψ_shot⟩|²` over sampled fault patterns, executed
+//!   on a sharded parallel engine whose estimates are bit-identical for
+//!   any thread count ([`ShotConfig`]).
 //!
 //! # Example
 //!
@@ -46,14 +48,19 @@
 
 mod amplitude;
 mod bitstring;
+mod engine;
 mod executor;
 mod shots;
 mod state;
 
 pub use amplitude::Amplitude;
 pub use bitstring::BitString;
+pub use engine::{run_shots, ShotConfig};
 pub use executor::{run, run_with_faults, Fault, FaultPlan, Pauli};
-pub use shots::{monte_carlo_fidelity, monte_carlo_reduced_fidelity, FidelityEstimate};
+pub use shots::{
+    monte_carlo_fidelity, monte_carlo_fidelity_with, monte_carlo_reduced_fidelity,
+    monte_carlo_reduced_fidelity_with, FidelityEstimate,
+};
 pub use state::PathState;
 
 /// Errors produced by the path simulator.

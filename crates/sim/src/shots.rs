@@ -8,7 +8,7 @@
 
 use qram_circuit::Gate;
 
-use crate::{run_with_faults, FaultPlan, PathState, SimError};
+use crate::{run_shots, FaultPlan, PathState, ShotConfig, SimError};
 
 /// A Monte-Carlo fidelity estimate: mean over shots with a standard error.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -58,11 +58,15 @@ impl std::fmt::Display for FidelityEstimate {
 
 /// Estimates the query fidelity of `gates` on `input` under a noise process
 /// described by `sample_plan`, which is called once per shot with the shot
-/// index and must return that shot's fault pattern.
+/// index and must return that shot's fault pattern (a pure function of the
+/// index — samplers derive an independent RNG stream per shot).
 ///
 /// The ideal output is computed once (fault-free run); each shot replays
 /// the circuit under its sampled plan and contributes
-/// `|⟨ψ_ideal|ψ_shot⟩|²`.
+/// `|⟨ψ_ideal|ψ_shot⟩|²`. Shots run on the sharded parallel engine with
+/// automatic thread count; results are bit-identical for any thread count
+/// (see [`run_shots`]). Use [`monte_carlo_fidelity_with`] to control the
+/// shot/thread configuration explicitly.
 ///
 /// # Errors
 ///
@@ -86,9 +90,24 @@ pub fn monte_carlo_fidelity(
     gates: &[Gate],
     input: &PathState,
     shots: usize,
-    sample_plan: impl FnMut(usize) -> FaultPlan,
+    sample_plan: impl Fn(u64) -> FaultPlan + Sync,
 ) -> Result<FidelityEstimate, SimError> {
-    monte_carlo_fidelity_impl(gates, input, None, shots, sample_plan)
+    run_shots(gates, input, None, &ShotConfig::new(shots), &sample_plan)
+}
+
+/// Like [`monte_carlo_fidelity`], but with an explicit [`ShotConfig`]
+/// controlling shot count and worker threads.
+///
+/// # Errors
+///
+/// Propagates the first simulation error from the ideal run or any shot.
+pub fn monte_carlo_fidelity_with(
+    gates: &[Gate],
+    input: &PathState,
+    config: &ShotConfig,
+    sample_plan: impl Fn(u64) -> FaultPlan + Sync,
+) -> Result<FidelityEstimate, SimError> {
+    run_shots(gates, input, None, config, &sample_plan)
 }
 
 /// Like [`monte_carlo_fidelity`], but each shot's fidelity is computed on
@@ -104,37 +123,31 @@ pub fn monte_carlo_reduced_fidelity(
     input: &PathState,
     keep: &[qram_circuit::Qubit],
     shots: usize,
-    sample_plan: impl FnMut(usize) -> FaultPlan,
+    sample_plan: impl Fn(u64) -> FaultPlan + Sync,
 ) -> Result<FidelityEstimate, SimError> {
-    monte_carlo_fidelity_impl(gates, input, Some(keep), shots, sample_plan)
+    run_shots(
+        gates,
+        input,
+        Some(keep),
+        &ShotConfig::new(shots),
+        &sample_plan,
+    )
 }
 
-fn monte_carlo_fidelity_impl(
+/// Like [`monte_carlo_reduced_fidelity`], but with an explicit
+/// [`ShotConfig`] controlling shot count and worker threads.
+///
+/// # Errors
+///
+/// Propagates the first simulation error from the ideal run or any shot.
+pub fn monte_carlo_reduced_fidelity_with(
     gates: &[Gate],
     input: &PathState,
-    keep: Option<&[qram_circuit::Qubit]>,
-    shots: usize,
-    mut sample_plan: impl FnMut(usize) -> FaultPlan,
+    keep: &[qram_circuit::Qubit],
+    config: &ShotConfig,
+    sample_plan: impl Fn(u64) -> FaultPlan + Sync,
 ) -> Result<FidelityEstimate, SimError> {
-    let mut ideal = input.clone();
-    run_with_faults(gates, &mut ideal, &FaultPlan::new())?;
-
-    let mut samples = Vec::with_capacity(shots);
-    for shot in 0..shots {
-        let plan = sample_plan(shot);
-        if plan.is_empty() {
-            // Fault-free shot: fidelity is exactly 1; skip the replay.
-            samples.push(1.0);
-            continue;
-        }
-        let mut state = input.clone();
-        run_with_faults(gates, &mut state, &plan)?;
-        samples.push(match keep {
-            None => ideal.fidelity(&state),
-            Some(keep) => ideal.reduced_fidelity(&state, keep),
-        });
-    }
-    Ok(FidelityEstimate::from_samples(&samples))
+    run_shots(gates, input, Some(keep), config, &sample_plan)
 }
 
 #[cfg(test)]

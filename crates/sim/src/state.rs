@@ -28,7 +28,7 @@ const PRUNE_EPS: f64 = 1e-14;
 /// assert_eq!(state.num_paths(), 4);
 /// assert!((state.norm_sqr() - 1.0).abs() < 1e-12);
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct PathState {
     /// Unique basis states with their amplitudes. Uniqueness is an
     /// invariant: constructors deduplicate, and every mutation in the
@@ -376,6 +376,30 @@ impl PathState {
             }
         }
         value
+    }
+}
+
+impl Clone for PathState {
+    fn clone(&self) -> Self {
+        PathState {
+            paths: self.paths.clone(),
+            num_qubits: self.num_qubits,
+        }
+    }
+
+    /// Allocation-reusing overwrite: existing path slots and their bit-word
+    /// buffers are rewritten in place. This is the per-shot reset of the
+    /// Monte-Carlo shot engine, which would otherwise clone the input state
+    /// afresh for every shot.
+    fn clone_from(&mut self, source: &Self) {
+        self.num_qubits = source.num_qubits;
+        self.paths.truncate(source.paths.len());
+        for ((bits, amp), (src_bits, src_amp)) in self.paths.iter_mut().zip(&source.paths) {
+            bits.clone_from(src_bits);
+            *amp = *src_amp;
+        }
+        let have = self.paths.len();
+        self.paths.extend(source.paths[have..].iter().cloned());
     }
 }
 

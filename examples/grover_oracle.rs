@@ -16,8 +16,6 @@
 use qram::core::{BucketBrigadeQram, Memory, QueryArchitecture, SelectSwapQram, VirtualQram};
 use qram::noise::{FaultSampler, NoiseModel, PauliChannel, BASE_ERROR_RATE};
 use qram::sim::{monte_carlo_reduced_fidelity, run};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 fn main() {
     // A 64-item database with 3 marked items (the Grover targets).
@@ -59,13 +57,13 @@ fn main() {
 
         // How reliable is the oracle on 10⁻³-error hardware?
         let model = NoiseModel::per_gate(PauliChannel::depolarizing(BASE_ERROR_RATE));
-        let mut sampler = FaultSampler::new(query.circuit(), model, StdRng::seed_from_u64(42));
+        let sampler = FaultSampler::new(query.circuit(), model, 42);
         let est = monte_carlo_reduced_fidelity(
             query.circuit().gates(),
             &input,
             &query.output_qubits(),
             200,
-            |_| sampler.sample(),
+            |shot| sampler.sample_shot(shot),
         )
         .expect("simulable");
 

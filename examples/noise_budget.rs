@@ -34,9 +34,11 @@ fn main() {
     let mut budget_for_098 = None;
     for er in ErrorReductionFactor::sweep(0, 3, 1) {
         let model = NoiseModel::per_gate(PauliChannel::phase_flip(BASE_ERROR_RATE)).reduced_by(er);
-        let mut sampler = FaultSampler::new(query.circuit(), model, StdRng::seed_from_u64(5));
-        let est = monte_carlo_fidelity(query.circuit().gates(), &input, 400, |_| sampler.sample())
-            .expect("simulable");
+        let sampler = FaultSampler::new(query.circuit(), model, 5);
+        let est = monte_carlo_fidelity(query.circuit().gates(), &input, 400, |shot| {
+            sampler.sample_shot(shot)
+        })
+        .expect("simulable");
         let bound = virtual_z_fidelity_bound(er.error_rate(), m, k);
         println!(
             "{:>8} {:>10.1e} {:>10.4} {:>10.4}",

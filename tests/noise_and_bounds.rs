@@ -22,9 +22,11 @@ fn z_fidelity_respects_eq3_bound() {
         let query = VirtualQram::new(0, m).build(&mem);
         let input = query.input_state(None);
         let model = NoiseModel::per_qubit_once(PauliChannel::phase_flip(eps));
-        let mut sampler = FaultSampler::new(query.circuit(), model, StdRng::seed_from_u64(77));
-        let est = monte_carlo_fidelity(query.circuit().gates(), &input, 600, |_| sampler.sample())
-            .unwrap();
+        let sampler = FaultSampler::new(query.circuit(), model, 77);
+        let est = monte_carlo_fidelity(query.circuit().gates(), &input, 600, |shot| {
+            sampler.sample_shot(shot)
+        })
+        .unwrap();
         let bound = z_fidelity_bound(eps, m);
         assert!(
             est.mean >= bound - 3.0 * est.std_error,
@@ -43,9 +45,11 @@ fn virtual_z_bound_holds_across_shapes() {
         let query = VirtualQram::new(k, m).build(&mem);
         let input = query.input_state(None);
         let model = NoiseModel::per_qubit_once(PauliChannel::phase_flip(eps));
-        let mut sampler = FaultSampler::new(query.circuit(), model, StdRng::seed_from_u64(78));
-        let est = monte_carlo_fidelity(query.circuit().gates(), &input, 600, |_| sampler.sample())
-            .unwrap();
+        let sampler = FaultSampler::new(query.circuit(), model, 78);
+        let est = monte_carlo_fidelity(query.circuit().gates(), &input, 600, |shot| {
+            sampler.sample_shot(shot)
+        })
+        .unwrap();
         let bound = virtual_z_fidelity_bound(eps, m, k);
         assert!(
             est.mean >= bound - 3.0 * est.std_error,
@@ -166,10 +170,12 @@ fn phase_noise_beats_bit_noise_at_equal_strength() {
         .enumerate()
     {
         let model = NoiseModel::per_gate(channel);
-        let mut sampler = FaultSampler::new(query.circuit(), model, StdRng::seed_from_u64(123));
-        fid[i] = monte_carlo_fidelity(query.circuit().gates(), &input, 400, |_| sampler.sample())
-            .unwrap()
-            .mean;
+        let sampler = FaultSampler::new(query.circuit(), model, 123);
+        fid[i] = monte_carlo_fidelity(query.circuit().gates(), &input, 400, |shot| {
+            sampler.sample_shot(shot)
+        })
+        .unwrap()
+        .mean;
     }
     assert!(
         fid[0] > fid[1] + 0.02,
@@ -190,9 +196,11 @@ fn fidelity_is_monotone_in_error_reduction() {
     let mut last = 0.0;
     for er in [1.0, 10.0, 100.0] {
         let model = base.reduced_by(ErrorReductionFactor(er));
-        let mut sampler = FaultSampler::new(query.circuit(), model, StdRng::seed_from_u64(321));
-        let est = monte_carlo_fidelity(query.circuit().gates(), &input, 500, |_| sampler.sample())
-            .unwrap();
+        let sampler = FaultSampler::new(query.circuit(), model, 321);
+        let est = monte_carlo_fidelity(query.circuit().gates(), &input, 500, |shot| {
+            sampler.sample_shot(shot)
+        })
+        .unwrap();
         assert!(
             est.mean >= last - 0.02,
             "fidelity not monotone: {} after {last} at εr={er}",
