@@ -8,15 +8,28 @@
 //! iterations to fill a short measurement window, and the mean time per
 //! iteration is printed.
 //!
-//! Statistical analysis, plots and regression detection are out of
-//! scope; the numbers are indicative, and the primary value is that
-//! `cargo bench` compiles and exercises every hot path.
+//! Beyond the console report, every benchmark writes a machine-readable
+//! result to `<target>/bench/<sanitized-name>.json` (fields `name`,
+//! `mean_ns`, `iters`), where `<target>` is `$CARGO_TARGET_DIR` or the
+//! `target/` directory next to the enclosing workspace's `Cargo.lock`.
+//! Baselines mirror upstream's flags:
+//!
+//! * `--save-baseline <name>` additionally copies each result to
+//!   `<target>/bench/baselines/<name>/`;
+//! * `--baseline <name>` compares each run against that saved baseline
+//!   and prints the % delta next to the mean.
+//!
+//! Other harness flags (e.g. the `--bench` cargo passes) are ignored.
+//! Statistical analysis, plots and automatic regression *detection* stay
+//! out of scope — regression gating is done by consumers of the JSON
+//! (see `qram-bench`'s `bench_report` binary).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::fmt::Display;
 use std::hint::black_box as std_black_box;
+use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
 /// Prevents the compiler from optimizing a benchmarked value away.
@@ -29,17 +42,48 @@ const WARM_UP: Duration = Duration::from_millis(50);
 /// Target measurement window per benchmark.
 const MEASURE: Duration = Duration::from_millis(200);
 
+/// Baseline-related options parsed from the harness command line.
+#[derive(Debug, Default, Clone)]
+struct Config {
+    save_baseline: Option<String>,
+    baseline: Option<String>,
+}
+
+impl Config {
+    /// Parses `--save-baseline <name>` / `--baseline <name>`, ignoring
+    /// every other flag (cargo passes e.g. `--bench`).
+    fn from_args(mut args: impl Iterator<Item = String>) -> Config {
+        let mut config = Config::default();
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--save-baseline" => config.save_baseline = args.next(),
+                "--baseline" => config.baseline = args.next(),
+                _ => {}
+            }
+        }
+        config
+    }
+}
+
 /// The benchmark harness entry point.
 #[derive(Debug, Default)]
 pub struct Criterion {
-    _private: (),
+    config: Config,
 }
 
 impl Criterion {
+    /// A harness configured from the process command line
+    /// (`--save-baseline` / `--baseline`; unknown flags ignored).
+    pub fn from_process_args() -> Criterion {
+        Criterion {
+            config: Config::from_args(std::env::args().skip(1)),
+        }
+    }
+
     /// Starts a named group of related benchmarks.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
         BenchmarkGroup {
-            _parent: self,
+            parent: self,
             name: name.into(),
         }
     }
@@ -49,14 +93,14 @@ impl Criterion {
     where
         F: FnMut(&mut Bencher),
     {
-        run_one(&id.to_string(), &mut f);
+        run_one(&id.to_string(), &mut f, &self.config);
         self
     }
 }
 
 /// A named collection of benchmarks sharing a prefix.
 pub struct BenchmarkGroup<'a> {
-    _parent: &'a mut Criterion,
+    parent: &'a mut Criterion,
     name: String,
 }
 
@@ -66,7 +110,8 @@ impl BenchmarkGroup<'_> {
     where
         F: FnMut(&mut Bencher),
     {
-        run_one(&format!("{}/{}", self.name, id), &mut f);
+        let label = format!("{}/{}", self.name, id);
+        run_one(&label, &mut f, &self.parent.config);
         self
     }
 
@@ -77,7 +122,7 @@ impl BenchmarkGroup<'_> {
     {
         let label = format!("{}/{}", self.name, id);
         let mut g = |b: &mut Bencher| f(b, input);
-        run_one(&label, &mut g);
+        run_one(&label, &mut g, &self.parent.config);
         self
     }
 
@@ -139,7 +184,108 @@ impl Bencher {
     }
 }
 
-fn run_one<F: FnMut(&mut Bencher)>(label: &str, f: &mut F) {
+/// One benchmark's measured result.
+#[derive(Debug, Clone, PartialEq)]
+struct Measurement {
+    name: String,
+    mean_ns: f64,
+    iters: u64,
+}
+
+impl Measurement {
+    /// The machine-readable form written to `<target>/bench/`.
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"name\":\"{}\",\"mean_ns\":{:.3},\"iters\":{}}}\n",
+            self.name.replace('\\', "\\\\").replace('"', "\\\""),
+            self.mean_ns,
+            self.iters
+        )
+    }
+}
+
+/// Makes a benchmark label safe as a file stem.
+fn sanitize(label: &str) -> String {
+    label
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '-' || c == '_' || c == '.' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+/// The JSON output directory: `<target>/bench`, where `<target>` is
+/// `$CARGO_TARGET_DIR` or the `target/` next to the enclosing workspace's
+/// `Cargo.lock` (cargo runs bench binaries from the package directory,
+/// which for workspace members is *not* where `target/` lives).
+fn bench_output_dir() -> Option<PathBuf> {
+    let target = if let Ok(dir) = std::env::var("CARGO_TARGET_DIR") {
+        PathBuf::from(dir)
+    } else {
+        let mut dir = std::env::current_dir().ok()?;
+        loop {
+            if dir.join("Cargo.lock").exists() {
+                break dir.join("target");
+            }
+            if !dir.pop() {
+                return None;
+            }
+        }
+    };
+    Some(target.join("bench"))
+}
+
+/// Extracts the `mean_ns` field from a result JSON written by
+/// [`Measurement::to_json`] (no full JSON parser needed for the stub's
+/// own fixed format).
+fn parse_mean_ns(json: &str) -> Option<f64> {
+    let key = "\"mean_ns\":";
+    let start = json.find(key)? + key.len();
+    let rest = &json[start..];
+    let end = rest
+        .find(|c: char| {
+            c != '-' && c != '+' && c != '.' && c != 'e' && c != 'E' && !c.is_ascii_digit()
+        })
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Persists a measurement and returns the baseline delta report, if any.
+/// All IO is best-effort: a benchmark never fails because a JSON file
+/// could not be written.
+fn record(measurement: &Measurement, config: &Config) -> Option<String> {
+    let dir = bench_output_dir()?;
+    let file = format!("{}.json", sanitize(&measurement.name));
+    let json = measurement.to_json();
+    if std::fs::create_dir_all(&dir).is_ok() {
+        let _ = std::fs::write(dir.join(&file), &json);
+    }
+    if let Some(name) = &config.save_baseline {
+        let base_dir = dir.join("baselines").join(sanitize(name));
+        if std::fs::create_dir_all(&base_dir).is_ok() {
+            let _ = std::fs::write(base_dir.join(&file), &json);
+        }
+    }
+    let baseline = config.baseline.as_ref()?;
+    let path = dir.join("baselines").join(sanitize(baseline)).join(&file);
+    match std::fs::read_to_string(&path)
+        .ok()
+        .as_deref()
+        .and_then(parse_mean_ns)
+    {
+        Some(base_ns) if base_ns > 0.0 => {
+            let delta = (measurement.mean_ns - base_ns) / base_ns * 100.0;
+            Some(format!("{delta:+7.1}% vs '{baseline}'"))
+        }
+        _ => Some(format!("no baseline '{baseline}'")),
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(label: &str, f: &mut F, config: &Config) {
     // Warm-up: also calibrates how many iterations fill the window.
     let mut b = Bencher {
         iterations: 1,
@@ -160,7 +306,24 @@ fn run_one<F: FnMut(&mut Bencher)>(label: &str, f: &mut F) {
     };
     f(&mut b);
     let mean_ns = b.elapsed.as_secs_f64() * 1e9 / iterations as f64;
-    println!("{label:<50} {mean_ns:>12.1} ns/iter  ({iterations} iters)");
+    let measurement = Measurement {
+        name: label.to_string(),
+        mean_ns,
+        iters: iterations,
+    };
+    // Unit tests of the stub itself skip IO so `cargo test` leaves no
+    // stray result files behind.
+    let delta = if cfg!(test) {
+        None
+    } else {
+        record(&measurement, config)
+    };
+    match delta {
+        Some(delta) => {
+            println!("{label:<50} {mean_ns:>12.1} ns/iter  ({iterations} iters)  {delta}")
+        }
+        None => println!("{label:<50} {mean_ns:>12.1} ns/iter  ({iterations} iters)"),
+    }
 }
 
 /// Bundles benchmark functions into a group runner, mirroring upstream.
@@ -168,7 +331,7 @@ fn run_one<F: FnMut(&mut Bencher)>(label: &str, f: &mut F) {
 macro_rules! criterion_group {
     ($group:ident, $($target:path),+ $(,)?) => {
         fn $group() {
-            let mut criterion = $crate::Criterion::default();
+            let mut criterion = $crate::Criterion::from_process_args();
             $($target(&mut criterion);)+
         }
     };
@@ -179,8 +342,6 @@ macro_rules! criterion_group {
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
-            // `cargo bench` passes harness flags (e.g. `--bench`); the
-            // stub has no filtering so they are intentionally ignored.
             $($group();)+
         }
     };
@@ -212,5 +373,41 @@ mod tests {
     fn benchmark_id_formats() {
         assert_eq!(BenchmarkId::new("f", 7).to_string(), "f/7");
         assert_eq!(BenchmarkId::from_parameter(7).to_string(), "7");
+    }
+
+    #[test]
+    fn config_parses_baseline_flags_and_ignores_noise() {
+        let args = ["--bench", "--save-baseline", "main", "--baseline", "prev"];
+        let config = Config::from_args(args.iter().map(|s| s.to_string()));
+        assert_eq!(config.save_baseline.as_deref(), Some("main"));
+        assert_eq!(config.baseline.as_deref(), Some("prev"));
+
+        let none = Config::from_args(["--bench"].iter().map(|s| s.to_string()));
+        assert!(none.save_baseline.is_none() && none.baseline.is_none());
+    }
+
+    #[test]
+    fn sanitize_keeps_path_chars_out() {
+        assert_eq!(sanitize("group/bench m=4"), "group_bench_m_4");
+        assert_eq!(sanitize("simple-name_1.2"), "simple-name_1.2");
+    }
+
+    #[test]
+    fn measurement_json_roundtrips_mean() {
+        let m = Measurement {
+            name: "shot_engine/serial".into(),
+            mean_ns: 1234.5,
+            iters: 42,
+        };
+        let json = m.to_json();
+        assert!(json.contains("\"name\":\"shot_engine/serial\""));
+        assert!(json.contains("\"iters\":42"));
+        assert_eq!(parse_mean_ns(&json), Some(1234.5));
+    }
+
+    #[test]
+    fn parse_mean_handles_scientific_and_missing() {
+        assert_eq!(parse_mean_ns("{\"mean_ns\":1.5e3}"), Some(1500.0));
+        assert_eq!(parse_mean_ns("{\"iters\":3}"), None);
     }
 }
