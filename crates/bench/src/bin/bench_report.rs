@@ -17,24 +17,44 @@
 //! * `--check` — exit non-zero if the shot-engine serial/sharded speedup
 //!   regressed more than the baseline's tolerance. Skips gracefully when
 //!   there is no baseline, no shot-engine result, or only one core.
+//! * `--abs-baseline NAME` — also compare every bench's absolute mean
+//!   against the `--save-baseline NAME` snapshot under
+//!   `<target>/bench/baselines/NAME` (default name `ci`). Regressions
+//!   beyond `--abs-tolerance` (default 0.5 = +50%) are warnings, or gate
+//!   failures under `--check`. Skips gracefully when no snapshot exists —
+//!   locally that makes the comparison warn-only/opt-in, while CI caches
+//!   a per-runner snapshot and passes `--check`.
+//! * `--refresh-abs-baseline` — after the comparison, rewrite the
+//!   `--abs-baseline` snapshot as the *min-ratchet* merge of the current
+//!   results and the stored snapshot (per bench, the faster mean wins).
+//!   A plain copy-forward would let gradual regressions — each within
+//!   tolerance — walk the baseline upward run over run; the ratchet pins
+//!   the best mean observed until the snapshot is deleted.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 use qram_bench::report::{
-    apply_gate, bench_results_dir, find_repo_root, load_records, parse_baseline,
-    shot_engine_summary, summary_json, GateOutcome,
+    apply_gate, baseline_snapshot_dir, bench_results_dir, compare_against_baseline, find_repo_root,
+    load_records, merge_baseline_records, parse_baseline, shot_engine_summary, summary_json,
+    write_baseline_snapshot, GateOutcome,
 };
 
 struct Args {
     out: Option<PathBuf>,
     baseline_file: Option<PathBuf>,
+    abs_baseline: String,
+    abs_tolerance: f64,
+    refresh_abs_baseline: bool,
     check: bool,
 }
 
 fn parse_args() -> Args {
     let mut out = None;
     let mut baseline_file = None;
+    let mut abs_baseline = String::from("ci");
+    let mut abs_tolerance = 0.5;
+    let mut refresh_abs_baseline = false;
     let mut check = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -45,17 +65,71 @@ fn parse_args() -> Args {
                     args.next().expect("--baseline-file requires a path"),
                 ))
             }
+            "--abs-baseline" => abs_baseline = args.next().expect("--abs-baseline requires a name"),
+            "--abs-tolerance" => {
+                abs_tolerance = args
+                    .next()
+                    .expect("--abs-tolerance requires a value")
+                    .parse()
+                    .expect("--abs-tolerance expects a number")
+            }
+            "--refresh-abs-baseline" => refresh_abs_baseline = true,
             "--check" => check = true,
             other => panic!(
-                "unknown flag `{other}` (expected --out FILE, --baseline-file FILE, --check)"
+                "unknown flag `{other}` (expected --out FILE, --baseline-file FILE, \
+                 --abs-baseline NAME, --abs-tolerance X, --refresh-abs-baseline, --check)"
             ),
         }
     }
     Args {
         out,
         baseline_file,
+        abs_baseline,
+        abs_tolerance,
+        refresh_abs_baseline,
         check,
     }
+}
+
+/// Applies the per-bench absolute regression comparison against the
+/// `--save-baseline` snapshot. Returns whether the gate (under `--check`)
+/// should fail.
+fn apply_abs_comparison(records: &[qram_bench::report::BenchRecord], args: &Args) -> bool {
+    let snapshot = baseline_snapshot_dir(&args.abs_baseline);
+    let baseline_records = match &snapshot {
+        Some(dir) if dir.is_dir() => load_records(dir),
+        _ => Vec::new(),
+    };
+    if baseline_records.is_empty() {
+        println!(
+            "bench_report: absolute comparison SKIPPED — no `{}` snapshot (run \
+             `cargo bench -p qram-bench -- --save-baseline {}` to create one)",
+            args.abs_baseline, args.abs_baseline
+        );
+        return false;
+    }
+    let regressions = compare_against_baseline(records, &baseline_records, args.abs_tolerance);
+    if regressions.is_empty() {
+        println!(
+            "bench_report: absolute comparison vs '{}' — {} benches within +{:.0}%",
+            args.abs_baseline,
+            baseline_records.len(),
+            args.abs_tolerance * 100.0
+        );
+        return false;
+    }
+    for r in &regressions {
+        eprintln!(
+            "bench_report: {} `{}` regressed {:.2}x ({:.0} ns -> {:.0} ns, tolerance +{:.0}%)",
+            if args.check { "FAIL" } else { "warning:" },
+            r.name,
+            r.ratio,
+            r.baseline_ns,
+            r.current_ns,
+            args.abs_tolerance * 100.0
+        );
+    }
+    args.check
 }
 
 fn main() -> ExitCode {
@@ -81,7 +155,7 @@ fn main() -> ExitCode {
     let shot_engine = shot_engine_summary(&records);
     let summary = summary_json(&records, shot_engine.as_ref(), threads);
 
-    let out_path = args.out.unwrap_or_else(|| {
+    let out_path = args.out.clone().unwrap_or_else(|| {
         repo_root
             .clone()
             .unwrap_or_else(|| PathBuf::from("."))
@@ -103,11 +177,42 @@ fn main() -> ExitCode {
         );
     }
 
+    let abs_failed = apply_abs_comparison(&records, &args);
+
+    // Refresh runs regardless of gate outcome: the min-ratchet merge
+    // never adopts a slower mean, so a regressing run cannot poison the
+    // stored snapshot.
+    if args.refresh_abs_baseline {
+        let Some(dir) = baseline_snapshot_dir(&args.abs_baseline) else {
+            eprintln!("bench_report: could not locate the baseline snapshot directory");
+            return ExitCode::from(2);
+        };
+        let stored = if dir.is_dir() {
+            load_records(&dir)
+        } else {
+            Vec::new()
+        };
+        let merged = merge_baseline_records(&records, &stored);
+        if let Err(e) = write_baseline_snapshot(&dir, &merged) {
+            eprintln!("bench_report: cannot refresh {}: {e}", dir.display());
+            return ExitCode::from(2);
+        }
+        println!(
+            "bench_report: absolute baseline '{}' refreshed ({} benches, min-ratchet)",
+            args.abs_baseline,
+            merged.len()
+        );
+    }
+
     if !args.check {
         return ExitCode::SUCCESS;
     }
+    if abs_failed {
+        eprintln!("bench_report: gate FAIL — absolute per-bench regression(s) above");
+        return ExitCode::FAILURE;
+    }
 
-    let baseline_path = args.baseline_file.unwrap_or_else(|| {
+    let baseline_path = args.baseline_file.clone().unwrap_or_else(|| {
         repo_root
             .unwrap_or_else(|| PathBuf::from("."))
             .join(".github")

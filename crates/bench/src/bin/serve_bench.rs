@@ -1,0 +1,222 @@
+//! `serve_bench` — drives the `qram-service` query-serving subsystem
+//! with a generated workload and reports throughput and latency
+//! percentiles into the repo's `BENCH_*.json` pipeline.
+//!
+//! ```text
+//! cargo run --release -p qram-bench --bin serve_bench -- \
+//!     --workload zipfian --requests 1000 --shots 8 --seed 7 --threads 2
+//! ```
+//!
+//! Flags (shared flags match the other experiment binaries):
+//!
+//! * `--full` — paper-scale run (larger memory and request count);
+//! * `--shots N` — Monte-Carlo shots per request (0 = noiseless serving);
+//! * `--seed N` — service master seed (per-request streams derive from it);
+//! * `--threads N` — executor workers (`0` = all cores). A pure
+//!   throughput knob: results are bit-identical for any value;
+//! * `--workload NAME` — `uniform`, `zipfian` (default), `scan`, `grover`;
+//! * `--requests N` — requests to serve (default 256, `--full` 1024);
+//! * `--width N` — memory address width `n` (default 4, `--full` 6);
+//! * `--theta X` — zipf exponent (default 0.99);
+//! * `--batch N` — scheduler batch limit (default 32);
+//! * `--out FILE` — summary path (default `<repo root>/BENCH_SERVE.json`).
+//!
+//! The summary records the workload, cache hit/miss/eviction counters,
+//! overall throughput (requests/s) and the p50/p90/p99/max per-request
+//! latencies (a request's latency is its batch's execution time).
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use qram_bench::report::{find_repo_root, percentile};
+use qram_bench::{experiment_memory, print_row};
+use qram_core::{DataEncoding, Optimizations};
+use qram_service::{assign_specs, QramService, QuerySpec, ServiceConfig, Workload};
+
+struct Args {
+    full: bool,
+    shots: Option<usize>,
+    seed: u64,
+    threads: usize,
+    workload: String,
+    requests: Option<usize>,
+    width: Option<usize>,
+    theta: f64,
+    batch: usize,
+    out: Option<PathBuf>,
+}
+
+fn parse_args() -> Args {
+    let mut parsed = Args {
+        full: false,
+        shots: None,
+        seed: 2023,
+        threads: 0,
+        workload: "zipfian".into(),
+        requests: None,
+        width: None,
+        theta: 0.99,
+        batch: 32,
+        out: None,
+    };
+    let mut args = std::env::args().skip(1);
+    let value = |flag: &str, args: &mut dyn Iterator<Item = String>| {
+        args.next()
+            .unwrap_or_else(|| panic!("{flag} requires a value"))
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--full" => parsed.full = true,
+            "--shots" => parsed.shots = Some(value("--shots", &mut args).parse().expect("--shots")),
+            "--seed" => parsed.seed = value("--seed", &mut args).parse().expect("--seed"),
+            "--threads" => {
+                parsed.threads = value("--threads", &mut args).parse().expect("--threads")
+            }
+            "--workload" => parsed.workload = value("--workload", &mut args),
+            "--requests" => {
+                parsed.requests = Some(value("--requests", &mut args).parse().expect("--requests"))
+            }
+            "--width" => parsed.width = Some(value("--width", &mut args).parse().expect("--width")),
+            "--theta" => parsed.theta = value("--theta", &mut args).parse().expect("--theta"),
+            "--batch" => parsed.batch = value("--batch", &mut args).parse().expect("--batch"),
+            "--out" => parsed.out = Some(PathBuf::from(value("--out", &mut args))),
+            other => panic!(
+                "unknown flag `{other}` (expected --full, --shots N, --seed N, --threads N, \
+                 --workload NAME, --requests N, --width N, --theta X, --batch N, --out FILE)"
+            ),
+        }
+    }
+    parsed
+}
+
+/// The hot circuit shapes the workload cycles over: a realistic
+/// deployment serves a handful of compiled configurations.
+fn hot_specs(n: usize) -> Vec<QuerySpec> {
+    let mut specs = vec![QuerySpec::new(1, n - 1)];
+    if n >= 3 {
+        specs.push(QuerySpec::new(2, n - 2));
+        specs.push(QuerySpec::new(1, n - 1).with_encoding(DataEncoding::FusedBit));
+        specs.push(QuerySpec::new(2, n - 2).with_optimizations(Optimizations::OPT2));
+    }
+    specs
+}
+
+fn build_workload(args: &Args, n: usize) -> Workload {
+    match args.workload.as_str() {
+        "uniform" => Workload::Uniform {
+            address_width: n,
+            seed: args.seed,
+        },
+        "zipfian" => Workload::Zipfian {
+            address_width: n,
+            theta: args.theta,
+            seed: args.seed,
+        },
+        "scan" => Workload::SequentialScan { address_width: n },
+        "grover" => Workload::GroverTrace {
+            address_width: n,
+            target: (1 << n) / 2,
+        },
+        other => panic!("unknown workload `{other}` (expected uniform, zipfian, scan, grover)"),
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let n = args.width.unwrap_or(if args.full { 6 } else { 4 });
+    let requests = args.requests.unwrap_or(if args.full { 1024 } else { 256 });
+    let shots = args.shots.unwrap_or(if args.full { 32 } else { 8 });
+
+    let memory = experiment_memory(n, args.seed);
+    let workload = build_workload(&args, n);
+    let specs = hot_specs(n);
+    let config = ServiceConfig::default()
+        .with_workers(args.threads)
+        .with_shots(shots)
+        .with_seed(args.seed)
+        .with_batch_limit(args.batch);
+    let mut service = QramService::new(memory, config);
+    service.submit_all(assign_specs(&workload, &specs, requests));
+
+    let start = Instant::now();
+    let report = service.drain();
+    let elapsed = start.elapsed();
+
+    // A request's latency is its batch's execution time.
+    let latencies_ns: Vec<f64> = report
+        .batches
+        .iter()
+        .flat_map(|b| std::iter::repeat_n(b.duration.as_nanos() as f64, b.requests))
+        .collect();
+    let throughput = report.results.len() as f64 / elapsed.as_secs_f64().max(1e-9);
+    let mean_fidelity = if report.results.is_empty() {
+        0.0
+    } else {
+        report.results.iter().map(|r| r.fidelity.mean).sum::<f64>() / report.results.len() as f64
+    };
+    let (p50, p90, p99) = (
+        percentile(&latencies_ns, 50.0),
+        percentile(&latencies_ns, 90.0),
+        percentile(&latencies_ns, 99.0),
+    );
+    let max_ns = latencies_ns.iter().copied().fold(0.0f64, f64::max);
+
+    println!(
+        "# serve_bench: {} x {} over n={n} ({} hot specs, batch <= {}, {} shots, {} workers)",
+        report.results.len(),
+        workload.name(),
+        specs.len(),
+        args.batch,
+        shots,
+        report.workers,
+    );
+    print_row(&["metric", "value"].map(String::from));
+    print_row(&["requests".into(), report.results.len().to_string()]);
+    print_row(&["batches".into(), report.batches.len().to_string()]);
+    print_row(&["throughput_rps".into(), format!("{throughput:.1}")]);
+    print_row(&["latency_p50_us".into(), format!("{:.1}", p50 / 1e3)]);
+    print_row(&["latency_p90_us".into(), format!("{:.1}", p90 / 1e3)]);
+    print_row(&["latency_p99_us".into(), format!("{:.1}", p99 / 1e3)]);
+    print_row(&["cache_hits".into(), report.cache.hits.to_string()]);
+    print_row(&["cache_misses".into(), report.cache.misses.to_string()]);
+    print_row(&["cache_evictions".into(), report.cache.evictions.to_string()]);
+    print_row(&[
+        "cache_hit_rate".into(),
+        format!("{:.3}", report.cache.hit_rate()),
+    ]);
+    print_row(&["mean_fidelity".into(), format!("{mean_fidelity:.4}")]);
+
+    let out_path = args.out.unwrap_or_else(|| {
+        std::env::current_dir()
+            .ok()
+            .and_then(|d| find_repo_root(&d))
+            .unwrap_or_else(|| PathBuf::from("."))
+            .join("BENCH_SERVE.json")
+    });
+    let json = format!(
+        "{{\n  \"schema\": \"qram-bench/serve-summary/v1\",\n  \"workload\": \"{}\",\n  \
+         \"address_width\": {n},\n  \"requests\": {},\n  \"batches\": {},\n  \"specs\": {},\n  \
+         \"shots\": {shots},\n  \"seed\": {},\n  \"workers\": {},\n  \
+         \"throughput_rps\": {throughput:.1},\n  \"latency_ns\": {{\"p50\": {p50:.0}, \
+         \"p90\": {p90:.0}, \"p99\": {p99:.0}, \"max\": {max_ns:.0}}},\n  \
+         \"cache\": {{\"hits\": {}, \"misses\": {}, \"evictions\": {}, \"hit_rate\": {:.4}}},\n  \
+         \"mean_fidelity\": {mean_fidelity:.6}\n}}\n",
+        workload.name(),
+        report.results.len(),
+        report.batches.len(),
+        specs.len(),
+        args.seed,
+        report.workers,
+        report.cache.hits,
+        report.cache.misses,
+        report.cache.evictions,
+        report.cache.hit_rate(),
+    );
+    match std::fs::write(&out_path, &json) {
+        Ok(()) => println!("# summary written to {}", out_path.display()),
+        Err(e) => {
+            eprintln!("serve_bench: cannot write {}: {e}", out_path.display());
+            std::process::exit(2);
+        }
+    }
+}

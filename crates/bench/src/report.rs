@@ -163,6 +163,144 @@ pub fn summary_json(
     out
 }
 
+/// The `q`-th percentile (`0 ≤ q ≤ 100`) of `values`, by nearest rank on
+/// a sorted copy; 0 for empty input. Used for the serving-latency
+/// percentiles of `serve_bench`.
+pub fn percentile(values: &[f64], q: f64) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| {
+        a.partial_cmp(b)
+            .expect("percentile input must not contain NaN")
+    });
+    let rank = ((q / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// One benchmark whose mean regressed against a saved baseline snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AbsRegression {
+    /// Benchmark label.
+    pub name: String,
+    /// Current mean ns/iter.
+    pub current_ns: f64,
+    /// Baseline mean ns/iter.
+    pub baseline_ns: f64,
+    /// `current_ns / baseline_ns` (always above `1 + tolerance`).
+    pub ratio: f64,
+}
+
+/// Compares `current` records against a `--save-baseline` snapshot and
+/// returns every bench whose mean regressed beyond `tolerance`
+/// (`current > baseline · (1 + tolerance)`), sorted worst first.
+///
+/// Benches present on only one side are ignored — added or removed
+/// benchmarks are not regressions. Unlike the ratio gate of
+/// [`apply_gate`], this comparison is *absolute* (ns vs ns), so it is
+/// only meaningful against a snapshot taken on comparable hardware —
+/// which is exactly what CI's cached per-runner baselines are.
+pub fn compare_against_baseline(
+    current: &[BenchRecord],
+    baseline: &[BenchRecord],
+    tolerance: f64,
+) -> Vec<AbsRegression> {
+    let mut regressions: Vec<AbsRegression> = current
+        .iter()
+        .filter_map(|record| {
+            let base = baseline
+                .iter()
+                .find(|b| b.name == record.name)
+                .filter(|b| b.mean_ns > 0.0)?;
+            let ratio = record.mean_ns / base.mean_ns;
+            (ratio > 1.0 + tolerance).then(|| AbsRegression {
+                name: record.name.clone(),
+                current_ns: record.mean_ns,
+                baseline_ns: base.mean_ns,
+                ratio,
+            })
+        })
+        .collect();
+    regressions.sort_by(|a, b| b.ratio.partial_cmp(&a.ratio).expect("finite ratios"));
+    regressions
+}
+
+/// The directory the criterion stub saves `--save-baseline` snapshots
+/// under: `<results dir>/baselines/<name>`.
+pub fn baseline_snapshot_dir(name: &str) -> Option<PathBuf> {
+    Some(bench_results_dir()?.join("baselines").join(name))
+}
+
+/// Min-ratchet merge for refreshing an absolute baseline: per bench,
+/// keep the *faster* of the current mean and the stored baseline mean.
+/// A plain copy-forward would let gradual regressions — each within
+/// tolerance — walk the baseline upward run over run and never trip the
+/// gate; ratcheting on the minimum pins the best mean ever observed.
+/// Benches absent from `current` are dropped (removed benchmarks are
+/// not regressions); new benches enter at their measured mean.
+pub fn merge_baseline_records(
+    current: &[BenchRecord],
+    baseline: &[BenchRecord],
+) -> Vec<BenchRecord> {
+    current
+        .iter()
+        .map(|record| {
+            match baseline
+                .iter()
+                .find(|b| b.name == record.name)
+                .filter(|b| b.mean_ns > 0.0 && b.mean_ns < record.mean_ns)
+            {
+                Some(faster) => BenchRecord {
+                    name: record.name.clone(),
+                    mean_ns: faster.mean_ns,
+                    iters: faster.iters,
+                },
+                None => record.clone(),
+            }
+        })
+        .collect()
+}
+
+/// Makes a benchmark label safe as a file stem (mirrors the criterion
+/// stub's result-file naming, so refreshed snapshots overwrite the
+/// stub's own `--save-baseline` files).
+fn sanitize_label(label: &str) -> String {
+    label
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '-' || c == '_' || c == '.' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+/// Replaces the snapshot at `dir` with `records`, one result file per
+/// bench in the criterion stub's format (readable by [`load_records`]).
+///
+/// # Errors
+///
+/// Propagates the first filesystem error.
+pub fn write_baseline_snapshot(dir: &Path, records: &[BenchRecord]) -> std::io::Result<()> {
+    if dir.exists() {
+        std::fs::remove_dir_all(dir)?;
+    }
+    std::fs::create_dir_all(dir)?;
+    for r in records {
+        let json = format!(
+            "{{\"name\":\"{}\",\"mean_ns\":{:.3},\"iters\":{}}}\n",
+            r.name.replace('\\', "\\\\").replace('"', "\\\""),
+            r.mean_ns,
+            r.iters
+        );
+        std::fs::write(dir.join(format!("{}.json", sanitize_label(&r.name))), json)?;
+    }
+    Ok(())
+}
+
 /// The checked-in regression baseline for the shot engine.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Baseline {
@@ -326,6 +464,177 @@ mod tests {
             apply_gate(summary.as_ref(), Some(&tight), 8),
             GateOutcome::Fail { .. }
         ));
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let values = [5.0, 1.0, 4.0, 2.0, 3.0];
+        assert_eq!(percentile(&values, 50.0), 3.0);
+        assert_eq!(percentile(&values, 99.0), 5.0);
+        assert_eq!(percentile(&values, 0.0), 1.0);
+        assert_eq!(percentile(&[], 50.0), 0.0);
+        assert_eq!(percentile(&[7.5], 90.0), 7.5);
+    }
+
+    #[test]
+    fn absolute_comparison_flags_only_regressions_beyond_tolerance() {
+        let current = vec![
+            BenchRecord {
+                name: "a".into(),
+                mean_ns: 1600.0,
+                iters: 1,
+            },
+            BenchRecord {
+                name: "b".into(),
+                mean_ns: 1100.0,
+                iters: 1,
+            },
+            BenchRecord {
+                name: "new_bench".into(),
+                mean_ns: 9999.0,
+                iters: 1,
+            },
+        ];
+        let baseline = vec![
+            BenchRecord {
+                name: "a".into(),
+                mean_ns: 1000.0,
+                iters: 1,
+            },
+            BenchRecord {
+                name: "b".into(),
+                mean_ns: 1000.0,
+                iters: 1,
+            },
+            BenchRecord {
+                name: "removed".into(),
+                mean_ns: 1.0,
+                iters: 1,
+            },
+        ];
+        let regs = compare_against_baseline(&current, &baseline, 0.5);
+        // `a` regressed 1.6x > 1.5x; `b` (1.1x) is within tolerance;
+        // benches on only one side are ignored.
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].name, "a");
+        assert!((regs[0].ratio - 1.6).abs() < 1e-12);
+        // Everything within a looser tolerance passes.
+        assert!(compare_against_baseline(&current, &baseline, 0.7).is_empty());
+    }
+
+    #[test]
+    fn absolute_comparison_sorts_worst_first_and_skips_zero_baselines() {
+        let current = vec![
+            BenchRecord {
+                name: "x".into(),
+                mean_ns: 2000.0,
+                iters: 1,
+            },
+            BenchRecord {
+                name: "y".into(),
+                mean_ns: 3000.0,
+                iters: 1,
+            },
+            BenchRecord {
+                name: "z".into(),
+                mean_ns: 5000.0,
+                iters: 1,
+            },
+        ];
+        let baseline = vec![
+            BenchRecord {
+                name: "x".into(),
+                mean_ns: 1000.0,
+                iters: 1,
+            },
+            BenchRecord {
+                name: "y".into(),
+                mean_ns: 1000.0,
+                iters: 1,
+            },
+            BenchRecord {
+                name: "z".into(),
+                mean_ns: 0.0,
+                iters: 1,
+            },
+        ];
+        let regs = compare_against_baseline(&current, &baseline, 0.25);
+        assert_eq!(
+            regs.iter().map(|r| r.name.as_str()).collect::<Vec<_>>(),
+            vec!["y", "x"]
+        );
+    }
+
+    #[test]
+    fn baseline_merge_ratchets_on_the_minimum() {
+        let current = vec![
+            BenchRecord {
+                name: "drifted".into(),
+                mean_ns: 140.0,
+                iters: 5,
+            },
+            BenchRecord {
+                name: "improved".into(),
+                mean_ns: 80.0,
+                iters: 5,
+            },
+            BenchRecord {
+                name: "brand_new".into(),
+                mean_ns: 500.0,
+                iters: 5,
+            },
+        ];
+        let baseline = vec![
+            BenchRecord {
+                name: "drifted".into(),
+                mean_ns: 100.0,
+                iters: 9,
+            },
+            BenchRecord {
+                name: "improved".into(),
+                mean_ns: 100.0,
+                iters: 9,
+            },
+            BenchRecord {
+                name: "removed".into(),
+                mean_ns: 1.0,
+                iters: 9,
+            },
+        ];
+        let merged = merge_baseline_records(&current, &baseline);
+        let mean = |name: &str| merged.iter().find(|r| r.name == name).map(|r| r.mean_ns);
+        // A within-tolerance drift must NOT advance the baseline…
+        assert_eq!(mean("drifted"), Some(100.0));
+        // …an improvement must.
+        assert_eq!(mean("improved"), Some(80.0));
+        // New benches enter at their mean; removed ones are dropped.
+        assert_eq!(mean("brand_new"), Some(500.0));
+        assert_eq!(mean("removed"), None);
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_load_records() {
+        let dir =
+            std::env::temp_dir().join(format!("qram-bench-snapshot-test-{}", std::process::id()));
+        let records = vec![
+            BenchRecord {
+                name: "group/bench m=4".into(),
+                mean_ns: 1234.5,
+                iters: 42,
+            },
+            BenchRecord {
+                name: "plain".into(),
+                mean_ns: 7.0,
+                iters: 1,
+            },
+        ];
+        write_baseline_snapshot(&dir, &records).unwrap();
+        // Overwriting replaces stale files rather than accumulating.
+        write_baseline_snapshot(&dir, &records[..1]).unwrap();
+        let loaded = load_records(&dir);
+        std::fs::remove_dir_all(&dir).unwrap();
+        assert_eq!(loaded.len(), 1);
+        assert_eq!(loaded[0], records[0]);
     }
 
     #[test]

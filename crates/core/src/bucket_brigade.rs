@@ -21,7 +21,7 @@
 use qram_circuit::{Circuit, Gate, QubitAllocator, Register};
 
 use crate::architecture::interface_registers;
-use crate::tree::{page_select_copy, RouterTree};
+use crate::tree::{PageSelector, RouterTree};
 use crate::{Memory, QueryArchitecture, QueryCircuit};
 
 /// Bucket-brigade QRAM over `m` tree bits with an SQC prefix of `k` bits
@@ -129,6 +129,7 @@ impl QueryArchitecture for BucketBrigadeQram {
 
         let mut circuit = Circuit::new(alloc.num_qubits());
         let pages = memory.num_pages(m);
+        let mut selector = PageSelector::new(&addr_k, rail1.root_in());
 
         // Load-multiple-times: the full loading/retrieval/unloading cycle
         // repeats per page (Baseline B's deficiency, Sec. 7.1).
@@ -140,7 +141,7 @@ impl QueryArchitecture for BucketBrigadeQram {
             self.write_layer(&mut circuit, &rail0, &rail1, memory.page(m, p));
             self.ascend(&mut circuit, &rail0, &rail1);
             // The bus codeword is back at the root; its 1-rail holds xᵢ.
-            page_select_copy(&mut circuit, &addr_k, p as u64, rail1.root_in(), bus.get(0));
+            selector.emit(&mut circuit, p as u64, bus.get(0));
             // Return the bus to the leaves, unwrite, bring it home, eject.
             self.descend(&mut circuit, &rail0, &rail1);
             self.write_layer(&mut circuit, &rail0, &rail1, memory.page(m, p));

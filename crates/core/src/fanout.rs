@@ -5,7 +5,7 @@
 use qram_circuit::{Circuit, Gate, QubitAllocator, Register};
 
 use crate::architecture::interface_registers;
-use crate::tree::{page_select_copy, RouterTree};
+use crate::tree::{PageSelector, RouterTree};
 use crate::{Memory, QueryArchitecture, QueryCircuit};
 
 /// Fanout QRAM over `m` address bits: address loading broadcasts the
@@ -101,7 +101,7 @@ impl QueryArchitecture for FanoutQram {
             }
         }
         let empty = Register::new("none", 0, 0);
-        page_select_copy(&mut circuit, &empty, 0, tree.wire(1), bus.get(0));
+        PageSelector::new(&empty, tree.wire(1)).emit(&mut circuit, 0, bus.get(0));
         // Uncompute everything.
         for v in 0..m.saturating_sub(1) {
             for w in ((1 << v)..(1 << (v + 1))).rev() {

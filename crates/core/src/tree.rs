@@ -15,7 +15,7 @@
 //! made of: bucket-brigade *address loading* (pipelined or not,
 //! Sec. 3.2.3) and *ball routing* through the CSWAP network.
 
-use qram_circuit::{Circuit, Gate, Qubit, QubitAllocator, Register};
+use qram_circuit::{Circuit, Control, Gate, Qubit, QubitAllocator, Register};
 
 /// Heap-ordered tree registers shared by router-based architectures.
 #[derive(Debug, Clone)]
@@ -199,24 +199,46 @@ impl RouterTree {
     }
 }
 
-/// Appends the page-select MCX that copies a root value onto the bus,
+/// Emits the page-select MCX that copies a root value onto the bus,
 /// conditioned on the `k` SQC address bits spelling page `p` (Fig. 4c's
 /// dark-gray controls). With `k = 0` this degrades to a plain CX.
-pub(crate) fn page_select_copy(
-    circuit: &mut Circuit,
-    addr_k: &Register,
-    page: u64,
+///
+/// The control list is pooled: the SQC controls and the trailing root
+/// control are laid out once at construction and only the polarities are
+/// rewritten per page, so the per-page cost is a single exact-size clone
+/// into the emitted gate instead of rebuilding the qubit list and the
+/// pattern expansion every page.
+pub(crate) struct PageSelector {
+    /// `k` SQC controls (polarity rewritten per page) followed by the
+    /// always-on root control; empty when `k = 0`.
+    controls: Vec<Control>,
     root: Qubit,
-    bus: Qubit,
-) {
-    if addr_k.is_empty() {
-        circuit.push(Gate::cx(root, bus));
-    } else {
-        let mut gate = Gate::mcx_pattern(&addr_k.iter().collect::<Vec<_>>(), page, bus);
-        if let Gate::Mcx { controls, .. } = &mut gate {
-            controls.push(qram_circuit::Control::on(root));
+}
+
+impl PageSelector {
+    /// Lays out the pooled control buffer for `addr_k` steering `root`.
+    pub fn new(addr_k: &Register, root: Qubit) -> Self {
+        let mut controls: Vec<Control> = addr_k.iter().map(Control::on).collect();
+        if !controls.is_empty() {
+            controls.push(Control::on(root));
         }
-        circuit.push(gate);
+        PageSelector { controls, root }
+    }
+
+    /// Appends the select gate for `page` targeting `bus`.
+    pub fn emit(&mut self, circuit: &mut Circuit, page: u64, bus: Qubit) {
+        if self.controls.is_empty() {
+            circuit.push(Gate::cx(self.root, bus));
+            return;
+        }
+        let k = self.controls.len() - 1;
+        for (i, c) in self.controls[..k].iter_mut().enumerate() {
+            c.value = (page >> (k - 1 - i)) & 1 == 1;
+        }
+        circuit.push(Gate::Mcx {
+            controls: self.controls.clone(),
+            target: bus,
+        });
     }
 }
 
@@ -345,13 +367,35 @@ mod tests {
     }
 
     #[test]
-    fn page_select_copy_degrades_to_cx_without_sqc_bits() {
+    fn page_selector_degrades_to_cx_without_sqc_bits() {
         let mut alloc = QubitAllocator::new();
         let addr_k = alloc.register("addr_k", 0);
         let root = alloc.register("root", 1).get(0);
         let bus = alloc.register("bus", 1).get(0);
         let mut circuit = Circuit::new(alloc.num_qubits());
-        page_select_copy(&mut circuit, &addr_k, 0, root, bus);
+        PageSelector::new(&addr_k, root).emit(&mut circuit, 0, bus);
         assert_eq!(circuit.gates()[0], Gate::cx(root, bus));
+    }
+
+    #[test]
+    fn page_selector_matches_mcx_pattern_reference() {
+        // The pooled buffer must emit, page after page, exactly the gate
+        // the unpooled reference path used to build: `mcx_pattern` over
+        // the SQC bits (MSB first) with the root control appended last.
+        let k = 3;
+        let mut alloc = QubitAllocator::new();
+        let addr_k = alloc.register("addr_k", k);
+        let root = alloc.register("root", 1).get(0);
+        let bus = alloc.register("bus", 1).get(0);
+        let mut selector = PageSelector::new(&addr_k, root);
+        for page in 0..(1u64 << k) {
+            let mut circuit = Circuit::new(alloc.num_qubits());
+            selector.emit(&mut circuit, page, bus);
+            let mut reference = Gate::mcx_pattern(&addr_k.iter().collect::<Vec<_>>(), page, bus);
+            if let Gate::Mcx { controls, .. } = &mut reference {
+                controls.push(Control::on(root));
+            }
+            assert_eq!(circuit.gates()[0], reference, "page {page}");
+        }
     }
 }

@@ -26,7 +26,7 @@
 use qram_circuit::{Circuit, Gate, Qubit, QubitAllocator, Register};
 
 use crate::architecture::interface_registers;
-use crate::tree::{page_select_copy, RouterTree};
+use crate::tree::{PageSelector, RouterTree};
 use crate::{Memory, QueryArchitecture, QueryCircuit};
 
 /// Toggle switches for the three key optimizations of Sec. 3.2.
@@ -37,7 +37,7 @@ use crate::{Memory, QueryArchitecture, QueryCircuit};
 /// assert!(all.recycle_qubits && all.lazy_swapping && all.pipeline_address);
 /// assert_eq!(Optimizations::default(), Optimizations::ALL);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Optimizations {
     /// OPT1 — address-qubit recycling (Sec. 3.2.1): reuse the idle wire
     /// network as the query-prep ball network and the compression rails,
@@ -120,7 +120,7 @@ impl std::fmt::Display for Optimizations {
 }
 
 /// How classical data is written onto the data rails (Sec. 3.1.2).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum DataEncoding {
     /// One qubit per data node; writes are classically-controlled CX from
     /// the leaf flag.
@@ -151,7 +151,7 @@ pub enum DataEncoding {
 /// query.verify(&memory).expect("Σ αᵢ|i⟩|xᵢ⟩");
 /// assert!(query.query_classical(3).unwrap());
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct VirtualQram {
     k: usize,
     m: usize,
@@ -446,11 +446,12 @@ impl VirtualQram {
             template: cache_page_template
                 .then(|| PageTemplate::new(self, &parts, alloc.num_qubits())),
         };
+        let mut selector = PageSelector::new(&addr_k, parts.rail(1));
         if self.opts.lazy_swapping {
             emitter.writes(&mut circuit, memory.page(m, 0));
             for p in 0..pages {
                 emitter.compress(&mut circuit);
-                page_select_copy(&mut circuit, &addr_k, p as u64, parts.rail(1), bus.get(0));
+                selector.emit(&mut circuit, p as u64, bus.get(0));
                 emitter.uncompress(&mut circuit);
                 if p + 1 < pages {
                     emitter.writes(&mut circuit, &memory.page_delta(m, p));
@@ -461,7 +462,7 @@ impl VirtualQram {
             for p in 0..pages {
                 emitter.writes(&mut circuit, memory.page(m, p));
                 emitter.compress(&mut circuit);
-                page_select_copy(&mut circuit, &addr_k, p as u64, parts.rail(1), bus.get(0));
+                selector.emit(&mut circuit, p as u64, bus.get(0));
                 emitter.uncompress(&mut circuit);
                 emitter.writes(&mut circuit, memory.page(m, p));
             }

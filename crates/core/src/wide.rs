@@ -14,7 +14,7 @@
 use qram_circuit::{Circuit, Gate, Qubit, QubitAllocator, Register};
 use qram_sim::{run, PathState};
 
-use crate::tree::{page_select_copy, RouterTree};
+use crate::tree::{PageSelector, RouterTree};
 use crate::{QueryError, WideMemory};
 
 /// A virtual QRAM querying `w`-bit words: `Σᵢ αᵢ|i⟩|0⟩^w → Σᵢ αᵢ|i⟩|xᵢ⟩`,
@@ -80,6 +80,7 @@ impl WideVirtualQram {
 
         let mut circuit = Circuit::new(alloc.num_qubits());
         let pages = 1usize << k;
+        let mut selector = PageSelector::new(&addr_k, tree.wire(1));
 
         // Load once — for all pages AND all bit-planes.
         tree.load_address(&mut circuit, &addr_m, true);
@@ -91,13 +92,7 @@ impl WideVirtualQram {
                 let page = memory.plane(bit).page(m, p);
                 self.write(&mut circuit, &tree, page, false);
                 self.compress(&mut circuit, &tree, false);
-                page_select_copy(
-                    &mut circuit,
-                    &addr_k,
-                    p as u64,
-                    tree.wire(1),
-                    buses.get(bit),
-                );
+                selector.emit(&mut circuit, p as u64, buses.get(bit));
                 self.compress(&mut circuit, &tree, true);
                 self.write(&mut circuit, &tree, page, true);
             }

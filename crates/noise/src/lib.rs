@@ -55,4 +55,4 @@ mod sampler;
 pub use channel::PauliChannel;
 pub use device::{ibm_perth, ibmq_guadalupe, DeviceModel};
 pub use model::{ErrorReductionFactor, NoiseModel, NoisePlacement, BASE_ERROR_RATE};
-pub use sampler::FaultSampler;
+pub use sampler::{derive_stream_seed, FaultSampler};

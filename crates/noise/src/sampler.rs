@@ -57,12 +57,14 @@ enum Trials {
     },
 }
 
-/// Derives the RNG seed of one shot's stream from the master seed: a
-/// SplitMix64-style avalanche over the pair, so neighbouring shot indices
-/// get decorrelated streams and the assignment is independent of how the
-/// engine shards shots over threads.
-fn shot_stream_seed(master: u64, shot: u64) -> u64 {
-    let mut z = master ^ shot.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+/// Derives the RNG seed of one consumer's stream from a master seed and
+/// a stream index: a SplitMix64-style avalanche over the pair, so
+/// neighbouring indices get decorrelated streams and the assignment is
+/// independent of any sharding. Used for per-shot streams here and for
+/// per-request streams in `qram-service` — one definition of the
+/// decorrelation scheme for the whole workspace.
+pub fn derive_stream_seed(master: u64, stream: u64) -> u64 {
+    let mut z = master ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^ (z >> 31)
@@ -129,7 +131,16 @@ impl FaultSampler {
     /// Draws the fault pattern of shot `shot` — deterministic in
     /// `(seed, shot)` and callable concurrently from any thread.
     pub fn sample_shot(&self, shot: u64) -> FaultPlan {
-        let mut rng = StdRng::seed_from_u64(shot_stream_seed(self.seed, shot));
+        self.sample_shot_from(self.seed, shot)
+    }
+
+    /// Like [`FaultSampler::sample_shot`], but deriving the shot's
+    /// stream from an explicit `master` seed instead of the sampler's
+    /// own — many consumers (e.g. one per served request in
+    /// `qram-service`) can share one precomputed trial table without
+    /// cloning or rebuilding the sampler.
+    pub fn sample_shot_from(&self, master: u64, shot: u64) -> FaultPlan {
+        let mut rng = StdRng::seed_from_u64(derive_stream_seed(master, shot));
         let mut plan = FaultPlan::new();
         match &self.trials {
             Trials::Uniform { channel, locations } => {

@@ -1,0 +1,194 @@
+//! The bounded LRU cache of compiled query circuits.
+//!
+//! Compiling a [`qram_core::QueryCircuit`] walks the whole page loop of
+//! `VirtualQram::build` — by far the most expensive per-spec cost of
+//! serving. Hot specs must pay it once, not once per batch, so the
+//! service keeps compiled circuits behind this cache keyed by
+//! [`QuerySpec`]. Entries are `Arc`-shared with in-flight batches, which
+//! makes eviction safe while a worker still executes against an evicted
+//! circuit.
+
+use std::sync::Arc;
+
+use qram_core::QueryCircuit;
+
+use crate::QuerySpec;
+
+/// Hit/miss/eviction accounting of a [`CircuitCache`].
+///
+/// ```
+/// use qram_service::CacheStats;
+/// let stats = CacheStats { hits: 9, misses: 1, evictions: 0 };
+/// assert!((stats.hit_rate() - 0.9).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to compile.
+    pub misses: u64,
+    /// Entries displaced by capacity pressure.
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    /// Fraction of lookups served from the cache (0 when none happened).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A bounded least-recently-used map `QuerySpec → Arc<QueryCircuit>`.
+///
+/// Recency order is kept in a plain vector (most recent last): the
+/// capacity is the number of *distinct circuit shapes* a deployment
+/// serves — typically a handful — so a linear scan beats any pointer
+/// structure and keeps the cache allocation-free on the hit path.
+#[derive(Debug, Default)]
+pub struct CircuitCache {
+    /// `(spec, circuit)` in recency order, least recent first.
+    entries: Vec<(QuerySpec, Arc<QueryCircuit>)>,
+    capacity: usize,
+    stats: CacheStats,
+}
+
+impl CircuitCache {
+    /// An empty cache holding at most `capacity` compiled circuits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0` — a service that can hold no compiled
+    /// circuit at all would silently recompile every batch.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "circuit cache capacity must be positive");
+        CircuitCache {
+            entries: Vec::with_capacity(capacity),
+            capacity,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The compiled circuit for `spec`, compiling via `compile` on a miss
+    /// and evicting the least-recently-used entry when over capacity.
+    pub fn get_or_insert_with(
+        &mut self,
+        spec: QuerySpec,
+        compile: impl FnOnce() -> QueryCircuit,
+    ) -> Arc<QueryCircuit> {
+        if let Some(pos) = self.entries.iter().position(|(s, _)| *s == spec) {
+            self.stats.hits += 1;
+            // Refresh recency: move to the back.
+            let entry = self.entries.remove(pos);
+            let circuit = Arc::clone(&entry.1);
+            self.entries.push(entry);
+            return circuit;
+        }
+        self.stats.misses += 1;
+        let circuit = Arc::new(compile());
+        if self.entries.len() == self.capacity {
+            self.entries.remove(0);
+            self.stats.evictions += 1;
+        }
+        self.entries.push((spec, Arc::clone(&circuit)));
+        circuit
+    }
+
+    /// Number of cached circuits.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache holds no circuit yet.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Lifetime hit/miss/eviction counts.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Cached specs in recency order, least recent first (for
+    /// introspection and tests).
+    pub fn keys(&self) -> Vec<QuerySpec> {
+        self.entries.iter().map(|(s, _)| *s).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qram_core::{Memory, QueryArchitecture};
+
+    fn compile(spec: QuerySpec) -> QueryCircuit {
+        spec.architecture()
+            .build(&Memory::ones(spec.address_width()))
+    }
+
+    #[test]
+    fn hits_and_misses_are_counted() {
+        let mut cache = CircuitCache::new(2);
+        let a = QuerySpec::new(0, 1);
+        let b = QuerySpec::new(0, 2);
+        cache.get_or_insert_with(a, || compile(a));
+        cache.get_or_insert_with(a, || compile(a));
+        cache.get_or_insert_with(b, || compile(b));
+        cache.get_or_insert_with(a, || compile(a));
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 2);
+        assert_eq!(stats.misses, 2);
+        assert_eq!(stats.evictions, 0);
+        assert_eq!(cache.len(), 2);
+        assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn least_recently_used_is_evicted() {
+        let mut cache = CircuitCache::new(2);
+        let a = QuerySpec::new(0, 1);
+        let b = QuerySpec::new(0, 2);
+        let c = QuerySpec::new(1, 1);
+        cache.get_or_insert_with(a, || compile(a));
+        cache.get_or_insert_with(b, || compile(b));
+        cache.get_or_insert_with(a, || compile(a)); // refresh a: b is now LRU
+        cache.get_or_insert_with(c, || compile(c)); // evicts b
+        assert_eq!(cache.stats().evictions, 1);
+        assert_eq!(cache.keys(), vec![a, c]);
+        // b must recompile (miss), a must not.
+        cache.get_or_insert_with(a, || unreachable!("a was refreshed, not evicted"));
+        cache.get_or_insert_with(b, || compile(b));
+        assert_eq!(cache.stats().misses, 4);
+    }
+
+    #[test]
+    fn miss_compiles_exactly_once_and_shares_the_arc() {
+        let mut cache = CircuitCache::new(1);
+        let spec = QuerySpec::new(0, 1);
+        let first = cache.get_or_insert_with(spec, || compile(spec));
+        let second = cache.get_or_insert_with(spec, || unreachable!("second lookup must hit"));
+        assert!(Arc::ptr_eq(&first, &second));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_is_rejected() {
+        let _ = CircuitCache::new(0);
+    }
+
+    #[test]
+    fn empty_stats_hit_rate_is_zero() {
+        assert_eq!(CacheStats::default().hit_rate(), 0.0);
+        assert!(CircuitCache::new(1).is_empty());
+        assert_eq!(CircuitCache::new(3).capacity(), 3);
+    }
+}

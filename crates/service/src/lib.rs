@@ -1,0 +1,60 @@
+//! Batched QRAM query serving — the systems layer above the simulator.
+//!
+//! The MICRO '23 paper argues QRAM must be designed as a *system*: a
+//! virtual-QRAM layer paging a large address space through a small
+//! physical tree. The original bucket-brigade proposals frame QRAM the
+//! same way — a shared memory answering *streams* of addressed queries.
+//! This crate is that serving layer for the reproduction's simulator
+//! stack:
+//!
+//! * [`QueryRequest`] / [`QuerySpec`] / [`QueryResult`] — the serving
+//!   vocabulary: an address, the compilation profile that serves it, and
+//!   the answer (classical readout + Monte-Carlo fidelity estimate);
+//! * [`plan_batches`] / [`QueryBatch`] — the batching scheduler:
+//!   requests grouped by `(architecture shape, n, Optimizations,
+//!   DataEncoding)` so one compiled circuit serves the whole batch;
+//! * [`CircuitCache`] — a bounded LRU of compiled [`qram_core::
+//!   QueryCircuit`]s, so hot specs skip the rebuild entirely;
+//! * [`QramService`] — the engine: admission queue, cache-resolved batch
+//!   plan, and a multi-worker executor dispatching onto the sharded shot
+//!   engine ([`qram_sim::run_shots`]) with deterministic per-request
+//!   seeds — results are **bit-identical for any worker count**;
+//! * [`Workload`] — deterministic traffic generators (uniform, zipfian,
+//!   sequential scan, Grover-style repeated queries) for driving the
+//!   service in benches and tests.
+//!
+//! # Example
+//!
+//! ```
+//! use qram_core::Memory;
+//! use qram_service::{assign_specs, QramService, QuerySpec, ServiceConfig, Workload};
+//!
+//! let memory = Memory::from_bits((0..16).map(|i| i % 3 == 0));
+//! let config = ServiceConfig::default().with_shots(0).with_batch_limit(4);
+//! let mut service = QramService::new(memory, config);
+//!
+//! // 32 zipfian-addressed requests over two hot circuit shapes.
+//! let workload = Workload::Zipfian { address_width: 4, theta: 0.99, seed: 7 };
+//! let specs = [QuerySpec::new(2, 2), QuerySpec::new(1, 3)];
+//! service.submit_all(assign_specs(&workload, &specs, 32));
+//!
+//! let report = service.drain();
+//! assert_eq!(report.results.len(), 32);
+//! assert_eq!(report.cache.misses, 2); // each hot shape compiled once
+//! assert!(report.cache.hit_rate() > 0.5);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cache;
+mod request;
+mod scheduler;
+mod service;
+pub mod workload;
+
+pub use cache::{CacheStats, CircuitCache};
+pub use request::{QueryRequest, QueryResult, QuerySpec};
+pub use scheduler::{plan_batches, QueryBatch};
+pub use service::{BatchReport, QramService, ServiceConfig, ServiceReport};
+pub use workload::{assign_specs, Workload};

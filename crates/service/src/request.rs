@@ -1,0 +1,131 @@
+//! The query-serving vocabulary: what a client asks for and what it gets
+//! back.
+
+use qram_core::{DataEncoding, Optimizations, VirtualQram};
+use qram_sim::FidelityEstimate;
+
+/// The compilation profile of a query — everything that determines which
+/// compiled circuit can serve it.
+///
+/// Two requests are *batch-compatible* exactly when their specs are equal:
+/// the scheduler groups the admission queue by `(architecture shape,
+/// address width, [`Optimizations`], [`DataEncoding`])` and the compiled
+/// [`qram_core::QueryCircuit`] is shared (and cached) per spec. The
+/// *address* is deliberately not part of the spec — one circuit serves
+/// every address of its memory.
+///
+/// ```
+/// use qram_core::QueryArchitecture;
+/// use qram_service::QuerySpec;
+/// let spec = QuerySpec::new(1, 2);
+/// assert_eq!(spec.address_width(), 3);
+/// assert_eq!(spec.architecture().name(), "virtual(k=1,m=2,ALL)");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct QuerySpec {
+    /// SQC width `k` (number of pages = `2^k`).
+    pub k: usize,
+    /// QRAM width `m` (physical tree leaves = `2^m`).
+    pub m: usize,
+    /// The optimization set the circuit is compiled under.
+    pub opts: Optimizations,
+    /// The data-rail encoding.
+    pub encoding: DataEncoding,
+}
+
+impl QuerySpec {
+    /// A spec for the `(k, m)` virtual QRAM with all optimizations and
+    /// bit encoding.
+    pub fn new(k: usize, m: usize) -> Self {
+        QuerySpec {
+            k,
+            m,
+            opts: Optimizations::ALL,
+            encoding: DataEncoding::Bit,
+        }
+    }
+
+    /// Overrides the optimization set.
+    pub fn with_optimizations(mut self, opts: Optimizations) -> Self {
+        self.opts = opts;
+        self
+    }
+
+    /// Overrides the data encoding.
+    pub fn with_encoding(mut self, encoding: DataEncoding) -> Self {
+        self.encoding = encoding;
+        self
+    }
+
+    /// Total address width `n = k + m` the spec serves.
+    pub fn address_width(&self) -> usize {
+        self.k + self.m
+    }
+
+    /// The architecture this spec compiles under.
+    pub fn architecture(&self) -> VirtualQram {
+        VirtualQram::new(self.k, self.m)
+            .with_optimizations(self.opts)
+            .with_encoding(self.encoding)
+    }
+}
+
+/// One admitted query: a memory address to read through a [`QuerySpec`].
+///
+/// The `id` is assigned by the service at submission (monotonic per
+/// service) and doubles as the request's deterministic seed component:
+/// the executor derives the request's fault-sampling stream purely from
+/// `(service seed, id)`, which is what makes batched results bit-identical
+/// for any worker count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueryRequest {
+    /// Service-assigned request id (submission order).
+    pub id: u64,
+    /// The memory address to read.
+    pub address: u64,
+    /// The compilation profile serving this request.
+    pub spec: QuerySpec,
+}
+
+/// The served answer to one [`QueryRequest`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryResult {
+    /// The request this answers.
+    pub id: u64,
+    /// The address that was read.
+    pub address: u64,
+    /// The classical readout `x_address` (the bus bit of a noise-free
+    /// classical-address query).
+    pub value: bool,
+    /// Monte-Carlo estimate of the query fidelity under the service's
+    /// noise model, reduced to the address + bus registers. Empty
+    /// (`shots == 0`) when the service runs noiseless.
+    pub fidelity: FidelityEstimate,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_builders_compose() {
+        let spec = QuerySpec::new(2, 3)
+            .with_optimizations(Optimizations::OPT2)
+            .with_encoding(DataEncoding::FusedBit);
+        assert_eq!(spec.address_width(), 5);
+        assert_eq!(spec.architecture().optimizations(), Optimizations::OPT2);
+        assert_eq!(spec.architecture().encoding(), DataEncoding::FusedBit);
+    }
+
+    #[test]
+    fn specs_hash_on_all_four_components() {
+        use std::collections::HashSet;
+        let mut set = HashSet::new();
+        set.insert(QuerySpec::new(1, 2));
+        set.insert(QuerySpec::new(2, 1));
+        set.insert(QuerySpec::new(1, 2).with_optimizations(Optimizations::RAW));
+        set.insert(QuerySpec::new(1, 2).with_encoding(DataEncoding::DualRail));
+        set.insert(QuerySpec::new(1, 2)); // duplicate
+        assert_eq!(set.len(), 4);
+    }
+}

@@ -1,0 +1,136 @@
+//! The batching scheduler: admission queue → compatible batches.
+//!
+//! Requests are batch-compatible when their [`QuerySpec`]s are equal
+//! (same architecture shape, address width, optimization set and data
+//! encoding): one compiled circuit serves every request of the batch, so
+//! the compile cost — and one circuit-cache lookup — is amortized over
+//! the whole batch. Grouping is stable: specs appear in first-arrival
+//! order and requests keep their submission order within a spec, which
+//! makes the batch plan (and therefore cache accounting) a pure function
+//! of the queue contents.
+
+use crate::{QueryRequest, QuerySpec};
+
+/// A maximal run of batch-compatible requests, capped at the scheduler's
+/// batch limit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryBatch {
+    /// The shared compilation profile.
+    pub spec: QuerySpec,
+    /// The batched requests, tagged with their queue slot (submission
+    /// index) so results can be scattered back into submission order.
+    pub requests: Vec<(usize, QueryRequest)>,
+}
+
+impl QueryBatch {
+    /// Number of requests in the batch.
+    pub fn len(&self) -> usize {
+        self.requests.len()
+    }
+
+    /// Whether the batch is empty (never produced by the scheduler).
+    pub fn is_empty(&self) -> bool {
+        self.requests.is_empty()
+    }
+}
+
+/// Groups the queue into spec-compatible batches of at most
+/// `batch_limit` requests.
+///
+/// Specs are emitted in first-arrival order; a spec with more than
+/// `batch_limit` queued requests yields several consecutive batches.
+///
+/// # Panics
+///
+/// Panics if `batch_limit == 0`.
+pub fn plan_batches(queue: &[QueryRequest], batch_limit: usize) -> Vec<QueryBatch> {
+    assert!(batch_limit > 0, "batch limit must be positive");
+    // Group by spec, preserving first-arrival order of specs.
+    let mut groups: Vec<(QuerySpec, Vec<(usize, QueryRequest)>)> = Vec::new();
+    for (slot, request) in queue.iter().enumerate() {
+        match groups.iter_mut().find(|(spec, _)| *spec == request.spec) {
+            Some((_, members)) => members.push((slot, *request)),
+            None => groups.push((request.spec, vec![(slot, *request)])),
+        }
+    }
+    let mut batches = Vec::new();
+    for (spec, members) in groups {
+        for chunk in members.chunks(batch_limit) {
+            batches.push(QueryBatch {
+                spec,
+                requests: chunk.to_vec(),
+            });
+        }
+    }
+    batches
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn request(id: u64, spec: QuerySpec) -> QueryRequest {
+        QueryRequest {
+            id,
+            address: id % (1 << spec.address_width()) as u64,
+            spec,
+        }
+    }
+
+    #[test]
+    fn groups_by_spec_in_first_arrival_order() {
+        let a = QuerySpec::new(0, 2);
+        let b = QuerySpec::new(1, 1);
+        let queue = vec![
+            request(0, a),
+            request(1, b),
+            request(2, a),
+            request(3, b),
+            request(4, a),
+        ];
+        let batches = plan_batches(&queue, 16);
+        assert_eq!(batches.len(), 2);
+        assert_eq!(batches[0].spec, a);
+        assert_eq!(batches[1].spec, b);
+        // Submission order within a spec, with the right slots.
+        assert_eq!(
+            batches[0]
+                .requests
+                .iter()
+                .map(|(s, _)| *s)
+                .collect::<Vec<_>>(),
+            vec![0, 2, 4]
+        );
+        assert_eq!(
+            batches[1]
+                .requests
+                .iter()
+                .map(|(r, _)| *r)
+                .collect::<Vec<_>>(),
+            vec![1, 3]
+        );
+    }
+
+    #[test]
+    fn batch_limit_splits_large_groups() {
+        let spec = QuerySpec::new(0, 2);
+        let queue: Vec<_> = (0..10).map(|i| request(i, spec)).collect();
+        let batches = plan_batches(&queue, 4);
+        assert_eq!(
+            batches.iter().map(QueryBatch::len).collect::<Vec<_>>(),
+            vec![4, 4, 2]
+        );
+        assert!(batches.iter().all(|b| b.spec == spec && !b.is_empty()));
+    }
+
+    #[test]
+    fn empty_queue_plans_no_batches() {
+        assert!(plan_batches(&[], 8).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "batch limit must be positive")]
+    fn zero_batch_limit_is_rejected() {
+        let _ = plan_batches(&[], 0);
+    }
+}

@@ -1,0 +1,609 @@
+//! The query-serving engine: admission queue → batch plan → circuit
+//! cache → multi-worker execution on the sharded shot engine.
+//!
+//! # Determinism
+//!
+//! A drained queue produces **bit-identical** [`QueryResult`]s for any
+//! worker count. Like the shot engine underneath, this is structural:
+//!
+//! * the batch plan is a pure function of the queue contents
+//!   ([`crate::plan_batches`]);
+//! * circuit compilation and cache accounting happen on the draining
+//!   thread, before any worker starts;
+//! * each request's fault-sampling stream derives purely from
+//!   `(service seed, request id)` ([`qram_noise::derive_stream_seed`] +
+//!   [`FaultSampler::sample_shot_from`] over the spec's shared trial
+//!   table), so the estimate a request receives cannot depend on which
+//!   worker ran it;
+//! * every result is scattered back into its submission slot, so the
+//!   report's order is submission order regardless of scheduling.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use qram_core::{Memory, QueryArchitecture, QueryCircuit};
+use qram_noise::{derive_stream_seed, FaultSampler, NoiseModel, PauliChannel, BASE_ERROR_RATE};
+use qram_sim::{run_shots, Amplitude, FidelityEstimate, ShotConfig};
+
+use crate::{
+    plan_batches, CacheStats, CircuitCache, QueryBatch, QueryRequest, QueryResult, QuerySpec,
+};
+
+/// Tunables of a [`QramService`].
+///
+/// ```
+/// use qram_service::ServiceConfig;
+/// let config = ServiceConfig::default().with_workers(2).with_shots(16);
+/// assert_eq!(config.workers, 2);
+/// assert_eq!(config.shots, 16);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServiceConfig {
+    /// Executor worker threads; `0` = all available cores. A pure
+    /// throughput knob: results are bit-identical for any value.
+    pub workers: usize,
+    /// Bounded LRU capacity of the compiled-circuit cache (distinct
+    /// [`QuerySpec`]s held at once).
+    pub cache_capacity: usize,
+    /// Maximum requests per batch.
+    pub batch_limit: usize,
+    /// Monte-Carlo shots per request for the fidelity estimate; `0`
+    /// serves noiseless (classical readout only).
+    pub shots: usize,
+    /// Master seed; each request's fault stream derives from
+    /// `(seed, request id)`.
+    pub seed: u64,
+    /// Threads handed to the shot engine *inside* one request
+    /// (`ShotConfig::threads`); keep at 1 when `workers` already
+    /// saturates the machine.
+    pub shot_threads: usize,
+    /// The noise model fidelity estimates are taken under.
+    pub noise: NoiseModel,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            workers: 0,
+            cache_capacity: 8,
+            batch_limit: 32,
+            shots: 32,
+            seed: ShotConfig::DEFAULT_SEED,
+            shot_threads: 1,
+            noise: NoiseModel::per_gate(PauliChannel::depolarizing(BASE_ERROR_RATE)),
+        }
+    }
+}
+
+impl ServiceConfig {
+    /// Overrides the worker count (`0` = all cores).
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Overrides the circuit-cache capacity.
+    pub fn with_cache_capacity(mut self, capacity: usize) -> Self {
+        self.cache_capacity = capacity;
+        self
+    }
+
+    /// Overrides the batch limit.
+    pub fn with_batch_limit(mut self, limit: usize) -> Self {
+        self.batch_limit = limit;
+        self
+    }
+
+    /// Overrides the per-request shot count.
+    pub fn with_shots(mut self, shots: usize) -> Self {
+        self.shots = shots;
+        self
+    }
+
+    /// Overrides the master seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Overrides the noise model.
+    pub fn with_noise(mut self, noise: NoiseModel) -> Self {
+        self.noise = noise;
+        self
+    }
+
+    /// The effective executor worker count for `batches` planned batches.
+    fn resolved_workers(&self, batches: usize) -> usize {
+        let hardware = if self.workers > 0 {
+            self.workers
+        } else {
+            thread::available_parallelism().map_or(1, |n| n.get())
+        };
+        hardware.min(batches).max(1)
+    }
+}
+
+/// Execution accounting of one batch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchReport {
+    /// The batch's compilation profile.
+    pub spec: QuerySpec,
+    /// Requests served by the batch.
+    pub requests: usize,
+    /// Wall-clock execution time of the batch on its worker.
+    pub duration: Duration,
+}
+
+/// Everything one [`QramService::drain`] produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceReport {
+    /// One result per drained request, in submission order.
+    pub results: Vec<QueryResult>,
+    /// Per-batch accounting, in batch-plan order.
+    pub batches: Vec<BatchReport>,
+    /// Lifetime circuit-cache counters after this drain.
+    pub cache: CacheStats,
+    /// Worker threads the executor actually used.
+    pub workers: usize,
+}
+
+/// A batched QRAM query-serving engine over one classical memory.
+///
+/// Clients [`submit`](QramService::submit) addressed queries tagged with
+/// a [`QuerySpec`]; [`drain`](QramService::drain) groups the queue into
+/// compatible batches, fetches (or compiles) each batch's circuit
+/// through the LRU cache, and executes the batches on a deterministic
+/// multi-worker pool.
+///
+/// ```
+/// use qram_core::Memory;
+/// use qram_service::{QramService, QuerySpec, ServiceConfig};
+///
+/// let memory = Memory::from_bits([true, false, false, true, true, true, false, false]);
+/// let mut service = QramService::new(memory.clone(), ServiceConfig::default().with_shots(0));
+/// let spec = QuerySpec::new(1, 2);
+/// for address in 0..8 {
+///     service.submit(address, spec);
+/// }
+/// let report = service.drain();
+/// for result in &report.results {
+///     assert_eq!(result.value, memory.get(result.address as usize));
+/// }
+/// assert_eq!(report.cache.misses, 1); // one spec, compiled once
+/// ```
+#[derive(Debug)]
+pub struct QramService {
+    memory: Memory,
+    config: ServiceConfig,
+    queue: Vec<QueryRequest>,
+    cache: CircuitCache,
+    next_id: u64,
+    served: u64,
+}
+
+impl QramService {
+    /// A service over `memory` with the given tunables.
+    pub fn new(memory: Memory, config: ServiceConfig) -> Self {
+        QramService {
+            memory,
+            config,
+            queue: Vec::new(),
+            cache: CircuitCache::new(config.cache_capacity),
+            next_id: 0,
+            served: 0,
+        }
+    }
+
+    /// The served memory.
+    pub fn memory(&self) -> &Memory {
+        &self.memory
+    }
+
+    /// The service tunables.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.config
+    }
+
+    /// Admits one query and returns its request id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `spec`'s address width disagrees with the memory or
+    /// `address` is out of range.
+    pub fn submit(&mut self, address: u64, spec: QuerySpec) -> u64 {
+        assert_eq!(
+            spec.address_width(),
+            self.memory.address_width(),
+            "spec address width disagrees with the served memory"
+        );
+        assert!(
+            address < self.memory.len() as u64,
+            "address {address} out of range for {} cells",
+            self.memory.len()
+        );
+        let id = self.next_id;
+        self.next_id += 1;
+        self.queue.push(QueryRequest { id, address, spec });
+        id
+    }
+
+    /// Admits a whole `(address, spec)` stream (e.g. from
+    /// [`crate::workload::assign_specs`]); returns the number admitted.
+    pub fn submit_all(&mut self, stream: impl IntoIterator<Item = (u64, QuerySpec)>) -> usize {
+        let before = self.queue.len();
+        for (address, spec) in stream {
+            self.submit(address, spec);
+        }
+        self.queue.len() - before
+    }
+
+    /// Queued requests awaiting the next drain.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Total requests served over the service's lifetime.
+    pub fn served(&self) -> u64 {
+        self.served
+    }
+
+    /// Lifetime circuit-cache counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Serves the whole queue: plans batches, resolves circuits through
+    /// the cache, executes on the worker pool, and returns results in
+    /// submission order.
+    pub fn drain(&mut self) -> ServiceReport {
+        let queue = std::mem::take(&mut self.queue);
+        let plan = plan_batches(&queue, self.config.batch_limit);
+        // Compile/fetch single-threaded so cache accounting is a pure
+        // function of the submission sequence. The fault sampler's trial
+        // locations depend only on (circuit, noise) — constant per spec —
+        // so one sampler per distinct spec is walked from the circuit and
+        // shared by every batch of that spec; per-request streams come
+        // from `sample_shot_from`, so workers never clone or rebuild it.
+        // Noiseless serving (shots == 0) never samples: skip the walk.
+        let mut samplers: HashMap<QuerySpec, Arc<FaultSampler>> = HashMap::new();
+        let prepared: Vec<PreparedBatch> = plan
+            .into_iter()
+            .map(|batch| {
+                let spec = batch.spec;
+                let circuit = self
+                    .cache
+                    .get_or_insert_with(spec, || spec.architecture().build(&self.memory));
+                let sampler = (self.config.shots > 0).then(|| {
+                    Arc::clone(samplers.entry(spec).or_insert_with(|| {
+                        Arc::new(FaultSampler::new(
+                            circuit.circuit(),
+                            self.config.noise,
+                            self.config.seed,
+                        ))
+                    }))
+                });
+                PreparedBatch {
+                    circuit,
+                    sampler,
+                    batch,
+                }
+            })
+            .collect();
+
+        let workers = self.config.resolved_workers(prepared.len());
+        let mut results: Vec<Option<QueryResult>> = vec![None; queue.len()];
+        let mut reports: Vec<Option<BatchReport>> = vec![None; prepared.len()];
+
+        if workers == 1 {
+            for (i, entry) in prepared.iter().enumerate() {
+                let (slotted, report) = execute_batch(entry, &self.config);
+                scatter(&mut results, slotted);
+                reports[i] = Some(report);
+            }
+        } else {
+            let config = &self.config;
+            let prepared_ref = &prepared;
+            let worker_outputs: Vec<_> = thread::scope(|scope| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|w| {
+                        scope.spawn(move || {
+                            let mut slotted = Vec::new();
+                            let mut batch_reports = Vec::new();
+                            // Round-robin batch assignment: worker w owns
+                            // batches w, w + workers, … — purely an
+                            // execution schedule, invisible in the output.
+                            for (i, entry) in
+                                prepared_ref.iter().enumerate().skip(w).step_by(workers)
+                            {
+                                let (s, report) = execute_batch(entry, config);
+                                slotted.extend(s);
+                                batch_reports.push((i, report));
+                            }
+                            (slotted, batch_reports)
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("service worker panicked"))
+                    .collect()
+            });
+            for (slotted, batch_reports) in worker_outputs {
+                scatter(&mut results, slotted);
+                for (i, report) in batch_reports {
+                    reports[i] = Some(report);
+                }
+            }
+        }
+
+        self.served += queue.len() as u64;
+        ServiceReport {
+            results: results
+                .into_iter()
+                .map(|r| r.expect("every drained request produces a result"))
+                .collect(),
+            batches: reports
+                .into_iter()
+                .map(|r| r.expect("every planned batch produces a report"))
+                .collect(),
+            cache: self.cache.stats(),
+            workers,
+        }
+    }
+}
+
+/// One planned batch bundled with its spec's shared compiled circuit
+/// and fault sampler.
+struct PreparedBatch {
+    circuit: Arc<QueryCircuit>,
+    /// The spec's shared fault sampler; `None` when serving noiseless
+    /// (`shots == 0`), where no fault pattern is ever drawn.
+    sampler: Option<Arc<FaultSampler>>,
+    batch: QueryBatch,
+}
+
+/// Writes worker results into their submission slots.
+fn scatter(results: &mut [Option<QueryResult>], slotted: Vec<(usize, QueryResult)>) {
+    for (slot, result) in slotted {
+        debug_assert!(results[slot].is_none(), "slot {slot} served twice");
+        results[slot] = Some(result);
+    }
+}
+
+/// Executes one batch against its compiled circuit: per request, the
+/// classical readout plus a Monte-Carlo fidelity estimate on the shot
+/// engine, under the request's own deterministic fault stream.
+fn execute_batch(
+    entry: &PreparedBatch,
+    config: &ServiceConfig,
+) -> (Vec<(usize, QueryResult)>, BatchReport) {
+    let start = Instant::now();
+    let circuit = entry.circuit.as_ref();
+    let keep = circuit.output_qubits();
+    let results = entry
+        .batch
+        .requests
+        .iter()
+        .map(|&(slot, request)| {
+            (
+                slot,
+                execute_one(circuit, entry.sampler.as_deref(), &keep, request, config),
+            )
+        })
+        .collect();
+    let report = BatchReport {
+        spec: entry.batch.spec,
+        requests: entry.batch.len(),
+        duration: start.elapsed(),
+    };
+    (results, report)
+}
+
+/// Serves one request.
+fn execute_one(
+    circuit: &QueryCircuit,
+    sampler: Option<&FaultSampler>,
+    keep: &[qram_circuit::Qubit],
+    request: QueryRequest,
+    config: &ServiceConfig,
+) -> QueryResult {
+    // The served answer is deliberately read off the *circuit* (a full
+    // noiseless trajectory through the bus), not `memory.get` — the
+    // serving layer answers with what the compiled query actually
+    // returns, which is what the correctness tests pin against the
+    // memory ground truth.
+    let value = circuit
+        .query_classical(request.address)
+        .expect("compiled query circuits serve every in-range address");
+    let fidelity = match sampler {
+        // Noiseless serving: fidelity is not estimated, no replay runs.
+        None => FidelityEstimate::from_samples(&[]),
+        Some(sampler) => {
+            // The request's input: the classical basis state at its
+            // address; its fault streams derive from (seed, request id).
+            let mut amps = vec![Amplitude::ZERO; request.address as usize + 1];
+            amps[request.address as usize] = Amplitude::ONE;
+            let input = circuit.input_state(Some(&amps));
+            let request_master = derive_stream_seed(config.seed, request.id);
+            let shot_config = ShotConfig {
+                shots: config.shots,
+                seed: request_master,
+                threads: config.shot_threads,
+            };
+            run_shots(
+                circuit.circuit().gates(),
+                &input,
+                Some(keep),
+                &shot_config,
+                &|shot| sampler.sample_shot_from(request_master, shot),
+            )
+            .expect("compiled query circuits are always simulable")
+        }
+    };
+    QueryResult {
+        id: request.id,
+        address: request.address,
+        value,
+        fidelity,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn memory(n: usize) -> Memory {
+        Memory::random(n, &mut StdRng::seed_from_u64(13))
+    }
+
+    fn noiseless_config() -> ServiceConfig {
+        ServiceConfig::default()
+            .with_shots(0)
+            .with_workers(1)
+            .with_cache_capacity(4)
+    }
+
+    #[test]
+    fn serves_correct_values_for_every_address() {
+        let memory = memory(3);
+        let mut service = QramService::new(memory.clone(), noiseless_config());
+        let spec = QuerySpec::new(1, 2);
+        for address in 0..8u64 {
+            service.submit(address, spec);
+        }
+        let report = service.drain();
+        assert_eq!(report.results.len(), 8);
+        for (i, result) in report.results.iter().enumerate() {
+            assert_eq!(result.address, i as u64);
+            assert_eq!(result.value, memory.get(i), "address {i}");
+        }
+        assert_eq!(service.served(), 8);
+        assert_eq!(service.pending(), 0);
+    }
+
+    #[test]
+    fn results_come_back_in_submission_order_despite_spec_grouping() {
+        let memory = memory(3);
+        let mut service = QramService::new(memory, noiseless_config());
+        let a = QuerySpec::new(1, 2);
+        let b = QuerySpec::new(2, 1);
+        // Interleave specs; batching groups them, results must not.
+        let ids: Vec<u64> = (0..6u64)
+            .map(|i| service.submit(i, if i % 2 == 0 { a } else { b }))
+            .collect();
+        let report = service.drain();
+        let got: Vec<u64> = report.results.iter().map(|r| r.id).collect();
+        assert_eq!(got, ids);
+        // Two batches, one per spec.
+        assert_eq!(report.batches.len(), 2);
+        assert_eq!(report.batches[0].spec, a);
+        assert_eq!(report.batches[1].spec, b);
+    }
+
+    #[test]
+    fn noisy_results_are_bit_identical_across_worker_counts() {
+        let mem = memory(4);
+        let run = |workers: usize| {
+            let config = ServiceConfig::default()
+                .with_shots(24)
+                .with_seed(17)
+                .with_workers(workers)
+                .with_batch_limit(3);
+            let mut service = QramService::new(mem.clone(), config);
+            let specs = [
+                QuerySpec::new(1, 3),
+                QuerySpec::new(2, 2),
+                QuerySpec::new(3, 1),
+            ];
+            for i in 0..24u64 {
+                service.submit(i % 16, specs[(i % 3) as usize]);
+            }
+            service.drain()
+        };
+        let serial = run(1);
+        for workers in [2, 3, 4, 7] {
+            let parallel = run(workers);
+            // Results (ids, values, estimates) are bit-identical.
+            assert_eq!(serial.results, parallel.results, "workers = {workers}");
+            // The batch plan is identical too (durations aside).
+            let shape = |r: &ServiceReport| {
+                r.batches
+                    .iter()
+                    .map(|b| (b.spec, b.requests))
+                    .collect::<Vec<_>>()
+            };
+            assert_eq!(shape(&serial), shape(&parallel));
+            assert_eq!(serial.cache, parallel.cache);
+        }
+    }
+
+    #[test]
+    fn noisy_estimates_depend_on_request_id_not_batch_position() {
+        // Two services submit the same address under different queue
+        // shapes; the shared request id must receive the same estimate.
+        let mem = memory(3);
+        let config = ServiceConfig::default().with_shots(16).with_seed(5);
+        let spec = QuerySpec::new(1, 2);
+
+        let mut lone = QramService::new(mem.clone(), config);
+        lone.submit(3, spec); // id 0
+        let lone_result = lone.drain().results[0].clone();
+
+        let mut crowded = QramService::new(mem, config);
+        crowded.submit(3, spec); // id 0, now sharing its batch
+        for address in 0..6 {
+            crowded.submit(address, spec);
+        }
+        let crowded_result = crowded.drain().results[0].clone();
+        assert_eq!(lone_result, crowded_result);
+    }
+
+    #[test]
+    fn drain_on_empty_queue_is_a_no_op() {
+        let mut service = QramService::new(memory(2), noiseless_config());
+        let report = service.drain();
+        assert!(report.results.is_empty());
+        assert!(report.batches.is_empty());
+        assert_eq!(report.workers, 1);
+    }
+
+    #[test]
+    fn cache_is_reused_across_drains() {
+        let mut service = QramService::new(memory(3), noiseless_config());
+        let spec = QuerySpec::new(1, 2);
+        service.submit(0, spec);
+        service.drain();
+        service.submit(1, spec);
+        let report = service.drain();
+        assert_eq!(report.cache.misses, 1);
+        assert_eq!(report.cache.hits, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "address width disagrees")]
+    fn mismatched_spec_is_rejected() {
+        let mut service = QramService::new(memory(3), noiseless_config());
+        service.submit(0, QuerySpec::new(1, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_address_is_rejected() {
+        let mut service = QramService::new(memory(3), noiseless_config());
+        service.submit(8, QuerySpec::new(1, 2));
+    }
+
+    #[test]
+    fn request_streams_are_decorrelated() {
+        let seeds: Vec<u64> = (0..64).map(|id| derive_stream_seed(2023, id)).collect();
+        let mut unique = seeds.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), seeds.len());
+        assert_ne!(derive_stream_seed(1, 0), derive_stream_seed(2, 0));
+    }
+}

@@ -1,0 +1,299 @@
+//! Workload generation: deterministic address streams for driving the
+//! service.
+//!
+//! Each generator models one access pattern QRAM serving traffic is
+//! expected to exhibit:
+//!
+//! * [`Workload::Uniform`] — independent uniform addresses, the
+//!   memoryless baseline;
+//! * [`Workload::Zipfian`] — rank-skewed popularity (`P(addr = r-th
+//!   hottest) ∝ 1/(r+1)^θ`), the classic heavy-tail shape of shared-cache
+//!   traffic; address 0 is the hottest rank;
+//! * [`Workload::SequentialScan`] — a cyclic linear sweep, the streaming
+//!   pattern of a table scan;
+//! * [`Workload::GroverTrace`] — the same marked address re-queried over
+//!   and over, which is exactly what a Grover search's oracle calls look
+//!   like to the QRAM serving it (`O(√N)` queries of one address per
+//!   search).
+//!
+//! Streams are pure functions of their parameters (seeded [`StdRng`]),
+//! so a workload names a reproducible experiment.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{QueryRequest, QuerySpec};
+
+/// A deterministic address-stream generator over a `2^address_width`-cell
+/// memory.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Workload {
+    /// Independent uniform addresses.
+    Uniform {
+        /// Address width `n` of the served memory.
+        address_width: usize,
+        /// RNG seed.
+        seed: u64,
+    },
+    /// Zipf-distributed addresses: rank `r` (= address `r`) is drawn with
+    /// probability proportional to `1/(r+1)^theta`.
+    Zipfian {
+        /// Address width `n` of the served memory.
+        address_width: usize,
+        /// Skew exponent `θ ≥ 0` (0 degrades to uniform; ~0.99 is the
+        /// YCSB-style default).
+        theta: f64,
+        /// RNG seed.
+        seed: u64,
+    },
+    /// The cyclic sweep `0, 1, …, 2^n − 1, 0, …`.
+    SequentialScan {
+        /// Address width `n` of the served memory.
+        address_width: usize,
+    },
+    /// The repeated-query trace of a Grover search: every query reads the
+    /// same marked address.
+    GroverTrace {
+        /// Address width `n` of the served memory.
+        address_width: usize,
+        /// The marked (searched-for) address.
+        target: u64,
+    },
+}
+
+impl Workload {
+    /// The generator's short name (used in bench reports).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Workload::Uniform { .. } => "uniform",
+            Workload::Zipfian { .. } => "zipfian",
+            Workload::SequentialScan { .. } => "scan",
+            Workload::GroverTrace { .. } => "grover",
+        }
+    }
+
+    /// The address width the stream is generated over.
+    pub fn address_width(&self) -> usize {
+        match self {
+            Workload::Uniform { address_width, .. }
+            | Workload::Zipfian { address_width, .. }
+            | Workload::SequentialScan { address_width }
+            | Workload::GroverTrace { address_width, .. } => *address_width,
+        }
+    }
+
+    /// Generates the first `count` addresses of the stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid parameters (negative `theta`, out-of-range
+    /// `target`).
+    pub fn addresses(&self, count: usize) -> Vec<u64> {
+        let cells = 1u64 << self.address_width();
+        match self {
+            Workload::Uniform { seed, .. } => {
+                let mut rng = StdRng::seed_from_u64(*seed);
+                (0..count).map(|_| rng.random_range(0..cells)).collect()
+            }
+            Workload::Zipfian { theta, seed, .. } => {
+                assert!(*theta >= 0.0, "zipf exponent must be non-negative");
+                let cdf = zipf_cdf(cells as usize, *theta);
+                let mut rng = StdRng::seed_from_u64(*seed);
+                (0..count)
+                    .map(|_| {
+                        let u: f64 = rng.random();
+                        cdf.partition_point(|&c| c < u) as u64
+                    })
+                    .collect()
+            }
+            Workload::SequentialScan { .. } => (0..count as u64).map(|i| i % cells).collect(),
+            Workload::GroverTrace { target, .. } => {
+                assert!(*target < cells, "grover target {target} out of range");
+                vec![*target; count]
+            }
+        }
+    }
+}
+
+/// The cumulative distribution of the Zipf law over `items` ranks:
+/// `cdf[r] = P(rank ≤ r)`, with `cdf[items − 1] == 1`.
+fn zipf_cdf(items: usize, theta: f64) -> Vec<f64> {
+    let mut cdf: Vec<f64> = Vec::with_capacity(items);
+    let mut total = 0.0;
+    for r in 0..items {
+        total += 1.0 / ((r + 1) as f64).powf(theta);
+        cdf.push(total);
+    }
+    for c in &mut cdf {
+        *c /= total;
+    }
+    // Guard against floating-point shortfall at the tail.
+    if let Some(last) = cdf.last_mut() {
+        *last = 1.0;
+    }
+    cdf
+}
+
+/// Pairs a workload's address stream with compilation profiles assigned
+/// round-robin, producing the `(address, spec)` submissions a service
+/// accepts. A realistic deployment serves a handful of hot circuit
+/// shapes; cycling over `specs` reproduces that mix deterministically.
+///
+/// # Panics
+///
+/// Panics if `specs` is empty or any spec's address width disagrees with
+/// the workload's.
+pub fn assign_specs(
+    workload: &Workload,
+    specs: &[QuerySpec],
+    count: usize,
+) -> Vec<(u64, QuerySpec)> {
+    assert!(!specs.is_empty(), "at least one spec is required");
+    for spec in specs {
+        assert_eq!(
+            spec.address_width(),
+            workload.address_width(),
+            "spec width disagrees with workload width"
+        );
+    }
+    workload
+        .addresses(count)
+        .into_iter()
+        .zip(specs.iter().cycle())
+        .map(|(address, spec)| (address, *spec))
+        .collect()
+}
+
+/// Like [`assign_specs`], but materializes full [`QueryRequest`]s with
+/// ids `0..count` — for driving the scheduler/executor directly in tests
+/// without a service instance.
+pub fn requests(workload: &Workload, specs: &[QuerySpec], count: usize) -> Vec<QueryRequest> {
+    assign_specs(workload, specs, count)
+        .into_iter()
+        .enumerate()
+        .map(|(id, (address, spec))| QueryRequest {
+            id: id as u64,
+            address,
+            spec,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn histogram(addresses: &[u64], cells: usize) -> Vec<usize> {
+        let mut hist = vec![0usize; cells];
+        for &a in addresses {
+            hist[a as usize] += 1;
+        }
+        hist
+    }
+
+    #[test]
+    fn uniform_is_roughly_flat_and_in_range() {
+        let w = Workload::Uniform {
+            address_width: 4,
+            seed: 7,
+        };
+        let addresses = w.addresses(8000);
+        let hist = histogram(&addresses, 16);
+        let expected = 8000.0 / 16.0;
+        for (a, &count) in hist.iter().enumerate() {
+            assert!(
+                (count as f64 - expected).abs() < 0.25 * expected,
+                "address {a}: {count} vs {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn zipfian_is_head_heavy_and_monotone_in_rank() {
+        let w = Workload::Zipfian {
+            address_width: 4,
+            theta: 0.99,
+            seed: 3,
+        };
+        let addresses = w.addresses(8000);
+        let hist = histogram(&addresses, 16);
+        // Address 0 is the hottest rank and dominates the tail.
+        assert!(hist[0] > 2 * hist[4], "{hist:?}");
+        assert!(hist[0] > 4 * hist[15], "{hist:?}");
+        // The head (top 4 of 16 ranks) carries most of the traffic.
+        let head: usize = hist[..4].iter().sum();
+        assert!(head > 8000 / 2, "head {head} of 8000");
+    }
+
+    #[test]
+    fn zipf_theta_zero_degrades_to_uniform() {
+        let w = Workload::Zipfian {
+            address_width: 3,
+            theta: 0.0,
+            seed: 5,
+        };
+        let hist = histogram(&w.addresses(8000), 8);
+        let expected = 1000.0;
+        for &count in &hist {
+            assert!((count as f64 - expected).abs() < 0.2 * expected, "{hist:?}");
+        }
+    }
+
+    #[test]
+    fn scan_cycles_and_grover_repeats() {
+        let scan = Workload::SequentialScan { address_width: 2 };
+        assert_eq!(scan.addresses(6), vec![0, 1, 2, 3, 0, 1]);
+        let grover = Workload::GroverTrace {
+            address_width: 3,
+            target: 5,
+        };
+        assert_eq!(grover.addresses(4), vec![5, 5, 5, 5]);
+    }
+
+    #[test]
+    fn streams_are_reproducible() {
+        let w = Workload::Zipfian {
+            address_width: 5,
+            theta: 1.1,
+            seed: 11,
+        };
+        assert_eq!(w.addresses(100), w.addresses(100));
+        assert_eq!(w.name(), "zipfian");
+    }
+
+    #[test]
+    fn zipf_cdf_is_monotone_and_complete() {
+        let cdf = zipf_cdf(32, 0.99);
+        assert!(cdf.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(*cdf.last().unwrap(), 1.0);
+    }
+
+    #[test]
+    fn specs_are_assigned_round_robin() {
+        let w = Workload::SequentialScan { address_width: 3 };
+        let specs = [QuerySpec::new(1, 2), QuerySpec::new(2, 1)];
+        let reqs = requests(&w, &specs, 5);
+        assert_eq!(reqs.len(), 5);
+        assert_eq!(reqs[0].spec, specs[0]);
+        assert_eq!(reqs[1].spec, specs[1]);
+        assert_eq!(reqs[2].spec, specs[0]);
+        assert_eq!(reqs[4].id, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn grover_target_must_fit() {
+        let _ = Workload::GroverTrace {
+            address_width: 2,
+            target: 4,
+        }
+        .addresses(1);
+    }
+
+    #[test]
+    #[should_panic(expected = "width disagrees")]
+    fn spec_width_mismatch_is_rejected() {
+        let w = Workload::SequentialScan { address_width: 3 };
+        let _ = assign_specs(&w, &[QuerySpec::new(0, 2)], 1);
+    }
+}

@@ -16,6 +16,9 @@
 //! * [`core`] — the QRAM architectures: the paper's *virtual QRAM*
 //!   contribution and all evaluated baselines (SQC, fanout, bucket-brigade,
 //!   select-swap).
+//! * [`service`] — the batched query-serving subsystem: admission queue,
+//!   batching scheduler, compiled-circuit LRU cache, deterministic
+//!   multi-worker executor, and workload generators.
 //!
 //! # Quickstart
 //!
@@ -39,4 +42,5 @@ pub use qram_core as core;
 pub use qram_layout as layout;
 pub use qram_noise as noise;
 pub use qram_qec as qec;
+pub use qram_service as service;
 pub use qram_sim as sim;

@@ -1,0 +1,136 @@
+//! Integration tests of the `qram-service` serving layer through the
+//! facade — including the PR's acceptance pin: a 1k-request zipfian
+//! workload served through the batching scheduler with a > 80%
+//! circuit-cache hit rate and bit-identical batched estimates across
+//! worker counts.
+
+use qram::core::Memory;
+use qram::service::{assign_specs, QramService, QuerySpec, ServiceConfig, ServiceReport, Workload};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const N: usize = 4;
+
+fn serve_memory() -> Memory {
+    Memory::random(N, &mut StdRng::seed_from_u64(2023))
+}
+
+/// The hot circuit shapes the 1k workload cycles over.
+fn hot_specs() -> Vec<QuerySpec> {
+    use qram::core::{DataEncoding, Optimizations};
+    vec![
+        QuerySpec::new(1, 3),
+        QuerySpec::new(2, 2),
+        QuerySpec::new(1, 3).with_encoding(DataEncoding::FusedBit),
+        QuerySpec::new(2, 2).with_optimizations(Optimizations::OPT2),
+    ]
+}
+
+fn serve_1k(workers: usize) -> ServiceReport {
+    let workload = Workload::Zipfian {
+        address_width: N,
+        theta: 0.99,
+        seed: 41,
+    };
+    let config = ServiceConfig::default()
+        .with_workers(workers)
+        .with_shots(4)
+        .with_seed(7)
+        .with_batch_limit(16);
+    let mut service = QramService::new(serve_memory(), config);
+    let admitted = service.submit_all(assign_specs(&workload, &hot_specs(), 1000));
+    assert_eq!(admitted, 1000);
+    service.drain()
+}
+
+#[test]
+fn zipfian_1k_acceptance_hit_rate_and_worker_determinism() {
+    let serial = serve_1k(1);
+    assert_eq!(serial.results.len(), 1000);
+
+    // Acceptance: hot configurations skip rebuild — > 80% of batch
+    // lookups are served from the compiled-circuit cache (only the 4
+    // distinct specs ever compile).
+    assert_eq!(serial.cache.misses, hot_specs().len() as u64);
+    assert!(
+        serial.cache.hit_rate() > 0.8,
+        "hit rate {:.3}",
+        serial.cache.hit_rate()
+    );
+    assert_eq!(serial.cache.evictions, 0);
+
+    // Acceptance: batched estimates are bit-identical across worker
+    // counts — full QueryResult equality, fidelity estimates included.
+    let quad = serve_1k(4);
+    assert_eq!(serial.results, quad.results);
+    assert_eq!(serial.cache, quad.cache);
+    assert_eq!(quad.workers, 4);
+
+    // The served values are the memory's ground truth.
+    let memory = serve_memory();
+    for result in &serial.results {
+        assert_eq!(
+            result.value,
+            memory.get(result.address as usize),
+            "address {}",
+            result.address
+        );
+        let f = result.fidelity;
+        assert_eq!(f.shots, 4);
+        assert!((0.0..=1.0 + 1e-9).contains(&f.mean));
+    }
+}
+
+#[test]
+fn sequential_scan_reads_back_the_whole_memory() {
+    let memory = serve_memory();
+    let workload = Workload::SequentialScan { address_width: N };
+    let mut service = QramService::new(
+        memory.clone(),
+        ServiceConfig::default().with_shots(0).with_workers(2),
+    );
+    service.submit_all(assign_specs(&workload, &[QuerySpec::new(1, 3)], 16));
+    let report = service.drain();
+    let bits: Vec<bool> = report.results.iter().map(|r| r.value).collect();
+    assert_eq!(bits, memory.bits());
+}
+
+#[test]
+fn grover_trace_is_one_hot_and_cache_resident() {
+    let workload = Workload::GroverTrace {
+        address_width: N,
+        target: 11,
+    };
+    let mut service = QramService::new(
+        serve_memory(),
+        ServiceConfig::default().with_shots(0).with_batch_limit(8),
+    );
+    service.submit_all(assign_specs(&workload, &[QuerySpec::new(2, 2)], 64));
+    let report = service.drain();
+    assert!(report.results.iter().all(|r| r.address == 11));
+    // 64 requests in batches of 8: one compile, seven hits.
+    assert_eq!(report.cache.misses, 1);
+    assert_eq!(report.cache.hits, 7);
+}
+
+#[test]
+fn eviction_pressure_is_accounted_and_still_correct() {
+    let memory = serve_memory();
+    // Capacity 2 under 4 hot specs: the LRU thrashes but serves
+    // correctly and counts evictions.
+    let config = ServiceConfig::default()
+        .with_shots(0)
+        .with_cache_capacity(2)
+        .with_batch_limit(4);
+    let mut service = QramService::new(memory.clone(), config);
+    let workload = Workload::Uniform {
+        address_width: N,
+        seed: 3,
+    };
+    service.submit_all(assign_specs(&workload, &hot_specs(), 64));
+    let report = service.drain();
+    assert!(report.cache.evictions > 0);
+    for result in &report.results {
+        assert_eq!(result.value, memory.get(result.address as usize));
+    }
+}

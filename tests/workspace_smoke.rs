@@ -73,6 +73,7 @@ fn facade_reexports_are_wired() {
     use qram::layout::HTreeEmbedding;
     use qram::noise::{NoiseModel, PauliChannel};
     use qram::qec::{balanced_code, TYPICAL_THRESHOLD};
+    use qram::service::{QramService, QuerySpec, ServiceConfig};
     use qram::sim::PathState;
 
     let mut c = Circuit::new(2);
@@ -91,4 +92,10 @@ fn facade_reexports_are_wired() {
 
     let code = balanced_code(1, N - 1, 1e-3, TYPICAL_THRESHOLD, 9);
     assert!(code.dx() >= code.dz());
+
+    let memory = smoke_memory();
+    let mut service = QramService::new(memory.clone(), ServiceConfig::default().with_shots(0));
+    service.submit(5, QuerySpec::new(1, N - 1));
+    let report = service.drain();
+    assert_eq!(report.results[0].value, memory.get(5));
 }

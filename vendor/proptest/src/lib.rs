@@ -10,9 +10,13 @@
 //!
 //! Differences from upstream, by design:
 //!
-//! * **No shrinking** — a failing case panics with the generated inputs
-//!   (via the values' `Debug` output in the assertion message) but is
-//!   not minimized.
+//! * **Basic shrinking only** — on failure the runner greedily halves
+//!   failing inputs toward their minimum ([`Strategy::shrink`]: integer
+//!   ranges toward the range start, [`any`] integers toward zero, tuples
+//!   one component at a time) and reports the minimized inputs before
+//!   re-raising the original assertion panic. Strategies built through
+//!   non-invertible closures (`prop_map`, `prop_oneof!`) do not shrink;
+//!   upstream's full shrink trees stay out of scope.
 //! * **Deterministic by default** — the case RNG is seeded from
 //!   `PROPTEST_RNG_SEED` (default `0`) so CI runs are reproducible.
 
@@ -72,6 +76,14 @@ macro_rules! prop_assert_ne {
 /// that draws `cases` inputs from the strategies and runs the body on
 /// each. An optional `#![proptest_config(expr)]` header sets the
 /// [`ProptestConfig`](test_runner::ProptestConfig).
+///
+/// On failure the runner shrinks the failing inputs (greedy
+/// halve-toward-minimum over [`Strategy::shrink`] candidates, each
+/// candidate re-tested), prints the minimized inputs to stderr, and
+/// re-runs the body on them uncaught so the original assertion panic is
+/// what the test harness reports. Argument values must therefore be
+/// `Clone + Debug`; strategies are evaluated once per test, so a
+/// strategy expression cannot reference an earlier argument.
 #[macro_export]
 macro_rules! proptest {
     (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
@@ -82,6 +94,18 @@ macro_rules! proptest {
             $crate::test_runner::ProptestConfig::default(); $($rest)*
         }
     };
+}
+
+/// Type-inference helper for the [`proptest!`] expansion: pins the test
+/// body's (destructuring) closure argument to the strategy tuple's value
+/// type, so the body type-checks before its first call.
+#[doc(hidden)]
+pub fn __with_value_type<S, F>(_strategy: &S, body: F) -> F
+where
+    S: strategy::Strategy,
+    F: Fn(S::Value),
+{
+    body
 }
 
 /// Implementation detail of [`proptest!`].
@@ -96,11 +120,90 @@ macro_rules! __proptest_cases {
         fn $name() {
             let config: $crate::test_runner::ProptestConfig = $cfg;
             let mut rng = $crate::test_runner::TestRng::from_env();
+            let __strategy = ($(($strat),)*);
+            let __body = $crate::__with_value_type(&__strategy, |($($arg,)*)| { $body });
+            let __fails = |__values: &_| {
+                ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(|| {
+                    __body(::std::clone::Clone::clone(__values))
+                }))
+                .is_err()
+            };
             for __case in 0..config.effective_cases() {
-                $(let $arg =
-                    $crate::strategy::Strategy::generate(&($strat), &mut rng);)*
-                $body
+                let mut __values =
+                    $crate::strategy::Strategy::generate(&__strategy, &mut rng);
+                if !__fails(&__values) {
+                    continue;
+                }
+                // Greedy shrinking: keep the first candidate that still
+                // fails; stop when every candidate passes (or a safety
+                // cap is hit — candidates halve, so ~64 steps per value
+                // suffice and the cap is never the binding limit).
+                let mut __shrinks = 0usize;
+                'shrinking: while __shrinks < 4096 {
+                    for __cand in
+                        $crate::strategy::Strategy::shrink(&__strategy, &__values)
+                    {
+                        if __fails(&__cand) {
+                            __values = __cand;
+                            __shrinks += 1;
+                            continue 'shrinking;
+                        }
+                    }
+                    break;
+                }
+                eprintln!(
+                    "proptest: case #{} of `{}` failed; minimized input after {} shrink step(s): {:?}",
+                    __case,
+                    stringify!($name),
+                    __shrinks,
+                    __values,
+                );
+                // Re-run uncaught so the harness reports the original
+                // assertion panic, message and all.
+                __body(__values);
+                unreachable!(
+                    "proptest: failing case passed when re-run (non-deterministic test body?)"
+                );
             }
         }
     )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use std::panic::catch_unwind;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static LAST_K: AtomicU64 = AtomicU64::new(u64::MAX);
+    static LAST_SEED: AtomicU64 = AtomicU64::new(u64::MAX);
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(4))]
+        // Deliberately failing property (no #[test] attribute: invoked
+        // manually under catch_unwind below). Records the inputs of the
+        // last executed run — which, after shrinking, is the uncaught
+        // re-run of the minimized case.
+        fn always_fails(k in 3u64..50, seed in any::<u64>()) {
+            LAST_K.store(k, Ordering::SeqCst);
+            LAST_SEED.store(seed, Ordering::SeqCst);
+            panic!("deliberate");
+        }
+
+        #[test]
+        fn passing_properties_run_every_case_clean(v in 0u32..10, flip in any::<bool>()) {
+            prop_assert!(v < 10 || flip);
+        }
+    }
+
+    #[test]
+    fn failing_cases_are_minimized_before_the_final_panic() {
+        let err = catch_unwind(always_fails).expect_err("property must fail");
+        // The harness re-raises the body's own panic, not a wrapper.
+        let msg = err.downcast_ref::<&str>().copied().unwrap_or_default();
+        assert_eq!(msg, "deliberate");
+        // Both arguments were halved all the way to their minima.
+        assert_eq!(LAST_K.load(Ordering::SeqCst), 3);
+        assert_eq!(LAST_SEED.load(Ordering::SeqCst), 0);
+    }
 }

@@ -1,4 +1,5 @@
-//! Value-generation strategies (no shrinking — see the crate docs).
+//! Value-generation strategies with basic halve-toward-minimum
+//! shrinking (see [`Strategy::shrink`]).
 
 use crate::test_runner::TestRng;
 use core::marker::PhantomData;
@@ -15,6 +16,20 @@ pub trait Strategy {
 
     /// Draws one value.
     fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Candidate simplifications of a failing `value` — the basic
+    /// halve-toward-minimum shrinking of this stub (upstream proptest
+    /// builds full shrink trees). The [`proptest!`](crate::proptest)
+    /// runner re-tests each candidate and greedily keeps the first one
+    /// that still fails, so a strategy only proposes; it never decides.
+    ///
+    /// The default is no candidates: composite strategies built through
+    /// non-invertible closures (`prop_map`, `prop_oneof!`) cannot shrink.
+    /// Integer ranges halve toward their minimum, [`any`] integers halve
+    /// toward zero, and tuples shrink one component at a time.
+    fn shrink(&self, _value: &Self::Value) -> Vec<Self::Value> {
+        Vec::new()
+    }
 
     /// Maps generated values through `f`.
     fn prop_map<O, F>(self, f: F) -> Map<Self, F>
@@ -56,6 +71,7 @@ pub struct BoxedStrategy<V>(Box<dyn DynStrategy<Value = V>>);
 trait DynStrategy {
     type Value;
     fn dyn_generate(&self, rng: &mut TestRng) -> Self::Value;
+    fn dyn_shrink(&self, value: &Self::Value) -> Vec<Self::Value>;
 }
 
 impl<S: Strategy> DynStrategy for S {
@@ -63,12 +79,31 @@ impl<S: Strategy> DynStrategy for S {
     fn dyn_generate(&self, rng: &mut TestRng) -> S::Value {
         self.generate(rng)
     }
+    fn dyn_shrink(&self, value: &S::Value) -> Vec<S::Value> {
+        self.shrink(value)
+    }
 }
 
 impl<V> Strategy for BoxedStrategy<V> {
     type Value = V;
     fn generate(&self, rng: &mut TestRng) -> V {
         self.0.dyn_generate(rng)
+    }
+    fn shrink(&self, value: &V) -> Vec<V> {
+        self.0.dyn_shrink(value)
+    }
+}
+
+/// References delegate — the building block that lets a destructured
+/// tuple of `&S` strategies act as a strategy itself (used by the tuple
+/// shrink recursion below).
+impl<S: Strategy> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        (**self).generate(rng)
+    }
+    fn shrink(&self, value: &S::Value) -> Vec<S::Value> {
+        (**self).shrink(value)
     }
 }
 
@@ -114,6 +149,16 @@ where
             self.whence
         )
     }
+
+    fn shrink(&self, value: &S::Value) -> Vec<S::Value> {
+        // Only candidates still satisfying the predicate stay in the
+        // strategy's support.
+        self.inner
+            .shrink(value)
+            .into_iter()
+            .filter(|v| (self.pred)(v))
+            .collect()
+    }
 }
 
 /// See [`prop_oneof!`](crate::prop_oneof).
@@ -148,41 +193,132 @@ macro_rules! impl_range_strategy {
             fn generate(&self, rng: &mut TestRng) -> $t {
                 rng.rng_mut().random_range(self.clone())
             }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                // Halve the distance to the range minimum. Unsigned:
+                // `value ≥ start`, so the subtraction cannot overflow.
+                if *value == self.start {
+                    Vec::new()
+                } else {
+                    vec![self.start + (*value - self.start) / 2]
+                }
+            }
         }
     )*};
 }
 
-impl_range_strategy!(u8, u16, u32, u64, usize, i32, i64);
+impl_range_strategy!(u8, u16, u32, u64, usize);
 
+macro_rules! impl_signed_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.rng_mut().random_range(self.clone())
+            }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                // Signed spans can exceed the type's domain (e.g.
+                // `i64::MIN..i64::MAX`): take the midpoint in i128.
+                if *value == self.start {
+                    Vec::new()
+                } else {
+                    let mid = self.start as i128
+                        + (*value as i128 - self.start as i128) / 2;
+                    vec![mid as $t]
+                }
+            }
+        }
+    )*};
+}
+
+impl_signed_range_strategy!(i32, i64);
+
+/// The empty strategy tuple: generates `()` and cannot shrink. Base case
+/// of the tuple recursion (and of argument-less `proptest!` bodies).
+impl Strategy for () {
+    type Value = ();
+    fn generate(&self, _rng: &mut TestRng) -> Self::Value {}
+}
+
+/// Tuples generate componentwise and shrink one component at a time:
+/// the head's candidates with the tail cloned, then (recursively, via
+/// the `&S` delegation) each tail component's candidates with the head
+/// cloned.
 macro_rules! impl_tuple_strategy {
-    ($($name:ident),+) => {
-        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
-            type Value = ($($name::Value,)+);
+    ($head:ident $headval:ident $(, $tail:ident $tailval:ident)*) => {
+        impl<$head: Strategy $(, $tail: Strategy)*> Strategy for ($head, $($tail,)*)
+        where
+            $head::Value: Clone,
+            $($tail::Value: Clone,)*
+        {
+            type Value = ($head::Value, $($tail::Value,)*);
             #[allow(non_snake_case)]
             fn generate(&self, rng: &mut TestRng) -> Self::Value {
-                let ($($name,)+) = self;
-                ($($name.generate(rng),)+)
+                let ($head, $($tail,)*) = self;
+                ($head.generate(rng), $($tail.generate(rng),)*)
+            }
+            #[allow(non_snake_case, unused_variables)]
+            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                let ($head, $($tail,)*) = self;
+                let ($headval, $($tailval,)*) = value;
+                let mut out = Vec::new();
+                for cand in $head.shrink($headval) {
+                    out.push((cand, $($tailval.clone(),)*));
+                }
+                let tail_strategies = ($($tail,)*);
+                let tail_value = ($($tailval.clone(),)*);
+                for cand in Strategy::shrink(&tail_strategies, &tail_value) {
+                    let ($($tailval,)*) = cand;
+                    out.push(($headval.clone(), $($tailval,)*));
+                }
+                out
             }
         }
     };
 }
 
-impl_tuple_strategy!(A);
-impl_tuple_strategy!(A, B);
-impl_tuple_strategy!(A, B, C);
-impl_tuple_strategy!(A, B, C, D);
-impl_tuple_strategy!(A, B, C, D, E);
-impl_tuple_strategy!(A, B, C, D, E, F);
+impl_tuple_strategy!(A a);
+impl_tuple_strategy!(A a, B b);
+impl_tuple_strategy!(A a, B b, C c);
+impl_tuple_strategy!(A a, B b, C c, D d);
+impl_tuple_strategy!(A a, B b, C c, D d, E e);
+impl_tuple_strategy!(A a, B b, C c, D d, E e, F f);
+impl_tuple_strategy!(A a, B b, C c, D d, E e, F f, G g);
+impl_tuple_strategy!(A a, B b, C c, D d, E e, F f, G g, H h);
 
 /// Types with a canonical "any value" strategy.
 pub trait Arbitrary: Sized {
     /// Draws an arbitrary value.
     fn arbitrary(rng: &mut TestRng) -> Self;
+
+    /// The canonical one-step simplification of `value`, if any
+    /// (integers halve toward zero; the default cannot shrink).
+    fn shrink(_value: &Self) -> Option<Self> {
+        None
+    }
 }
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.rng_mut().random()
+            }
+            fn shrink(value: &Self) -> Option<Self> {
+                (*value != 0).then(|| value / 2)
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u32, u64, usize);
 
 impl Arbitrary for bool {
     fn arbitrary(rng: &mut TestRng) -> Self {
         rng.rng_mut().random()
+    }
+    fn shrink(value: &Self) -> Option<Self> {
+        // `false` is the canonical simpler boolean.
+        value.then_some(false)
     }
 }
 
@@ -190,23 +326,8 @@ impl Arbitrary for u8 {
     fn arbitrary(rng: &mut TestRng) -> Self {
         rng.rng_mut().random_range(0u32..256) as u8
     }
-}
-
-impl Arbitrary for u32 {
-    fn arbitrary(rng: &mut TestRng) -> Self {
-        rng.rng_mut().random()
-    }
-}
-
-impl Arbitrary for u64 {
-    fn arbitrary(rng: &mut TestRng) -> Self {
-        rng.rng_mut().random()
-    }
-}
-
-impl Arbitrary for usize {
-    fn arbitrary(rng: &mut TestRng) -> Self {
-        rng.rng_mut().random()
+    fn shrink(value: &Self) -> Option<Self> {
+        (*value != 0).then(|| value / 2)
     }
 }
 
@@ -228,6 +349,9 @@ impl<T: Arbitrary> Strategy for Any<T> {
     type Value = T;
     fn generate(&self, rng: &mut TestRng) -> T {
         T::arbitrary(rng)
+    }
+    fn shrink(&self, value: &T) -> Vec<T> {
+        T::shrink(value).into_iter().collect()
     }
 }
 
@@ -264,5 +388,82 @@ mod tests {
         let s = (0u32..4).prop_filter("never", |_| false);
         let mut rng = TestRng::from_seed(0);
         let _ = s.generate(&mut rng);
+    }
+
+    #[test]
+    fn range_shrink_halves_toward_the_range_start() {
+        let s = 5u32..100;
+        assert!(s.shrink(&5).is_empty());
+        assert_eq!(s.shrink(&85), vec![45]);
+        // The halving chain converges to the range minimum.
+        let mut v = 85;
+        let mut steps = 0;
+        while let Some(&next) = s.shrink(&v).first() {
+            assert!(next < v);
+            v = next;
+            steps += 1;
+            assert!(steps < 64, "halving must converge");
+        }
+        assert_eq!(v, 5);
+    }
+
+    #[test]
+    fn signed_range_shrinks_toward_its_minimum() {
+        let s = -8i32..8;
+        assert_eq!(s.shrink(&4), vec![-2]);
+        assert!(s.shrink(&-8).is_empty());
+    }
+
+    #[test]
+    fn full_domain_signed_range_shrinks_without_overflow() {
+        // The span of i64::MIN..i64::MAX exceeds i64: the midpoint must
+        // be taken in wider arithmetic.
+        let s = i64::MIN..i64::MAX;
+        assert_eq!(s.shrink(&(i64::MAX - 1)), vec![-1]);
+        let mut v = i64::MAX - 1;
+        let mut steps = 0;
+        while let Some(&next) = s.shrink(&v).first() {
+            v = next;
+            steps += 1;
+            assert!(steps < 200, "halving must converge");
+        }
+        assert_eq!(v, i64::MIN);
+    }
+
+    #[test]
+    fn tuple_shrink_proposes_one_component_at_a_time() {
+        let s = (0u32..10, 0u64..10);
+        assert_eq!(s.shrink(&(4, 6)), vec![(2, 6), (4, 3)]);
+        assert_eq!(s.shrink(&(0, 6)), vec![(0, 3)]);
+        assert!(s.shrink(&(0, 0)).is_empty());
+        // Deeper arity: every component gets its turn.
+        let s3 = (0u32..10, 0u32..10, 0u32..10);
+        assert_eq!(s3.shrink(&(2, 2, 2)), vec![(1, 2, 2), (2, 1, 2), (2, 2, 1)]);
+    }
+
+    #[test]
+    fn filter_shrink_keeps_only_candidates_satisfying_the_predicate() {
+        let s = (0u32..100).prop_filter("even", |v| v % 2 == 0);
+        assert_eq!(s.shrink(&88), vec![44]);
+        // 6 halves to 3, which is odd: rejected, no candidates.
+        assert!(s.shrink(&6).is_empty());
+    }
+
+    #[test]
+    fn any_integers_shrink_toward_zero_and_bools_toward_false() {
+        assert_eq!(any::<u64>().shrink(&9), vec![4]);
+        assert!(any::<u64>().shrink(&0).is_empty());
+        assert_eq!(any::<u8>().shrink(&255), vec![127]);
+        assert_eq!(any::<bool>().shrink(&true), vec![false]);
+        assert!(any::<bool>().shrink(&false).is_empty());
+        assert!(any::<f64>().shrink(&1.5).is_empty());
+    }
+
+    #[test]
+    fn mapped_and_boxed_strategies_shrink_consistently() {
+        // prop_map cannot invert its closure: no candidates.
+        assert!((0u32..10).prop_map(|v| v * 2).shrink(&8).is_empty());
+        // Boxing delegates to the inner strategy.
+        assert_eq!((0u32..100).boxed().shrink(&64), vec![32]);
     }
 }
