@@ -1,10 +1,15 @@
-//! `serve_bench` — drives the `qram-service` query-serving subsystem
-//! with a generated workload and reports throughput and latency
-//! percentiles into the repo's `BENCH_*.json` pipeline.
+//! `serve_bench` — drives the `qram-service` event-driven serving
+//! pipeline with a generated workload and reports throughput and
+//! virtual-clock latency percentiles into the repo's `BENCH_*.json`
+//! pipeline.
 //!
 //! ```text
+//! # closed loop: submit everything, drain, report
 //! cargo run --release -p qram-bench --bin serve_bench -- \
 //!     --workload zipfian --requests 1000 --shots 8 --seed 7 --threads 2
+//! # open loop: Poisson arrivals swept over offered-load multipliers
+//! cargo run --release -p qram-bench --bin serve_bench -- \
+//!     --mode open --arrivals poisson --load 0.5,1.0,2.0 --threads 2
 //! ```
 //!
 //! Flags (shared flags match the other experiment binaries):
@@ -12,37 +17,66 @@
 //! * `--full` — paper-scale run (larger memory and request count);
 //! * `--shots N` — Monte-Carlo shots per request (0 = noiseless serving);
 //! * `--seed N` — service master seed (per-request streams derive from it);
-//! * `--threads N` — executor workers (`0` = all cores). A pure
-//!   throughput knob: results are bit-identical for any value;
+//! * `--threads N` — real executor workers (`0` = all cores). A pure
+//!   throughput knob: results — latency breakdowns included — are
+//!   bit-identical for any value (the printed `results_digest` proves it);
+//! * `--shot-threads N` — threads the shot engine uses *inside* one
+//!   request (default 1). Multiplies with `--threads`; keep at 1 unless
+//!   requests are few and shot counts large, since per-request
+//!   work-stealing already fills the workers;
+//! * `--mode closed|open` — closed-loop drain (default) or open-loop
+//!   arrival-process sweep;
 //! * `--workload NAME` — `uniform`, `zipfian` (default), `scan`, `grover`;
+//! * `--arrivals NAME` — open-loop arrival process: `poisson` (default)
+//!   or `bursty` (MMPP-2 at the same average load);
+//! * `--load LIST` — open-loop offered-load multipliers of the modeled
+//!   capacity (default `0.5,1.0,2.0`; >1 = overload);
+//! * `--spec-skew X` — assign specs zipf(θ = X)-skewed instead of
+//!   round-robin (0 = round-robin), stressing LRU eviction;
 //! * `--requests N` — requests to serve (default 256, `--full` 1024);
 //! * `--width N` — memory address width `n` (default 4, `--full` 6);
-//! * `--theta X` — zipf exponent (default 0.99);
+//! * `--theta X` — zipf exponent of the *address* stream (default 0.99);
 //! * `--batch N` — scheduler batch limit (default 32);
+//! * `--queue N` — bounded-queue capacity for open-loop admission
+//!   (default 64; offers beyond it are shed);
+//! * `--deadline T` — batching deadline slack in virtual ns (default
+//!   20000);
 //! * `--out FILE` — summary path (default `<repo root>/BENCH_SERVE.json`).
 //!
-//! The summary records the workload, cache hit/miss/eviction counters,
-//! overall throughput (requests/s) and the p50/p90/p99/max per-request
-//! latencies (a request's latency is its batch's execution time).
+//! Latency is measured on the service's **virtual clock** (one tick =
+//! one modeled ns), so percentiles include queueing delay, decompose
+//! into `queue_wait`/`compile`/`execute`, and are bit-identical across
+//! `--threads` values — wall-clock throughput of the simulation host is
+//! reported separately.
 
 use std::path::PathBuf;
 use std::time::Instant;
 
-use qram_bench::report::{find_repo_root, percentile};
+use qram_bench::report::{find_repo_root, fnv1a_64, percentile, serve_sweep_json, ServeLoadPoint};
 use qram_bench::{experiment_memory, print_row};
-use qram_core::{DataEncoding, Optimizations};
-use qram_service::{assign_specs, QramService, QuerySpec, ServiceConfig, Workload};
+use qram_core::{DataEncoding, Memory, Optimizations, QueryArchitecture};
+use qram_service::{
+    assign_specs_with, Admission, ArrivalProcess, QramService, QueryResult, QuerySpec,
+    ServiceConfig, SpecMix, Ticks, Workload,
+};
 
 struct Args {
     full: bool,
     shots: Option<usize>,
     seed: u64,
     threads: usize,
+    shot_threads: usize,
+    mode: String,
     workload: String,
+    arrivals: String,
+    loads: Vec<f64>,
+    spec_skew: f64,
     requests: Option<usize>,
     width: Option<usize>,
     theta: f64,
     batch: usize,
+    queue: usize,
+    deadline: Ticks,
     out: Option<PathBuf>,
 }
 
@@ -52,11 +86,18 @@ fn parse_args() -> Args {
         shots: None,
         seed: 2023,
         threads: 0,
+        shot_threads: 1,
+        mode: "closed".into(),
         workload: "zipfian".into(),
+        arrivals: "poisson".into(),
+        loads: vec![0.5, 1.0, 2.0],
+        spec_skew: 0.0,
         requests: None,
         width: None,
         theta: 0.99,
         batch: 32,
+        queue: 64,
+        deadline: 20_000,
         out: None,
     };
     let mut args = std::env::args().skip(1);
@@ -72,17 +113,42 @@ fn parse_args() -> Args {
             "--threads" => {
                 parsed.threads = value("--threads", &mut args).parse().expect("--threads")
             }
+            "--shot-threads" => {
+                parsed.shot_threads = value("--shot-threads", &mut args)
+                    .parse()
+                    .expect("--shot-threads")
+            }
+            "--mode" => parsed.mode = value("--mode", &mut args),
             "--workload" => parsed.workload = value("--workload", &mut args),
+            "--arrivals" => parsed.arrivals = value("--arrivals", &mut args),
+            "--load" => {
+                parsed.loads = value("--load", &mut args)
+                    .split(',')
+                    .map(|x| x.trim().parse().expect("--load"))
+                    .collect();
+                assert!(!parsed.loads.is_empty(), "--load needs at least one value");
+            }
+            "--spec-skew" => {
+                parsed.spec_skew = value("--spec-skew", &mut args)
+                    .parse()
+                    .expect("--spec-skew")
+            }
             "--requests" => {
                 parsed.requests = Some(value("--requests", &mut args).parse().expect("--requests"))
             }
             "--width" => parsed.width = Some(value("--width", &mut args).parse().expect("--width")),
             "--theta" => parsed.theta = value("--theta", &mut args).parse().expect("--theta"),
             "--batch" => parsed.batch = value("--batch", &mut args).parse().expect("--batch"),
+            "--queue" => parsed.queue = value("--queue", &mut args).parse().expect("--queue"),
+            "--deadline" => {
+                parsed.deadline = value("--deadline", &mut args).parse().expect("--deadline")
+            }
             "--out" => parsed.out = Some(PathBuf::from(value("--out", &mut args))),
             other => panic!(
                 "unknown flag `{other}` (expected --full, --shots N, --seed N, --threads N, \
-                 --workload NAME, --requests N, --width N, --theta X, --batch N, --out FILE)"
+                 --shot-threads N, --mode closed|open, --workload NAME, --arrivals NAME, \
+                 --load LIST, --spec-skew X, --requests N, --width N, --theta X, --batch N, \
+                 --queue N, --deadline T, --out FILE)"
             ),
         }
     }
@@ -121,6 +187,164 @@ fn build_workload(args: &Args, n: usize) -> Workload {
     }
 }
 
+/// The arrival process at a mean inter-arrival gap of `mean_gap` virtual
+/// ns. `bursty` blends a 4x-fast burst state with a matching slow state
+/// so the *average* load equals the Poisson stream's.
+fn build_arrivals(args: &Args, mean_gap: f64) -> ArrivalProcess {
+    match args.arrivals.as_str() {
+        "poisson" => ArrivalProcess::Poisson {
+            mean_gap,
+            seed: args.seed ^ 0x5eed,
+        },
+        "bursty" => ArrivalProcess::Bursty {
+            mean_fast_gap: mean_gap / 4.0,
+            mean_slow_gap: mean_gap * 7.0 / 4.0,
+            mean_dwell: 32.0,
+            seed: args.seed ^ 0x5eed,
+        },
+        other => panic!("unknown arrival process `{other}` (expected poisson, bursty)"),
+    }
+}
+
+fn spec_mix(args: &Args) -> SpecMix {
+    if args.spec_skew > 0.0 {
+        SpecMix::Zipfian {
+            theta: args.spec_skew,
+            seed: args.seed ^ 0x51ce,
+        }
+    } else {
+        SpecMix::RoundRobin
+    }
+}
+
+fn service_config(args: &Args, shots: usize) -> ServiceConfig {
+    ServiceConfig::default()
+        .with_workers(args.threads)
+        .with_shots(shots)
+        .with_seed(args.seed)
+        .with_batch_limit(args.batch)
+        .with_shot_threads(args.shot_threads)
+        .with_queue_capacity(args.queue)
+        .with_deadline(args.deadline)
+}
+
+/// Digest of everything deterministic about a result set: ids,
+/// addresses, values, virtual timestamps, latency breakdowns, and the
+/// fidelity estimates bit by bit. Equal digests across `--threads`
+/// values certify the executor's bit-identity.
+fn results_digest(results: &[QueryResult]) -> u64 {
+    let mut bytes: Vec<u8> = Vec::with_capacity(results.len() * 80);
+    for r in results {
+        bytes.extend(r.id.to_le_bytes());
+        bytes.extend(r.address.to_le_bytes());
+        bytes.push(r.value as u8);
+        bytes.extend(r.arrival.to_le_bytes());
+        bytes.extend(r.completed.to_le_bytes());
+        bytes.extend(r.latency.queue_wait.to_le_bytes());
+        bytes.extend(r.latency.compile.to_le_bytes());
+        bytes.extend(r.latency.execute.to_le_bytes());
+        bytes.extend(r.fidelity.mean.to_le_bytes());
+        bytes.extend((r.fidelity.shots as u64).to_le_bytes());
+    }
+    fnv1a_64(bytes)
+}
+
+/// Virtual end-to-end latency percentiles `[p50, p90, p99, max]` in ns.
+fn latency_percentiles(results: &[QueryResult]) -> [f64; 4] {
+    let totals: Vec<f64> = results.iter().map(|r| r.latency.total() as f64).collect();
+    let max = totals.iter().copied().fold(0.0f64, f64::max);
+    [
+        percentile(&totals, 50.0),
+        percentile(&totals, 90.0),
+        percentile(&totals, 99.0),
+        max,
+    ]
+}
+
+fn mean(values: impl Iterator<Item = f64>, count: usize) -> f64 {
+    if count == 0 {
+        return 0.0;
+    }
+    values.sum::<f64>() / count as f64
+}
+
+/// The fixed context of an open-loop sweep (everything but the load
+/// multiplier).
+struct OpenSweep<'a> {
+    args: &'a Args,
+    memory: &'a Memory,
+    workload: &'a Workload,
+    specs: &'a [QuerySpec],
+    shots: usize,
+    requests: usize,
+    capacity_rps: f64,
+}
+
+/// Runs one open-loop operating point and condenses it.
+fn run_open_point(sweep: &OpenSweep<'_>, load_factor: f64) -> (ServeLoadPoint, Vec<QueryResult>) {
+    let OpenSweep {
+        args,
+        memory,
+        workload,
+        specs,
+        shots,
+        requests,
+        capacity_rps,
+    } = *sweep;
+    let offered_rps = capacity_rps * load_factor;
+    let mean_gap = 1e9 / offered_rps;
+    let arrivals = build_arrivals(args, mean_gap).arrivals(requests);
+    let submissions = assign_specs_with(workload, specs, spec_mix(args), requests);
+
+    let mut service = QramService::new(memory.clone(), service_config(args, shots));
+    for (&arrival, &(address, spec)) in arrivals.iter().zip(&submissions) {
+        match service.try_submit_at(address, spec, arrival) {
+            Admission::Accepted(_) | Admission::Shed { .. } => {}
+            Admission::Rejected(reason) => panic!("generated workload rejected: {reason}"),
+        }
+    }
+    let results = service.run_until_idle();
+
+    let first_arrival = arrivals.first().copied().unwrap_or(0);
+    let last_completed = results.iter().map(|r| r.completed).max().unwrap_or(0);
+    let span = last_completed.saturating_sub(first_arrival).max(1) as f64;
+    let completed = results.len();
+    let point = ServeLoadPoint {
+        offered_rps,
+        load_factor,
+        offered: requests,
+        completed,
+        shed: service.admission_stats().shed,
+        achieved_rps: completed as f64 * 1e9 / span,
+        latency_ns: latency_percentiles(&results),
+        mean_queue_wait_ns: mean(
+            results.iter().map(|r| r.latency.queue_wait as f64),
+            completed,
+        ),
+        mean_compile_ns: mean(results.iter().map(|r| r.latency.compile as f64), completed),
+        mean_execute_ns: mean(results.iter().map(|r| r.latency.execute as f64), completed),
+        cache_hit_rate: service.cache_stats().hit_rate(),
+    };
+    (point, results)
+}
+
+fn write_summary(out: Option<PathBuf>, json: &str) {
+    let out_path = out.unwrap_or_else(|| {
+        std::env::current_dir()
+            .ok()
+            .and_then(|d| find_repo_root(&d))
+            .unwrap_or_else(|| PathBuf::from("."))
+            .join("BENCH_SERVE.json")
+    });
+    match std::fs::write(&out_path, json) {
+        Ok(()) => println!("# summary written to {}", out_path.display()),
+        Err(e) => {
+            eprintln!("serve_bench: cannot write {}: {e}", out_path.display());
+            std::process::exit(2);
+        }
+    }
+}
+
 fn main() {
     let args = parse_args();
     let n = args.width.unwrap_or(if args.full { 6 } else { 4 });
@@ -130,53 +354,71 @@ fn main() {
     let memory = experiment_memory(n, args.seed);
     let workload = build_workload(&args, n);
     let specs = hot_specs(n);
-    let config = ServiceConfig::default()
-        .with_workers(args.threads)
-        .with_shots(shots)
-        .with_seed(args.seed)
-        .with_batch_limit(args.batch);
-    let mut service = QramService::new(memory, config);
-    service.submit_all(assign_specs(&workload, &specs, requests));
+    match args.mode.as_str() {
+        "closed" => run_closed(&args, &memory, &workload, &specs, shots, requests),
+        "open" => run_open(&args, &memory, &workload, &specs, shots, requests),
+        other => panic!("unknown mode `{other}` (expected closed, open)"),
+    }
+}
+
+/// Closed loop: every request is queued up front (a blocking client
+/// population), then the pipeline drains to idle.
+fn run_closed(
+    args: &Args,
+    memory: &Memory,
+    workload: &Workload,
+    specs: &[QuerySpec],
+    shots: usize,
+    requests: usize,
+) {
+    let mut service = QramService::new(memory.clone(), service_config(args, shots));
+    service.submit_all(assign_specs_with(workload, specs, spec_mix(args), requests));
 
     let start = Instant::now();
     let report = service.drain();
-    let elapsed = start.elapsed();
+    let wall = start.elapsed();
 
-    // A request's latency is its batch's execution time.
-    let latencies_ns: Vec<f64> = report
-        .batches
+    let latency = latency_percentiles(&report.results);
+    let wall_rps = report.results.len() as f64 / wall.as_secs_f64().max(1e-9);
+    let virtual_span = report
+        .results
         .iter()
-        .flat_map(|b| std::iter::repeat_n(b.duration.as_nanos() as f64, b.requests))
-        .collect();
-    let throughput = report.results.len() as f64 / elapsed.as_secs_f64().max(1e-9);
-    let mean_fidelity = if report.results.is_empty() {
-        0.0
-    } else {
-        report.results.iter().map(|r| r.fidelity.mean).sum::<f64>() / report.results.len() as f64
-    };
-    let (p50, p90, p99) = (
-        percentile(&latencies_ns, 50.0),
-        percentile(&latencies_ns, 90.0),
-        percentile(&latencies_ns, 99.0),
+        .map(|r| r.completed)
+        .max()
+        .unwrap_or(0)
+        .max(1) as f64;
+    let virtual_rps = report.results.len() as f64 * 1e9 / virtual_span;
+    let count = report.results.len();
+    let mean_fidelity = mean(report.results.iter().map(|r| r.fidelity.mean), count);
+    let mean_queue_wait = mean(
+        report.results.iter().map(|r| r.latency.queue_wait as f64),
+        count,
     );
-    let max_ns = latencies_ns.iter().copied().fold(0.0f64, f64::max);
+    let digest = results_digest(&report.results);
 
     println!(
-        "# serve_bench: {} x {} over n={n} ({} hot specs, batch <= {}, {} shots, {} workers)",
-        report.results.len(),
+        "# serve_bench closed: {} x {} over n={} ({} hot specs, batch <= {}, {} shots, {} workers x {} shot-threads)",
+        count,
         workload.name(),
+        memory.address_width(),
         specs.len(),
         args.batch,
         shots,
         report.workers,
+        args.shot_threads,
     );
     print_row(&["metric", "value"].map(String::from));
-    print_row(&["requests".into(), report.results.len().to_string()]);
+    print_row(&["requests".into(), count.to_string()]);
     print_row(&["batches".into(), report.batches.len().to_string()]);
-    print_row(&["throughput_rps".into(), format!("{throughput:.1}")]);
-    print_row(&["latency_p50_us".into(), format!("{:.1}", p50 / 1e3)]);
-    print_row(&["latency_p90_us".into(), format!("{:.1}", p90 / 1e3)]);
-    print_row(&["latency_p99_us".into(), format!("{:.1}", p99 / 1e3)]);
+    print_row(&["virtual_rps".into(), format!("{virtual_rps:.1}")]);
+    print_row(&["wall_rps".into(), format!("{wall_rps:.1}")]);
+    print_row(&["latency_p50_us".into(), format!("{:.1}", latency[0] / 1e3)]);
+    print_row(&["latency_p90_us".into(), format!("{:.1}", latency[1] / 1e3)]);
+    print_row(&["latency_p99_us".into(), format!("{:.1}", latency[2] / 1e3)]);
+    print_row(&[
+        "mean_queue_wait_us".into(),
+        format!("{:.1}", mean_queue_wait / 1e3),
+    ]);
     print_row(&["cache_hits".into(), report.cache.hits.to_string()]);
     print_row(&["cache_misses".into(), report.cache.misses.to_string()]);
     print_row(&["cache_evictions".into(), report.cache.evictions.to_string()]);
@@ -185,38 +427,143 @@ fn main() {
         format!("{:.3}", report.cache.hit_rate()),
     ]);
     print_row(&["mean_fidelity".into(), format!("{mean_fidelity:.4}")]);
+    println!("# results_digest: {digest:016x}");
 
-    let out_path = args.out.unwrap_or_else(|| {
-        std::env::current_dir()
-            .ok()
-            .and_then(|d| find_repo_root(&d))
-            .unwrap_or_else(|| PathBuf::from("."))
-            .join("BENCH_SERVE.json")
-    });
     let json = format!(
-        "{{\n  \"schema\": \"qram-bench/serve-summary/v1\",\n  \"workload\": \"{}\",\n  \
-         \"address_width\": {n},\n  \"requests\": {},\n  \"batches\": {},\n  \"specs\": {},\n  \
-         \"shots\": {shots},\n  \"seed\": {},\n  \"workers\": {},\n  \
-         \"throughput_rps\": {throughput:.1},\n  \"latency_ns\": {{\"p50\": {p50:.0}, \
-         \"p90\": {p90:.0}, \"p99\": {p99:.0}, \"max\": {max_ns:.0}}},\n  \
+        "{{\n  \"schema\": \"qram-bench/serve-summary/v2\",\n  \"mode\": \"closed\",\n  \
+         \"workload\": \"{}\",\n  \"spec_mix\": \"{}\",\n  \"address_width\": {},\n  \
+         \"requests\": {count},\n  \"batches\": {},\n  \"specs\": {},\n  \"shots\": {shots},\n  \
+         \"seed\": {},\n  \"shot_threads\": {},\n  \"results_digest\": \"{digest:016x}\",\n  \
+         \"virtual_rps\": {virtual_rps:.1},\n  \"wall_rps\": {wall_rps:.1},\n  \
+         \"latency_ns\": {{\"p50\": {:.0}, \"p90\": {:.0}, \"p99\": {:.0}, \"max\": {:.0}}},\n  \
+         \"mean_queue_wait_ns\": {mean_queue_wait:.1},\n  \
          \"cache\": {{\"hits\": {}, \"misses\": {}, \"evictions\": {}, \"hit_rate\": {:.4}}},\n  \
          \"mean_fidelity\": {mean_fidelity:.6}\n}}\n",
         workload.name(),
-        report.results.len(),
+        mix_name(args),
+        memory.address_width(),
         report.batches.len(),
         specs.len(),
         args.seed,
-        report.workers,
+        args.shot_threads,
+        latency[0],
+        latency[1],
+        latency[2],
+        latency[3],
         report.cache.hits,
         report.cache.misses,
         report.cache.evictions,
         report.cache.hit_rate(),
     );
-    match std::fs::write(&out_path, &json) {
-        Ok(()) => println!("# summary written to {}", out_path.display()),
-        Err(e) => {
-            eprintln!("serve_bench: cannot write {}: {e}", out_path.display());
-            std::process::exit(2);
-        }
+    write_summary(args.out.clone(), &json);
+}
+
+/// Open loop: arrivals at fixed offered rates, swept across load
+/// multipliers of the modeled capacity.
+fn run_open(
+    args: &Args,
+    memory: &Memory,
+    workload: &Workload,
+    specs: &[QuerySpec],
+    shots: usize,
+    requests: usize,
+) {
+    // The modeled capacity: virtual execution units over the mean
+    // per-request execute cost of the hot specs.
+    let cost = service_config(args, shots).cost;
+    let mean_execute = specs
+        .iter()
+        .map(|spec| {
+            let gates = spec.architecture().build(memory).circuit().gates().len();
+            cost.execute_cost(gates, shots)
+        })
+        .sum::<u64>() as f64
+        / specs.len() as f64;
+    let capacity_rps = cost.capacity_rps(mean_execute.round() as u64);
+
+    println!(
+        "# serve_bench open: {} x {} + {} arrivals over n={} ({} hot specs, {} shots, queue {}, deadline {} ns, capacity {:.0} rps)",
+        requests,
+        workload.name(),
+        args.arrivals,
+        memory.address_width(),
+        specs.len(),
+        shots,
+        args.queue,
+        args.deadline,
+        capacity_rps,
+    );
+    print_row(
+        &[
+            "load",
+            "offered",
+            "completed",
+            "shed",
+            "rps",
+            "p50_us",
+            "p99_us",
+            "qwait_us",
+            "hit_rate",
+        ]
+        .map(String::from),
+    );
+    let sweep = OpenSweep {
+        args,
+        memory,
+        workload,
+        specs,
+        shots,
+        requests,
+        capacity_rps,
+    };
+    let mut points = Vec::new();
+    let mut digest_bytes: Vec<u8> = Vec::new();
+    for &load_factor in &args.loads {
+        let (point, results) = run_open_point(&sweep, load_factor);
+        print_row(&[
+            format!("{load_factor:.2}"),
+            point.offered.to_string(),
+            point.completed.to_string(),
+            point.shed.to_string(),
+            format!("{:.0}", point.achieved_rps),
+            format!("{:.1}", point.latency_ns[0] / 1e3),
+            format!("{:.1}", point.latency_ns[2] / 1e3),
+            format!("{:.1}", point.mean_queue_wait_ns / 1e3),
+            format!("{:.3}", point.cache_hit_rate),
+        ]);
+        digest_bytes.extend(results_digest(&results).to_le_bytes());
+        points.push(point);
+    }
+    let digest = fnv1a_64(digest_bytes);
+    println!("# results_digest: {digest:016x}");
+
+    let json = format!(
+        "{{\n  \"schema\": \"qram-bench/serve-summary/v2\",\n  \"mode\": \"open\",\n  \
+         \"workload\": \"{}\",\n  \"arrivals\": \"{}\",\n  \"spec_mix\": \"{}\",\n  \
+         \"address_width\": {},\n  \"requests_per_point\": {requests},\n  \"specs\": {},\n  \
+         \"shots\": {shots},\n  \"seed\": {},\n  \"shot_threads\": {},\n  \
+         \"queue_capacity\": {},\n  \"deadline_ns\": {},\n  \"batch_limit\": {},\n  \
+         \"capacity_rps\": {capacity_rps:.1},\n  \"results_digest\": \"{digest:016x}\",\n  \
+         \"sweep\": {}\n}}\n",
+        workload.name(),
+        args.arrivals,
+        mix_name(args),
+        memory.address_width(),
+        specs.len(),
+        args.seed,
+        args.shot_threads,
+        args.queue,
+        args.deadline,
+        args.batch,
+        serve_sweep_json(&points),
+    );
+    write_summary(args.out.clone(), &json);
+}
+
+fn mix_name(args: &Args) -> String {
+    if args.spec_skew > 0.0 {
+        format!("zipfian({:.2})", args.spec_skew)
+    } else {
+        "round_robin".into()
     }
 }

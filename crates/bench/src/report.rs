@@ -179,6 +179,87 @@ pub fn percentile(values: &[f64], q: f64) -> f64 {
     sorted[rank.clamp(1, sorted.len()) - 1]
 }
 
+/// One operating point of the open-loop serving sweep: the service
+/// driven at a fixed offered load, measured on the virtual clock.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeLoadPoint {
+    /// Offered arrival rate in requests per virtual second.
+    pub offered_rps: f64,
+    /// `offered_rps / modeled capacity` (1.0 = critically loaded).
+    pub load_factor: f64,
+    /// Requests offered to admission.
+    pub offered: usize,
+    /// Requests served to completion.
+    pub completed: usize,
+    /// Requests shed by back-pressure (bounded queue full).
+    pub shed: u64,
+    /// Achieved completion rate in requests per virtual second.
+    pub achieved_rps: f64,
+    /// Virtual-clock end-to-end latency percentiles (ns): p50, p90,
+    /// p99, max.
+    pub latency_ns: [f64; 4],
+    /// Mean virtual ns per request spent queueing (admission wait +
+    /// execution-unit stall).
+    pub mean_queue_wait_ns: f64,
+    /// Mean virtual ns per request spent compiling (0 on cache hits).
+    pub mean_compile_ns: f64,
+    /// Mean virtual ns per request executing.
+    pub mean_execute_ns: f64,
+    /// Circuit-cache hit rate at this point.
+    pub cache_hit_rate: f64,
+}
+
+impl ServeLoadPoint {
+    /// Renders the point as one JSON object (no trailing newline).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"offered_rps\": {:.1}, \"load_factor\": {:.3}, \"offered\": {}, \
+             \"completed\": {}, \"shed\": {}, \"achieved_rps\": {:.1}, \
+             \"latency_ns\": {{\"p50\": {:.0}, \"p90\": {:.0}, \"p99\": {:.0}, \"max\": {:.0}}}, \
+             \"breakdown_ns\": {{\"queue_wait\": {:.1}, \"compile\": {:.1}, \"execute\": {:.1}}}, \
+             \"cache_hit_rate\": {:.4}}}",
+            self.offered_rps,
+            self.load_factor,
+            self.offered,
+            self.completed,
+            self.shed,
+            self.achieved_rps,
+            self.latency_ns[0],
+            self.latency_ns[1],
+            self.latency_ns[2],
+            self.latency_ns[3],
+            self.mean_queue_wait_ns,
+            self.mean_compile_ns,
+            self.mean_execute_ns,
+            self.cache_hit_rate,
+        )
+    }
+}
+
+/// Renders a throughput-vs-offered-load sweep as an indented JSON array
+/// fragment (for embedding in the `BENCH_SERVE.json` summary).
+pub fn serve_sweep_json(points: &[ServeLoadPoint]) -> String {
+    let mut out = String::from("[\n");
+    for (i, point) in points.iter().enumerate() {
+        let comma = if i + 1 < points.len() { "," } else { "" };
+        out.push_str(&format!("    {}{comma}\n", point.to_json()));
+    }
+    out.push_str("  ]");
+    out
+}
+
+/// FNV-1a over a byte stream: the results digest `serve_bench` prints so
+/// CI can diff 1-worker vs N-worker runs for bit-equality without
+/// carrying the full result dump.
+pub fn fnv1a_64(bytes: impl IntoIterator<Item = u8>) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in bytes {
+        hash ^= byte as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
 /// One benchmark whose mean regressed against a saved baseline snapshot.
 #[derive(Debug, Clone, PartialEq)]
 pub struct AbsRegression {
@@ -474,6 +555,38 @@ mod tests {
         assert_eq!(percentile(&values, 0.0), 1.0);
         assert_eq!(percentile(&[], 50.0), 0.0);
         assert_eq!(percentile(&[7.5], 90.0), 7.5);
+    }
+
+    #[test]
+    fn serve_sweep_json_is_parseable_by_own_helpers() {
+        let point = ServeLoadPoint {
+            offered_rps: 1000.0,
+            load_factor: 2.0,
+            offered: 512,
+            completed: 400,
+            shed: 112,
+            achieved_rps: 500.5,
+            latency_ns: [1_000.0, 2_000.0, 9_000.0, 12_000.0],
+            mean_queue_wait_ns: 700.25,
+            mean_compile_ns: 12.5,
+            mean_execute_ns: 300.0,
+            cache_hit_rate: 0.9375,
+        };
+        let json = serve_sweep_json(&[point.clone(), point]);
+        assert_eq!(json_num_field(&json, "load_factor"), Some(2.0));
+        assert_eq!(json_num_field(&json, "shed"), Some(112.0));
+        assert_eq!(json_num_field(&json, "p99"), Some(9_000.0));
+        assert_eq!(json_num_field(&json, "queue_wait"), Some(700.2));
+        assert_eq!(json.matches("achieved_rps").count(), 2);
+        assert!(serve_sweep_json(&[]).starts_with("[\n"));
+    }
+
+    #[test]
+    fn fnv1a_is_stable_and_order_sensitive() {
+        // Reference vectors for 64-bit FNV-1a.
+        assert_eq!(fnv1a_64([]), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a_64(*b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_ne!(fnv1a_64(*b"ab"), fnv1a_64(*b"ba"));
     }
 
     #[test]

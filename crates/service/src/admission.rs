@@ -1,0 +1,147 @@
+//! Admission control: the non-blocking outcomes of offering a request to
+//! the bounded pipeline.
+//!
+//! The open-loop API ([`crate::QramService::try_submit_at`]) never
+//! blocks and never panics on traffic it cannot take. Instead every
+//! offer resolves to an explicit [`Admission`]:
+//!
+//! * [`Admission::Accepted`] — the request entered the pipeline and got
+//!   an id;
+//! * [`Admission::Shed`] — the bounded queue is full; the request is
+//!   dropped at the door (back-pressure). Shed requests consume no id,
+//!   so the accepted id sequence — and with it every accepted request's
+//!   deterministic fault stream — is independent of how much excess
+//!   traffic was shed around it;
+//! * [`Admission::Rejected`] — the request is structurally invalid for
+//!   the served memory (wrong spec width, out-of-range address) and
+//!   could never be served, regardless of load.
+
+use crate::QuerySpec;
+
+/// Why a request could never be served by this service instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RejectReason {
+    /// The spec's address width disagrees with the served memory's.
+    SpecWidthMismatch {
+        /// The offending spec.
+        spec: QuerySpec,
+        /// The served memory's address width.
+        memory_width: usize,
+    },
+    /// The address does not exist in the served memory.
+    AddressOutOfRange {
+        /// The offending address.
+        address: u64,
+        /// The served memory's cell count.
+        cells: usize,
+    },
+}
+
+impl std::fmt::Display for RejectReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RejectReason::SpecWidthMismatch { spec, memory_width } => write!(
+                f,
+                "spec address width {} disagrees with the served memory width {memory_width}",
+                spec.address_width()
+            ),
+            RejectReason::AddressOutOfRange { address, cells } => {
+                write!(f, "address {address} out of range for {cells} cells")
+            }
+        }
+    }
+}
+
+/// The outcome of offering one request to the pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// Admitted under this request id.
+    Accepted(u64),
+    /// Dropped by back-pressure: the bounded queue held `queue_depth`
+    /// requests already.
+    Shed {
+        /// In-system requests at the instant of the offer.
+        queue_depth: usize,
+    },
+    /// Structurally invalid; would be refused even on an idle service.
+    Rejected(RejectReason),
+}
+
+impl Admission {
+    /// The assigned request id, if admitted.
+    pub fn id(&self) -> Option<u64> {
+        match self {
+            Admission::Accepted(id) => Some(*id),
+            _ => None,
+        }
+    }
+
+    /// Whether the request entered the pipeline.
+    pub fn is_accepted(&self) -> bool {
+        matches!(self, Admission::Accepted(_))
+    }
+}
+
+/// Lifetime admission counters of a service.
+///
+/// ```
+/// use qram_service::AdmissionStats;
+/// let stats = AdmissionStats { accepted: 90, shed: 9, rejected: 1 };
+/// assert_eq!(stats.offered(), 100);
+/// assert!((stats.shed_rate() - 0.09).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AdmissionStats {
+    /// Requests admitted into the pipeline.
+    pub accepted: u64,
+    /// Requests dropped by back-pressure (bounded queue full).
+    pub shed: u64,
+    /// Structurally invalid requests refused.
+    pub rejected: u64,
+}
+
+impl AdmissionStats {
+    /// Total requests offered.
+    pub fn offered(&self) -> u64 {
+        self.accepted + self.shed + self.rejected
+    }
+
+    /// Fraction of offered requests shed by back-pressure (0 when none
+    /// were offered).
+    pub fn shed_rate(&self) -> f64 {
+        let offered = self.offered();
+        if offered == 0 {
+            0.0
+        } else {
+            self.shed as f64 / offered as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors_and_rates() {
+        assert_eq!(Admission::Accepted(7).id(), Some(7));
+        assert!(Admission::Accepted(7).is_accepted());
+        assert_eq!(Admission::Shed { queue_depth: 3 }.id(), None);
+        assert!(!Admission::Shed { queue_depth: 3 }.is_accepted());
+        assert_eq!(AdmissionStats::default().shed_rate(), 0.0);
+    }
+
+    #[test]
+    fn reject_reasons_render() {
+        let width = RejectReason::SpecWidthMismatch {
+            spec: QuerySpec::new(1, 2),
+            memory_width: 4,
+        };
+        assert!(width.to_string().contains("width 3 disagrees"));
+        let range = RejectReason::AddressOutOfRange {
+            address: 9,
+            cells: 8,
+        };
+        assert!(range.to_string().contains("address 9 out of range"));
+    }
+}

@@ -16,13 +16,19 @@ use crate::QuerySpec;
 
 /// Hit/miss/eviction accounting of a [`CircuitCache`].
 ///
+/// Invariant: every lookup is exactly one hit or one miss, so
+/// `lookups == hits + misses` always holds (pinned by tests).
+///
 /// ```
 /// use qram_service::CacheStats;
-/// let stats = CacheStats { hits: 9, misses: 1, evictions: 0 };
+/// let stats = CacheStats { lookups: 10, hits: 9, misses: 1, evictions: 0 };
 /// assert!((stats.hit_rate() - 0.9).abs() < 1e-12);
+/// assert_eq!(stats.lookups, stats.hits + stats.misses);
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct CacheStats {
+    /// Total lookups performed (== `hits + misses`).
+    pub lookups: u64,
     /// Lookups answered from the cache.
     pub hits: u64,
     /// Lookups that had to compile.
@@ -34,11 +40,10 @@ pub struct CacheStats {
 impl CacheStats {
     /// Fraction of lookups served from the cache (0 when none happened).
     pub fn hit_rate(&self) -> f64 {
-        let total = self.hits + self.misses;
-        if total == 0 {
+        if self.lookups == 0 {
             0.0
         } else {
-            self.hits as f64 / total as f64
+            self.hits as f64 / self.lookups as f64
         }
     }
 }
@@ -80,13 +85,25 @@ impl CircuitCache {
         spec: QuerySpec,
         compile: impl FnOnce() -> QueryCircuit,
     ) -> Arc<QueryCircuit> {
+        self.fetch(spec, compile).0
+    }
+
+    /// Like [`get_or_insert_with`](CircuitCache::get_or_insert_with),
+    /// additionally reporting whether the lookup hit — which is what the
+    /// virtual clock charges the compile cost on.
+    pub fn fetch(
+        &mut self,
+        spec: QuerySpec,
+        compile: impl FnOnce() -> QueryCircuit,
+    ) -> (Arc<QueryCircuit>, bool) {
+        self.stats.lookups += 1;
         if let Some(pos) = self.entries.iter().position(|(s, _)| *s == spec) {
             self.stats.hits += 1;
             // Refresh recency: move to the back.
             let entry = self.entries.remove(pos);
             let circuit = Arc::clone(&entry.1);
             self.entries.push(entry);
-            return circuit;
+            return (circuit, true);
         }
         self.stats.misses += 1;
         let circuit = Arc::new(compile());
@@ -95,7 +112,7 @@ impl CircuitCache {
             self.stats.evictions += 1;
         }
         self.entries.push((spec, Arc::clone(&circuit)));
-        circuit
+        (circuit, false)
     }
 
     /// Number of cached circuits.
@@ -190,5 +207,63 @@ mod tests {
         assert_eq!(CacheStats::default().hit_rate(), 0.0);
         assert!(CircuitCache::new(1).is_empty());
         assert_eq!(CircuitCache::new(3).capacity(), 3);
+    }
+
+    #[test]
+    fn capacity_one_thrashes_but_stays_correct() {
+        let mut cache = CircuitCache::new(1);
+        let a = QuerySpec::new(0, 1);
+        let b = QuerySpec::new(0, 2);
+        // Alternating specs under capacity 1: every lookup after the
+        // first two misses and evicts — the pathological LRU workload.
+        for round in 0..3 {
+            let (circuit_a, hit) = cache.fetch(a, || compile(a));
+            assert!(!hit, "round {round}");
+            assert_eq!(circuit_a.address().len(), a.address_width());
+            let (_, hit) = cache.fetch(b, || compile(b));
+            assert!(!hit, "round {round}");
+            assert_eq!(cache.len(), 1);
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 6);
+        assert_eq!(stats.hits, 0);
+        // Every miss but the very first displaced a resident entry.
+        assert_eq!(stats.evictions, 5);
+        assert_eq!(cache.keys(), vec![b]);
+    }
+
+    #[test]
+    fn repeated_same_key_inserts_never_evict_or_recompile() {
+        let mut cache = CircuitCache::new(1);
+        let spec = QuerySpec::new(0, 1);
+        let first = cache.get_or_insert_with(spec, || compile(spec));
+        for _ in 0..10 {
+            let (again, hit) = cache.fetch(spec, || unreachable!("resident key must hit"));
+            assert!(hit);
+            assert!(Arc::ptr_eq(&first, &again));
+        }
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.evictions), (10, 1, 0));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn lookups_always_equal_hits_plus_misses() {
+        let mut cache = CircuitCache::new(2);
+        let specs = [
+            QuerySpec::new(0, 1),
+            QuerySpec::new(0, 2),
+            QuerySpec::new(1, 1),
+        ];
+        // A mixed hit/miss/eviction sequence; the invariant must hold
+        // after every single lookup.
+        for i in [0usize, 0, 1, 2, 1, 0, 2, 2, 1, 0] {
+            let spec = specs[i];
+            cache.get_or_insert_with(spec, || compile(spec));
+            let stats = cache.stats();
+            assert_eq!(stats.lookups, stats.hits + stats.misses);
+            assert!(stats.evictions <= stats.misses);
+        }
+        assert_eq!(cache.stats().lookups, 10);
     }
 }

@@ -1,27 +1,43 @@
-//! Batched QRAM query serving — the systems layer above the simulator.
+//! Event-driven QRAM query serving — the systems layer above the
+//! simulator.
 //!
 //! The MICRO '23 paper argues QRAM must be designed as a *system*: a
 //! virtual-QRAM layer paging a large address space through a small
 //! physical tree. The original bucket-brigade proposals frame QRAM the
 //! same way — a shared memory answering *streams* of addressed queries.
 //! This crate is that serving layer for the reproduction's simulator
-//! stack:
+//! stack, built as a discrete-event pipeline on a **virtual clock** so
+//! latency percentiles are honest (queueing delay included) and
+//! reproducible (independent of the simulation host):
 //!
 //! * [`QueryRequest`] / [`QuerySpec`] / [`QueryResult`] — the serving
-//!   vocabulary: an address, the compilation profile that serves it, and
-//!   the answer (classical readout + Monte-Carlo fidelity estimate);
-//! * [`plan_batches`] / [`QueryBatch`] — the batching scheduler:
-//!   requests grouped by `(architecture shape, n, Optimizations,
-//!   DataEncoding)` so one compiled circuit serves the whole batch;
+//!   vocabulary: an address with an arrival timestamp, the compilation
+//!   profile that serves it, and the answer (classical readout,
+//!   Monte-Carlo fidelity estimate, and a [`Latency`] breakdown into
+//!   `queue_wait` / `compile` / `execute` on the virtual clock);
+//! * [`Ticks`] / [`CostModel`] / [`VirtualTimeline`] — virtual time:
+//!   one tick is one modeled nanosecond, costs derive deterministically
+//!   from gate and shot counts, and the timeline models the device's
+//!   parallel execution units;
+//! * [`Admission`] / [`AdmissionStats`] — non-blocking admission over a
+//!   bounded queue: accepted, [shed](Admission::Shed) by back-pressure,
+//!   or rejected as structurally invalid;
+//! * [`DeadlineBatcher`] / [`QueryBatch`] / [`plan_batches`] — the
+//!   deadline-aware batching scheduler: a batch fires when it reaches
+//!   the batch limit **or** its oldest member's deadline slack runs
+//!   out, whichever comes first;
 //! * [`CircuitCache`] — a bounded LRU of compiled [`qram_core::
-//!   QueryCircuit`]s, so hot specs skip the rebuild entirely;
-//! * [`QramService`] — the engine: admission queue, cache-resolved batch
-//!   plan, and a multi-worker executor dispatching onto the sharded shot
-//!   engine ([`qram_sim::run_shots`]) with deterministic per-request
-//!   seeds — results are **bit-identical for any worker count**;
-//! * [`Workload`] — deterministic traffic generators (uniform, zipfian,
-//!   sequential scan, Grover-style repeated queries) for driving the
-//!   service in benches and tests.
+//!   QueryCircuit`]s with full lookup/hit/miss/eviction accounting;
+//! * [`QramService`] — the engine: `submit`/`drain` for closed-loop
+//!   clients, `try_submit_at`/`poll` for open-loop arrival processes,
+//!   and a work-stealing per-request executor dispatching onto the
+//!   sharded shot engine ([`qram_sim::run_shots`]) with deterministic
+//!   per-request seeds — results are **bit-identical for any worker
+//!   count**, latency breakdowns included;
+//! * [`Workload`] / [`ArrivalProcess`] / [`SpecMix`] — deterministic
+//!   traffic generators: address patterns (uniform, zipfian, scan,
+//!   Grover), open-loop arrival processes (Poisson, bursty MMPP), and
+//!   spec assignment (round-robin or zipf-skewed over circuit shapes).
 //!
 //! # Example
 //!
@@ -47,14 +63,19 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod admission;
 mod cache;
+mod clock;
+mod executor;
 mod request;
 mod scheduler;
 mod service;
 pub mod workload;
 
+pub use admission::{Admission, AdmissionStats, RejectReason};
 pub use cache::{CacheStats, CircuitCache};
-pub use request::{QueryRequest, QueryResult, QuerySpec};
-pub use scheduler::{plan_batches, QueryBatch};
+pub use clock::{CostModel, Ticks, VirtualTimeline};
+pub use request::{Latency, QueryRequest, QueryResult, QuerySpec};
+pub use scheduler::{plan_batches, DeadlineBatcher, QueryBatch};
 pub use service::{BatchReport, QramService, ServiceConfig, ServiceReport};
-pub use workload::{assign_specs, Workload};
+pub use workload::{assign_specs, assign_specs_with, ArrivalProcess, SpecMix, Workload};

@@ -4,6 +4,8 @@
 use qram_core::{DataEncoding, Optimizations, VirtualQram};
 use qram_sim::FidelityEstimate;
 
+use crate::Ticks;
+
 /// The compilation profile of a query — everything that determines which
 /// compiled circuit can serve it.
 ///
@@ -70,21 +72,51 @@ impl QuerySpec {
     }
 }
 
-/// One admitted query: a memory address to read through a [`QuerySpec`].
+/// One admitted query: a memory address to read through a [`QuerySpec`],
+/// stamped with its arrival instant on the virtual clock.
 ///
-/// The `id` is assigned by the service at submission (monotonic per
+/// The `id` is assigned by the service at admission (monotonic per
 /// service) and doubles as the request's deterministic seed component:
 /// the executor derives the request's fault-sampling stream purely from
 /// `(service seed, id)`, which is what makes batched results bit-identical
 /// for any worker count.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct QueryRequest {
-    /// Service-assigned request id (submission order).
+    /// Service-assigned request id (admission order).
     pub id: u64,
     /// The memory address to read.
     pub address: u64,
     /// The compilation profile serving this request.
     pub spec: QuerySpec,
+    /// Arrival instant on the service's virtual clock; latency is
+    /// measured from here.
+    pub arrival: Ticks,
+}
+
+/// The virtual-clock latency breakdown of one served request.
+///
+/// All three components are measured on the service's discrete-event
+/// clock ([`Ticks`] = virtual ns) so they are deterministic — percentiles
+/// computed from them are a property of the *workload and cost model*,
+/// never of the simulation host. The parts partition the request's whole
+/// life: [`total`](Latency::total) is exactly `completed − arrival`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Latency {
+    /// Ticks spent waiting — in the admission queue until the batch
+    /// fired, plus stalled behind earlier work for a free execution unit.
+    pub queue_wait: Ticks,
+    /// Ticks spent compiling the batch's circuit (0 on a cache hit —
+    /// the whole point of the compiled-circuit cache).
+    pub compile: Ticks,
+    /// Ticks executing the query on its execution unit.
+    pub execute: Ticks,
+}
+
+impl Latency {
+    /// End-to-end latency: `queue_wait + compile + execute`.
+    pub fn total(&self) -> Ticks {
+        self.queue_wait + self.compile + self.execute
+    }
 }
 
 /// The served answer to one [`QueryRequest`].
@@ -101,6 +133,13 @@ pub struct QueryResult {
     /// noise model, reduced to the address + bus registers. Empty
     /// (`shots == 0`) when the service runs noiseless.
     pub fidelity: FidelityEstimate,
+    /// Arrival instant on the virtual clock (copied from the request).
+    pub arrival: Ticks,
+    /// Completion instant on the virtual clock
+    /// (`arrival + latency.total()`).
+    pub completed: Ticks,
+    /// Where the request's virtual time went.
+    pub latency: Latency,
 }
 
 #[cfg(test)]
@@ -115,6 +154,17 @@ mod tests {
         assert_eq!(spec.address_width(), 5);
         assert_eq!(spec.architecture().optimizations(), Optimizations::OPT2);
         assert_eq!(spec.architecture().encoding(), DataEncoding::FusedBit);
+    }
+
+    #[test]
+    fn latency_parts_partition_the_total() {
+        let latency = Latency {
+            queue_wait: 300,
+            compile: 50,
+            execute: 120,
+        };
+        assert_eq!(latency.total(), 470);
+        assert_eq!(Latency::default().total(), 0);
     }
 
     #[test]

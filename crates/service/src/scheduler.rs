@@ -1,25 +1,32 @@
-//! The batching scheduler: admission queue → compatible batches.
+//! The deadline-aware batching scheduler: admitted requests → fired
+//! batches.
 //!
 //! Requests are batch-compatible when their [`QuerySpec`]s are equal
 //! (same architecture shape, address width, optimization set and data
 //! encoding): one compiled circuit serves every request of the batch, so
 //! the compile cost — and one circuit-cache lookup — is amortized over
-//! the whole batch. Grouping is stable: specs appear in first-arrival
-//! order and requests keep their submission order within a spec, which
-//! makes the batch plan (and therefore cache accounting) a pure function
-//! of the queue contents.
+//! the whole batch.
+//!
+//! Batching trades latency for that amortization, and the
+//! [`DeadlineBatcher`] makes the trade explicit: a pending group fires
+//! when it reaches the batch limit (amortization won) **or** when its
+//! oldest member's deadline slack is exhausted (latency bound hit) —
+//! whichever comes first. Grouping is stable: specs hold first-arrival
+//! order and requests keep their admission order within a spec, which
+//! makes the firing sequence (and therefore cache accounting) a pure
+//! function of the admitted request sequence and the clock instants at
+//! which the pipeline is advanced.
 
-use crate::{QueryRequest, QuerySpec};
+use crate::{QueryRequest, QuerySpec, Ticks};
 
-/// A maximal run of batch-compatible requests, capped at the scheduler's
-/// batch limit.
+/// A fired batch: a run of batch-compatible requests released for
+/// execution together.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct QueryBatch {
     /// The shared compilation profile.
     pub spec: QuerySpec,
-    /// The batched requests, tagged with their queue slot (submission
-    /// index) so results can be scattered back into submission order.
-    pub requests: Vec<(usize, QueryRequest)>,
+    /// The batched requests, in admission order.
+    pub requests: Vec<QueryRequest>,
 }
 
 impl QueryBatch {
@@ -32,36 +39,135 @@ impl QueryBatch {
     pub fn is_empty(&self) -> bool {
         self.requests.is_empty()
     }
+
+    /// Arrival of the batch's oldest member.
+    pub fn oldest_arrival(&self) -> Ticks {
+        self.requests.first().map_or(0, |r| r.arrival)
+    }
 }
 
-/// Groups the queue into spec-compatible batches of at most
-/// `batch_limit` requests.
+/// The deadline-aware batcher: one pending group per in-flight spec.
 ///
-/// Specs are emitted in first-arrival order; a spec with more than
-/// `batch_limit` queued requests yields several consecutive batches.
+/// * [`push`](DeadlineBatcher::push) admits a request and fires its
+///   group the instant it reaches `batch_limit`;
+/// * [`next_deadline`](DeadlineBatcher::next_deadline) is the earliest
+///   instant at which some group must fire for its oldest member to stay
+///   within the slack — the pipeline's next scheduled event;
+/// * [`fire_due`](DeadlineBatcher::fire_due) releases every group whose
+///   deadline has passed;
+/// * [`flush`](DeadlineBatcher::flush) releases everything (closed-loop
+///   drain).
+#[derive(Debug, Clone)]
+pub struct DeadlineBatcher {
+    batch_limit: usize,
+    deadline: Ticks,
+    /// Pending groups in first-arrival order of their current members.
+    groups: Vec<(QuerySpec, Vec<QueryRequest>)>,
+}
+
+impl DeadlineBatcher {
+    /// A batcher firing at `batch_limit` requests or `deadline` ticks of
+    /// oldest-member slack, whichever is exhausted first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch_limit == 0`.
+    pub fn new(batch_limit: usize, deadline: Ticks) -> Self {
+        assert!(batch_limit > 0, "batch limit must be positive");
+        DeadlineBatcher {
+            batch_limit,
+            deadline,
+            groups: Vec::new(),
+        }
+    }
+
+    /// Pending (admitted, not yet fired) requests.
+    pub fn pending(&self) -> usize {
+        self.groups.iter().map(|(_, members)| members.len()).sum()
+    }
+
+    /// Admits one request; returns the request's batch if this admission
+    /// filled its group to the batch limit.
+    pub fn push(&mut self, request: QueryRequest) -> Option<QueryBatch> {
+        let pos = match self
+            .groups
+            .iter_mut()
+            .position(|(spec, _)| *spec == request.spec)
+        {
+            Some(pos) => {
+                self.groups[pos].1.push(request);
+                pos
+            }
+            None => {
+                self.groups.push((request.spec, vec![request]));
+                self.groups.len() - 1
+            }
+        };
+        if self.groups[pos].1.len() >= self.batch_limit {
+            let (spec, requests) = self.groups.remove(pos);
+            return Some(QueryBatch { spec, requests });
+        }
+        None
+    }
+
+    /// The earliest instant a pending group's oldest member exhausts its
+    /// slack (`None` when nothing is pending). Saturating: a slack of
+    /// [`Ticks::MAX`] means "never fire on deadline" regardless of
+    /// arrival time.
+    pub fn next_deadline(&self) -> Option<Ticks> {
+        self.groups
+            .iter()
+            .map(|(_, members)| members[0].arrival.saturating_add(self.deadline))
+            .min()
+    }
+
+    /// Fires every group whose deadline is at or before `now`, in
+    /// first-arrival order.
+    pub fn fire_due(&mut self, now: Ticks) -> Vec<QueryBatch> {
+        let mut fired = Vec::new();
+        let mut kept = Vec::new();
+        for (spec, members) in self.groups.drain(..) {
+            if members[0].arrival.saturating_add(self.deadline) <= now {
+                fired.push(QueryBatch {
+                    spec,
+                    requests: members,
+                });
+            } else {
+                kept.push((spec, members));
+            }
+        }
+        self.groups = kept;
+        fired
+    }
+
+    /// Fires every pending group regardless of deadline, in
+    /// first-arrival order (the closed-loop drain path).
+    pub fn flush(&mut self) -> Vec<QueryBatch> {
+        self.groups
+            .drain(..)
+            .map(|(spec, requests)| QueryBatch { spec, requests })
+            .collect()
+    }
+}
+
+/// Groups a whole queue into spec-compatible batches of at most
+/// `batch_limit` requests, as if every request arrived at once and the
+/// batcher was flushed — the closed-loop plan, kept as a pure function
+/// for tests and one-shot callers.
+///
+/// Specs are emitted in the order their groups fill or flush; a spec
+/// with more than `batch_limit` queued requests yields several batches.
 ///
 /// # Panics
 ///
 /// Panics if `batch_limit == 0`.
 pub fn plan_batches(queue: &[QueryRequest], batch_limit: usize) -> Vec<QueryBatch> {
-    assert!(batch_limit > 0, "batch limit must be positive");
-    // Group by spec, preserving first-arrival order of specs.
-    let mut groups: Vec<(QuerySpec, Vec<(usize, QueryRequest)>)> = Vec::new();
-    for (slot, request) in queue.iter().enumerate() {
-        match groups.iter_mut().find(|(spec, _)| *spec == request.spec) {
-            Some((_, members)) => members.push((slot, *request)),
-            None => groups.push((request.spec, vec![(slot, *request)])),
-        }
-    }
-    let mut batches = Vec::new();
-    for (spec, members) in groups {
-        for chunk in members.chunks(batch_limit) {
-            batches.push(QueryBatch {
-                spec,
-                requests: chunk.to_vec(),
-            });
-        }
-    }
+    let mut batcher = DeadlineBatcher::new(batch_limit, Ticks::MAX);
+    let mut batches: Vec<QueryBatch> = queue
+        .iter()
+        .filter_map(|&request| batcher.push(request))
+        .collect();
+    batches.extend(batcher.flush());
     batches
 }
 
@@ -70,10 +176,15 @@ mod tests {
     use super::*;
 
     fn request(id: u64, spec: QuerySpec) -> QueryRequest {
+        at(id, spec, 0)
+    }
+
+    fn at(id: u64, spec: QuerySpec, arrival: Ticks) -> QueryRequest {
         QueryRequest {
             id,
             address: id % (1 << spec.address_width()) as u64,
             spec,
+            arrival,
         }
     }
 
@@ -92,21 +203,13 @@ mod tests {
         assert_eq!(batches.len(), 2);
         assert_eq!(batches[0].spec, a);
         assert_eq!(batches[1].spec, b);
-        // Submission order within a spec, with the right slots.
+        // Admission order within a spec.
         assert_eq!(
-            batches[0]
-                .requests
-                .iter()
-                .map(|(s, _)| *s)
-                .collect::<Vec<_>>(),
+            batches[0].requests.iter().map(|r| r.id).collect::<Vec<_>>(),
             vec![0, 2, 4]
         );
         assert_eq!(
-            batches[1]
-                .requests
-                .iter()
-                .map(|(r, _)| *r)
-                .collect::<Vec<_>>(),
+            batches[1].requests.iter().map(|r| r.id).collect::<Vec<_>>(),
             vec![1, 3]
         );
     }
@@ -132,5 +235,72 @@ mod tests {
     #[should_panic(expected = "batch limit must be positive")]
     fn zero_batch_limit_is_rejected() {
         let _ = plan_batches(&[], 0);
+    }
+
+    #[test]
+    fn batch_limit_one_fires_every_push() {
+        // The degenerate no-batching configuration: a fresh group must
+        // fire immediately, not linger until its deadline.
+        let spec = QuerySpec::new(0, 2);
+        let mut batcher = DeadlineBatcher::new(1, 1_000);
+        for id in 0..3 {
+            let fired = batcher.push(request(id, spec)).expect("fires at once");
+            assert_eq!(fired.len(), 1);
+            assert_eq!(batcher.pending(), 0);
+        }
+    }
+
+    #[test]
+    fn push_fires_exactly_at_the_limit() {
+        let spec = QuerySpec::new(0, 2);
+        let mut batcher = DeadlineBatcher::new(3, 1_000);
+        assert!(batcher.push(request(0, spec)).is_none());
+        assert!(batcher.push(request(1, spec)).is_none());
+        let fired = batcher.push(request(2, spec)).expect("fires at limit");
+        assert_eq!(fired.len(), 3);
+        assert_eq!(batcher.pending(), 0);
+        // The group resets: the next request starts a fresh one.
+        assert!(batcher.push(request(3, spec)).is_none());
+        assert_eq!(batcher.pending(), 1);
+    }
+
+    #[test]
+    fn deadline_is_the_oldest_members_slack() {
+        let a = QuerySpec::new(0, 2);
+        let b = QuerySpec::new(1, 1);
+        let mut batcher = DeadlineBatcher::new(16, 100);
+        assert_eq!(batcher.next_deadline(), None);
+        batcher.push(at(0, a, 40));
+        batcher.push(at(1, b, 10));
+        batcher.push(at(2, a, 90)); // does not move a's deadline
+        assert_eq!(batcher.next_deadline(), Some(110));
+
+        // At t = 109 nothing is due; at t = 110 only b fires.
+        assert!(batcher.fire_due(109).is_empty());
+        let fired = batcher.fire_due(110);
+        assert_eq!(fired.len(), 1);
+        assert_eq!(fired[0].spec, b);
+        assert_eq!(fired[0].oldest_arrival(), 10);
+        // a remains pending with its own deadline.
+        assert_eq!(batcher.next_deadline(), Some(140));
+        assert_eq!(batcher.pending(), 2);
+
+        let rest = batcher.flush();
+        assert_eq!(rest.len(), 1);
+        assert_eq!(rest[0].requests.len(), 2);
+        assert_eq!(batcher.pending(), 0);
+    }
+
+    #[test]
+    fn max_slack_disables_deadline_firing_without_overflow() {
+        // Ticks::MAX is the "fire on batch limit only" sentinel (used
+        // by plan_batches); it must saturate, not wrap, for nonzero
+        // arrival times.
+        let spec = QuerySpec::new(0, 2);
+        let mut batcher = DeadlineBatcher::new(4, Ticks::MAX);
+        batcher.push(at(0, spec, 1_000));
+        assert_eq!(batcher.next_deadline(), Some(Ticks::MAX));
+        assert!(batcher.fire_due(Ticks::MAX - 1).is_empty());
+        assert_eq!(batcher.pending(), 1);
     }
 }

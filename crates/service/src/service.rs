@@ -1,34 +1,49 @@
-//! The query-serving engine: admission queue → batch plan → circuit
-//! cache → multi-worker execution on the sharded shot engine.
+//! The query-serving engine: an event-driven pipeline on a virtual
+//! clock — bounded admission → deadline-aware batching → circuit cache →
+//! work-stealing execution on the sharded shot engine.
+//!
+//! # The event loop
+//!
+//! The service is a discrete-event simulation driven by its callers:
+//! every [`try_submit_at`](QramService::try_submit_at) and
+//! [`poll`](QramService::poll) advances the virtual clock to the given
+//! instant, firing — in event order — every batch whose deadline slack
+//! expired and harvesting every request whose modeled execution
+//! completed. Nothing ever blocks: admission on a full bounded queue
+//! resolves to [`Admission::Shed`] (back-pressure) instead of waiting.
 //!
 //! # Determinism
 //!
-//! A drained queue produces **bit-identical** [`QueryResult`]s for any
-//! worker count. Like the shot engine underneath, this is structural:
+//! The pipeline produces **bit-identical** [`QueryResult`]s — fidelity
+//! estimates *and* latency breakdowns — for any worker count. Like the
+//! shot engine underneath, this is structural:
 //!
-//! * the batch plan is a pure function of the queue contents
-//!   ([`crate::plan_batches`]);
-//! * circuit compilation and cache accounting happen on the draining
-//!   thread, before any worker starts;
+//! * batch firing is a pure function of the admitted request sequence
+//!   and the clock instants the pipeline is advanced to
+//!   ([`crate::DeadlineBatcher`]);
+//! * circuit compilation, cache accounting and virtual-time scheduling
+//!   ([`crate::VirtualTimeline`]) happen on the coordinating thread,
+//!   before any worker starts;
 //! * each request's fault-sampling stream derives purely from
 //!   `(service seed, request id)` ([`qram_noise::derive_stream_seed`] +
 //!   [`FaultSampler::sample_shot_from`] over the spec's shared trial
 //!   table), so the estimate a request receives cannot depend on which
-//!   worker ran it;
-//! * every result is scattered back into its submission slot, so the
-//!   report's order is submission order regardless of scheduling.
+//!   worker stole it;
+//! * latency is measured on the virtual clock via the [`CostModel`],
+//!   never on host wall time.
 
-use std::collections::HashMap;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
 use std::sync::Arc;
 use std::thread;
-use std::time::{Duration, Instant};
 
-use qram_core::{Memory, QueryArchitecture, QueryCircuit};
-use qram_noise::{derive_stream_seed, FaultSampler, NoiseModel, PauliChannel, BASE_ERROR_RATE};
-use qram_sim::{run_shots, Amplitude, FidelityEstimate, ShotConfig};
+use qram_core::{Memory, QueryArchitecture};
+use qram_noise::{FaultSampler, NoiseModel, PauliChannel, BASE_ERROR_RATE};
+use qram_sim::ShotConfig;
 
+use crate::executor::{dispatch, PreparedRequest};
 use crate::{
-    plan_batches, CacheStats, CircuitCache, QueryBatch, QueryRequest, QueryResult, QuerySpec,
+    Admission, AdmissionStats, CacheStats, CircuitCache, CostModel, DeadlineBatcher, Latency,
+    QueryBatch, QueryRequest, QueryResult, QuerySpec, RejectReason, Ticks, VirtualTimeline,
 };
 
 /// Tunables of a [`QramService`].
@@ -57,10 +72,24 @@ pub struct ServiceConfig {
     pub seed: u64,
     /// Threads handed to the shot engine *inside* one request
     /// (`ShotConfig::threads`); keep at 1 when `workers` already
-    /// saturates the machine.
+    /// saturates the machine — the two levels multiply, and per-request
+    /// work-stealing already balances skew across workers. Raising it
+    /// helps only when requests are few and shot counts large.
     pub shot_threads: usize,
     /// The noise model fidelity estimates are taken under.
     pub noise: NoiseModel,
+    /// Bound on in-system requests (pending + executing) for the
+    /// non-blocking admission path; offers beyond it are
+    /// [shed](Admission::Shed). The closed-loop [`submit`]
+    /// (QramService::submit) path models a blocking client and is
+    /// exempt.
+    pub queue_capacity: usize,
+    /// Deadline slack in virtual ns: a pending batch fires at the latest
+    /// `deadline` ticks after its oldest member arrived, even if under
+    /// the batch limit.
+    pub deadline: Ticks,
+    /// The virtual-time cost model latency is measured under.
+    pub cost: CostModel,
 }
 
 impl Default for ServiceConfig {
@@ -73,6 +102,9 @@ impl Default for ServiceConfig {
             seed: ShotConfig::DEFAULT_SEED,
             shot_threads: 1,
             noise: NoiseModel::per_gate(PauliChannel::depolarizing(BASE_ERROR_RATE)),
+            queue_capacity: 256,
+            deadline: 20_000,
+            cost: CostModel::default(),
         }
     }
 }
@@ -114,48 +146,117 @@ impl ServiceConfig {
         self
     }
 
-    /// The effective executor worker count for `batches` planned batches.
-    fn resolved_workers(&self, batches: usize) -> usize {
+    /// Overrides the per-request shot-engine thread count.
+    pub fn with_shot_threads(mut self, threads: usize) -> Self {
+        self.shot_threads = threads;
+        self
+    }
+
+    /// Overrides the bounded-queue capacity.
+    pub fn with_queue_capacity(mut self, capacity: usize) -> Self {
+        self.queue_capacity = capacity;
+        self
+    }
+
+    /// Overrides the batching deadline slack (virtual ns).
+    pub fn with_deadline(mut self, deadline: Ticks) -> Self {
+        self.deadline = deadline;
+        self
+    }
+
+    /// Overrides the virtual-time cost model.
+    pub fn with_cost(mut self, cost: CostModel) -> Self {
+        self.cost = cost;
+        self
+    }
+
+    /// The effective executor worker count for `items` work items.
+    fn resolved_workers(&self, items: usize) -> usize {
         let hardware = if self.workers > 0 {
             self.workers
         } else {
             thread::available_parallelism().map_or(1, |n| n.get())
         };
-        hardware.min(batches).max(1)
+        hardware.min(items).max(1)
     }
 }
 
-/// Execution accounting of one batch.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// Virtual-clock accounting of one fired batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BatchReport {
     /// The batch's compilation profile.
     pub spec: QuerySpec,
     /// Requests served by the batch.
     pub requests: usize,
-    /// Wall-clock execution time of the batch on its worker.
-    pub duration: Duration,
+    /// The instant the batch fired (batch limit reached or deadline
+    /// slack exhausted).
+    pub fired_at: Ticks,
+    /// Virtual compile time charged to the batch (0 on a cache hit).
+    pub compile: Ticks,
+    /// The instant the batch's last member finished executing.
+    pub completed: Ticks,
 }
 
 /// Everything one [`QramService::drain`] produced.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ServiceReport {
-    /// One result per drained request, in submission order.
+    /// One result per returned request, in admission (id) order.
     pub results: Vec<QueryResult>,
-    /// Per-batch accounting, in batch-plan order.
+    /// Per-batch accounting of every batch fired since the previous
+    /// report, in firing order.
     pub batches: Vec<BatchReport>,
     /// Lifetime circuit-cache counters after this drain.
     pub cache: CacheStats,
-    /// Worker threads the executor actually used.
+    /// Lifetime admission counters after this drain.
+    pub admission: AdmissionStats,
+    /// Worker threads the executor pool resolves to for this report's
+    /// result count.
     pub workers: usize,
 }
 
-/// A batched QRAM query-serving engine over one classical memory.
+/// One executed request waiting for the virtual clock to pass its
+/// completion instant; min-ordered by `(completed, id)`.
+#[derive(Debug)]
+struct InFlight {
+    result: QueryResult,
+}
+
+impl InFlight {
+    fn key(&self) -> (Ticks, u64) {
+        (self.result.completed, self.result.id)
+    }
+}
+
+impl PartialEq for InFlight {
+    fn eq(&self, other: &Self) -> bool {
+        self.key() == other.key()
+    }
+}
+
+impl Eq for InFlight {}
+
+impl PartialOrd for InFlight {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for InFlight {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reversed: BinaryHeap is a max-heap, we pop earliest completion.
+        other.key().cmp(&self.key())
+    }
+}
+
+/// An event-driven QRAM query-serving pipeline over one classical
+/// memory, scheduled on a virtual clock.
 ///
-/// Clients [`submit`](QramService::submit) addressed queries tagged with
-/// a [`QuerySpec`]; [`drain`](QramService::drain) groups the queue into
-/// compatible batches, fetches (or compiles) each batch's circuit
-/// through the LRU cache, and executes the batches on a deterministic
-/// multi-worker pool.
+/// Closed-loop clients [`submit`](QramService::submit) queries and
+/// [`drain`](QramService::drain) for a full report; open-loop clients
+/// [`try_submit_at`](QramService::try_submit_at) timestamped arrivals
+/// (taking [`Admission::Shed`] back-pressure on a full queue) and
+/// [`poll`](QramService::poll) completed results as virtual time
+/// passes.
 ///
 /// ```
 /// use qram_core::Memory;
@@ -170,29 +271,87 @@ pub struct ServiceReport {
 /// let report = service.drain();
 /// for result in &report.results {
 ///     assert_eq!(result.value, memory.get(result.address as usize));
+///     // Latency is measured on the virtual clock and partitions fully.
+///     assert_eq!(result.completed - result.arrival, result.latency.total());
 /// }
 /// assert_eq!(report.cache.misses, 1); // one spec, compiled once
+/// ```
+///
+/// Open-loop admission with explicit back-pressure:
+///
+/// ```
+/// use qram_core::Memory;
+/// use qram_service::{Admission, QramService, QuerySpec, ServiceConfig};
+///
+/// let memory = Memory::from_bits([true; 8]);
+/// let config = ServiceConfig::default().with_shots(0).with_queue_capacity(2);
+/// let mut service = QramService::new(memory, config);
+/// let spec = QuerySpec::new(1, 2);
+/// assert!(service.try_submit_at(0, spec, 0).is_accepted());
+/// assert!(service.try_submit_at(1, spec, 0).is_accepted());
+/// // The bounded queue is full: the third offer is shed, not queued.
+/// assert_eq!(service.try_submit_at(2, spec, 0), Admission::Shed { queue_depth: 2 });
+/// let results = service.run_until_idle();
+/// assert_eq!(results.len(), 2);
 /// ```
 #[derive(Debug)]
 pub struct QramService {
     memory: Memory,
     config: ServiceConfig,
-    queue: Vec<QueryRequest>,
     cache: CircuitCache,
+    /// One shared fault sampler per spec seen so far: trial locations
+    /// depend only on `(circuit, noise, seed)`, so workers replay
+    /// per-request streams from it instead of rebuilding.
+    samplers: HashMap<QuerySpec, Arc<FaultSampler>>,
+    batcher: DeadlineBatcher,
+    timeline: VirtualTimeline,
+    now: Ticks,
     next_id: u64,
     served: u64,
+    admission: AdmissionStats,
+    /// Executed requests whose virtual completion lies in the future.
+    in_flight: BinaryHeap<InFlight>,
+    /// Virtually completed results awaiting the next poll/drain.
+    ready: VecDeque<QueryResult>,
+    /// Batches fired since they were last taken (by
+    /// [`drain`](QramService::drain) or
+    /// [`take_batch_reports`](QramService::take_batch_reports)), FIFO,
+    /// capped at [`MAX_BATCH_REPORTS`] so a poll-only open-loop client
+    /// that never takes them cannot grow the service unboundedly.
+    fired_reports: VecDeque<BatchReport>,
+    /// Oldest batch reports dropped by the cap.
+    batch_reports_dropped: u64,
 }
+
+/// Retained [`BatchReport`]s before the oldest are dropped (see
+/// [`QramService::take_batch_reports`]).
+pub const MAX_BATCH_REPORTS: usize = 4096;
 
 impl QramService {
     /// A service over `memory` with the given tunables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.queue_capacity == 0` (a pipeline that sheds
+    /// every offer serves nothing) — the batch limit, cache capacity and
+    /// cost-model units are validated by their own constructors.
     pub fn new(memory: Memory, config: ServiceConfig) -> Self {
+        assert!(config.queue_capacity > 0, "queue capacity must be positive");
         QramService {
             memory,
             config,
-            queue: Vec::new(),
             cache: CircuitCache::new(config.cache_capacity),
+            samplers: HashMap::new(),
+            batcher: DeadlineBatcher::new(config.batch_limit, config.deadline),
+            timeline: VirtualTimeline::new(config.cost.units),
+            now: 0,
             next_id: 0,
             served: 0,
+            admission: AdmissionStats::default(),
+            in_flight: BinaryHeap::new(),
+            ready: VecDeque::new(),
+            fired_reports: VecDeque::new(),
+            batch_reports_dropped: 0,
         }
     }
 
@@ -206,12 +365,98 @@ impl QramService {
         &self.config
     }
 
-    /// Admits one query and returns its request id.
+    /// The current instant on the virtual clock.
+    pub fn now(&self) -> Ticks {
+        self.now
+    }
+
+    /// Requests admitted but not yet fired into a batch.
+    pub fn pending(&self) -> usize {
+        self.batcher.pending()
+    }
+
+    /// Requests in the system: pending plus executing (virtually
+    /// incomplete). This is what the bounded queue bounds.
+    pub fn in_system(&self) -> usize {
+        self.batcher.pending() + self.in_flight.len()
+    }
+
+    /// Total requests returned to callers over the service's lifetime.
+    pub fn served(&self) -> u64 {
+        self.served
+    }
+
+    /// Lifetime circuit-cache counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Lifetime admission counters.
+    pub fn admission_stats(&self) -> AdmissionStats {
+        self.admission
+    }
+
+    /// Takes the accounting of every batch fired since the last
+    /// [`drain`](QramService::drain) or call to this method, in firing
+    /// order — the open-loop counterpart of [`ServiceReport::batches`].
+    ///
+    /// At most [`MAX_BATCH_REPORTS`] are retained between takes; check
+    /// [`batch_reports_dropped`](QramService::batch_reports_dropped)
+    /// when harvesting infrequently under heavy traffic.
+    pub fn take_batch_reports(&mut self) -> Vec<BatchReport> {
+        self.fired_reports.drain(..).collect()
+    }
+
+    /// Batch reports dropped (oldest first) because more than
+    /// [`MAX_BATCH_REPORTS`] accumulated between takes.
+    pub fn batch_reports_dropped(&self) -> u64 {
+        self.batch_reports_dropped
+    }
+
+    /// Offers one query arriving at `arrival` on the virtual clock —
+    /// the non-blocking open-loop admission path.
+    ///
+    /// Advances the clock to `arrival` (firing due batches, completing
+    /// executed work) and resolves to an [`Admission`]: `Accepted` with
+    /// a request id, `Shed` when the bounded queue is full, or
+    /// `Rejected` for structurally invalid requests. Arrivals must be
+    /// offered in nondecreasing order; an `arrival` earlier than the
+    /// clock is clamped to *now* (virtual time never rewinds).
+    pub fn try_submit_at(&mut self, address: u64, spec: QuerySpec, arrival: Ticks) -> Admission {
+        self.advance_to(arrival.max(self.now));
+        if spec.address_width() != self.memory.address_width() {
+            self.admission.rejected += 1;
+            return Admission::Rejected(RejectReason::SpecWidthMismatch {
+                spec,
+                memory_width: self.memory.address_width(),
+            });
+        }
+        if address >= self.memory.len() as u64 {
+            self.admission.rejected += 1;
+            return Admission::Rejected(RejectReason::AddressOutOfRange {
+                address,
+                cells: self.memory.len(),
+            });
+        }
+        let queue_depth = self.in_system();
+        if queue_depth >= self.config.queue_capacity {
+            self.admission.shed += 1;
+            return Admission::Shed { queue_depth };
+        }
+        Admission::Accepted(self.admit(address, spec))
+    }
+
+    /// Admits one query at the current clock instant and returns its
+    /// request id — the closed-loop path, modeling a client that blocks
+    /// until admitted (and is therefore never shed by the bounded
+    /// queue).
     ///
     /// # Panics
     ///
     /// Panics if `spec`'s address width disagrees with the memory or
-    /// `address` is out of range.
+    /// `address` is out of range; use
+    /// [`try_submit_at`](QramService::try_submit_at) for non-panicking
+    /// admission.
     pub fn submit(&mut self, address: u64, spec: QuerySpec) -> u64 {
         assert_eq!(
             spec.address_width(),
@@ -223,236 +468,186 @@ impl QramService {
             "address {address} out of range for {} cells",
             self.memory.len()
         );
+        self.admit(address, spec)
+    }
+
+    /// Admits a validated request and fires its batch if it filled.
+    fn admit(&mut self, address: u64, spec: QuerySpec) -> u64 {
         let id = self.next_id;
         self.next_id += 1;
-        self.queue.push(QueryRequest { id, address, spec });
+        self.admission.accepted += 1;
+        let request = QueryRequest {
+            id,
+            address,
+            spec,
+            arrival: self.now,
+        };
+        if let Some(batch) = self.batcher.push(request) {
+            self.fire_batches(vec![batch], self.now);
+        }
         id
     }
 
     /// Admits a whole `(address, spec)` stream (e.g. from
-    /// [`crate::workload::assign_specs`]); returns the number admitted.
+    /// [`crate::workload::assign_specs`]) at the current clock instant;
+    /// returns the number admitted.
     pub fn submit_all(&mut self, stream: impl IntoIterator<Item = (u64, QuerySpec)>) -> usize {
-        let before = self.queue.len();
+        let mut admitted = 0;
         for (address, spec) in stream {
             self.submit(address, spec);
+            admitted += 1;
         }
-        self.queue.len() - before
+        admitted
     }
 
-    /// Queued requests awaiting the next drain.
-    pub fn pending(&self) -> usize {
-        self.queue.len()
+    /// Advances the virtual clock to `until` and returns every result
+    /// that completed by then, in completion order.
+    pub fn poll(&mut self, until: Ticks) -> Vec<QueryResult> {
+        self.advance_to(until.max(self.now));
+        self.take_ready()
     }
 
-    /// Total requests served over the service's lifetime.
-    pub fn served(&self) -> u64 {
-        self.served
+    /// Fires everything still pending (deadlines waived), runs the
+    /// virtual clock until the pipeline is idle, and returns the
+    /// remaining results in completion order.
+    pub fn run_until_idle(&mut self) -> Vec<QueryResult> {
+        let batches = self.batcher.flush();
+        self.fire_batches(batches, self.now);
+        self.advance_to(self.timeline.idle_at().max(self.now));
+        self.take_ready()
     }
 
-    /// Lifetime circuit-cache counters.
-    pub fn cache_stats(&self) -> CacheStats {
-        self.cache.stats()
-    }
-
-    /// Serves the whole queue: plans batches, resolves circuits through
-    /// the cache, executes on the worker pool, and returns results in
-    /// submission order.
+    /// Serves everything still in the pipeline and reports: fires all
+    /// pending batches (deadlines waived), runs the clock to idle, and
+    /// returns every unreturned result in admission order together with
+    /// per-batch accounting — the closed-loop counterpart of
+    /// [`poll`](QramService::poll).
     pub fn drain(&mut self) -> ServiceReport {
-        let queue = std::mem::take(&mut self.queue);
-        let plan = plan_batches(&queue, self.config.batch_limit);
-        // Compile/fetch single-threaded so cache accounting is a pure
-        // function of the submission sequence. The fault sampler's trial
-        // locations depend only on (circuit, noise) — constant per spec —
-        // so one sampler per distinct spec is walked from the circuit and
-        // shared by every batch of that spec; per-request streams come
-        // from `sample_shot_from`, so workers never clone or rebuild it.
-        // Noiseless serving (shots == 0) never samples: skip the walk.
-        let mut samplers: HashMap<QuerySpec, Arc<FaultSampler>> = HashMap::new();
-        let prepared: Vec<PreparedBatch> = plan
-            .into_iter()
-            .map(|batch| {
-                let spec = batch.spec;
-                let circuit = self
-                    .cache
-                    .get_or_insert_with(spec, || spec.architecture().build(&self.memory));
-                let sampler = (self.config.shots > 0).then(|| {
-                    Arc::clone(samplers.entry(spec).or_insert_with(|| {
-                        Arc::new(FaultSampler::new(
-                            circuit.circuit(),
-                            self.config.noise,
-                            self.config.seed,
-                        ))
-                    }))
-                });
-                PreparedBatch {
-                    circuit,
-                    sampler,
-                    batch,
-                }
-            })
-            .collect();
-
-        let workers = self.config.resolved_workers(prepared.len());
-        let mut results: Vec<Option<QueryResult>> = vec![None; queue.len()];
-        let mut reports: Vec<Option<BatchReport>> = vec![None; prepared.len()];
-
-        if workers == 1 {
-            for (i, entry) in prepared.iter().enumerate() {
-                let (slotted, report) = execute_batch(entry, &self.config);
-                scatter(&mut results, slotted);
-                reports[i] = Some(report);
-            }
-        } else {
-            let config = &self.config;
-            let prepared_ref = &prepared;
-            let worker_outputs: Vec<_> = thread::scope(|scope| {
-                let handles: Vec<_> = (0..workers)
-                    .map(|w| {
-                        scope.spawn(move || {
-                            let mut slotted = Vec::new();
-                            let mut batch_reports = Vec::new();
-                            // Round-robin batch assignment: worker w owns
-                            // batches w, w + workers, … — purely an
-                            // execution schedule, invisible in the output.
-                            for (i, entry) in
-                                prepared_ref.iter().enumerate().skip(w).step_by(workers)
-                            {
-                                let (s, report) = execute_batch(entry, config);
-                                slotted.extend(s);
-                                batch_reports.push((i, report));
-                            }
-                            (slotted, batch_reports)
-                        })
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("service worker panicked"))
-                    .collect()
-            });
-            for (slotted, batch_reports) in worker_outputs {
-                scatter(&mut results, slotted);
-                for (i, report) in batch_reports {
-                    reports[i] = Some(report);
-                }
-            }
-        }
-
-        self.served += queue.len() as u64;
+        let batches = self.batcher.flush();
+        self.fire_batches(batches, self.now);
+        self.advance_to(self.timeline.idle_at().max(self.now));
+        let mut results = self.take_ready();
+        results.sort_by_key(|r| r.id);
         ServiceReport {
-            results: results
-                .into_iter()
-                .map(|r| r.expect("every drained request produces a result"))
-                .collect(),
-            batches: reports
-                .into_iter()
-                .map(|r| r.expect("every planned batch produces a report"))
-                .collect(),
+            workers: self.config.resolved_workers(results.len()),
+            results,
+            batches: self.take_batch_reports(),
             cache: self.cache.stats(),
-            workers,
+            admission: self.admission,
         }
     }
-}
 
-/// One planned batch bundled with its spec's shared compiled circuit
-/// and fault sampler.
-struct PreparedBatch {
-    circuit: Arc<QueryCircuit>,
-    /// The spec's shared fault sampler; `None` when serving noiseless
-    /// (`shots == 0`), where no fault pattern is ever drawn.
-    sampler: Option<Arc<FaultSampler>>,
-    batch: QueryBatch,
-}
-
-/// Writes worker results into their submission slots.
-fn scatter(results: &mut [Option<QueryResult>], slotted: Vec<(usize, QueryResult)>) {
-    for (slot, result) in slotted {
-        debug_assert!(results[slot].is_none(), "slot {slot} served twice");
-        results[slot] = Some(result);
+    /// Hands the ready queue to the caller and counts it as served.
+    fn take_ready(&mut self) -> Vec<QueryResult> {
+        let results: Vec<QueryResult> = self.ready.drain(..).collect();
+        self.served += results.len() as u64;
+        results
     }
-}
 
-/// Executes one batch against its compiled circuit: per request, the
-/// classical readout plus a Monte-Carlo fidelity estimate on the shot
-/// engine, under the request's own deterministic fault stream.
-fn execute_batch(
-    entry: &PreparedBatch,
-    config: &ServiceConfig,
-) -> (Vec<(usize, QueryResult)>, BatchReport) {
-    let start = Instant::now();
-    let circuit = entry.circuit.as_ref();
-    let keep = circuit.output_qubits();
-    let results = entry
-        .batch
-        .requests
-        .iter()
-        .map(|&(slot, request)| {
-            (
-                slot,
-                execute_one(circuit, entry.sampler.as_deref(), &keep, request, config),
-            )
-        })
-        .collect();
-    let report = BatchReport {
-        spec: entry.batch.spec,
-        requests: entry.batch.len(),
-        duration: start.elapsed(),
-    };
-    (results, report)
-}
+    /// Advances the clock to `t`, firing deadline-due batches in event
+    /// order and harvesting completed work.
+    fn advance_to(&mut self, t: Ticks) {
+        while let Some(deadline) = self.batcher.next_deadline() {
+            if deadline > t {
+                break;
+            }
+            self.now = self.now.max(deadline);
+            let due = self.batcher.fire_due(self.now);
+            self.fire_batches(due, self.now);
+        }
+        self.now = self.now.max(t);
+        while let Some(top) = self.in_flight.peek() {
+            if top.result.completed > self.now {
+                break;
+            }
+            let done = self.in_flight.pop().expect("peeked entry exists");
+            self.ready.push_back(done.result);
+        }
+    }
 
-/// Serves one request.
-fn execute_one(
-    circuit: &QueryCircuit,
-    sampler: Option<&FaultSampler>,
-    keep: &[qram_circuit::Qubit],
-    request: QueryRequest,
-    config: &ServiceConfig,
-) -> QueryResult {
-    // The served answer is deliberately read off the *circuit* (a full
-    // noiseless trajectory through the bus), not `memory.get` — the
-    // serving layer answers with what the compiled query actually
-    // returns, which is what the correctness tests pin against the
-    // memory ground truth.
-    let value = circuit
-        .query_classical(request.address)
-        .expect("compiled query circuits serve every in-range address");
-    let fidelity = match sampler {
-        // Noiseless serving: fidelity is not estimated, no replay runs.
-        None => FidelityEstimate::from_samples(&[]),
-        Some(sampler) => {
-            // The request's input: the classical basis state at its
-            // address; its fault streams derive from (seed, request id).
-            let mut amps = vec![Amplitude::ZERO; request.address as usize + 1];
-            amps[request.address as usize] = Amplitude::ONE;
-            let input = circuit.input_state(Some(&amps));
-            let request_master = derive_stream_seed(config.seed, request.id);
-            let shot_config = ShotConfig {
-                shots: config.shots,
-                seed: request_master,
-                threads: config.shot_threads,
+    /// Fires `batches` at `fire_time`: resolves circuits through the
+    /// cache, schedules every member on the virtual timeline, executes
+    /// the flattened work list on the work-stealing pool, and parks the
+    /// results until their virtual completion.
+    fn fire_batches(&mut self, batches: Vec<QueryBatch>, fire_time: Ticks) {
+        if batches.is_empty() {
+            return;
+        }
+        let mut prepared: Vec<PreparedRequest> = Vec::new();
+        for batch in batches {
+            let spec = batch.spec;
+            let memory = &self.memory;
+            let (circuit, hit) = self.cache.fetch(spec, || spec.architecture().build(memory));
+            if !hit {
+                // A miss may have evicted a circuit; drop the evicted
+                // specs' samplers too, so the sampler map stays bounded
+                // by the cache capacity. Rebuilding a sampler later is
+                // deterministic (pure in circuit, noise, seed), so
+                // pruning cannot perturb any fault stream.
+                let cached = self.cache.keys();
+                self.samplers.retain(|s, _| cached.contains(s));
+            }
+            let gates = circuit.circuit().gates().len();
+            let compile = if hit {
+                0
+            } else {
+                self.config.cost.compile_cost(gates)
             };
-            run_shots(
-                circuit.circuit().gates(),
-                &input,
-                Some(keep),
-                &shot_config,
-                &|shot| sampler.sample_shot_from(request_master, shot),
-            )
-            .expect("compiled query circuits are always simulable")
+            let ready_at = fire_time + compile;
+            let config = &self.config;
+            let sampler = (self.config.shots > 0).then(|| {
+                Arc::clone(self.samplers.entry(spec).or_insert_with(|| {
+                    Arc::new(FaultSampler::new(
+                        circuit.circuit(),
+                        config.noise,
+                        config.seed,
+                    ))
+                }))
+            });
+            let requests = batch.requests.len();
+            let mut batch_completed = ready_at;
+            for request in batch.requests {
+                let execute = self.config.cost.execute_cost(gates, self.config.shots);
+                let (start, end) = self.timeline.assign(ready_at, execute);
+                // start ≥ ready_at = fire_time + compile ≥ arrival + compile,
+                // so the breakdown partitions end − arrival exactly.
+                let latency = Latency {
+                    queue_wait: start - request.arrival - compile,
+                    compile,
+                    execute,
+                };
+                batch_completed = batch_completed.max(end);
+                prepared.push(PreparedRequest {
+                    request,
+                    circuit: Arc::clone(&circuit),
+                    sampler: sampler.clone(),
+                    latency,
+                    completed: end,
+                });
+            }
+            self.fired_reports.push_back(BatchReport {
+                spec,
+                requests,
+                fired_at: fire_time,
+                compile,
+                completed: batch_completed,
+            });
+            if self.fired_reports.len() > MAX_BATCH_REPORTS {
+                self.fired_reports.pop_front();
+                self.batch_reports_dropped += 1;
+            }
         }
-    };
-    QueryResult {
-        id: request.id,
-        address: request.address,
-        value,
-        fidelity,
+        let workers = self.config.resolved_workers(prepared.len());
+        for result in dispatch(&prepared, workers, &self.config) {
+            self.in_flight.push(InFlight { result });
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use qram_noise::derive_stream_seed;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -480,9 +675,12 @@ mod tests {
         for (i, result) in report.results.iter().enumerate() {
             assert_eq!(result.address, i as u64);
             assert_eq!(result.value, memory.get(i), "address {i}");
+            // The virtual-clock breakdown partitions the total exactly.
+            assert_eq!(result.completed - result.arrival, result.latency.total());
         }
         assert_eq!(service.served(), 8);
         assert_eq!(service.pending(), 0);
+        assert_eq!(service.admission_stats().accepted, 8);
     }
 
     #[test]
@@ -527,17 +725,13 @@ mod tests {
         let serial = run(1);
         for workers in [2, 3, 4, 7] {
             let parallel = run(workers);
-            // Results (ids, values, estimates) are bit-identical.
+            // Results (ids, values, estimates, latency breakdowns) are
+            // bit-identical; so is the whole batch accounting — every
+            // field of BatchReport is virtual-clock-deterministic.
             assert_eq!(serial.results, parallel.results, "workers = {workers}");
-            // The batch plan is identical too (durations aside).
-            let shape = |r: &ServiceReport| {
-                r.batches
-                    .iter()
-                    .map(|b| (b.spec, b.requests))
-                    .collect::<Vec<_>>()
-            };
-            assert_eq!(shape(&serial), shape(&parallel));
+            assert_eq!(serial.batches, parallel.batches);
             assert_eq!(serial.cache, parallel.cache);
+            assert_eq!(serial.admission, parallel.admission);
         }
     }
 
@@ -581,6 +775,7 @@ mod tests {
         let report = service.drain();
         assert_eq!(report.cache.misses, 1);
         assert_eq!(report.cache.hits, 1);
+        assert_eq!(report.cache.lookups, 2);
     }
 
     #[test]
@@ -595,6 +790,161 @@ mod tests {
     fn out_of_range_address_is_rejected() {
         let mut service = QramService::new(memory(3), noiseless_config());
         service.submit(8, QuerySpec::new(1, 2));
+    }
+
+    #[test]
+    fn invalid_open_loop_offers_resolve_to_rejections() {
+        let mut service = QramService::new(memory(3), noiseless_config());
+        assert!(matches!(
+            service.try_submit_at(0, QuerySpec::new(1, 1), 0),
+            Admission::Rejected(RejectReason::SpecWidthMismatch { .. })
+        ));
+        assert!(matches!(
+            service.try_submit_at(8, QuerySpec::new(1, 2), 0),
+            Admission::Rejected(RejectReason::AddressOutOfRange { .. })
+        ));
+        assert_eq!(service.admission_stats().rejected, 2);
+        assert_eq!(service.admission_stats().accepted, 0);
+    }
+
+    #[test]
+    fn deadline_fires_underfull_batches_as_the_clock_advances() {
+        let config = noiseless_config().with_deadline(100).with_batch_limit(8);
+        let mut service = QramService::new(memory(3), config);
+        let spec = QuerySpec::new(1, 2);
+        assert!(service.try_submit_at(1, spec, 10).is_accepted());
+        assert!(service.try_submit_at(2, spec, 30).is_accepted());
+        // Before the oldest member's deadline (10 + 100) nothing fires.
+        assert!(service.poll(109).is_empty());
+        assert_eq!(service.pending(), 2);
+        // At the deadline the underfull batch fires; results complete
+        // after compile + execute on the virtual clock.
+        let results = service.poll(1_000_000);
+        assert_eq!(results.len(), 2);
+        assert_eq!(service.pending(), 0);
+        for result in &results {
+            assert!(result.latency.queue_wait > 0, "waited for the deadline");
+            assert_eq!(result.completed - result.arrival, result.latency.total());
+        }
+        // The batch report records the deadline instant.
+        let report = service.drain();
+        assert_eq!(report.batches.len(), 1);
+        assert_eq!(report.batches[0].fired_at, 110);
+        assert_eq!(report.batches[0].requests, 2);
+    }
+
+    #[test]
+    fn full_queue_sheds_and_recovers() {
+        let config = noiseless_config()
+            .with_queue_capacity(4)
+            .with_batch_limit(2)
+            .with_deadline(1_000);
+        let mut service = QramService::new(memory(3), config);
+        let spec = QuerySpec::new(1, 2);
+        // Fill the bounded queue with simultaneous arrivals.
+        let mut accepted = 0;
+        let mut shed = 0;
+        for address in 0..8u64 {
+            match service.try_submit_at(address, spec, 0) {
+                Admission::Accepted(_) => accepted += 1,
+                Admission::Shed { .. } => shed += 1,
+                Admission::Rejected(_) => unreachable!(),
+            }
+        }
+        assert_eq!(accepted, 4);
+        assert_eq!(shed, 4);
+        assert_eq!(service.admission_stats().shed, 4);
+        // Once the pipeline clears, admission recovers.
+        let drained = service.run_until_idle();
+        assert_eq!(drained.len(), 4);
+        assert!(service.try_submit_at(0, spec, service.now()).is_accepted());
+    }
+
+    #[test]
+    fn virtual_latency_is_independent_of_real_worker_count() {
+        let mem = memory(3);
+        let run = |workers: usize| {
+            let config = ServiceConfig::default()
+                .with_shots(8)
+                .with_workers(workers)
+                .with_deadline(500)
+                .with_batch_limit(4);
+            let mut service = QramService::new(mem.clone(), config);
+            let spec = QuerySpec::new(1, 2);
+            for i in 0..12u64 {
+                service.try_submit_at(i % 8, spec, i * 40);
+            }
+            service.run_until_idle()
+        };
+        let serial = run(1);
+        let parallel = run(4);
+        assert_eq!(serial, parallel);
+        assert_eq!(serial.len(), 12);
+    }
+
+    #[test]
+    fn batch_report_buffer_is_bounded_for_poll_only_clients() {
+        // An open-loop client that never takes batch reports must not
+        // grow the service without bound: the FIFO cap drops the oldest
+        // and counts the drops.
+        let config = noiseless_config().with_batch_limit(1);
+        let mut service = QramService::new(memory(2), config);
+        let spec = QuerySpec::new(1, 1);
+        let total = MAX_BATCH_REPORTS + 100;
+        for i in 0..total {
+            service.submit(i as u64 % 4, spec); // fires one batch each
+        }
+        assert_eq!(service.batch_reports_dropped(), 100);
+        let reports = service.take_batch_reports();
+        assert_eq!(reports.len(), MAX_BATCH_REPORTS);
+        // The retained window is the most recent one.
+        assert_eq!(reports.last().unwrap().requests, 1);
+        assert!(service.take_batch_reports().is_empty());
+    }
+
+    #[test]
+    fn max_deadline_slack_never_fires_early() {
+        // Ticks::MAX slack = batch-limit-only firing; arrivals at
+        // nonzero instants must not overflow into immediate deadlines.
+        let config = noiseless_config()
+            .with_deadline(Ticks::MAX)
+            .with_batch_limit(4);
+        let mut service = QramService::new(memory(3), config);
+        let spec = QuerySpec::new(1, 2);
+        assert!(service.try_submit_at(1, spec, 5_000).is_accepted());
+        assert!(service.poll(1_000_000_000).is_empty());
+        assert_eq!(service.pending(), 1);
+        let report = service.drain();
+        assert_eq!(report.results.len(), 1);
+    }
+
+    #[test]
+    fn evicted_specs_release_their_samplers() {
+        // Two specs thrashing a capacity-1 cache: the sampler map must
+        // track evictions instead of holding every spec ever served.
+        let config = ServiceConfig::default()
+            .with_shots(4)
+            .with_workers(1)
+            .with_cache_capacity(1)
+            .with_batch_limit(2);
+        let mut service = QramService::new(memory(3), config);
+        let a = QuerySpec::new(1, 2);
+        let b = QuerySpec::new(2, 1);
+        for round in 0..3u64 {
+            service.submit(round % 8, a);
+            service.submit((round + 1) % 8, a);
+            service.submit(round % 8, b);
+            service.submit((round + 1) % 8, b);
+        }
+        let report = service.drain();
+        assert!(report.cache.evictions > 0);
+        assert!(
+            service.samplers.len() <= service.config.cache_capacity,
+            "{} samplers held over capacity {}",
+            service.samplers.len(),
+            service.config.cache_capacity
+        );
+        assert_eq!(report.results.len(), 12);
     }
 
     #[test]

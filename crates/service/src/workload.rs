@@ -1,8 +1,18 @@
-//! Workload generation: deterministic address streams for driving the
-//! service.
+//! Workload generation: deterministic address streams, open-loop arrival
+//! processes, and spec-assignment mixes for driving the service.
 //!
-//! Each generator models one access pattern QRAM serving traffic is
-//! expected to exhibit:
+//! Three orthogonal axes compose a workload:
+//!
+//! * **where** the queries read — [`Workload`], the address pattern;
+//! * **when** they arrive — [`ArrivalProcess`], virtual-clock timestamps
+//!   for the open-loop [`crate::QramService::try_submit_at`] path;
+//! * **what shape** serves them — [`SpecMix`], how [`QuerySpec`]s are
+//!   assigned across the stream (round-robin, or zipf-skewed so hot
+//!   shapes dominate and the compiled-circuit LRU is stressed
+//!   realistically).
+//!
+//! Each address generator models one access pattern QRAM serving traffic
+//! is expected to exhibit:
 //!
 //! * [`Workload::Uniform`] — independent uniform addresses, the
 //!   memoryless baseline;
@@ -22,7 +32,7 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use crate::{QueryRequest, QuerySpec};
+use crate::{QueryRequest, QuerySpec, Ticks};
 
 /// A deterministic address-stream generator over a `2^address_width`-cell
 /// memory.
@@ -134,6 +144,124 @@ fn zipf_cdf(items: usize, theta: f64) -> Vec<f64> {
     cdf
 }
 
+/// An open-loop arrival process: *when* each request reaches the
+/// service, as nondecreasing timestamps on the virtual clock
+/// ([`Ticks`] = virtual ns).
+///
+/// Open-loop means arrivals do not wait for earlier requests to finish —
+/// the offered load is a property of the process, not of the service's
+/// speed. That is what makes overload measurable: when the offered rate
+/// exceeds capacity, queueing delay (and eventually back-pressure
+/// shedding) shows up in the results instead of silently throttling the
+/// generator.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArrivalProcess {
+    /// Memoryless Poisson arrivals: independent exponential
+    /// inter-arrival gaps with the given mean.
+    Poisson {
+        /// Mean inter-arrival gap in virtual ns (rate = 1e9 / mean
+        /// requests per virtual second).
+        mean_gap: f64,
+        /// RNG seed.
+        seed: u64,
+    },
+    /// A two-state Markov-modulated Poisson process (MMPP-2): bursts of
+    /// fast arrivals alternate with quiet stretches. The classic model
+    /// of bursty front-end traffic — same average load as a Poisson
+    /// stream of the blended mean, far worse tail behavior.
+    Bursty {
+        /// Mean inter-arrival gap inside a burst (virtual ns).
+        mean_fast_gap: f64,
+        /// Mean inter-arrival gap between bursts (virtual ns).
+        mean_slow_gap: f64,
+        /// Mean arrivals spent in a state before switching (geometric
+        /// dwell).
+        mean_dwell: f64,
+        /// RNG seed.
+        seed: u64,
+    },
+}
+
+impl ArrivalProcess {
+    /// The process's short name (used in bench reports).
+    pub fn name(&self) -> &'static str {
+        match self {
+            ArrivalProcess::Poisson { .. } => "poisson",
+            ArrivalProcess::Bursty { .. } => "bursty",
+        }
+    }
+
+    /// The first `count` arrival instants, nondecreasing from 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-positive mean gaps or `mean_dwell < 1`.
+    pub fn arrivals(&self, count: usize) -> Vec<Ticks> {
+        match self {
+            ArrivalProcess::Poisson { mean_gap, seed } => {
+                assert!(*mean_gap > 0.0, "mean inter-arrival gap must be positive");
+                let mut rng = StdRng::seed_from_u64(*seed);
+                let mut t = 0.0f64;
+                (0..count)
+                    .map(|_| {
+                        t += exponential(&mut rng, *mean_gap);
+                        t as Ticks
+                    })
+                    .collect()
+            }
+            ArrivalProcess::Bursty {
+                mean_fast_gap,
+                mean_slow_gap,
+                mean_dwell,
+                seed,
+            } => {
+                assert!(
+                    *mean_fast_gap > 0.0 && *mean_slow_gap > 0.0,
+                    "mean inter-arrival gaps must be positive"
+                );
+                assert!(*mean_dwell >= 1.0, "mean dwell must be at least 1 arrival");
+                let mut rng = StdRng::seed_from_u64(*seed);
+                let switch = 1.0 / *mean_dwell;
+                let mut fast = true;
+                let mut t = 0.0f64;
+                (0..count)
+                    .map(|_| {
+                        let mean = if fast { *mean_fast_gap } else { *mean_slow_gap };
+                        t += exponential(&mut rng, mean);
+                        if rng.random::<f64>() < switch {
+                            fast = !fast;
+                        }
+                        t as Ticks
+                    })
+                    .collect()
+            }
+        }
+    }
+}
+
+/// One exponential sample with the given mean.
+fn exponential(rng: &mut StdRng, mean: f64) -> f64 {
+    let u: f64 = rng.random();
+    // 1 − u ∈ (0, 1]: ln never sees 0.
+    -mean * (1.0 - u).ln()
+}
+
+/// How compilation profiles are assigned across a request stream.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SpecMix {
+    /// Cycle over the specs in order — every shape equally hot.
+    RoundRobin,
+    /// Zipf-skewed over the *spec list* (rank 0 = `specs[0]` hottest):
+    /// a few shapes dominate, stressing LRU eviction the way real
+    /// deployments do.
+    Zipfian {
+        /// Skew exponent `θ ≥ 0` (0 degrades to uniform).
+        theta: f64,
+        /// RNG seed (independent of the address stream's).
+        seed: u64,
+    },
+}
+
 /// Pairs a workload's address stream with compilation profiles assigned
 /// round-robin, producing the `(address, spec)` submissions a service
 /// accepts. A realistic deployment serves a handful of hot circuit
@@ -148,6 +276,22 @@ pub fn assign_specs(
     specs: &[QuerySpec],
     count: usize,
 ) -> Vec<(u64, QuerySpec)> {
+    assign_specs_with(workload, specs, SpecMix::RoundRobin, count)
+}
+
+/// Like [`assign_specs`], with an explicit [`SpecMix`] deciding which
+/// spec serves each request.
+///
+/// # Panics
+///
+/// Panics if `specs` is empty, any spec's address width disagrees with
+/// the workload's, or a zipfian mix has a negative `theta`.
+pub fn assign_specs_with(
+    workload: &Workload,
+    specs: &[QuerySpec],
+    mix: SpecMix,
+    count: usize,
+) -> Vec<(u64, QuerySpec)> {
     assert!(!specs.is_empty(), "at least one spec is required");
     for spec in specs {
         assert_eq!(
@@ -156,17 +300,31 @@ pub fn assign_specs(
             "spec width disagrees with workload width"
         );
     }
+    let picks: Vec<usize> = match mix {
+        SpecMix::RoundRobin => (0..count).map(|i| i % specs.len()).collect(),
+        SpecMix::Zipfian { theta, seed } => {
+            assert!(theta >= 0.0, "zipf exponent must be non-negative");
+            let cdf = zipf_cdf(specs.len(), theta);
+            let mut rng = StdRng::seed_from_u64(seed);
+            (0..count)
+                .map(|_| {
+                    let u: f64 = rng.random();
+                    cdf.partition_point(|&c| c < u)
+                })
+                .collect()
+        }
+    };
     workload
         .addresses(count)
         .into_iter()
-        .zip(specs.iter().cycle())
-        .map(|(address, spec)| (address, *spec))
+        .zip(picks)
+        .map(|(address, pick)| (address, specs[pick]))
         .collect()
 }
 
 /// Like [`assign_specs`], but materializes full [`QueryRequest`]s with
-/// ids `0..count` — for driving the scheduler/executor directly in tests
-/// without a service instance.
+/// ids `0..count` arriving at tick 0 — for driving the scheduler
+/// directly in tests without a service instance.
 pub fn requests(workload: &Workload, specs: &[QuerySpec], count: usize) -> Vec<QueryRequest> {
     assign_specs(workload, specs, count)
         .into_iter()
@@ -175,6 +333,7 @@ pub fn requests(workload: &Workload, specs: &[QuerySpec], count: usize) -> Vec<Q
             id: id as u64,
             address,
             spec,
+            arrival: 0,
         })
         .collect()
 }
@@ -295,5 +454,97 @@ mod tests {
     fn spec_width_mismatch_is_rejected() {
         let w = Workload::SequentialScan { address_width: 3 };
         let _ = assign_specs(&w, &[QuerySpec::new(0, 2)], 1);
+    }
+
+    #[test]
+    fn poisson_arrivals_are_nondecreasing_at_the_right_rate() {
+        let process = ArrivalProcess::Poisson {
+            mean_gap: 1_000.0,
+            seed: 9,
+        };
+        let arrivals = process.arrivals(4000);
+        assert!(arrivals.windows(2).all(|w| w[0] <= w[1]));
+        // The empirical mean gap converges on the configured mean.
+        let span = *arrivals.last().unwrap() as f64;
+        let mean = span / 4000.0;
+        assert!(
+            (mean - 1_000.0).abs() < 100.0,
+            "empirical mean gap {mean:.1}"
+        );
+        // Reproducible, and the name is stable for reports.
+        assert_eq!(arrivals, process.arrivals(4000));
+        assert_eq!(process.name(), "poisson");
+    }
+
+    #[test]
+    fn bursty_arrivals_are_burstier_than_poisson_at_equal_load() {
+        // Compare squared-coefficient-of-variation of inter-arrival
+        // gaps: MMPP-2 must exceed the memoryless baseline (≈1).
+        let scv = |arrivals: &[Ticks]| {
+            let gaps: Vec<f64> = arrivals.windows(2).map(|w| (w[1] - w[0]) as f64).collect();
+            let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
+            let var = gaps.iter().map(|g| (g - mean) * (g - mean)).sum::<f64>() / gaps.len() as f64;
+            var / (mean * mean)
+        };
+        let poisson = ArrivalProcess::Poisson {
+            mean_gap: 550.0,
+            seed: 3,
+        }
+        .arrivals(6000);
+        let bursty = ArrivalProcess::Bursty {
+            mean_fast_gap: 100.0,
+            mean_slow_gap: 1_000.0,
+            mean_dwell: 50.0,
+            seed: 3,
+        }
+        .arrivals(6000);
+        assert!(bursty.windows(2).all(|w| w[0] <= w[1]));
+        assert!(
+            scv(&bursty) > 1.5 * scv(&poisson),
+            "bursty scv {:.2} vs poisson {:.2}",
+            scv(&bursty),
+            scv(&poisson)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "gap must be positive")]
+    fn zero_mean_gap_is_rejected() {
+        let _ = ArrivalProcess::Poisson {
+            mean_gap: 0.0,
+            seed: 1,
+        }
+        .arrivals(1);
+    }
+
+    #[test]
+    fn zipfian_spec_mix_concentrates_on_the_head() {
+        let w = Workload::Uniform {
+            address_width: 3,
+            seed: 1,
+        };
+        let specs = [
+            QuerySpec::new(0, 3),
+            QuerySpec::new(1, 2),
+            QuerySpec::new(2, 1),
+            QuerySpec::new(3, 0),
+        ];
+        let mix = SpecMix::Zipfian {
+            theta: 1.2,
+            seed: 77,
+        };
+        let assigned = assign_specs_with(&w, &specs, mix, 4000);
+        let mut hist = [0usize; 4];
+        for (_, spec) in &assigned {
+            hist[specs.iter().position(|s| s == spec).unwrap()] += 1;
+        }
+        // Rank 0 dominates; the tail spec is rarely chosen (θ = 1.2
+        // over 4 ranks puts ~4.7x more mass on rank 0 than rank 3).
+        assert!(hist[0] > 2 * hist[1], "{hist:?}");
+        assert!(hist[0] > 4 * hist[3], "{hist:?}");
+        // Every spec still appears (the LRU sees real churn).
+        assert!(hist.iter().all(|&c| c > 0), "{hist:?}");
+        // Reproducible.
+        assert_eq!(assigned, assign_specs_with(&w, &specs, mix, 4000));
     }
 }

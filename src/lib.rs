@@ -16,9 +16,12 @@
 //! * [`core`] — the QRAM architectures: the paper's *virtual QRAM*
 //!   contribution and all evaluated baselines (SQC, fanout, bucket-brigade,
 //!   select-swap).
-//! * [`service`] — the batched query-serving subsystem: admission queue,
-//!   batching scheduler, compiled-circuit LRU cache, deterministic
-//!   multi-worker executor, and workload generators.
+//! * [`service`] — the event-driven query-serving pipeline on a virtual
+//!   clock: bounded non-blocking admission with back-pressure,
+//!   deadline-aware batching, compiled-circuit LRU cache, deterministic
+//!   work-stealing executor with honest latency breakdowns, and
+//!   open-loop workload generators (Poisson/bursty arrivals, zipf-skewed
+//!   addresses and specs).
 //!
 //! # Quickstart
 //!

@@ -1,11 +1,16 @@
 //! Integration tests of the `qram-service` serving layer through the
-//! facade — including the PR's acceptance pin: a 1k-request zipfian
+//! facade — including the acceptance pins: a 1k-request zipfian
 //! workload served through the batching scheduler with a > 80%
-//! circuit-cache hit rate and bit-identical batched estimates across
-//! worker counts.
+//! circuit-cache hit rate and bit-identical results across worker
+//! counts, and an open-loop overload scenario where reported p99
+//! latency includes queueing delay (growing with queue depth) while
+//! back-pressure sheds the excess.
 
-use qram::core::Memory;
-use qram::service::{assign_specs, QramService, QuerySpec, ServiceConfig, ServiceReport, Workload};
+use qram::core::{Memory, QueryArchitecture};
+use qram::service::{
+    assign_specs, assign_specs_with, Admission, ArrivalProcess, QramService, QueryResult,
+    QuerySpec, ServiceConfig, ServiceReport, SpecMix, Workload,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -111,6 +116,151 @@ fn grover_trace_is_one_hot_and_cache_resident() {
     // 64 requests in batches of 8: one compile, seven hits.
     assert_eq!(report.cache.misses, 1);
     assert_eq!(report.cache.hits, 7);
+}
+
+/// Nearest-rank percentile over the results' end-to-end virtual
+/// latencies.
+fn latency_percentile(results: &[QueryResult], q: f64) -> f64 {
+    let mut totals: Vec<f64> = results.iter().map(|r| r.latency.total() as f64).collect();
+    totals.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let rank = ((q / 100.0) * totals.len() as f64).ceil() as usize;
+    totals[rank.clamp(1, totals.len()) - 1]
+}
+
+/// Drives an open-loop Poisson stream at 4x the modeled capacity
+/// through a bounded queue; returns the completed results and the shed
+/// count.
+fn serve_overloaded(workers: usize, queue_capacity: usize) -> (Vec<QueryResult>, u64) {
+    let config = ServiceConfig::default()
+        .with_shots(2)
+        .with_seed(11)
+        .with_workers(workers)
+        .with_batch_limit(8)
+        .with_deadline(5_000)
+        .with_queue_capacity(queue_capacity);
+    let memory = serve_memory();
+    let spec = QuerySpec::new(1, 3);
+    // The modeled per-request cost fixes capacity; offer 4x that rate.
+    let gates = spec.architecture().build(&memory).circuit().gates().len();
+    let execute = config.cost.execute_cost(gates, config.shots);
+    let mean_gap = execute as f64 / (4.0 * config.cost.units as f64);
+    let arrivals = ArrivalProcess::Poisson { mean_gap, seed: 3 }.arrivals(400);
+
+    let mut service = QramService::new(memory, config);
+    for (i, &arrival) in arrivals.iter().enumerate() {
+        match service.try_submit_at(i as u64 % 16, spec, arrival) {
+            Admission::Accepted(_) | Admission::Shed { .. } => {}
+            Admission::Rejected(reason) => panic!("rejected: {reason}"),
+        }
+    }
+    let results = service.run_until_idle();
+    let stats = service.admission_stats();
+    assert_eq!(stats.accepted as usize, results.len());
+    assert_eq!(stats.offered(), 400);
+    (results, stats.shed)
+}
+
+#[test]
+fn overload_p99_includes_queueing_grows_with_queue_depth_and_sheds() {
+    let (results, shed) = serve_overloaded(1, 32);
+    // Back-pressure: the bounded queue shed a real fraction of the 4x
+    // overload instead of queueing it forever.
+    assert!(shed > 50, "shed {shed}");
+    assert!(!results.is_empty());
+
+    // Honest percentiles: at 4x overload the p99 is dominated by
+    // queueing delay, not by compile + execute.
+    let p99 = latency_percentile(&results, 99.0);
+    let served_cost = results
+        .iter()
+        .map(|r| (r.latency.compile + r.latency.execute) as f64)
+        .fold(0.0f64, f64::max);
+    assert!(
+        p99 > 3.0 * served_cost,
+        "p99 {p99} vs max compile+execute {served_cost}"
+    );
+    let p99_queue_wait = {
+        let mut waits: Vec<f64> = results
+            .iter()
+            .map(|r| r.latency.queue_wait as f64)
+            .collect();
+        waits.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        waits[waits.len() * 99 / 100]
+    };
+    assert!(p99_queue_wait > served_cost, "queueing dominates the tail");
+    // The breakdown partitions the end-to-end time exactly.
+    for r in &results {
+        assert_eq!(r.completed - r.arrival, r.latency.total());
+    }
+
+    // A deeper bounded queue admits more and waits longer: p99 grows
+    // with queue depth, shedding shrinks.
+    let (deeper_results, deeper_shed) = serve_overloaded(1, 128);
+    assert!(deeper_shed < shed, "{deeper_shed} vs {shed}");
+    assert!(deeper_results.len() > results.len());
+    let deeper_p99 = latency_percentile(&deeper_results, 99.0);
+    assert!(
+        deeper_p99 > 1.5 * p99,
+        "queue 128 p99 {deeper_p99} vs queue 32 p99 {p99}"
+    );
+}
+
+#[test]
+fn overloaded_results_are_bit_identical_across_worker_counts() {
+    // The work-stealing executor is a pure throughput knob even under
+    // overload: results (fidelity estimates, latency breakdowns, shed
+    // accounting) are bit-identical for any real worker count.
+    let (serial, serial_shed) = serve_overloaded(1, 64);
+    for workers in [2, 4] {
+        let (parallel, parallel_shed) = serve_overloaded(workers, 64);
+        assert_eq!(serial, parallel, "workers = {workers}");
+        assert_eq!(serial_shed, parallel_shed);
+    }
+}
+
+#[test]
+fn spec_skewed_traffic_moves_eviction_counters() {
+    use qram::core::{DataEncoding, Optimizations};
+    // Six hot shapes through a 3-entry cache: zipf-skewed assignment
+    // keeps the head resident while the tail churns the LRU.
+    let specs = vec![
+        QuerySpec::new(1, 3),
+        QuerySpec::new(2, 2),
+        QuerySpec::new(3, 1),
+        QuerySpec::new(1, 3).with_encoding(DataEncoding::FusedBit),
+        QuerySpec::new(2, 2).with_encoding(DataEncoding::FusedBit),
+        QuerySpec::new(1, 3).with_optimizations(Optimizations::OPT2),
+    ];
+    let memory = serve_memory();
+    let config = ServiceConfig::default()
+        .with_shots(0)
+        .with_cache_capacity(3)
+        .with_batch_limit(4);
+    let mut service = QramService::new(memory.clone(), config);
+    let workload = Workload::Zipfian {
+        address_width: N,
+        theta: 0.99,
+        seed: 5,
+    };
+    let mix = SpecMix::Zipfian {
+        theta: 1.1,
+        seed: 23,
+    };
+    service.submit_all(assign_specs_with(&workload, &specs, mix, 512));
+    let report = service.drain();
+    // Eviction pressure is real and fully accounted.
+    assert!(report.cache.evictions > 0, "{:?}", report.cache);
+    assert!(report.cache.hits > 0);
+    assert_eq!(
+        report.cache.lookups,
+        report.cache.hits + report.cache.misses
+    );
+    // Skew keeps the head shapes hot: far fewer compiles than lookups.
+    assert!(report.cache.hit_rate() > 0.5, "{:?}", report.cache);
+    // Thrash or not, every answer is the memory's ground truth.
+    for result in &report.results {
+        assert_eq!(result.value, memory.get(result.address as usize));
+    }
 }
 
 #[test]
