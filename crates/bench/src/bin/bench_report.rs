@@ -36,8 +36,8 @@ use std::process::ExitCode;
 
 use qram_bench::report::{
     apply_gate, baseline_snapshot_dir, bench_results_dir, compare_against_baseline, find_repo_root,
-    load_records, merge_baseline_records, parse_baseline, shot_engine_summary, summary_json,
-    write_baseline_snapshot, GateOutcome,
+    load_records, merge_baseline_records, parse_baseline, serve_summary_headline,
+    shot_engine_summary, summary_json, write_baseline_snapshot, GateOutcome,
 };
 
 struct Args {
@@ -175,6 +175,25 @@ fn main() -> ExitCode {
             "bench_report: shot_engine serial {:.0} ns / sharded {:.0} ns → {:.2}x speedup ({threads} threads)",
             s.serial_ns, s.sharded_ns, s.speedup
         );
+    }
+
+    // Surface the serving summary alongside the micro-bench one when a
+    // serve_bench run left it behind. Tolerant across schema
+    // generations (v2 summaries predate the `arch` field) and never a
+    // gate: an absent or unreadable summary is only noted.
+    let serve_path = repo_root
+        .clone()
+        .unwrap_or_else(|| PathBuf::from("."))
+        .join("BENCH_SERVE.json");
+    match std::fs::read_to_string(&serve_path) {
+        Ok(json) => match serve_summary_headline(&json) {
+            Some(headline) => println!("bench_report: serve summary — {headline}"),
+            None => println!(
+                "bench_report: {} is not a recognized serve summary (ignored)",
+                serve_path.display()
+            ),
+        },
+        Err(_) => println!("bench_report: no serve summary at {}", serve_path.display()),
     }
 
     let abs_failed = apply_abs_comparison(&records, &args);

@@ -15,6 +15,11 @@
 //! Flags (shared flags match the other experiment binaries):
 //!
 //! * `--full` — paper-scale run (larger memory and request count);
+//! * `--arch NAME` — architecture(s) to serve: `virtual` (default),
+//!   `sqc`, `fanout`, `bb` (bucket-brigade), `ss` (select-swap), or
+//!   `mix` (one spec per family — a mixed-architecture workload through
+//!   one service instance). The summary carries a per-architecture
+//!   throughput/latency/cache breakdown (schema v3);
 //! * `--shots N` — Monte-Carlo shots per request (0 = noiseless serving);
 //! * `--seed N` — service master seed (per-request streams derive from it);
 //! * `--threads N` — real executor workers (`0` = all cores). A pure
@@ -52,16 +57,20 @@
 use std::path::PathBuf;
 use std::time::Instant;
 
-use qram_bench::report::{find_repo_root, fnv1a_64, percentile, serve_sweep_json, ServeLoadPoint};
+use qram_bench::report::{
+    find_repo_root, fnv1a_64, percentile, serve_arch_json, serve_sweep_json, ServeArchPoint,
+    ServeLoadPoint,
+};
 use qram_bench::{experiment_memory, print_row};
-use qram_core::{DataEncoding, Memory, Optimizations, QueryArchitecture};
+use qram_core::{ArchSpec, DataEncoding, Memory, Optimizations};
 use qram_service::{
-    assign_specs_with, Admission, ArrivalProcess, QramService, QueryResult, QuerySpec,
-    ServiceConfig, SpecMix, Ticks, Workload,
+    assign_specs_with, mixed_arch_specs, Admission, ArrivalProcess, BatchReport, QramService,
+    QueryResult, QuerySpec, ServiceConfig, SpecMix, Ticks, Workload,
 };
 
 struct Args {
     full: bool,
+    arch: String,
     shots: Option<usize>,
     seed: u64,
     threads: usize,
@@ -83,6 +92,7 @@ struct Args {
 fn parse_args() -> Args {
     let mut parsed = Args {
         full: false,
+        arch: "virtual".into(),
         shots: None,
         seed: 2023,
         threads: 0,
@@ -108,6 +118,7 @@ fn parse_args() -> Args {
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--full" => parsed.full = true,
+            "--arch" => parsed.arch = value("--arch", &mut args),
             "--shots" => parsed.shots = Some(value("--shots", &mut args).parse().expect("--shots")),
             "--seed" => parsed.seed = value("--seed", &mut args).parse().expect("--seed"),
             "--threads" => {
@@ -145,26 +156,50 @@ fn parse_args() -> Args {
             }
             "--out" => parsed.out = Some(PathBuf::from(value("--out", &mut args))),
             other => panic!(
-                "unknown flag `{other}` (expected --full, --shots N, --seed N, --threads N, \
-                 --shot-threads N, --mode closed|open, --workload NAME, --arrivals NAME, \
-                 --load LIST, --spec-skew X, --requests N, --width N, --theta X, --batch N, \
-                 --queue N, --deadline T, --out FILE)"
+                "unknown flag `{other}` (expected --full, --arch NAME, --shots N, --seed N, \
+                 --threads N, --shot-threads N, --mode closed|open, --workload NAME, \
+                 --arrivals NAME, --load LIST, --spec-skew X, --requests N, --width N, \
+                 --theta X, --batch N, --queue N, --deadline T, --out FILE)"
             ),
         }
     }
     parsed
 }
 
-/// The hot circuit shapes the workload cycles over: a realistic
-/// deployment serves a handful of compiled configurations.
-fn hot_specs(n: usize) -> Vec<QuerySpec> {
-    let mut specs = vec![QuerySpec::new(1, n - 1)];
-    if n >= 3 {
-        specs.push(QuerySpec::new(2, n - 2));
-        specs.push(QuerySpec::new(1, n - 1).with_encoding(DataEncoding::FusedBit));
-        specs.push(QuerySpec::new(2, n - 2).with_optimizations(Optimizations::OPT2));
+/// The hot circuit shapes the workload cycles over for the selected
+/// `--arch`: a realistic deployment serves a handful of compiled
+/// configurations, and `mix` serves one per architecture family through
+/// the same pipeline.
+fn hot_specs(arch: &str, n: usize) -> Vec<QuerySpec> {
+    match arch {
+        "virtual" => {
+            let mut specs = vec![QuerySpec::new(1, n - 1)];
+            if n >= 3 {
+                specs.push(QuerySpec::new(2, n - 2));
+                specs.push(QuerySpec::new(1, n - 1).with_encoding(DataEncoding::FusedBit));
+                specs.push(QuerySpec::new(2, n - 2).with_optimizations(Optimizations::OPT2));
+            }
+            specs
+        }
+        "sqc" => vec![QuerySpec::of(ArchSpec::Sqc { n })],
+        "fanout" => vec![QuerySpec::of(ArchSpec::Fanout { m: n })],
+        "bb" => {
+            let mut specs = vec![QuerySpec::of(ArchSpec::BucketBrigade { k: 1, m: n - 1 })];
+            if n >= 3 {
+                specs.push(QuerySpec::of(ArchSpec::BucketBrigade { k: 2, m: n - 2 }));
+            }
+            specs
+        }
+        "ss" => {
+            let mut specs = vec![QuerySpec::of(ArchSpec::SelectSwap { k: 1, m: n - 1 })];
+            if n >= 3 {
+                specs.push(QuerySpec::of(ArchSpec::SelectSwap { k: 2, m: n - 2 }));
+            }
+            specs
+        }
+        "mix" => mixed_arch_specs(n),
+        other => panic!("unknown --arch `{other}` (expected virtual, sqc, fanout, bb, ss, mix)"),
     }
-    specs
 }
 
 fn build_workload(args: &Args, n: usize) -> Workload {
@@ -229,14 +264,16 @@ fn service_config(args: &Args, shots: usize) -> ServiceConfig {
 }
 
 /// Digest of everything deterministic about a result set: ids,
-/// addresses, values, virtual timestamps, latency breakdowns, and the
-/// fidelity estimates bit by bit. Equal digests across `--threads`
-/// values certify the executor's bit-identity.
+/// addresses, serving architectures, values, virtual timestamps,
+/// latency breakdowns, and the fidelity estimates bit by bit. Equal
+/// digests across `--threads` values certify the executor's
+/// bit-identity — including for mixed-architecture workloads.
 fn results_digest(results: &[QueryResult]) -> u64 {
-    let mut bytes: Vec<u8> = Vec::with_capacity(results.len() * 80);
+    let mut bytes: Vec<u8> = Vec::with_capacity(results.len() * 96);
     for r in results {
         bytes.extend(r.id.to_le_bytes());
         bytes.extend(r.address.to_le_bytes());
+        bytes.extend(r.spec.arch.family().as_bytes());
         bytes.push(r.value as u8);
         bytes.extend(r.arrival.to_le_bytes());
         bytes.extend(r.completed.to_le_bytes());
@@ -268,6 +305,76 @@ fn mean(values: impl Iterator<Item = f64>, count: usize) -> f64 {
     values.sum::<f64>() / count as f64
 }
 
+/// Slices one or more runs per architecture family: requests,
+/// throughput and latency from the results, batch-level cache behavior
+/// from the batch reports (a batch that charged compile ticks was a
+/// cache miss).
+///
+/// Each `(results, batches)` pair is an independent run with its own
+/// virtual clock (open mode sweeps one per load point), so throughput
+/// sums each run's span rather than overlapping their clocks — the
+/// union's `max(completed) − min(arrival)` would divide every run's
+/// requests by roughly one run's window and report impossible rates.
+fn arch_breakdown(runs: &[(&[QueryResult], &[BatchReport])]) -> Vec<ServeArchPoint> {
+    let mut families: Vec<&'static str> = Vec::new();
+    for (results, _) in runs {
+        for r in *results {
+            let family = r.spec.arch.family();
+            if !families.contains(&family) {
+                families.push(family);
+            }
+        }
+    }
+    families
+        .into_iter()
+        .map(|family| {
+            let mut requests = 0usize;
+            let mut span = 0u64;
+            let mut totals: Vec<f64> = Vec::new();
+            let mut executes: Vec<f64> = Vec::new();
+            let mut fired = 0usize;
+            let mut compiled = 0usize;
+            for (results, batches) in runs {
+                let slice: Vec<&QueryResult> = results
+                    .iter()
+                    .filter(|r| r.spec.arch.family() == family)
+                    .collect();
+                if !slice.is_empty() {
+                    let first_arrival = slice.iter().map(|r| r.arrival).min().unwrap_or(0);
+                    let last_completed = slice.iter().map(|r| r.completed).max().unwrap_or(0);
+                    span += last_completed.saturating_sub(first_arrival).max(1);
+                }
+                requests += slice.len();
+                totals.extend(slice.iter().map(|r| r.latency.total() as f64));
+                executes.extend(slice.iter().map(|r| r.latency.execute as f64));
+                fired += batches
+                    .iter()
+                    .filter(|b| b.spec.arch.family() == family)
+                    .count();
+                compiled += batches
+                    .iter()
+                    .filter(|b| b.spec.arch.family() == family && b.compile > 0)
+                    .count();
+            }
+            let max = totals.iter().copied().fold(0.0f64, f64::max);
+            ServeArchPoint {
+                arch: family.into(),
+                requests,
+                virtual_rps: requests as f64 * 1e9 / span.max(1) as f64,
+                latency_ns: [
+                    percentile(&totals, 50.0),
+                    percentile(&totals, 90.0),
+                    percentile(&totals, 99.0),
+                    max,
+                ],
+                mean_execute_ns: mean(executes.iter().copied(), executes.len()),
+                batches: fired,
+                compiled,
+            }
+        })
+        .collect()
+}
+
 /// The fixed context of an open-loop sweep (everything but the load
 /// multiplier).
 struct OpenSweep<'a> {
@@ -281,7 +388,10 @@ struct OpenSweep<'a> {
 }
 
 /// Runs one open-loop operating point and condenses it.
-fn run_open_point(sweep: &OpenSweep<'_>, load_factor: f64) -> (ServeLoadPoint, Vec<QueryResult>) {
+fn run_open_point(
+    sweep: &OpenSweep<'_>,
+    load_factor: f64,
+) -> (ServeLoadPoint, Vec<QueryResult>, Vec<BatchReport>) {
     let OpenSweep {
         args,
         memory,
@@ -304,6 +414,7 @@ fn run_open_point(sweep: &OpenSweep<'_>, load_factor: f64) -> (ServeLoadPoint, V
         }
     }
     let results = service.run_until_idle();
+    let batch_reports = service.take_batch_reports();
 
     let first_arrival = arrivals.first().copied().unwrap_or(0);
     let last_completed = results.iter().map(|r| r.completed).max().unwrap_or(0);
@@ -325,7 +436,7 @@ fn run_open_point(sweep: &OpenSweep<'_>, load_factor: f64) -> (ServeLoadPoint, V
         mean_execute_ns: mean(results.iter().map(|r| r.latency.execute as f64), completed),
         cache_hit_rate: service.cache_stats().hit_rate(),
     };
-    (point, results)
+    (point, results, batch_reports)
 }
 
 fn write_summary(out: Option<PathBuf>, json: &str) {
@@ -353,7 +464,7 @@ fn main() {
 
     let memory = experiment_memory(n, args.seed);
     let workload = build_workload(&args, n);
-    let specs = hot_specs(n);
+    let specs = hot_specs(&args.arch, n);
     match args.mode.as_str() {
         "closed" => run_closed(&args, &memory, &workload, &specs, shots, requests),
         "open" => run_open(&args, &memory, &workload, &specs, shots, requests),
@@ -396,11 +507,14 @@ fn run_closed(
     );
     let digest = results_digest(&report.results);
 
+    let per_arch = arch_breakdown(&[(&report.results[..], &report.batches[..])]);
+
     println!(
-        "# serve_bench closed: {} x {} over n={} ({} hot specs, batch <= {}, {} shots, {} workers x {} shot-threads)",
+        "# serve_bench closed: {} x {} over n={} (arch {}, {} hot specs, batch <= {}, {} shots, {} workers x {} shot-threads)",
         count,
         workload.name(),
         memory.address_width(),
+        args.arch,
         specs.len(),
         args.batch,
         shots,
@@ -427,10 +541,23 @@ fn run_closed(
         format!("{:.3}", report.cache.hit_rate()),
     ]);
     print_row(&["mean_fidelity".into(), format!("{mean_fidelity:.4}")]);
+    for point in &per_arch {
+        print_row(&[
+            format!("arch[{}]", point.arch),
+            format!(
+                "{} reqs, p50 {:.1} us, exec {:.1} us, batch hit {:.2}",
+                point.requests,
+                point.latency_ns[0] / 1e3,
+                point.mean_execute_ns / 1e3,
+                point.batch_hit_rate()
+            ),
+        ]);
+    }
     println!("# results_digest: {digest:016x}");
 
     let json = format!(
-        "{{\n  \"schema\": \"qram-bench/serve-summary/v2\",\n  \"mode\": \"closed\",\n  \
+        "{{\n  \"schema\": \"qram-bench/serve-summary/v3\",\n  \"mode\": \"closed\",\n  \
+         \"arch\": \"{}\",\n  \
          \"workload\": \"{}\",\n  \"spec_mix\": \"{}\",\n  \"address_width\": {},\n  \
          \"requests\": {count},\n  \"batches\": {},\n  \"specs\": {},\n  \"shots\": {shots},\n  \
          \"seed\": {},\n  \"shot_threads\": {},\n  \"results_digest\": \"{digest:016x}\",\n  \
@@ -438,7 +565,9 @@ fn run_closed(
          \"latency_ns\": {{\"p50\": {:.0}, \"p90\": {:.0}, \"p99\": {:.0}, \"max\": {:.0}}},\n  \
          \"mean_queue_wait_ns\": {mean_queue_wait:.1},\n  \
          \"cache\": {{\"hits\": {}, \"misses\": {}, \"evictions\": {}, \"hit_rate\": {:.4}}},\n  \
-         \"mean_fidelity\": {mean_fidelity:.6}\n}}\n",
+         \"mean_fidelity\": {mean_fidelity:.6},\n  \
+         \"per_arch\": {}\n}}\n",
+        args.arch,
         workload.name(),
         mix_name(args),
         memory.address_width(),
@@ -454,6 +583,7 @@ fn run_closed(
         report.cache.misses,
         report.cache.evictions,
         report.cache.hit_rate(),
+        serve_arch_json(&per_arch),
     );
     write_summary(args.out.clone(), &json);
 }
@@ -469,24 +599,23 @@ fn run_open(
     requests: usize,
 ) {
     // The modeled capacity: virtual execution units over the mean
-    // per-request execute cost of the hot specs.
+    // per-request execute cost of the hot specs, each priced from its
+    // architecture's measured resources.
     let cost = service_config(args, shots).cost;
     let mean_execute = specs
         .iter()
-        .map(|spec| {
-            let gates = spec.architecture().build(memory).circuit().gates().len();
-            cost.execute_cost(gates, shots)
-        })
+        .map(|spec| cost.execute_cost(&spec.arch.instantiate().resources(memory), shots))
         .sum::<u64>() as f64
         / specs.len() as f64;
     let capacity_rps = cost.capacity_rps(mean_execute.round() as u64);
 
     println!(
-        "# serve_bench open: {} x {} + {} arrivals over n={} ({} hot specs, {} shots, queue {}, deadline {} ns, capacity {:.0} rps)",
+        "# serve_bench open: {} x {} + {} arrivals over n={} (arch {}, {} hot specs, {} shots, queue {}, deadline {} ns, capacity {:.0} rps)",
         requests,
         workload.name(),
         args.arrivals,
         memory.address_width(),
+        args.arch,
         specs.len(),
         shots,
         args.queue,
@@ -518,8 +647,9 @@ fn run_open(
     };
     let mut points = Vec::new();
     let mut digest_bytes: Vec<u8> = Vec::new();
+    let mut point_runs: Vec<(Vec<QueryResult>, Vec<BatchReport>)> = Vec::new();
     for &load_factor in &args.loads {
-        let (point, results) = run_open_point(&sweep, load_factor);
+        let (point, results, batch_reports) = run_open_point(&sweep, load_factor);
         print_row(&[
             format!("{load_factor:.2}"),
             point.offered.to_string(),
@@ -532,19 +662,28 @@ fn run_open(
             format!("{:.3}", point.cache_hit_rate),
         ]);
         digest_bytes.extend(results_digest(&results).to_le_bytes());
+        point_runs.push((results, batch_reports));
         points.push(point);
     }
     let digest = fnv1a_64(digest_bytes);
     println!("# results_digest: {digest:016x}");
+    // The per-architecture slice aggregates every operating point (the
+    // sweep itself stays the per-point view); each point keeps its own
+    // virtual-clock span so the aggregate throughput stays physical.
+    let runs: Vec<(&[QueryResult], &[BatchReport])> =
+        point_runs.iter().map(|(r, b)| (&r[..], &b[..])).collect();
+    let per_arch = arch_breakdown(&runs);
 
     let json = format!(
-        "{{\n  \"schema\": \"qram-bench/serve-summary/v2\",\n  \"mode\": \"open\",\n  \
+        "{{\n  \"schema\": \"qram-bench/serve-summary/v3\",\n  \"mode\": \"open\",\n  \
+         \"arch\": \"{}\",\n  \
          \"workload\": \"{}\",\n  \"arrivals\": \"{}\",\n  \"spec_mix\": \"{}\",\n  \
          \"address_width\": {},\n  \"requests_per_point\": {requests},\n  \"specs\": {},\n  \
          \"shots\": {shots},\n  \"seed\": {},\n  \"shot_threads\": {},\n  \
          \"queue_capacity\": {},\n  \"deadline_ns\": {},\n  \"batch_limit\": {},\n  \
          \"capacity_rps\": {capacity_rps:.1},\n  \"results_digest\": \"{digest:016x}\",\n  \
-         \"sweep\": {}\n}}\n",
+         \"sweep\": {},\n  \"per_arch\": {}\n}}\n",
+        args.arch,
         workload.name(),
         args.arrivals,
         mix_name(args),
@@ -556,6 +695,7 @@ fn run_open(
         args.deadline,
         args.batch,
         serve_sweep_json(&points),
+        serve_arch_json(&per_arch),
     );
     write_summary(args.out.clone(), &json);
 }

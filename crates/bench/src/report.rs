@@ -248,6 +248,97 @@ pub fn serve_sweep_json(points: &[ServeLoadPoint]) -> String {
     out
 }
 
+/// Per-architecture slice of a serving run: the schema-v3 breakdown
+/// `serve_bench` reports for every architecture family a (possibly
+/// mixed) workload touched.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeArchPoint {
+    /// Architecture family tag (`qram_core::ArchSpec::family`).
+    pub arch: String,
+    /// Requests this family served.
+    pub requests: usize,
+    /// Completion rate in requests per virtual second over the run's
+    /// span.
+    pub virtual_rps: f64,
+    /// Virtual end-to-end latency percentiles (ns): p50, p90, p99, max.
+    pub latency_ns: [f64; 4],
+    /// Mean virtual ns executing one request of this family (the
+    /// resource-calibrated cost signature).
+    pub mean_execute_ns: f64,
+    /// Batches fired for this family.
+    pub batches: usize,
+    /// Batches that paid a compile (circuit-cache misses).
+    pub compiled: usize,
+}
+
+impl ServeArchPoint {
+    /// Batch-level cache hit rate for the family (0 when no batch
+    /// fired).
+    pub fn batch_hit_rate(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            (self.batches - self.compiled) as f64 / self.batches as f64
+        }
+    }
+
+    /// Renders the breakdown as one JSON object (no trailing newline).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"arch\": \"{}\", \"requests\": {}, \"virtual_rps\": {:.1}, \
+             \"latency_ns\": {{\"p50\": {:.0}, \"p90\": {:.0}, \"p99\": {:.0}, \"max\": {:.0}}}, \
+             \"mean_execute_ns\": {:.1}, \"batches\": {}, \"compiled\": {}, \
+             \"batch_hit_rate\": {:.4}}}",
+            self.arch,
+            self.requests,
+            self.virtual_rps,
+            self.latency_ns[0],
+            self.latency_ns[1],
+            self.latency_ns[2],
+            self.latency_ns[3],
+            self.mean_execute_ns,
+            self.batches,
+            self.compiled,
+            self.batch_hit_rate(),
+        )
+    }
+}
+
+/// Renders the per-architecture breakdown as an indented JSON array
+/// fragment (for the schema-v3 `BENCH_SERVE.json` summary).
+pub fn serve_arch_json(points: &[ServeArchPoint]) -> String {
+    let mut out = String::from("[\n");
+    for (i, point) in points.iter().enumerate() {
+        let comma = if i + 1 < points.len() { "," } else { "" };
+        out.push_str(&format!("    {}{comma}\n", point.to_json()));
+    }
+    out.push_str("  ]");
+    out
+}
+
+/// The headline of a `BENCH_SERVE.json` summary, tolerant across schema
+/// generations: v1/v2 summaries (no `arch` / `per_arch` fields) report
+/// their architecture as the implicit `virtual`, v3 summaries carry it
+/// explicitly. Returns `None` when the document is not a serve summary
+/// at all.
+pub fn serve_summary_headline(json: &str) -> Option<String> {
+    let schema = json_str_field(json, "schema")?;
+    if !schema.starts_with("qram-bench/serve-summary/") {
+        return None;
+    }
+    let mode = json_str_field(json, "mode").unwrap_or_else(|| "?".into());
+    let arch = json_str_field(json, "arch").unwrap_or_else(|| "virtual".into());
+    // Per-point first: an open-mode summary's only top-level count is
+    // `requests_per_point` (a bare `"requests"` match would find the
+    // per-architecture breakdown's field instead).
+    let requests = json_num_field(json, "requests_per_point")
+        .or_else(|| json_num_field(json, "requests"))
+        .unwrap_or(0.0);
+    Some(format!(
+        "{schema}: mode={mode} arch={arch} requests={requests:.0}"
+    ))
+}
+
 /// FNV-1a over a byte stream: the results digest `serve_bench` prints so
 /// CI can diff 1-worker vs N-worker runs for bit-equality without
 /// carrying the full result dump.
@@ -579,6 +670,56 @@ mod tests {
         assert_eq!(json_num_field(&json, "queue_wait"), Some(700.2));
         assert_eq!(json.matches("achieved_rps").count(), 2);
         assert!(serve_sweep_json(&[]).starts_with("[\n"));
+    }
+
+    #[test]
+    fn serve_arch_json_round_trips_and_hit_rate_is_batch_level() {
+        let point = ServeArchPoint {
+            arch: "bucket_brigade".into(),
+            requests: 128,
+            virtual_rps: 2_500.0,
+            latency_ns: [1_000.0, 2_000.0, 4_000.0, 5_000.0],
+            mean_execute_ns: 750.5,
+            batches: 8,
+            compiled: 2,
+        };
+        assert!((point.batch_hit_rate() - 0.75).abs() < 1e-12);
+        let json = serve_arch_json(std::slice::from_ref(&point));
+        assert_eq!(
+            json_str_field(&json, "arch").as_deref(),
+            Some("bucket_brigade")
+        );
+        assert_eq!(json_num_field(&json, "requests"), Some(128.0));
+        assert_eq!(json_num_field(&json, "batch_hit_rate"), Some(0.75));
+        // No batches → defined hit rate of 0, not NaN.
+        let idle = ServeArchPoint {
+            batches: 0,
+            compiled: 0,
+            ..point
+        };
+        assert_eq!(idle.batch_hit_rate(), 0.0);
+        assert!(serve_arch_json(&[]).starts_with("[\n"));
+    }
+
+    #[test]
+    fn serve_summary_headline_tolerates_old_and_new_schemas() {
+        // v2 (pre-ArchSpec): no `arch` key — reported as virtual.
+        let v2 = "{\"schema\": \"qram-bench/serve-summary/v2\", \"mode\": \"closed\", \
+                  \"requests\": 256}";
+        assert_eq!(
+            serve_summary_headline(v2).unwrap(),
+            "qram-bench/serve-summary/v2: mode=closed arch=virtual requests=256"
+        );
+        // v3: explicit arch, open mode counts per point.
+        let v3 = "{\"schema\": \"qram-bench/serve-summary/v3\", \"mode\": \"open\", \
+                  \"arch\": \"mix\", \"requests_per_point\": 64}";
+        assert_eq!(
+            serve_summary_headline(v3).unwrap(),
+            "qram-bench/serve-summary/v3: mode=open arch=mix requests=64"
+        );
+        // Not a serve summary at all.
+        assert!(serve_summary_headline("{\"schema\": \"qram-bench/bench-summary/v2\"}").is_none());
+        assert!(serve_summary_headline("{}").is_none());
     }
 
     #[test]

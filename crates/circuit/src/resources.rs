@@ -110,7 +110,7 @@ pub fn cost_of(gate: &Gate) -> GateCost {
 /// assert_eq!(r.t_depth, 3);
 /// assert_eq!(r.lowered_depth, 12);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct ResourceCount {
     /// Qubits of the circuit (ancillae demanded by MCX lowering are
     /// reported separately in [`ResourceCount::mcx_ancillas`]).

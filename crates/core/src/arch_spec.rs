@@ -1,0 +1,250 @@
+//! [`ArchSpec`]: the value-level name of a query architecture.
+//!
+//! The trait object [`QueryArchitecture`] is how circuits get *built*;
+//! `ArchSpec` is how architectures get *named, compared, hashed and
+//! shipped around* — in serving-layer cache keys, batch group keys,
+//! workload mixes and bench reports. It is the paper's comparison axis
+//! (Table 2 pits SQC, bucket-brigade, select-swap and the virtual QRAM
+//! against each other) reified as a plain `Copy` enum: one variant per
+//! architecture family, carrying exactly the parameters that distinguish
+//! two compiled circuits of that family.
+//!
+//! [`ArchSpec::instantiate`] crosses back to the trait world, so any
+//! consumer generic over `dyn QueryArchitecture` can serve any spec.
+
+use crate::{
+    BucketBrigadeQram, DataEncoding, FanoutQram, Optimizations, QueryArchitecture, SelectSwapQram,
+    Sqc, VirtualQram,
+};
+
+/// A hashable, cache-key-able description of one query architecture.
+///
+/// Two specs are equal exactly when they compile identical circuits for
+/// any given memory, which is what makes `ArchSpec` the right key for
+/// compiled-circuit caches and batch grouping.
+///
+/// ```
+/// use qram_core::{ArchSpec, Memory};
+/// let spec = ArchSpec::BucketBrigade { k: 1, m: 2 };
+/// assert_eq!(spec.address_width(), 3);
+/// let memory = Memory::from_bits((0..8).map(|i| i % 3 == 0));
+/// let query = spec.instantiate().build(&memory);
+/// query.verify(&memory)?;
+/// # Ok::<(), qram_core::QueryError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ArchSpec {
+    /// Gate-based QROM over `n` address bits ([`Sqc`], Sec. 2.3.1).
+    Sqc {
+        /// Address width.
+        n: usize,
+    },
+    /// Fanout QRAM over an `m`-level router tree ([`FanoutQram`],
+    /// Sec. 2.3.2).
+    Fanout {
+        /// Tree width (= address width).
+        m: usize,
+    },
+    /// Hybrid SQC + bucket-brigade tree ([`BucketBrigadeQram`],
+    /// baseline **BB**).
+    BucketBrigade {
+        /// SQC width (`2^k` pages).
+        k: usize,
+        /// Tree width (`2^m` leaves).
+        m: usize,
+    },
+    /// Select-swap hybrid ([`SelectSwapQram`], baseline **SS**).
+    SelectSwap {
+        /// Select width.
+        k: usize,
+        /// Swap width.
+        m: usize,
+    },
+    /// The paper's virtual QRAM ([`VirtualQram`], Sec. 3), with its
+    /// optimization switches and data encoding — the parameters that
+    /// change the compiled circuit, and therefore belong in the key.
+    Virtual {
+        /// SQC width (`2^k` pages).
+        k: usize,
+        /// QRAM width (`2^m` physical leaves).
+        m: usize,
+        /// Optimization set (Table 1 ablation axis).
+        opts: Optimizations,
+        /// Data-rail encoding.
+        encoding: DataEncoding,
+    },
+}
+
+impl ArchSpec {
+    /// The `(k, m)` virtual QRAM with every optimization and bit
+    /// encoding — the paper's headline configuration.
+    pub fn virtual_all(k: usize, m: usize) -> Self {
+        ArchSpec::Virtual {
+            k,
+            m,
+            opts: Optimizations::ALL,
+            encoding: DataEncoding::Bit,
+        }
+    }
+
+    /// Total address width `n` the architecture serves.
+    pub fn address_width(&self) -> usize {
+        match *self {
+            ArchSpec::Sqc { n } => n,
+            ArchSpec::Fanout { m } => m,
+            ArchSpec::BucketBrigade { k, m }
+            | ArchSpec::SelectSwap { k, m }
+            | ArchSpec::Virtual { k, m, .. } => k + m,
+        }
+    }
+
+    /// Short stable family tag (`"sqc"`, `"fanout"`, `"bucket_brigade"`,
+    /// `"select_swap"`, `"virtual"`) for reports and breakdown keys.
+    pub fn family(&self) -> &'static str {
+        match self {
+            ArchSpec::Sqc { .. } => "sqc",
+            ArchSpec::Fanout { .. } => "fanout",
+            ArchSpec::BucketBrigade { .. } => "bucket_brigade",
+            ArchSpec::SelectSwap { .. } => "select_swap",
+            ArchSpec::Virtual { .. } => "virtual",
+        }
+    }
+
+    /// Human-readable instance name, e.g. `"virtual(k=1,m=2,ALL)"`
+    /// (delegates to the instantiated architecture).
+    pub fn name(&self) -> String {
+        self.instantiate().name()
+    }
+
+    /// Builds the architecture this spec names.
+    ///
+    /// # Panics
+    ///
+    /// Propagates the constructors' validation panics (e.g. `m == 0`
+    /// for the tree-based families, `n == 0` for SQC).
+    pub fn instantiate(&self) -> Box<dyn QueryArchitecture> {
+        match *self {
+            ArchSpec::Sqc { n } => Box::new(Sqc::new(n)),
+            ArchSpec::Fanout { m } => Box::new(FanoutQram::new(m)),
+            ArchSpec::BucketBrigade { k, m } => Box::new(BucketBrigadeQram::new(k, m)),
+            ArchSpec::SelectSwap { k, m } => Box::new(SelectSwapQram::new(k, m)),
+            ArchSpec::Virtual {
+                k,
+                m,
+                opts,
+                encoding,
+            } => Box::new(
+                VirtualQram::new(k, m)
+                    .with_optimizations(opts)
+                    .with_encoding(encoding),
+            ),
+        }
+    }
+
+    /// One canonical spec per architecture family, all serving address
+    /// width `n` — the standard mixed-architecture comparison set (the
+    /// hybrids at `k = 1`, matching the paper's smallest paged shape).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2` (the hybrids need at least one page bit and one
+    /// tree bit).
+    pub fn all_families(n: usize) -> Vec<ArchSpec> {
+        assert!(n >= 2, "mixed-architecture set needs n >= 2, got {n}");
+        vec![
+            ArchSpec::Sqc { n },
+            ArchSpec::Fanout { m: n },
+            ArchSpec::BucketBrigade { k: 1, m: n - 1 },
+            ArchSpec::SelectSwap { k: 1, m: n - 1 },
+            ArchSpec::virtual_all(1, n - 1),
+        ]
+    }
+}
+
+impl std::fmt::Display for ArchSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Memory;
+    use std::collections::HashSet;
+
+    #[test]
+    fn every_family_instantiates_verifies_and_reads_back() {
+        let n = 3;
+        let memory = Memory::from_bits((0..8).map(|i| i % 3 == 1));
+        for spec in ArchSpec::all_families(n) {
+            assert_eq!(spec.address_width(), n, "{spec}");
+            let query = spec.instantiate().build(&memory);
+            query
+                .verify(&memory)
+                .unwrap_or_else(|e| panic!("{spec}: {e}"));
+            for address in 0..8u64 {
+                assert_eq!(
+                    query.query_classical(address).unwrap(),
+                    memory.get(address as usize),
+                    "{spec} at {address}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn families_are_distinct_hash_keys() {
+        let specs = ArchSpec::all_families(3);
+        let set: HashSet<ArchSpec> = specs.iter().copied().collect();
+        assert_eq!(set.len(), specs.len());
+        let families: HashSet<&str> = specs.iter().map(ArchSpec::family).collect();
+        assert_eq!(families.len(), 5);
+    }
+
+    #[test]
+    fn virtual_parameters_distinguish_specs() {
+        let mut set = HashSet::new();
+        set.insert(ArchSpec::virtual_all(1, 2));
+        set.insert(ArchSpec::Virtual {
+            k: 1,
+            m: 2,
+            opts: Optimizations::RAW,
+            encoding: DataEncoding::Bit,
+        });
+        set.insert(ArchSpec::Virtual {
+            k: 1,
+            m: 2,
+            opts: Optimizations::ALL,
+            encoding: DataEncoding::FusedBit,
+        });
+        set.insert(ArchSpec::virtual_all(1, 2)); // duplicate
+        assert_eq!(set.len(), 3);
+    }
+
+    #[test]
+    fn names_and_widths_delegate_to_the_architectures() {
+        assert_eq!(ArchSpec::Sqc { n: 3 }.name(), "sqc(n=3)");
+        assert_eq!(ArchSpec::Fanout { m: 2 }.address_width(), 2);
+        assert_eq!(ArchSpec::virtual_all(2, 4).name(), "virtual(k=2,m=4,ALL)");
+        assert_eq!(format!("{}", ArchSpec::Sqc { n: 2 }), "sqc(n=2)");
+    }
+
+    #[test]
+    fn resources_hook_matches_a_direct_build() {
+        let memory = Memory::from_bits((0..8).map(|i| i % 2 == 0));
+        for spec in ArchSpec::all_families(3) {
+            let arch = spec.instantiate();
+            let direct = arch.build(&memory).resources();
+            assert_eq!(arch.resources(&memory), direct, "{spec}");
+            assert!(direct.num_gates > 0);
+            assert!(direct.lowered_depth > 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "n >= 2")]
+    fn mixed_set_rejects_tiny_widths() {
+        let _ = ArchSpec::all_families(1);
+    }
+}

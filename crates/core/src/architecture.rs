@@ -239,6 +239,28 @@ pub trait QueryArchitecture {
     ///
     /// Panics if `memory.address_width() != self.address_width()`.
     fn build(&self, memory: &Memory) -> QueryCircuit;
+
+    /// Fault-tolerant resource count of the circuit this architecture
+    /// compiles for `memory` — the quantity every architecture
+    /// comparison in the paper (Tables 1 and 2) is made on, and what
+    /// the serving layer calibrates its virtual-time cost model
+    /// against.
+    ///
+    /// The default implementation builds the circuit and prices it.
+    /// An override (e.g. from a closed-form model, to skip the build)
+    /// must return **exactly** the measured resources of the circuit
+    /// `build` generates — the serving layer prices cached circuits
+    /// from their measured count and capacity planning prices through
+    /// this hook, and the two must agree. The equality is pinned for
+    /// every architecture by `arch_spec`'s
+    /// `resources_hook_matches_a_direct_build` test.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `memory.address_width() != self.address_width()`.
+    fn resources(&self, memory: &Memory) -> ResourceCount {
+        self.build(memory).resources()
+    }
 }
 
 /// Shared generator helper: allocate the (address, bus) interface

@@ -38,6 +38,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod arch_spec;
 mod architecture;
 mod bucket_brigade;
 mod fanout;
@@ -49,6 +50,7 @@ mod tree;
 mod virtual_qram;
 mod wide;
 
+pub use arch_spec::ArchSpec;
 pub use architecture::{query_word, QueryArchitecture, QueryCircuit, QueryError};
 pub use bucket_brigade::BucketBrigadeQram;
 pub use fanout::FanoutQram;

@@ -1,18 +1,18 @@
-//! The bounded LRU cache of compiled query circuits.
+//! The bounded LRU cache of compiled queries.
 //!
-//! Compiling a [`qram_core::QueryCircuit`] walks the whole page loop of
-//! `VirtualQram::build` — by far the most expensive per-spec cost of
-//! serving. Hot specs must pay it once, not once per batch, so the
-//! service keeps compiled circuits behind this cache keyed by
-//! [`QuerySpec`]. Entries are `Arc`-shared with in-flight batches, which
-//! makes eviction safe while a worker still executes against an evicted
-//! circuit.
+//! Running the staged [`crate::Compiler`] pipeline — instantiating the
+//! architecture, walking its whole generator, pricing the circuit — is
+//! by far the most expensive per-spec cost of serving. Hot specs must
+//! pay it once, not once per batch, so the service keeps
+//! [`CompiledQuery`] artifacts behind this cache keyed by [`QuerySpec`]
+//! (which wraps the hashable [`qram_core::ArchSpec`], so every
+//! architecture family and parameterization gets its own distinct key).
+//! Entries are `Arc`-shared with in-flight batches, which makes eviction
+//! safe while a worker still executes against an evicted artifact.
 
 use std::sync::Arc;
 
-use qram_core::QueryCircuit;
-
-use crate::QuerySpec;
+use crate::{CompiledQuery, QuerySpec};
 
 /// Hit/miss/eviction accounting of a [`CircuitCache`].
 ///
@@ -48,7 +48,7 @@ impl CacheStats {
     }
 }
 
-/// A bounded least-recently-used map `QuerySpec → Arc<QueryCircuit>`.
+/// A bounded least-recently-used map `QuerySpec → Arc<CompiledQuery>`.
 ///
 /// Recency order is kept in a plain vector (most recent last): the
 /// capacity is the number of *distinct circuit shapes* a deployment
@@ -56,19 +56,19 @@ impl CacheStats {
 /// structure and keeps the cache allocation-free on the hit path.
 #[derive(Debug, Default)]
 pub struct CircuitCache {
-    /// `(spec, circuit)` in recency order, least recent first.
-    entries: Vec<(QuerySpec, Arc<QueryCircuit>)>,
+    /// `(spec, artifact)` in recency order, least recent first.
+    entries: Vec<(QuerySpec, Arc<CompiledQuery>)>,
     capacity: usize,
     stats: CacheStats,
 }
 
 impl CircuitCache {
-    /// An empty cache holding at most `capacity` compiled circuits.
+    /// An empty cache holding at most `capacity` compiled queries.
     ///
     /// # Panics
     ///
     /// Panics if `capacity == 0` — a service that can hold no compiled
-    /// circuit at all would silently recompile every batch.
+    /// query at all would silently recompile every batch.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "circuit cache capacity must be positive");
         CircuitCache {
@@ -78,13 +78,13 @@ impl CircuitCache {
         }
     }
 
-    /// The compiled circuit for `spec`, compiling via `compile` on a miss
+    /// The compiled query for `spec`, compiling via `compile` on a miss
     /// and evicting the least-recently-used entry when over capacity.
     pub fn get_or_insert_with(
         &mut self,
         spec: QuerySpec,
-        compile: impl FnOnce() -> QueryCircuit,
-    ) -> Arc<QueryCircuit> {
+        compile: impl FnOnce() -> CompiledQuery,
+    ) -> Arc<CompiledQuery> {
         self.fetch(spec, compile).0
     }
 
@@ -94,33 +94,33 @@ impl CircuitCache {
     pub fn fetch(
         &mut self,
         spec: QuerySpec,
-        compile: impl FnOnce() -> QueryCircuit,
-    ) -> (Arc<QueryCircuit>, bool) {
+        compile: impl FnOnce() -> CompiledQuery,
+    ) -> (Arc<CompiledQuery>, bool) {
         self.stats.lookups += 1;
         if let Some(pos) = self.entries.iter().position(|(s, _)| *s == spec) {
             self.stats.hits += 1;
             // Refresh recency: move to the back.
             let entry = self.entries.remove(pos);
-            let circuit = Arc::clone(&entry.1);
+            let compiled = Arc::clone(&entry.1);
             self.entries.push(entry);
-            return (circuit, true);
+            return (compiled, true);
         }
         self.stats.misses += 1;
-        let circuit = Arc::new(compile());
+        let compiled = Arc::new(compile());
         if self.entries.len() == self.capacity {
             self.entries.remove(0);
             self.stats.evictions += 1;
         }
-        self.entries.push((spec, Arc::clone(&circuit)));
-        (circuit, false)
+        self.entries.push((spec, Arc::clone(&compiled)));
+        (compiled, false)
     }
 
-    /// Number of cached circuits.
+    /// Number of cached queries.
     pub fn len(&self) -> usize {
         self.entries.len()
     }
 
-    /// Whether the cache holds no circuit yet.
+    /// Whether the cache holds no compiled query yet.
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
     }
@@ -145,11 +145,11 @@ impl CircuitCache {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use qram_core::{Memory, QueryArchitecture};
+    use crate::{Compiler, CostModel};
+    use qram_core::{ArchSpec, Memory};
 
-    fn compile(spec: QuerySpec) -> QueryCircuit {
-        spec.architecture()
-            .build(&Memory::ones(spec.address_width()))
+    fn compile(spec: QuerySpec) -> CompiledQuery {
+        Compiler::new(CostModel::default(), 0).compile(spec, &Memory::ones(spec.address_width()))
     }
 
     #[test]
@@ -188,6 +188,31 @@ mod tests {
     }
 
     #[test]
+    fn distinct_architectures_get_distinct_keys() {
+        // Every architecture family at n = 3 is its own cache entry:
+        // no family ever serves another's requests from the cache.
+        let specs: Vec<QuerySpec> = ArchSpec::all_families(3)
+            .into_iter()
+            .map(QuerySpec::of)
+            .collect();
+        let mut cache = CircuitCache::new(specs.len());
+        for &spec in &specs {
+            cache.get_or_insert_with(spec, || compile(spec));
+        }
+        // Second pass: all hits, nothing recompiles.
+        for &spec in &specs {
+            let (compiled, hit) =
+                cache.fetch(spec, || unreachable!("resident architecture must hit"));
+            assert!(hit, "{:?}", spec.arch);
+            assert_eq!(compiled.spec, spec);
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.misses, specs.len() as u64);
+        assert_eq!(stats.hits, specs.len() as u64);
+        assert_eq!(stats.evictions, 0);
+    }
+
+    #[test]
     fn miss_compiles_exactly_once_and_shares_the_arc() {
         let mut cache = CircuitCache::new(1);
         let spec = QuerySpec::new(0, 1);
@@ -217,9 +242,9 @@ mod tests {
         // Alternating specs under capacity 1: every lookup after the
         // first two misses and evicts — the pathological LRU workload.
         for round in 0..3 {
-            let (circuit_a, hit) = cache.fetch(a, || compile(a));
+            let (compiled_a, hit) = cache.fetch(a, || compile(a));
             assert!(!hit, "round {round}");
-            assert_eq!(circuit_a.address().len(), a.address_width());
+            assert_eq!(compiled_a.circuit.address().len(), a.address_width());
             let (_, hit) = cache.fetch(b, || compile(b));
             assert!(!hit, "round {round}");
             assert_eq!(cache.len(), 1);

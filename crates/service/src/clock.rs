@@ -1,6 +1,6 @@
-//! Virtual time: the tick domain, the deterministic cost model, and the
-//! modeled execution-unit timeline the event-driven pipeline schedules
-//! onto.
+//! Virtual time: the tick domain, the resource-calibrated cost model,
+//! and the modeled execution-unit timeline the event-driven pipeline
+//! schedules onto.
 //!
 //! The serving layer measures latency on a **discrete-event virtual
 //! clock**, not on wall time. Wall time on the simulation host says
@@ -11,34 +11,55 @@
 //! queueing) is a pure function of the request and the [`CostModel`], so
 //! a workload's latency distribution is a *reproducible experiment*.
 //!
-//! One tick is one virtual nanosecond. The [`CostModel`] converts a
-//! compiled circuit's gate count (and the shot count) into virtual
-//! durations; the [`VirtualTimeline`] is the modeled device's execution
-//! resource — `units` parallel execution slots that requests are
-//! list-scheduled onto (earliest-free slot first), which is exactly the
-//! deterministic trace a work-conserving work-stealing dispatcher
-//! produces over identical-priority items. The timeline's `units` knob
-//! is *part of the modeled system* and independent of the real worker
-//! threads doing the Monte-Carlo computation (`ServiceConfig::workers`),
-//! which remain a pure throughput knob.
+//! One tick is one virtual nanosecond. The [`CostModel`] is calibrated
+//! against the compiled circuit's [`ResourceCount`], per architecture:
+//!
+//! * **compile** scales with the *gate count* — compilation walks every
+//!   gate of the generated circuit, whatever its shape;
+//! * **execute** scales with the *lowered (Clifford+T) depth* — on the
+//!   device, gates in the same layer run concurrently, so a shallow
+//!   fanout circuit and a deep select-swap circuit of equal gate count
+//!   cost very different virtual time. This is what makes serving-layer
+//!   latencies track the paper's Table 2 depth asymptotics instead of a
+//!   flat per-gate coefficient.
+//!
+//! The [`VirtualTimeline`] is the modeled device's execution resource —
+//! `units` parallel execution slots that requests are list-scheduled
+//! onto (earliest-free slot first), which is exactly the deterministic
+//! trace a work-conserving work-stealing dispatcher produces over
+//! identical-priority items. The timeline's `units` knob is *part of the
+//! modeled system* and independent of the real worker threads doing the
+//! Monte-Carlo computation (`ServiceConfig::workers`), which remain a
+//! pure throughput knob.
+//!
+//! [`ResourceCount`]: qram_circuit::resources::ResourceCount
+
+use qram_circuit::resources::ResourceCount;
 
 /// Virtual nanoseconds on the service's discrete-event clock.
 pub type Ticks = u64;
 
-/// The deterministic cost model mapping requests onto virtual time.
+/// The deterministic cost model mapping compiled-circuit resources onto
+/// virtual time.
 ///
 /// ```
+/// use qram_circuit::resources::ResourceCount;
 /// use qram_service::CostModel;
 /// let cost = CostModel::default();
-/// assert_eq!(cost.compile_cost(100), 100 * cost.compile_per_gate);
-/// assert!(cost.execute_cost(100, 8) > cost.execute_cost(100, 1));
+/// let shallow = ResourceCount { num_gates: 100, lowered_depth: 10, ..Default::default() };
+/// let deep = ResourceCount { num_gates: 100, lowered_depth: 90, ..Default::default() };
+/// // Equal gate count, equal compile cost…
+/// assert_eq!(cost.compile_cost(&shallow), cost.compile_cost(&deep));
+/// // …but execution is depth-calibrated: the deep circuit costs more.
+/// assert!(cost.execute_cost(&deep, 1) > cost.execute_cost(&shallow, 1));
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CostModel {
     /// Virtual ns to compile one gate of a circuit on a cache miss.
     pub compile_per_gate: Ticks,
-    /// Virtual ns to execute one gate of one Monte-Carlo shot.
-    pub execute_per_gate_shot: Ticks,
+    /// Virtual ns to execute one lowered-depth layer of one Monte-Carlo
+    /// shot.
+    pub execute_per_layer_shot: Ticks,
     /// Fixed virtual ns of per-request dispatch overhead.
     pub request_overhead: Ticks,
     /// Modeled parallel execution units of the served device (the
@@ -52,7 +73,7 @@ impl Default for CostModel {
     fn default() -> Self {
         CostModel {
             compile_per_gate: 50,
-            execute_per_gate_shot: 10,
+            execute_per_layer_shot: 10,
             request_overhead: 1_000,
             units: 2,
         }
@@ -72,9 +93,9 @@ impl CostModel {
         self
     }
 
-    /// Overrides the per-gate-shot execute cost.
-    pub fn with_execute_per_gate_shot(mut self, ticks: Ticks) -> Self {
-        self.execute_per_gate_shot = ticks;
+    /// Overrides the per-layer-shot execute cost.
+    pub fn with_execute_per_layer_shot(mut self, ticks: Ticks) -> Self {
+        self.execute_per_layer_shot = ticks;
         self
     }
 
@@ -84,17 +105,22 @@ impl CostModel {
         self
     }
 
-    /// Virtual ns to compile a `gates`-gate circuit (paid on a cache
-    /// miss; a cache hit compiles in 0 ticks).
-    pub fn compile_cost(&self, gates: usize) -> Ticks {
-        gates as Ticks * self.compile_per_gate
+    /// Virtual ns to compile the measured circuit (paid on a cache miss;
+    /// a cache hit compiles in 0 ticks). Gate-count-calibrated:
+    /// compilation touches every gate.
+    pub fn compile_cost(&self, resources: &ResourceCount) -> Ticks {
+        resources.num_gates as Ticks * self.compile_per_gate
     }
 
-    /// Virtual ns to execute one request of a `gates`-gate circuit under
-    /// `shots` Monte-Carlo shots. Noiseless serving (`shots == 0`) still
-    /// runs the one classical readout trajectory.
-    pub fn execute_cost(&self, gates: usize, shots: usize) -> Ticks {
-        self.request_overhead + gates as Ticks * self.execute_per_gate_shot * shots.max(1) as Ticks
+    /// Virtual ns to execute one request of the measured circuit under
+    /// `shots` Monte-Carlo shots. Depth-calibrated: one lowered
+    /// (Clifford+T) layer per `execute_per_layer_shot` ticks, so
+    /// architectures of different depth cost different virtual time at
+    /// equal gate count. Noiseless serving (`shots == 0`) still runs
+    /// the one classical readout trajectory.
+    pub fn execute_cost(&self, resources: &ResourceCount, shots: usize) -> Ticks {
+        self.request_overhead
+            + resources.lowered_depth as Ticks * self.execute_per_layer_shot * shots.max(1) as Ticks
     }
 
     /// The modeled steady-state capacity in requests per virtual second,
@@ -155,6 +181,12 @@ impl VirtualTimeline {
         (start, end)
     }
 
+    /// The earliest instant some slot is free (0 on a fresh timeline) —
+    /// the event a work-conserving batcher fires on.
+    pub fn next_free(&self) -> Ticks {
+        self.busy_until.iter().copied().min().unwrap_or(0)
+    }
+
     /// The instant every slot is idle again (0 on a fresh timeline).
     pub fn idle_at(&self) -> Ticks {
         self.busy_until.iter().copied().max().unwrap_or(0)
@@ -165,16 +197,36 @@ impl VirtualTimeline {
 mod tests {
     use super::*;
 
+    fn resources(gates: usize, depth: usize) -> ResourceCount {
+        ResourceCount {
+            num_gates: gates,
+            lowered_depth: depth,
+            ..Default::default()
+        }
+    }
+
     #[test]
-    fn costs_scale_with_gates_and_shots() {
+    fn costs_scale_with_gates_depth_and_shots() {
         let cost = CostModel::default()
             .with_compile_per_gate(7)
-            .with_execute_per_gate_shot(3)
+            .with_execute_per_layer_shot(3)
             .with_request_overhead(100);
-        assert_eq!(cost.compile_cost(10), 70);
-        assert_eq!(cost.execute_cost(10, 4), 100 + 10 * 3 * 4);
+        assert_eq!(cost.compile_cost(&resources(10, 4)), 70);
+        assert_eq!(cost.execute_cost(&resources(10, 4), 5), 100 + 4 * 3 * 5);
         // Noiseless still runs one readout trajectory.
-        assert_eq!(cost.execute_cost(10, 0), cost.execute_cost(10, 1));
+        assert_eq!(
+            cost.execute_cost(&resources(10, 4), 0),
+            cost.execute_cost(&resources(10, 4), 1)
+        );
+    }
+
+    #[test]
+    fn execute_is_depth_calibrated_not_gate_calibrated() {
+        let cost = CostModel::default();
+        let wide_shallow = resources(1_000, 5);
+        let narrow_deep = resources(50, 50);
+        assert!(cost.execute_cost(&narrow_deep, 1) > cost.execute_cost(&wide_shallow, 1));
+        assert!(cost.compile_cost(&wide_shallow) > cost.compile_cost(&narrow_deep));
     }
 
     #[test]
@@ -194,6 +246,18 @@ mod tests {
         // A late-ready item starts at its ready time on the idle slot.
         assert_eq!(timeline.assign(20, 1), (20, 21));
         assert_eq!(timeline.idle_at(), 21);
+    }
+
+    #[test]
+    fn next_free_is_the_earliest_slot() {
+        let mut timeline = VirtualTimeline::new(2);
+        assert_eq!(timeline.next_free(), 0);
+        timeline.assign(0, 10);
+        // One slot busy until 10, the other still free.
+        assert_eq!(timeline.next_free(), 0);
+        timeline.assign(0, 4);
+        assert_eq!(timeline.next_free(), 4);
+        assert_eq!(timeline.idle_at(), 10);
     }
 
     #[test]

@@ -1,0 +1,178 @@
+//! The staged query compiler: `spec → circuit → resources → cost`.
+//!
+//! Compilation used to be a single opaque `architecture().build()` call
+//! buried in the cache-miss path; this module makes it an explicit
+//! pipeline whose stages are individually inspectable:
+//!
+//! 1. **instantiate + build** — the [`QuerySpec`]'s [`qram_core::
+//!    ArchSpec`] is instantiated and compiles the served memory into a
+//!    [`QueryCircuit`] (any of the five architecture families);
+//! 2. **price** — the built circuit is measured into a
+//!    [`ResourceCount`] (gate counts, Clifford+T depths). This equals
+//!    what the architecture's `resources` hook reports — the hook's
+//!    contract (pinned by test in `qram-core`) is to agree with the
+//!    measured circuit — so capacity planning through the hook and
+//!    serving through this pipeline price identically;
+//! 3. **estimate** — the [`CostModel`] converts those resources into
+//!    the virtual-time [`CostEstimate`] the scheduler charges.
+//!
+//! The output is a [`CompiledQuery`] — the artifact the circuit cache
+//! stores and batches execute against. Because the cost estimate is
+//! derived from the *measured resources of the compiled circuit*,
+//! virtual latencies differ across architectures exactly as the paper's
+//! Table 2 depth columns say they should, rather than through flat
+//! per-gate coefficients.
+//!
+//! [`ResourceCount`]: qram_circuit::resources::ResourceCount
+
+use qram_circuit::resources::ResourceCount;
+use qram_core::{Memory, QueryCircuit};
+
+use crate::{CostModel, QuerySpec, Ticks};
+
+/// The virtual-time price of serving one spec, derived from its
+/// compiled circuit's measured resources.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CostEstimate {
+    /// Ticks to compile the circuit (charged once per cache miss;
+    /// gate-count-calibrated).
+    pub compile: Ticks,
+    /// Ticks to execute one request (charged per batched request;
+    /// lowered-depth-calibrated, includes the fixed dispatch overhead).
+    pub execute: Ticks,
+}
+
+/// One fully compiled spec: the circuit, its measured resources, and
+/// the virtual-time cost the scheduler charges for it. This is what the
+/// [`crate::CircuitCache`] stores, `Arc`-shared with in-flight batches.
+#[derive(Debug, Clone)]
+pub struct CompiledQuery {
+    /// The spec this artifact serves.
+    pub spec: QuerySpec,
+    /// The compiled query circuit.
+    pub circuit: QueryCircuit,
+    /// Fault-tolerant resource count of the circuit (stage 2 output).
+    pub resources: ResourceCount,
+    /// Virtual-time cost estimate (stage 3 output).
+    pub cost: CostEstimate,
+}
+
+/// The staged compiler: a [`CostModel`] plus the shot count requests
+/// are served under (execution cost scales with shots).
+///
+/// ```
+/// use qram_core::{ArchSpec, Memory};
+/// use qram_service::{Compiler, CostModel, QuerySpec};
+///
+/// let memory = Memory::from_bits((0..8).map(|i| i % 2 == 0));
+/// let compiler = Compiler::new(CostModel::default(), 4);
+/// let sqc = compiler.compile(QuerySpec::of(ArchSpec::Sqc { n: 3 }), &memory);
+/// let bb = compiler.compile(QuerySpec::of(ArchSpec::BucketBrigade { k: 1, m: 2 }), &memory);
+/// // Costs are calibrated per architecture from measured resources.
+/// assert_ne!(sqc.cost, bb.cost);
+/// assert_eq!(sqc.cost.compile, CostModel::default().compile_cost(&sqc.resources));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Compiler {
+    cost: CostModel,
+    shots: usize,
+}
+
+impl Compiler {
+    /// A compiler estimating under `cost` for `shots`-shot requests.
+    pub fn new(cost: CostModel, shots: usize) -> Self {
+        Compiler { cost, shots }
+    }
+
+    /// The cost model estimates derive from.
+    pub fn cost_model(&self) -> &CostModel {
+        &self.cost
+    }
+
+    /// Runs the full pipeline for `spec` over `memory`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `spec`'s address width disagrees with the memory's
+    /// (the architecture constructors and builders validate).
+    pub fn compile(&self, spec: QuerySpec, memory: &Memory) -> CompiledQuery {
+        let arch = spec.arch.instantiate();
+        let circuit = arch.build(memory);
+        let resources = circuit.resources();
+        let cost = self.estimate(&resources);
+        CompiledQuery {
+            spec,
+            circuit,
+            resources,
+            cost,
+        }
+    }
+
+    /// Stage 3 alone: prices a measured [`ResourceCount`] (exposed so
+    /// capacity planning can estimate without building circuits twice).
+    pub fn estimate(&self, resources: &ResourceCount) -> CostEstimate {
+        CostEstimate {
+            compile: self.cost.compile_cost(resources),
+            execute: self.cost.execute_cost(resources, self.shots),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qram_core::ArchSpec;
+
+    fn memory() -> Memory {
+        Memory::from_bits((0..8).map(|i| i % 3 == 0))
+    }
+
+    #[test]
+    fn pipeline_stages_agree_with_direct_calls() {
+        let cost_model = CostModel::default();
+        let compiler = Compiler::new(cost_model, 2);
+        for arch in ArchSpec::all_families(3) {
+            let spec = QuerySpec::of(arch);
+            let compiled = compiler.compile(spec, &memory());
+            assert_eq!(compiled.spec, spec);
+            // Stage 2: the stored resources are the circuit's.
+            assert_eq!(compiled.resources, compiled.circuit.resources());
+            // Stage 3: estimates derive from those resources.
+            assert_eq!(
+                compiled.cost.compile,
+                cost_model.compile_cost(&compiled.resources)
+            );
+            assert_eq!(
+                compiled.cost.execute,
+                cost_model.execute_cost(&compiled.resources, 2)
+            );
+            // The artifact serves its memory correctly.
+            compiled.circuit.verify(&memory()).unwrap();
+        }
+    }
+
+    #[test]
+    fn architectures_price_differently_at_equal_width() {
+        let compiler = Compiler::new(CostModel::default(), 1);
+        let costs: Vec<CostEstimate> = ArchSpec::all_families(3)
+            .into_iter()
+            .map(|arch| compiler.compile(QuerySpec::of(arch), &memory()).cost)
+            .collect();
+        // At n = 3 every family compiles a structurally different
+        // circuit; no two cost estimates coincide.
+        for (i, a) in costs.iter().enumerate() {
+            for b in &costs[i + 1..] {
+                assert_ne!(a, b, "{costs:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn shots_scale_execute_but_not_compile() {
+        let spec = QuerySpec::new(1, 2);
+        let few = Compiler::new(CostModel::default(), 1).compile(spec, &memory());
+        let many = Compiler::new(CostModel::default(), 8).compile(spec, &memory());
+        assert_eq!(few.cost.compile, many.cost.compile);
+        assert!(many.cost.execute > few.cost.execute);
+    }
+}

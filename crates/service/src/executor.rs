@@ -25,19 +25,18 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread;
 
-use qram_core::QueryCircuit;
 use qram_noise::{derive_stream_seed, FaultSampler};
 use qram_sim::{run_shots, Amplitude, FidelityEstimate, ShotConfig};
 
-use crate::{Latency, QueryRequest, QueryResult, ServiceConfig, Ticks};
+use crate::{CompiledQuery, Latency, QueryRequest, QueryResult, ServiceConfig, Ticks};
 
 /// One fired request, fully resolved for execution: the shared compiled
-/// circuit, the spec's shared fault sampler, and the virtual-clock
+/// artifact, the spec's shared fault sampler, and the virtual-clock
 /// accounting already assigned by the scheduler.
 #[derive(Debug, Clone)]
 pub(crate) struct PreparedRequest {
     pub request: QueryRequest,
-    pub circuit: Arc<QueryCircuit>,
+    pub compiled: Arc<CompiledQuery>,
     /// `None` when serving noiseless (`shots == 0`): no fault pattern is
     /// ever drawn.
     pub sampler: Option<Arc<FaultSampler>>,
@@ -106,7 +105,7 @@ pub(crate) fn dispatch(
 /// Serves one request: classical readout off the compiled circuit plus a
 /// Monte-Carlo fidelity estimate under the request's own fault stream.
 fn execute_one(item: &PreparedRequest, config: &ServiceConfig) -> QueryResult {
-    let circuit = item.circuit.as_ref();
+    let circuit = &item.compiled.circuit;
     let request = item.request;
     // The served answer is deliberately read off the *circuit* (a full
     // noiseless trajectory through the bus), not `memory.get` — the
@@ -145,6 +144,7 @@ fn execute_one(item: &PreparedRequest, config: &ServiceConfig) -> QueryResult {
     QueryResult {
         id: request.id,
         address: request.address,
+        spec: request.spec,
         value,
         fidelity,
         arrival: request.arrival,
@@ -156,18 +156,18 @@ fn execute_one(item: &PreparedRequest, config: &ServiceConfig) -> QueryResult {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::QuerySpec;
-    use qram_core::{Memory, QueryArchitecture};
+    use crate::{Compiler, QuerySpec};
+    use qram_core::Memory;
     use qram_noise::{NoiseModel, PauliChannel, BASE_ERROR_RATE};
 
     fn prepared(count: usize, shots: usize) -> (Vec<PreparedRequest>, ServiceConfig) {
         let spec = QuerySpec::new(1, 2);
         let memory = Memory::ones(spec.address_width());
-        let circuit = Arc::new(spec.architecture().build(&memory));
         let config = ServiceConfig::default().with_shots(shots).with_seed(11);
+        let compiled = Arc::new(Compiler::new(config.cost, shots).compile(spec, &memory));
         let sampler = (shots > 0).then(|| {
             Arc::new(FaultSampler::new(
-                circuit.circuit(),
+                compiled.circuit.circuit(),
                 NoiseModel::per_gate(PauliChannel::depolarizing(BASE_ERROR_RATE)),
                 config.seed,
             ))
@@ -180,7 +180,7 @@ mod tests {
                     spec,
                     arrival: 0,
                 },
-                circuit: Arc::clone(&circuit),
+                compiled: Arc::clone(&compiled),
                 sampler: sampler.clone(),
                 latency: Latency::default(),
                 completed: 0,

@@ -10,34 +10,50 @@
 //! latency percentiles are honest (queueing delay included) and
 //! reproducible (independent of the simulation host):
 //!
+//! The pipeline is **architecture-polymorphic**: a [`QuerySpec`] wraps
+//! a [`qram_core::ArchSpec`] naming any of the five `qram-core`
+//! architectures (SQC, fanout, bucket-brigade, select-swap, virtual),
+//! and one service instance serves a mixed-architecture request stream
+//! through shared batching, caching and cost accounting.
+//!
 //! * [`QueryRequest`] / [`QuerySpec`] / [`QueryResult`] — the serving
 //!   vocabulary: an address with an arrival timestamp, the compilation
-//!   profile that serves it, and the answer (classical readout,
-//!   Monte-Carlo fidelity estimate, and a [`Latency`] breakdown into
-//!   `queue_wait` / `compile` / `execute` on the virtual clock);
+//!   profile (architecture spec) that serves it, and the answer
+//!   (classical readout, Monte-Carlo fidelity estimate, and a
+//!   [`Latency`] breakdown into `queue_wait` / `compile` / `execute` on
+//!   the virtual clock);
+//! * [`Compiler`] / [`CompiledQuery`] / [`CostEstimate`] — the staged
+//!   compilation pipeline `spec → circuit → resources → cost`: every
+//!   cache miss produces an artifact carrying the compiled circuit, its
+//!   measured [`qram_circuit::resources::ResourceCount`], and the
+//!   virtual-time price derived from it;
 //! * [`Ticks`] / [`CostModel`] / [`VirtualTimeline`] — virtual time:
-//!   one tick is one modeled nanosecond, costs derive deterministically
-//!   from gate and shot counts, and the timeline models the device's
-//!   parallel execution units;
+//!   one tick is one modeled nanosecond, costs are calibrated per
+//!   architecture against measured resources (compile from gate count,
+//!   execute from lowered Clifford+T depth), and the timeline models
+//!   the device's parallel execution units;
 //! * [`Admission`] / [`AdmissionStats`] — non-blocking admission over a
 //!   bounded queue: accepted, [shed](Admission::Shed) by back-pressure,
 //!   or rejected as structurally invalid;
 //! * [`DeadlineBatcher`] / [`QueryBatch`] / [`plan_batches`] — the
 //!   deadline-aware batching scheduler: a batch fires when it reaches
-//!   the batch limit **or** its oldest member's deadline slack runs
-//!   out, whichever comes first;
-//! * [`CircuitCache`] — a bounded LRU of compiled [`qram_core::
-//!   QueryCircuit`]s with full lookup/hit/miss/eviction accounting;
+//!   the batch limit, when its oldest member's deadline slack runs
+//!   out, or — work conservation, on by default — immediately when the
+//!   modeled device has a free execution unit;
+//! * [`CircuitCache`] — a bounded LRU of [`CompiledQuery`] artifacts
+//!   with full lookup/hit/miss/eviction accounting;
 //! * [`QramService`] — the engine: `submit`/`drain` for closed-loop
 //!   clients, `try_submit_at`/`poll` for open-loop arrival processes,
 //!   and a work-stealing per-request executor dispatching onto the
 //!   sharded shot engine ([`qram_sim::run_shots`]) with deterministic
 //!   per-request seeds — results are **bit-identical for any worker
 //!   count**, latency breakdowns included;
-//! * [`Workload`] / [`ArrivalProcess`] / [`SpecMix`] — deterministic
-//!   traffic generators: address patterns (uniform, zipfian, scan,
-//!   Grover), open-loop arrival processes (Poisson, bursty MMPP), and
-//!   spec assignment (round-robin or zipf-skewed over circuit shapes).
+//! * [`Workload`] / [`ArrivalProcess`] / [`SpecMix`] / [`ClosedLoop`] —
+//!   deterministic traffic generators: address patterns (uniform,
+//!   zipfian, scan, Grover), open-loop arrival processes (Poisson,
+//!   bursty MMPP), spec assignment (round-robin or zipf-skewed over
+//!   circuit shapes, including mixed-architecture sets), and a
+//!   closed-feedback client population issuing dependent arrivals.
 //!
 //! # Example
 //!
@@ -66,6 +82,7 @@
 mod admission;
 mod cache;
 mod clock;
+mod compiler;
 mod executor;
 mod request;
 mod scheduler;
@@ -75,7 +92,12 @@ pub mod workload;
 pub use admission::{Admission, AdmissionStats, RejectReason};
 pub use cache::{CacheStats, CircuitCache};
 pub use clock::{CostModel, Ticks, VirtualTimeline};
+pub use compiler::{CompiledQuery, Compiler, CostEstimate};
+pub use qram_core::ArchSpec;
 pub use request::{Latency, QueryRequest, QueryResult, QuerySpec};
 pub use scheduler::{plan_batches, DeadlineBatcher, QueryBatch};
 pub use service::{BatchReport, QramService, ServiceConfig, ServiceReport};
-pub use workload::{assign_specs, assign_specs_with, ArrivalProcess, SpecMix, Workload};
+pub use workload::{
+    assign_specs, assign_specs_with, mixed_arch_specs, ArrivalProcess, ClosedLoop, SpecMix,
+    Workload,
+};

@@ -1,7 +1,7 @@
 //! The query-serving vocabulary: what a client asks for and what it gets
 //! back.
 
-use qram_core::{DataEncoding, Optimizations, VirtualQram};
+use qram_core::{ArchSpec, DataEncoding, Optimizations, QueryArchitecture};
 use qram_sim::FidelityEstimate;
 
 use crate::Ticks;
@@ -9,66 +9,91 @@ use crate::Ticks;
 /// The compilation profile of a query — everything that determines which
 /// compiled circuit can serve it.
 ///
-/// Two requests are *batch-compatible* exactly when their specs are equal:
-/// the scheduler groups the admission queue by `(architecture shape,
-/// address width, [`Optimizations`], [`DataEncoding`])` and the compiled
-/// [`qram_core::QueryCircuit`] is shared (and cached) per spec. The
+/// A spec is an [`ArchSpec`] (architecture family + parameters): the
+/// service is **architecture-polymorphic**, serving any of the five
+/// implementations in `qram-core` through one pipeline. Two requests are
+/// *batch-compatible* exactly when their specs are equal: the scheduler
+/// groups the admission queue by spec and the compiled
+/// [`crate::CompiledQuery`] is shared (and cached) per spec. The
 /// *address* is deliberately not part of the spec — one circuit serves
 /// every address of its memory.
 ///
 /// ```
-/// use qram_core::QueryArchitecture;
+/// use qram_core::ArchSpec;
 /// use qram_service::QuerySpec;
+/// // The migration shim: `new(k, m)` still names the virtual QRAM…
 /// let spec = QuerySpec::new(1, 2);
 /// assert_eq!(spec.address_width(), 3);
 /// assert_eq!(spec.architecture().name(), "virtual(k=1,m=2,ALL)");
+/// // …while any architecture is one constructor away.
+/// let bb = QuerySpec::of(ArchSpec::BucketBrigade { k: 1, m: 2 });
+/// assert_eq!(bb.architecture().name(), "sqc+bb(k=1,m=2)");
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct QuerySpec {
-    /// SQC width `k` (number of pages = `2^k`).
-    pub k: usize,
-    /// QRAM width `m` (physical tree leaves = `2^m`).
-    pub m: usize,
-    /// The optimization set the circuit is compiled under.
-    pub opts: Optimizations,
-    /// The data-rail encoding.
-    pub encoding: DataEncoding,
+    /// The architecture (family + parameters) compiling this spec.
+    pub arch: ArchSpec,
 }
 
 impl QuerySpec {
     /// A spec for the `(k, m)` virtual QRAM with all optimizations and
     /// bit encoding.
+    ///
+    /// This is the pre-`ArchSpec` constructor, kept as a thin
+    /// `Virtual`-defaulting shim so existing callers keep compiling;
+    /// new code naming a non-default architecture uses
+    /// [`QuerySpec::of`].
     pub fn new(k: usize, m: usize) -> Self {
-        QuerySpec {
-            k,
-            m,
-            opts: Optimizations::ALL,
-            encoding: DataEncoding::Bit,
-        }
+        QuerySpec::of(ArchSpec::virtual_all(k, m))
+    }
+
+    /// A spec for an explicit architecture.
+    pub fn of(arch: ArchSpec) -> Self {
+        QuerySpec { arch }
     }
 
     /// Overrides the optimization set.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the spec names the virtual QRAM — no other
+    /// architecture has optimization switches.
     pub fn with_optimizations(mut self, opts: Optimizations) -> Self {
-        self.opts = opts;
+        match &mut self.arch {
+            ArchSpec::Virtual { opts: slot, .. } => *slot = opts,
+            other => panic!("{} has no optimization switches", other.family()),
+        }
         self
     }
 
     /// Overrides the data encoding.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the spec names the virtual QRAM — no other
+    /// architecture has encoding switches.
     pub fn with_encoding(mut self, encoding: DataEncoding) -> Self {
-        self.encoding = encoding;
+        match &mut self.arch {
+            ArchSpec::Virtual { encoding: slot, .. } => *slot = encoding,
+            other => panic!("{} has no data-encoding switches", other.family()),
+        }
         self
     }
 
-    /// Total address width `n = k + m` the spec serves.
+    /// Total address width `n` the spec serves.
     pub fn address_width(&self) -> usize {
-        self.k + self.m
+        self.arch.address_width()
     }
 
     /// The architecture this spec compiles under.
-    pub fn architecture(&self) -> VirtualQram {
-        VirtualQram::new(self.k, self.m)
-            .with_optimizations(self.opts)
-            .with_encoding(self.encoding)
+    pub fn architecture(&self) -> Box<dyn QueryArchitecture> {
+        self.arch.instantiate()
+    }
+}
+
+impl From<ArchSpec> for QuerySpec {
+    fn from(arch: ArchSpec) -> Self {
+        QuerySpec::of(arch)
     }
 }
 
@@ -88,7 +113,7 @@ pub struct QueryRequest {
     pub address: u64,
     /// The compilation profile serving this request.
     pub spec: QuerySpec,
-    /// Arrival instant on the service's virtual clock; latency is
+    /// Arrival instant on the virtual clock; latency is
     /// measured from here.
     pub arrival: Ticks,
 }
@@ -126,6 +151,9 @@ pub struct QueryResult {
     pub id: u64,
     /// The address that was read.
     pub address: u64,
+    /// The compilation profile that served the request (what per-
+    /// architecture report breakdowns group on).
+    pub spec: QuerySpec,
     /// The classical readout `x_address` (the bus bit of a noise-free
     /// classical-address query).
     pub value: bool,
@@ -152,8 +180,37 @@ mod tests {
             .with_optimizations(Optimizations::OPT2)
             .with_encoding(DataEncoding::FusedBit);
         assert_eq!(spec.address_width(), 5);
-        assert_eq!(spec.architecture().optimizations(), Optimizations::OPT2);
-        assert_eq!(spec.architecture().encoding(), DataEncoding::FusedBit);
+        assert_eq!(
+            spec.arch,
+            ArchSpec::Virtual {
+                k: 2,
+                m: 3,
+                opts: Optimizations::OPT2,
+                encoding: DataEncoding::FusedBit,
+            }
+        );
+        assert_eq!(spec.architecture().name(), "virtual(k=2,m=3,OPT2,fused)");
+    }
+
+    #[test]
+    fn shim_defaults_to_the_fully_optimized_virtual_qram() {
+        assert_eq!(QuerySpec::new(1, 2).arch, ArchSpec::virtual_all(1, 2));
+        assert_eq!(
+            QuerySpec::from(ArchSpec::Sqc { n: 3 }),
+            QuerySpec::of(ArchSpec::Sqc { n: 3 })
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "no optimization switches")]
+    fn non_virtual_specs_reject_optimization_overrides() {
+        let _ = QuerySpec::of(ArchSpec::Sqc { n: 3 }).with_optimizations(Optimizations::RAW);
+    }
+
+    #[test]
+    #[should_panic(expected = "no data-encoding switches")]
+    fn non_virtual_specs_reject_encoding_overrides() {
+        let _ = QuerySpec::of(ArchSpec::Fanout { m: 3 }).with_encoding(DataEncoding::DualRail);
     }
 
     #[test]
@@ -168,14 +225,16 @@ mod tests {
     }
 
     #[test]
-    fn specs_hash_on_all_four_components() {
+    fn specs_hash_on_the_whole_arch_spec() {
         use std::collections::HashSet;
         let mut set = HashSet::new();
         set.insert(QuerySpec::new(1, 2));
         set.insert(QuerySpec::new(2, 1));
         set.insert(QuerySpec::new(1, 2).with_optimizations(Optimizations::RAW));
         set.insert(QuerySpec::new(1, 2).with_encoding(DataEncoding::DualRail));
+        set.insert(QuerySpec::of(ArchSpec::BucketBrigade { k: 1, m: 2 }));
+        set.insert(QuerySpec::of(ArchSpec::SelectSwap { k: 1, m: 2 }));
         set.insert(QuerySpec::new(1, 2)); // duplicate
-        assert_eq!(set.len(), 4);
+        assert_eq!(set.len(), 6);
     }
 }

@@ -11,7 +11,10 @@
 //! [`DeadlineBatcher`] makes the trade explicit: a pending group fires
 //! when it reaches the batch limit (amortization won) **or** when its
 //! oldest member's deadline slack is exhausted (latency bound hit) —
-//! whichever comes first. Grouping is stable: specs hold first-arrival
+//! whichever comes first. A work-conserving service additionally calls
+//! [`DeadlineBatcher::fire_oldest`] whenever the modeled device has a
+//! free execution unit: with capacity idle, waiting out a deadline buys
+//! no amortization. Grouping is stable: specs hold first-arrival
 //! order and requests keep their admission order within a spec, which
 //! makes the firing sequence (and therefore cache accounting) a pure
 //! function of the admitted request sequence and the clock instants at
@@ -138,6 +141,19 @@ impl DeadlineBatcher {
         }
         self.groups = kept;
         fired
+    }
+
+    /// Fires the single pending group whose current members arrived
+    /// first, regardless of deadline (`None` when nothing is pending) —
+    /// the **work-conserving** path: when the modeled device has a free
+    /// execution unit, waiting out a deadline buys no amortization, so
+    /// the service releases the oldest pending work immediately.
+    pub fn fire_oldest(&mut self) -> Option<QueryBatch> {
+        if self.groups.is_empty() {
+            return None;
+        }
+        let (spec, requests) = self.groups.remove(0);
+        Some(QueryBatch { spec, requests })
     }
 
     /// Fires every pending group regardless of deadline, in
@@ -288,6 +304,23 @@ mod tests {
         let rest = batcher.flush();
         assert_eq!(rest.len(), 1);
         assert_eq!(rest[0].requests.len(), 2);
+        assert_eq!(batcher.pending(), 0);
+    }
+
+    #[test]
+    fn fire_oldest_releases_groups_in_first_arrival_order() {
+        let a = QuerySpec::new(0, 2);
+        let b = QuerySpec::new(1, 1);
+        let mut batcher = DeadlineBatcher::new(16, 1_000);
+        assert!(batcher.fire_oldest().is_none());
+        batcher.push(at(0, a, 5));
+        batcher.push(at(1, b, 7));
+        batcher.push(at(2, a, 9));
+        let first = batcher.fire_oldest().expect("a pends");
+        assert_eq!(first.spec, a);
+        assert_eq!(first.len(), 2);
+        let second = batcher.fire_oldest().expect("b pends");
+        assert_eq!(second.spec, b);
         assert_eq!(batcher.pending(), 0);
     }
 

@@ -36,14 +36,15 @@ use std::collections::{BinaryHeap, HashMap, VecDeque};
 use std::sync::Arc;
 use std::thread;
 
-use qram_core::{Memory, QueryArchitecture};
+use qram_core::Memory;
 use qram_noise::{FaultSampler, NoiseModel, PauliChannel, BASE_ERROR_RATE};
 use qram_sim::ShotConfig;
 
 use crate::executor::{dispatch, PreparedRequest};
 use crate::{
-    Admission, AdmissionStats, CacheStats, CircuitCache, CostModel, DeadlineBatcher, Latency,
-    QueryBatch, QueryRequest, QueryResult, QuerySpec, RejectReason, Ticks, VirtualTimeline,
+    Admission, AdmissionStats, CacheStats, CircuitCache, Compiler, CostModel, DeadlineBatcher,
+    Latency, QueryBatch, QueryRequest, QueryResult, QuerySpec, RejectReason, Ticks,
+    VirtualTimeline,
 };
 
 /// Tunables of a [`QramService`].
@@ -88,6 +89,15 @@ pub struct ServiceConfig {
     /// `deadline` ticks after its oldest member arrived, even if under
     /// the batch limit.
     pub deadline: Ticks,
+    /// Work conservation (on by default): fire the oldest underfull
+    /// batch immediately whenever the virtual timeline has a free
+    /// execution unit — with capacity idle, holding requests for the
+    /// deadline buys no amortization and costs pure latency. Applies to
+    /// the event-driven paths ([`QramService::try_submit_at`] /
+    /// [`QramService::poll`]); the closed-loop
+    /// [`submit`](QramService::submit) path admits without advancing
+    /// the clock and is batched as before.
+    pub work_conserving: bool,
     /// The virtual-time cost model latency is measured under.
     pub cost: CostModel,
 }
@@ -104,6 +114,7 @@ impl Default for ServiceConfig {
             noise: NoiseModel::per_gate(PauliChannel::depolarizing(BASE_ERROR_RATE)),
             queue_capacity: 256,
             deadline: 20_000,
+            work_conserving: true,
             cost: CostModel::default(),
         }
     }
@@ -161,6 +172,12 @@ impl ServiceConfig {
     /// Overrides the batching deadline slack (virtual ns).
     pub fn with_deadline(mut self, deadline: Ticks) -> Self {
         self.deadline = deadline;
+        self
+    }
+
+    /// Enables or disables work-conserving batch firing.
+    pub fn with_work_conserving(mut self, on: bool) -> Self {
+        self.work_conserving = on;
         self
     }
 
@@ -298,6 +315,9 @@ impl Ord for InFlight {
 pub struct QramService {
     memory: Memory,
     config: ServiceConfig,
+    /// The staged `spec → circuit → resources → cost` pipeline run on
+    /// every cache miss.
+    compiler: Compiler,
     cache: CircuitCache,
     /// One shared fault sampler per spec seen so far: trial locations
     /// depend only on `(circuit, noise, seed)`, so workers replay
@@ -340,6 +360,7 @@ impl QramService {
         QramService {
             memory,
             config,
+            compiler: Compiler::new(config.cost, config.shots),
             cache: CircuitCache::new(config.cache_capacity),
             samplers: HashMap::new(),
             batcher: DeadlineBatcher::new(config.batch_limit, config.deadline),
@@ -413,6 +434,27 @@ impl QramService {
         self.batch_reports_dropped
     }
 
+    /// The earliest instant a [`poll`](QramService::poll) returns a new
+    /// result (`None` when nothing is executing or ready) — the next
+    /// event a closed-feedback client should advance to. Results whose
+    /// virtual completion has already passed (harvested internally by
+    /// an admission's clock advance) report the current instant.
+    pub fn next_completion(&self) -> Option<Ticks> {
+        if self.ready.is_empty() {
+            self.in_flight.peek().map(|f| f.result.completed)
+        } else {
+            Some(self.now)
+        }
+    }
+
+    /// The earliest instant a pending batch fires on deadline slack
+    /// (`None` when nothing is pending) — with
+    /// [`next_completion`](QramService::next_completion), everything a
+    /// closed-feedback driver needs to advance the clock event by event.
+    pub fn next_batch_deadline(&self) -> Option<Ticks> {
+        self.batcher.next_deadline()
+    }
+
     /// Offers one query arriving at `arrival` on the virtual clock —
     /// the non-blocking open-loop admission path.
     ///
@@ -443,7 +485,12 @@ impl QramService {
             self.admission.shed += 1;
             return Admission::Shed { queue_depth };
         }
-        Admission::Accepted(self.admit(address, spec))
+        let id = self.admit(address, spec);
+        // Work conservation: if the modeled device has a free unit right
+        // now, waiting for the batch to fill (or its deadline) is pure
+        // latency — release pending work immediately.
+        self.conserve_now();
+        Admission::Accepted(id)
     }
 
     /// Admits one query at the current clock instant and returns its
@@ -544,16 +591,48 @@ impl QramService {
         results
     }
 
-    /// Advances the clock to `t`, firing deadline-due batches in event
-    /// order and harvesting completed work.
+    /// While work-conserving with pending work and a free execution
+    /// unit at the current instant, fires the oldest pending group.
+    fn conserve_now(&mut self) {
+        while self.config.work_conserving
+            && self.batcher.pending() > 0
+            && self.timeline.next_free() <= self.now
+        {
+            let batch = self.batcher.fire_oldest().expect("pending group exists");
+            self.fire_batches(vec![batch], self.now);
+        }
+    }
+
+    /// Advances the clock to `t`, firing batches in event order —
+    /// deadline expirations interleaved with work-conserving releases
+    /// (a unit falling free with work pending) — and harvesting
+    /// completed work.
     fn advance_to(&mut self, t: Ticks) {
-        while let Some(deadline) = self.batcher.next_deadline() {
-            if deadline > t {
-                break;
+        loop {
+            let deadline = self.batcher.next_deadline().filter(|&d| d <= t);
+            let conserve = (self.config.work_conserving && self.batcher.pending() > 0)
+                .then(|| self.timeline.next_free().max(self.now))
+                .filter(|&w| w <= t);
+            let conserving = match (deadline, conserve) {
+                (None, None) => break,
+                (Some(_), None) => false,
+                (None, Some(_)) => true,
+                // On a tie the work-conserving release wins: the due
+                // group is also the oldest, and firing it alone keeps
+                // later groups batching while the device is busy.
+                (Some(d), Some(w)) => w <= d,
+            };
+            if conserving {
+                let at = conserve.expect("conserving event exists");
+                self.now = self.now.max(at);
+                let batch = self.batcher.fire_oldest().expect("pending group exists");
+                self.fire_batches(vec![batch], self.now);
+            } else {
+                let at = deadline.expect("deadline event exists");
+                self.now = self.now.max(at);
+                let due = self.batcher.fire_due(self.now);
+                self.fire_batches(due, self.now);
             }
-            self.now = self.now.max(deadline);
-            let due = self.batcher.fire_due(self.now);
-            self.fire_batches(due, self.now);
         }
         self.now = self.now.max(t);
         while let Some(top) = self.in_flight.peek() {
@@ -577,9 +656,10 @@ impl QramService {
         for batch in batches {
             let spec = batch.spec;
             let memory = &self.memory;
-            let (circuit, hit) = self.cache.fetch(spec, || spec.architecture().build(memory));
+            let compiler = self.compiler;
+            let (compiled, hit) = self.cache.fetch(spec, || compiler.compile(spec, memory));
             if !hit {
-                // A miss may have evicted a circuit; drop the evicted
+                // A miss may have evicted an artifact; drop the evicted
                 // specs' samplers too, so the sampler map stays bounded
                 // by the cache capacity. Rebuilding a sampler later is
                 // deterministic (pure in circuit, noise, seed), so
@@ -587,18 +667,17 @@ impl QramService {
                 let cached = self.cache.keys();
                 self.samplers.retain(|s, _| cached.contains(s));
             }
-            let gates = circuit.circuit().gates().len();
-            let compile = if hit {
-                0
-            } else {
-                self.config.cost.compile_cost(gates)
-            };
+            // Virtual costs come off the artifact's measured resources:
+            // compile scales with the architecture's gate count, execute
+            // with its lowered depth (per-architecture calibration).
+            let compile = if hit { 0 } else { compiled.cost.compile };
+            let execute = compiled.cost.execute;
             let ready_at = fire_time + compile;
             let config = &self.config;
             let sampler = (self.config.shots > 0).then(|| {
                 Arc::clone(self.samplers.entry(spec).or_insert_with(|| {
                     Arc::new(FaultSampler::new(
-                        circuit.circuit(),
+                        compiled.circuit.circuit(),
                         config.noise,
                         config.seed,
                     ))
@@ -607,7 +686,6 @@ impl QramService {
             let requests = batch.requests.len();
             let mut batch_completed = ready_at;
             for request in batch.requests {
-                let execute = self.config.cost.execute_cost(gates, self.config.shots);
                 let (start, end) = self.timeline.assign(ready_at, execute);
                 // start ≥ ready_at = fire_time + compile ≥ arrival + compile,
                 // so the breakdown partitions end − arrival exactly.
@@ -619,7 +697,7 @@ impl QramService {
                 batch_completed = batch_completed.max(end);
                 prepared.push(PreparedRequest {
                     request,
-                    circuit: Arc::clone(&circuit),
+                    compiled: Arc::clone(&compiled),
                     sampler: sampler.clone(),
                     latency,
                     completed: end,
@@ -809,7 +887,11 @@ mod tests {
 
     #[test]
     fn deadline_fires_underfull_batches_as_the_clock_advances() {
-        let config = noiseless_config().with_deadline(100).with_batch_limit(8);
+        // Work conservation off: this pins the pure deadline mechanism.
+        let config = noiseless_config()
+            .with_work_conserving(false)
+            .with_deadline(100)
+            .with_batch_limit(8);
         let mut service = QramService::new(memory(3), config);
         let spec = QuerySpec::new(1, 2);
         assert!(service.try_submit_at(1, spec, 10).is_accepted());
@@ -907,6 +989,7 @@ mod tests {
         // Ticks::MAX slack = batch-limit-only firing; arrivals at
         // nonzero instants must not overflow into immediate deadlines.
         let config = noiseless_config()
+            .with_work_conserving(false)
             .with_deadline(Ticks::MAX)
             .with_batch_limit(4);
         let mut service = QramService::new(memory(3), config);
@@ -945,6 +1028,95 @@ mod tests {
             service.config.cache_capacity
         );
         assert_eq!(report.results.len(), 12);
+    }
+
+    #[test]
+    fn work_conserving_idle_service_fires_on_arrival() {
+        // A lone request reaching an idle device must not sit out the
+        // batching deadline: with work conservation (the default) it
+        // fires the instant it arrives.
+        let config = noiseless_config()
+            .with_deadline(100_000)
+            .with_batch_limit(64);
+        let mut service = QramService::new(memory(3), config);
+        let spec = QuerySpec::new(1, 2);
+        assert!(service.try_submit_at(3, spec, 500).is_accepted());
+        assert_eq!(service.pending(), 0, "fired on arrival, not queued");
+        let results = service.poll(100_000_000);
+        assert_eq!(results.len(), 1);
+        // No queueing: latency is exactly compile + execute.
+        assert_eq!(results[0].latency.queue_wait, 0);
+        assert!(results[0].latency.compile > 0);
+        let reports = service.take_batch_reports();
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].fired_at, 500);
+    }
+
+    #[test]
+    fn work_conservation_only_fires_into_free_units() {
+        // Two units (default cost model): the first two arrivals fire
+        // immediately; the third finds no free unit and batches until
+        // one frees up.
+        let config = noiseless_config()
+            .with_deadline(1_000_000)
+            .with_batch_limit(64);
+        let mut service = QramService::new(memory(3), config);
+        let spec = QuerySpec::new(1, 2);
+        for address in 0..3u64 {
+            assert!(service.try_submit_at(address, spec, 0).is_accepted());
+        }
+        // Units are busy with requests 0 and 1; request 2 pends.
+        assert_eq!(service.pending(), 1);
+        let results = service.poll(1_000_000_000);
+        assert_eq!(results.len(), 3);
+        // The third request fired when a unit freed — well before the
+        // deadline — and charged the stall as queue wait.
+        let third = results.iter().find(|r| r.id == 2).expect("id 2 served");
+        assert!(third.latency.queue_wait > 0);
+        assert!(third.latency.total() < 1_000_000);
+    }
+
+    #[test]
+    fn mixed_architectures_serve_through_one_pipeline() {
+        let memory = memory(3);
+        let config = noiseless_config().with_cache_capacity(8);
+        let mut service = QramService::new(memory.clone(), config);
+        let specs = crate::mixed_arch_specs(3);
+        for &spec in &specs {
+            for address in 0..8u64 {
+                service.submit(address, spec);
+            }
+        }
+        let report = service.drain();
+        assert_eq!(report.results.len(), 40);
+        // One distinct cache entry per architecture family.
+        assert_eq!(report.cache.misses, specs.len() as u64);
+        assert_eq!(report.cache.evictions, 0);
+        for result in &report.results {
+            // Every architecture answers with the memory ground truth.
+            assert_eq!(
+                result.value,
+                memory.get(result.address as usize),
+                "{} at {}",
+                result.spec.arch,
+                result.address
+            );
+            // Execute ticks are calibrated per architecture: they match
+            // the cost model applied to the measured resources.
+            let resources = result.spec.arch.instantiate().resources(&memory);
+            assert_eq!(
+                result.latency.execute,
+                service.config().cost.execute_cost(&resources, 0),
+                "{}",
+                result.spec.arch
+            );
+        }
+        // The calibration distinguishes the families: at least three
+        // distinct execute costs across the five architectures.
+        let mut costs: Vec<Ticks> = report.results.iter().map(|r| r.latency.execute).collect();
+        costs.sort_unstable();
+        costs.dedup();
+        assert!(costs.len() >= 3, "execute costs {costs:?}");
     }
 
     #[test]

@@ -16,12 +16,15 @@
 //! * [`core`] — the QRAM architectures: the paper's *virtual QRAM*
 //!   contribution and all evaluated baselines (SQC, fanout, bucket-brigade,
 //!   select-swap).
-//! * [`service`] — the event-driven query-serving pipeline on a virtual
-//!   clock: bounded non-blocking admission with back-pressure,
-//!   deadline-aware batching, compiled-circuit LRU cache, deterministic
-//!   work-stealing executor with honest latency breakdowns, and
-//!   open-loop workload generators (Poisson/bursty arrivals, zipf-skewed
-//!   addresses and specs).
+//! * [`service`] — the architecture-polymorphic, event-driven
+//!   query-serving pipeline on a virtual clock: any `ArchSpec` served
+//!   through bounded non-blocking admission with back-pressure,
+//!   deadline-aware work-conserving batching, a staged compiler
+//!   (`spec → circuit → resources → cost`) behind an LRU cache, a
+//!   deterministic work-stealing executor with honest
+//!   resource-calibrated latency breakdowns, and workload generators
+//!   (Poisson/bursty arrivals, zipf-skewed addresses and specs,
+//!   closed-feedback clients).
 //!
 //! # Quickstart
 //!

@@ -6,10 +6,10 @@
 //! latency includes queueing delay (growing with queue depth) while
 //! back-pressure sheds the excess.
 
-use qram::core::{Memory, QueryArchitecture};
+use qram::core::{ArchSpec, Memory};
 use qram::service::{
-    assign_specs, assign_specs_with, Admission, ArrivalProcess, QramService, QueryResult,
-    QuerySpec, ServiceConfig, ServiceReport, SpecMix, Workload,
+    assign_specs, assign_specs_with, mixed_arch_specs, Admission, ArrivalProcess, ClosedLoop,
+    QramService, QueryResult, QuerySpec, ServiceConfig, ServiceReport, SpecMix, Ticks, Workload,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -141,8 +141,8 @@ fn serve_overloaded(workers: usize, queue_capacity: usize) -> (Vec<QueryResult>,
     let memory = serve_memory();
     let spec = QuerySpec::new(1, 3);
     // The modeled per-request cost fixes capacity; offer 4x that rate.
-    let gates = spec.architecture().build(&memory).circuit().gates().len();
-    let execute = config.cost.execute_cost(gates, config.shots);
+    let resources = spec.arch.instantiate().resources(&memory);
+    let execute = config.cost.execute_cost(&resources, config.shots);
     let mean_gap = execute as f64 / (4.0 * config.cost.units as f64);
     let arrivals = ArrivalProcess::Poisson { mean_gap, seed: 3 }.arrivals(400);
 
@@ -261,6 +261,196 @@ fn spec_skewed_traffic_moves_eviction_counters() {
     for result in &report.results {
         assert_eq!(result.value, memory.get(result.address as usize));
     }
+}
+
+/// Acceptance (ISSUE 5): every `ArchSpec` family at n = 3 is servable
+/// through `QramService`, and the served values match the architecture's
+/// own `query_classical` ground truth computed outside the service.
+#[test]
+fn every_architecture_family_serves_ground_truth_at_n3() {
+    let memory = Memory::random(3, &mut StdRng::seed_from_u64(5));
+    for arch in ArchSpec::all_families(3) {
+        // Direct ground truth through the architecture itself.
+        let direct = arch.instantiate().build(&memory);
+        let truth: Vec<bool> = (0..8u64)
+            .map(|a| direct.query_classical(a).unwrap())
+            .collect();
+        // Served through the full pipeline.
+        let config = ServiceConfig::default().with_shots(0).with_workers(2);
+        let mut service = QramService::new(memory.clone(), config);
+        for address in 0..8u64 {
+            service.submit(address, QuerySpec::of(arch));
+        }
+        let report = service.drain();
+        assert_eq!(report.results.len(), 8, "{}", arch.name());
+        for result in &report.results {
+            assert_eq!(
+                result.value,
+                truth[result.address as usize],
+                "{} at address {}",
+                arch.name(),
+                result.address
+            );
+            assert_eq!(result.value, memory.get(result.address as usize));
+            assert_eq!(result.spec.arch, arch);
+        }
+        assert_eq!(report.cache.misses, 1);
+    }
+}
+
+/// Acceptance (ISSUE 5): a mixed-architecture zipfian workload through
+/// one service — distinct cache keys per family, per-architecture cost
+/// ticks from measured resources, and bit-identical results for any
+/// worker count.
+#[test]
+fn mixed_arch_zipfian_workload_is_worker_count_invariant() {
+    let memory = serve_memory();
+    let specs = mixed_arch_specs(N);
+    let workload = Workload::Zipfian {
+        address_width: N,
+        theta: 0.99,
+        seed: 31,
+    };
+    let stream = assign_specs_with(
+        &workload,
+        &specs,
+        SpecMix::Zipfian {
+            theta: 0.8,
+            seed: 9,
+        },
+        400,
+    );
+    let run = |workers: usize| {
+        let config = ServiceConfig::default()
+            .with_shots(4)
+            .with_seed(13)
+            .with_workers(workers)
+            .with_cache_capacity(8)
+            .with_batch_limit(8);
+        let mut service = QramService::new(memory.clone(), config);
+        service.submit_all(stream.clone());
+        service.drain()
+    };
+    let serial = run(1);
+    assert_eq!(serial.results.len(), 400);
+    // Every family compiled exactly once: distinct keys, no cross-talk.
+    assert_eq!(serial.cache.misses, specs.len() as u64);
+    assert_eq!(serial.cache.evictions, 0);
+    // Cost ticks are per-architecture: resources-calibrated execute.
+    for result in &serial.results {
+        let resources = result.spec.arch.instantiate().resources(&memory);
+        assert_eq!(
+            result.latency.execute,
+            ServiceConfig::default().cost.execute_cost(&resources, 4),
+            "{}",
+            result.spec.arch.name()
+        );
+        assert_eq!(result.value, memory.get(result.address as usize));
+    }
+    // Bit-identity across worker counts, mixed architectures included.
+    for workers in [2, 4] {
+        let parallel = run(workers);
+        assert_eq!(serial.results, parallel.results, "workers = {workers}");
+        assert_eq!(serial.batches, parallel.batches);
+        assert_eq!(serial.cache, parallel.cache);
+    }
+}
+
+/// Satellite (ISSUE 5): work conservation halves (at least) light-load
+/// p50 — an idle device fires underfull batches on arrival instead of
+/// sitting out the deadline.
+#[test]
+fn work_conservation_cuts_light_load_p50() {
+    let memory = serve_memory();
+    let spec = QuerySpec::new(1, 3);
+    let deadline: Ticks = 50_000;
+    // Light load: arrivals far apart relative to the per-request cost,
+    // so the device is idle when each request lands.
+    let arrivals = ArrivalProcess::Poisson {
+        mean_gap: 400_000.0,
+        seed: 7,
+    }
+    .arrivals(64);
+    let run = |work_conserving: bool| {
+        let config = ServiceConfig::default()
+            .with_shots(0)
+            .with_workers(1)
+            .with_deadline(deadline)
+            .with_batch_limit(16)
+            .with_work_conserving(work_conserving);
+        let mut service = QramService::new(memory.clone(), config);
+        for (i, &arrival) in arrivals.iter().enumerate() {
+            assert!(service
+                .try_submit_at(i as u64 % 16, spec, arrival)
+                .is_accepted());
+        }
+        service.run_until_idle()
+    };
+    let conserving = run(true);
+    let lazy = run(false);
+    assert_eq!(conserving.len(), 64);
+    assert_eq!(lazy.len(), 64);
+    let p50_conserving = latency_percentile(&conserving, 50.0);
+    let p50_lazy = latency_percentile(&lazy, 50.0);
+    // Without work conservation the deadline dominates light-load
+    // latency; with it the deadline wait disappears entirely.
+    assert!(
+        p50_lazy >= deadline as f64,
+        "lazy p50 {p50_lazy} below deadline"
+    );
+    assert!(
+        p50_conserving < p50_lazy / 2.0,
+        "p50 {p50_conserving} vs lazy {p50_lazy}"
+    );
+    // Work conservation never reorders or corrupts: same ids and values.
+    for (a, b) in conserving.iter().zip(&lazy) {
+        assert_eq!(a.value, memory.get(a.address as usize));
+        assert_eq!(b.value, memory.get(b.address as usize));
+    }
+}
+
+/// Satellite (ISSUE 5): a closed-feedback Grover-style client through
+/// the facade — each query of the trace waits for the previous result.
+#[test]
+fn closed_loop_grover_trace_self_throttles_and_serves_truth() {
+    let memory = serve_memory();
+    let target = 11u64;
+    let stream = assign_specs(
+        &Workload::GroverTrace {
+            address_width: N,
+            target,
+        },
+        &[QuerySpec::new(2, 2)],
+        32,
+    );
+    let config = ServiceConfig::default()
+        .with_shots(2)
+        .with_seed(3)
+        .with_workers(2)
+        .with_queue_capacity(8);
+    let mut service = QramService::new(memory.clone(), config);
+    let results = ClosedLoop {
+        clients: 1,
+        queries_per_client: 32,
+        think_time: 250,
+    }
+    .run(&mut service, &stream);
+    assert_eq!(results.len(), 32);
+    // One client: perfectly serialized — every arrival strictly after
+    // the previous completion (dependent arrivals, the poll path).
+    for pair in results.windows(2) {
+        assert!(
+            pair[1].arrival >= pair[0].completed + 250,
+            "arrival {} overlaps completion {}",
+            pair[1].arrival,
+            pair[0].completed
+        );
+    }
+    // Nothing shed: the closed loop never exceeds its population.
+    assert_eq!(service.admission_stats().shed, 0);
+    assert!(results
+        .iter()
+        .all(|r| r.address == target && r.value == memory.get(target as usize)));
 }
 
 #[test]
