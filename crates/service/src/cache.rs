@@ -96,6 +96,23 @@ impl CircuitCache {
         spec: QuerySpec,
         compile: impl FnOnce() -> CompiledQuery,
     ) -> (Arc<CompiledQuery>, bool) {
+        match self.try_fetch(spec, || Ok::<_, std::convert::Infallible>(compile())) {
+            Ok(result) => result,
+            Err(e) => match e {},
+        }
+    }
+
+    /// Like [`fetch`](CircuitCache::fetch) for fallible compilation —
+    /// the verify-before-insert path. A miss whose `compile` fails still
+    /// counts as a miss (the `lookups == hits + misses` invariant is
+    /// unconditional) but inserts nothing: a rejected artifact never
+    /// becomes servable state, and a later lookup of the same spec
+    /// recompiles from scratch.
+    pub fn try_fetch<E>(
+        &mut self,
+        spec: QuerySpec,
+        compile: impl FnOnce() -> Result<CompiledQuery, E>,
+    ) -> Result<(Arc<CompiledQuery>, bool), E> {
         self.stats.lookups += 1;
         if let Some(pos) = self.entries.iter().position(|(s, _)| *s == spec) {
             self.stats.hits += 1;
@@ -103,16 +120,16 @@ impl CircuitCache {
             let entry = self.entries.remove(pos);
             let compiled = Arc::clone(&entry.1);
             self.entries.push(entry);
-            return (compiled, true);
+            return Ok((compiled, true));
         }
         self.stats.misses += 1;
-        let compiled = Arc::new(compile());
+        let compiled = Arc::new(compile()?);
         if self.entries.len() == self.capacity {
             self.entries.remove(0);
             self.stats.evictions += 1;
         }
         self.entries.push((spec, Arc::clone(&compiled)));
-        (compiled, false)
+        Ok((compiled, false))
     }
 
     /// Number of cached queries.
@@ -270,6 +287,42 @@ mod tests {
         let stats = cache.stats();
         assert_eq!((stats.hits, stats.misses, stats.evictions), (10, 1, 0));
         assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn poisoned_artifact_is_never_cached() {
+        use qram_verify::{Finding, VerifyError};
+        let mut cache = CircuitCache::new(2);
+        let spec = QuerySpec::new(0, 1);
+        // A compile whose artifact fails static verification: the error
+        // propagates, the lookup invariant holds, and nothing poisons
+        // the cache.
+        let err = cache
+            .try_fetch(spec, || {
+                Err::<CompiledQuery, VerifyError>(VerifyError {
+                    findings: vec![Finding::AncillaLeak {
+                        qubit: 3,
+                        register: "work".into(),
+                        pending: 1,
+                    }],
+                })
+            })
+            .unwrap_err();
+        assert_eq!(err.findings.len(), 1);
+        assert!(cache.is_empty());
+        let stats = cache.stats();
+        assert_eq!((stats.lookups, stats.hits, stats.misses), (1, 0, 1));
+        assert_eq!(stats.lookups, stats.hits + stats.misses);
+        // A later lookup of the same spec recompiles cleanly: a fresh
+        // miss that inserts and serves.
+        let (compiled, hit) = cache
+            .try_fetch(spec, || Ok::<_, VerifyError>(compile(spec)))
+            .unwrap();
+        assert!(!hit);
+        assert_eq!(compiled.spec, spec);
+        assert_eq!(cache.len(), 1);
+        let stats = cache.stats();
+        assert_eq!((stats.lookups, stats.hits, stats.misses), (2, 0, 2));
     }
 
     #[test]

@@ -27,6 +27,7 @@
 
 use qram_circuit::resources::ResourceCount;
 use qram_core::{Memory, QueryCircuit};
+use qram_verify::{verify_query, VerifyError, VerifyLevel};
 
 use crate::{CostModel, QuerySpec, Ticks};
 
@@ -106,6 +107,32 @@ impl Compiler {
             resources,
             cost,
         }
+    }
+
+    /// Runs the full pipeline for `spec` over `memory`, then verifies
+    /// the artifact with the `qram-verify` circuit analyzer at `level`
+    /// before releasing it. The serving path compiles through this, so
+    /// a circuit that fails static verification never reaches the
+    /// [`crate::CircuitCache`] or a worker.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same width-mismatch conditions as
+    /// [`compile`](Compiler::compile).
+    pub fn try_compile(
+        &self,
+        spec: QuerySpec,
+        memory: &Memory,
+        level: VerifyLevel,
+    ) -> Result<CompiledQuery, VerifyError> {
+        let compiled = self.compile(spec, memory);
+        verify_query(
+            spec.arch.family(),
+            &compiled.circuit,
+            &compiled.resources,
+            level,
+        )?;
+        Ok(compiled)
     }
 
     /// Stage 3 alone: prices a measured [`ResourceCount`] (exposed so

@@ -41,7 +41,12 @@
 //!   out, or — work conservation, on by default — immediately when the
 //!   modeled device has a free execution unit;
 //! * [`CircuitCache`] — a bounded LRU of [`CompiledQuery`] artifacts
-//!   with full lookup/hit/miss/eviction accounting;
+//!   with full lookup/hit/miss/eviction accounting. Artifacts are
+//!   **verified before insertion**: every cache miss runs the
+//!   `qram-verify` circuit analyzer (structural checks always; the deep
+//!   ancilla-lifecycle + resource-certification pass under
+//!   [`ServiceConfig::deep_verify`]), and a rejected artifact is never
+//!   cached or served;
 //! * [`QramService`] — the engine: `submit`/`drain` for closed-loop
 //!   clients, `try_submit_at`/`poll` for open-loop arrival processes,
 //!   and a work-stealing per-request executor dispatching onto the
@@ -94,6 +99,7 @@ pub use cache::{CacheStats, CircuitCache};
 pub use clock::{CostModel, Ticks, VirtualTimeline};
 pub use compiler::{CompiledQuery, Compiler, CostEstimate};
 pub use qram_core::ArchSpec;
+pub use qram_verify::{Finding, VerifyError, VerifyLevel};
 pub use request::{Latency, QueryRequest, QueryResult, QuerySpec};
 pub use scheduler::{plan_batches, DeadlineBatcher, QueryBatch};
 pub use service::{BatchReport, QramService, ServiceConfig, ServiceReport};

@@ -39,6 +39,7 @@ use std::thread;
 use qram_core::Memory;
 use qram_noise::{FaultSampler, NoiseModel, PauliChannel, BASE_ERROR_RATE};
 use qram_sim::ShotConfig;
+use qram_verify::VerifyLevel;
 
 use crate::executor::{dispatch, PreparedRequest};
 use crate::{
@@ -100,6 +101,13 @@ pub struct ServiceConfig {
     pub work_conserving: bool,
     /// The virtual-time cost model latency is measured under.
     pub cost: CostModel,
+    /// Run the *deep* `qram-verify` analysis (ancilla lifecycle +
+    /// resource certification) on every cache-miss compile, in addition
+    /// to the always-on structural checks (gate bounds, operand overlap,
+    /// family gate-set legality). Off by default: deep verification
+    /// costs an extra pass over the gate list per compile, and CI's
+    /// `verify_all` already certifies the whole architecture matrix.
+    pub deep_verify: bool,
 }
 
 impl Default for ServiceConfig {
@@ -116,6 +124,7 @@ impl Default for ServiceConfig {
             deadline: 20_000,
             work_conserving: true,
             cost: CostModel::default(),
+            deep_verify: false,
         }
     }
 }
@@ -184,6 +193,12 @@ impl ServiceConfig {
     /// Overrides the virtual-time cost model.
     pub fn with_cost(mut self, cost: CostModel) -> Self {
         self.cost = cost;
+        self
+    }
+
+    /// Enables or disables deep verification of cache-miss compiles.
+    pub fn with_deep_verify(mut self, on: bool) -> Self {
+        self.deep_verify = on;
         self
     }
 
@@ -657,7 +672,20 @@ impl QramService {
             let spec = batch.spec;
             let memory = &self.memory;
             let compiler = self.compiler;
-            let (compiled, hit) = self.cache.fetch(spec, || compiler.compile(spec, memory));
+            // Every miss is verified before the artifact may enter the
+            // cache: structural checks always, the deep pass when
+            // configured. A finding here is an internal miscompile — the
+            // service cannot serve from a circuit its own analyzer
+            // rejects, so it aborts rather than degrade silently.
+            let level = if self.config.deep_verify {
+                VerifyLevel::Deep
+            } else {
+                VerifyLevel::Structural
+            };
+            let (compiled, hit) = self
+                .cache
+                .try_fetch(spec, || compiler.try_compile(spec, memory, level))
+                .unwrap_or_else(|e| panic!("miscompiled artifact for {spec:?}: {e}"));
             if !hit {
                 // A miss may have evicted an artifact; drop the evicted
                 // specs' samplers too, so the sampler map stays bounded
@@ -1074,6 +1102,27 @@ mod tests {
         let third = results.iter().find(|r| r.id == 2).expect("id 2 served");
         assert!(third.latency.queue_wait > 0);
         assert!(third.latency.total() < 1_000_000);
+    }
+
+    #[test]
+    fn deep_verification_does_not_perturb_serving() {
+        // deep_verify only adds analysis on the miss path; every served
+        // result — readout, fidelity, latency breakdown — is
+        // bit-identical with it on.
+        let memory = memory(4);
+        let config = ServiceConfig::default()
+            .with_shots(8)
+            .with_workers(1)
+            .with_batch_limit(4);
+        let specs = [QuerySpec::new(1, 3), QuerySpec::new(2, 2)];
+        let requests: Vec<(u64, QuerySpec)> = (0..12u64)
+            .map(|i| (i % 16, specs[(i % 2) as usize]))
+            .collect();
+        let mut plain = QramService::new(memory.clone(), config);
+        plain.submit_all(requests.clone());
+        let mut deep = QramService::new(memory, config.with_deep_verify(true));
+        deep.submit_all(requests);
+        assert_eq!(plain.drain().results, deep.drain().results);
     }
 
     #[test]

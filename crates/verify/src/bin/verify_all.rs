@@ -1,0 +1,183 @@
+//! CI verification driver: runs both static-analysis passes and writes
+//! `VERIFY.json`.
+//!
+//! Pass 1 deep-verifies a compiled circuit for every architecture
+//! family at n = 3..6 plus the full virtual-QRAM preset × encoding
+//! matrix, each against two deterministic memory patterns. Pass 2 runs
+//! the determinism lint over the workspace sources under the audited
+//! allowlist. Any finding in either pass exits nonzero — the
+//! `-D warnings` of circuit verification.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use qram_core::{ArchSpec, DataEncoding, Memory, Optimizations};
+use qram_verify::{lint_workspace, verify_query, Allowlist, Finding, LintReport, VerifyLevel};
+
+/// The workspace root: the current directory when invoked from it (the
+/// CI case), otherwise two levels above this crate's manifest.
+fn workspace_root() -> PathBuf {
+    let cwd = PathBuf::from(".");
+    if cwd.join("Cargo.toml").exists() && cwd.join("crates").exists() {
+        return cwd;
+    }
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .to_path_buf()
+}
+
+/// Every spec the circuit pass certifies: the five-family comparison
+/// set at n = 3..6, plus the virtual QRAM's optimization presets ×
+/// data encodings at two paged shapes.
+fn matrix() -> Vec<ArchSpec> {
+    let mut specs = Vec::new();
+    for n in 3..=6 {
+        specs.extend(ArchSpec::all_families(n));
+    }
+    let presets = [
+        Optimizations::RAW,
+        Optimizations::OPT1,
+        Optimizations::OPT2,
+        Optimizations::OPT3,
+        Optimizations::ALL,
+    ];
+    let encodings = [
+        DataEncoding::Bit,
+        DataEncoding::DualRail,
+        DataEncoding::FusedBit,
+    ];
+    for (k, m) in [(1, 2), (2, 2)] {
+        for opts in presets {
+            for encoding in encodings {
+                specs.push(ArchSpec::Virtual {
+                    k,
+                    m,
+                    opts,
+                    encoding,
+                });
+            }
+        }
+    }
+    specs
+}
+
+/// Two deterministic memory patterns per width: a striped image and a
+/// sparse one (exercises both emitted and elided classical gates).
+fn memories(n: usize) -> [Memory; 2] {
+    let cells = 1usize << n;
+    [
+        Memory::from_bits((0..cells).map(|i| i % 3 == 0)),
+        Memory::from_bits((0..cells).map(|i| (i * 7) % 13 == 1)),
+    ]
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn main() -> ExitCode {
+    let root = workspace_root();
+
+    // Pass 1: circuit analyzer over the architecture matrix.
+    let mut circuit_findings: Vec<(String, Finding)> = Vec::new();
+    let mut specs_checked = 0usize;
+    for spec in matrix() {
+        let arch = spec.instantiate();
+        for memory in memories(spec.address_width()) {
+            let query = arch.build(&memory);
+            let claimed = query.resources();
+            specs_checked += 1;
+            if let Err(e) = verify_query(spec.family(), &query, &claimed, VerifyLevel::Deep) {
+                for finding in e.findings {
+                    circuit_findings.push((spec.name(), finding));
+                }
+            }
+        }
+    }
+
+    // Pass 2: determinism lint.
+    let allowlist = match Allowlist::load(&root) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("verify_all: cannot read allowlist: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let lint: LintReport = match lint_workspace(&root, &allowlist) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("verify_all: lint walk failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    // Findings report (hand-rolled JSON; the workspace has no serde).
+    let mut json = String::from("{\n  \"circuit_pass\": {\n");
+    json.push_str(&format!("    \"artifacts_checked\": {specs_checked},\n"));
+    json.push_str("    \"findings\": [");
+    for (i, (spec, finding)) in circuit_findings.iter().enumerate() {
+        if i > 0 {
+            json.push(',');
+        }
+        json.push_str(&format!(
+            "\n      {{\"spec\": \"{}\", \"finding\": \"{}\"}}",
+            json_escape(spec),
+            json_escape(&finding.to_string())
+        ));
+    }
+    json.push_str("]\n  },\n  \"lint_pass\": {\n");
+    json.push_str(&format!("    \"files_scanned\": {},\n", lint.files_scanned));
+    json.push_str(&format!("    \"allowlisted\": {},\n", lint.suppressed));
+    json.push_str("    \"findings\": [");
+    for (i, finding) in lint.findings.iter().enumerate() {
+        if i > 0 {
+            json.push(',');
+        }
+        json.push_str(&format!(
+            "\n      \"{}\"",
+            json_escape(&finding.to_string())
+        ));
+    }
+    json.push_str("]\n  }\n}\n");
+    if let Err(e) = std::fs::write(root.join("VERIFY.json"), &json) {
+        eprintln!("verify_all: cannot write VERIFY.json: {e}");
+        return ExitCode::FAILURE;
+    }
+
+    println!(
+        "verify_all: {} compiled artifacts deep-verified, {} findings",
+        specs_checked,
+        circuit_findings.len()
+    );
+    for (spec, finding) in &circuit_findings {
+        println!("  [{spec}] {finding}");
+    }
+    println!(
+        "verify_all: {} source files linted, {} findings ({} allowlisted)",
+        lint.files_scanned,
+        lint.findings.len(),
+        lint.suppressed
+    );
+    for finding in &lint.findings {
+        println!("  {finding}");
+    }
+
+    if circuit_findings.is_empty() && lint.findings.is_empty() {
+        println!("verify_all: OK");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("verify_all: FAILED");
+        ExitCode::FAILURE
+    }
+}

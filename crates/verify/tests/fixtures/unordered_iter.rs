@@ -1,0 +1,11 @@
+//! Lint fixture: digesting a hash map in iteration order. Never
+//! compiled — read by `lint_fixtures.rs` as text.
+use std::collections::HashMap;
+
+fn digest(map: &HashMap<u32, u32>) -> u64 {
+    let mut acc = 0u64;
+    for (k, v) in map.iter() {
+        acc = acc.wrapping_mul(31).wrapping_add(u64::from(*k) ^ u64::from(*v));
+    }
+    acc
+}

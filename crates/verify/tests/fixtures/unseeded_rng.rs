@@ -1,0 +1,6 @@
+//! Lint fixture: drawing from an OS-seeded generator. Never compiled —
+//! read by `lint_fixtures.rs` as text.
+fn roll() -> u32 {
+    let mut rng = rand::thread_rng();
+    rng.gen_range(0..6)
+}

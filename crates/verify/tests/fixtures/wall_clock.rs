@@ -1,0 +1,7 @@
+//! Lint fixture: reading the host clock. Never compiled — read by
+//! `lint_fixtures.rs` as text.
+use std::time::Instant;
+
+fn stamp() -> Instant {
+    Instant::now()
+}

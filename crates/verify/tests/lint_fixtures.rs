@@ -1,0 +1,54 @@
+//! The determinism lint's falsifiability evidence: each rule fires on a
+//! fixture exhibiting exactly that defect, and the audited allowlist
+//! suppresses a finding it names.
+//!
+//! Fixtures live under `tests/fixtures/` — a directory the workspace
+//! walk skips — and are read as text, never compiled.
+
+use qram_verify::lint::{RULE_UNORDERED_ITER, RULE_UNSEEDED_RNG, RULE_WALL_CLOCK};
+use qram_verify::{lint_file, Allowlist};
+
+const UNORDERED: &str = include_str!("fixtures/unordered_iter.rs");
+const WALL_CLOCK: &str = include_str!("fixtures/wall_clock.rs");
+const UNSEEDED: &str = include_str!("fixtures/unseeded_rng.rs");
+
+#[test]
+fn hash_iteration_digest_is_flagged() {
+    let findings = lint_file("tests/fixtures/unordered_iter.rs", UNORDERED);
+    assert_eq!(findings.len(), 1, "{findings:?}");
+    assert_eq!(findings[0].rule, RULE_UNORDERED_ITER);
+    assert!(findings[0].excerpt.contains("map.iter()"));
+}
+
+#[test]
+fn wall_clock_read_is_flagged() {
+    let findings = lint_file("tests/fixtures/wall_clock.rs", WALL_CLOCK);
+    assert_eq!(findings.len(), 1, "{findings:?}");
+    assert_eq!(findings[0].rule, RULE_WALL_CLOCK);
+}
+
+#[test]
+fn unseeded_rng_is_flagged() {
+    let findings = lint_file("tests/fixtures/unseeded_rng.rs", UNSEEDED);
+    assert_eq!(findings.len(), 1, "{findings:?}");
+    assert_eq!(findings[0].rule, RULE_UNSEEDED_RNG);
+}
+
+#[test]
+fn allowlist_suppresses_named_findings_only() {
+    let allow = Allowlist::parse(
+        "# audited: fixture prints host runtime only\n\
+         wall-clock tests/fixtures/wall_clock.rs\n",
+    );
+    assert_eq!(allow.len(), 1);
+
+    // The named (rule, file) pair is suppressed...
+    let mut findings = lint_file("tests/fixtures/wall_clock.rs", WALL_CLOCK);
+    findings.retain(|f| !allow.allows(f.rule, &f.file));
+    assert!(findings.is_empty());
+
+    // ...but the same rule in another file, and other rules in the same
+    // file, still fire.
+    assert!(!allow.allows(RULE_WALL_CLOCK, "crates/service/src/service.rs"));
+    assert!(!allow.allows(RULE_UNSEEDED_RNG, "tests/fixtures/wall_clock.rs"));
+}

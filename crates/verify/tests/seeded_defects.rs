@@ -1,0 +1,141 @@
+//! Negative tests: every diagnostic class the analyzer defines is
+//! demonstrated by a deliberately defective artifact. These are the
+//! checks' falsifiability evidence — a pass that cannot fail verifies
+//! nothing.
+
+use qram_circuit::resources::ResourceCount;
+use qram_circuit::{Circuit, Gate, Qubit, QubitAllocator};
+use qram_core::QueryCircuit;
+use qram_verify::{
+    certify_resources, check_ancillas, check_gate_set, check_gates, verify_query, Finding,
+    VerifyLevel,
+};
+
+/// A two-qubit-address query shell with one `work` ancilla, whose gate
+/// list is supplied by the test. Address and bus are the output
+/// registers; `work` is what the lifecycle pass watches.
+fn query_with(gates: impl IntoIterator<Item = Gate>) -> QueryCircuit {
+    let mut alloc = QubitAllocator::new();
+    let address = alloc.register("address", 2);
+    let bus = alloc.register("bus", 1);
+    let _work = alloc.register("work", 1);
+    let mut circuit = Circuit::new(alloc.num_qubits());
+    for gate in gates {
+        circuit.push(gate);
+    }
+    QueryCircuit::new(circuit, address, bus, alloc)
+}
+
+#[test]
+fn out_of_range_qubit_is_flagged() {
+    let findings = check_gates(2, &[Gate::cx(Qubit(0), Qubit(5))]);
+    assert_eq!(findings.len(), 1);
+    assert!(matches!(
+        findings[0],
+        Finding::QubitOutOfRange { qubit: 5, .. }
+    ));
+}
+
+#[test]
+fn overlapping_operands_are_flagged() {
+    let findings = check_gates(3, &[Gate::cx(Qubit(1), Qubit(1))]);
+    assert!(findings
+        .iter()
+        .any(|f| matches!(f, Finding::OverlappingOperands { qubit: 1, .. })));
+
+    // A CSWAP swapping a qubit with itself is equally malformed.
+    let findings = check_gates(3, &[Gate::cswap(Qubit(0), Qubit(2), Qubit(2))]);
+    assert!(findings
+        .iter()
+        .any(|f| matches!(f, Finding::OverlappingOperands { qubit: 2, .. })));
+}
+
+#[test]
+fn gate_outside_family_vocabulary_is_flagged() {
+    // The SQC QROM is nothing but MCX units; a plain CX cannot appear.
+    let findings = check_gate_set("sqc", &[Gate::cx(Qubit(0), Qubit(1))]);
+    assert_eq!(findings.len(), 1);
+    assert!(matches!(findings[0], Finding::IllegalGate { .. }));
+
+    // The same CX is legal in the fanout family.
+    assert!(check_gate_set("fanout", &[Gate::cx(Qubit(0), Qubit(1))]).is_empty());
+}
+
+#[test]
+fn uncompensated_ancilla_write_is_a_leak() {
+    // Writes work (q3) off the address, never uncomputes it.
+    let query = query_with([Gate::cx(Qubit(0), Qubit(3))]);
+    let findings = check_ancillas(&query);
+    assert_eq!(findings.len(), 1);
+    assert!(matches!(
+        findings[0],
+        Finding::AncillaLeak {
+            qubit: 3,
+            pending: 1,
+            ..
+        }
+    ));
+}
+
+#[test]
+fn balanced_ancilla_writes_are_clean() {
+    // Compute, use, uncompute — the canonical hygienic pattern.
+    let query = query_with([
+        Gate::cx(Qubit(0), Qubit(3)),
+        Gate::cswap(Qubit(3), Qubit(1), Qubit(2)),
+        Gate::cx(Qubit(0), Qubit(3)),
+    ]);
+    assert!(check_ancillas(&query).is_empty());
+}
+
+#[test]
+fn interleaved_commuting_writes_are_clean() {
+    // The fused-encoding word shape: two distinct XOR writes onto one
+    // rail, uncomputed in the same (not reversed) order. Only identity
+    // up to commutation of XOR writes on a shared target.
+    let query = query_with([
+        Gate::cx(Qubit(0), Qubit(3)),
+        Gate::cx(Qubit(1), Qubit(3)),
+        Gate::cx(Qubit(0), Qubit(3)),
+        Gate::cx(Qubit(1), Qubit(3)),
+    ]);
+    assert!(check_ancillas(&query).is_empty());
+}
+
+#[test]
+fn routing_on_an_unloaded_ancilla_is_flagged() {
+    // A CSWAP routed by work (q3), which nothing ever loads.
+    let query = query_with([Gate::cswap(Qubit(3), Qubit(1), Qubit(2))]);
+    let findings = check_ancillas(&query);
+    assert_eq!(findings.len(), 1);
+    assert!(matches!(
+        findings[0],
+        Finding::UseAfterRelease { qubit: 3, .. }
+    ));
+}
+
+#[test]
+fn tampered_resource_claim_is_flagged() {
+    let mut circuit = Circuit::new(3);
+    circuit.push(Gate::cswap(Qubit(0), Qubit(1), Qubit(2)));
+    let mut claimed = ResourceCount::of(&circuit);
+    claimed.t_count += 1;
+    let findings = certify_resources(&circuit, &claimed);
+    assert!(findings.iter().any(|f| matches!(
+        f,
+        Finding::ResourceMismatch { field, .. } if field == "t_count"
+    )));
+}
+
+#[test]
+fn verify_query_aggregates_and_renders_findings() {
+    let query = query_with([Gate::cx(Qubit(0), Qubit(3))]);
+    let claimed = query.resources();
+    // Structural level ignores the leak...
+    assert!(verify_query("fanout", &query, &claimed, VerifyLevel::Structural).is_ok());
+    // ...deep level reports it, with a human-readable rendering.
+    let err = verify_query("fanout", &query, &claimed, VerifyLevel::Deep).unwrap_err();
+    assert_eq!(err.findings.len(), 1);
+    let text = err.to_string();
+    assert!(text.contains("q3"), "unhelpful rendering: {text}");
+}

@@ -25,6 +25,13 @@
 //!   resource-calibrated latency breakdowns, and workload generators
 //!   (Poisson/bursty arrivals, zipf-skewed addresses and specs,
 //!   closed-feedback clients).
+//! * [`verify`] — static verification: a circuit analyzer (qubit
+//!   bounds, operand overlap, per-family gate-set legality, ancilla
+//!   lifecycle, independent resource recertification) run on every
+//!   compiled artifact before it may enter the serving cache, and a
+//!   source-level determinism lint (wall-clock reads, unseeded RNG,
+//!   hash-order iteration) with an audited allowlist. The `verify_all`
+//!   binary certifies the whole architecture matrix in CI.
 //!
 //! # Quickstart
 //!
@@ -50,3 +57,4 @@ pub use qram_noise as noise;
 pub use qram_qec as qec;
 pub use qram_service as service;
 pub use qram_sim as sim;
+pub use qram_verify as verify;
