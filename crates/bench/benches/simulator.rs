@@ -106,11 +106,47 @@ fn bench_shot_engine(c: &mut Criterion) {
     group.finish();
 }
 
+/// The path-parallel comparison the CI `path_speedup` gate tracks: a
+/// wide (`m = 10`, 1024-path) query where shots are few but each shot is
+/// expensive, so the win comes from splitting the *path slab*, not from
+/// sharding shots. `serial` pins `path_chunks = 1`; `chunked` uses
+/// `path_chunks = 0` (auto: one chunk per available core). Shot threads
+/// stay at 1 in both so the ratio isolates path parallelism. On a
+/// single-core runner auto resolves to 1 chunk and the ratio is ~1.0 —
+/// the report gate detects and skips that case.
+fn bench_path_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("path_engine");
+    let m = 10;
+    let shots = 4;
+    let memory = experiment_memory(m, 8);
+    let query = VirtualQram::new(0, m).build(&memory);
+    let input = query.input_state(None);
+    let model = NoiseModel::per_gate(PauliChannel::depolarizing(2e-3));
+    let sampler = FaultSampler::new(query.circuit(), model, 9);
+    for (label, chunks) in [("serial", 1usize), ("chunked", 0)] {
+        let config = ShotConfig::new(shots)
+            .with_seed(9)
+            .with_threads(1)
+            .with_path_chunks(chunks);
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                monte_carlo_fidelity_with(query.circuit().gates(), &input, &config, |shot| {
+                    sampler.sample_shot(shot)
+                })
+                .unwrap()
+                .mean
+            })
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_noiseless_query,
     bench_noisy_shot,
     bench_fault_sampling,
-    bench_shot_engine
+    bench_shot_engine,
+    bench_path_engine
 );
 criterion_main!(benches);

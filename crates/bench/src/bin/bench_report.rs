@@ -15,8 +15,10 @@
 //! * `--baseline-file FILE` — checked-in baseline (default
 //!   `<repo root>/.github/bench-baseline.json`);
 //! * `--check` — exit non-zero if the shot-engine serial/sharded speedup
-//!   regressed more than the baseline's tolerance. Skips gracefully when
-//!   there is no baseline, no shot-engine result, or only one core.
+//!   or the path-engine serial/chunked speedup regressed more than the
+//!   baseline's tolerance. Each gate skips gracefully when there is no
+//!   baseline (or the baseline lacks its reference), no matching bench
+//!   result, or only one core.
 //! * `--abs-baseline NAME` — also compare every bench's absolute mean
 //!   against the `--save-baseline NAME` snapshot under
 //!   `<target>/bench/baselines/NAME` (default name `ci`). Regressions
@@ -35,9 +37,10 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use qram_bench::report::{
-    apply_gate, baseline_snapshot_dir, bench_results_dir, compare_against_baseline, find_repo_root,
-    load_records, merge_baseline_records, parse_baseline, serve_summary_headline,
-    shot_engine_summary, summary_json, write_baseline_snapshot, GateOutcome,
+    apply_gate, apply_path_gate, baseline_snapshot_dir, bench_results_dir,
+    compare_against_baseline, find_repo_root, load_records, merge_baseline_records, parse_baseline,
+    path_engine_summary, serve_summary_headline, shot_engine_summary, summary_json,
+    write_baseline_snapshot, GateOutcome,
 };
 
 struct Args {
@@ -153,7 +156,13 @@ fn main() -> ExitCode {
 
     let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
     let shot_engine = shot_engine_summary(&records);
-    let summary = summary_json(&records, shot_engine.as_ref(), threads);
+    let path_engine = path_engine_summary(&records);
+    let summary = summary_json(
+        &records,
+        shot_engine.as_ref(),
+        path_engine.as_ref(),
+        threads,
+    );
 
     let out_path = args.out.clone().unwrap_or_else(|| {
         repo_root
@@ -174,6 +183,12 @@ fn main() -> ExitCode {
         println!(
             "bench_report: shot_engine serial {:.0} ns / sharded {:.0} ns → {:.2}x speedup ({threads} threads)",
             s.serial_ns, s.sharded_ns, s.speedup
+        );
+    }
+    if let Some(p) = &path_engine {
+        println!(
+            "bench_report: path_engine serial {:.0} ns / chunked {:.0} ns → {:.2}x speedup ({threads} threads)",
+            p.serial_ns, p.chunked_ns, p.speedup
         );
     }
 
@@ -240,22 +255,39 @@ fn main() -> ExitCode {
     let baseline = std::fs::read_to_string(&baseline_path)
         .ok()
         .and_then(|json| parse_baseline(&json));
-    match apply_gate(shot_engine.as_ref(), baseline.as_ref(), threads) {
-        GateOutcome::Pass { speedup, floor } => {
-            println!("bench_report: gate PASS — speedup {speedup:.2}x ≥ floor {floor:.2}x");
-            ExitCode::SUCCESS
+    let mut failed = false;
+    for (label, outcome) in [
+        (
+            "shot-engine",
+            apply_gate(shot_engine.as_ref(), baseline.as_ref(), threads),
+        ),
+        (
+            "path-engine",
+            apply_path_gate(path_engine.as_ref(), baseline.as_ref(), threads),
+        ),
+    ] {
+        match outcome {
+            GateOutcome::Pass { speedup, floor } => {
+                println!(
+                    "bench_report: {label} gate PASS — speedup {speedup:.2}x ≥ floor {floor:.2}x"
+                );
+            }
+            GateOutcome::Fail { speedup, floor } => {
+                eprintln!(
+                    "bench_report: {label} gate FAIL — speedup {speedup:.2}x regressed below \
+                     the baseline floor {floor:.2}x ({})",
+                    baseline_path.display()
+                );
+                failed = true;
+            }
+            GateOutcome::Skip(reason) => {
+                println!("bench_report: {label} gate SKIPPED — {reason}");
+            }
         }
-        GateOutcome::Fail { speedup, floor } => {
-            eprintln!(
-                "bench_report: gate FAIL — shot-engine speedup {speedup:.2}x regressed below \
-                 the baseline floor {floor:.2}x ({})",
-                baseline_path.display()
-            );
-            ExitCode::FAILURE
-        }
-        GateOutcome::Skip(reason) => {
-            println!("bench_report: gate SKIPPED — {reason}");
-            ExitCode::SUCCESS
-        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
     }
 }

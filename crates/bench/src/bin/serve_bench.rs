@@ -29,6 +29,11 @@
 //!   request (default 1). Multiplies with `--threads`; keep at 1 unless
 //!   requests are few and shot counts large, since per-request
 //!   work-stealing already fills the workers;
+//! * `--path-chunks N` — path-slab chunks the simulator splits each
+//!   shot's path set into (default 1; `0` = auto). Multiplies with both
+//!   thread knobs; keep at 1 unless circuits are wide (`--width` 8+).
+//!   Like the thread knobs it is a pure throughput knob — results are
+//!   bit-identical for any value;
 //! * `--mode closed|open` — closed-loop drain (default) or open-loop
 //!   arrival-process sweep;
 //! * `--workload NAME` — `uniform`, `zipfian` (default), `scan`, `grover`;
@@ -75,6 +80,7 @@ struct Args {
     seed: u64,
     threads: usize,
     shot_threads: usize,
+    path_chunks: usize,
     mode: String,
     workload: String,
     arrivals: String,
@@ -97,6 +103,7 @@ fn parse_args() -> Args {
         seed: 2023,
         threads: 0,
         shot_threads: 1,
+        path_chunks: 1,
         mode: "closed".into(),
         workload: "zipfian".into(),
         arrivals: "poisson".into(),
@@ -129,6 +136,11 @@ fn parse_args() -> Args {
                     .parse()
                     .expect("--shot-threads")
             }
+            "--path-chunks" => {
+                parsed.path_chunks = value("--path-chunks", &mut args)
+                    .parse()
+                    .expect("--path-chunks")
+            }
             "--mode" => parsed.mode = value("--mode", &mut args),
             "--workload" => parsed.workload = value("--workload", &mut args),
             "--arrivals" => parsed.arrivals = value("--arrivals", &mut args),
@@ -157,7 +169,8 @@ fn parse_args() -> Args {
             "--out" => parsed.out = Some(PathBuf::from(value("--out", &mut args))),
             other => panic!(
                 "unknown flag `{other}` (expected --full, --arch NAME, --shots N, --seed N, \
-                 --threads N, --shot-threads N, --mode closed|open, --workload NAME, \
+                 --threads N, --shot-threads N, --path-chunks N, --mode closed|open, \
+                 --workload NAME, \
                  --arrivals NAME, --load LIST, --spec-skew X, --requests N, --width N, \
                  --theta X, --batch N, --queue N, --deadline T, --out FILE)"
             ),
@@ -259,6 +272,7 @@ fn service_config(args: &Args, shots: usize) -> ServiceConfig {
         .with_seed(args.seed)
         .with_batch_limit(args.batch)
         .with_shot_threads(args.shot_threads)
+        .with_path_chunks(args.path_chunks)
         .with_queue_capacity(args.queue)
         .with_deadline(args.deadline)
 }
@@ -560,7 +574,8 @@ fn run_closed(
          \"arch\": \"{}\",\n  \
          \"workload\": \"{}\",\n  \"spec_mix\": \"{}\",\n  \"address_width\": {},\n  \
          \"requests\": {count},\n  \"batches\": {},\n  \"specs\": {},\n  \"shots\": {shots},\n  \
-         \"seed\": {},\n  \"shot_threads\": {},\n  \"results_digest\": \"{digest:016x}\",\n  \
+         \"seed\": {},\n  \"shot_threads\": {},\n  \"path_chunks\": {},\n  \
+         \"results_digest\": \"{digest:016x}\",\n  \
          \"virtual_rps\": {virtual_rps:.1},\n  \"wall_rps\": {wall_rps:.1},\n  \
          \"latency_ns\": {{\"p50\": {:.0}, \"p90\": {:.0}, \"p99\": {:.0}, \"max\": {:.0}}},\n  \
          \"mean_queue_wait_ns\": {mean_queue_wait:.1},\n  \
@@ -575,6 +590,7 @@ fn run_closed(
         specs.len(),
         args.seed,
         args.shot_threads,
+        args.path_chunks,
         latency[0],
         latency[1],
         latency[2],
@@ -680,7 +696,7 @@ fn run_open(
          \"workload\": \"{}\",\n  \"arrivals\": \"{}\",\n  \"spec_mix\": \"{}\",\n  \
          \"address_width\": {},\n  \"requests_per_point\": {requests},\n  \"specs\": {},\n  \
          \"shots\": {shots},\n  \"seed\": {},\n  \"shot_threads\": {},\n  \
-         \"queue_capacity\": {},\n  \"deadline_ns\": {},\n  \"batch_limit\": {},\n  \
+         \"path_chunks\": {},\n  \"queue_capacity\": {},\n  \"deadline_ns\": {},\n  \"batch_limit\": {},\n  \
          \"capacity_rps\": {capacity_rps:.1},\n  \"results_digest\": \"{digest:016x}\",\n  \
          \"sweep\": {},\n  \"per_arch\": {}\n}}\n",
         args.arch,
@@ -691,6 +707,7 @@ fn run_open(
         specs.len(),
         args.seed,
         args.shot_threads,
+        args.path_chunks,
         args.queue,
         args.deadline,
         args.batch,

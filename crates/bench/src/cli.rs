@@ -6,9 +6,11 @@
 //! * `--full` — paper-scale sweep instead of the quick default;
 //! * `--shots N` — Monte-Carlo shots per data point;
 //! * `--seed N` — master RNG seed (default 2023, the paper's venue year);
-//! * `--threads N` — shot-engine worker threads (`0` = all cores, the
-//!   default). Results are bit-identical for any value; see
-//!   [`qram_sim::run_shots`].
+//! * `--threads N` — shot-engine worker threads across shots (`0` = auto,
+//!   the default);
+//! * `--path-chunks N` — parallel path chunks inside each shot (`1` =
+//!   serial, the default; `0` = auto). Results are bit-identical for any
+//!   `(threads, path-chunks)` pair; see [`qram_sim::run_shots`].
 
 use qram_sim::ShotConfig;
 
@@ -21,8 +23,10 @@ pub struct RunOptions {
     pub shots: Option<usize>,
     /// Master RNG seed (default 2023, the paper's venue year).
     pub seed: u64,
-    /// Shot-engine worker threads (`0` = all available cores).
+    /// Shot-engine worker threads across shots (`0` = auto).
     pub threads: usize,
+    /// Parallel path chunks inside each shot (`1` = serial, `0` = auto).
+    pub path_chunks: usize,
 }
 
 impl Default for RunOptions {
@@ -32,6 +36,7 @@ impl Default for RunOptions {
             shots: None,
             seed: ShotConfig::DEFAULT_SEED,
             threads: 0,
+            path_chunks: 1,
         }
     }
 }
@@ -70,8 +75,13 @@ impl RunOptions {
                     let v = args.next().expect("--threads requires a value");
                     opts.threads = v.parse().expect("--threads expects an integer");
                 }
+                "--path-chunks" => {
+                    let v = args.next().expect("--path-chunks requires a value");
+                    opts.path_chunks = v.parse().expect("--path-chunks expects an integer");
+                }
                 other => panic!(
-                    "unknown flag `{other}` (expected --full, --shots N, --seed N, --threads N)"
+                    "unknown flag `{other}` (expected --full, --shots N, --seed N, --threads N, \
+                     --path-chunks N)"
                 ),
             }
         }
@@ -90,6 +100,7 @@ impl RunOptions {
             shots: self.shots_or(default_shots),
             seed: self.seed,
             threads: self.threads,
+            path_chunks: self.path_chunks,
         }
     }
 }
@@ -108,26 +119,48 @@ mod tests {
         assert_eq!(opts, RunOptions::default());
         assert_eq!(opts.seed, 2023);
         assert_eq!(opts.threads, 0);
+        assert_eq!(opts.path_chunks, 1);
         assert_eq!(opts.shots_or(128), 128);
     }
 
     #[test]
     fn parses_all_flags() {
-        let opts = parse(&["--full", "--shots", "64", "--seed", "7", "--threads", "4"]);
+        let opts = parse(&[
+            "--full",
+            "--shots",
+            "64",
+            "--seed",
+            "7",
+            "--threads",
+            "4",
+            "--path-chunks",
+            "2",
+        ]);
         assert!(opts.full);
         assert_eq!(opts.shots, Some(64));
         assert_eq!(opts.seed, 7);
         assert_eq!(opts.threads, 4);
+        assert_eq!(opts.path_chunks, 2);
         assert_eq!(opts.shots_or(128), 64);
     }
 
     #[test]
     fn shot_config_threads_everything_through() {
-        let opts = parse(&["--shots", "32", "--seed", "9", "--threads", "2"]);
+        let opts = parse(&[
+            "--shots",
+            "32",
+            "--seed",
+            "9",
+            "--threads",
+            "2",
+            "--path-chunks",
+            "4",
+        ]);
         let config = opts.shot_config(100);
         assert_eq!(config.shots, 32);
         assert_eq!(config.seed, 9);
         assert_eq!(config.threads, 2);
+        assert_eq!(config.path_chunks, 4);
     }
 
     #[test]

@@ -133,14 +133,51 @@ pub fn shot_engine_summary(records: &[BenchRecord]) -> Option<ShotEngineSummary>
     })
 }
 
+/// The path-parallel headline numbers extracted from a result set: the
+/// `path_engine` group's wide-address (`m = 10`) workload run with one
+/// path chunk vs one chunk per core, shot threads pinned to 1 in both.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PathEngineSummary {
+    /// Mean ns/iter of `path_engine/serial` (path_chunks = 1).
+    pub serial_ns: f64,
+    /// Mean ns/iter of `path_engine/chunked` (path_chunks = auto).
+    pub chunked_ns: f64,
+    /// Throughput ratio `serial_ns / chunked_ns`.
+    pub speedup: f64,
+}
+
+/// Extracts the path-engine serial/chunked pair from `records`.
+pub fn path_engine_summary(records: &[BenchRecord]) -> Option<PathEngineSummary> {
+    let mean = |name: &str| {
+        records
+            .iter()
+            .find(|r| r.name == name)
+            .map(|r| r.mean_ns)
+            .filter(|&ns| ns > 0.0)
+    };
+    let serial_ns = mean("path_engine/serial")?;
+    let chunked_ns = mean("path_engine/chunked")?;
+    Some(PathEngineSummary {
+        serial_ns,
+        chunked_ns,
+        speedup: serial_ns / chunked_ns,
+    })
+}
+
 /// Renders the `BENCH_2.json` summary document.
+///
+/// Both speedup sections (`shot_engine`, `path_speedup`) are only
+/// authoritative when `threads_available ≥ 2` — on a single-core machine
+/// the parallel arm degenerates to the serial one and the ratios hover
+/// near 1.0. CI's multi-core bench runner is the source of truth.
 pub fn summary_json(
     records: &[BenchRecord],
     shot_engine: Option<&ShotEngineSummary>,
+    path_engine: Option<&PathEngineSummary>,
     threads_available: usize,
 ) -> String {
     let mut out = String::from("{\n");
-    out.push_str("  \"schema\": \"qram-bench/bench-summary/v2\",\n");
+    out.push_str("  \"schema\": \"qram-bench/bench-summary/v3\",\n");
     out.push_str(&format!("  \"threads_available\": {threads_available},\n"));
     match shot_engine {
         Some(s) => out.push_str(&format!(
@@ -148,6 +185,13 @@ pub fn summary_json(
             s.serial_ns, s.sharded_ns, s.speedup
         )),
         None => out.push_str("  \"shot_engine\": null,\n"),
+    }
+    match path_engine {
+        Some(p) => out.push_str(&format!(
+            "  \"path_speedup\": {{\"serial_ns\": {:.1}, \"chunked_ns\": {:.1}, \"speedup\": {:.3}}},\n",
+            p.serial_ns, p.chunked_ns, p.speedup
+        )),
+        None => out.push_str("  \"path_speedup\": null,\n"),
     }
     out.push_str("  \"benches\": [\n");
     for (i, r) in records.iter().enumerate() {
@@ -478,6 +522,10 @@ pub fn write_baseline_snapshot(dir: &Path, records: &[BenchRecord]) -> std::io::
 pub struct Baseline {
     /// Reference serial/sharded speedup on a multi-core runner.
     pub shot_engine_speedup: f64,
+    /// Reference serial/chunked path-parallel speedup on a multi-core
+    /// runner. `None` for pre-v3 baselines that predate the path gate —
+    /// the path gate then skips instead of failing.
+    pub path_speedup: Option<f64>,
     /// Allowed relative regression (0.25 = fail below 75% of reference).
     pub tolerance: f64,
 }
@@ -486,6 +534,7 @@ pub struct Baseline {
 pub fn parse_baseline(json: &str) -> Option<Baseline> {
     Some(Baseline {
         shot_engine_speedup: json_num_field(json, "shot_engine_speedup")?,
+        path_speedup: json_num_field(json, "path_speedup"),
         tolerance: json_num_field(json, "tolerance").unwrap_or(0.25),
     })
 }
@@ -513,7 +562,29 @@ pub enum GateOutcome {
     Skip(String),
 }
 
-/// Applies the ratio-based regression gate.
+/// Shared ratio check: measured speedup against `reference · (1 − tol)`,
+/// skipping on single-core machines where the parallel arm degenerates
+/// to the serial one.
+fn gate_ratio(
+    speedup: f64,
+    reference: f64,
+    tolerance: f64,
+    threads_available: usize,
+) -> GateOutcome {
+    if threads_available < 2 {
+        return GateOutcome::Skip(format!(
+            "single-core machine ({threads_available} thread available): parallel speedup not observable"
+        ));
+    }
+    let floor = reference * (1.0 - tolerance);
+    if speedup >= floor {
+        GateOutcome::Pass { speedup, floor }
+    } else {
+        GateOutcome::Fail { speedup, floor }
+    }
+}
+
+/// Applies the ratio-based regression gate for the sharded shot engine.
 pub fn apply_gate(
     shot_engine: Option<&ShotEngineSummary>,
     baseline: Option<&Baseline>,
@@ -525,23 +596,39 @@ pub fn apply_gate(
     let Some(summary) = shot_engine else {
         return GateOutcome::Skip("no shot_engine serial/sharded results".into());
     };
-    if threads_available < 2 {
-        return GateOutcome::Skip(format!(
-            "single-core machine ({threads_available} thread available): parallel speedup not observable"
-        ));
-    }
-    let floor = baseline.shot_engine_speedup * (1.0 - baseline.tolerance);
-    if summary.speedup >= floor {
-        GateOutcome::Pass {
-            speedup: summary.speedup,
-            floor,
-        }
-    } else {
-        GateOutcome::Fail {
-            speedup: summary.speedup,
-            floor,
-        }
-    }
+    gate_ratio(
+        summary.speedup,
+        baseline.shot_engine_speedup,
+        baseline.tolerance,
+        threads_available,
+    )
+}
+
+/// Applies the ratio-based regression gate for the path-parallel engine:
+/// `path_engine/serial` over `path_engine/chunked` must stay within
+/// tolerance of the baseline's `path_speedup`. Skips gracefully when the
+/// baseline predates the path gate, when no path-engine results exist,
+/// or on a single-core machine.
+pub fn apply_path_gate(
+    path_engine: Option<&PathEngineSummary>,
+    baseline: Option<&Baseline>,
+    threads_available: usize,
+) -> GateOutcome {
+    let Some(baseline) = baseline else {
+        return GateOutcome::Skip("no checked-in baseline".into());
+    };
+    let Some(reference) = baseline.path_speedup else {
+        return GateOutcome::Skip("baseline has no path_speedup reference".into());
+    };
+    let Some(summary) = path_engine else {
+        return GateOutcome::Skip("no path_engine serial/chunked results".into());
+    };
+    gate_ratio(
+        summary.speedup,
+        reference,
+        baseline.tolerance,
+        threads_available,
+    )
 }
 
 #[cfg(test)]
@@ -583,6 +670,16 @@ mod tests {
                 mean_ns: 1000.0,
                 iters: 10,
             },
+            BenchRecord {
+                name: "path_engine/serial".into(),
+                mean_ns: 6000.0,
+                iters: 10,
+            },
+            BenchRecord {
+                name: "path_engine/chunked".into(),
+                mean_ns: 2000.0,
+                iters: 10,
+            },
         ]
     }
 
@@ -594,21 +691,40 @@ mod tests {
     }
 
     #[test]
+    fn path_engine_speedup_is_serial_over_chunked() {
+        let p = path_engine_summary(&records()).unwrap();
+        assert_eq!(p.speedup, 3.0);
+        // Shot-engine records alone don't produce a path summary.
+        assert!(path_engine_summary(&records()[..2]).is_none());
+    }
+
+    #[test]
     fn summary_json_is_parseable_by_own_helpers() {
         let recs = records();
         let s = shot_engine_summary(&recs);
-        let json = summary_json(&recs, s.as_ref(), 8);
+        let p = path_engine_summary(&recs);
+        let json = summary_json(&recs, s.as_ref(), p.as_ref(), 8);
         assert_eq!(json_num_field(&json, "threads_available"), Some(8.0));
         assert_eq!(json_num_field(&json, "speedup"), Some(4.0));
+        assert!(json.contains("\"path_speedup\": {\"serial_ns\": 6000.0"));
         assert!(json.contains("\"name\": \"shot_engine/serial\""));
+        // Absent sections render as explicit nulls.
+        let empty = summary_json(&[], None, None, 1);
+        assert!(empty.contains("\"shot_engine\": null"));
+        assert!(empty.contains("\"path_speedup\": null"));
     }
 
     #[test]
     fn baseline_parses_with_default_tolerance() {
         let b = parse_baseline("{\"shot_engine_speedup\": 2.0}").unwrap();
         assert_eq!(b.shot_engine_speedup, 2.0);
+        assert_eq!(b.path_speedup, None);
         assert_eq!(b.tolerance, 0.25);
-        let b = parse_baseline("{\"shot_engine_speedup\": 3.0, \"tolerance\": 0.1}").unwrap();
+        let b = parse_baseline(
+            "{\"shot_engine_speedup\": 3.0, \"path_speedup\": 1.6, \"tolerance\": 0.1}",
+        )
+        .unwrap();
+        assert_eq!(b.path_speedup, Some(1.6));
         assert_eq!(b.tolerance, 0.1);
         assert!(parse_baseline("{}").is_none());
     }
@@ -619,6 +735,7 @@ mod tests {
         let summary = shot_engine_summary(&recs);
         let baseline = Baseline {
             shot_engine_speedup: 2.0,
+            path_speedup: None,
             tolerance: 0.25,
         };
         match apply_gate(summary.as_ref(), Some(&baseline), 8) {
@@ -630,11 +747,59 @@ mod tests {
         }
         let tight = Baseline {
             shot_engine_speedup: 8.0,
+            path_speedup: None,
             tolerance: 0.25,
         };
         assert!(matches!(
             apply_gate(summary.as_ref(), Some(&tight), 8),
             GateOutcome::Fail { .. }
+        ));
+    }
+
+    #[test]
+    fn path_gate_mirrors_the_shot_gate() {
+        let recs = records();
+        let summary = path_engine_summary(&recs);
+        let baseline = Baseline {
+            shot_engine_speedup: 2.0,
+            path_speedup: Some(1.6),
+            tolerance: 0.25,
+        };
+        match apply_path_gate(summary.as_ref(), Some(&baseline), 8) {
+            GateOutcome::Pass { speedup, floor } => {
+                assert_eq!(speedup, 3.0);
+                assert!((floor - 1.2).abs() < 1e-12);
+            }
+            other => panic!("expected pass, got {other:?}"),
+        }
+        let tight = Baseline {
+            path_speedup: Some(8.0),
+            ..baseline
+        };
+        assert!(matches!(
+            apply_path_gate(summary.as_ref(), Some(&tight), 8),
+            GateOutcome::Fail { .. }
+        ));
+        // Skips: pre-v3 baseline (no reference), no results, single core.
+        let legacy = Baseline {
+            path_speedup: None,
+            ..baseline
+        };
+        assert!(matches!(
+            apply_path_gate(summary.as_ref(), Some(&legacy), 8),
+            GateOutcome::Skip(_)
+        ));
+        assert!(matches!(
+            apply_path_gate(None, Some(&baseline), 8),
+            GateOutcome::Skip(_)
+        ));
+        assert!(matches!(
+            apply_path_gate(summary.as_ref(), Some(&baseline), 1),
+            GateOutcome::Skip(_)
+        ));
+        assert!(matches!(
+            apply_path_gate(summary.as_ref(), None, 8),
+            GateOutcome::Skip(_)
         ));
     }
 
@@ -897,6 +1062,7 @@ mod tests {
         let summary = shot_engine_summary(&recs);
         let baseline = Baseline {
             shot_engine_speedup: 2.0,
+            path_speedup: None,
             tolerance: 0.25,
         };
         // No baseline checked in.

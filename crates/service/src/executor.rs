@@ -130,6 +130,7 @@ fn execute_one(item: &PreparedRequest, config: &ServiceConfig) -> QueryResult {
                 shots: config.shots,
                 seed: request_master,
                 threads: config.shot_threads,
+                path_chunks: config.path_chunks,
             };
             run_shots(
                 circuit.circuit().gates(),

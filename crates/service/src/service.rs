@@ -78,6 +78,11 @@ pub struct ServiceConfig {
     /// work-stealing already balances skew across workers. Raising it
     /// helps only when requests are few and shot counts large.
     pub shot_threads: usize,
+    /// Parallel path chunks inside each shot replay
+    /// (`ShotConfig::path_chunks`); keep at 1 unless served circuits are
+    /// wide (`m ≥ 8`, thousands of paths) and workers leave cores idle.
+    /// Results are bit-identical for any value.
+    pub path_chunks: usize,
     /// The noise model fidelity estimates are taken under.
     pub noise: NoiseModel,
     /// Bound on in-system requests (pending + executing) for the
@@ -119,6 +124,7 @@ impl Default for ServiceConfig {
             shots: 32,
             seed: ShotConfig::DEFAULT_SEED,
             shot_threads: 1,
+            path_chunks: 1,
             noise: NoiseModel::per_gate(PauliChannel::depolarizing(BASE_ERROR_RATE)),
             queue_capacity: 256,
             deadline: 20_000,
@@ -169,6 +175,13 @@ impl ServiceConfig {
     /// Overrides the per-request shot-engine thread count.
     pub fn with_shot_threads(mut self, threads: usize) -> Self {
         self.shot_threads = threads;
+        self
+    }
+
+    /// Overrides the per-shot path-chunk count (`0` = auto, `1` =
+    /// serial).
+    pub fn with_path_chunks(mut self, path_chunks: usize) -> Self {
+        self.path_chunks = path_chunks;
         self
     }
 

@@ -173,6 +173,22 @@ impl BitString {
     pub fn iter(&self) -> impl Iterator<Item = bool> + '_ {
         (0..self.len).map(move |i| self.get(i))
     }
+
+    /// The packed word buffer (at least `len.div_ceil(64)` words).
+    pub(crate) fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Builds a basis state from packed words (the `PathState` slab
+    /// layout): exactly `len.div_ceil(64)` words, bit `i` of the string at
+    /// word `i / 64`, bit `i % 64`.
+    pub(crate) fn from_words(words: &[u64], len: usize) -> Self {
+        debug_assert_eq!(words.len(), len.div_ceil(64));
+        BitString {
+            words: words.to_vec(),
+            len,
+        }
+    }
 }
 
 impl std::fmt::Display for BitString {

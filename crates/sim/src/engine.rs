@@ -1,4 +1,5 @@
-//! Sharded, deterministic parallel Monte-Carlo shot engine.
+//! Sharded, deterministic parallel Monte-Carlo shot engine with
+//! two-level parallelism: threads across *shots*, chunks across *paths*.
 //!
 //! The engine splits a run of `shots` trajectories into per-thread
 //! *shards* executed under [`std::thread::scope`] — no work stealing, no
@@ -11,11 +12,25 @@
 //!   cannot depend on which shard runs it;
 //! * every shot writes its fidelity into `samples[shot]`, and the final
 //!   [`FidelityEstimate`] folds that vector in index order — the same
-//!   floating-point reduction regardless of sharding.
+//!   floating-point reduction regardless of sharding;
+//! * within a shot, the path-parallel executor
+//!   ([`crate::run_with_faults_chunked`]) is bit-identical to the serial
+//!   one because paths never interact during gate application — chunking
+//!   changes which thread transforms a path, never the operations applied
+//!   to it, and the overlap reductions always run serially over the
+//!   reassembled slab in global path order.
 //!
-//! Together these make the estimate **bit-identical** for any `threads`
-//! value, which is what lets `--threads` be a pure throughput knob in the
-//! reproduction binaries.
+//! Together these make the estimate **bit-identical** for any
+//! `(threads, path_chunks)` pair, which is what lets `--threads` and
+//! `--path-chunks` be pure throughput knobs in the reproduction binaries.
+//!
+//! The two levels compose without oversubscription: when either knob is
+//! `0` (auto), the resolution divides the machine's available parallelism
+//! by the other knob, so `threads × path_chunks` never exceeds the core
+//! count unless both are pinned explicitly. Spend threads on shots
+//! (cheap, embarrassingly parallel) when `shots ≥ cores`; spend them on
+//! paths when individual shots are wide (`m ≥ 8`, thousands of paths) and
+//! shots are few.
 //!
 //! Each shard additionally reuses one scratch [`PathState`], resetting it
 //! from the input via the allocation-reusing [`Clone::clone_from`] instead
@@ -27,7 +42,15 @@ use std::thread;
 
 use qram_circuit::{Gate, Qubit};
 
-use crate::{run_with_faults, FaultPlan, FidelityEstimate, PathState, SimError};
+use crate::{
+    run_with_faults, run_with_faults_chunked, FaultPlan, FidelityEstimate, PathState, SimError,
+};
+
+fn available_cores() -> usize {
+    thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
 
 /// Configuration of one Monte-Carlo fidelity run.
 ///
@@ -41,6 +64,8 @@ use crate::{run_with_faults, FaultPlan, FidelityEstimate, PathState, SimError};
 /// let config = ShotConfig::new(1024).with_seed(7).with_threads(4);
 /// assert_eq!(config.shots, 1024);
 /// assert_eq!(config.resolved_threads(), 4);
+/// // Path chunking defaults to 1 (serial within a shot).
+/// assert_eq!(config.resolved_path_chunks(), 1);
 /// // threads = 0 resolves to the machine's available parallelism.
 /// assert!(ShotConfig::new(8).resolved_threads() >= 1);
 /// ```
@@ -50,20 +75,27 @@ pub struct ShotConfig {
     pub shots: usize,
     /// Master RNG seed for the fault sampler (not used by the engine).
     pub seed: u64,
-    /// Worker threads; `0` means all available cores.
+    /// Worker threads across shots; `0` means auto (available cores
+    /// divided by the path-chunk count).
     pub threads: usize,
+    /// Parallel path chunks within each shot; `1` (the default) keeps the
+    /// per-shot gate loop serial, `0` means auto (available cores divided
+    /// by the thread count). Results are bit-identical for any value.
+    pub path_chunks: usize,
 }
 
 impl ShotConfig {
     /// The default master seed (the paper's venue year).
     pub const DEFAULT_SEED: u64 = 2023;
 
-    /// A config with the default seed and automatic thread count.
+    /// A config with the default seed, automatic thread count, and serial
+    /// per-shot execution (`path_chunks = 1`).
     pub fn new(shots: usize) -> Self {
         ShotConfig {
             shots,
             seed: Self::DEFAULT_SEED,
             threads: 0,
+            path_chunks: 1,
         }
     }
 
@@ -78,21 +110,39 @@ impl ShotConfig {
         self
     }
 
-    /// Overrides the thread count (`0` = all available cores).
+    /// Overrides the thread count (`0` = auto).
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads;
         self
     }
 
-    /// The effective worker count: `threads`, or the machine's available
-    /// parallelism when `threads == 0`.
+    /// Overrides the per-shot path-chunk count (`0` = auto, `1` =
+    /// serial). Results are bit-identical for any value.
+    pub fn with_path_chunks(mut self, path_chunks: usize) -> Self {
+        self.path_chunks = path_chunks;
+        self
+    }
+
+    /// The effective worker count: `threads`, or — when `threads == 0` —
+    /// the machine's available parallelism divided by the pinned
+    /// path-chunk count, so the two levels compose without
+    /// oversubscribing the cores.
     pub fn resolved_threads(&self) -> usize {
         if self.threads > 0 {
             self.threads
         } else {
-            thread::available_parallelism()
-                .map(NonZeroUsize::get)
-                .unwrap_or(1)
+            (available_cores() / self.path_chunks.max(1)).max(1)
+        }
+    }
+
+    /// The effective per-shot path-chunk count: `path_chunks`, or — when
+    /// `path_chunks == 0` — the machine's available parallelism divided
+    /// by the resolved thread count.
+    pub fn resolved_path_chunks(&self) -> usize {
+        if self.path_chunks > 0 {
+            self.path_chunks
+        } else {
+            (available_cores() / self.resolved_threads()).max(1)
         }
     }
 }
@@ -114,6 +164,11 @@ impl Default for ShotConfig {
 /// to hold. Shots whose plan is empty short-circuit to fidelity 1 without
 /// replaying the circuit.
 ///
+/// The estimate is bit-identical for every `(threads, path_chunks)`
+/// combination: shot sharding only re-partitions which thread runs a
+/// shot, and path chunking only re-partitions which thread transforms a
+/// path (see [`crate::run_with_faults_chunked`]).
+///
 /// # Errors
 ///
 /// Propagates the first simulation error from the ideal run or any shot
@@ -125,8 +180,9 @@ pub fn run_shots(
     config: &ShotConfig,
     sample_plan: &(impl Fn(u64) -> FaultPlan + Sync),
 ) -> Result<FidelityEstimate, SimError> {
+    let path_chunks = config.resolved_path_chunks();
     let mut ideal = input.clone();
-    run_with_faults(gates, &mut ideal, &FaultPlan::new())?;
+    run_with_faults_chunked(gates, &mut ideal, &FaultPlan::new(), path_chunks)?;
 
     let shots = config.shots;
     if shots == 0 {
@@ -136,7 +192,16 @@ pub fn run_shots(
     let mut samples = vec![0.0f64; shots];
 
     if threads == 1 {
-        run_shard(gates, input, &ideal, keep, 0, &mut samples, sample_plan)?;
+        run_shard(
+            gates,
+            input,
+            &ideal,
+            keep,
+            0,
+            path_chunks,
+            &mut samples,
+            sample_plan,
+        )?;
     } else {
         // Contiguous sharding: shard `i` owns shots [i·chunk, (i+1)·chunk).
         // Shot indices are global, so the shard boundaries never influence
@@ -155,6 +220,7 @@ pub fn run_shots(
                             ideal_ref,
                             keep,
                             (i * chunk) as u64,
+                            path_chunks,
                             out,
                             sample_plan,
                         )
@@ -174,12 +240,19 @@ pub fn run_shots(
 }
 
 /// Runs one shard's contiguous shot range, writing fidelities into `out`.
+///
+/// Each noisy shot replays the circuit over `path_chunks` parallel path
+/// ranges of the scratch slab; the overlap reduction then runs serially
+/// over the whole slab, so the sample value is bit-identical to the
+/// serial engine's.
+#[allow(clippy::too_many_arguments)]
 fn run_shard(
     gates: &[Gate],
     input: &PathState,
     ideal: &PathState,
     keep: Option<&[Qubit]>,
     first_shot: u64,
+    path_chunks: usize,
     out: &mut [f64],
     sample_plan: &(impl Fn(u64) -> FaultPlan + Sync),
 ) -> Result<(), SimError> {
@@ -193,7 +266,11 @@ fn run_shard(
             continue;
         }
         scratch.clone_from(input);
-        run_with_faults(gates, &mut scratch, &plan)?;
+        if path_chunks > 1 {
+            run_with_faults_chunked(gates, &mut scratch, &plan, path_chunks)?;
+        } else {
+            run_with_faults(gates, &mut scratch, &plan)?;
+        }
         *slot = match keep {
             None => ideal.fidelity(&scratch),
             Some(keep) => ideal.reduced_fidelity(&scratch, keep),
@@ -272,6 +349,87 @@ mod tests {
         )
         .unwrap();
         assert_eq!(one, four);
+    }
+
+    #[test]
+    fn identical_estimates_across_thread_and_chunk_matrix() {
+        let (c, input) = test_circuit();
+        let reference = run_shots(
+            c.gates(),
+            &input,
+            None,
+            &ShotConfig::new(64).with_threads(1).with_path_chunks(1),
+            &pseudo_random_plan,
+        )
+        .unwrap();
+        for threads in [1usize, 2, 4] {
+            for chunks in [0usize, 1, 2, 4] {
+                let config = ShotConfig::new(64)
+                    .with_threads(threads)
+                    .with_path_chunks(chunks);
+                let est = run_shots(c.gates(), &input, None, &config, &pseudo_random_plan).unwrap();
+                // Bit-identical, not approximately equal.
+                assert_eq!(est, reference, "threads={threads} chunks={chunks}");
+            }
+        }
+    }
+
+    #[test]
+    fn reduced_estimates_identical_across_chunk_counts() {
+        let mut c = Circuit::new(3);
+        c.push(qram_circuit::Gate::cx(Qubit(0), Qubit(2)));
+        c.push(qram_circuit::Gate::cx(Qubit(2), Qubit(1)));
+        c.push(qram_circuit::Gate::cx(Qubit(0), Qubit(2)));
+        let input = PathState::uniform_over(3, &[Qubit(0)]);
+        let keep = [Qubit(0), Qubit(1)];
+        let serial = run_shots(
+            c.gates(),
+            &input,
+            Some(&keep),
+            &ShotConfig::serial(48),
+            &pseudo_random_plan,
+        )
+        .unwrap();
+        let chunked = run_shots(
+            c.gates(),
+            &input,
+            Some(&keep),
+            &ShotConfig::new(48).with_threads(2).with_path_chunks(2),
+            &pseudo_random_plan,
+        )
+        .unwrap();
+        assert_eq!(serial, chunked);
+    }
+
+    #[test]
+    fn auto_resolution_never_oversubscribes() {
+        // Pinning one knob and leaving the other on auto must keep
+        // threads × chunks within the core count.
+        let cores = super::available_cores();
+        let auto_chunks = ShotConfig::new(8).with_threads(2).with_path_chunks(0);
+        assert!(auto_chunks.resolved_path_chunks() * 2 <= cores.max(2));
+        let auto_threads = ShotConfig::new(8).with_threads(0).with_path_chunks(2);
+        assert!(auto_threads.resolved_threads() * 2 <= cores.max(2));
+        // Both auto: threads fill the machine, chunks stay serial.
+        let both = ShotConfig::new(8).with_threads(0).with_path_chunks(0);
+        assert_eq!(both.resolved_threads(), cores);
+        assert_eq!(both.resolved_path_chunks(), 1);
+    }
+
+    #[test]
+    fn errors_propagate_from_chunked_shots() {
+        let (c, input) = test_circuit();
+        let bad_plan =
+            |_: u64| -> FaultPlan { [Fault::new(0, Qubit(40), Pauli::X)].into_iter().collect() };
+        let err = run_shots(
+            c.gates(),
+            &input,
+            None,
+            &ShotConfig::new(8).with_threads(2).with_path_chunks(2),
+            &bad_plan,
+        )
+        .unwrap_err();
+        assert!(matches!(err, SimError::QubitOutOfRange { .. }));
     }
 
     #[test]

@@ -6,9 +6,22 @@
 //! Monte-Carlo shot; running the same circuit under different plans gives
 //! the trajectory samples the paper averages in its fidelity plots
 //! (Sec. 6.3).
+//!
+//! Because every gate in the classical-reversible + Pauli family maps each
+//! path independently (paths never interact during execution, only in the
+//! final overlap reductions), a whole run factorizes over disjoint path
+//! ranges: [`run_with_faults_chunked`] splits the state's slab into
+//! contiguous chunks and executes the full gate/fault sequence on each
+//! chunk in parallel under [`std::thread::scope`]. The result is
+//! *bit-identical* to the serial run — each path's bit and amplitude
+//! operations are the same instruction sequence regardless of which chunk
+//! it lands in, and the slab order is preserved.
+
+use std::thread;
 
 use qram_circuit::{Control, Gate, Qubit};
 
+use crate::state::{PathBits, PathsMut};
 use crate::{PathState, SimError};
 
 /// A single-qubit Pauli error.
@@ -159,62 +172,181 @@ pub fn run_with_faults(
     plan: &FaultPlan,
 ) -> Result<(), SimError> {
     let faults = plan.sorted();
+    let num_qubits = state.num_qubits();
+    run_plan_on(gates, &mut state.as_paths_mut(), &faults, num_qubits)
+}
+
+/// Like [`run_with_faults`], but executes the gate/fault sequence over
+/// `chunks` disjoint path ranges in parallel (scoped threads, no external
+/// dependencies). `chunks` is clamped to the path count; `chunks <= 1`
+/// falls back to the serial path.
+///
+/// The result is **bit-identical** to [`run_with_faults`]: paths never
+/// interact during execution, so each path undergoes the exact same
+/// floating-point operation sequence in either mode, and the slab order
+/// is preserved.
+///
+/// # Errors
+///
+/// Same conditions as [`run`], detected by a state-free pre-validation
+/// pass that reports the first error in serial execution order.
+pub fn run_with_faults_chunked(
+    gates: &[Gate],
+    state: &mut PathState,
+    plan: &FaultPlan,
+    chunks: usize,
+) -> Result<(), SimError> {
+    let chunks = chunks.clamp(1, state.num_paths().max(1));
+    if chunks <= 1 {
+        return run_with_faults(gates, state, plan);
+    }
+    let num_qubits = state.num_qubits();
+    // Surface the first error (in serial execution order) before any
+    // worker touches the slab; afterwards per-chunk runs cannot fail.
+    validate(gates, plan, num_qubits)?;
+    let faults = plan.sorted();
+    let views = state.chunk_views(chunks);
+    thread::scope(|scope| {
+        let handles: Vec<_> = views
+            .into_iter()
+            .map(|mut view| {
+                let faults = &faults;
+                scope.spawn(move || run_plan_on(gates, &mut view, faults, num_qubits))
+            })
+            .collect();
+        for handle in handles {
+            handle.join().expect("path chunk panicked")?;
+        }
+        Ok(())
+    })
+}
+
+/// Runs `gates` without noise over `chunks` parallel path ranges; see
+/// [`run_with_faults_chunked`].
+///
+/// # Errors
+///
+/// Same conditions as [`run`].
+pub fn run_chunked(gates: &[Gate], state: &mut PathState, chunks: usize) -> Result<(), SimError> {
+    run_with_faults_chunked(gates, state, &FaultPlan::new(), chunks)
+}
+
+/// Executes the full gate/fault sequence over one slab view. `faults`
+/// must already be location-sorted ([`FaultPlan::sorted`]).
+fn run_plan_on(
+    gates: &[Gate],
+    view: &mut PathsMut<'_>,
+    faults: &[Fault],
+    num_qubits: usize,
+) -> Result<(), SimError> {
     let mut next_fault = 0usize;
 
     let fire =
-        |idx: usize, state: &mut PathState, next_fault: &mut usize| -> Result<(), SimError> {
+        |idx: usize, view: &mut PathsMut<'_>, next_fault: &mut usize| -> Result<(), SimError> {
             while *next_fault < faults.len() && faults[*next_fault].gate_index <= idx {
                 let f = faults[*next_fault];
-                if f.qubit.index() >= state.num_qubits() {
+                if f.qubit.index() >= num_qubits {
                     return Err(SimError::QubitOutOfRange {
                         index: f.qubit.index(),
-                        num_qubits: state.num_qubits(),
+                        num_qubits,
                     });
                 }
-                f.pauli.apply(state, f.qubit);
+                match f.pauli {
+                    Pauli::X => view.apply_x(f.qubit.index()),
+                    Pauli::Y => view.apply_y(f.qubit.index()),
+                    Pauli::Z => view.apply_z(f.qubit.index()),
+                }
                 *next_fault += 1;
             }
             Ok(())
         };
 
     for (i, gate) in gates.iter().enumerate() {
-        fire(i, state, &mut next_fault)?;
-        apply_gate(gate, state)?;
-        let _ = i;
+        fire(i, view, &mut next_fault)?;
+        apply_gate_on(gate, view, num_qubits)?;
     }
-    fire(gates.len(), state, &mut next_fault)?;
+    fire(gates.len(), view, &mut next_fault)?;
     Ok(())
 }
 
-/// Applies one gate to the state.
+/// State-free validation of a run: walks the serial execution order
+/// (fault fire before gate, final fire after the last gate) checking
+/// qubit bounds and gate-family legality, and reports the first error
+/// exactly where the serial executor would.
+///
+/// Faults located past the end of the circuit (`gate_index >
+/// gates.len()`) never fire and are deliberately *not* validated,
+/// matching the serial executor.
+fn validate(gates: &[Gate], plan: &FaultPlan, num_qubits: usize) -> Result<(), SimError> {
+    let faults = plan.sorted();
+    let mut next_fault = 0usize;
+    let check_fire = |idx: usize, next_fault: &mut usize| -> Result<(), SimError> {
+        while *next_fault < faults.len() && faults[*next_fault].gate_index <= idx {
+            let f = faults[*next_fault];
+            if f.qubit.index() >= num_qubits {
+                return Err(SimError::QubitOutOfRange {
+                    index: f.qubit.index(),
+                    num_qubits,
+                });
+            }
+            *next_fault += 1;
+        }
+        Ok(())
+    };
+    for (i, gate) in gates.iter().enumerate() {
+        check_fire(i, &mut next_fault)?;
+        validate_gate(gate, num_qubits)?;
+    }
+    check_fire(gates.len(), &mut next_fault)
+}
+
+/// The state-free half of [`apply_gate_on`]'s error checks: qubit bounds
+/// first (matching the executor's check order), then gate-family
+/// legality.
+fn validate_gate(gate: &Gate, num_qubits: usize) -> Result<(), SimError> {
+    for q in gate.qubits() {
+        if q.index() >= num_qubits {
+            return Err(SimError::QubitOutOfRange {
+                index: q.index(),
+                num_qubits,
+            });
+        }
+    }
+    if matches!(gate, Gate::H(_)) {
+        return Err(SimError::NonReversibleGate { gate: "h" });
+    }
+    Ok(())
+}
+
+/// Applies one gate to a slab view.
 ///
 /// # Errors
 ///
 /// Returns [`SimError::NonReversibleGate`] for `H`,
-/// [`SimError::QubitOutOfRange`] for bad qubit indices.
-pub fn apply_gate(gate: &Gate, state: &mut PathState) -> Result<(), SimError> {
-    let n = state.num_qubits();
+/// [`SimError::QubitOutOfRange`] for bad qubit indices (bounds are
+/// checked before family legality, so `validate_gate` mirrors the order).
+fn apply_gate_on(gate: &Gate, view: &mut PathsMut<'_>, num_qubits: usize) -> Result<(), SimError> {
     for q in gate.qubits() {
-        if q.index() >= n {
+        if q.index() >= num_qubits {
             return Err(SimError::QubitOutOfRange {
                 index: q.index(),
-                num_qubits: n,
+                num_qubits,
             });
         }
     }
     #[inline]
-    fn ctrl_active(bits: &crate::BitString, c: &Control) -> bool {
+    fn ctrl_active(bits: &PathBits<'_>, c: &Control) -> bool {
         bits.get(c.qubit.index()) == c.value
     }
     match gate {
         Gate::Barrier => {}
         Gate::H(_) => return Err(SimError::NonReversibleGate { gate: "h" }),
-        Gate::X(q) | Gate::ClX(q) => state.apply_x(*q),
-        Gate::Y(q) => state.apply_y(*q),
-        Gate::Z(q) => state.apply_z(*q),
+        Gate::X(q) | Gate::ClX(q) => view.apply_x(q.index()),
+        Gate::Y(q) => view.apply_y(q.index()),
+        Gate::Z(q) => view.apply_z(q.index()),
         Gate::Cx { control, target } | Gate::ClCx { control, target } => {
             let (c, t) = (*control, target.index());
-            state.permute_paths(|bits| {
+            view.permute_paths(|bits| {
                 if ctrl_active(bits, &c) {
                     bits.flip(t);
                 }
@@ -222,7 +354,7 @@ pub fn apply_gate(gate: &Gate, state: &mut PathState) -> Result<(), SimError> {
         }
         Gate::Ccx { controls, target } => {
             let (cs, t) = (*controls, target.index());
-            state.permute_paths(|bits| {
+            view.permute_paths(|bits| {
                 if ctrl_active(bits, &cs[0]) && ctrl_active(bits, &cs[1]) {
                     bits.flip(t);
                 }
@@ -231,7 +363,7 @@ pub fn apply_gate(gate: &Gate, state: &mut PathState) -> Result<(), SimError> {
         Gate::Mcx { controls, target } => {
             let cs = controls.clone();
             let t = target.index();
-            state.permute_paths(|bits| {
+            view.permute_paths(|bits| {
                 if cs.iter().all(|c| ctrl_active(bits, c)) {
                     bits.flip(t);
                 }
@@ -239,11 +371,11 @@ pub fn apply_gate(gate: &Gate, state: &mut PathState) -> Result<(), SimError> {
         }
         Gate::Swap(a, b) | Gate::ClSwap(a, b) => {
             let (a, b) = (a.index(), b.index());
-            state.permute_paths(|bits| bits.swap_bits(a, b));
+            view.permute_paths(|bits| bits.swap_bits(a, b));
         }
         Gate::Cswap { control, a, b } => {
             let (c, a, b) = (*control, a.index(), b.index());
-            state.permute_paths(|bits| {
+            view.permute_paths(|bits| {
                 if ctrl_active(bits, &c) {
                     bits.swap_bits(a, b);
                 }
@@ -408,6 +540,89 @@ mod tests {
         run(&gates, &mut s).unwrap();
         assert_eq!(s.num_paths(), 8);
         assert!((s.norm_sqr() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn chunked_run_matches_serial_bit_for_bit() {
+        let addr = [Qubit(0), Qubit(1), Qubit(2)];
+        let gates = [
+            Gate::cx(Qubit(0), Qubit(3)),
+            Gate::ccx(Qubit(1), Qubit(2), Qubit(4)),
+            Gate::cswap(Qubit(0), Qubit(3), Qubit(4)),
+            Gate::swap(Qubit(3), Qubit(4)),
+            Gate::x(Qubit(3)),
+        ];
+        let plan: FaultPlan = [
+            Fault::new(1, Qubit(2), Pauli::Y),
+            Fault::new(3, Qubit(0), Pauli::Z),
+            Fault::new(5, Qubit(4), Pauli::X),
+        ]
+        .into_iter()
+        .collect();
+        let input = PathState::uniform_over(5, &addr);
+        let mut serial = input.clone();
+        run_with_faults(&gates, &mut serial, &plan).unwrap();
+        for chunks in [1usize, 2, 3, 4, 7, 16] {
+            let mut chunked = input.clone();
+            run_with_faults_chunked(&gates, &mut chunked, &plan, chunks).unwrap();
+            // Bit-identical including slab order, not merely equal as sets.
+            let a: Vec<_> = chunked.iter().collect();
+            let b: Vec<_> = serial.iter().collect();
+            assert_eq!(a, b, "chunks={chunks}");
+        }
+    }
+
+    #[test]
+    fn chunked_error_semantics_match_serial() {
+        let input = PathState::uniform_over(3, &[Qubit(0), Qubit(1)]);
+        // (gates, plan) cases that each fail at a different point of the
+        // serial execution order.
+        let h_gate = vec![Gate::cx(Qubit(0), Qubit(1)), Gate::H(Qubit(2))];
+        let bad_gate = vec![Gate::x(Qubit(7))];
+        let bad_fault_gates = vec![Gate::cx(Qubit(0), Qubit(1))];
+        let bad_fault: FaultPlan = [Fault::new(1, Qubit(9), Pauli::X)].into_iter().collect();
+        let cases: Vec<(&[Gate], FaultPlan)> = vec![
+            (&h_gate, FaultPlan::new()),
+            (&bad_gate, FaultPlan::new()),
+            (&bad_fault_gates, bad_fault),
+        ];
+        for (gates, plan) in cases {
+            let mut serial = input.clone();
+            let serial_err = run_with_faults(gates, &mut serial, &plan).unwrap_err();
+            let mut chunked = input.clone();
+            let chunked_err = run_with_faults_chunked(gates, &mut chunked, &plan, 3).unwrap_err();
+            assert_eq!(serial_err, chunked_err);
+        }
+    }
+
+    #[test]
+    fn faults_past_circuit_end_never_fire_nor_validate() {
+        // A fault located beyond the final fire point (gate_index >
+        // gates.len()) is dead: the serial engine never validates it, so
+        // the chunked pre-validation must not either.
+        let gates = [Gate::x(Qubit(0))];
+        let plan: FaultPlan = [Fault::new(2, Qubit(40), Pauli::X)].into_iter().collect();
+        let mut serial = PathState::computational_basis(1);
+        run_with_faults(&gates, &mut serial, &plan).unwrap();
+        let mut chunked = PathState::uniform_over(1, &[Qubit(0)]);
+        run_with_faults_chunked(&gates, &mut chunked, &plan, 2).unwrap();
+    }
+
+    #[test]
+    fn run_chunked_noiseless_matches_run() {
+        let addr = [Qubit(0), Qubit(1)];
+        let gates = [
+            Gate::cx(Qubit(0), Qubit(2)),
+            Gate::cswap(Qubit(1), Qubit(2), Qubit(3)),
+        ];
+        let input = PathState::uniform_over(4, &addr);
+        let mut serial = input.clone();
+        run(&gates, &mut serial).unwrap();
+        let mut chunked = input.clone();
+        run_chunked(&gates, &mut chunked, 4).unwrap();
+        let a: Vec<_> = chunked.iter().collect();
+        let b: Vec<_> = serial.iter().collect();
+        assert_eq!(a, b);
     }
 
     #[test]

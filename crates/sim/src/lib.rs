@@ -18,13 +18,17 @@
 //!
 //! * [`BitString`] — a packed basis state.
 //! * [`Amplitude`] — a complex amplitude.
-//! * [`PathState`] — a sparse superposition `{BitString → Amplitude}`.
+//! * [`PathState`] — a sparse superposition stored as a flat slab:
+//!   contiguous packed-bit and amplitude arrays, one entry per path.
 //! * [`run`] / [`run_with_faults`] — circuit execution with optional
 //!   Pauli fault injection at arbitrary circuit locations.
+//! * [`run_chunked`] / [`run_with_faults_chunked`] — the same execution
+//!   parallelized over disjoint path ranges of the slab, bit-identical
+//!   to the serial run for any chunk count.
 //! * [`monte_carlo_fidelity`] / [`run_shots`] — the paper's shot harness:
 //!   average `|⟨ψ_ideal|ψ_shot⟩|²` over sampled fault patterns, executed
 //!   on a sharded parallel engine whose estimates are bit-identical for
-//!   any thread count ([`ShotConfig`]).
+//!   any `(threads, path_chunks)` pair ([`ShotConfig`]).
 //!
 //! # Example
 //!
@@ -56,12 +60,14 @@ mod state;
 pub use amplitude::Amplitude;
 pub use bitstring::BitString;
 pub use engine::{run_shots, ShotConfig};
-pub use executor::{run, run_with_faults, Fault, FaultPlan, Pauli};
+pub use executor::{
+    run, run_chunked, run_with_faults, run_with_faults_chunked, Fault, FaultPlan, Pauli,
+};
 pub use shots::{
     monte_carlo_fidelity, monte_carlo_fidelity_with, monte_carlo_reduced_fidelity,
     monte_carlo_reduced_fidelity_with, FidelityEstimate,
 };
-pub use state::PathState;
+pub use state::{PathBits, PathState};
 
 /// Errors produced by the path simulator.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -1,6 +1,7 @@
-//! Sparse superpositions over computational basis states.
+//! Sparse superpositions over computational basis states, stored as a
+//! flat data-oriented slab.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use qram_circuit::Qubit;
 
@@ -9,14 +10,225 @@ use crate::{Amplitude, BitString};
 /// Amplitudes below this squared-modulus threshold are pruned.
 const PRUNE_EPS: f64 = 1e-14;
 
-/// A sparse quantum state: a map from basis states ("Feynman paths") to
-/// complex amplitudes.
+/// Reads bit `i` from a packed word slice.
+#[inline]
+fn word_get(words: &[u64], i: usize) -> bool {
+    (words[i / 64] >> (i % 64)) & 1 == 1
+}
+
+/// Writes bit `i` of a packed word slice.
+#[inline]
+fn word_set(words: &mut [u64], i: usize, v: bool) {
+    let mask = 1u64 << (i % 64);
+    if v {
+        words[i / 64] |= mask;
+    } else {
+        words[i / 64] &= !mask;
+    }
+}
+
+/// Flips bit `i` of a packed word slice.
+#[inline]
+fn word_flip(words: &mut [u64], i: usize) {
+    words[i / 64] ^= 1u64 << (i % 64);
+}
+
+/// Packs the bits of `words` selected by `idx` (in order) into a fresh
+/// word vector — the substring-extraction primitive of the reduced
+/// fidelity.
+fn extract_bits(words: &[u64], idx: &[usize]) -> Vec<u64> {
+    let mut out = vec![0u64; idx.len().div_ceil(64)];
+    for (k, &i) in idx.iter().enumerate() {
+        if word_get(words, i) {
+            out[k / 64] |= 1u64 << (k % 64);
+        }
+    }
+    out
+}
+
+/// A mutable view of one path's packed bits inside a [`PathState`] slab.
 ///
-/// Classical reversible gates permute the keys of the map; Pauli `Z` errors
-/// flip amplitude signs; `X` errors flip bits. No operation in the QRAM gate
-/// family increases the number of paths, which is the storage property the
-/// paper's simulator exploits (Sec. 6.2): memory is `O(paths · qubits)`,
-/// independent of circuit depth.
+/// This is the argument type of [`PathState::permute_paths`] closures: it
+/// exposes the same bit-level operations as [`BitString`] (`get`, `set`,
+/// `flip`, `swap_bits`, MSB-first register reads/writes) but borrows the
+/// path's words in place — the hot loop of the simulator touches no heap.
+#[derive(Debug)]
+pub struct PathBits<'a> {
+    words: &'a mut [u64],
+    len: usize,
+}
+
+impl PathBits<'_> {
+    /// Number of qubits.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the path has zero qubits.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Reads bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len, "bit {i} out of range (len {})", self.len);
+        word_get(self.words, i)
+    }
+
+    /// Writes bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    #[inline]
+    pub fn set(&mut self, i: usize, v: bool) {
+        assert!(i < self.len, "bit {i} out of range (len {})", self.len);
+        word_set(self.words, i, v);
+    }
+
+    /// Flips bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    #[inline]
+    pub fn flip(&mut self, i: usize) {
+        assert!(i < self.len, "bit {i} out of range (len {})", self.len);
+        word_flip(self.words, i);
+    }
+
+    /// Swaps bits `i` and `j`.
+    #[inline]
+    pub fn swap_bits(&mut self, i: usize, j: usize) {
+        let (bi, bj) = (self.get(i), self.get(j));
+        if bi != bj {
+            self.flip(i);
+            self.flip(j);
+        }
+    }
+
+    /// Interprets `qubits` as an unsigned integer with `qubits[0]` as the
+    /// **most significant** bit (the address-register convention).
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than 64 qubits are requested or any index is out of
+    /// range.
+    pub fn read_msb_first(&self, qubits: &[usize]) -> u64 {
+        assert!(
+            qubits.len() <= 64,
+            "cannot read more than 64 bits into a u64"
+        );
+        let mut v = 0u64;
+        for &q in qubits {
+            v = (v << 1) | self.get(q) as u64;
+        }
+        v
+    }
+
+    /// Writes the unsigned integer `value` into `qubits` with `qubits[0]`
+    /// as the most significant bit.
+    pub fn write_msb_first(&mut self, qubits: &[usize], value: u64) {
+        let n = qubits.len();
+        assert!(n <= 64);
+        for (i, &q) in qubits.iter().enumerate() {
+            self.set(q, (value >> (n - 1 - i)) & 1 == 1);
+        }
+    }
+}
+
+/// A mutable view over a contiguous range of paths in a [`PathState`]
+/// slab — the unit of work of the path-parallel executor. Views of
+/// disjoint path ranges borrow disjoint slices, so chunked gate
+/// application needs no locking and no `unsafe`.
+#[derive(Debug)]
+pub(crate) struct PathsMut<'a> {
+    words: &'a mut [u64],
+    amps: &'a mut [Amplitude],
+    stride: usize,
+    num_qubits: usize,
+}
+
+impl PathsMut<'_> {
+    /// The hot iteration idiom: `chunks_exact_mut` walks the word slab
+    /// one path at a time without per-path index arithmetic or bounds
+    /// checks. A zero-qubit state has `stride == 0` (which
+    /// `chunks_exact_mut` rejects), but then there is no bit any gate
+    /// could legally touch, so the traversal is a no-op.
+    #[inline]
+    fn each_path(&mut self, mut f: impl FnMut(&mut [u64], &mut Amplitude)) {
+        if self.stride == 0 {
+            return;
+        }
+        for (words, amp) in self
+            .words
+            .chunks_exact_mut(self.stride)
+            .zip(self.amps.iter_mut())
+        {
+            f(words, amp);
+        }
+    }
+
+    /// Applies `X` on qubit `i`: flips the bit in every path.
+    pub(crate) fn apply_x(&mut self, i: usize) {
+        self.each_path(|words, _| word_flip(words, i));
+    }
+
+    /// Applies `Z` on qubit `i`: negates the amplitude of every path with
+    /// the bit set.
+    pub(crate) fn apply_z(&mut self, i: usize) {
+        self.each_path(|words, amp| {
+            if word_get(words, i) {
+                *amp = -*amp;
+            }
+        });
+    }
+
+    /// Applies `Y = iXZ` on qubit `i`.
+    pub(crate) fn apply_y(&mut self, i: usize) {
+        self.each_path(|words, amp| {
+            let was_one = word_get(words, i);
+            word_flip(words, i);
+            *amp = if was_one {
+                amp.mul_neg_i()
+            } else {
+                amp.mul_i()
+            };
+        });
+    }
+
+    /// Applies a bit-level permutation `f` to every path in the view.
+    pub(crate) fn permute_paths(&mut self, mut f: impl FnMut(&mut PathBits<'_>)) {
+        let num_qubits = self.num_qubits;
+        self.each_path(|words, _| {
+            let mut bits = PathBits {
+                words,
+                len: num_qubits,
+            };
+            f(&mut bits);
+        });
+    }
+}
+
+/// A sparse quantum state: a set of basis states ("Feynman paths") with
+/// complex amplitudes, stored structure-of-arrays.
+///
+/// Path `i` lives at `words[i·stride .. (i+1)·stride]` (its packed basis
+/// state) and `amps[i]` (its amplitude) — two contiguous slabs instead of
+/// per-path heap objects, so gate application streams linearly through
+/// memory and the slab can be split into disjoint per-chunk views for the
+/// path-parallel executor (`run_with_faults_chunked`).
+///
+/// Classical reversible gates permute basis states in place; Pauli `Z`
+/// errors flip amplitude signs; `X` errors flip bits. No operation in the
+/// QRAM gate family increases the number of paths, which is the storage
+/// property the paper's simulator exploits (Sec. 6.2): memory is
+/// `O(paths · qubits)`, independent of circuit depth.
 ///
 /// ```
 /// use qram_sim::PathState;
@@ -30,18 +242,30 @@ const PRUNE_EPS: f64 = 1e-14;
 /// ```
 #[derive(Debug)]
 pub struct PathState {
-    /// Unique basis states with their amplitudes. Uniqueness is an
-    /// invariant: constructors deduplicate, and every mutation in the
-    /// classical-reversible + Pauli family is injective on basis states.
-    paths: Vec<(BitString, Amplitude)>,
+    /// Packed basis states, `stride` words per path. Uniqueness of paths
+    /// is an invariant: constructors deduplicate, and every mutation in
+    /// the classical-reversible + Pauli family is injective on basis
+    /// states.
+    words: Vec<u64>,
+    /// One amplitude per path; `amps.len()` is the path count.
+    amps: Vec<Amplitude>,
+    /// Words per path: `num_qubits.div_ceil(64)`.
+    stride: usize,
     num_qubits: usize,
+}
+
+fn stride_for(num_qubits: usize) -> usize {
+    num_qubits.div_ceil(64)
 }
 
 impl PathState {
     /// The all-zeros computational basis state |0…0⟩ on `num_qubits` qubits.
     pub fn computational_basis(num_qubits: usize) -> Self {
+        let stride = stride_for(num_qubits);
         PathState {
-            paths: vec![(BitString::zeros(num_qubits), Amplitude::ONE)],
+            words: vec![0; stride],
+            amps: vec![Amplitude::ONE],
+            stride,
             num_qubits,
         }
     }
@@ -49,8 +273,11 @@ impl PathState {
     /// A single basis state given by `bits`.
     pub fn basis_state(bits: BitString) -> Self {
         let num_qubits = bits.len();
+        let stride = stride_for(num_qubits);
         PathState {
-            paths: vec![(bits, Amplitude::ONE)],
+            words: bits.words()[..stride].to_vec(),
+            amps: vec![Amplitude::ONE],
+            stride,
             num_qubits,
         }
     }
@@ -58,14 +285,18 @@ impl PathState {
     /// An empty (zero-vector) state; useful as an accumulator.
     pub fn zero_vector(num_qubits: usize) -> Self {
         PathState {
-            paths: Vec::new(),
+            words: Vec::new(),
+            amps: Vec::new(),
+            stride: stride_for(num_qubits),
             num_qubits,
         }
     }
 
     /// Builds a state from explicit `(basis state, amplitude)` pairs.
     /// Duplicate basis states accumulate; negligible amplitudes are
-    /// dropped. The amplitudes are used as given (not normalized).
+    /// dropped. The amplitudes are used as given (not normalized). Paths
+    /// are stored in sorted basis-state order, so the construction is
+    /// fully deterministic.
     ///
     /// # Panics
     ///
@@ -74,16 +305,25 @@ impl PathState {
         num_qubits: usize,
         entries: impl IntoIterator<Item = (BitString, Amplitude)>,
     ) -> Self {
-        let mut map: HashMap<BitString, Amplitude> = HashMap::new();
+        let stride = stride_for(num_qubits);
+        // An ordered map keyed by the packed words: accumulation and the
+        // resulting path order are independent of input order up to
+        // floating-point addition order of true duplicates.
+        let mut map: BTreeMap<Vec<u64>, Amplitude> = BTreeMap::new();
         for (bits, amp) in entries {
             assert_eq!(bits.len(), num_qubits, "basis state width mismatch");
-            *map.entry(bits).or_insert(Amplitude::ZERO) += amp;
+            *map.entry(bits.words()[..stride].to_vec())
+                .or_insert(Amplitude::ZERO) += amp;
         }
-        let paths = map
-            .into_iter()
-            .filter(|(_, a)| !a.is_negligible(PRUNE_EPS))
-            .collect();
-        PathState { paths, num_qubits }
+        let mut state = PathState::zero_vector(num_qubits);
+        for (key, amp) in map {
+            if amp.is_negligible(PRUNE_EPS) {
+                continue;
+            }
+            state.words.extend_from_slice(&key);
+            state.amps.push(amp);
+        }
+        state
     }
 
     /// A uniform superposition over all values of `register` (MSB-first),
@@ -106,13 +346,22 @@ impl PathState {
         }
         let n = 1u64 << register.len();
         let amp = Amplitude::real(1.0 / (n as f64).sqrt());
-        let mut paths = Vec::with_capacity(n as usize);
+        let stride = stride_for(num_qubits);
+        let mut state = PathState {
+            words: vec![0u64; stride * n as usize],
+            amps: vec![amp; n as usize],
+            stride,
+            num_qubits,
+        };
         for v in 0..n {
-            let mut bits = BitString::zeros(num_qubits);
+            let p = v as usize;
+            let mut bits = PathBits {
+                words: &mut state.words[p * stride..(p + 1) * stride],
+                len: num_qubits,
+            };
             bits.write_msb_first(&indices, v);
-            paths.push((bits, amp));
         }
-        PathState { paths, num_qubits }
+        state
     }
 
     /// A weighted superposition over values of `register` (MSB-first):
@@ -135,16 +384,22 @@ impl PathState {
             register.len()
         );
         let indices: Vec<usize> = register.iter().map(|q| q.index()).collect();
-        let mut paths = Vec::with_capacity(amplitudes.len());
+        let stride = stride_for(num_qubits);
+        let mut state = PathState::zero_vector(num_qubits);
         for (v, &amp) in amplitudes.iter().enumerate() {
             if amp.is_negligible(PRUNE_EPS) {
                 continue;
             }
-            let mut bits = BitString::zeros(num_qubits);
+            let start = state.words.len();
+            state.words.resize(start + stride, 0);
+            let mut bits = PathBits {
+                words: &mut state.words[start..],
+                len: num_qubits,
+            };
             bits.write_msb_first(&indices, v as u64);
-            paths.push((bits, amp));
+            state.amps.push(amp);
         }
-        PathState { paths, num_qubits }
+        state
     }
 
     /// Number of qubits.
@@ -154,49 +409,113 @@ impl PathState {
 
     /// Number of live paths (basis states with non-negligible amplitude).
     pub fn num_paths(&self) -> usize {
-        self.paths.len()
+        self.amps.len()
     }
 
-    /// Iterator over `(basis state, amplitude)` pairs in arbitrary order.
-    pub fn iter(&self) -> impl Iterator<Item = (&BitString, &Amplitude)> {
-        self.paths.iter().map(|(b, a)| (b, a))
+    /// The packed words of path `p`.
+    #[inline]
+    fn path_words(&self, p: usize) -> &[u64] {
+        &self.words[p * self.stride..(p + 1) * self.stride]
+    }
+
+    /// A mutable view over the whole slab.
+    pub(crate) fn as_paths_mut(&mut self) -> PathsMut<'_> {
+        PathsMut {
+            words: &mut self.words,
+            amps: &mut self.amps,
+            stride: self.stride,
+            num_qubits: self.num_qubits,
+        }
+    }
+
+    /// Splits the slab into `chunks` disjoint contiguous views of
+    /// near-equal path count (the last view may be smaller; empty
+    /// trailing views are dropped). Used by the path-parallel executor.
+    pub(crate) fn chunk_views(&mut self, chunks: usize) -> Vec<PathsMut<'_>> {
+        let paths = self.amps.len();
+        let chunks = chunks.clamp(1, paths.max(1));
+        let per = paths.div_ceil(chunks).max(1);
+        let mut views = Vec::with_capacity(chunks);
+        let stride = self.stride;
+        let num_qubits = self.num_qubits;
+        let mut words_rest: &mut [u64] = &mut self.words;
+        let mut amps_rest: &mut [Amplitude] = &mut self.amps;
+        while !amps_rest.is_empty() {
+            let take = per.min(amps_rest.len());
+            let (w, wr) = words_rest.split_at_mut(take * stride);
+            let (a, ar) = amps_rest.split_at_mut(take);
+            words_rest = wr;
+            amps_rest = ar;
+            views.push(PathsMut {
+                words: w,
+                amps: a,
+                stride,
+                num_qubits,
+            });
+        }
+        views
+    }
+
+    /// Iterator over `(basis state, amplitude)` pairs in slab order.
+    /// Basis states are materialized per item — intended for inspection
+    /// and tests, not hot loops.
+    pub fn iter(&self) -> impl Iterator<Item = (BitString, Amplitude)> + '_ {
+        (0..self.num_paths()).map(|p| {
+            (
+                BitString::from_words(self.path_words(p), self.num_qubits),
+                self.amps[p],
+            )
+        })
     }
 
     /// The amplitude of `bits` (zero if absent). O(paths) — intended for
     /// tests and small inspections; bulk overlaps use
     /// [`PathState::inner_product`].
     pub fn amplitude(&self, bits: &BitString) -> Amplitude {
-        self.paths
-            .iter()
-            .find(|(b, _)| b == bits)
-            .map(|(_, a)| *a)
+        if bits.len() != self.num_qubits {
+            return Amplitude::ZERO;
+        }
+        let key = &bits.words()[..self.stride];
+        (0..self.num_paths())
+            .find(|&p| self.path_words(p) == key)
+            .map(|p| self.amps[p])
             .unwrap_or(Amplitude::ZERO)
     }
 
     /// Squared norm `Σ|α|²` (1.0 for any state produced by unitary
     /// evolution of a normalized input).
     pub fn norm_sqr(&self) -> f64 {
-        self.paths.iter().map(|(_, a)| a.norm_sqr()).sum()
+        self.amps.iter().map(|a| a.norm_sqr()).sum()
     }
 
-    /// Inner product `⟨self|other⟩`.
+    /// Inner product `⟨self|other⟩`. States over different qubit counts
+    /// are orthogonal by convention (zero overlap).
     pub fn inner_product(&self, other: &PathState) -> Amplitude {
-        // Index the larger state once, then stream the smaller one.
-        let (small, large, conj_small) = if self.paths.len() <= other.paths.len() {
+        if self.num_qubits != other.num_qubits {
+            return Amplitude::ZERO;
+        }
+        // Index the larger state once, then stream the smaller one in slab
+        // order. Only lookups touch the hash map — no hash iteration.
+        let (small, large, conj_small) = if self.num_paths() <= other.num_paths() {
             (self, other, true)
         } else {
             (other, self, false)
         };
-        let index: HashMap<&BitString, Amplitude> =
-            large.paths.iter().map(|(b, a)| (b, *a)).collect();
+        let index: HashMap<&[u64], Amplitude> = (0..large.num_paths())
+            .map(|p| (large.path_words(p), large.amps[p]))
+            .collect();
         let mut acc = Amplitude::ZERO;
-        for (bits, amp) in small.iter() {
-            let other_amp = index.get(bits).copied().unwrap_or(Amplitude::ZERO);
+        for p in 0..small.num_paths() {
+            let amp = small.amps[p];
+            let other_amp = index
+                .get(small.path_words(p))
+                .copied()
+                .unwrap_or(Amplitude::ZERO);
             if conj_small {
                 // ⟨self|other⟩ = Σ conj(self) · other
                 acc += amp.conj() * other_amp;
             } else {
-                acc += other_amp.conj() * *amp;
+                acc += other_amp.conj() * amp;
             }
         }
         acc
@@ -241,13 +560,12 @@ impl PathState {
 
         // Ideal amplitudes keyed by the kept-qubit substring; the rest
         // substring must be constant or the reduction is ill-defined.
-        let extract = |bits: &BitString, idx: &[usize]| -> BitString {
-            BitString::from_bits(idx.iter().map(|&i| bits.get(i)))
-        };
-        let mut ideal: HashMap<BitString, Amplitude> = HashMap::with_capacity(self.num_paths());
-        let mut ideal_rest: Option<BitString> = None;
-        for (bits, amp) in self.iter() {
-            let rest = extract(bits, &rest_idx);
+        // The map is lookup-only after construction.
+        let mut ideal: HashMap<Vec<u64>, Amplitude> = HashMap::with_capacity(self.num_paths());
+        let mut ideal_rest: Option<Vec<u64>> = None;
+        for p in 0..self.num_paths() {
+            let words = self.path_words(p);
+            let rest = extract_bits(words, &rest_idx);
             match &ideal_rest {
                 None => ideal_rest = Some(rest),
                 Some(expected) => assert_eq!(
@@ -256,18 +574,20 @@ impl PathState {
                 ),
             }
             *ideal
-                .entry(extract(bits, &keep_idx))
-                .or_insert(Amplitude::ZERO) += *amp;
+                .entry(extract_bits(words, &keep_idx))
+                .or_insert(Amplitude::ZERO) += self.amps[p];
         }
 
         // Group the noisy paths by their traced-out substring and overlap
-        // each group with the ideal kept-state.
-        let mut groups: HashMap<BitString, Amplitude> = HashMap::new();
-        for (bits, amp) in other.iter() {
-            let kept = extract(bits, &keep_idx);
+        // each group with the ideal kept-state. An ordered map keeps the
+        // accumulation and final sum in deterministic (sorted) order.
+        let mut groups: BTreeMap<Vec<u64>, Amplitude> = BTreeMap::new();
+        for p in 0..other.num_paths() {
+            let words = other.path_words(p);
+            let kept = extract_bits(words, &keep_idx);
             if let Some(ideal_amp) = ideal.get(&kept) {
-                let z = extract(bits, &rest_idx);
-                *groups.entry(z).or_insert(Amplitude::ZERO) += ideal_amp.conj() * *amp;
+                let z = extract_bits(words, &rest_idx);
+                *groups.entry(z).or_insert(Amplitude::ZERO) += ideal_amp.conj() * other.amps[p];
             }
         }
         groups.values().map(|a| a.norm_sqr()).sum()
@@ -276,45 +596,27 @@ impl PathState {
     /// Probability that measuring `qubit` yields 1.
     pub fn probability_of_one(&self, qubit: Qubit) -> f64 {
         let i = qubit.index();
-        self.paths
-            .iter()
-            .filter(|(bits, _)| bits.get(i))
-            .map(|(_, amp)| amp.norm_sqr())
+        (0..self.num_paths())
+            .filter(|&p| word_get(self.path_words(p), i))
+            .map(|p| self.amps[p].norm_sqr())
             .sum()
     }
 
     /// Applies `X` on `qubit`: flips the bit in every path.
     pub fn apply_x(&mut self, qubit: Qubit) {
-        let i = qubit.index();
-        for (bits, _) in &mut self.paths {
-            bits.flip(i);
-        }
+        self.as_paths_mut().apply_x(qubit.index());
     }
 
     /// Applies `Z` on `qubit`: negates the amplitude of every path with the
     /// bit set.
     pub fn apply_z(&mut self, qubit: Qubit) {
-        let i = qubit.index();
-        for (bits, amp) in &mut self.paths {
-            if bits.get(i) {
-                *amp = -*amp;
-            }
-        }
+        self.as_paths_mut().apply_z(qubit.index());
     }
 
     /// Applies `Y = iXZ` on `qubit`: flips the bit and multiplies by
     /// `+i` (|0⟩→|1⟩) or `−i` (|1⟩→|0⟩).
     pub fn apply_y(&mut self, qubit: Qubit) {
-        let i = qubit.index();
-        for (bits, amp) in &mut self.paths {
-            let was_one = bits.get(i);
-            bits.flip(i);
-            *amp = if was_one {
-                amp.mul_neg_i()
-            } else {
-                amp.mul_i()
-            };
-        }
+        self.as_paths_mut().apply_y(qubit.index());
     }
 
     /// Applies a bit-level permutation `f` to every path **in place** —
@@ -323,15 +625,16 @@ impl PathState {
     /// `f` must be injective on the live paths (true for every reversible
     /// gate; checked in debug builds). For non-injective maps use
     /// [`PathState::from_parts`] to rebuild with accumulation.
-    pub fn permute_paths(&mut self, mut f: impl FnMut(&mut BitString)) {
-        for (bits, _) in &mut self.paths {
-            f(bits);
-        }
+    pub fn permute_paths(&mut self, f: impl FnMut(&mut PathBits<'_>)) {
+        self.as_paths_mut().permute_paths(f);
         #[cfg(debug_assertions)]
         {
-            let mut seen = std::collections::HashSet::with_capacity(self.paths.len());
-            for (bits, _) in &self.paths {
-                debug_assert!(seen.insert(bits), "permute_paths closure merged paths");
+            let mut seen = std::collections::HashSet::with_capacity(self.num_paths());
+            for p in 0..self.num_paths() {
+                debug_assert!(
+                    seen.insert(self.path_words(p)),
+                    "permute_paths closure merged paths"
+                );
             }
         }
     }
@@ -342,7 +645,7 @@ impl PathState {
         let n = self.norm_sqr().sqrt();
         if n > 0.0 {
             let s = 1.0 / n;
-            for (_, amp) in &mut self.paths {
+            for amp in &mut self.amps {
                 *amp = amp.scale(s);
             }
         }
@@ -356,9 +659,10 @@ impl PathState {
     ///
     /// Panics if any qubit index is out of range.
     pub fn is_zero_on(&self, qubits: &[Qubit]) -> bool {
-        self.paths
-            .iter()
-            .all(|(bits, _)| qubits.iter().all(|q| !bits.get(q.index())))
+        (0..self.num_paths()).all(|p| {
+            let words = self.path_words(p);
+            qubits.iter().all(|q| !word_get(words, q.index()))
+        })
     }
 
     /// Reads the value of `register` (MSB-first) on every path; returns
@@ -367,8 +671,12 @@ impl PathState {
     pub fn classical_value(&self, register: &[Qubit]) -> Option<u64> {
         let indices: Vec<usize> = register.iter().map(|q| q.index()).collect();
         let mut value = None;
-        for (bits, _) in self.iter() {
-            let v = bits.read_msb_first(&indices);
+        for p in 0..self.num_paths() {
+            let words = self.path_words(p);
+            let mut v = 0u64;
+            for &i in &indices {
+                v = (v << 1) | word_get(words, i) as u64;
+            }
             match value {
                 None => value = Some(v),
                 Some(prev) if prev != v => return None,
@@ -382,24 +690,24 @@ impl PathState {
 impl Clone for PathState {
     fn clone(&self) -> Self {
         PathState {
-            paths: self.paths.clone(),
+            words: self.words.clone(),
+            amps: self.amps.clone(),
+            stride: self.stride,
             num_qubits: self.num_qubits,
         }
     }
 
-    /// Allocation-reusing overwrite: existing path slots and their bit-word
-    /// buffers are rewritten in place. This is the per-shot reset of the
-    /// Monte-Carlo shot engine, which would otherwise clone the input state
-    /// afresh for every shot.
+    /// Allocation-reusing overwrite: the word and amplitude slabs are
+    /// rewritten in place when their capacity suffices. This is the
+    /// per-shot reset of the Monte-Carlo shot engine, which would
+    /// otherwise clone the input state afresh for every shot.
     fn clone_from(&mut self, source: &Self) {
         self.num_qubits = source.num_qubits;
-        self.paths.truncate(source.paths.len());
-        for ((bits, amp), (src_bits, src_amp)) in self.paths.iter_mut().zip(&source.paths) {
-            bits.clone_from(src_bits);
-            *amp = *src_amp;
-        }
-        let have = self.paths.len();
-        self.paths.extend(source.paths[have..].iter().cloned());
+        self.stride = source.stride;
+        self.words.clear();
+        self.words.extend_from_slice(&source.words);
+        self.amps.clear();
+        self.amps.extend_from_slice(&source.amps);
     }
 }
 
@@ -408,19 +716,20 @@ impl PartialEq for PathState {
     /// amplitudes, order-insensitive). For tolerance-based comparison use
     /// [`PathState::fidelity`].
     fn eq(&self, other: &Self) -> bool {
-        if self.num_qubits != other.num_qubits || self.paths.len() != other.paths.len() {
+        if self.num_qubits != other.num_qubits || self.num_paths() != other.num_paths() {
             return false;
         }
-        let index: HashMap<&BitString, Amplitude> =
-            other.paths.iter().map(|(b, a)| (b, *a)).collect();
-        self.paths.iter().all(|(b, a)| index.get(b) == Some(a))
+        let index: HashMap<&[u64], Amplitude> = (0..other.num_paths())
+            .map(|p| (other.path_words(p), other.amps[p]))
+            .collect();
+        (0..self.num_paths()).all(|p| index.get(self.path_words(p)) == Some(&self.amps[p]))
     }
 }
 
 impl std::fmt::Display for PathState {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let mut entries: Vec<_> = self.paths.iter().collect();
-        entries.sort_by_key(|a| a.0.to_string());
+        let mut entries: Vec<(BitString, Amplitude)> = self.iter().collect();
+        entries.sort_by_key(|(b, _)| b.to_string());
         write!(f, "{} paths over {} qubits", entries.len(), self.num_qubits)?;
         for (bits, amp) in entries.iter().take(8) {
             write!(f, "\n  {amp} {bits}")?;
@@ -529,6 +838,28 @@ mod tests {
     }
 
     #[test]
+    fn from_parts_orders_paths_deterministically() {
+        // Identical path sets given in different input orders produce the
+        // same slab order (sorted by packed words).
+        let entries = |rev: bool| {
+            let mut v = vec![
+                (BitString::from_u64(2, 3), Amplitude::real(0.5)),
+                (BitString::from_u64(5, 3), Amplitude::real(0.5)),
+                (BitString::from_u64(1, 3), Amplitude::real(0.5)),
+            ];
+            if rev {
+                v.reverse();
+            }
+            v
+        };
+        let a = PathState::from_parts(3, entries(false));
+        let b = PathState::from_parts(3, entries(true));
+        let pairs_a: Vec<_> = a.iter().collect();
+        let pairs_b: Vec<_> = b.iter().collect();
+        assert_eq!(pairs_a, pairs_b);
+    }
+
+    #[test]
     #[cfg(debug_assertions)]
     #[should_panic(expected = "merged paths")]
     fn permute_paths_rejects_non_injective_maps() {
@@ -594,6 +925,66 @@ mod tests {
         });
         let reduced = ideal.reduced_fidelity(&noisy, &[Qubit(0)]);
         assert!((reduced - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clone_from_reuses_allocations_and_matches_clone() {
+        let src = PathState::uniform_over(70, &[Qubit(0), Qubit(1), Qubit(69)]);
+        let mut dst = PathState::zero_vector(70);
+        // Warm the buffers once, then reset from a mutated copy.
+        dst.clone_from(&src);
+        let words_cap = dst.words.capacity();
+        let amps_cap = dst.amps.capacity();
+        let mut mutated = src.clone();
+        mutated.apply_y(Qubit(5));
+        dst.clone_from(&mutated);
+        assert_eq!(dst, mutated);
+        assert_eq!(dst.words.capacity(), words_cap);
+        assert_eq!(dst.amps.capacity(), amps_cap);
+    }
+
+    #[test]
+    fn chunk_views_cover_all_paths_disjointly() {
+        let mut s = PathState::uniform_over(4, &[Qubit(0), Qubit(1), Qubit(2)]);
+        for chunks in [1usize, 2, 3, 5, 8, 13] {
+            let views = s.chunk_views(chunks);
+            let total: usize = views.iter().map(|v| v.amps.len()).sum();
+            assert_eq!(total, 8, "chunks={chunks}");
+            assert!(views.len() <= chunks.max(1));
+            assert!(views.iter().all(|v| !v.amps.is_empty()));
+        }
+    }
+
+    #[test]
+    fn chunked_views_apply_gates_like_the_whole_slab() {
+        let mut chunked = PathState::uniform_over(5, &[Qubit(0), Qubit(1), Qubit(2)]);
+        let mut serial = chunked.clone();
+        serial.apply_y(Qubit(1));
+        serial.permute_paths(|bits| {
+            if bits.get(0) {
+                bits.flip(3);
+            }
+        });
+        for view in &mut chunked.chunk_views(3) {
+            view.apply_y(1);
+            view.permute_paths(|bits| {
+                if bits.get(0) {
+                    bits.flip(3);
+                }
+            });
+        }
+        // Bit-identical, including slab order.
+        let a: Vec<_> = chunked.iter().collect();
+        let b: Vec<_> = serial.iter().collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn zero_qubit_state_is_well_formed() {
+        let s = PathState::computational_basis(0);
+        assert_eq!(s.num_paths(), 1);
+        assert!((s.norm_sqr() - 1.0).abs() < 1e-12);
+        assert_eq!(s.classical_value(&[]), Some(0));
     }
 
     #[test]

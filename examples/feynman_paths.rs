@@ -34,7 +34,9 @@ fn main() {
         run(query.circuit().gates(), &mut state).expect("simulable");
         let elapsed = start.elapsed();
 
-        // One path = one packed bit string + one complex amplitude.
+        // One path = one stride of the packed-bit slab + one complex
+        // amplitude in the amplitude slab (PathState stores both as
+        // flat contiguous arrays, so this is the exact footprint).
         let words_per_path = query.num_qubits().div_ceil(64);
         let bytes = state.num_paths() * (words_per_path * 8 + 16);
         println!(

@@ -186,6 +186,224 @@ proptest! {
     }
 }
 
+/// Slab-equivalence suite: the arena-backed `PathState` pinned against a
+/// naive reference interpreter, and the path-parallel executor pinned
+/// against the serial one — **exactly**, amplitude bit for amplitude bit,
+/// for any chunk count.
+mod slab_equivalence {
+    use super::*;
+    use qram::circuit::Control;
+    use qram::sim::{run_with_faults, run_with_faults_chunked, Amplitude, Fault, FaultPlan, Pauli};
+    use std::collections::BTreeMap;
+
+    /// The reference model: an ordered map from bit vectors to amplitudes,
+    /// updated per gate with the same scalar operations the slab executor
+    /// performs per path — so agreement must be exact, not approximate.
+    type RefState = BTreeMap<Vec<bool>, Amplitude>;
+
+    fn ref_from(state: &PathState) -> RefState {
+        state
+            .iter()
+            .map(|(bits, amp)| (bits.iter().collect(), amp))
+            .collect()
+    }
+
+    fn ctrl(bits: &[bool], c: &Control) -> bool {
+        bits[c.qubit.index()] == c.value
+    }
+
+    /// Applies one classical-reversible gate (the `arb_gate` family) or
+    /// Pauli to every reference path.
+    fn ref_apply(gate: &Gate, state: &mut RefState) {
+        let old = std::mem::take(state);
+        for (mut bits, mut amp) in old {
+            match gate {
+                Gate::X(q) => bits[q.index()] = !bits[q.index()],
+                Gate::Y(q) => {
+                    let was_one = bits[q.index()];
+                    bits[q.index()] = !was_one;
+                    amp = if was_one {
+                        amp.mul_neg_i()
+                    } else {
+                        amp.mul_i()
+                    };
+                }
+                Gate::Z(q) => {
+                    if bits[q.index()] {
+                        amp = -amp;
+                    }
+                }
+                Gate::Cx { control, target } => {
+                    if ctrl(&bits, control) {
+                        bits[target.index()] = !bits[target.index()];
+                    }
+                }
+                Gate::Ccx { controls, target } => {
+                    if ctrl(&bits, &controls[0]) && ctrl(&bits, &controls[1]) {
+                        bits[target.index()] = !bits[target.index()];
+                    }
+                }
+                Gate::Swap(a, b) => bits.swap(a.index(), b.index()),
+                Gate::Cswap { control, a, b } => {
+                    if ctrl(&bits, control) {
+                        bits.swap(a.index(), b.index());
+                    }
+                }
+                other => panic!("reference model does not cover {other:?}"),
+            }
+            assert!(state.insert(bits, amp).is_none(), "paths merged");
+        }
+    }
+
+    fn ref_pauli(pauli: Pauli, qubit: usize, state: &mut RefState) {
+        let gate = match pauli {
+            Pauli::X => Gate::x(Qubit(qubit as u32)),
+            Pauli::Y => Gate::y(Qubit(qubit as u32)),
+            Pauli::Z => Gate::z(Qubit(qubit as u32)),
+        };
+        ref_apply(&gate, state);
+    }
+
+    /// Serial reference run with fault injection, mirroring
+    /// `run_with_faults`' fire-before-gate ordering.
+    fn ref_run(gates: &[Gate], plan: &[Fault], state: &mut RefState) {
+        let mut faults = plan.to_vec();
+        faults.sort_by_key(|f| f.gate_index);
+        let mut next = 0usize;
+        let fire = |idx: usize, next: &mut usize, state: &mut RefState| {
+            while *next < faults.len() && faults[*next].gate_index <= idx {
+                ref_pauli(faults[*next].pauli, faults[*next].qubit.index(), state);
+                *next += 1;
+            }
+        };
+        for (i, gate) in gates.iter().enumerate() {
+            fire(i, &mut next, state);
+            ref_apply(gate, state);
+        }
+        fire(gates.len(), &mut next, state);
+    }
+
+    /// Exact (bit-identical) equality between a slab state and the
+    /// reference map.
+    fn assert_exact_match(state: &PathState, reference: &RefState) {
+        assert_eq!(state.num_paths(), reference.len());
+        for (bits, amp) in state.iter() {
+            let key: Vec<bool> = bits.iter().collect();
+            let expected = reference.get(&key).expect("path missing from reference");
+            assert!(
+                amp.re == expected.re && amp.im == expected.im,
+                "amplitude mismatch at {bits}: {amp} != {expected}"
+            );
+        }
+    }
+
+    /// A random fault plan over `n` qubits and circuit length `len`.
+    fn arb_plan(n: usize, len: usize) -> impl Strategy<Value = Vec<Fault>> {
+        prop::collection::vec(
+            (0..len + 1, 0..n as u32, 0usize..3).prop_map(|(idx, q, p)| {
+                Fault::new(idx, Qubit(q), [Pauli::X, Pauli::Y, Pauli::Z][p])
+            }),
+            0..6,
+        )
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Random gate sequences on random initial superpositions produce
+        /// amplitude maps identical to the naive interpreter — for the
+        /// serial executor and for every chunk count.
+        #[test]
+        fn slab_matches_reference_for_any_chunk_count(
+            circuit in arb_circuit(6, 30),
+            plan in arb_plan(6, 30),
+            addr_bits in 1usize..4,
+        ) {
+            let register: Vec<Qubit> = (0..addr_bits as u32).map(Qubit).collect();
+            let input = PathState::uniform_over(6, &register);
+            let fault_plan: FaultPlan = plan.iter().copied().collect();
+
+            let mut reference = ref_from(&input);
+            ref_run(circuit.gates(), &plan, &mut reference);
+
+            let mut serial = input.clone();
+            run_with_faults(circuit.gates(), &mut serial, &fault_plan).unwrap();
+            assert_exact_match(&serial, &reference);
+
+            for chunks in [2usize, 3, 5, 16] {
+                let mut chunked = input.clone();
+                run_with_faults_chunked(circuit.gates(), &mut chunked, &fault_plan, chunks)
+                    .unwrap();
+                // Chunking must preserve slab order too, not just the set.
+                let a: Vec<_> = chunked.iter().collect();
+                let b: Vec<_> = serial.iter().collect();
+                prop_assert_eq!(a, b, "chunks={}", chunks);
+            }
+        }
+
+        /// The allocation-reusing `clone_from` reset is indistinguishable
+        /// from a fresh clone, across shrinking and growing resets.
+        #[test]
+        fn clone_from_scratch_reuse_is_exact(
+            circuit in arb_circuit(6, 20),
+            first_bits in 1usize..4,
+            second_bits in 1usize..4,
+        ) {
+            let big: Vec<Qubit> = (0..first_bits as u32).map(Qubit).collect();
+            let small: Vec<Qubit> = (0..second_bits as u32).map(Qubit).collect();
+            let mut scratch = PathState::zero_vector(6);
+            // First reset (possibly growing), mutate, then second reset
+            // (possibly shrinking) — the buffer history must not leak.
+            scratch.clone_from(&PathState::uniform_over(6, &big));
+            run(circuit.gates(), &mut scratch).unwrap();
+            let source = PathState::uniform_over(6, &small);
+            scratch.clone_from(&source);
+            let a: Vec<_> = scratch.iter().collect();
+            let b: Vec<_> = source.iter().collect();
+            prop_assert_eq!(a, b);
+        }
+
+        /// `permute_paths` under genuinely injective maps (random
+        /// reversible circuits compiled to bit permutations) preserves
+        /// path count and norm on the slab — and the debug-mode
+        /// injectivity check stays quiet.
+        #[test]
+        fn permute_paths_injectivity_on_slab(
+            circuit in arb_circuit(6, 20),
+            addr_bits in 1usize..4,
+        ) {
+            let register: Vec<Qubit> = (0..addr_bits as u32).map(Qubit).collect();
+            let mut state = PathState::uniform_over(6, &register);
+            let paths = state.num_paths();
+            let norm = state.norm_sqr();
+            // X/CX/CCX/SWAP/CSWAP subfamily as a pure bit permutation.
+            for gate in circuit.gates() {
+                match gate {
+                    Gate::X(q) => {
+                        let t = q.index();
+                        state.permute_paths(|bits| bits.flip(t));
+                    }
+                    Gate::Cx { control, target } => {
+                        let (c, t) = (*control, target.index());
+                        state.permute_paths(|bits| {
+                            if bits.get(c.qubit.index()) == c.value {
+                                bits.flip(t);
+                            }
+                        });
+                    }
+                    Gate::Swap(a, b) => {
+                        let (a, b) = (a.index(), b.index());
+                        state.permute_paths(|bits| bits.swap_bits(a, b));
+                    }
+                    _ => {}
+                }
+            }
+            prop_assert_eq!(state.num_paths(), paths);
+            prop_assert!((state.norm_sqr() - norm).abs() < 1e-12);
+        }
+    }
+}
+
 /// H-tree embeddings validate as topological minors for every width, and
 /// the routing overhead ordering holds throughout.
 #[test]
