@@ -39,8 +39,8 @@ use std::process::ExitCode;
 use qram_bench::report::{
     apply_gate, apply_path_gate, baseline_snapshot_dir, bench_results_dir,
     compare_against_baseline, find_repo_root, load_records, merge_baseline_records, parse_baseline,
-    path_engine_summary, serve_summary_headline, shot_engine_summary, summary_json,
-    write_baseline_snapshot, GateOutcome,
+    path_engine_summary, serve_summary_headline, serve_telemetry_headline, shot_engine_summary,
+    summary_json, write_baseline_snapshot, GateOutcome,
 };
 
 struct Args {
@@ -202,7 +202,14 @@ fn main() -> ExitCode {
         .join("BENCH_SERVE.json");
     match std::fs::read_to_string(&serve_path) {
         Ok(json) => match serve_summary_headline(&json) {
-            Some(headline) => println!("bench_report: serve summary — {headline}"),
+            Some(headline) => {
+                println!("bench_report: serve summary — {headline}");
+                // v4+ summaries carry a telemetry section; print its
+                // stage breakdown too (older summaries just skip it).
+                if let Some(stages) = serve_telemetry_headline(&json) {
+                    println!("bench_report: serve telemetry — {stages}");
+                }
+            }
             None => println!(
                 "bench_report: {} is not a recognized serve summary (ignored)",
                 serve_path.display()

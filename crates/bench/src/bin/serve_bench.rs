@@ -51,16 +51,20 @@
 //!   (default 64; offers beyond it are shed);
 //! * `--deadline T` — batching deadline slack in virtual ns (default
 //!   20000);
-//! * `--out FILE` — summary path (default `<repo root>/BENCH_SERVE.json`).
+//! * `--out FILE` — summary path (default `<repo root>/BENCH_SERVE.json`);
+//! * `--trace-out FILE` — also export the full telemetry trace (the
+//!   canonically-ordered span log plus the metrics registry) as JSON.
 //!
 //! Latency is measured on the service's **virtual clock** (one tick =
 //! one modeled ns), so percentiles include queueing delay, decompose
 //! into `queue_wait`/`compile`/`execute`, and are bit-identical across
 //! `--threads` values — wall-clock throughput of the simulation host is
-//! reported separately.
+//! reported separately. Every run records through a
+//! `qram_telemetry::TelemetryRecorder`; the printed `trace_digest` and
+//! `telemetry_digest` lines are bit-identical across `--threads`,
+//! `--shot-threads` and `--path-chunks` (CI diffs them).
 
 use std::path::PathBuf;
-use std::time::Instant;
 
 use qram_bench::report::{
     find_repo_root, fnv1a_64, percentile, serve_arch_json, serve_sweep_json, ServeArchPoint,
@@ -72,6 +76,7 @@ use qram_service::{
     assign_specs_with, mixed_arch_specs, Admission, ArrivalProcess, BatchReport, QramService,
     QueryResult, QuerySpec, ServiceConfig, SpecMix, Ticks, Workload,
 };
+use qram_telemetry::{host_wall, key, MetricsRegistry, TelemetryRecorder};
 
 struct Args {
     full: bool,
@@ -93,6 +98,7 @@ struct Args {
     queue: usize,
     deadline: Ticks,
     out: Option<PathBuf>,
+    trace_out: Option<PathBuf>,
 }
 
 fn parse_args() -> Args {
@@ -116,6 +122,7 @@ fn parse_args() -> Args {
         queue: 64,
         deadline: 20_000,
         out: None,
+        trace_out: None,
     };
     let mut args = std::env::args().skip(1);
     let value = |flag: &str, args: &mut dyn Iterator<Item = String>| {
@@ -167,12 +174,15 @@ fn parse_args() -> Args {
                 parsed.deadline = value("--deadline", &mut args).parse().expect("--deadline")
             }
             "--out" => parsed.out = Some(PathBuf::from(value("--out", &mut args))),
+            "--trace-out" => {
+                parsed.trace_out = Some(PathBuf::from(value("--trace-out", &mut args)))
+            }
             other => panic!(
                 "unknown flag `{other}` (expected --full, --arch NAME, --shots N, --seed N, \
                  --threads N, --shot-threads N, --path-chunks N, --mode closed|open, \
                  --workload NAME, \
                  --arrivals NAME, --load LIST, --spec-skew X, --requests N, --width N, \
-                 --theta X, --batch N, --queue N, --deadline T, --out FILE)"
+                 --theta X, --batch N, --queue N, --deadline T, --out FILE, --trace-out FILE)"
             ),
         }
     }
@@ -401,11 +411,19 @@ struct OpenSweep<'a> {
     capacity_rps: f64,
 }
 
+/// One open-loop operating point's full output: the condensed summary
+/// point, raw results and batch reports, the point's recorder (span log
+/// + recorder-side metrics), and its merged metrics registry.
+struct OpenPointRun {
+    point: ServeLoadPoint,
+    results: Vec<QueryResult>,
+    batch_reports: Vec<BatchReport>,
+    recorder: TelemetryRecorder,
+    telemetry: MetricsRegistry,
+}
+
 /// Runs one open-loop operating point and condenses it.
-fn run_open_point(
-    sweep: &OpenSweep<'_>,
-    load_factor: f64,
-) -> (ServeLoadPoint, Vec<QueryResult>, Vec<BatchReport>) {
+fn run_open_point(sweep: &OpenSweep<'_>, load_factor: f64) -> OpenPointRun {
     let OpenSweep {
         args,
         memory,
@@ -420,7 +438,11 @@ fn run_open_point(
     let arrivals = build_arrivals(args, mean_gap).arrivals(requests);
     let submissions = assign_specs_with(workload, specs, spec_mix(args), requests);
 
-    let mut service = QramService::new(memory.clone(), service_config(args, shots));
+    let mut service = QramService::with_recorder(
+        memory.clone(),
+        service_config(args, shots),
+        TelemetryRecorder::new(),
+    );
     for (&arrival, &(address, spec)) in arrivals.iter().zip(&submissions) {
         match service.try_submit_at(address, spec, arrival) {
             Admission::Accepted(_) | Admission::Shed { .. } => {}
@@ -450,7 +472,132 @@ fn run_open_point(
         mean_execute_ns: mean(results.iter().map(|r| r.latency.execute as f64), completed),
         cache_hit_rate: service.cache_stats().hit_rate(),
     };
-    (point, results, batch_reports)
+    let mut telemetry = service.metrics_snapshot();
+    telemetry.merge_from(service.recorder().metrics());
+    OpenPointRun {
+        point,
+        results,
+        batch_reports,
+        recorder: service.recorder().clone(),
+        telemetry,
+    }
+}
+
+/// The flat `telemetry` section of the v4 summary: stage-histogram
+/// percentiles, admission flow conservation, and the trace/metrics
+/// digests. Every key is globally unique within the summary so the
+/// first-occurrence field parser in `qram_bench::report` reads them
+/// without structural JSON parsing.
+fn telemetry_json(telemetry: &MetricsRegistry, trace_digest: u64) -> String {
+    let p = |name: &str, q: f64| telemetry.histogram(name).map_or(0, |h| h.percentile(q));
+    let c = |name: &str| telemetry.counter(name);
+    let arrivals = c(key::ADMISSION_ACCEPTED) + c(key::ADMISSION_SHED) + c(key::ADMISSION_REJECTED);
+    format!(
+        "{{\n    \"trace_digest\": \"{trace_digest:016x}\",\n    \
+         \"telemetry_digest\": \"{:016x}\",\n    \
+         \"arrivals\": {arrivals},\n    \"accepted\": {},\n    \"shed\": {},\n    \
+         \"rejected\": {},\n    \"completed\": {},\n    \"batches_fired\": {},\n    \
+         \"queue_depth_high_water\": {},\n    \
+         \"stage_queue_wait_p50_ns\": {},\n    \"stage_queue_wait_p99_ns\": {},\n    \
+         \"stage_compile_p50_ns\": {},\n    \"stage_compile_p99_ns\": {},\n    \
+         \"stage_execute_p50_ns\": {},\n    \"stage_execute_p99_ns\": {},\n    \
+         \"stage_total_p50_ns\": {},\n    \"stage_total_p90_ns\": {},\n    \
+         \"stage_total_p99_ns\": {},\n    \"batch_size_p50\": {},\n    \
+         \"sim_shots\": {},\n    \"sim_gate_applications\": {}\n  }}",
+        telemetry.digest(),
+        c(key::ADMISSION_ACCEPTED),
+        c(key::ADMISSION_SHED),
+        c(key::ADMISSION_REJECTED),
+        c(key::SERVICE_COMPLETED),
+        c(key::BATCHES_FIRED),
+        telemetry.gauge(key::QUEUE_DEPTH_HIGH_WATER),
+        p(key::STAGE_QUEUE_WAIT, 50.0),
+        p(key::STAGE_QUEUE_WAIT, 99.0),
+        p(key::STAGE_COMPILE, 50.0),
+        p(key::STAGE_COMPILE, 99.0),
+        p(key::STAGE_EXECUTE, 50.0),
+        p(key::STAGE_EXECUTE, 99.0),
+        p(key::STAGE_TOTAL, 50.0),
+        p(key::STAGE_TOTAL, 90.0),
+        p(key::STAGE_TOTAL, 99.0),
+        p(key::BATCH_SIZE, 50.0),
+        c(key::SIM_SHOTS),
+        c(key::SIM_GATES),
+    )
+}
+
+/// Prints the human-readable stage breakdown plus the digest lines CI
+/// diffs across parallelism settings.
+fn print_telemetry(telemetry: &MetricsRegistry, trace_digest: u64) {
+    let p = |name: &str, q: f64| telemetry.histogram(name).map_or(0, |h| h.percentile(q));
+    print_row(&[
+        "stage_queue_wait_us".into(),
+        format!(
+            "p50 {:.1}, p99 {:.1}",
+            p(key::STAGE_QUEUE_WAIT, 50.0) as f64 / 1e3,
+            p(key::STAGE_QUEUE_WAIT, 99.0) as f64 / 1e3
+        ),
+    ]);
+    print_row(&[
+        "stage_compile_us".into(),
+        format!(
+            "p50 {:.1}, p99 {:.1}",
+            p(key::STAGE_COMPILE, 50.0) as f64 / 1e3,
+            p(key::STAGE_COMPILE, 99.0) as f64 / 1e3
+        ),
+    ]);
+    print_row(&[
+        "stage_execute_us".into(),
+        format!(
+            "p50 {:.1}, p99 {:.1}",
+            p(key::STAGE_EXECUTE, 50.0) as f64 / 1e3,
+            p(key::STAGE_EXECUTE, 99.0) as f64 / 1e3
+        ),
+    ]);
+    print_row(&[
+        "queue_depth_high_water".into(),
+        telemetry.gauge(key::QUEUE_DEPTH_HIGH_WATER).to_string(),
+    ]);
+    println!("# trace_digest: {trace_digest:016x}");
+    println!("# telemetry_digest: {:016x}", telemetry.digest());
+}
+
+/// Writes the full trace export: per-section canonical span logs plus
+/// the merged metrics registry.
+fn write_trace(
+    path: &PathBuf,
+    mode: &str,
+    sections: &[(String, &TelemetryRecorder)],
+    merged: &MetricsRegistry,
+    trace_digest: u64,
+) {
+    let mut body = format!(
+        "{{\n  \"schema\": \"qram-bench/trace/v1\",\n  \"mode\": \"{mode}\",\n  \
+         \"trace_digest\": \"{trace_digest:016x}\",\n  \
+         \"telemetry_digest\": \"{:016x}\",\n  \"sections\": [",
+        merged.digest()
+    );
+    let rendered: Vec<String> = sections
+        .iter()
+        .map(|(label, recorder)| {
+            format!(
+                "\n    {{\n      \"label\": \"{label}\",\n      \"trace_digest\": \"{:016x}\",\n      \"spans\":\n{}\n    }}",
+                recorder.trace_digest(),
+                recorder.tracer().to_json("      ")
+            )
+        })
+        .collect();
+    body.push_str(&rendered.join(","));
+    body.push_str("\n  ],\n  \"metrics\":\n");
+    body.push_str(&merged.to_json("  "));
+    body.push_str("\n}\n");
+    match std::fs::write(path, &body) {
+        Ok(()) => println!("# trace written to {}", path.display()),
+        Err(e) => {
+            eprintln!("serve_bench: cannot write {}: {e}", path.display());
+            std::process::exit(2);
+        }
+    }
 }
 
 fn write_summary(out: Option<PathBuf>, json: &str) {
@@ -496,10 +643,14 @@ fn run_closed(
     shots: usize,
     requests: usize,
 ) {
-    let mut service = QramService::new(memory.clone(), service_config(args, shots));
+    let mut service = QramService::with_recorder(
+        memory.clone(),
+        service_config(args, shots),
+        TelemetryRecorder::new(),
+    );
     service.submit_all(assign_specs_with(workload, specs, spec_mix(args), requests));
 
-    let start = Instant::now();
+    let start = host_wall();
     let report = service.drain();
     let wall = start.elapsed();
 
@@ -520,6 +671,9 @@ fn run_closed(
         count,
     );
     let digest = results_digest(&report.results);
+    let mut telemetry = service.metrics_snapshot();
+    telemetry.merge_from(service.recorder().metrics());
+    let trace_digest = service.recorder().trace_digest();
 
     let per_arch = arch_breakdown(&[(&report.results[..], &report.batches[..])]);
 
@@ -567,10 +721,11 @@ fn run_closed(
             ),
         ]);
     }
+    print_telemetry(&telemetry, trace_digest);
     println!("# results_digest: {digest:016x}");
 
     let json = format!(
-        "{{\n  \"schema\": \"qram-bench/serve-summary/v3\",\n  \"mode\": \"closed\",\n  \
+        "{{\n  \"schema\": \"qram-bench/serve-summary/v4\",\n  \"mode\": \"closed\",\n  \
          \"arch\": \"{}\",\n  \
          \"workload\": \"{}\",\n  \"spec_mix\": \"{}\",\n  \"address_width\": {},\n  \
          \"requests\": {count},\n  \"batches\": {},\n  \"specs\": {},\n  \"shots\": {shots},\n  \
@@ -581,6 +736,7 @@ fn run_closed(
          \"mean_queue_wait_ns\": {mean_queue_wait:.1},\n  \
          \"cache\": {{\"hits\": {}, \"misses\": {}, \"evictions\": {}, \"hit_rate\": {:.4}}},\n  \
          \"mean_fidelity\": {mean_fidelity:.6},\n  \
+         \"telemetry\": {},\n  \
          \"per_arch\": {}\n}}\n",
         args.arch,
         workload.name(),
@@ -599,9 +755,14 @@ fn run_closed(
         report.cache.misses,
         report.cache.evictions,
         report.cache.hit_rate(),
+        telemetry_json(&telemetry, trace_digest),
         serve_arch_json(&per_arch),
     );
     write_summary(args.out.clone(), &json);
+    if let Some(path) = &args.trace_out {
+        let sections = [("closed".to_string(), service.recorder())];
+        write_trace(path, "closed", &sections, &telemetry, trace_digest);
+    }
 }
 
 /// Open loop: arrivals at fixed offered rates, swept across load
@@ -663,9 +824,12 @@ fn run_open(
     };
     let mut points = Vec::new();
     let mut digest_bytes: Vec<u8> = Vec::new();
-    let mut point_runs: Vec<(Vec<QueryResult>, Vec<BatchReport>)> = Vec::new();
+    let mut trace_digest_bytes: Vec<u8> = Vec::new();
+    let mut merged_telemetry = MetricsRegistry::new();
+    let mut point_runs: Vec<OpenPointRun> = Vec::new();
     for &load_factor in &args.loads {
-        let (point, results, batch_reports) = run_open_point(&sweep, load_factor);
+        let run = run_open_point(&sweep, load_factor);
+        let point = &run.point;
         print_row(&[
             format!("{load_factor:.2}"),
             point.offered.to_string(),
@@ -677,27 +841,37 @@ fn run_open(
             format!("{:.1}", point.mean_queue_wait_ns / 1e3),
             format!("{:.3}", point.cache_hit_rate),
         ]);
-        digest_bytes.extend(results_digest(&results).to_le_bytes());
-        point_runs.push((results, batch_reports));
-        points.push(point);
+        digest_bytes.extend(results_digest(&run.results).to_le_bytes());
+        trace_digest_bytes.extend(run.recorder.trace_digest().to_le_bytes());
+        merged_telemetry.merge_from(&run.telemetry);
+        points.push(run.point.clone());
+        point_runs.push(run);
     }
     let digest = fnv1a_64(digest_bytes);
+    // Each operating point runs its own service (its own virtual
+    // clock), so the sweep's trace digest chains the per-point span-log
+    // digests in sweep order rather than merging incomparable clocks.
+    let trace_digest = fnv1a_64(trace_digest_bytes);
+    print_telemetry(&merged_telemetry, trace_digest);
     println!("# results_digest: {digest:016x}");
     // The per-architecture slice aggregates every operating point (the
     // sweep itself stays the per-point view); each point keeps its own
     // virtual-clock span so the aggregate throughput stays physical.
-    let runs: Vec<(&[QueryResult], &[BatchReport])> =
-        point_runs.iter().map(|(r, b)| (&r[..], &b[..])).collect();
+    let runs: Vec<(&[QueryResult], &[BatchReport])> = point_runs
+        .iter()
+        .map(|r| (&r.results[..], &r.batch_reports[..]))
+        .collect();
     let per_arch = arch_breakdown(&runs);
 
     let json = format!(
-        "{{\n  \"schema\": \"qram-bench/serve-summary/v3\",\n  \"mode\": \"open\",\n  \
+        "{{\n  \"schema\": \"qram-bench/serve-summary/v4\",\n  \"mode\": \"open\",\n  \
          \"arch\": \"{}\",\n  \
          \"workload\": \"{}\",\n  \"arrivals\": \"{}\",\n  \"spec_mix\": \"{}\",\n  \
          \"address_width\": {},\n  \"requests_per_point\": {requests},\n  \"specs\": {},\n  \
          \"shots\": {shots},\n  \"seed\": {},\n  \"shot_threads\": {},\n  \
          \"path_chunks\": {},\n  \"queue_capacity\": {},\n  \"deadline_ns\": {},\n  \"batch_limit\": {},\n  \
          \"capacity_rps\": {capacity_rps:.1},\n  \"results_digest\": \"{digest:016x}\",\n  \
+         \"telemetry\": {},\n  \
          \"sweep\": {},\n  \"per_arch\": {}\n}}\n",
         args.arch,
         workload.name(),
@@ -711,10 +885,19 @@ fn run_open(
         args.queue,
         args.deadline,
         args.batch,
+        telemetry_json(&merged_telemetry, trace_digest),
         serve_sweep_json(&points),
         serve_arch_json(&per_arch),
     );
     write_summary(args.out.clone(), &json);
+    if let Some(path) = &args.trace_out {
+        let sections: Vec<(String, &TelemetryRecorder)> = point_runs
+            .iter()
+            .zip(&args.loads)
+            .map(|(run, load)| (format!("load={load:.2}"), &run.recorder))
+            .collect();
+        write_trace(path, "open", &sections, &merged_telemetry, trace_digest);
+    }
 }
 
 fn mix_name(args: &Args) -> String {

@@ -362,7 +362,7 @@ pub fn serve_arch_json(points: &[ServeArchPoint]) -> String {
 
 /// The headline of a `BENCH_SERVE.json` summary, tolerant across schema
 /// generations: v1/v2 summaries (no `arch` / `per_arch` fields) report
-/// their architecture as the implicit `virtual`, v3 summaries carry it
+/// their architecture as the implicit `virtual`, v3+ summaries carry it
 /// explicitly. Returns `None` when the document is not a serve summary
 /// at all.
 pub fn serve_summary_headline(json: &str) -> Option<String> {
@@ -380,6 +380,30 @@ pub fn serve_summary_headline(json: &str) -> Option<String> {
         .unwrap_or(0.0);
     Some(format!(
         "{schema}: mode={mode} arch={arch} requests={requests:.0}"
+    ))
+}
+
+/// The stage-breakdown headline of a v4+ serve summary's `telemetry`
+/// section. Returns `None` for pre-telemetry summaries (v3 and older),
+/// which carry no `stage_*` keys — the caller just omits the line.
+pub fn serve_telemetry_headline(json: &str) -> Option<String> {
+    let schema = json_str_field(json, "schema")?;
+    if !schema.starts_with("qram-bench/serve-summary/") {
+        return None;
+    }
+    let queue_wait = json_num_field(json, "stage_queue_wait_p50_ns")?;
+    let compile = json_num_field(json, "stage_compile_p50_ns")?;
+    let execute = json_num_field(json, "stage_execute_p50_ns")?;
+    let total_p99 = json_num_field(json, "stage_total_p99_ns")?;
+    let high_water = json_num_field(json, "queue_depth_high_water").unwrap_or(0.0);
+    let trace_digest = json_str_field(json, "trace_digest").unwrap_or_else(|| "?".into());
+    Some(format!(
+        "stages p50 queue_wait {:.1} us / compile {:.1} us / execute {:.1} us, \
+         total p99 {:.1} us, queue high-water {high_water:.0}, trace {trace_digest}",
+        queue_wait / 1e3,
+        compile / 1e3,
+        execute / 1e3,
+        total_p99 / 1e3,
     ))
 }
 

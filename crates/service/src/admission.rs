@@ -80,6 +80,16 @@ impl Admission {
     pub fn is_accepted(&self) -> bool {
         matches!(self, Admission::Accepted(_))
     }
+
+    /// The telemetry label of this outcome — what the admission span
+    /// records.
+    pub fn outcome(&self) -> qram_telemetry::AdmissionOutcome {
+        match self {
+            Admission::Accepted(_) => qram_telemetry::AdmissionOutcome::Accepted,
+            Admission::Shed { .. } => qram_telemetry::AdmissionOutcome::Shed,
+            Admission::Rejected(_) => qram_telemetry::AdmissionOutcome::Rejected,
+        }
+    }
 }
 
 /// Lifetime admission counters of a service.
@@ -114,6 +124,18 @@ impl AdmissionStats {
             0.0
         } else {
             self.shed as f64 / offered as f64
+        }
+    }
+
+    /// Reads the counters back from a metrics registry — the inverse of
+    /// the service recording admissions under the `admission.*` keys.
+    /// Keeps this struct a thin shim now that the registry is the
+    /// source of truth.
+    pub fn from_metrics(metrics: &qram_telemetry::MetricsRegistry) -> Self {
+        AdmissionStats {
+            accepted: metrics.counter(qram_telemetry::key::ADMISSION_ACCEPTED),
+            shed: metrics.counter(qram_telemetry::key::ADMISSION_SHED),
+            rejected: metrics.counter(qram_telemetry::key::ADMISSION_REJECTED),
         }
     }
 }

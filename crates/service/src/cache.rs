@@ -12,6 +12,8 @@
 
 use std::sync::Arc;
 
+use qram_telemetry::{key, MetricsRegistry};
+
 use crate::{CompiledQuery, QuerySpec};
 
 /// Hit/miss/eviction accounting of a [`CircuitCache`].
@@ -59,7 +61,10 @@ pub struct CircuitCache {
     /// `(spec, artifact)` in recency order, least recent first.
     entries: Vec<(QuerySpec, Arc<CompiledQuery>)>,
     capacity: usize,
-    stats: CacheStats,
+    /// Accounting lives on the shared metrics registry (under the
+    /// `cache.*` keys); [`CircuitCache::stats`] reads it back as the
+    /// historical [`CacheStats`] shape.
+    metrics: MetricsRegistry,
 }
 
 impl CircuitCache {
@@ -74,7 +79,7 @@ impl CircuitCache {
         CircuitCache {
             entries: Vec::with_capacity(capacity),
             capacity,
-            stats: CacheStats::default(),
+            metrics: MetricsRegistry::new(),
         }
     }
 
@@ -113,20 +118,20 @@ impl CircuitCache {
         spec: QuerySpec,
         compile: impl FnOnce() -> Result<CompiledQuery, E>,
     ) -> Result<(Arc<CompiledQuery>, bool), E> {
-        self.stats.lookups += 1;
+        self.metrics.add(key::CACHE_LOOKUPS, 1);
         if let Some(pos) = self.entries.iter().position(|(s, _)| *s == spec) {
-            self.stats.hits += 1;
+            self.metrics.add(key::CACHE_HITS, 1);
             // Refresh recency: move to the back.
             let entry = self.entries.remove(pos);
             let compiled = Arc::clone(&entry.1);
             self.entries.push(entry);
             return Ok((compiled, true));
         }
-        self.stats.misses += 1;
+        self.metrics.add(key::CACHE_MISSES, 1);
         let compiled = Arc::new(compile()?);
         if self.entries.len() == self.capacity {
             self.entries.remove(0);
-            self.stats.evictions += 1;
+            self.metrics.add(key::CACHE_EVICTIONS, 1);
         }
         self.entries.push((spec, Arc::clone(&compiled)));
         Ok((compiled, false))
@@ -147,9 +152,21 @@ impl CircuitCache {
         self.capacity
     }
 
-    /// Lifetime hit/miss/eviction counts.
+    /// Lifetime hit/miss/eviction counts — a read-back shim over the
+    /// `cache.*` counters of [`CircuitCache::metrics`].
     pub fn stats(&self) -> CacheStats {
-        self.stats
+        CacheStats {
+            lookups: self.metrics.counter(key::CACHE_LOOKUPS),
+            hits: self.metrics.counter(key::CACHE_HITS),
+            misses: self.metrics.counter(key::CACHE_MISSES),
+            evictions: self.metrics.counter(key::CACHE_EVICTIONS),
+        }
+    }
+
+    /// The underlying metrics registry (the `cache.*` counters), for
+    /// merging into a service-wide telemetry snapshot.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
     }
 
     /// Cached specs in recency order, least recent first (for

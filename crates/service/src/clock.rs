@@ -168,6 +168,15 @@ impl VirtualTimeline {
     /// Schedules one `cost`-tick item that becomes ready at `ready`;
     /// returns its `(start, end)` on the virtual clock.
     pub fn assign(&mut self, ready: Ticks, cost: Ticks) -> (Ticks, Ticks) {
+        let (_, start, end) = self.assign_slot(ready, cost);
+        (start, end)
+    }
+
+    /// Like [`assign`](VirtualTimeline::assign), additionally reporting
+    /// which unit the item was scheduled on — the execute span's unit
+    /// assignment. Deterministic: earliest-free slot, lowest index on
+    /// ties.
+    pub fn assign_slot(&mut self, ready: Ticks, cost: Ticks) -> (usize, Ticks, Ticks) {
         let slot = self
             .busy_until
             .iter()
@@ -178,7 +187,7 @@ impl VirtualTimeline {
         let start = self.busy_until[slot].max(ready);
         let end = start + cost;
         self.busy_until[slot] = end;
-        (start, end)
+        (slot, start, end)
     }
 
     /// The earliest instant some slot is free (0 on a fresh timeline) —

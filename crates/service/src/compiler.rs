@@ -143,6 +143,15 @@ impl Compiler {
             execute: self.cost.execute_cost(resources, self.shots),
         }
     }
+
+    /// The telemetry label of a verification level — what the compile
+    /// span records about a cache-miss compile.
+    pub fn verify_tag(level: VerifyLevel) -> qram_telemetry::VerifyTag {
+        match level {
+            VerifyLevel::Deep => qram_telemetry::VerifyTag::Deep,
+            VerifyLevel::Structural => qram_telemetry::VerifyTag::Structural,
+        }
+    }
 }
 
 #[cfg(test)]

@@ -26,7 +26,7 @@ use std::sync::Arc;
 use std::thread;
 
 use qram_noise::{derive_stream_seed, FaultSampler};
-use qram_sim::{run_shots, Amplitude, FidelityEstimate, ShotConfig};
+use qram_sim::{run_shots_stats, Amplitude, FidelityEstimate, ShotConfig, ShotStats};
 
 use crate::{CompiledQuery, Latency, QueryRequest, QueryResult, ServiceConfig, Ticks};
 
@@ -45,7 +45,9 @@ pub(crate) struct PreparedRequest {
 }
 
 /// Executes `prepared` on `workers` threads via work-stealing dispatch;
-/// returns results in `prepared` order.
+/// returns `(result, shot-engine stats)` pairs in `prepared` order —
+/// the stats ride back to the coordinating thread so telemetry
+/// recording never happens off it.
 ///
 /// Noiseless items (`shots == 0`, one classical readout each) always
 /// run inline: open-loop serving dispatches per firing event, and
@@ -56,7 +58,7 @@ pub(crate) fn dispatch(
     prepared: &[PreparedRequest],
     workers: usize,
     config: &ServiceConfig,
-) -> Vec<QueryResult> {
+) -> Vec<(QueryResult, ShotStats)> {
     let workers = if config.shots == 0 {
         1
     } else {
@@ -69,8 +71,8 @@ pub(crate) fn dispatch(
             .collect();
     }
     let cursor = AtomicUsize::new(0);
-    let mut results: Vec<Option<QueryResult>> = vec![None; prepared.len()];
-    let stolen: Vec<Vec<(usize, QueryResult)>> = thread::scope(|scope| {
+    let mut results: Vec<Option<(QueryResult, ShotStats)>> = vec![None; prepared.len()];
+    let stolen: Vec<Vec<(usize, (QueryResult, ShotStats))>> = thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
             .map(|_| {
                 scope.spawn(|| {
@@ -104,7 +106,7 @@ pub(crate) fn dispatch(
 
 /// Serves one request: classical readout off the compiled circuit plus a
 /// Monte-Carlo fidelity estimate under the request's own fault stream.
-fn execute_one(item: &PreparedRequest, config: &ServiceConfig) -> QueryResult {
+fn execute_one(item: &PreparedRequest, config: &ServiceConfig) -> (QueryResult, ShotStats) {
     let circuit = &item.compiled.circuit;
     let request = item.request;
     // The served answer is deliberately read off the *circuit* (a full
@@ -115,9 +117,9 @@ fn execute_one(item: &PreparedRequest, config: &ServiceConfig) -> QueryResult {
     let value = circuit
         .query_classical(request.address)
         .expect("compiled query circuits serve every in-range address");
-    let fidelity = match item.sampler.as_deref() {
+    let (fidelity, stats) = match item.sampler.as_deref() {
         // Noiseless serving: fidelity is not estimated, no replay runs.
-        None => FidelityEstimate::from_samples(&[]),
+        None => (FidelityEstimate::from_samples(&[]), ShotStats::default()),
         Some(sampler) => {
             // The request's input: the classical basis state at its
             // address; its fault streams derive from (seed, request id).
@@ -132,7 +134,7 @@ fn execute_one(item: &PreparedRequest, config: &ServiceConfig) -> QueryResult {
                 threads: config.shot_threads,
                 path_chunks: config.path_chunks,
             };
-            run_shots(
+            run_shots_stats(
                 circuit.circuit().gates(),
                 &input,
                 Some(&keep),
@@ -142,7 +144,7 @@ fn execute_one(item: &PreparedRequest, config: &ServiceConfig) -> QueryResult {
             .expect("compiled query circuits are always simulable")
         }
     };
-    QueryResult {
+    let result = QueryResult {
         id: request.id,
         address: request.address,
         spec: request.spec,
@@ -151,7 +153,8 @@ fn execute_one(item: &PreparedRequest, config: &ServiceConfig) -> QueryResult {
         arrival: request.arrival,
         completed: item.completed,
         latency: item.latency,
-    }
+    };
+    (result, stats)
 }
 
 #[cfg(test)]
@@ -197,11 +200,13 @@ mod tests {
         for workers in [2, 3, 5, 16] {
             assert_eq!(serial, dispatch(&items, workers, &config), "{workers}");
         }
-        // Results come back in item order with correct readouts.
-        for (i, r) in serial.iter().enumerate() {
+        // Results come back in item order with correct readouts, each
+        // carrying its own (knob-invariant) shot-engine stats.
+        for (i, (r, stats)) in serial.iter().enumerate() {
             assert_eq!(r.id, i as u64);
             assert!(r.value, "Memory::ones reads 1 everywhere");
             assert_eq!(r.fidelity.shots, 6);
+            assert_eq!(stats.shots, 6);
         }
     }
 

@@ -99,6 +99,7 @@ pub use cache::{CacheStats, CircuitCache};
 pub use clock::{CostModel, Ticks, VirtualTimeline};
 pub use compiler::{CompiledQuery, Compiler, CostEstimate};
 pub use qram_core::ArchSpec;
+pub use qram_telemetry::{MetricsRegistry, NoopRecorder, Recorder, SpanTracer, TelemetryRecorder};
 pub use qram_verify::{Finding, VerifyError, VerifyLevel};
 pub use request::{Latency, QueryRequest, QueryResult, QuerySpec};
 pub use scheduler::{plan_batches, DeadlineBatcher, QueryBatch};

@@ -47,6 +47,19 @@ impl QueryBatch {
     pub fn oldest_arrival(&self) -> Ticks {
         self.requests.first().map_or(0, |r| r.arrival)
     }
+
+    /// The batch's telemetry group key: the architecture name of the
+    /// spec the batcher grouped these requests under (specs are the
+    /// grouping key, so the name identifies the group uniquely).
+    pub fn group_key(&self) -> String {
+        self.spec.arch.to_string()
+    }
+
+    /// Id of the batch's oldest member (0 for an empty batch) — the
+    /// request id batch-level telemetry spans anchor on.
+    pub fn lead_id(&self) -> u64 {
+        self.requests.first().map_or(0, |r| r.id)
+    }
 }
 
 /// The deadline-aware batcher: one pending group per in-flight spec.

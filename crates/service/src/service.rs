@@ -38,7 +38,11 @@ use std::thread;
 
 use qram_core::Memory;
 use qram_noise::{FaultSampler, NoiseModel, PauliChannel, BASE_ERROR_RATE};
-use qram_sim::ShotConfig;
+use qram_sim::{ShotConfig, ShotStats};
+use qram_telemetry::{
+    key, AdmissionOutcome, FireReason, MetricsRegistry, NoopRecorder, Recorder, SpanEvent,
+    SpanStage, SYNTHETIC_REQUEST_BASE,
+};
 use qram_verify::VerifyLevel;
 
 use crate::executor::{dispatch, PreparedRequest};
@@ -340,7 +344,7 @@ impl Ord for InFlight {
 /// assert_eq!(results.len(), 2);
 /// ```
 #[derive(Debug)]
-pub struct QramService {
+pub struct QramService<R: Recorder = NoopRecorder> {
     memory: Memory,
     config: ServiceConfig,
     /// The staged `spec → circuit → resources → cost` pipeline run on
@@ -356,7 +360,15 @@ pub struct QramService {
     now: Ticks,
     next_id: u64,
     served: u64,
-    admission: AdmissionStats,
+    /// Always-on service counters (`admission.*`, `service.*`): the
+    /// source of truth behind the [`AdmissionStats`] and
+    /// [`batch_reports_dropped`](QramService::batch_reports_dropped)
+    /// accessor shims.
+    metrics: MetricsRegistry,
+    /// The optional telemetry sink: spans and stage histograms go here.
+    /// The [`NoopRecorder`] default monomorphizes every call to an
+    /// empty inline body, so undecorated services pay nothing.
+    recorder: R,
     /// Executed requests whose virtual completion lies in the future.
     in_flight: BinaryHeap<InFlight>,
     /// Virtually completed results awaiting the next poll/drain.
@@ -367,8 +379,6 @@ pub struct QramService {
     /// capped at [`MAX_BATCH_REPORTS`] so a poll-only open-loop client
     /// that never takes them cannot grow the service unboundedly.
     fired_reports: VecDeque<BatchReport>,
-    /// Oldest batch reports dropped by the cap.
-    batch_reports_dropped: u64,
 }
 
 /// Retained [`BatchReport`]s before the oldest are dropped (see
@@ -376,7 +386,8 @@ pub struct QramService {
 pub const MAX_BATCH_REPORTS: usize = 4096;
 
 impl QramService {
-    /// A service over `memory` with the given tunables.
+    /// A service over `memory` with the given tunables and no telemetry
+    /// (the zero-cost [`NoopRecorder`]).
     ///
     /// # Panics
     ///
@@ -384,6 +395,20 @@ impl QramService {
     /// every offer serves nothing) — the batch limit, cache capacity and
     /// cost-model units are validated by their own constructors.
     pub fn new(memory: Memory, config: ServiceConfig) -> Self {
+        QramService::with_recorder(memory, config, NoopRecorder)
+    }
+}
+
+impl<R: Recorder> QramService<R> {
+    /// A service over `memory` that records telemetry — spans and stage
+    /// histograms — into `recorder` as it serves. Everything recorded is
+    /// measured on the virtual clock, so the trace and metrics are
+    /// bit-identical for any worker/shot-thread/path-chunk count.
+    ///
+    /// # Panics
+    ///
+    /// Same contract as [`QramService::new`].
+    pub fn with_recorder(memory: Memory, config: ServiceConfig, recorder: R) -> Self {
         assert!(config.queue_capacity > 0, "queue capacity must be positive");
         QramService {
             memory,
@@ -396,12 +421,27 @@ impl QramService {
             now: 0,
             next_id: 0,
             served: 0,
-            admission: AdmissionStats::default(),
+            metrics: MetricsRegistry::new(),
+            recorder,
             in_flight: BinaryHeap::new(),
             ready: VecDeque::new(),
             fired_reports: VecDeque::new(),
-            batch_reports_dropped: 0,
         }
+    }
+
+    /// The attached telemetry recorder (e.g. to export its trace and
+    /// metrics after a run).
+    pub fn recorder(&self) -> &R {
+        &self.recorder
+    }
+
+    /// A merged snapshot of the always-on service metrics: `admission.*`
+    /// and `service.*` counters plus the circuit cache's `cache.*`
+    /// counters.
+    pub fn metrics_snapshot(&self) -> MetricsRegistry {
+        let mut merged = self.metrics.clone();
+        merged.merge_from(self.cache.metrics());
+        merged
     }
 
     /// The served memory.
@@ -440,9 +480,10 @@ impl QramService {
         self.cache.stats()
     }
 
-    /// Lifetime admission counters.
+    /// Lifetime admission counters — read back from the `admission.*`
+    /// keys of the always-on metrics registry.
     pub fn admission_stats(&self) -> AdmissionStats {
-        self.admission
+        AdmissionStats::from_metrics(&self.metrics)
     }
 
     /// Takes the accounting of every batch fired since the last
@@ -459,7 +500,7 @@ impl QramService {
     /// Batch reports dropped (oldest first) because more than
     /// [`MAX_BATCH_REPORTS`] accumulated between takes.
     pub fn batch_reports_dropped(&self) -> u64 {
-        self.batch_reports_dropped
+        self.metrics.counter(key::BATCH_REPORTS_DROPPED)
     }
 
     /// The earliest instant a [`poll`](QramService::poll) returns a new
@@ -495,14 +536,14 @@ impl QramService {
     pub fn try_submit_at(&mut self, address: u64, spec: QuerySpec, arrival: Ticks) -> Admission {
         self.advance_to(arrival.max(self.now));
         if spec.address_width() != self.memory.address_width() {
-            self.admission.rejected += 1;
+            self.record_terminal(AdmissionOutcome::Rejected);
             return Admission::Rejected(RejectReason::SpecWidthMismatch {
                 spec,
                 memory_width: self.memory.address_width(),
             });
         }
         if address >= self.memory.len() as u64 {
-            self.admission.rejected += 1;
+            self.record_terminal(AdmissionOutcome::Rejected);
             return Admission::Rejected(RejectReason::AddressOutOfRange {
                 address,
                 cells: self.memory.len(),
@@ -510,7 +551,7 @@ impl QramService {
         }
         let queue_depth = self.in_system();
         if queue_depth >= self.config.queue_capacity {
-            self.admission.shed += 1;
+            self.record_terminal(AdmissionOutcome::Shed);
             return Admission::Shed { queue_depth };
         }
         let id = self.admit(address, spec);
@@ -519,6 +560,32 @@ impl QramService {
         // latency — release pending work immediately.
         self.conserve_now();
         Admission::Accepted(id)
+    }
+
+    /// Counts a shed/rejected offer and records its terminal admission
+    /// span, so the trace accounts for every arrival — not only the
+    /// completed ones. Terminal spans never consume a request id; they
+    /// carry a synthetic `SYNTHETIC_REQUEST_BASE | ordinal` key instead,
+    /// keeping accepted requests' ids (and fault streams) untouched.
+    fn record_terminal(&mut self, outcome: AdmissionOutcome) {
+        let ordinal = self.metrics.counter(key::ADMISSION_SHED)
+            + self.metrics.counter(key::ADMISSION_REJECTED);
+        let counter = match outcome {
+            AdmissionOutcome::Shed => key::ADMISSION_SHED,
+            _ => key::ADMISSION_REJECTED,
+        };
+        self.metrics.add(counter, 1);
+        if self.recorder.enabled() {
+            self.recorder.span(SpanEvent {
+                request: SYNTHETIC_REQUEST_BASE + ordinal,
+                start: self.now,
+                end: self.now,
+                stage: SpanStage::Admission {
+                    outcome,
+                    queue_depth: self.in_system() as u64,
+                },
+            });
+        }
     }
 
     /// Admits one query at the current clock instant and returns its
@@ -550,15 +617,30 @@ impl QramService {
     fn admit(&mut self, address: u64, spec: QuerySpec) -> u64 {
         let id = self.next_id;
         self.next_id += 1;
-        self.admission.accepted += 1;
+        self.metrics.add(key::ADMISSION_ACCEPTED, 1);
+        if self.recorder.enabled() {
+            self.recorder.span(SpanEvent {
+                request: id,
+                start: self.now,
+                end: self.now,
+                stage: SpanStage::Admission {
+                    outcome: AdmissionOutcome::Accepted,
+                    queue_depth: self.in_system() as u64,
+                },
+            });
+        }
         let request = QueryRequest {
             id,
             address,
             spec,
             arrival: self.now,
         };
+        // The admitted request joins the queue before anything fires:
+        // that instant is the queue-depth high-water candidate.
+        self.recorder
+            .gauge_max(key::QUEUE_DEPTH_HIGH_WATER, self.in_system() as u64 + 1);
         if let Some(batch) = self.batcher.push(request) {
-            self.fire_batches(vec![batch], self.now);
+            self.fire_batches(vec![batch], self.now, FireReason::Full);
         }
         id
     }
@@ -587,7 +669,7 @@ impl QramService {
     /// remaining results in completion order.
     pub fn run_until_idle(&mut self) -> Vec<QueryResult> {
         let batches = self.batcher.flush();
-        self.fire_batches(batches, self.now);
+        self.fire_batches(batches, self.now, FireReason::Drain);
         self.advance_to(self.timeline.idle_at().max(self.now));
         self.take_ready()
     }
@@ -599,7 +681,7 @@ impl QramService {
     /// [`poll`](QramService::poll).
     pub fn drain(&mut self) -> ServiceReport {
         let batches = self.batcher.flush();
-        self.fire_batches(batches, self.now);
+        self.fire_batches(batches, self.now, FireReason::Drain);
         self.advance_to(self.timeline.idle_at().max(self.now));
         let mut results = self.take_ready();
         results.sort_by_key(|r| r.id);
@@ -608,7 +690,7 @@ impl QramService {
             results,
             batches: self.take_batch_reports(),
             cache: self.cache.stats(),
-            admission: self.admission,
+            admission: self.admission_stats(),
         }
     }
 
@@ -627,7 +709,7 @@ impl QramService {
             && self.timeline.next_free() <= self.now
         {
             let batch = self.batcher.fire_oldest().expect("pending group exists");
-            self.fire_batches(vec![batch], self.now);
+            self.fire_batches(vec![batch], self.now, FireReason::WorkConserving);
         }
     }
 
@@ -654,12 +736,12 @@ impl QramService {
                 let at = conserve.expect("conserving event exists");
                 self.now = self.now.max(at);
                 let batch = self.batcher.fire_oldest().expect("pending group exists");
-                self.fire_batches(vec![batch], self.now);
+                self.fire_batches(vec![batch], self.now, FireReason::WorkConserving);
             } else {
                 let at = deadline.expect("deadline event exists");
                 self.now = self.now.max(at);
                 let due = self.batcher.fire_due(self.now);
-                self.fire_batches(due, self.now);
+                self.fire_batches(due, self.now, FireReason::Deadline);
             }
         }
         self.now = self.now.max(t);
@@ -668,6 +750,7 @@ impl QramService {
                 break;
             }
             let done = self.in_flight.pop().expect("peeked entry exists");
+            self.metrics.add(key::SERVICE_COMPLETED, 1);
             self.ready.push_back(done.result);
         }
     }
@@ -676,13 +759,16 @@ impl QramService {
     /// cache, schedules every member on the virtual timeline, executes
     /// the flattened work list on the work-stealing pool, and parks the
     /// results until their virtual completion.
-    fn fire_batches(&mut self, batches: Vec<QueryBatch>, fire_time: Ticks) {
+    fn fire_batches(&mut self, batches: Vec<QueryBatch>, fire_time: Ticks, reason: FireReason) {
         if batches.is_empty() {
             return;
         }
+        let enabled = self.recorder.enabled();
         let mut prepared: Vec<PreparedRequest> = Vec::new();
         for batch in batches {
             let spec = batch.spec;
+            let group = enabled.then(|| batch.group_key());
+            let lead = batch.lead_id();
             let memory = &self.memory;
             let compiler = self.compiler;
             // Every miss is verified before the artifact may enter the
@@ -714,6 +800,31 @@ impl QramService {
             let compile = if hit { 0 } else { compiled.cost.compile };
             let execute = compiled.cost.execute;
             let ready_at = fire_time + compile;
+            self.metrics.add(key::BATCHES_FIRED, 1);
+            if let Some(group) = &group {
+                self.recorder
+                    .record(key::BATCH_SIZE, batch.requests.len() as u64);
+                self.recorder.span(SpanEvent {
+                    request: lead,
+                    start: fire_time,
+                    end: fire_time,
+                    stage: SpanStage::BatchForm {
+                        group: group.clone(),
+                        reason,
+                        size: batch.requests.len() as u64,
+                    },
+                });
+                self.recorder.span(SpanEvent {
+                    request: lead,
+                    start: fire_time,
+                    end: ready_at,
+                    stage: SpanStage::Compile {
+                        group: group.clone(),
+                        cache_hit: hit,
+                        verify: Compiler::verify_tag(level),
+                    },
+                });
+            }
             let config = &self.config;
             let sampler = (self.config.shots > 0).then(|| {
                 Arc::clone(self.samplers.entry(spec).or_insert_with(|| {
@@ -727,7 +838,7 @@ impl QramService {
             let requests = batch.requests.len();
             let mut batch_completed = ready_at;
             for request in batch.requests {
-                let (start, end) = self.timeline.assign(ready_at, execute);
+                let (unit, start, end) = self.timeline.assign_slot(ready_at, execute);
                 // start ≥ ready_at = fire_time + compile ≥ arrival + compile,
                 // so the breakdown partitions end − arrival exactly.
                 let latency = Latency {
@@ -736,6 +847,31 @@ impl QramService {
                     execute,
                 };
                 batch_completed = batch_completed.max(end);
+                if let Some(group) = &group {
+                    self.recorder.span(SpanEvent {
+                        request: request.id,
+                        start: request.arrival,
+                        end: request.arrival + latency.queue_wait,
+                        stage: SpanStage::QueueWait {
+                            group: group.clone(),
+                        },
+                    });
+                    self.recorder.span(SpanEvent {
+                        request: request.id,
+                        start,
+                        end,
+                        stage: SpanStage::Execute {
+                            unit: unit as u64,
+                            shots: self.config.shots as u64,
+                        },
+                    });
+                    self.recorder
+                        .record(key::STAGE_QUEUE_WAIT, latency.queue_wait);
+                    self.recorder.record(key::STAGE_COMPILE, latency.compile);
+                    self.recorder.record(key::STAGE_EXECUTE, latency.execute);
+                    self.recorder
+                        .record(key::STAGE_TOTAL, end - request.arrival);
+                }
                 prepared.push(PreparedRequest {
                     request,
                     compiled: Arc::clone(&compiled),
@@ -753,13 +889,18 @@ impl QramService {
             });
             if self.fired_reports.len() > MAX_BATCH_REPORTS {
                 self.fired_reports.pop_front();
-                self.batch_reports_dropped += 1;
+                self.metrics.add(key::BATCH_REPORTS_DROPPED, 1);
             }
         }
         let workers = self.config.resolved_workers(prepared.len());
-        for result in dispatch(&prepared, workers, &self.config) {
+        let mut sim_stats = ShotStats::default();
+        for (result, stats) in dispatch(&prepared, workers, &self.config) {
+            sim_stats.merge_from(&stats);
             self.in_flight.push(InFlight { result });
         }
+        // Shot-engine counters are merged on the coordinating thread in
+        // item order, so the recorder never needs to be Sync.
+        sim_stats.record_into(&mut self.recorder);
     }
 }
 

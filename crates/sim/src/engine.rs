@@ -153,6 +153,47 @@ impl Default for ShotConfig {
     }
 }
 
+/// Work counters accumulated by a shot run, summed over all shards.
+///
+/// Every field is **knob-invariant**: fault plans are pure functions of
+/// the shot index, so which shots replay (and how many faults/gates
+/// they touch) cannot depend on `(threads, path_chunks)` — the stats,
+/// like the estimate, are bit-identical across the whole parallelism
+/// matrix. Being plain `u64` sums, shard-local stats merge exactly in
+/// any order.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShotStats {
+    /// Shots sampled.
+    pub shots: u64,
+    /// Shots whose fault plan was non-empty and replayed the circuit.
+    pub replayed: u64,
+    /// Total faults injected across all replayed shots.
+    pub faults: u64,
+    /// Gate applications performed by replayed shots
+    /// (`replayed shots × circuit length`).
+    pub gate_applications: u64,
+}
+
+impl ShotStats {
+    /// Adds another shard's counters into this one.
+    pub fn merge_from(&mut self, other: &ShotStats) {
+        self.shots += other.shots;
+        self.replayed += other.replayed;
+        self.faults += other.faults;
+        self.gate_applications += other.gate_applications;
+    }
+
+    /// Feeds the counters into a telemetry [`Recorder`].
+    ///
+    /// [`Recorder`]: qram_telemetry::Recorder
+    pub fn record_into(&self, recorder: &mut impl qram_telemetry::Recorder) {
+        recorder.add(qram_telemetry::key::SIM_SHOTS, self.shots);
+        recorder.add(qram_telemetry::key::SIM_REPLAYED, self.replayed);
+        recorder.add(qram_telemetry::key::SIM_FAULTS, self.faults);
+        recorder.add(qram_telemetry::key::SIM_GATES, self.gate_applications);
+    }
+}
+
 /// Runs `config.shots` noisy trajectories of `gates` on `input` and
 /// estimates the fidelity against the noise-free run — over the full
 /// state, or reduced to `keep` when given (see
@@ -180,19 +221,40 @@ pub fn run_shots(
     config: &ShotConfig,
     sample_plan: &(impl Fn(u64) -> FaultPlan + Sync),
 ) -> Result<FidelityEstimate, SimError> {
+    run_shots_stats(gates, input, keep, config, sample_plan).map(|(estimate, _)| estimate)
+}
+
+/// [`run_shots`] with per-shard work counters: returns the estimate
+/// together with the [`ShotStats`] summed over all shards (in shard
+/// order, though `u64` addition makes the order immaterial).
+///
+/// The stats are bit-identical across `(threads, path_chunks)` for the
+/// same reason the estimate is — see [`ShotStats`].
+///
+/// # Errors
+///
+/// Same contract as [`run_shots`].
+pub fn run_shots_stats(
+    gates: &[Gate],
+    input: &PathState,
+    keep: Option<&[Qubit]>,
+    config: &ShotConfig,
+    sample_plan: &(impl Fn(u64) -> FaultPlan + Sync),
+) -> Result<(FidelityEstimate, ShotStats), SimError> {
     let path_chunks = config.resolved_path_chunks();
     let mut ideal = input.clone();
     run_with_faults_chunked(gates, &mut ideal, &FaultPlan::new(), path_chunks)?;
 
     let shots = config.shots;
     if shots == 0 {
-        return Ok(FidelityEstimate::from_samples(&[]));
+        return Ok((FidelityEstimate::from_samples(&[]), ShotStats::default()));
     }
     let threads = config.resolved_threads().min(shots).max(1);
     let mut samples = vec![0.0f64; shots];
+    let mut stats = ShotStats::default();
 
     if threads == 1 {
-        run_shard(
+        stats = run_shard(
             gates,
             input,
             &ideal,
@@ -208,7 +270,7 @@ pub fn run_shots(
         // which plan a shot receives.
         let chunk = shots.div_ceil(threads);
         let ideal_ref = &ideal;
-        let results: Vec<Result<(), SimError>> = thread::scope(|scope| {
+        let results: Vec<Result<ShotStats, SimError>> = thread::scope(|scope| {
             let handles: Vec<_> = samples
                 .chunks_mut(chunk)
                 .enumerate()
@@ -233,10 +295,30 @@ pub fn run_shots(
                 .collect()
         });
         for result in results {
-            result?;
+            stats.merge_from(&result?);
         }
     }
-    Ok(FidelityEstimate::from_samples(&samples))
+    Ok((FidelityEstimate::from_samples(&samples), stats))
+}
+
+/// [`run_shots_stats`] that feeds the counters straight into a
+/// telemetry [`Recorder`](qram_telemetry::Recorder) — the engine-side
+/// end of the instrumentation thread running through the service.
+///
+/// # Errors
+///
+/// Same contract as [`run_shots`]; nothing is recorded on error.
+pub fn run_shots_recorded(
+    gates: &[Gate],
+    input: &PathState,
+    keep: Option<&[Qubit]>,
+    config: &ShotConfig,
+    sample_plan: &(impl Fn(u64) -> FaultPlan + Sync),
+    recorder: &mut impl qram_telemetry::Recorder,
+) -> Result<FidelityEstimate, SimError> {
+    let (estimate, stats) = run_shots_stats(gates, input, keep, config, sample_plan)?;
+    stats.record_into(recorder);
+    Ok(estimate)
 }
 
 /// Runs one shard's contiguous shot range, writing fidelities into `out`.
@@ -255,16 +337,21 @@ fn run_shard(
     path_chunks: usize,
     out: &mut [f64],
     sample_plan: &(impl Fn(u64) -> FaultPlan + Sync),
-) -> Result<(), SimError> {
+) -> Result<ShotStats, SimError> {
     // One scratch state per shard, reset (not reallocated) per shot.
     let mut scratch = PathState::zero_vector(input.num_qubits());
+    let mut stats = ShotStats::default();
     for (i, slot) in out.iter_mut().enumerate() {
         let plan = sample_plan(first_shot + i as u64);
+        stats.shots += 1;
         if plan.is_empty() {
             // Fault-free shot: fidelity is exactly 1; skip the replay.
             *slot = 1.0;
             continue;
         }
+        stats.replayed += 1;
+        stats.faults += plan.len() as u64;
+        stats.gate_applications += gates.len() as u64;
         scratch.clone_from(input);
         if path_chunks > 1 {
             run_with_faults_chunked(gates, &mut scratch, &plan, path_chunks)?;
@@ -276,7 +363,7 @@ fn run_shard(
             Some(keep) => ideal.reduced_fidelity(&scratch, keep),
         };
     }
-    Ok(())
+    Ok(stats)
 }
 
 #[cfg(test)]
@@ -475,6 +562,60 @@ mod tests {
         )
         .unwrap_err();
         assert!(matches!(err, SimError::QubitOutOfRange { .. }));
+    }
+
+    #[test]
+    fn shot_stats_identical_across_thread_and_chunk_matrix() {
+        let (c, input) = test_circuit();
+        let (_, reference) = run_shots_stats(
+            c.gates(),
+            &input,
+            None,
+            &ShotConfig::serial(64),
+            &pseudo_random_plan,
+        )
+        .unwrap();
+        assert_eq!(reference.shots, 64);
+        assert!(reference.replayed > 0);
+        assert!(reference.faults >= reference.replayed);
+        assert_eq!(
+            reference.gate_applications,
+            reference.replayed * c.gates().len() as u64
+        );
+        for threads in [2usize, 4, 7] {
+            for chunks in [1usize, 2, 4] {
+                let config = ShotConfig::new(64)
+                    .with_threads(threads)
+                    .with_path_chunks(chunks);
+                let (_, stats) =
+                    run_shots_stats(c.gates(), &input, None, &config, &pseudo_random_plan).unwrap();
+                assert_eq!(stats, reference, "threads={threads} chunks={chunks}");
+            }
+        }
+    }
+
+    #[test]
+    fn recorded_run_feeds_counters() {
+        let (c, input) = test_circuit();
+        let mut recorder = qram_telemetry::TelemetryRecorder::new();
+        let config = ShotConfig::new(32).with_threads(2);
+        let est = run_shots_recorded(
+            c.gates(),
+            &input,
+            None,
+            &config,
+            &pseudo_random_plan,
+            &mut recorder,
+        )
+        .unwrap();
+        assert_eq!(est.shots, 32);
+        let metrics = recorder.metrics();
+        assert_eq!(metrics.counter(qram_telemetry::key::SIM_SHOTS), 32);
+        assert!(metrics.counter(qram_telemetry::key::SIM_REPLAYED) > 0);
+        assert!(
+            metrics.counter(qram_telemetry::key::SIM_FAULTS)
+                >= metrics.counter(qram_telemetry::key::SIM_REPLAYED)
+        );
     }
 
     #[test]

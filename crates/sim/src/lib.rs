@@ -59,7 +59,7 @@ mod state;
 
 pub use amplitude::Amplitude;
 pub use bitstring::BitString;
-pub use engine::{run_shots, ShotConfig};
+pub use engine::{run_shots, run_shots_recorded, run_shots_stats, ShotConfig, ShotStats};
 pub use executor::{
     run, run_chunked, run_with_faults, run_with_faults_chunked, Fault, FaultPlan, Pauli,
 };

@@ -12,10 +12,9 @@
 //! cargo run --release --example feynman_paths
 //! ```
 
-use std::time::Instant;
-
 use qram::core::{Memory, QueryArchitecture, VirtualQram};
 use qram::sim::run;
+use qram::telemetry::host_wall;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -29,7 +28,9 @@ fn main() {
         let query = VirtualQram::new(0, m).build(&memory);
         let input = query.input_state(None);
 
-        let start = Instant::now();
+        // Wall-clock is display-only here; route through the audited
+        // telemetry gateway so the determinism lint stays clean.
+        let start = host_wall();
         let mut state = input.clone();
         run(query.circuit().gates(), &mut state).expect("simulable");
         let elapsed = start.elapsed();

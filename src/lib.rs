@@ -25,6 +25,13 @@
 //!   resource-calibrated latency breakdowns, and workload generators
 //!   (Poisson/bursty arrivals, zipf-skewed addresses and specs,
 //!   closed-feedback clients).
+//! * [`telemetry`] — deterministic observability: a span tracer keyed
+//!   by request id recording virtual-time intervals for every pipeline
+//!   stage, a metrics registry of counters / gauges / log-linear
+//!   histograms with exact deterministic merges, and the `Recorder`
+//!   trait the service is generic over (zero-cost `NoopRecorder` by
+//!   default). Trace digests are bit-identical across worker, shot-
+//!   thread and path-chunk counts.
 //! * [`verify`] — static verification: a circuit analyzer (qubit
 //!   bounds, operand overlap, per-family gate-set legality, ancilla
 //!   lifecycle, independent resource recertification) run on every
@@ -57,4 +64,5 @@ pub use qram_noise as noise;
 pub use qram_qec as qec;
 pub use qram_service as service;
 pub use qram_sim as sim;
+pub use qram_telemetry as telemetry;
 pub use qram_verify as verify;
