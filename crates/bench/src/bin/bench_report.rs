@@ -39,8 +39,8 @@ use std::process::ExitCode;
 use qram_bench::report::{
     apply_gate, apply_path_gate, baseline_snapshot_dir, bench_results_dir,
     compare_against_baseline, find_repo_root, load_records, merge_baseline_records, parse_baseline,
-    path_engine_summary, serve_summary_headline, serve_telemetry_headline, shot_engine_summary,
-    summary_json, write_baseline_snapshot, GateOutcome,
+    path_engine_summary, serve_policy_headline, serve_summary_headline, serve_telemetry_headline,
+    shot_engine_summary, summary_json, write_baseline_snapshot, GateOutcome,
 };
 
 struct Args {
@@ -208,6 +208,12 @@ fn main() -> ExitCode {
                 // stage breakdown too (older summaries just skip it).
                 if let Some(stages) = serve_telemetry_headline(&json) {
                     println!("bench_report: serve telemetry — {stages}");
+                }
+                // v5+ summaries name their release policy and, in open
+                // mode, the head-to-head policy deltas (older summaries
+                // just skip the line).
+                if let Some(policy) = serve_policy_headline(&json) {
+                    println!("bench_report: serve policy — {policy}");
                 }
             }
             None => println!(

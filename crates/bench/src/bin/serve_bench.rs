@@ -18,8 +18,10 @@
 //! * `--arch NAME` — architecture(s) to serve: `virtual` (default),
 //!   `sqc`, `fanout`, `bb` (bucket-brigade), `ss` (select-swap), or
 //!   `mix` (one spec per family — a mixed-architecture workload through
-//!   one service instance). The summary carries a per-architecture
-//!   throughput/latency/cache breakdown (schema v3);
+//!   one service instance, each family at the `(k, m)` split the
+//!   offline `qram-plan` capacity planner picks under
+//!   `--qubit-budget`). The summary carries a per-architecture
+//!   throughput/latency/cache breakdown;
 //! * `--shots N` — Monte-Carlo shots per request (0 = noiseless serving);
 //! * `--seed N` — service master seed (per-request streams derive from it);
 //! * `--threads N` — real executor workers (`0` = all cores). A pure
@@ -47,10 +49,25 @@
 //! * `--width N` — memory address width `n` (default 4, `--full` 6);
 //! * `--theta X` — zipf exponent of the *address* stream (default 0.99);
 //! * `--batch N` — scheduler batch limit (default 32);
+//! * `--cache N` — compiled-circuit cache capacity (default 8). Set it
+//!   below the hot-spec count to stress eviction — where the release
+//!   policies actually diverge;
 //! * `--queue N` — bounded-queue capacity for open-loop admission
 //!   (default 64; offers beyond it are shed);
 //! * `--deadline T` — batching deadline slack in virtual ns (default
 //!   20000);
+//! * `--release-policy NAME` — which pending group a freed execution
+//!   unit serves: `oldest-first` (default, strict FIFO) or
+//!   `cache-affine` (prefer the oldest *cache-resident* group — zero
+//!   compile ticks — bounded by the policy's age cap so no group
+//!   starves). A scheduling knob on the virtual clock: results remain
+//!   bit-identical across `--threads`/`--shot-threads`/`--path-chunks`
+//!   for either policy. Open mode additionally emits a
+//!   `policy_compare` block running *both* policies head-to-head on
+//!   identical arrivals at the swept load nearest the modeled capacity
+//!   (schema v5);
+//! * `--qubit-budget Q` — physical qubit budget handed to the capacity
+//!   planner for `--arch mix` (0 = unconstrained, the default);
 //! * `--out FILE` — summary path (default `<repo root>/BENCH_SERVE.json`);
 //! * `--trace-out FILE` — also export the full telemetry trace (the
 //!   canonically-ordered span log plus the metrics registry) as JSON.
@@ -72,9 +89,10 @@ use qram_bench::report::{
 };
 use qram_bench::{experiment_memory, print_row};
 use qram_core::{ArchSpec, DataEncoding, Memory, Optimizations};
+use qram_plan::{planned_families, UNLIMITED_BUDGET};
 use qram_service::{
-    assign_specs_with, mixed_arch_specs, Admission, ArrivalProcess, BatchReport, QramService,
-    QueryResult, QuerySpec, ServiceConfig, SpecMix, Ticks, Workload,
+    assign_specs_with, Admission, ArrivalProcess, BatchReport, QramService, QueryResult, QuerySpec,
+    ReleasePolicy, ServiceConfig, SpecMix, Ticks, Workload,
 };
 use qram_telemetry::{host_wall, key, MetricsRegistry, TelemetryRecorder};
 
@@ -95,8 +113,11 @@ struct Args {
     width: Option<usize>,
     theta: f64,
     batch: usize,
+    cache: usize,
     queue: usize,
     deadline: Ticks,
+    release_policy: String,
+    qubit_budget: usize,
     out: Option<PathBuf>,
     trace_out: Option<PathBuf>,
 }
@@ -119,8 +140,11 @@ fn parse_args() -> Args {
         width: None,
         theta: 0.99,
         batch: 32,
+        cache: 8,
         queue: 64,
         deadline: 20_000,
+        release_policy: "oldest-first".into(),
+        qubit_budget: UNLIMITED_BUDGET,
         out: None,
         trace_out: None,
     };
@@ -169,9 +193,21 @@ fn parse_args() -> Args {
             "--width" => parsed.width = Some(value("--width", &mut args).parse().expect("--width")),
             "--theta" => parsed.theta = value("--theta", &mut args).parse().expect("--theta"),
             "--batch" => parsed.batch = value("--batch", &mut args).parse().expect("--batch"),
+            "--cache" => parsed.cache = value("--cache", &mut args).parse().expect("--cache"),
             "--queue" => parsed.queue = value("--queue", &mut args).parse().expect("--queue"),
             "--deadline" => {
                 parsed.deadline = value("--deadline", &mut args).parse().expect("--deadline")
+            }
+            "--release-policy" => parsed.release_policy = value("--release-policy", &mut args),
+            "--qubit-budget" => {
+                let budget: usize = value("--qubit-budget", &mut args)
+                    .parse()
+                    .expect("--qubit-budget");
+                parsed.qubit_budget = if budget == 0 {
+                    UNLIMITED_BUDGET
+                } else {
+                    budget
+                };
             }
             "--out" => parsed.out = Some(PathBuf::from(value("--out", &mut args))),
             "--trace-out" => {
@@ -182,7 +218,9 @@ fn parse_args() -> Args {
                  --threads N, --shot-threads N, --path-chunks N, --mode closed|open, \
                  --workload NAME, \
                  --arrivals NAME, --load LIST, --spec-skew X, --requests N, --width N, \
-                 --theta X, --batch N, --queue N, --deadline T, --out FILE, --trace-out FILE)"
+                 --theta X, --batch N, --cache N, --queue N, --deadline T, \
+                 --release-policy oldest-first|cache-affine, --qubit-budget Q, \
+                 --out FILE, --trace-out FILE)"
             ),
         }
     }
@@ -192,8 +230,10 @@ fn parse_args() -> Args {
 /// The hot circuit shapes the workload cycles over for the selected
 /// `--arch`: a realistic deployment serves a handful of compiled
 /// configurations, and `mix` serves one per architecture family through
-/// the same pipeline.
-fn hot_specs(arch: &str, n: usize) -> Vec<QuerySpec> {
+/// the same pipeline — the *planned* representative from the offline
+/// `(k, m)` capacity planner under `--qubit-budget`, not the legacy
+/// `k = 1` hard-coding, so the cross-family comparison is a fair fight.
+fn hot_specs(arch: &str, n: usize, qubit_budget: usize) -> Vec<QuerySpec> {
     match arch {
         "virtual" => {
             let mut specs = vec![QuerySpec::new(1, n - 1)];
@@ -220,7 +260,14 @@ fn hot_specs(arch: &str, n: usize) -> Vec<QuerySpec> {
             }
             specs
         }
-        "mix" => mixed_arch_specs(n),
+        "mix" => {
+            let planned = planned_families(n, qubit_budget);
+            assert!(
+                !planned.is_empty(),
+                "--qubit-budget {qubit_budget} fits no family at n = {n}; raise the budget"
+            );
+            planned.into_iter().map(QuerySpec::of).collect()
+        }
         other => panic!("unknown --arch `{other}` (expected virtual, sqc, fanout, bb, ss, mix)"),
     }
 }
@@ -275,6 +322,22 @@ fn spec_mix(args: &Args) -> SpecMix {
     }
 }
 
+fn release_policy(args: &Args) -> ReleasePolicy {
+    match args.release_policy.as_str() {
+        "oldest-first" => ReleasePolicy::OldestFirst,
+        "cache-affine" => ReleasePolicy::cache_affine(),
+        other => panic!("unknown --release-policy `{other}` (expected oldest-first, cache-affine)"),
+    }
+}
+
+/// The age cap a policy enforces (0 for strict FIFO, which needs none).
+fn policy_age_cap(policy: ReleasePolicy) -> Ticks {
+    match policy {
+        ReleasePolicy::OldestFirst => 0,
+        ReleasePolicy::CacheAffine { age_cap } => age_cap,
+    }
+}
+
 fn service_config(args: &Args, shots: usize) -> ServiceConfig {
     ServiceConfig::default()
         .with_workers(args.threads)
@@ -283,8 +346,10 @@ fn service_config(args: &Args, shots: usize) -> ServiceConfig {
         .with_batch_limit(args.batch)
         .with_shot_threads(args.shot_threads)
         .with_path_chunks(args.path_chunks)
+        .with_cache_capacity(args.cache)
         .with_queue_capacity(args.queue)
         .with_deadline(args.deadline)
+        .with_release_policy(release_policy(args))
 }
 
 /// Digest of everything deterministic about a result set: ids,
@@ -422,8 +487,11 @@ struct OpenPointRun {
     telemetry: MetricsRegistry,
 }
 
-/// Runs one open-loop operating point and condenses it.
-fn run_open_point(sweep: &OpenSweep<'_>, load_factor: f64) -> OpenPointRun {
+/// Runs one open-loop operating point under `policy` and condenses it.
+/// The arrival stream and spec assignment depend only on `(args,
+/// load_factor)`, so two policies at the same point serve *identical*
+/// arrivals — the policy-compare block relies on this.
+fn run_open_point(sweep: &OpenSweep<'_>, load_factor: f64, policy: ReleasePolicy) -> OpenPointRun {
     let OpenSweep {
         args,
         memory,
@@ -440,7 +508,7 @@ fn run_open_point(sweep: &OpenSweep<'_>, load_factor: f64) -> OpenPointRun {
 
     let mut service = QramService::with_recorder(
         memory.clone(),
-        service_config(args, shots),
+        service_config(args, shots).with_release_policy(policy),
         TelemetryRecorder::new(),
     );
     for (&arrival, &(address, spec)) in arrivals.iter().zip(&submissions) {
@@ -483,11 +551,11 @@ fn run_open_point(sweep: &OpenSweep<'_>, load_factor: f64) -> OpenPointRun {
     }
 }
 
-/// The flat `telemetry` section of the v4 summary: stage-histogram
-/// percentiles, admission flow conservation, and the trace/metrics
-/// digests. Every key is globally unique within the summary so the
-/// first-occurrence field parser in `qram_bench::report` reads them
-/// without structural JSON parsing.
+/// The flat `telemetry` section of the v5 summary: stage-histogram
+/// percentiles, admission flow conservation, release-policy counters,
+/// and the trace/metrics digests. Every key is globally unique within
+/// the summary so the first-occurrence field parser in
+/// `qram_bench::report` reads them without structural JSON parsing.
 fn telemetry_json(telemetry: &MetricsRegistry, trace_digest: u64) -> String {
     let p = |name: &str, q: f64| telemetry.histogram(name).map_or(0, |h| h.percentile(q));
     let c = |name: &str| telemetry.counter(name);
@@ -503,6 +571,7 @@ fn telemetry_json(telemetry: &MetricsRegistry, trace_digest: u64) -> String {
          \"stage_execute_p50_ns\": {},\n    \"stage_execute_p99_ns\": {},\n    \
          \"stage_total_p50_ns\": {},\n    \"stage_total_p90_ns\": {},\n    \
          \"stage_total_p99_ns\": {},\n    \"batch_size_p50\": {},\n    \
+         \"policy_cache_affine_fires\": {},\n    \"policy_age_cap_forced\": {},\n    \
          \"sim_shots\": {},\n    \"sim_gate_applications\": {}\n  }}",
         telemetry.digest(),
         c(key::ADMISSION_ACCEPTED),
@@ -521,6 +590,8 @@ fn telemetry_json(telemetry: &MetricsRegistry, trace_digest: u64) -> String {
         p(key::STAGE_TOTAL, 90.0),
         p(key::STAGE_TOTAL, 99.0),
         p(key::BATCH_SIZE, 50.0),
+        c(key::POLICY_CACHE_AFFINE_FIRES),
+        c(key::POLICY_AGE_CAP_FORCED),
         c(key::SIM_SHOTS),
         c(key::SIM_GATES),
     )
@@ -625,7 +696,7 @@ fn main() {
 
     let memory = experiment_memory(n, args.seed);
     let workload = build_workload(&args, n);
-    let specs = hot_specs(&args.arch, n);
+    let specs = hot_specs(&args.arch, n, args.qubit_budget);
     match args.mode.as_str() {
         "closed" => run_closed(&args, &memory, &workload, &specs, shots, requests),
         "open" => run_open(&args, &memory, &workload, &specs, shots, requests),
@@ -692,6 +763,10 @@ fn run_closed(
     print_row(&["metric", "value"].map(String::from));
     print_row(&["requests".into(), count.to_string()]);
     print_row(&["batches".into(), report.batches.len().to_string()]);
+    print_row(&[
+        "release_policy".into(),
+        release_policy(args).label().to_string(),
+    ]);
     print_row(&["virtual_rps".into(), format!("{virtual_rps:.1}")]);
     print_row(&["wall_rps".into(), format!("{wall_rps:.1}")]);
     print_row(&["latency_p50_us".into(), format!("{:.1}", latency[0] / 1e3)]);
@@ -725,11 +800,12 @@ fn run_closed(
     println!("# results_digest: {digest:016x}");
 
     let json = format!(
-        "{{\n  \"schema\": \"qram-bench/serve-summary/v4\",\n  \"mode\": \"closed\",\n  \
+        "{{\n  \"schema\": \"qram-bench/serve-summary/v5\",\n  \"mode\": \"closed\",\n  \
          \"arch\": \"{}\",\n  \
          \"workload\": \"{}\",\n  \"spec_mix\": \"{}\",\n  \"address_width\": {},\n  \
          \"requests\": {count},\n  \"batches\": {},\n  \"specs\": {},\n  \"shots\": {shots},\n  \
          \"seed\": {},\n  \"shot_threads\": {},\n  \"path_chunks\": {},\n  \
+         \"release_policy\": \"{}\",\n  \"age_cap_ns\": {},\n  \"qubit_budget\": {},\n  \
          \"results_digest\": \"{digest:016x}\",\n  \
          \"virtual_rps\": {virtual_rps:.1},\n  \"wall_rps\": {wall_rps:.1},\n  \
          \"latency_ns\": {{\"p50\": {:.0}, \"p90\": {:.0}, \"p99\": {:.0}, \"max\": {:.0}}},\n  \
@@ -747,6 +823,9 @@ fn run_closed(
         args.seed,
         args.shot_threads,
         args.path_chunks,
+        release_policy(args).label(),
+        policy_age_cap(release_policy(args)),
+        budget_field(args),
         latency[0],
         latency[1],
         latency[2],
@@ -828,7 +907,7 @@ fn run_open(
     let mut merged_telemetry = MetricsRegistry::new();
     let mut point_runs: Vec<OpenPointRun> = Vec::new();
     for &load_factor in &args.loads {
-        let run = run_open_point(&sweep, load_factor);
+        let run = run_open_point(&sweep, load_factor, release_policy(args));
         let point = &run.point;
         print_row(&[
             format!("{load_factor:.2}"),
@@ -863,15 +942,79 @@ fn run_open(
         .collect();
     let per_arch = arch_breakdown(&runs);
 
+    // Head-to-head release-policy comparison at the swept load nearest
+    // the modeled capacity (load 1.0): below it queues barely form, far
+    // above it every pending group ages past the cap and cache-affine
+    // correctly degenerates to FIFO — the capacity point is where the
+    // policies actually diverge. Both policies serve *identical*
+    // arrivals (`run_open_point` derives the stream purely from the
+    // flags and the load factor), so every delta below is the dispatch
+    // policy's doing.
+    let compare_load = args
+        .loads
+        .iter()
+        .copied()
+        .min_by(|a, b| {
+            (a - 1.0)
+                .abs()
+                .partial_cmp(&(b - 1.0).abs())
+                .expect("load factors are finite")
+        })
+        .expect("--load is non-empty");
+    let oldest = run_open_point(&sweep, compare_load, ReleasePolicy::OldestFirst);
+    let affine = run_open_point(&sweep, compare_load, ReleasePolicy::cache_affine());
+    print_row(&[
+        "policy_p50_us".into(),
+        format!(
+            "oldest-first {:.1} vs cache-affine {:.1} @ load {compare_load:.2}",
+            oldest.point.latency_ns[0] / 1e3,
+            affine.point.latency_ns[0] / 1e3
+        ),
+    ]);
+    print_row(&[
+        "policy_mean_compile_us".into(),
+        format!(
+            "oldest-first {:.1} vs cache-affine {:.1}",
+            oldest.point.mean_compile_ns / 1e3,
+            affine.point.mean_compile_ns / 1e3
+        ),
+    ]);
+    let policy_compare = format!(
+        "{{\n    \"compare_load\": {compare_load:.2},\n    \
+         \"p50_oldest_first_ns\": {:.0},\n    \"p99_oldest_first_ns\": {:.0},\n    \
+         \"mean_compile_oldest_first_ns\": {:.1},\n    \
+         \"mean_queue_wait_oldest_first_ns\": {:.1},\n    \
+         \"digest_oldest_first\": \"{:016x}\",\n    \
+         \"p50_cache_affine_ns\": {:.0},\n    \"p99_cache_affine_ns\": {:.0},\n    \
+         \"mean_compile_cache_affine_ns\": {:.1},\n    \
+         \"mean_queue_wait_cache_affine_ns\": {:.1},\n    \
+         \"digest_cache_affine\": \"{:016x}\",\n    \
+         \"compare_cache_affine_fires\": {},\n    \"compare_age_cap_forced\": {}\n  }}",
+        oldest.point.latency_ns[0],
+        oldest.point.latency_ns[2],
+        oldest.point.mean_compile_ns,
+        oldest.point.mean_queue_wait_ns,
+        results_digest(&oldest.results),
+        affine.point.latency_ns[0],
+        affine.point.latency_ns[2],
+        affine.point.mean_compile_ns,
+        affine.point.mean_queue_wait_ns,
+        results_digest(&affine.results),
+        affine.telemetry.counter(key::POLICY_CACHE_AFFINE_FIRES),
+        affine.telemetry.counter(key::POLICY_AGE_CAP_FORCED),
+    );
+
     let json = format!(
-        "{{\n  \"schema\": \"qram-bench/serve-summary/v4\",\n  \"mode\": \"open\",\n  \
+        "{{\n  \"schema\": \"qram-bench/serve-summary/v5\",\n  \"mode\": \"open\",\n  \
          \"arch\": \"{}\",\n  \
          \"workload\": \"{}\",\n  \"arrivals\": \"{}\",\n  \"spec_mix\": \"{}\",\n  \
          \"address_width\": {},\n  \"requests_per_point\": {requests},\n  \"specs\": {},\n  \
          \"shots\": {shots},\n  \"seed\": {},\n  \"shot_threads\": {},\n  \
          \"path_chunks\": {},\n  \"queue_capacity\": {},\n  \"deadline_ns\": {},\n  \"batch_limit\": {},\n  \
+         \"release_policy\": \"{}\",\n  \"age_cap_ns\": {},\n  \"qubit_budget\": {},\n  \
          \"capacity_rps\": {capacity_rps:.1},\n  \"results_digest\": \"{digest:016x}\",\n  \
          \"telemetry\": {},\n  \
+         \"policy_compare\": {policy_compare},\n  \
          \"sweep\": {},\n  \"per_arch\": {}\n}}\n",
         args.arch,
         workload.name(),
@@ -885,6 +1028,9 @@ fn run_open(
         args.queue,
         args.deadline,
         args.batch,
+        release_policy(args).label(),
+        policy_age_cap(release_policy(args)),
+        budget_field(args),
         telemetry_json(&merged_telemetry, trace_digest),
         serve_sweep_json(&points),
         serve_arch_json(&per_arch),
@@ -897,6 +1043,16 @@ fn run_open(
             .map(|(run, load)| (format!("load={load:.2}"), &run.recorder))
             .collect();
         write_trace(path, "open", &sections, &merged_telemetry, trace_digest);
+    }
+}
+
+/// The `qubit_budget` summary field: the CLI's "0 means unlimited"
+/// convention, round-tripped.
+fn budget_field(args: &Args) -> usize {
+    if args.qubit_budget == UNLIMITED_BUDGET {
+        0
+    } else {
+        args.qubit_budget
     }
 }
 

@@ -407,6 +407,41 @@ pub fn serve_telemetry_headline(json: &str) -> Option<String> {
     ))
 }
 
+/// The scheduling-policy headline of a v5+ serve summary: the release
+/// policy the run served under, the planner's qubit budget when one was
+/// set, and — for open-mode summaries — the head-to-head
+/// `policy_compare` deltas at the capacity operating point. Returns
+/// `None` for v4-and-older summaries, which predate the
+/// `release_policy` field — the caller just omits the line.
+pub fn serve_policy_headline(json: &str) -> Option<String> {
+    let schema = json_str_field(json, "schema")?;
+    if !schema.starts_with("qram-bench/serve-summary/") {
+        return None;
+    }
+    let policy = json_str_field(json, "release_policy")?;
+    let mut line = format!("release policy {policy}");
+    if let Some(budget) = json_num_field(json, "qubit_budget") {
+        if budget > 0.0 {
+            line.push_str(&format!(", qubit budget {budget:.0}"));
+        }
+    }
+    if let (Some(p50_oldest), Some(p50_affine)) = (
+        json_num_field(json, "p50_oldest_first_ns"),
+        json_num_field(json, "p50_cache_affine_ns"),
+    ) {
+        let compile_oldest = json_num_field(json, "mean_compile_oldest_first_ns").unwrap_or(0.0);
+        let compile_affine = json_num_field(json, "mean_compile_cache_affine_ns").unwrap_or(0.0);
+        line.push_str(&format!(
+            "; head-to-head at capacity: p50 {:.1} -> {:.1} us, mean compile {:.2} -> {:.2} us",
+            p50_oldest / 1e3,
+            p50_affine / 1e3,
+            compile_oldest / 1e3,
+            compile_affine / 1e3,
+        ));
+    }
+    Some(line)
+}
+
 /// FNV-1a over a byte stream: the results digest `serve_bench` prints so
 /// CI can diff 1-worker vs N-worker runs for bit-equality without
 /// carrying the full result dump.
@@ -909,6 +944,41 @@ mod tests {
         // Not a serve summary at all.
         assert!(serve_summary_headline("{\"schema\": \"qram-bench/bench-summary/v2\"}").is_none());
         assert!(serve_summary_headline("{}").is_none());
+    }
+
+    #[test]
+    fn serve_policy_headline_tolerates_v4_and_v5() {
+        // v4: predates `release_policy` — no policy line, but the
+        // summary headline itself still renders.
+        let v4 = "{\"schema\": \"qram-bench/serve-summary/v4\", \"mode\": \"closed\", \
+                  \"arch\": \"virtual\", \"requests\": 256}";
+        assert!(serve_policy_headline(v4).is_none());
+        assert!(serve_summary_headline(v4).is_some());
+
+        // v5 closed: policy alone (no compare block, unlimited budget).
+        let v5_closed = "{\"schema\": \"qram-bench/serve-summary/v5\", \"mode\": \"closed\", \
+                         \"release_policy\": \"oldest-first\", \"qubit_budget\": 0}";
+        assert_eq!(
+            serve_policy_headline(v5_closed).unwrap(),
+            "release policy oldest-first"
+        );
+
+        // v5 open: budget plus the head-to-head deltas.
+        let v5_open = "{\"schema\": \"qram-bench/serve-summary/v5\", \"mode\": \"open\", \
+                       \"release_policy\": \"cache-affine\", \"qubit_budget\": 64, \
+                       \"policy_compare\": {\"compare_load\": 1.00, \
+                       \"p50_oldest_first_ns\": 34303, \"p99_oldest_first_ns\": 60000, \
+                       \"mean_compile_oldest_first_ns\": 4336.5, \
+                       \"p50_cache_affine_ns\": 33150, \"p99_cache_affine_ns\": 59000, \
+                       \"mean_compile_cache_affine_ns\": 4090.2}}";
+        assert_eq!(
+            serve_policy_headline(v5_open).unwrap(),
+            "release policy cache-affine, qubit budget 64; head-to-head at capacity: \
+             p50 34.3 -> 33.1 us, mean compile 4.34 -> 4.09 us"
+        );
+
+        // Not a serve summary at all.
+        assert!(serve_policy_headline("{\"schema\": \"qram-bench/bench-summary/v2\"}").is_none());
     }
 
     #[test]

@@ -149,6 +149,12 @@ impl ArchSpec {
     ///
     /// Panics if `n < 2` (the hybrids need at least one page bit and one
     /// tree bit).
+    #[deprecated(
+        since = "0.1.0",
+        note = "hard-codes the hybrids at k = 1; enumerate the legal splits with \
+                `ArchSpec::family_candidates` or pick budget-optimal ones with \
+                `qram_plan::planned_families`"
+    )]
     pub fn all_families(n: usize) -> Vec<ArchSpec> {
         assert!(n >= 2, "mixed-architecture set needs n >= 2, got {n}");
         vec![
@@ -159,6 +165,32 @@ impl ArchSpec {
             ArchSpec::virtual_all(1, n - 1),
         ]
     }
+
+    /// Every legal spec serving address width `n`, across all five
+    /// families: `Sqc{n}`, `Fanout{n}`, and each hybrid at every split
+    /// `k + m = n` with at least one page bit (`k ≥ 1`) and one tree bit
+    /// (`m ≥ 1`) — the paper's Table 2 design space, which a capacity
+    /// planner sweeps to pick the split a qubit budget affords (the
+    /// virtual family enumerates its headline `virtual_all`
+    /// configuration per split; optimization/encoding ablations stay a
+    /// separate axis).
+    ///
+    /// Deterministic order: family by [`ArchSpec::family`] tag order
+    /// (sqc, fanout, bucket_brigade, select_swap, virtual), then
+    /// ascending `k` within a family.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2` (the hybrids need at least one page bit and one
+    /// tree bit).
+    pub fn family_candidates(n: usize) -> Vec<ArchSpec> {
+        assert!(n >= 2, "candidate enumeration needs n >= 2, got {n}");
+        let mut candidates = vec![ArchSpec::Sqc { n }, ArchSpec::Fanout { m: n }];
+        candidates.extend((1..n).map(|k| ArchSpec::BucketBrigade { k, m: n - k }));
+        candidates.extend((1..n).map(|k| ArchSpec::SelectSwap { k, m: n - k }));
+        candidates.extend((1..n).map(|k| ArchSpec::virtual_all(k, n - k)));
+        candidates
+    }
 }
 
 impl std::fmt::Display for ArchSpec {
@@ -168,6 +200,9 @@ impl std::fmt::Display for ArchSpec {
 }
 
 #[cfg(test)]
+// The deprecated `all_families` shim keeps its pinned behavior until
+// every consumer has moved to the planner; these tests are the pin.
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::Memory;
@@ -246,5 +281,41 @@ mod tests {
     #[should_panic(expected = "n >= 2")]
     fn mixed_set_rejects_tiny_widths() {
         let _ = ArchSpec::all_families(1);
+    }
+
+    #[test]
+    fn family_candidates_enumerate_every_legal_split() {
+        for n in 2..=5 {
+            let candidates = ArchSpec::family_candidates(n);
+            // Sqc + Fanout + three hybrid families at (n - 1) splits each.
+            assert_eq!(candidates.len(), 2 + 3 * (n - 1), "n = {n}");
+            let set: HashSet<ArchSpec> = candidates.iter().copied().collect();
+            assert_eq!(set.len(), candidates.len(), "n = {n}: duplicates");
+            for spec in &candidates {
+                assert_eq!(spec.address_width(), n, "{spec}");
+            }
+            // The legacy k = 1 comparison set is a subset of the space.
+            for legacy in ArchSpec::all_families(n) {
+                assert!(set.contains(&legacy), "{legacy} missing at n = {n}");
+            }
+        }
+    }
+
+    #[test]
+    fn family_candidates_build_and_verify() {
+        let n = 3;
+        let memory = Memory::from_bits((0..8).map(|i| i % 3 == 1));
+        for spec in ArchSpec::family_candidates(n) {
+            let query = spec.instantiate().build(&memory);
+            query
+                .verify(&memory)
+                .unwrap_or_else(|e| panic!("{spec}: {e}"));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "n >= 2")]
+    fn candidate_enumeration_rejects_tiny_widths() {
+        let _ = ArchSpec::family_candidates(1);
     }
 }

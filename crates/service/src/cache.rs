@@ -174,6 +174,13 @@ impl CircuitCache {
     pub fn keys(&self) -> Vec<QuerySpec> {
         self.entries.iter().map(|(s, _)| *s).collect()
     }
+
+    /// Whether `spec`'s compiled query is resident *without* touching
+    /// recency or the lookup counters — the scheduler's cache-affinity
+    /// probe: releasing a resident group charges zero compile ticks.
+    pub fn contains(&self, spec: &QuerySpec) -> bool {
+        self.entries.iter().any(|(s, _)| s == spec)
+    }
 }
 
 #[cfg(test)]
@@ -222,6 +229,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)] // pins the legacy k = 1 comparison set
     fn distinct_architectures_get_distinct_keys() {
         // Every architecture family at n = 3 is its own cache entry:
         // no family ever serves another's requests from the cache.
@@ -340,6 +348,28 @@ mod tests {
         assert_eq!(cache.len(), 1);
         let stats = cache.stats();
         assert_eq!((stats.lookups, stats.hits, stats.misses), (2, 0, 2));
+    }
+
+    #[test]
+    fn residency_probe_never_perturbs_recency_or_counters() {
+        let mut cache = CircuitCache::new(2);
+        let a = QuerySpec::new(0, 1);
+        let b = QuerySpec::new(0, 2);
+        let c = QuerySpec::new(1, 1);
+        cache.get_or_insert_with(a, || compile(a));
+        cache.get_or_insert_with(b, || compile(b));
+        assert!(cache.contains(&a) && cache.contains(&b));
+        assert!(!cache.contains(&c));
+        // Probing `a` ten times must not refresh it: `a` is still the
+        // LRU entry and the next insert evicts it.
+        for _ in 0..10 {
+            assert!(cache.contains(&a));
+        }
+        let stats = cache.stats();
+        assert_eq!((stats.lookups, stats.hits), (2, 0), "probes are free");
+        cache.get_or_insert_with(c, || compile(c));
+        assert!(!cache.contains(&a), "a stayed LRU despite the probes");
+        assert_eq!(cache.keys(), vec![b, c]);
     }
 
     #[test]

@@ -39,7 +39,11 @@
 //!   deadline-aware batching scheduler: a batch fires when it reaches
 //!   the batch limit, when its oldest member's deadline slack runs
 //!   out, or — work conservation, on by default — immediately when the
-//!   modeled device has a free execution unit;
+//!   modeled device has a free execution unit. *Which* pending group a
+//!   freed unit serves is policy-driven ([`ReleasePolicy`]): strict
+//!   FIFO by default, or cache-affine dispatch preferring the oldest
+//!   group whose compiled circuit is cache-resident (zero compile
+//!   ticks), bounded by an age cap so no group starves;
 //! * [`CircuitCache`] — a bounded LRU of [`CompiledQuery`] artifacts
 //!   with full lookup/hit/miss/eviction accounting. Artifacts are
 //!   **verified before insertion**: every cache miss runs the
@@ -102,7 +106,7 @@ pub use qram_core::ArchSpec;
 pub use qram_telemetry::{MetricsRegistry, NoopRecorder, Recorder, SpanTracer, TelemetryRecorder};
 pub use qram_verify::{Finding, VerifyError, VerifyLevel};
 pub use request::{Latency, QueryRequest, QueryResult, QuerySpec};
-pub use scheduler::{plan_batches, DeadlineBatcher, QueryBatch};
+pub use scheduler::{plan_batches, DeadlineBatcher, QueryBatch, ReleasePolicy};
 pub use service::{BatchReport, QramService, ServiceConfig, ServiceReport};
 pub use workload::{
     assign_specs, assign_specs_with, mixed_arch_specs, ArrivalProcess, ClosedLoop, SpecMix,

@@ -22,6 +22,56 @@
 
 use crate::{QueryRequest, QuerySpec, Ticks};
 
+/// Which pending group a work-conserving release hands a freed
+/// execution unit.
+///
+/// The policy consults only virtual-time state — pending-group arrival
+/// order and compiled-circuit cache residency — never host scheduling,
+/// so every choice (and therefore every result, trace and digest) stays
+/// bit-identical across worker/shot-thread/path-chunk counts.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum ReleasePolicy {
+    /// Strict FIFO over groups: always the group whose current members
+    /// arrived first (the historical behavior, and the default).
+    #[default]
+    OldestFirst,
+    /// Cost-based: prefer the *oldest cache-resident* group — its
+    /// compiled circuit is already in the [`crate::CircuitCache`], so
+    /// releasing it charges zero compile ticks on the critical path —
+    /// over strict FIFO, unless the oldest group has already waited
+    /// `age_cap` ticks, in which case it is released regardless of
+    /// residency (the non-starvation bound).
+    CacheAffine {
+        /// Maximum ticks the oldest pending group may be passed over
+        /// before it becomes the forced pick. Bounds any group's extra
+        /// queue wait under sustained cache-hot load; the batching
+        /// deadline still applies independently.
+        age_cap: Ticks,
+    },
+}
+
+impl ReleasePolicy {
+    /// Default age cap of [`ReleasePolicy::cache_affine`]: half the
+    /// default batching deadline, so the policy's starvation bound is
+    /// strictly tighter than the deadline path it rides alongside.
+    pub const DEFAULT_AGE_CAP: Ticks = 10_000;
+
+    /// The cache-affine policy at the default age cap.
+    pub fn cache_affine() -> Self {
+        ReleasePolicy::CacheAffine {
+            age_cap: ReleasePolicy::DEFAULT_AGE_CAP,
+        }
+    }
+
+    /// Stable label for reports (`"oldest-first"` / `"cache-affine"`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            ReleasePolicy::OldestFirst => "oldest-first",
+            ReleasePolicy::CacheAffine { .. } => "cache-affine",
+        }
+    }
+}
+
 /// A fired batch: a run of batch-compatible requests released for
 /// execution together.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -162,11 +212,28 @@ impl DeadlineBatcher {
     /// execution unit, waiting out a deadline buys no amortization, so
     /// the service releases the oldest pending work immediately.
     pub fn fire_oldest(&mut self) -> Option<QueryBatch> {
-        if self.groups.is_empty() {
+        self.fire_nth(0)
+    }
+
+    /// Fires the pending group at `index` in first-arrival order
+    /// (`None` when out of range) — the policy-driven release path:
+    /// a [`ReleasePolicy`] picks the index, this method releases it.
+    pub fn fire_nth(&mut self, index: usize) -> Option<QueryBatch> {
+        if index >= self.groups.len() {
             return None;
         }
-        let (spec, requests) = self.groups.remove(0);
+        let (spec, requests) = self.groups.remove(index);
         Some(QueryBatch { spec, requests })
+    }
+
+    /// `(spec, oldest member arrival)` of every pending group, in
+    /// first-arrival order — the read-only view a [`ReleasePolicy`]
+    /// selects over.
+    pub fn group_heads(&self) -> Vec<(QuerySpec, Ticks)> {
+        self.groups
+            .iter()
+            .map(|(spec, members)| (*spec, members[0].arrival))
+            .collect()
     }
 
     /// Fires every pending group regardless of deadline, in
@@ -335,6 +402,43 @@ mod tests {
         let second = batcher.fire_oldest().expect("b pends");
         assert_eq!(second.spec, b);
         assert_eq!(batcher.pending(), 0);
+    }
+
+    #[test]
+    fn fire_nth_releases_an_arbitrary_group_and_keeps_order() {
+        let a = QuerySpec::new(0, 2);
+        let b = QuerySpec::new(1, 1);
+        let c = QuerySpec::new(2, 1);
+        let mut batcher = DeadlineBatcher::new(16, 1_000);
+        batcher.push(at(0, a, 5));
+        batcher.push(at(1, b, 7));
+        batcher.push(at(2, c, 9));
+        batcher.push(at(3, b, 11));
+        assert_eq!(
+            batcher.group_heads(),
+            vec![(a, 5), (b, 7), (c, 9)],
+            "heads carry the oldest member's arrival in first-arrival order"
+        );
+        // Fire the middle group; the survivors keep their order.
+        let fired = batcher.fire_nth(1).expect("b pends");
+        assert_eq!(fired.spec, b);
+        assert_eq!(fired.len(), 2);
+        assert_eq!(batcher.group_heads(), vec![(a, 5), (c, 9)]);
+        assert!(batcher.fire_nth(2).is_none(), "out of range");
+        assert_eq!(batcher.fire_oldest().expect("a pends").spec, a);
+    }
+
+    #[test]
+    fn release_policy_labels_and_default() {
+        assert_eq!(ReleasePolicy::default(), ReleasePolicy::OldestFirst);
+        assert_eq!(ReleasePolicy::OldestFirst.label(), "oldest-first");
+        assert_eq!(ReleasePolicy::cache_affine().label(), "cache-affine");
+        assert_eq!(
+            ReleasePolicy::cache_affine(),
+            ReleasePolicy::CacheAffine {
+                age_cap: ReleasePolicy::DEFAULT_AGE_CAP
+            }
+        );
     }
 
     #[test]

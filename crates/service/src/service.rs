@@ -48,7 +48,7 @@ use qram_verify::VerifyLevel;
 use crate::executor::{dispatch, PreparedRequest};
 use crate::{
     Admission, AdmissionStats, CacheStats, CircuitCache, Compiler, CostModel, DeadlineBatcher,
-    Latency, QueryBatch, QueryRequest, QueryResult, QuerySpec, RejectReason, Ticks,
+    Latency, QueryBatch, QueryRequest, QueryResult, QuerySpec, RejectReason, ReleasePolicy, Ticks,
     VirtualTimeline,
 };
 
@@ -108,6 +108,16 @@ pub struct ServiceConfig {
     /// [`submit`](QramService::submit) path admits without advancing
     /// the clock and is batched as before.
     pub work_conserving: bool,
+    /// Which pending group a work-conserving release hands a freed
+    /// execution unit: strict FIFO over groups
+    /// ([`ReleasePolicy::OldestFirst`], the default — the historical
+    /// behavior, bit-for-bit), or cost-based cache affinity
+    /// ([`ReleasePolicy::CacheAffine`]) preferring the oldest group
+    /// whose compiled circuit is cache-resident (zero compile ticks on
+    /// the critical path), bounded by an age cap so no group starves.
+    /// The policy reads only virtual-time state, so either setting is
+    /// bit-identical across worker/shot-thread/path-chunk counts.
+    pub release_policy: ReleasePolicy,
     /// The virtual-time cost model latency is measured under.
     pub cost: CostModel,
     /// Run the *deep* `qram-verify` analysis (ancilla lifecycle +
@@ -133,6 +143,7 @@ impl Default for ServiceConfig {
             queue_capacity: 256,
             deadline: 20_000,
             work_conserving: true,
+            release_policy: ReleasePolicy::OldestFirst,
             cost: CostModel::default(),
             deep_verify: false,
         }
@@ -204,6 +215,12 @@ impl ServiceConfig {
     /// Enables or disables work-conserving batch firing.
     pub fn with_work_conserving(mut self, on: bool) -> Self {
         self.work_conserving = on;
+        self
+    }
+
+    /// Overrides the work-conserving release policy.
+    pub fn with_release_policy(mut self, policy: ReleasePolicy) -> Self {
+        self.release_policy = policy;
         self
     }
 
@@ -702,14 +719,61 @@ impl<R: Recorder> QramService<R> {
     }
 
     /// While work-conserving with pending work and a free execution
-    /// unit at the current instant, fires the oldest pending group.
+    /// unit at the current instant, fires the pending group the release
+    /// policy selects.
     fn conserve_now(&mut self) {
         while self.config.work_conserving
             && self.batcher.pending() > 0
             && self.timeline.next_free() <= self.now
         {
-            let batch = self.batcher.fire_oldest().expect("pending group exists");
-            self.fire_batches(vec![batch], self.now, FireReason::WorkConserving);
+            let (batch, reason) = self.release_pending().expect("pending group exists");
+            self.fire_batches(vec![batch], self.now, reason);
+        }
+    }
+
+    /// Releases one pending group under the configured
+    /// [`ReleasePolicy`], returning it with the fire reason its
+    /// [`SpanStage::BatchForm`] span carries (`None` when nothing is
+    /// pending).
+    ///
+    /// `OldestFirst` is the historical strict-FIFO release. Under
+    /// `CacheAffine` the freed unit goes to the oldest group whose
+    /// compiled circuit is cache-resident — zero compile ticks on the
+    /// critical path — *unless* the oldest group has already waited
+    /// `age_cap` ticks, in which case it is released regardless of
+    /// residency. Both the selection inputs (group arrival order, cache
+    /// residency) and the clock are virtual-time state, so the choice is
+    /// deterministic across all host-parallelism knobs.
+    fn release_pending(&mut self) -> Option<(QueryBatch, FireReason)> {
+        let ReleasePolicy::CacheAffine { age_cap } = self.config.release_policy else {
+            let batch = self.batcher.fire_oldest()?;
+            return Some((batch, FireReason::WorkConserving));
+        };
+        let heads = self.batcher.group_heads();
+        let (_, oldest_arrival) = *heads.first()?;
+        let resident = heads.iter().position(|(spec, _)| self.cache.contains(spec));
+        if self.now.saturating_sub(oldest_arrival) >= age_cap {
+            // Non-starvation bound: the oldest group exhausted its age
+            // cap, so it fires even if a younger resident group exists.
+            if resident.is_some_and(|pos| pos > 0) {
+                self.metrics.add(key::POLICY_AGE_CAP_FORCED, 1);
+            }
+            let batch = self.batcher.fire_oldest()?;
+            return Some((batch, FireReason::WorkConserving));
+        }
+        match resident {
+            // The oldest resident group is not the oldest group: the
+            // cache-affine redirect, charged zero compile ticks.
+            Some(pos) if pos > 0 => {
+                self.metrics.add(key::POLICY_CACHE_AFFINE_FIRES, 1);
+                let batch = self.batcher.fire_nth(pos)?;
+                Some((batch, FireReason::CacheAffine))
+            }
+            // Oldest group is resident, or nothing is: plain FIFO.
+            _ => {
+                let batch = self.batcher.fire_oldest()?;
+                Some((batch, FireReason::WorkConserving))
+            }
         }
     }
 
@@ -735,8 +799,8 @@ impl<R: Recorder> QramService<R> {
             if conserving {
                 let at = conserve.expect("conserving event exists");
                 self.now = self.now.max(at);
-                let batch = self.batcher.fire_oldest().expect("pending group exists");
-                self.fire_batches(vec![batch], self.now, FireReason::WorkConserving);
+                let (batch, reason) = self.release_pending().expect("pending group exists");
+                self.fire_batches(vec![batch], self.now, reason);
             } else {
                 let at = deadline.expect("deadline event exists");
                 self.now = self.now.max(at);
@@ -1256,6 +1320,98 @@ mod tests {
         let third = results.iter().find(|r| r.id == 2).expect("id 2 served");
         assert!(third.latency.queue_wait > 0);
         assert!(third.latency.total() < 1_000_000);
+    }
+
+    #[test]
+    fn cache_affine_redirects_a_freed_unit_to_the_resident_group() {
+        // Both units busy serving hot spec H (so H is cache-resident),
+        // a cold group C pending ahead of a younger hot group: when the
+        // first unit frees, the cache-affine policy hands it to the hot
+        // group (zero compile ticks) and only then serves C.
+        let config = noiseless_config()
+            .with_deadline(1_000_000)
+            .with_batch_limit(64)
+            .with_release_policy(ReleasePolicy::CacheAffine { age_cap: 500_000 });
+        let mut service = QramService::new(memory(3), config);
+        let hot = QuerySpec::new(1, 2);
+        let cold = QuerySpec::new(2, 1);
+        assert!(service.try_submit_at(0, hot, 0).is_accepted()); // unit 0
+        assert!(service.try_submit_at(1, hot, 0).is_accepted()); // unit 1
+        assert!(service.try_submit_at(2, cold, 0).is_accepted()); // pends (oldest group)
+        assert!(service.try_submit_at(3, hot, 0).is_accepted()); // pends (younger, resident)
+        assert_eq!(service.pending(), 2);
+        let results = service.poll(1_000_000_000);
+        assert_eq!(results.len(), 4);
+        let reports = service.take_batch_reports();
+        // Firing order: the two immediate hot fires, then the redirect
+        // to the resident hot group, then the cold group.
+        assert_eq!(
+            reports.iter().map(|b| b.spec).collect::<Vec<_>>(),
+            vec![hot, hot, hot, cold]
+        );
+        assert_eq!(reports[2].compile, 0, "redirected fire was a cache hit");
+        assert!(reports[3].compile > 0, "cold group still pays its compile");
+        let metrics = service.metrics_snapshot();
+        assert_eq!(metrics.counter(key::POLICY_CACHE_AFFINE_FIRES), 1);
+        assert_eq!(metrics.counter(key::POLICY_AGE_CAP_FORCED), 0);
+    }
+
+    #[test]
+    fn age_cap_forces_the_oldest_group_despite_a_resident_one() {
+        // Same shape as above, but with a 1-tick age cap: by the time a
+        // unit frees the cold group has exhausted its cap, so it fires
+        // first even though the hot group is resident.
+        let config = noiseless_config()
+            .with_deadline(1_000_000)
+            .with_batch_limit(64)
+            .with_release_policy(ReleasePolicy::CacheAffine { age_cap: 1 });
+        let mut service = QramService::new(memory(3), config);
+        let hot = QuerySpec::new(1, 2);
+        let cold = QuerySpec::new(2, 1);
+        assert!(service.try_submit_at(0, hot, 0).is_accepted());
+        assert!(service.try_submit_at(1, hot, 0).is_accepted());
+        assert!(service.try_submit_at(2, cold, 0).is_accepted());
+        assert!(service.try_submit_at(3, hot, 0).is_accepted());
+        let results = service.poll(1_000_000_000);
+        assert_eq!(results.len(), 4);
+        let reports = service.take_batch_reports();
+        assert_eq!(
+            reports.iter().map(|b| b.spec).collect::<Vec<_>>(),
+            vec![hot, hot, cold, hot]
+        );
+        let metrics = service.metrics_snapshot();
+        assert_eq!(metrics.counter(key::POLICY_CACHE_AFFINE_FIRES), 0);
+        assert_eq!(metrics.counter(key::POLICY_AGE_CAP_FORCED), 1);
+    }
+
+    #[test]
+    fn oldest_first_remains_the_default_release_policy() {
+        assert_eq!(
+            ServiceConfig::default().release_policy,
+            ReleasePolicy::OldestFirst
+        );
+        // And under it the counters never move, even with the same
+        // contended workload the affine tests use.
+        let config = noiseless_config()
+            .with_deadline(1_000_000)
+            .with_batch_limit(64);
+        let mut service = QramService::new(memory(3), config);
+        let hot = QuerySpec::new(1, 2);
+        let cold = QuerySpec::new(2, 1);
+        for (address, spec) in [(0, hot), (1, hot), (2, cold), (3, hot)] {
+            assert!(service.try_submit_at(address, spec, 0).is_accepted());
+        }
+        let results = service.poll(1_000_000_000);
+        assert_eq!(results.len(), 4);
+        let reports = service.take_batch_reports();
+        // Strict FIFO: the cold group fires before the younger hot one.
+        assert_eq!(
+            reports.iter().map(|b| b.spec).collect::<Vec<_>>(),
+            vec![hot, hot, cold, hot]
+        );
+        let metrics = service.metrics_snapshot();
+        assert_eq!(metrics.counter(key::POLICY_CACHE_AFFINE_FIRES), 0);
+        assert_eq!(metrics.counter(key::POLICY_AGE_CAP_FORCED), 0);
     }
 
     #[test]

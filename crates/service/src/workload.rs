@@ -327,14 +327,24 @@ pub fn assign_specs_with(
 }
 
 /// The standard mixed-architecture spec set at address width `n`: one
-/// [`QuerySpec`] per architecture family ([`ArchSpec::all_families`]),
-/// for workloads that exercise the service's architecture polymorphism.
+/// [`QuerySpec`] per architecture family (the legacy `k = 1` hybrids of
+/// `ArchSpec::all_families`), for workloads that exercise the service's
+/// architecture polymorphism.
+///
+/// This is the *fixed* comparison set with pinned behavior; workloads
+/// that should pit each family's **best** `(k, m)` split against the
+/// others under a qubit budget route through `qram_plan::planned_families`
+/// instead (as `serve_bench --arch mix` now does).
 ///
 /// # Panics
 ///
 /// Panics if `n < 2` (the hybrid families need a page bit and a tree
 /// bit).
 pub fn mixed_arch_specs(n: usize) -> Vec<QuerySpec> {
+    // The deprecated shim is exactly the pinned set this function
+    // promises; moving it to the planner would change five tests' cache
+    // accounting for no modeling gain.
+    #[allow(deprecated)]
     ArchSpec::all_families(n)
         .into_iter()
         .map(QuerySpec::of)

@@ -98,6 +98,12 @@ pub mod key {
     pub const STAGE_TOTAL: &str = "stage.total_ns";
     /// Histogram: batch sizes at fire time.
     pub const BATCH_SIZE: &str = "batch.size";
+    /// Counter: work-conserving releases the cache-affine policy
+    /// redirected to a younger cache-resident group.
+    pub const POLICY_CACHE_AFFINE_FIRES: &str = "policy.cache_affine_fires";
+    /// Counter: releases where the age cap forced the oldest group
+    /// despite a younger cache-resident group pending.
+    pub const POLICY_AGE_CAP_FORCED: &str = "policy.age_cap_forced";
     /// Counter: shots sampled by the simulation engine.
     pub const SIM_SHOTS: &str = "sim.shots";
     /// Counter: shots whose fault plan forced a path replay.

@@ -60,6 +60,10 @@ pub enum FireReason {
     WorkConserving,
     /// End-of-run drain flushed the remaining groups.
     Drain,
+    /// Cache-affine work conservation: a free unit was given to a
+    /// younger group whose compiled circuit was cache-resident (zero
+    /// compile ticks) in preference to the oldest pending group.
+    CacheAffine,
 }
 
 impl FireReason {
@@ -70,6 +74,7 @@ impl FireReason {
             FireReason::Deadline => "deadline",
             FireReason::WorkConserving => "work-conserving",
             FireReason::Drain => "drain",
+            FireReason::CacheAffine => "cache-affine",
         }
     }
 
@@ -79,6 +84,9 @@ impl FireReason {
             FireReason::Deadline => 1,
             FireReason::WorkConserving => 2,
             FireReason::Drain => 3,
+            // Appended, never renumbered: existing trace digests stay
+            // stable.
+            FireReason::CacheAffine => 4,
         }
     }
 }

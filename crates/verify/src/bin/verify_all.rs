@@ -29,6 +29,7 @@ fn workspace_root() -> PathBuf {
 /// Every spec the circuit pass certifies: the five-family comparison
 /// set at n = 3..6, plus the virtual QRAM's optimization presets ×
 /// data encodings at two paged shapes.
+#[allow(deprecated)] // the certified matrix keeps the legacy k = 1 set (and more)
 fn matrix() -> Vec<ArchSpec> {
     let mut specs = Vec::new();
     for n in 3..=6 {

@@ -16,6 +16,12 @@
 //! * [`core`] — the QRAM architectures: the paper's *virtual QRAM*
 //!   contribution and all evaluated baselines (SQC, fanout, bucket-brigade,
 //!   select-swap).
+//! * [`plan`] — the offline `(k, m)` capacity planner: sweeps every
+//!   legal split of every architecture family through the serving
+//!   compiler's pricing pipeline and reports the Pareto frontier over
+//!   (compile ticks, execute ticks/shot, qubits) plus the
+//!   budget-optimal representative of each family — the planned
+//!   replacement for hard-coded `k = 1` comparisons.
 //! * [`service`] — the architecture-polymorphic, event-driven
 //!   query-serving pipeline on a virtual clock: any `ArchSpec` served
 //!   through bounded non-blocking admission with back-pressure,
@@ -61,6 +67,7 @@ pub use qram_circuit as circuit;
 pub use qram_core as core;
 pub use qram_layout as layout;
 pub use qram_noise as noise;
+pub use qram_plan as plan;
 pub use qram_qec as qec;
 pub use qram_service as service;
 pub use qram_sim as sim;
