@@ -37,10 +37,11 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use qram_bench::report::{
-    apply_gate, apply_path_gate, baseline_snapshot_dir, bench_results_dir,
+    apply_fleet_slo_gate, apply_gate, apply_path_gate, baseline_snapshot_dir, bench_results_dir,
     compare_against_baseline, find_repo_root, load_records, merge_baseline_records, parse_baseline,
-    path_engine_summary, serve_policy_headline, serve_summary_headline, serve_telemetry_headline,
-    shot_engine_summary, summary_json, write_baseline_snapshot, GateOutcome,
+    path_engine_summary, serve_fleet_headline, serve_policy_headline, serve_summary_headline,
+    serve_telemetry_headline, shot_engine_summary, summary_json, write_baseline_snapshot,
+    GateOutcome,
 };
 
 struct Args {
@@ -200,20 +201,26 @@ fn main() -> ExitCode {
         .clone()
         .unwrap_or_else(|| PathBuf::from("."))
         .join("BENCH_SERVE.json");
-    match std::fs::read_to_string(&serve_path) {
-        Ok(json) => match serve_summary_headline(&json) {
+    let serve_json = std::fs::read_to_string(&serve_path).ok();
+    match &serve_json {
+        Some(json) => match serve_summary_headline(json) {
             Some(headline) => {
                 println!("bench_report: serve summary — {headline}");
                 // v4+ summaries carry a telemetry section; print its
                 // stage breakdown too (older summaries just skip it).
-                if let Some(stages) = serve_telemetry_headline(&json) {
+                if let Some(stages) = serve_telemetry_headline(json) {
                     println!("bench_report: serve telemetry — {stages}");
                 }
                 // v5+ summaries name their release policy and, in open
                 // mode, the head-to-head policy deltas (older summaries
                 // just skip the line).
-                if let Some(policy) = serve_policy_headline(&json) {
+                if let Some(policy) = serve_policy_headline(json) {
                     println!("bench_report: serve policy — {policy}");
+                }
+                // v6+ fleet runs carry the sharded-front-door sections
+                // (bare runs just skip the line).
+                if let Some(fleet) = serve_fleet_headline(json) {
+                    println!("bench_report: serve fleet — {fleet}");
                 }
             }
             None => println!(
@@ -221,7 +228,7 @@ fn main() -> ExitCode {
                 serve_path.display()
             ),
         },
-        Err(_) => println!("bench_report: no serve summary at {}", serve_path.display()),
+        None => println!("bench_report: no serve summary at {}", serve_path.display()),
     }
 
     let abs_failed = apply_abs_comparison(&records, &args);
@@ -278,6 +285,7 @@ fn main() -> ExitCode {
             "path-engine",
             apply_path_gate(path_engine.as_ref(), baseline.as_ref(), threads),
         ),
+        ("fleet-slo", apply_fleet_slo_gate(serve_json.as_deref())),
     ] {
         match outcome {
             GateOutcome::Pass { speedup, floor } => {

@@ -65,9 +65,29 @@
 //!   for either policy. Open mode additionally emits a
 //!   `policy_compare` block running *both* policies head-to-head on
 //!   identical arrivals at the swept load nearest the modeled capacity
-//!   (schema v5);
+//!   (schema v6);
 //! * `--qubit-budget Q` — physical qubit budget handed to the capacity
 //!   planner for `--arch mix` (0 = unconstrained, the default);
+//! * `--fleet N` — open-loop only: serve through a
+//!   [`qram_fleet::FleetController`] over `N` shards instead of one
+//!   bare service (0 = bare, the default). Arrivals are tagged with
+//!   deterministic tenants and SLO classes, routed by consistent
+//!   hashing with cache-affine replica tie-breaking, and shed at the
+//!   front door by `--shed-policy`. The summary grows `fleet`,
+//!   `per_shard`, `per_tenant`, `per_slo`, and `slo_compare` sections
+//!   (schema v6), the latter running deadline-priority vs tail-drop on
+//!   byte-identical arrivals at the highest swept load;
+//! * `--tenants T` — fleet tenants to spread arrivals over (default 3);
+//! * `--front-capacity N` — fleet front-door queue bound (default 1024);
+//! * `--shed-policy NAME` — front-door overflow policy: `tail-drop` or
+//!   `deadline-priority` (default — trim zombies, then batch, then
+//!   best-effort, keep live interactive work last);
+//! * `--replication N` — rendezvous replica candidates per unpinned
+//!   spec (default 2, clamped to the fleet size);
+//! * `--pin-planned` — pin the capacity planner's family split to
+//!   dedicated shards round-robin (uses `--qubit-budget`);
+//! * `--slo-deadline T` — interactive-class deadline in virtual ns
+//!   (default 60000);
 //! * `--out FILE` — summary path (default `<repo root>/BENCH_SERVE.json`);
 //! * `--trace-out FILE` — also export the full telemetry trace (the
 //!   canonically-ordered span log plus the metrics registry) as JSON.
@@ -89,10 +109,11 @@ use qram_bench::report::{
 };
 use qram_bench::{experiment_memory, print_row};
 use qram_core::{ArchSpec, DataEncoding, Memory, Optimizations};
+use qram_fleet::{FleetConfig, FleetController, FleetResult, ShedPolicy};
 use qram_plan::{planned_families, UNLIMITED_BUDGET};
 use qram_service::{
     assign_specs_with, Admission, ArrivalProcess, BatchReport, QramService, QueryResult, QuerySpec,
-    ReleasePolicy, ServiceConfig, SpecMix, Ticks, Workload,
+    ReleasePolicy, ServiceConfig, SloClass, SpecMix, TenantId, Ticks, Workload,
 };
 use qram_telemetry::{host_wall, key, MetricsRegistry, TelemetryRecorder};
 
@@ -118,6 +139,13 @@ struct Args {
     deadline: Ticks,
     release_policy: String,
     qubit_budget: usize,
+    fleet: usize,
+    tenants: u32,
+    front_capacity: usize,
+    shed_policy: String,
+    replication: usize,
+    pin_planned: bool,
+    slo_deadline: Ticks,
     out: Option<PathBuf>,
     trace_out: Option<PathBuf>,
 }
@@ -145,6 +173,13 @@ fn parse_args() -> Args {
         deadline: 20_000,
         release_policy: "oldest-first".into(),
         qubit_budget: UNLIMITED_BUDGET,
+        fleet: 0,
+        tenants: 3,
+        front_capacity: 1024,
+        shed_policy: "deadline-priority".into(),
+        replication: 2,
+        pin_planned: false,
+        slo_deadline: 60_000,
         out: None,
         trace_out: None,
     };
@@ -209,6 +244,28 @@ fn parse_args() -> Args {
                     budget
                 };
             }
+            "--fleet" => parsed.fleet = value("--fleet", &mut args).parse().expect("--fleet"),
+            "--tenants" => {
+                parsed.tenants = value("--tenants", &mut args).parse().expect("--tenants");
+                assert!(parsed.tenants > 0, "--tenants needs at least one tenant");
+            }
+            "--front-capacity" => {
+                parsed.front_capacity = value("--front-capacity", &mut args)
+                    .parse()
+                    .expect("--front-capacity")
+            }
+            "--shed-policy" => parsed.shed_policy = value("--shed-policy", &mut args),
+            "--replication" => {
+                parsed.replication = value("--replication", &mut args)
+                    .parse()
+                    .expect("--replication")
+            }
+            "--pin-planned" => parsed.pin_planned = true,
+            "--slo-deadline" => {
+                parsed.slo_deadline = value("--slo-deadline", &mut args)
+                    .parse()
+                    .expect("--slo-deadline")
+            }
             "--out" => parsed.out = Some(PathBuf::from(value("--out", &mut args))),
             "--trace-out" => {
                 parsed.trace_out = Some(PathBuf::from(value("--trace-out", &mut args)))
@@ -220,7 +277,9 @@ fn parse_args() -> Args {
                  --arrivals NAME, --load LIST, --spec-skew X, --requests N, --width N, \
                  --theta X, --batch N, --cache N, --queue N, --deadline T, \
                  --release-policy oldest-first|cache-affine, --qubit-budget Q, \
-                 --out FILE, --trace-out FILE)"
+                 --fleet N, --tenants T, --front-capacity N, \
+                 --shed-policy tail-drop|deadline-priority, --replication N, --pin-planned, \
+                 --slo-deadline T, --out FILE, --trace-out FILE)"
             ),
         }
     }
@@ -239,8 +298,16 @@ fn hot_specs(arch: &str, n: usize, qubit_budget: usize) -> Vec<QuerySpec> {
             let mut specs = vec![QuerySpec::new(1, n - 1)];
             if n >= 3 {
                 specs.push(QuerySpec::new(2, n - 2));
-                specs.push(QuerySpec::new(1, n - 1).with_encoding(DataEncoding::FusedBit));
-                specs.push(QuerySpec::new(2, n - 2).with_optimizations(Optimizations::OPT2));
+                specs.push(
+                    QuerySpec::new(1, n - 1)
+                        .try_with_encoding(DataEncoding::FusedBit)
+                        .expect("FusedBit applies to the virtual family"),
+                );
+                specs.push(
+                    QuerySpec::new(2, n - 2)
+                        .try_with_optimizations(Optimizations::OPT2)
+                        .expect("OPT2 applies to the virtual family"),
+                );
             }
             specs
         }
@@ -698,7 +765,16 @@ fn main() {
     let workload = build_workload(&args, n);
     let specs = hot_specs(&args.arch, n, args.qubit_budget);
     match args.mode.as_str() {
-        "closed" => run_closed(&args, &memory, &workload, &specs, shots, requests),
+        "closed" => {
+            assert!(
+                args.fleet == 0,
+                "--fleet requires --mode open (the fleet controller is an open-loop front door)"
+            );
+            run_closed(&args, &memory, &workload, &specs, shots, requests)
+        }
+        "open" if args.fleet > 0 => {
+            run_open_fleet(&args, &memory, &workload, &specs, shots, requests)
+        }
         "open" => run_open(&args, &memory, &workload, &specs, shots, requests),
         other => panic!("unknown mode `{other}` (expected closed, open)"),
     }
@@ -800,7 +876,7 @@ fn run_closed(
     println!("# results_digest: {digest:016x}");
 
     let json = format!(
-        "{{\n  \"schema\": \"qram-bench/serve-summary/v5\",\n  \"mode\": \"closed\",\n  \
+        "{{\n  \"schema\": \"qram-bench/serve-summary/v6\",\n  \"mode\": \"closed\",\n  \
          \"arch\": \"{}\",\n  \
          \"workload\": \"{}\",\n  \"spec_mix\": \"{}\",\n  \"address_width\": {},\n  \
          \"requests\": {count},\n  \"batches\": {},\n  \"specs\": {},\n  \"shots\": {shots},\n  \
@@ -1005,7 +1081,7 @@ fn run_open(
     );
 
     let json = format!(
-        "{{\n  \"schema\": \"qram-bench/serve-summary/v5\",\n  \"mode\": \"open\",\n  \
+        "{{\n  \"schema\": \"qram-bench/serve-summary/v6\",\n  \"mode\": \"open\",\n  \
          \"arch\": \"{}\",\n  \
          \"workload\": \"{}\",\n  \"arrivals\": \"{}\",\n  \"spec_mix\": \"{}\",\n  \
          \"address_width\": {},\n  \"requests_per_point\": {requests},\n  \"specs\": {},\n  \
@@ -1041,6 +1117,521 @@ fn run_open(
             .iter()
             .zip(&args.loads)
             .map(|(run, load)| (format!("load={load:.2}"), &run.recorder))
+            .collect();
+        write_trace(path, "open", &sections, &merged_telemetry, trace_digest);
+    }
+}
+
+/// The front-door overflow policy selected by `--shed-policy`.
+fn shed_policy(args: &Args) -> ShedPolicy {
+    match args.shed_policy.as_str() {
+        "tail-drop" => ShedPolicy::TailDrop,
+        "deadline-priority" => ShedPolicy::DeadlinePriority,
+        other => panic!("unknown --shed-policy `{other}` (expected tail-drop, deadline-priority)"),
+    }
+}
+
+/// The fleet topology selected by the flags: `--fleet` shards each
+/// running the bare service configuration, fronted by a
+/// `--front-capacity` door under `--shed-policy`.
+fn fleet_config(args: &Args, shots: usize) -> FleetConfig {
+    let mut config = FleetConfig::default()
+        .with_shards(args.fleet)
+        .with_shard_base(service_config(args, shots))
+        .with_front_capacity(args.front_capacity)
+        .with_shed_policy(shed_policy(args))
+        .with_replication(args.replication);
+    if args.pin_planned {
+        config = config.with_planned_pins(args.qubit_budget);
+    }
+    config
+}
+
+/// Deterministic tenant for the `index`-th offer: an FNV mix of the
+/// index and the master seed, so the tenant stream is reproducible but
+/// decorrelated from the round-robin SLO-class cycle below.
+fn tenant_for(index: u64, tenants: u32, seed: u64) -> TenantId {
+    let mut bytes = index.to_le_bytes().to_vec();
+    bytes.extend_from_slice(&seed.to_le_bytes());
+    TenantId((fnv1a_64(bytes) % tenants as u64) as u32)
+}
+
+/// Deterministic SLO class for the `index`-th offer: 25% interactive
+/// (under the `--slo-deadline` budget), 50% batch, 25% best-effort.
+fn slo_for(index: u64, deadline: Ticks) -> SloClass {
+    match index % 4 {
+        0 => SloClass::Interactive { deadline },
+        3 => SloClass::BestEffort,
+        _ => SloClass::Batch,
+    }
+}
+
+/// Digest of everything deterministic about a fleet result set: the
+/// fleet-level placement and queueing context on top of each
+/// shard-level result's own deterministic fields.
+fn fleet_results_digest(results: &[FleetResult]) -> u64 {
+    let mut bytes: Vec<u8> = Vec::with_capacity(results.len() * 96);
+    for r in results {
+        bytes.extend(r.seq.to_le_bytes());
+        bytes.extend((r.shard as u64).to_le_bytes());
+        bytes.extend(r.tenant.0.to_le_bytes());
+        bytes.extend(r.slo.label().as_bytes());
+        bytes.extend(r.front_wait.to_le_bytes());
+        bytes.extend(r.result.address.to_le_bytes());
+        bytes.extend(r.result.spec.arch.family().as_bytes());
+        bytes.push(r.result.value as u8);
+        bytes.extend(r.result.completed.to_le_bytes());
+        bytes.extend(r.result.latency.queue_wait.to_le_bytes());
+        bytes.extend(r.result.latency.compile.to_le_bytes());
+        bytes.extend(r.result.latency.execute.to_le_bytes());
+    }
+    fnv1a_64(bytes)
+}
+
+/// Door-to-completion p99 of the interactive class (0 when the point
+/// completed no interactive requests).
+fn interactive_p99(results: &[FleetResult]) -> f64 {
+    let totals: Vec<f64> = results
+        .iter()
+        .filter(|r| matches!(r.slo, SloClass::Interactive { .. }))
+        .map(|r| r.total_latency() as f64)
+        .collect();
+    percentile(&totals, 99.0)
+}
+
+/// One fleet operating point's full output: the condensed summary point
+/// (latencies are door-to-completion, front wait included), raw fleet
+/// results, the front-door recorder, the merged fleet+shard metrics,
+/// the fleet trace digest, and the per-tenant / per-SLO / per-shard
+/// tallies.
+struct FleetPointRun {
+    point: ServeLoadPoint,
+    results: Vec<FleetResult>,
+    recorder: TelemetryRecorder,
+    telemetry: MetricsRegistry,
+    trace_digest: u64,
+    per_tenant: Vec<(u32, u64, u64)>,
+    per_class: Vec<(&'static str, u64, u64, u64, u64)>,
+    per_shard: Vec<(usize, u64, u64, u64)>,
+}
+
+/// Runs one fleet operating point under `policy` and condenses it. Like
+/// [`run_open_point`], the arrival stream, spec assignment, and
+/// tenant/SLO tagging depend only on `(args, load_factor)`, so two shed
+/// policies at the same point serve *byte-identical* offered streams —
+/// the `slo_compare` block relies on this.
+fn run_fleet_point(sweep: &OpenSweep<'_>, load_factor: f64, policy: ShedPolicy) -> FleetPointRun {
+    let OpenSweep {
+        args,
+        memory,
+        workload,
+        specs,
+        shots,
+        requests,
+        capacity_rps,
+    } = *sweep;
+    let offered_rps = capacity_rps * load_factor;
+    let mean_gap = 1e9 / offered_rps;
+    let arrivals = build_arrivals(args, mean_gap).arrivals(requests);
+    let submissions = assign_specs_with(workload, specs, spec_mix(args), requests);
+
+    let mut fleet = FleetController::with_telemetry(
+        memory.clone(),
+        fleet_config(args, shots).with_shed_policy(policy),
+    );
+    for (i, (&arrival, &(address, spec))) in arrivals.iter().zip(&submissions).enumerate() {
+        let tenant = tenant_for(i as u64, args.tenants, args.seed);
+        let slo = slo_for(i as u64, args.slo_deadline);
+        fleet.submit_at(address, spec, arrival, tenant, slo);
+    }
+    let results = fleet.run_until_idle();
+
+    let first_arrival = arrivals.first().copied().unwrap_or(0);
+    let last_completed = results
+        .iter()
+        .map(|r| r.result.completed)
+        .max()
+        .unwrap_or(0);
+    let span = last_completed.saturating_sub(first_arrival).max(1) as f64;
+    let completed = results.len();
+    let totals: Vec<f64> = results.iter().map(|r| r.total_latency() as f64).collect();
+    let max = totals.iter().copied().fold(0.0f64, f64::max);
+    let (hits, misses) = fleet.shards().iter().fold((0u64, 0u64), |(h, m), shard| {
+        let c = shard.cache_stats();
+        (h + c.hits, m + c.misses)
+    });
+    let stats = fleet.stats();
+    let point = ServeLoadPoint {
+        offered_rps,
+        load_factor,
+        offered: requests,
+        completed,
+        shed: stats.shed,
+        achieved_rps: completed as f64 * 1e9 / span,
+        latency_ns: [
+            percentile(&totals, 50.0),
+            percentile(&totals, 90.0),
+            percentile(&totals, 99.0),
+            max,
+        ],
+        mean_queue_wait_ns: mean(
+            results
+                .iter()
+                .map(|r| (r.front_wait + r.result.latency.queue_wait) as f64),
+            completed,
+        ),
+        mean_compile_ns: mean(
+            results.iter().map(|r| r.result.latency.compile as f64),
+            completed,
+        ),
+        mean_execute_ns: mean(
+            results.iter().map(|r| r.result.latency.execute as f64),
+            completed,
+        ),
+        cache_hit_rate: if hits + misses == 0 {
+            0.0
+        } else {
+            hits as f64 / (hits + misses) as f64
+        },
+    };
+    let per_tenant: Vec<(u32, u64, u64)> = stats
+        .per_tenant
+        .iter()
+        .map(|(t, s)| (t.0, s.completed, s.shed))
+        .collect();
+    let per_class: Vec<(&'static str, u64, u64, u64, u64)> = stats
+        .per_class
+        .iter()
+        .map(|(&label, s)| {
+            (
+                label,
+                s.completed,
+                s.shed,
+                s.deadline_met,
+                s.deadline_missed,
+            )
+        })
+        .collect();
+    let per_shard: Vec<(usize, u64, u64, u64)> = fleet
+        .shards()
+        .iter()
+        .enumerate()
+        .map(|(sid, shard)| {
+            let on_shard = results.iter().filter(|r| r.shard == sid).count() as u64;
+            let c = shard.cache_stats();
+            (sid, on_shard, c.hits, c.misses)
+        })
+        .collect();
+
+    let mut telemetry = fleet.metrics_snapshot();
+    for shard in fleet.shards() {
+        telemetry.merge_from(shard.recorder().metrics());
+    }
+    telemetry.merge_from(fleet.recorder().metrics());
+    let trace_digest = fleet.trace_digest();
+    FleetPointRun {
+        point,
+        recorder: fleet.recorder().clone(),
+        telemetry,
+        trace_digest,
+        per_tenant,
+        per_class,
+        per_shard,
+        results,
+    }
+}
+
+/// The shed tally a point recorded for `label`, 0 when the class never
+/// appeared.
+fn class_shed(per_class: &[(&'static str, u64, u64, u64, u64)], label: &str) -> u64 {
+    per_class
+        .iter()
+        .find(|(l, ..)| *l == label)
+        .map(|&(_, _, shed, _, _)| shed)
+        .unwrap_or(0)
+}
+
+/// Open loop through the fleet front door: the bare open sweep's
+/// arrival machinery, served by a sharded [`FleetController`] with
+/// deterministic tenant/SLO tagging, plus a deadline-priority vs
+/// tail-drop head-to-head on byte-identical arrivals at the highest
+/// swept load.
+fn run_open_fleet(
+    args: &Args,
+    memory: &Memory,
+    workload: &Workload,
+    specs: &[QuerySpec],
+    shots: usize,
+    requests: usize,
+) {
+    // The modeled capacity: the bare per-shard capacity (execution
+    // units over mean execute cost) times the shard count.
+    let cost = service_config(args, shots).cost;
+    let mean_execute = specs
+        .iter()
+        .map(|spec| cost.execute_cost(&spec.arch.instantiate().resources(memory), shots))
+        .sum::<u64>() as f64
+        / specs.len() as f64;
+    let capacity_rps = cost.capacity_rps(mean_execute.round() as u64) * args.fleet as f64;
+
+    println!(
+        "# serve_bench fleet: {} shards x {} requests/point, {} tenants, shed {}, replication {}, n={} (arch {}, {} hot specs, {} shots, front {}, capacity {:.0} rps)",
+        args.fleet,
+        requests,
+        args.tenants,
+        args.shed_policy,
+        args.replication,
+        memory.address_width(),
+        args.arch,
+        specs.len(),
+        shots,
+        args.front_capacity,
+        capacity_rps,
+    );
+    print_row(
+        &[
+            "load",
+            "offered",
+            "completed",
+            "shed",
+            "rps",
+            "p50_us",
+            "p99_us",
+            "qwait_us",
+            "hit_rate",
+        ]
+        .map(String::from),
+    );
+    let sweep = OpenSweep {
+        args,
+        memory,
+        workload,
+        specs,
+        shots,
+        requests,
+        capacity_rps,
+    };
+    let mut points = Vec::new();
+    let mut digest_bytes: Vec<u8> = Vec::new();
+    let mut trace_digest_bytes: Vec<u8> = Vec::new();
+    let mut merged_telemetry = MetricsRegistry::new();
+    let mut all_totals: Vec<f64> = Vec::new();
+    let mut agg_tenant: std::collections::BTreeMap<u32, (u64, u64)> = Default::default();
+    let mut agg_class: std::collections::BTreeMap<&'static str, (u64, u64, u64, u64)> =
+        Default::default();
+    let mut agg_shard: std::collections::BTreeMap<usize, (u64, u64, u64)> = Default::default();
+    let mut offered_total = 0usize;
+    let mut shed_total = 0u64;
+    let mut arch_runs: Vec<Vec<QueryResult>> = Vec::new();
+    let mut recorders: Vec<(String, TelemetryRecorder)> = Vec::new();
+    for &load_factor in &args.loads {
+        let run = run_fleet_point(&sweep, load_factor, shed_policy(args));
+        let point = &run.point;
+        print_row(&[
+            format!("{load_factor:.2}"),
+            point.offered.to_string(),
+            point.completed.to_string(),
+            point.shed.to_string(),
+            format!("{:.0}", point.achieved_rps),
+            format!("{:.1}", point.latency_ns[0] / 1e3),
+            format!("{:.1}", point.latency_ns[2] / 1e3),
+            format!("{:.1}", point.mean_queue_wait_ns / 1e3),
+            format!("{:.3}", point.cache_hit_rate),
+        ]);
+        digest_bytes.extend(fleet_results_digest(&run.results).to_le_bytes());
+        trace_digest_bytes.extend(run.trace_digest.to_le_bytes());
+        merged_telemetry.merge_from(&run.telemetry);
+        all_totals.extend(run.results.iter().map(|r| r.total_latency() as f64));
+        for &(t, completed, shed) in &run.per_tenant {
+            let e = agg_tenant.entry(t).or_default();
+            e.0 += completed;
+            e.1 += shed;
+        }
+        for &(label, completed, shed, met, missed) in &run.per_class {
+            let e = agg_class.entry(label).or_default();
+            e.0 += completed;
+            e.1 += shed;
+            e.2 += met;
+            e.3 += missed;
+        }
+        for &(sid, completed, hits, misses) in &run.per_shard {
+            let e = agg_shard.entry(sid).or_default();
+            e.0 += completed;
+            e.1 += hits;
+            e.2 += misses;
+        }
+        offered_total += point.offered;
+        shed_total += point.shed;
+        if args.trace_out.is_some() {
+            recorders.push((format!("load={load_factor:.2}"), run.recorder));
+        }
+        arch_runs.push(run.results.iter().map(|r| r.result.clone()).collect());
+        points.push(run.point.clone());
+    }
+    let digest = fnv1a_64(digest_bytes);
+    // As in the bare open sweep, each point runs its own virtual clock,
+    // so the sweep digest chains the per-point fleet trace digests.
+    let trace_digest = fnv1a_64(trace_digest_bytes);
+    let fleet_p50 = percentile(&all_totals, 50.0);
+    let fleet_p99 = percentile(&all_totals, 99.0);
+    let completed_total = all_totals.len();
+    print_telemetry(&merged_telemetry, trace_digest);
+    println!("# results_digest: {digest:016x}");
+    print_row(&[
+        "fleet_door_to_done_us".into(),
+        format!("p50 {:.1}, p99 {:.1}", fleet_p50 / 1e3, fleet_p99 / 1e3),
+    ]);
+    for (&t, &(completed, shed)) in &agg_tenant {
+        print_row(&[
+            format!("tenant[{t}]"),
+            format!("{completed} completed, {shed} shed"),
+        ]);
+    }
+    for (&label, &(completed, shed, met, missed)) in &agg_class {
+        print_row(&[
+            format!("slo[{label}]"),
+            format!(
+                "{completed} completed, {shed} shed, deadline {met}/{}",
+                met + missed
+            ),
+        ]);
+    }
+    let empty_batches: Vec<BatchReport> = Vec::new();
+    let runs: Vec<(&[QueryResult], &[BatchReport])> = arch_runs
+        .iter()
+        .map(|r| (&r[..], &empty_batches[..]))
+        .collect();
+    let per_arch = arch_breakdown(&runs);
+
+    // SLO head-to-head at the *highest* swept load — overload is where
+    // the shed policies actually diverge. Both runs serve byte-identical
+    // offered streams; every delta is the front-door policy's doing.
+    let compare_load = args.loads.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let dp = run_fleet_point(&sweep, compare_load, ShedPolicy::DeadlinePriority);
+    let td = run_fleet_point(&sweep, compare_load, ShedPolicy::TailDrop);
+    let dp_p99 = interactive_p99(&dp.results);
+    let td_p99 = interactive_p99(&td.results);
+    print_row(&[
+        "slo_interactive_p99_us".into(),
+        format!(
+            "deadline-priority {:.1} vs tail-drop {:.1} @ load {compare_load:.2}",
+            dp_p99 / 1e3,
+            td_p99 / 1e3
+        ),
+    ]);
+    let slo_compare = format!(
+        "{{\n    \"slo_compare_load\": {compare_load:.2},\n    \
+         \"interactive_p99_deadline_priority_ns\": {dp_p99:.0},\n    \
+         \"interactive_p99_tail_drop_ns\": {td_p99:.0},\n    \
+         \"interactive_shed_deadline_priority\": {},\n    \
+         \"interactive_shed_tail_drop\": {},\n    \
+         \"batch_shed_deadline_priority\": {},\n    \
+         \"batch_shed_tail_drop\": {},\n    \
+         \"best_effort_shed_deadline_priority\": {},\n    \
+         \"best_effort_shed_tail_drop\": {},\n    \
+         \"digest_deadline_priority\": \"{:016x}\",\n    \
+         \"digest_tail_drop\": \"{:016x}\"\n  }}",
+        class_shed(&dp.per_class, "interactive"),
+        class_shed(&td.per_class, "interactive"),
+        class_shed(&dp.per_class, "batch"),
+        class_shed(&td.per_class, "batch"),
+        class_shed(&dp.per_class, "best_effort"),
+        class_shed(&td.per_class, "best_effort"),
+        fleet_results_digest(&dp.results),
+        fleet_results_digest(&td.results),
+    );
+
+    let fleet_section = format!(
+        "{{\n    \"fleet_shards\": {},\n    \"fleet_tenants\": {},\n    \
+         \"fleet_front_capacity\": {},\n    \"fleet_shed_policy\": \"{}\",\n    \
+         \"fleet_replication\": {},\n    \"fleet_pin_planned\": {},\n    \
+         \"fleet_slo_deadline_ns\": {},\n    \
+         \"fleet_offered\": {offered_total},\n    \"fleet_completed\": {completed_total},\n    \
+         \"fleet_shed\": {shed_total},\n    \
+         \"fleet_routed\": {},\n    \"fleet_pinned_routes\": {},\n    \
+         \"fleet_replica_cache_wins\": {},\n    \"fleet_front_depth_high_water\": {},\n    \
+         \"fleet_p50_ns\": {fleet_p50:.0},\n    \"fleet_p99_ns\": {fleet_p99:.0}\n  }}",
+        args.fleet,
+        args.tenants,
+        args.front_capacity,
+        shed_policy(args).label(),
+        args.replication,
+        args.pin_planned,
+        args.slo_deadline,
+        merged_telemetry.counter(key::FLEET_ROUTED),
+        merged_telemetry.counter(key::FLEET_PINNED_ROUTES),
+        merged_telemetry.counter(key::FLEET_REPLICA_CACHE_WINS),
+        merged_telemetry.gauge(key::FLEET_FRONT_DEPTH_HIGH_WATER),
+    );
+    let per_shard_json = agg_shard
+        .iter()
+        .map(|(&sid, &(completed, hits, misses))| {
+            format!(
+                "\n    {{\"shard\": {sid}, \"completed\": {completed}, \
+                 \"cache_hits\": {hits}, \"cache_misses\": {misses}}}"
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",");
+    let per_tenant_json = agg_tenant
+        .iter()
+        .map(|(&t, &(completed, shed))| {
+            format!("\n    {{\"tenant\": {t}, \"completed\": {completed}, \"shed\": {shed}}}")
+        })
+        .collect::<Vec<_>>()
+        .join(",");
+    let per_slo_json = agg_class
+        .iter()
+        .map(|(&label, &(completed, shed, met, missed))| {
+            format!(
+                "\n    {{\"slo\": \"{label}\", \"completed\": {completed}, \"shed\": {shed}, \
+                 \"deadline_met\": {met}, \"deadline_missed\": {missed}}}"
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",");
+
+    let json = format!(
+        "{{\n  \"schema\": \"qram-bench/serve-summary/v6\",\n  \"mode\": \"open\",\n  \
+         \"arch\": \"{}\",\n  \
+         \"workload\": \"{}\",\n  \"arrivals\": \"{}\",\n  \"spec_mix\": \"{}\",\n  \
+         \"address_width\": {},\n  \"requests_per_point\": {requests},\n  \"specs\": {},\n  \
+         \"shots\": {shots},\n  \"seed\": {},\n  \"shot_threads\": {},\n  \
+         \"path_chunks\": {},\n  \"queue_capacity\": {},\n  \"deadline_ns\": {},\n  \"batch_limit\": {},\n  \
+         \"release_policy\": \"{}\",\n  \"age_cap_ns\": {},\n  \"qubit_budget\": {},\n  \
+         \"capacity_rps\": {capacity_rps:.1},\n  \"results_digest\": \"{digest:016x}\",\n  \
+         \"fleet\": {fleet_section},\n  \
+         \"telemetry\": {},\n  \
+         \"slo_compare\": {slo_compare},\n  \
+         \"sweep\": {},\n  \
+         \"per_shard\": [{per_shard_json}\n  ],\n  \
+         \"per_tenant\": [{per_tenant_json}\n  ],\n  \
+         \"per_slo\": [{per_slo_json}\n  ],\n  \
+         \"per_arch\": {}\n}}\n",
+        args.arch,
+        workload.name(),
+        args.arrivals,
+        mix_name(args),
+        memory.address_width(),
+        specs.len(),
+        args.seed,
+        args.shot_threads,
+        args.path_chunks,
+        args.queue,
+        args.deadline,
+        args.batch,
+        release_policy(args).label(),
+        policy_age_cap(release_policy(args)),
+        budget_field(args),
+        telemetry_json(&merged_telemetry, trace_digest),
+        serve_sweep_json(&points),
+        serve_arch_json(&per_arch),
+    );
+    write_summary(args.out.clone(), &json);
+    if let Some(path) = &args.trace_out {
+        let sections: Vec<(String, &TelemetryRecorder)> = recorders
+            .iter()
+            .map(|(label, recorder)| (label.clone(), recorder))
             .collect();
         write_trace(path, "open", &sections, &merged_telemetry, trace_digest);
     }

@@ -442,6 +442,42 @@ pub fn serve_policy_headline(json: &str) -> Option<String> {
     Some(line)
 }
 
+/// The fleet headline of a v6+ serve summary: shard count, front-door
+/// shed policy, the door-to-completion latency percentiles (front-door
+/// wait included), and — when the summary carries the `slo_compare`
+/// head-to-head — the interactive p99 under each shed policy at the
+/// overload point. Returns `None` for bare (non-fleet) runs and
+/// pre-v6 summaries, which carry no `fleet_*` keys — the caller just
+/// omits the line.
+pub fn serve_fleet_headline(json: &str) -> Option<String> {
+    let schema = json_str_field(json, "schema")?;
+    if !schema.starts_with("qram-bench/serve-summary/") {
+        return None;
+    }
+    let shards = json_num_field(json, "fleet_shards")?;
+    let p50 = json_num_field(json, "fleet_p50_ns")?;
+    let p99 = json_num_field(json, "fleet_p99_ns")?;
+    let policy = json_str_field(json, "fleet_shed_policy").unwrap_or_else(|| "?".into());
+    let tenants = json_num_field(json, "fleet_tenants").unwrap_or(0.0);
+    let mut line = format!(
+        "{shards:.0} shards x {tenants:.0} tenants, shed policy {policy}, \
+         door-to-done p50 {:.1} us / p99 {:.1} us",
+        p50 / 1e3,
+        p99 / 1e3,
+    );
+    if let (Some(dp), Some(td)) = (
+        json_num_field(json, "interactive_p99_deadline_priority_ns"),
+        json_num_field(json, "interactive_p99_tail_drop_ns"),
+    ) {
+        line.push_str(&format!(
+            "; interactive p99 at overload: deadline-priority {:.1} vs tail-drop {:.1} us",
+            dp / 1e3,
+            td / 1e3,
+        ));
+    }
+    Some(line)
+}
+
 /// FNV-1a over a byte stream: the results digest `serve_bench` prints so
 /// CI can diff 1-worker vs N-worker runs for bit-equality without
 /// carrying the full result dump.
@@ -688,6 +724,41 @@ pub fn apply_path_gate(
         baseline.tolerance,
         threads_available,
     )
+}
+
+/// Applies the fleet SLO gate over a serve summary's `slo_compare`
+/// head-to-head: deadline-priority shedding must not lose to tail-drop
+/// on interactive p99 at the overload point — the whole reason the
+/// front door exists. The reported "speedup" is
+/// `tail_drop_p99 / deadline_priority_p99` against a floor of 1.0, so
+/// equality (e.g. a sweep that never shed) passes. Skips gracefully on
+/// bare (non-fleet) runs, pre-v6 summaries, and sweeps that completed
+/// no interactive requests.
+pub fn apply_fleet_slo_gate(summary_json: Option<&str>) -> GateOutcome {
+    let Some(json) = summary_json else {
+        return GateOutcome::Skip("no BENCH_SERVE.json".into());
+    };
+    if serve_summary_headline(json).is_none() {
+        return GateOutcome::Skip("not a recognized serve summary".into());
+    }
+    let (Some(dp), Some(td)) = (
+        json_num_field(json, "interactive_p99_deadline_priority_ns"),
+        json_num_field(json, "interactive_p99_tail_drop_ns"),
+    ) else {
+        return GateOutcome::Skip(
+            "summary has no fleet slo_compare section (bare serve run)".into(),
+        );
+    };
+    if dp <= 0.0 || td <= 0.0 {
+        return GateOutcome::Skip("slo_compare completed no interactive requests".into());
+    }
+    let speedup = td / dp;
+    let floor = 1.0;
+    if speedup >= floor {
+        GateOutcome::Pass { speedup, floor }
+    } else {
+        GateOutcome::Fail { speedup, floor }
+    }
 }
 
 #[cfg(test)]
@@ -979,6 +1050,77 @@ mod tests {
 
         // Not a serve summary at all.
         assert!(serve_policy_headline("{\"schema\": \"qram-bench/bench-summary/v2\"}").is_none());
+    }
+
+    #[test]
+    fn serve_fleet_headline_tolerates_bare_and_fleet_summaries() {
+        // Bare (non-fleet) v6 open run: no fleet_* keys, no fleet line.
+        let bare = "{\"schema\": \"qram-bench/serve-summary/v6\", \"mode\": \"open\", \
+                    \"release_policy\": \"oldest-first\"}";
+        assert!(serve_fleet_headline(bare).is_none());
+        assert!(serve_summary_headline(bare).is_some());
+
+        // Fleet v6 run with the slo_compare head-to-head.
+        let fleet = "{\"schema\": \"qram-bench/serve-summary/v6\", \"mode\": \"open\", \
+                     \"fleet\": {\"fleet_shards\": 4, \"fleet_tenants\": 3, \
+                     \"fleet_shed_policy\": \"deadline-priority\", \
+                     \"fleet_p50_ns\": 11400, \"fleet_p99_ns\": 140700}, \
+                     \"slo_compare\": {\"interactive_p99_deadline_priority_ns\": 206400, \
+                     \"interactive_p99_tail_drop_ns\": 258900}}";
+        assert_eq!(
+            serve_fleet_headline(fleet).unwrap(),
+            "4 shards x 3 tenants, shed policy deadline-priority, \
+             door-to-done p50 11.4 us / p99 140.7 us; \
+             interactive p99 at overload: deadline-priority 206.4 vs tail-drop 258.9 us"
+        );
+
+        // Not a serve summary at all.
+        assert!(serve_fleet_headline("{\"schema\": \"qram-bench/bench-summary/v2\"}").is_none());
+    }
+
+    #[test]
+    fn fleet_slo_gate_passes_ties_fails_regressions_and_skips_bare_runs() {
+        // Deadline-priority wins: pass, ratio above 1.
+        let win = "{\"schema\": \"qram-bench/serve-summary/v6\", \"mode\": \"open\", \
+                   \"interactive_p99_deadline_priority_ns\": 200000, \
+                   \"interactive_p99_tail_drop_ns\": 250000}";
+        match apply_fleet_slo_gate(Some(win)) {
+            GateOutcome::Pass { speedup, floor } => {
+                assert!(speedup > 1.2 && speedup < 1.3);
+                assert_eq!(floor, 1.0);
+            }
+            other => panic!("expected pass, got {other:?}"),
+        }
+
+        // A tie (nothing shed at the compare point) still passes.
+        let tie = "{\"schema\": \"qram-bench/serve-summary/v6\", \"mode\": \"open\", \
+                   \"interactive_p99_deadline_priority_ns\": 151467, \
+                   \"interactive_p99_tail_drop_ns\": 151467}";
+        assert!(matches!(
+            apply_fleet_slo_gate(Some(tie)),
+            GateOutcome::Pass { .. }
+        ));
+
+        // Deadline-priority losing to tail-drop is a regression.
+        let lose = "{\"schema\": \"qram-bench/serve-summary/v6\", \"mode\": \"open\", \
+                    \"interactive_p99_deadline_priority_ns\": 260000, \
+                    \"interactive_p99_tail_drop_ns\": 250000}";
+        assert!(matches!(
+            apply_fleet_slo_gate(Some(lose)),
+            GateOutcome::Fail { .. }
+        ));
+
+        // Bare runs, foreign documents, and a missing summary all skip.
+        let bare = "{\"schema\": \"qram-bench/serve-summary/v6\", \"mode\": \"open\"}";
+        assert!(matches!(
+            apply_fleet_slo_gate(Some(bare)),
+            GateOutcome::Skip(_)
+        ));
+        assert!(matches!(
+            apply_fleet_slo_gate(Some("{\"schema\": \"qram-bench/bench-summary/v2\"}")),
+            GateOutcome::Skip(_)
+        ));
+        assert!(matches!(apply_fleet_slo_gate(None), GateOutcome::Skip(_)));
     }
 
     #[test]

@@ -141,31 +141,6 @@ impl ArchSpec {
         }
     }
 
-    /// One canonical spec per architecture family, all serving address
-    /// width `n` — the standard mixed-architecture comparison set (the
-    /// hybrids at `k = 1`, matching the paper's smallest paged shape).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `n < 2` (the hybrids need at least one page bit and one
-    /// tree bit).
-    #[deprecated(
-        since = "0.1.0",
-        note = "hard-codes the hybrids at k = 1; enumerate the legal splits with \
-                `ArchSpec::family_candidates` or pick budget-optimal ones with \
-                `qram_plan::planned_families`"
-    )]
-    pub fn all_families(n: usize) -> Vec<ArchSpec> {
-        assert!(n >= 2, "mixed-architecture set needs n >= 2, got {n}");
-        vec![
-            ArchSpec::Sqc { n },
-            ArchSpec::Fanout { m: n },
-            ArchSpec::BucketBrigade { k: 1, m: n - 1 },
-            ArchSpec::SelectSwap { k: 1, m: n - 1 },
-            ArchSpec::virtual_all(1, n - 1),
-        ]
-    }
-
     /// Every legal spec serving address width `n`, across all five
     /// families: `Sqc{n}`, `Fanout{n}`, and each hybrid at every split
     /// `k + m = n` with at least one page bit (`k ≥ 1`) and one tree bit
@@ -200,19 +175,29 @@ impl std::fmt::Display for ArchSpec {
 }
 
 #[cfg(test)]
-// The deprecated `all_families` shim keeps its pinned behavior until
-// every consumer has moved to the planner; these tests are the pin.
-#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::Memory;
     use std::collections::HashSet;
 
+    /// One spec per family at width `n`, hybrids at `k = 1` — the
+    /// historical comparison set (the removed `all_families` shim),
+    /// kept literal here to pin that every family round-trips.
+    fn one_spec_per_family(n: usize) -> Vec<ArchSpec> {
+        vec![
+            ArchSpec::Sqc { n },
+            ArchSpec::Fanout { m: n },
+            ArchSpec::BucketBrigade { k: 1, m: n - 1 },
+            ArchSpec::SelectSwap { k: 1, m: n - 1 },
+            ArchSpec::virtual_all(1, n - 1),
+        ]
+    }
+
     #[test]
     fn every_family_instantiates_verifies_and_reads_back() {
         let n = 3;
         let memory = Memory::from_bits((0..8).map(|i| i % 3 == 1));
-        for spec in ArchSpec::all_families(n) {
+        for spec in one_spec_per_family(n) {
             assert_eq!(spec.address_width(), n, "{spec}");
             let query = spec.instantiate().build(&memory);
             query
@@ -230,7 +215,7 @@ mod tests {
 
     #[test]
     fn families_are_distinct_hash_keys() {
-        let specs = ArchSpec::all_families(3);
+        let specs = one_spec_per_family(3);
         let set: HashSet<ArchSpec> = specs.iter().copied().collect();
         assert_eq!(set.len(), specs.len());
         let families: HashSet<&str> = specs.iter().map(ArchSpec::family).collect();
@@ -268,19 +253,13 @@ mod tests {
     #[test]
     fn resources_hook_matches_a_direct_build() {
         let memory = Memory::from_bits((0..8).map(|i| i % 2 == 0));
-        for spec in ArchSpec::all_families(3) {
+        for spec in one_spec_per_family(3) {
             let arch = spec.instantiate();
             let direct = arch.build(&memory).resources();
             assert_eq!(arch.resources(&memory), direct, "{spec}");
             assert!(direct.num_gates > 0);
             assert!(direct.lowered_depth > 0);
         }
-    }
-
-    #[test]
-    #[should_panic(expected = "n >= 2")]
-    fn mixed_set_rejects_tiny_widths() {
-        let _ = ArchSpec::all_families(1);
     }
 
     #[test]
@@ -294,8 +273,8 @@ mod tests {
             for spec in &candidates {
                 assert_eq!(spec.address_width(), n, "{spec}");
             }
-            // The legacy k = 1 comparison set is a subset of the space.
-            for legacy in ArchSpec::all_families(n) {
+            // The one-per-family k = 1 set is a subset of the space.
+            for legacy in one_spec_per_family(n) {
                 assert!(set.contains(&legacy), "{legacy} missing at n = {n}");
             }
         }

@@ -1,0 +1,221 @@
+//! Deterministic request placement across fleet shards.
+//!
+//! Placement is pure arithmetic over the request's [`QuerySpec`] and
+//! the shards' *virtual-time* state, so the same arrival stream always
+//! lands on the same shards regardless of host parallelism:
+//!
+//! 1. **Planner pins** — when enabled, the capacity planner's family
+//!    split ([`qram_plan::planned_families`]) pins each planned family
+//!    to a dedicated shard round-robin; pinned specs wait at the front
+//!    door for *their* shard rather than spilling elsewhere (keeping
+//!    each pinned shard's compile cache hot for its family).
+//! 2. **Rendezvous replicas** — every other spec gets a rendezvous
+//!    (highest-random-weight) candidate list of `replication` distinct
+//!    shards; the same spec always produces the same ordered list.
+//! 3. **Cache-affine tie-breaking** — among candidates with queue
+//!    room, a shard whose [`qram_service::QramService::cache_contains`]
+//!    probe already holds the compiled circuit wins over the primary
+//!    (a [`RouteReason::Replica`] placement); otherwise the first
+//!    candidate with room wins ([`RouteReason::Hash`]).
+
+use qram_service::{QramService, QuerySpec, Recorder};
+use qram_telemetry::{fnv1a_64, RouteReason};
+
+/// Where a request was placed and why — mirrored into the routed
+/// request's `SpanStage::Route` span.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RouteDecision {
+    /// Index of the destination shard.
+    pub shard: usize,
+    /// Why that shard won.
+    pub reason: RouteReason,
+}
+
+/// Deterministic consistent-hash router with planner pins and
+/// cache-affine replica selection.
+#[derive(Debug, Clone)]
+pub struct Router {
+    shards: usize,
+    replication: usize,
+    pins: Vec<(QuerySpec, usize)>,
+}
+
+/// Canonical routing key for a spec: FNV-1a over its debug rendering,
+/// which covers family, shape, optimization preset, and encoding.
+fn spec_key(spec: &QuerySpec) -> u64 {
+    fnv1a_64(format!("{:?}", spec.arch).into_bytes())
+}
+
+impl Router {
+    /// A router over `shards` shards replicating each unpinned spec
+    /// across `replication` rendezvous candidates (clamped to
+    /// `1..=shards`), with no planner pins.
+    pub fn new(shards: usize, replication: usize) -> Self {
+        assert!(shards > 0, "a fleet needs at least one shard");
+        Router {
+            shards,
+            replication: replication.clamp(1, shards),
+            pins: Vec::new(),
+        }
+    }
+
+    /// Pins the capacity planner's family split for width `n` under
+    /// `qubit_budget` to dedicated shards, round-robin in plan order.
+    pub fn with_planned_pins(mut self, n: usize, qubit_budget: usize) -> Self {
+        self.pins = qram_plan::planned_families(n, qubit_budget)
+            .into_iter()
+            .enumerate()
+            .map(|(i, arch)| (QuerySpec::of(arch), i % self.shards))
+            .collect();
+        self
+    }
+
+    /// The planner pins in effect, as `(spec, shard)` pairs.
+    pub fn pins(&self) -> &[(QuerySpec, usize)] {
+        &self.pins
+    }
+
+    /// The ordered rendezvous candidate list for `spec`: shards scored
+    /// by `fnv1a(key || shard)`, highest first (ties broken by lower
+    /// shard id), truncated to the replication factor.
+    pub fn replica_set(&self, spec: &QuerySpec) -> Vec<usize> {
+        let key = spec_key(spec);
+        let mut scored: Vec<(u64, usize)> = (0..self.shards)
+            .map(|sid| {
+                let mut bytes = key.to_le_bytes().to_vec();
+                bytes.extend_from_slice(&(sid as u64).to_le_bytes());
+                (fnv1a_64(bytes), sid)
+            })
+            .collect();
+        scored.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+        scored
+            .into_iter()
+            .take(self.replication)
+            .map(|(_, sid)| sid)
+            .collect()
+    }
+
+    /// Places `spec` on a shard with queue room, or `None` when every
+    /// eligible shard is full (the request waits at the front door).
+    ///
+    /// Pinned specs are strict: only their pinned shard is eligible.
+    /// Unpinned specs prefer a rendezvous candidate whose cache already
+    /// holds the compiled circuit; otherwise the first candidate with
+    /// room.
+    pub fn route<R: Recorder>(
+        &self,
+        spec: &QuerySpec,
+        shards: &[QramService<R>],
+    ) -> Option<RouteDecision> {
+        debug_assert_eq!(shards.len(), self.shards);
+        let room = |sid: usize| shards[sid].in_system() < shards[sid].config().queue_capacity;
+
+        if let Some(&(_, pinned)) = self.pins.iter().find(|(p, _)| p == spec) {
+            return room(pinned).then_some(RouteDecision {
+                shard: pinned,
+                reason: RouteReason::Pinned,
+            });
+        }
+
+        let candidates = self.replica_set(spec);
+        let primary = candidates.iter().copied().find(|&sid| room(sid));
+        let cached = candidates
+            .iter()
+            .copied()
+            .find(|&sid| room(sid) && shards[sid].cache_contains(spec));
+        match (cached, primary) {
+            (Some(c), Some(p)) if c != p => Some(RouteDecision {
+                shard: c,
+                reason: RouteReason::Replica,
+            }),
+            (_, Some(p)) => Some(RouteDecision {
+                shard: p,
+                reason: RouteReason::Hash,
+            }),
+            (_, None) => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qram_core::ArchSpec;
+    use qram_plan::UNLIMITED_BUDGET;
+
+    #[test]
+    fn replica_sets_are_deterministic_and_distinct() {
+        let router = Router::new(8, 3);
+        let spec = QuerySpec::new(1, 4);
+        let a = router.replica_set(&spec);
+        let b = router.replica_set(&spec);
+        assert_eq!(a, b, "same spec must always produce the same candidates");
+        assert_eq!(a.len(), 3);
+        let mut dedup = a.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 3, "candidates must be distinct shards");
+    }
+
+    #[test]
+    fn replication_factor_is_clamped_to_fleet_size() {
+        let router = Router::new(2, 9);
+        assert_eq!(router.replica_set(&QuerySpec::new(1, 2)).len(), 2);
+        let single = Router::new(1, 0);
+        assert_eq!(single.replica_set(&QuerySpec::new(1, 2)), vec![0]);
+    }
+
+    #[test]
+    fn distinct_specs_spread_over_shards() {
+        let router = Router::new(4, 1);
+        let mut hit = [false; 4];
+        for spec in qram_service::mixed_arch_specs(4) {
+            hit[router.replica_set(&spec)[0]] = true;
+        }
+        assert!(
+            hit.iter().filter(|&&h| h).count() >= 2,
+            "the family mix should not all hash to one shard: {hit:?}"
+        );
+    }
+
+    #[test]
+    fn planned_pins_cover_the_plan_round_robin() {
+        let router = Router::new(2, 1).with_planned_pins(4, UNLIMITED_BUDGET);
+        let pins = router.pins();
+        assert_eq!(
+            pins.len(),
+            qram_plan::planned_families(4, UNLIMITED_BUDGET).len()
+        );
+        for (i, (spec, shard)) in pins.iter().enumerate() {
+            assert_eq!(*shard, i % 2);
+            assert_eq!(spec.arch.address_width(), 4);
+        }
+    }
+
+    #[test]
+    fn pinned_spec_routes_to_its_pinned_shard() {
+        let router = Router::new(2, 2).with_planned_pins(3, UNLIMITED_BUDGET);
+        let (spec, pinned) = router.pins()[1];
+        let memory = qram_core::Memory::from_bits((0..8).map(|i| i % 2 == 0));
+        let shards = vec![
+            QramService::new(memory.clone(), Default::default()),
+            QramService::new(memory, Default::default()),
+        ];
+        let decision = router.route(&spec, &shards).unwrap();
+        assert_eq!(decision.shard, pinned);
+        assert_eq!(decision.reason, RouteReason::Pinned);
+    }
+
+    #[test]
+    fn unpinned_spec_routes_to_its_primary_with_hash_reason() {
+        let router = Router::new(3, 2);
+        let spec = QuerySpec::of(ArchSpec::BucketBrigade { k: 1, m: 2 });
+        let memory = qram_core::Memory::from_bits((0..8).map(|i| i % 2 == 0));
+        let shards: Vec<QramService> = (0..3)
+            .map(|_| QramService::new(memory.clone(), Default::default()))
+            .collect();
+        let decision = router.route(&spec, &shards).unwrap();
+        assert_eq!(decision.shard, router.replica_set(&spec)[0]);
+        assert_eq!(decision.reason, RouteReason::Hash);
+    }
+}

@@ -15,9 +15,8 @@
 //!   `(compile ticks, execute ticks/shot, qubits)`, i.e. every
 //!   configuration a rational deployment could pick;
 //! * [`planned_families`] — the budget-optimal representative of each
-//!   family, replacing the legacy `k = 1` hard-coding of
-//!   `ArchSpec::all_families` wherever a fair cross-family comparison
-//!   is wanted (e.g. `serve_bench --arch mix`).
+//!   family, replacing legacy `k = 1` hard-codings wherever a fair
+//!   cross-family comparison is wanted (e.g. `serve_bench --arch mix`).
 //!
 //! Planning prices through the [`QueryArchitecture::resources`] hook
 //! (pinned by test to agree exactly with the measured resources of the
@@ -125,8 +124,7 @@ pub fn pareto_frontier(points: &[PlanPoint]) -> Vec<PlanPoint> {
 
 /// The budget-optimal representative of each architecture family at
 /// width `n` under the default [`CostModel`] and single-shot pricing —
-/// the planned replacement for the deprecated `k = 1` hard-coding of
-/// `ArchSpec::all_families`.
+/// the planned replacement for hard-coded `k = 1` comparison sets.
 ///
 /// Families whose *cheapest-in-qubits* candidate still exceeds
 /// `qubit_budget` are dropped (the returned set may be empty under a

@@ -187,7 +187,7 @@ impl CircuitCache {
 mod tests {
     use super::*;
     use crate::{Compiler, CostModel};
-    use qram_core::{ArchSpec, Memory};
+    use qram_core::Memory;
 
     fn compile(spec: QuerySpec) -> CompiledQuery {
         Compiler::new(CostModel::default(), 0).compile(spec, &Memory::ones(spec.address_width()))
@@ -229,14 +229,10 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)] // pins the legacy k = 1 comparison set
     fn distinct_architectures_get_distinct_keys() {
         // Every architecture family at n = 3 is its own cache entry:
         // no family ever serves another's requests from the cache.
-        let specs: Vec<QuerySpec> = ArchSpec::all_families(3)
-            .into_iter()
-            .map(QuerySpec::of)
-            .collect();
+        let specs: Vec<QuerySpec> = crate::mixed_arch_specs(3);
         let mut cache = CircuitCache::new(specs.len());
         for &spec in &specs {
             cache.get_or_insert_with(spec, || compile(spec));

@@ -157,19 +157,15 @@ impl Compiler {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use qram_core::ArchSpec;
-
     fn memory() -> Memory {
         Memory::from_bits((0..8).map(|i| i % 3 == 0))
     }
 
     #[test]
-    #[allow(deprecated)] // pins the legacy k = 1 comparison set
     fn pipeline_stages_agree_with_direct_calls() {
         let cost_model = CostModel::default();
         let compiler = Compiler::new(cost_model, 2);
-        for arch in ArchSpec::all_families(3) {
-            let spec = QuerySpec::of(arch);
+        for spec in crate::mixed_arch_specs(3) {
             let compiled = compiler.compile(spec, &memory());
             assert_eq!(compiled.spec, spec);
             // Stage 2: the stored resources are the circuit's.
@@ -189,12 +185,11 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)] // pins the legacy k = 1 comparison set
     fn architectures_price_differently_at_equal_width() {
         let compiler = Compiler::new(CostModel::default(), 1);
-        let costs: Vec<CostEstimate> = ArchSpec::all_families(3)
+        let costs: Vec<CostEstimate> = crate::mixed_arch_specs(3)
             .into_iter()
-            .map(|arch| compiler.compile(QuerySpec::of(arch), &memory()).cost)
+            .map(|spec| compiler.compile(spec, &memory()).cost)
             .collect();
         // At n = 3 every family compiles a structurally different
         // circuit; no two cost estimates coincide.

@@ -183,6 +183,8 @@ mod tests {
                     address: (i % 8) as u64,
                     spec,
                     arrival: 0,
+                    tenant: crate::TenantId::default(),
+                    slo: crate::SloClass::default(),
                 },
                 compiled: Arc::clone(&compiled),
                 sampler: sampler.clone(),

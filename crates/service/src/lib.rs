@@ -105,7 +105,9 @@ pub use compiler::{CompiledQuery, Compiler, CostEstimate};
 pub use qram_core::ArchSpec;
 pub use qram_telemetry::{MetricsRegistry, NoopRecorder, Recorder, SpanTracer, TelemetryRecorder};
 pub use qram_verify::{Finding, VerifyError, VerifyLevel};
-pub use request::{Latency, QueryRequest, QueryResult, QuerySpec};
+pub use request::{
+    Latency, QueryRequest, QueryResult, QuerySpec, SloClass, SpecOverrideError, TenantId,
+};
 pub use scheduler::{plan_batches, DeadlineBatcher, QueryBatch, ReleasePolicy};
 pub use service::{BatchReport, QramService, ServiceConfig, ServiceReport};
 pub use workload::{

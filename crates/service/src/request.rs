@@ -52,18 +52,54 @@ impl QuerySpec {
         QuerySpec { arch }
     }
 
+    /// Overrides the optimization set, failing on any architecture
+    /// without optimization switches (everything but the virtual QRAM).
+    pub fn try_with_optimizations(
+        mut self,
+        opts: Optimizations,
+    ) -> Result<Self, SpecOverrideError> {
+        match &mut self.arch {
+            ArchSpec::Virtual { opts: slot, .. } => *slot = opts,
+            other => {
+                return Err(SpecOverrideError {
+                    family: other.family(),
+                    switch: "optimization",
+                })
+            }
+        }
+        Ok(self)
+    }
+
+    /// Overrides the data encoding, failing on any architecture without
+    /// encoding switches (everything but the virtual QRAM).
+    pub fn try_with_encoding(mut self, encoding: DataEncoding) -> Result<Self, SpecOverrideError> {
+        match &mut self.arch {
+            ArchSpec::Virtual { encoding: slot, .. } => *slot = encoding,
+            other => {
+                return Err(SpecOverrideError {
+                    family: other.family(),
+                    switch: "data-encoding",
+                })
+            }
+        }
+        Ok(self)
+    }
+
     /// Overrides the optimization set.
     ///
     /// # Panics
     ///
     /// Panics unless the spec names the virtual QRAM — no other
     /// architecture has optimization switches.
-    pub fn with_optimizations(mut self, opts: Optimizations) -> Self {
-        match &mut self.arch {
-            ArchSpec::Virtual { opts: slot, .. } => *slot = opts,
-            other => panic!("{} has no optimization switches", other.family()),
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `try_with_optimizations`, which reports non-virtual specs as an error"
+    )]
+    pub fn with_optimizations(self, opts: Optimizations) -> Self {
+        match self.try_with_optimizations(opts) {
+            Ok(spec) => spec,
+            Err(e) => panic!("{e}"),
         }
-        self
     }
 
     /// Overrides the data encoding.
@@ -72,12 +108,15 @@ impl QuerySpec {
     ///
     /// Panics unless the spec names the virtual QRAM — no other
     /// architecture has encoding switches.
-    pub fn with_encoding(mut self, encoding: DataEncoding) -> Self {
-        match &mut self.arch {
-            ArchSpec::Virtual { encoding: slot, .. } => *slot = encoding,
-            other => panic!("{} has no data-encoding switches", other.family()),
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `try_with_encoding`, which reports non-virtual specs as an error"
+    )]
+    pub fn with_encoding(self, encoding: DataEncoding) -> Self {
+        match self.try_with_encoding(encoding) {
+            Ok(spec) => spec,
+            Err(e) => panic!("{e}"),
         }
-        self
     }
 
     /// Total address width `n` the spec serves.
@@ -94,6 +133,94 @@ impl QuerySpec {
 impl From<ArchSpec> for QuerySpec {
     fn from(arch: ArchSpec) -> Self {
         QuerySpec::of(arch)
+    }
+}
+
+/// A spec-builder override applied to an architecture that has no such
+/// switch — returned by [`QuerySpec::try_with_optimizations`] and
+/// [`QuerySpec::try_with_encoding`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpecOverrideError {
+    /// Family tag of the architecture that rejected the override.
+    pub family: &'static str,
+    /// Which switch was overridden (`"optimization"`/`"data-encoding"`).
+    pub switch: &'static str,
+}
+
+impl std::fmt::Display for SpecOverrideError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} has no {} switches", self.family, self.switch)
+    }
+}
+
+impl std::error::Error for SpecOverrideError {}
+
+/// The client (algorithm/user) a request is served on behalf of.
+///
+/// Tenants exist for the *fleet* front door: per-tenant fair queueing
+/// and per-tenant accounting. A bare [`crate::QramService`] ignores the
+/// field entirely — it prices and schedules requests identically for
+/// every tenant, which is what makes a 1-shard fleet bit-identical to a
+/// bare service.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct TenantId(pub u32);
+
+impl std::fmt::Display for TenantId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "tenant{}", self.0)
+    }
+}
+
+/// The service-level-objective class a request is admitted under.
+///
+/// The class never changes *how* a request executes — only what the
+/// fleet front door does under overload: deadline-priority shedding
+/// drops [`Batch`](SloClass::Batch) work first, then
+/// [`BestEffort`](SloClass::BestEffort), and keeps
+/// [`Interactive`](SloClass::Interactive) requests (most-urgent-deadline
+/// first) until nothing else is left to drop.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum SloClass {
+    /// Latency-sensitive traffic with a per-request deadline (ticks
+    /// after arrival by which the answer should complete).
+    Interactive {
+        /// Relative completion deadline on the virtual clock.
+        deadline: Ticks,
+    },
+    /// Throughput traffic: first to go under overload.
+    Batch,
+    /// No objective stated — kept ahead of batch, shed before
+    /// interactive. The default class.
+    #[default]
+    BestEffort,
+}
+
+impl SloClass {
+    /// Stable label used in reports and JSON exports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SloClass::Interactive { .. } => "interactive",
+            SloClass::Batch => "batch",
+            SloClass::BestEffort => "best_effort",
+        }
+    }
+
+    /// Retention rank under deadline-priority shedding: lower ranks are
+    /// shed first (`Batch` < `BestEffort` < `Interactive`).
+    pub fn shed_rank(&self) -> u8 {
+        match self {
+            SloClass::Batch => 0,
+            SloClass::BestEffort => 1,
+            SloClass::Interactive { .. } => 2,
+        }
+    }
+
+    /// The relative deadline, when the class carries one.
+    pub fn deadline(&self) -> Option<Ticks> {
+        match self {
+            SloClass::Interactive { deadline } => Some(*deadline),
+            _ => None,
+        }
     }
 }
 
@@ -116,6 +243,12 @@ pub struct QueryRequest {
     /// Arrival instant on the virtual clock; latency is
     /// measured from here.
     pub arrival: Ticks,
+    /// The client the request is served on behalf of (fleet fair
+    /// queueing and accounting; ignored by a bare service).
+    pub tenant: TenantId,
+    /// The SLO class the request was admitted under (fleet shedding
+    /// policy; ignored by a bare service).
+    pub slo: SloClass,
 }
 
 /// The virtual-clock latency breakdown of one served request.
@@ -177,8 +310,10 @@ mod tests {
     #[test]
     fn spec_builders_compose() {
         let spec = QuerySpec::new(2, 3)
-            .with_optimizations(Optimizations::OPT2)
-            .with_encoding(DataEncoding::FusedBit);
+            .try_with_optimizations(Optimizations::OPT2)
+            .unwrap()
+            .try_with_encoding(DataEncoding::FusedBit)
+            .unwrap();
         assert_eq!(spec.address_width(), 5);
         assert_eq!(
             spec.arch,
@@ -202,15 +337,67 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "no optimization switches")]
     fn non_virtual_specs_reject_optimization_overrides() {
+        let err = QuerySpec::of(ArchSpec::Sqc { n: 3 })
+            .try_with_optimizations(Optimizations::RAW)
+            .unwrap_err();
+        assert_eq!(err.family, "sqc");
+        assert_eq!(err.to_string(), "sqc has no optimization switches");
+    }
+
+    #[test]
+    fn non_virtual_specs_reject_encoding_overrides() {
+        let err = QuerySpec::of(ArchSpec::Fanout { m: 3 })
+            .try_with_encoding(DataEncoding::DualRail)
+            .unwrap_err();
+        assert_eq!(err.family, "fanout");
+        assert_eq!(err.to_string(), "fanout has no data-encoding switches");
+    }
+
+    #[test]
+    fn fallible_overrides_succeed_on_virtual_specs() {
+        // Regression for the panicking builders: the fallible path must
+        // apply the override exactly as the legacy builder did.
+        let spec = QuerySpec::new(1, 2)
+            .try_with_optimizations(Optimizations::OPT1)
+            .unwrap();
+        assert_eq!(
+            spec.arch,
+            ArchSpec::Virtual {
+                k: 1,
+                m: 2,
+                opts: Optimizations::OPT1,
+                encoding: DataEncoding::Bit,
+            }
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "no optimization switches")]
+    #[allow(deprecated)] // pins the legacy panicking alias for one release
+    fn deprecated_optimization_alias_still_panics() {
         let _ = QuerySpec::of(ArchSpec::Sqc { n: 3 }).with_optimizations(Optimizations::RAW);
     }
 
     #[test]
     #[should_panic(expected = "no data-encoding switches")]
-    fn non_virtual_specs_reject_encoding_overrides() {
+    #[allow(deprecated)] // pins the legacy panicking alias for one release
+    fn deprecated_encoding_alias_still_panics() {
         let _ = QuerySpec::of(ArchSpec::Fanout { m: 3 }).with_encoding(DataEncoding::DualRail);
+    }
+
+    #[test]
+    fn slo_classes_shed_batch_first_and_default_to_best_effort() {
+        assert!(SloClass::Batch.shed_rank() < SloClass::BestEffort.shed_rank());
+        assert!(
+            SloClass::BestEffort.shed_rank() < SloClass::Interactive { deadline: 1 }.shed_rank()
+        );
+        assert_eq!(SloClass::default(), SloClass::BestEffort);
+        assert_eq!(SloClass::Interactive { deadline: 5 }.deadline(), Some(5));
+        assert_eq!(SloClass::Batch.deadline(), None);
+        assert_eq!(SloClass::Interactive { deadline: 5 }.label(), "interactive");
+        assert_eq!(TenantId::default(), TenantId(0));
+        assert_eq!(TenantId(3).to_string(), "tenant3");
     }
 
     #[test]
@@ -230,8 +417,16 @@ mod tests {
         let mut set = HashSet::new();
         set.insert(QuerySpec::new(1, 2));
         set.insert(QuerySpec::new(2, 1));
-        set.insert(QuerySpec::new(1, 2).with_optimizations(Optimizations::RAW));
-        set.insert(QuerySpec::new(1, 2).with_encoding(DataEncoding::DualRail));
+        set.insert(
+            QuerySpec::new(1, 2)
+                .try_with_optimizations(Optimizations::RAW)
+                .unwrap(),
+        );
+        set.insert(
+            QuerySpec::new(1, 2)
+                .try_with_encoding(DataEncoding::DualRail)
+                .unwrap(),
+        );
         set.insert(QuerySpec::of(ArchSpec::BucketBrigade { k: 1, m: 2 }));
         set.insert(QuerySpec::of(ArchSpec::SelectSwap { k: 1, m: 2 }));
         set.insert(QuerySpec::new(1, 2)); // duplicate

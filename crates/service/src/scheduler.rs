@@ -281,6 +281,8 @@ mod tests {
             address: id % (1 << spec.address_width()) as u64,
             spec,
             arrival,
+            tenant: crate::TenantId::default(),
+            slo: crate::SloClass::default(),
         }
     }
 

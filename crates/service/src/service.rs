@@ -48,8 +48,8 @@ use qram_verify::VerifyLevel;
 use crate::executor::{dispatch, PreparedRequest};
 use crate::{
     Admission, AdmissionStats, CacheStats, CircuitCache, Compiler, CostModel, DeadlineBatcher,
-    Latency, QueryBatch, QueryRequest, QueryResult, QuerySpec, RejectReason, ReleasePolicy, Ticks,
-    VirtualTimeline,
+    Latency, QueryBatch, QueryRequest, QueryResult, QuerySpec, RejectReason, ReleasePolicy,
+    SloClass, TenantId, Ticks, VirtualTimeline,
 };
 
 /// Tunables of a [`QramService`].
@@ -541,6 +541,29 @@ impl<R: Recorder> QramService<R> {
         self.batcher.next_deadline()
     }
 
+    /// The earliest future instant anything happens on this service's
+    /// virtual clock — the min of
+    /// [`next_completion`](QramService::next_completion) and
+    /// [`next_batch_deadline`](QramService::next_batch_deadline).
+    /// Work-conserving releases need no separate entry: a unit frees
+    /// exactly at a completion instant, so polling to the returned
+    /// instant observes them too. `None` when the pipeline is idle.
+    pub fn next_event(&self) -> Option<Ticks> {
+        match (self.next_completion(), self.next_batch_deadline()) {
+            (Some(c), Some(d)) => Some(c.min(d)),
+            (Some(c), None) => Some(c),
+            (None, Some(d)) => Some(d),
+            (None, None) => None,
+        }
+    }
+
+    /// Whether `spec`'s compiled circuit is cache-resident, without
+    /// touching recency or the lookup counters — the fleet router's
+    /// cache-affinity probe for replica tie-breaking.
+    pub fn cache_contains(&self, spec: &QuerySpec) -> bool {
+        self.cache.contains(spec)
+    }
+
     /// Offers one query arriving at `arrival` on the virtual clock —
     /// the non-blocking open-loop admission path.
     ///
@@ -551,6 +574,28 @@ impl<R: Recorder> QramService<R> {
     /// offered in nondecreasing order; an `arrival` earlier than the
     /// clock is clamped to *now* (virtual time never rewinds).
     pub fn try_submit_at(&mut self, address: u64, spec: QuerySpec, arrival: Ticks) -> Admission {
+        self.try_submit_tagged_at(
+            address,
+            spec,
+            arrival,
+            TenantId::default(),
+            SloClass::default(),
+        )
+    }
+
+    /// [`try_submit_at`](QramService::try_submit_at) with an explicit
+    /// tenant and SLO class — the fleet front door's admission hook. The
+    /// tags ride along on the admitted [`QueryRequest`] for accounting;
+    /// a bare service schedules and prices every class identically, so
+    /// tagging never perturbs results.
+    pub fn try_submit_tagged_at(
+        &mut self,
+        address: u64,
+        spec: QuerySpec,
+        arrival: Ticks,
+        tenant: TenantId,
+        slo: SloClass,
+    ) -> Admission {
         self.advance_to(arrival.max(self.now));
         if spec.address_width() != self.memory.address_width() {
             self.record_terminal(AdmissionOutcome::Rejected);
@@ -571,7 +616,7 @@ impl<R: Recorder> QramService<R> {
             self.record_terminal(AdmissionOutcome::Shed);
             return Admission::Shed { queue_depth };
         }
-        let id = self.admit(address, spec);
+        let id = self.admit(address, spec, tenant, slo);
         // Work conservation: if the modeled device has a free unit right
         // now, waiting for the batch to fill (or its deadline) is pure
         // latency — release pending work immediately.
@@ -627,11 +672,11 @@ impl<R: Recorder> QramService<R> {
             "address {address} out of range for {} cells",
             self.memory.len()
         );
-        self.admit(address, spec)
+        self.admit(address, spec, TenantId::default(), SloClass::default())
     }
 
     /// Admits a validated request and fires its batch if it filled.
-    fn admit(&mut self, address: u64, spec: QuerySpec) -> u64 {
+    fn admit(&mut self, address: u64, spec: QuerySpec, tenant: TenantId, slo: SloClass) -> u64 {
         let id = self.next_id;
         self.next_id += 1;
         self.metrics.add(key::ADMISSION_ACCEPTED, 1);
@@ -651,6 +696,8 @@ impl<R: Recorder> QramService<R> {
             address,
             spec,
             arrival: self.now,
+            tenant,
+            slo,
         };
         // The admitted request joins the queue before anything fires:
         // that instant is the queue-depth high-water candidate.

@@ -36,7 +36,9 @@ use rand::{Rng, SeedableRng};
 
 use qram_core::ArchSpec;
 
-use crate::{Admission, QramService, QueryRequest, QueryResult, QuerySpec, Ticks};
+use crate::{
+    Admission, QramService, QueryRequest, QueryResult, QuerySpec, SloClass, TenantId, Ticks,
+};
 
 /// A deterministic address-stream generator over a `2^address_width`-cell
 /// memory.
@@ -327,9 +329,9 @@ pub fn assign_specs_with(
 }
 
 /// The standard mixed-architecture spec set at address width `n`: one
-/// [`QuerySpec`] per architecture family (the legacy `k = 1` hybrids of
-/// `ArchSpec::all_families`), for workloads that exercise the service's
-/// architecture polymorphism.
+/// [`QuerySpec`] per architecture family (the historical `k = 1`
+/// hybrids), for workloads that exercise the service's architecture
+/// polymorphism.
 ///
 /// This is the *fixed* comparison set with pinned behavior; workloads
 /// that should pit each family's **best** `(k, m)` split against the
@@ -341,14 +343,20 @@ pub fn assign_specs_with(
 /// Panics if `n < 2` (the hybrid families need a page bit and a tree
 /// bit).
 pub fn mixed_arch_specs(n: usize) -> Vec<QuerySpec> {
-    // The deprecated shim is exactly the pinned set this function
-    // promises; moving it to the planner would change five tests' cache
+    // The literal set the removed `ArchSpec::all_families` shim pinned;
+    // moving it to the planner would change five tests' cache
     // accounting for no modeling gain.
-    #[allow(deprecated)]
-    ArchSpec::all_families(n)
-        .into_iter()
-        .map(QuerySpec::of)
-        .collect()
+    assert!(n >= 2, "mixed-architecture set needs n >= 2, got {n}");
+    [
+        ArchSpec::Sqc { n },
+        ArchSpec::Fanout { m: n },
+        ArchSpec::BucketBrigade { k: 1, m: n - 1 },
+        ArchSpec::SelectSwap { k: 1, m: n - 1 },
+        ArchSpec::virtual_all(1, n - 1),
+    ]
+    .into_iter()
+    .map(QuerySpec::of)
+    .collect()
 }
 
 /// A closed-feedback client population: each client submits its next
@@ -504,6 +512,8 @@ pub fn requests(workload: &Workload, specs: &[QuerySpec], count: usize) -> Vec<Q
             address,
             spec,
             arrival: 0,
+            tenant: TenantId::default(),
+            slo: SloClass::default(),
         })
         .collect()
 }
@@ -675,6 +685,39 @@ mod tests {
             scv(&bursty),
             scv(&poisson)
         );
+    }
+
+    #[test]
+    fn mmpp_with_equal_rates_degenerates_to_poisson() {
+        // When both MMPP-2 states share the same mean gap, the state
+        // switches are unobservable: the process is exactly Poisson, so
+        // the gap distribution must be memoryless (SCV ≈ 1).
+        let scv = |arrivals: &[Ticks]| {
+            let gaps: Vec<f64> = arrivals.windows(2).map(|w| (w[1] - w[0]) as f64).collect();
+            let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
+            let var = gaps.iter().map(|g| (g - mean) * (g - mean)).sum::<f64>() / gaps.len() as f64;
+            var / (mean * mean)
+        };
+        let degenerate = ArrivalProcess::Bursty {
+            mean_fast_gap: 800.0,
+            mean_slow_gap: 800.0,
+            mean_dwell: 8.0,
+            seed: 11,
+        }
+        .arrivals(8000);
+        let s = scv(&degenerate);
+        assert!(
+            (0.85..1.15).contains(&s),
+            "equal-rate MMPP-2 should look memoryless, got SCV {s:.3}"
+        );
+        let mean = {
+            let gaps: Vec<f64> = degenerate
+                .windows(2)
+                .map(|w| (w[1] - w[0]) as f64)
+                .collect();
+            gaps.iter().sum::<f64>() / gaps.len() as f64
+        };
+        assert!((mean - 800.0).abs() < 50.0, "empirical mean gap {mean:.1}");
     }
 
     #[test]

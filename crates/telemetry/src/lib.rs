@@ -30,7 +30,7 @@ pub mod trace;
 
 pub use metrics::{Histogram, MetricsRegistry};
 pub use trace::{
-    AdmissionOutcome, FireReason, SpanEvent, SpanStage, SpanTracer, VerifyTag,
+    AdmissionOutcome, FireReason, RouteReason, SpanEvent, SpanStage, SpanTracer, VerifyTag,
     SYNTHETIC_REQUEST_BASE,
 };
 
@@ -112,6 +112,17 @@ pub mod key {
     pub const SIM_FAULTS: &str = "sim.faults_injected";
     /// Counter: gate applications replayed by faulty shots.
     pub const SIM_GATES: &str = "sim.gate_applications";
+    /// Counter: requests the fleet router placed on a shard.
+    pub const FLEET_ROUTED: &str = "fleet.routed";
+    /// Counter: requests shed at the fleet front door.
+    pub const FLEET_SHED: &str = "fleet.shed";
+    /// Counter: routes decided by a planner-informed family pin.
+    pub const FLEET_PINNED_ROUTES: &str = "fleet.pinned_routes";
+    /// Counter: replica routes whose tie-break was decided by the
+    /// cache-residency probe (rather than the lowest-shard fallback).
+    pub const FLEET_REPLICA_CACHE_WINS: &str = "fleet.replica_cache_wins";
+    /// Gauge: high-water mark of the fleet front-door queue depth.
+    pub const FLEET_FRONT_DEPTH_HIGH_WATER: &str = "fleet.front_depth.high_water";
 }
 
 /// The instrumentation interface threaded through the serving pipeline

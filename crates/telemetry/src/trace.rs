@@ -91,6 +91,37 @@ impl FireReason {
     }
 }
 
+/// Why the fleet router placed a request on the shard it did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RouteReason {
+    /// Deterministic consistent hash of the request's spec key.
+    Hash,
+    /// Planner-informed pin: the spec's family is pinned to a shard.
+    Pinned,
+    /// Replicated hot spec: the winner among the replica set, chosen by
+    /// the cache-residency probe (falling back to the lowest shard id).
+    Replica,
+}
+
+impl RouteReason {
+    /// Stable label used in JSON exports.
+    pub fn label(self) -> &'static str {
+        match self {
+            RouteReason::Hash => "hash",
+            RouteReason::Pinned => "pinned",
+            RouteReason::Replica => "replica",
+        }
+    }
+
+    fn tag(self) -> u8 {
+        match self {
+            RouteReason::Hash => 0,
+            RouteReason::Pinned => 1,
+            RouteReason::Replica => 2,
+        }
+    }
+}
+
 /// Which verification level the compile stage ran under.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum VerifyTag {
@@ -158,6 +189,15 @@ pub enum SpanStage {
         /// Shots sampled for the request.
         shots: u64,
     },
+    /// The fleet router's placement decision for one request
+    /// (instantaneous on the virtual clock). Appended at rank 5, never
+    /// renumbered: single-service trace digests stay stable.
+    Route {
+        /// Shard the request was placed on.
+        shard: u64,
+        /// Why the router picked that shard.
+        reason: RouteReason,
+    },
 }
 
 impl SpanStage {
@@ -169,6 +209,7 @@ impl SpanStage {
             SpanStage::BatchForm { .. } => "batch_form",
             SpanStage::Compile { .. } => "compile",
             SpanStage::Execute { .. } => "execute",
+            SpanStage::Route { .. } => "route",
         }
     }
 
@@ -180,6 +221,9 @@ impl SpanStage {
             SpanStage::BatchForm { .. } => 2,
             SpanStage::Compile { .. } => 3,
             SpanStage::Execute { .. } => 4,
+            // Appended, never renumbered: existing trace digests stay
+            // stable.
+            SpanStage::Route { .. } => 5,
         }
     }
 
@@ -216,6 +260,10 @@ impl SpanStage {
                 out.extend_from_slice(&unit.to_le_bytes());
                 out.extend_from_slice(&shots.to_le_bytes());
             }
+            SpanStage::Route { shard, reason } => {
+                out.extend_from_slice(&shard.to_le_bytes());
+                out.push(reason.tag());
+            }
         }
     }
 
@@ -247,6 +295,9 @@ impl SpanStage {
             ),
             SpanStage::Execute { unit, shots } => {
                 format!("\"unit\": {unit}, \"shots\": {shots}")
+            }
+            SpanStage::Route { shard, reason } => {
+                format!("\"shard\": {shard}, \"reason\": \"{}\"", reason.label())
             }
         }
     }
@@ -444,6 +495,10 @@ mod tests {
                 verify: VerifyTag::Structural,
             },
             SpanStage::Execute { unit: 1, shots: 2 },
+            SpanStage::Route {
+                shard: 2,
+                reason: RouteReason::Hash,
+            },
         ];
         let names: Vec<&str> = stages.iter().map(SpanStage::name).collect();
         assert_eq!(
@@ -453,8 +508,30 @@ mod tests {
                 "queue_wait",
                 "batch_form",
                 "compile",
-                "execute"
+                "execute",
+                "route"
             ]
         );
+    }
+
+    #[test]
+    fn route_spans_digest_shard_and_reason() {
+        let route = |shard, reason| {
+            let mut t = SpanTracer::new();
+            t.push(SpanEvent {
+                request: 4,
+                start: 9,
+                end: 9,
+                stage: SpanStage::Route { shard, reason },
+            });
+            t
+        };
+        let base = route(0, RouteReason::Hash);
+        assert_ne!(base.digest(), route(1, RouteReason::Hash).digest());
+        assert_ne!(base.digest(), route(0, RouteReason::Pinned).digest());
+        let json = route(3, RouteReason::Replica).to_json("");
+        assert!(json.contains("\"stage\": \"route\""), "{json}");
+        assert!(json.contains("\"shard\": 3"), "{json}");
+        assert!(json.contains("\"reason\": \"replica\""), "{json}");
     }
 }

@@ -26,14 +26,14 @@ fn workspace_root() -> PathBuf {
         .to_path_buf()
 }
 
-/// Every spec the circuit pass certifies: the five-family comparison
-/// set at n = 3..6, plus the virtual QRAM's optimization presets ×
-/// data encodings at two paged shapes.
-#[allow(deprecated)] // the certified matrix keeps the legacy k = 1 set (and more)
+/// Every spec the circuit pass certifies: every legal `(k, m)` split of
+/// every family at n = 3..6 (the full `family_candidates` space, not
+/// just the historical `k = 1` representatives), plus the virtual
+/// QRAM's optimization presets × data encodings at two paged shapes.
 fn matrix() -> Vec<ArchSpec> {
     let mut specs = Vec::new();
     for n in 3..=6 {
-        specs.extend(ArchSpec::all_families(n));
+        specs.extend(ArchSpec::family_candidates(n));
     }
     let presets = [
         Optimizations::RAW,

@@ -7,12 +7,13 @@
 use qram_core::{ArchSpec, DataEncoding, Memory, Optimizations};
 use qram_verify::{recount, verify_query, VerifyLevel};
 
-/// Same matrix the `verify_all` CI binary walks.
-#[allow(deprecated)] // the certified matrix keeps the legacy k = 1 set (and more)
+/// Same matrix the `verify_all` CI binary walks: every legal `(k, m)`
+/// split of every family at n = 3..6 (not just the historical `k = 1`
+/// representatives), plus the virtual preset × encoding grid.
 fn matrix() -> Vec<ArchSpec> {
     let mut specs = Vec::new();
     for n in 3..=6 {
-        specs.extend(ArchSpec::all_families(n));
+        specs.extend(ArchSpec::family_candidates(n));
     }
     let presets = [
         Optimizations::RAW,

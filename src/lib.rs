@@ -31,6 +31,16 @@
 //!   resource-calibrated latency breakdowns, and workload generators
 //!   (Poisson/bursty arrivals, zipf-skewed addresses and specs,
 //!   closed-feedback clients).
+//! * [`fleet`] — fleet-scale serving: a deterministic virtual-time
+//!   controller over N independent service shards (each with its own
+//!   device profile, cache, and cost calibration) behind one front
+//!   door. Requests carry tenant and SLO-class tags; placement is
+//!   consistent-hash routing with planner-informed family pinning,
+//!   rendezvous replication, and cache-affine tie-breaking; the door
+//!   runs per-tenant weighted fair queueing and SLO-aware shedding
+//!   (deadline-priority vs tail-drop). Fleet outputs are bit-identical
+//!   across every host-parallelism knob and shard-poll interleaving,
+//!   and a 1-shard fleet degenerates to the bare service.
 //! * [`telemetry`] — deterministic observability: a span tracer keyed
 //!   by request id recording virtual-time intervals for every pipeline
 //!   stage, a metrics registry of counters / gauges / log-linear
@@ -65,6 +75,7 @@
 
 pub use qram_circuit as circuit;
 pub use qram_core as core;
+pub use qram_fleet as fleet;
 pub use qram_layout as layout;
 pub use qram_noise as noise;
 pub use qram_plan as plan;

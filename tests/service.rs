@@ -6,7 +6,7 @@
 //! latency includes queueing delay (growing with queue depth) while
 //! back-pressure sheds the excess.
 
-use qram::core::{ArchSpec, Memory};
+use qram::core::Memory;
 use qram::service::{
     assign_specs, assign_specs_with, mixed_arch_specs, Admission, ArrivalProcess, ClosedLoop,
     CostModel, QramService, QueryResult, QuerySpec, ReleasePolicy, ServiceConfig, ServiceReport,
@@ -27,8 +27,12 @@ fn hot_specs() -> Vec<QuerySpec> {
     vec![
         QuerySpec::new(1, 3),
         QuerySpec::new(2, 2),
-        QuerySpec::new(1, 3).with_encoding(DataEncoding::FusedBit),
-        QuerySpec::new(2, 2).with_optimizations(Optimizations::OPT2),
+        QuerySpec::new(1, 3)
+            .try_with_encoding(DataEncoding::FusedBit)
+            .unwrap(),
+        QuerySpec::new(2, 2)
+            .try_with_optimizations(Optimizations::OPT2)
+            .unwrap(),
     ]
 }
 
@@ -228,9 +232,15 @@ fn spec_skewed_traffic_moves_eviction_counters() {
         QuerySpec::new(1, 3),
         QuerySpec::new(2, 2),
         QuerySpec::new(3, 1),
-        QuerySpec::new(1, 3).with_encoding(DataEncoding::FusedBit),
-        QuerySpec::new(2, 2).with_encoding(DataEncoding::FusedBit),
-        QuerySpec::new(1, 3).with_optimizations(Optimizations::OPT2),
+        QuerySpec::new(1, 3)
+            .try_with_encoding(DataEncoding::FusedBit)
+            .unwrap(),
+        QuerySpec::new(2, 2)
+            .try_with_encoding(DataEncoding::FusedBit)
+            .unwrap(),
+        QuerySpec::new(1, 3)
+            .try_with_optimizations(Optimizations::OPT2)
+            .unwrap(),
     ];
     let memory = serve_memory();
     let config = ServiceConfig::default()
@@ -268,10 +278,10 @@ fn spec_skewed_traffic_moves_eviction_counters() {
 /// through `QramService`, and the served values match the architecture's
 /// own `query_classical` ground truth computed outside the service.
 #[test]
-#[allow(deprecated)] // pins the legacy k = 1 comparison set
 fn every_architecture_family_serves_ground_truth_at_n3() {
     let memory = Memory::random(3, &mut StdRng::seed_from_u64(5));
-    for arch in ArchSpec::all_families(3) {
+    for spec in mixed_arch_specs(3) {
+        let arch = spec.arch;
         // Direct ground truth through the architecture itself.
         let direct = arch.instantiate().build(&memory);
         let truth: Vec<bool> = (0..8u64)
@@ -281,7 +291,7 @@ fn every_architecture_family_serves_ground_truth_at_n3() {
         let config = ServiceConfig::default().with_shots(0).with_workers(2);
         let mut service = QramService::new(memory.clone(), config);
         for address in 0..8u64 {
-            service.submit(address, QuerySpec::of(arch));
+            service.submit(address, spec);
         }
         let report = service.drain();
         assert_eq!(report.results.len(), 8, "{}", arch.name());
